@@ -1,0 +1,128 @@
+//! A real multi-threaded asynchronous trainer (demonstration variant).
+//!
+//! Workers pull parameter snapshots, compute gradients, and send them to
+//! a central applier thread over a crossbeam channel; the applier updates
+//! the shared parameters under a mutex. Unlike
+//! [`RoundRobinSimulator`](crate::RoundRobinSimulator) the interleaving
+//! here is scheduler-dependent, so this type is used by the
+//! `async_training` example rather than by the reproducible benches.
+
+use crossbeam::channel;
+use std::sync::{Arc, Mutex};
+use std::thread;
+use yf_optim::Optimizer;
+
+/// A thread-safe gradient function: maps `(params, step)` to
+/// `(loss, gradient)`.
+pub type SharedGradFn = Arc<dyn Fn(&[f32], u64) -> (f32, Vec<f32>) + Send + Sync>;
+
+/// Summary of a threaded asynchronous run.
+#[derive(Debug, Clone)]
+pub struct ThreadedRunReport {
+    /// Final parameters.
+    pub params: Vec<f32>,
+    /// Loss recorded per applied update, in application order.
+    pub losses: Vec<f32>,
+    /// Number of gradient applications.
+    pub updates: usize,
+}
+
+/// Runs `workers` threads for `total_updates` gradient applications.
+///
+/// # Panics
+///
+/// Panics if `workers == 0` or `total_updates == 0`, or if a worker
+/// thread panics.
+pub fn run_threaded(
+    workers: usize,
+    total_updates: usize,
+    initial: Vec<f32>,
+    grad_fn: SharedGradFn,
+    opt: &mut dyn Optimizer,
+) -> ThreadedRunReport {
+    assert!(workers > 0, "threaded: need at least one worker");
+    assert!(total_updates > 0, "threaded: need at least one update");
+    let params = Arc::new(Mutex::new(initial));
+    let (tx, rx) = channel::bounded::<(f32, Vec<f32>)>(workers * 2);
+    let stop = Arc::new(Mutex::new(false));
+
+    let mut handles = Vec::new();
+    for w in 0..workers {
+        let params = Arc::clone(&params);
+        let grad_fn = Arc::clone(&grad_fn);
+        let tx = tx.clone();
+        let stop = Arc::clone(&stop);
+        handles.push(thread::spawn(move || {
+            let mut local_step = w as u64;
+            loop {
+                if *stop.lock().expect("stop lock") {
+                    break;
+                }
+                let snapshot = params.lock().expect("params lock").clone();
+                let (loss, grad) = grad_fn(&snapshot, local_step);
+                local_step += workers as u64;
+                // The applier may have exited already; stop quietly then.
+                if tx.send((loss, grad)).is_err() {
+                    break;
+                }
+            }
+        }));
+    }
+    drop(tx);
+
+    let mut losses = Vec::with_capacity(total_updates);
+    for _ in 0..total_updates {
+        let (loss, grad) = rx.recv().expect("workers alive while updates remain");
+        let mut p = params.lock().expect("params lock");
+        opt.step(&mut p, &grad);
+        losses.push(loss);
+    }
+    *stop.lock().expect("stop lock") = true;
+    // Drain so blocked senders can observe the stop flag and exit.
+    while rx.try_recv().is_ok() {}
+    drop(rx);
+    for h in handles {
+        h.join().expect("worker thread panicked");
+    }
+    let final_params = params.lock().expect("params lock").clone();
+    ThreadedRunReport {
+        params: final_params,
+        updates: losses.len(),
+        losses,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use yf_optim::Sgd;
+
+    #[test]
+    fn threaded_training_converges_on_quadratic() {
+        let grad_fn: SharedGradFn = Arc::new(|x: &[f32], _| {
+            let loss: f32 = x.iter().map(|v| 0.5 * v * v).sum();
+            (loss, x.to_vec())
+        });
+        let mut opt = Sgd::new(0.05);
+        let report = run_threaded(4, 400, vec![1.0f32; 8], grad_fn, &mut opt);
+        assert_eq!(report.updates, 400);
+        let dist: f32 = report.params.iter().map(|p| p * p).sum::<f32>().sqrt();
+        assert!(dist < 0.1, "distance {dist}");
+    }
+
+    #[test]
+    fn single_worker_still_works() {
+        let grad_fn: SharedGradFn = Arc::new(|x: &[f32], _| (0.0, x.to_vec()));
+        let mut opt = Sgd::new(0.1);
+        let report = run_threaded(1, 50, vec![1.0f32], grad_fn, &mut opt);
+        assert!(report.params[0] < 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one worker")]
+    fn zero_workers_panics() {
+        let grad_fn: SharedGradFn = Arc::new(|x: &[f32], _| (0.0, x.to_vec()));
+        let mut opt = Sgd::new(0.1);
+        run_threaded(0, 1, vec![1.0], grad_fn, &mut opt);
+    }
+}

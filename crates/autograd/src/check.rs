@@ -1,0 +1,85 @@
+//! Finite-difference gradient checking.
+//!
+//! Every autograd op in this crate is validated against central
+//! differences. The checker is public so downstream crates (layers,
+//! models) can verify their own compositions.
+
+use crate::graph::{Graph, NodeId};
+use yf_tensor::Tensor;
+
+/// Result of a gradient check: the largest relative error observed.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CheckReport {
+    /// max |analytic - numeric| / max(1, |analytic|, |numeric|)
+    pub max_rel_err: f64,
+}
+
+/// Compares the analytic gradient of `build` with central finite
+/// differences, perturbing each element of each input in turn.
+///
+/// `build` receives a fresh graph plus the leaf ids for `inputs` (recorded
+/// as trainable, in order) and must return a scalar loss node.
+///
+/// # Panics
+///
+/// Panics if `build` returns a non-scalar node.
+pub fn gradient_check(
+    inputs: &[Tensor],
+    build: impl Fn(&mut Graph, &[NodeId]) -> NodeId,
+    eps: f32,
+) -> CheckReport {
+    // Analytic pass.
+    let mut g = Graph::new();
+    let ids: Vec<NodeId> = inputs.iter().map(|t| g.leaf(t.clone(), true)).collect();
+    let loss = build(&mut g, &ids);
+    g.backward(loss);
+    let analytic: Vec<Tensor> = ids
+        .iter()
+        .map(|&id| {
+            g.grad(id)
+                .cloned()
+                .unwrap_or_else(|| Tensor::zeros(g.value(id).shape()))
+        })
+        .collect();
+
+    let eval = |perturbed: &[Tensor]| -> f64 {
+        let mut g = Graph::new();
+        let ids: Vec<NodeId> = perturbed.iter().map(|t| g.leaf(t.clone(), true)).collect();
+        let loss = build(&mut g, &ids);
+        f64::from(g.value(loss).data()[0])
+    };
+
+    let mut max_rel_err = 0.0f64;
+    for (ti, tensor) in inputs.iter().enumerate() {
+        for ei in 0..tensor.len() {
+            let mut plus = inputs.to_vec();
+            plus[ti].data_mut()[ei] += eps;
+            let mut minus = inputs.to_vec();
+            minus[ti].data_mut()[ei] -= eps;
+            let numeric = (eval(&plus) - eval(&minus)) / (2.0 * f64::from(eps));
+            let a = f64::from(analytic[ti].data()[ei]);
+            let denom = 1.0f64.max(a.abs()).max(numeric.abs());
+            let rel = (a - numeric).abs() / denom;
+            max_rel_err = max_rel_err.max(rel);
+        }
+    }
+    CheckReport { max_rel_err }
+}
+
+/// Asserts that the gradient check passes within `tol`.
+///
+/// # Panics
+///
+/// Panics (with the measured error) if the check fails.
+pub fn assert_grads_close(
+    inputs: &[Tensor],
+    build: impl Fn(&mut Graph, &[NodeId]) -> NodeId,
+    tol: f64,
+) {
+    let report = gradient_check(inputs, build, 1e-3);
+    assert!(
+        report.max_rel_err < tol,
+        "gradient check failed: max relative error {} >= {tol}",
+        report.max_rel_err
+    );
+}

@@ -1,0 +1,289 @@
+//! Direct 2-D convolution kernels (forward and both backward passes).
+//!
+//! Shapes follow the PyTorch convention: input `[B, Cin, H, W]`, weight
+//! `[Cout, Cin/groups, KH, KW]`, output `[B, Cout, Ho, Wo]`. Grouped
+//! convolution (`groups > 1`) supports the ResNeXt ablation of the paper's
+//! Appendix J.4.
+
+use yf_tensor::Tensor;
+
+/// Static parameters of a convolution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ConvSpec {
+    /// Spatial stride (same for both axes).
+    pub stride: usize,
+    /// Zero padding (same for both axes).
+    pub padding: usize,
+    /// Channel groups; `1` is an ordinary convolution.
+    pub groups: usize,
+}
+
+impl ConvSpec {
+    /// A stride-1, unpadded, ungrouped convolution.
+    pub fn unit() -> Self {
+        ConvSpec {
+            stride: 1,
+            padding: 0,
+            groups: 1,
+        }
+    }
+
+    /// "Same"-style spec used by 3x3 ResNet convolutions.
+    pub fn same3x3(stride: usize) -> Self {
+        ConvSpec {
+            stride,
+            padding: 1,
+            groups: 1,
+        }
+    }
+
+    /// Output spatial extent for an input extent `n` and kernel extent `k`.
+    pub fn out_extent(&self, n: usize, k: usize) -> usize {
+        (n + 2 * self.padding - k) / self.stride + 1
+    }
+}
+
+fn dims4(t: &[usize]) -> (usize, usize, usize, usize) {
+    (t[0], t[1], t[2], t[3])
+}
+
+/// Forward convolution.
+///
+/// # Panics
+///
+/// Panics on rank/shape mismatches or if channel counts are not divisible
+/// by `groups`.
+pub fn conv2d_forward(input: &Tensor, weight: &Tensor, spec: ConvSpec) -> Tensor {
+    let (b, cin, h, w) = dims4(input.shape());
+    let (cout, cin_g, kh, kw) = dims4(weight.shape());
+    assert!(spec.groups > 0 && spec.stride > 0, "conv2d: bad spec {spec:?}");
+    assert_eq!(cin % spec.groups, 0, "conv2d: cin {cin} % groups");
+    assert_eq!(cout % spec.groups, 0, "conv2d: cout {cout} % groups");
+    assert_eq!(cin / spec.groups, cin_g, "conv2d: weight channel mismatch");
+    let (ho, wo) = (spec.out_extent(h, kh), spec.out_extent(w, kw));
+    let mut out = vec![0.0f32; b * cout * ho * wo];
+    let cout_g = cout / spec.groups;
+    let x = input.data();
+    let wt = weight.data();
+    for bi in 0..b {
+        for g in 0..spec.groups {
+            for ocl in 0..cout_g {
+                let oc = g * cout_g + ocl;
+                for icl in 0..cin_g {
+                    let ic = g * cin_g + icl;
+                    let x_base = (bi * cin + ic) * h * w;
+                    let w_base = (oc * cin_g + icl) * kh * kw;
+                    let o_base = (bi * cout + oc) * ho * wo;
+                    for oy in 0..ho {
+                        let iy0 = oy * spec.stride;
+                        for ox in 0..wo {
+                            let ix0 = ox * spec.stride;
+                            let mut acc = 0.0f32;
+                            for ky in 0..kh {
+                                let iy = iy0 + ky;
+                                if iy < spec.padding || iy - spec.padding >= h {
+                                    continue;
+                                }
+                                let row = x_base + (iy - spec.padding) * w;
+                                let wrow = w_base + ky * kw;
+                                for kx in 0..kw {
+                                    let ix = ix0 + kx;
+                                    if ix < spec.padding || ix - spec.padding >= w {
+                                        continue;
+                                    }
+                                    acc += x[row + ix - spec.padding] * wt[wrow + kx];
+                                }
+                            }
+                            out[o_base + oy * wo + ox] += acc;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    Tensor::from_vec(out, &[b, cout, ho, wo])
+}
+
+/// Gradient of the convolution with respect to its input.
+pub fn conv2d_backward_input(
+    input_shape: &[usize],
+    weight: &Tensor,
+    grad_out: &Tensor,
+    spec: ConvSpec,
+) -> Tensor {
+    let (b, cin, h, w) = dims4(input_shape);
+    let (cout, cin_g, kh, kw) = dims4(weight.shape());
+    let (_, _, ho, wo) = dims4(grad_out.shape());
+    let cout_g = cout / spec.groups;
+    let mut dx = vec![0.0f32; b * cin * h * w];
+    let go = grad_out.data();
+    let wt = weight.data();
+    for bi in 0..b {
+        for g in 0..spec.groups {
+            for ocl in 0..cout_g {
+                let oc = g * cout_g + ocl;
+                for icl in 0..cin_g {
+                    let ic = g * cin_g + icl;
+                    let x_base = (bi * cin + ic) * h * w;
+                    let w_base = (oc * cin_g + icl) * kh * kw;
+                    let o_base = (bi * cout + oc) * ho * wo;
+                    for oy in 0..ho {
+                        let iy0 = oy * spec.stride;
+                        for ox in 0..wo {
+                            let ix0 = ox * spec.stride;
+                            let g_out = go[o_base + oy * wo + ox];
+                            if g_out == 0.0 {
+                                continue;
+                            }
+                            for ky in 0..kh {
+                                let iy = iy0 + ky;
+                                if iy < spec.padding || iy - spec.padding >= h {
+                                    continue;
+                                }
+                                let row = x_base + (iy - spec.padding) * w;
+                                let wrow = w_base + ky * kw;
+                                for kx in 0..kw {
+                                    let ix = ix0 + kx;
+                                    if ix < spec.padding || ix - spec.padding >= w {
+                                        continue;
+                                    }
+                                    dx[row + ix - spec.padding] += g_out * wt[wrow + kx];
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    Tensor::from_vec(dx, input_shape)
+}
+
+/// Gradient of the convolution with respect to its weight.
+pub fn conv2d_backward_weight(
+    input: &Tensor,
+    weight_shape: &[usize],
+    grad_out: &Tensor,
+    spec: ConvSpec,
+) -> Tensor {
+    let (b, cin, h, w) = dims4(input.shape());
+    let (cout, cin_g, kh, kw) = dims4(weight_shape);
+    let (_, _, ho, wo) = dims4(grad_out.shape());
+    let cout_g = cout / spec.groups;
+    let mut dw = vec![0.0f32; cout * cin_g * kh * kw];
+    let go = grad_out.data();
+    let x = input.data();
+    for bi in 0..b {
+        for g in 0..spec.groups {
+            for ocl in 0..cout_g {
+                let oc = g * cout_g + ocl;
+                for icl in 0..cin_g {
+                    let ic = g * cin_g + icl;
+                    let x_base = (bi * cin + ic) * h * w;
+                    let w_base = (oc * cin_g + icl) * kh * kw;
+                    let o_base = (bi * cout + oc) * ho * wo;
+                    for oy in 0..ho {
+                        let iy0 = oy * spec.stride;
+                        for ox in 0..wo {
+                            let ix0 = ox * spec.stride;
+                            let g_out = go[o_base + oy * wo + ox];
+                            if g_out == 0.0 {
+                                continue;
+                            }
+                            for ky in 0..kh {
+                                let iy = iy0 + ky;
+                                if iy < spec.padding || iy - spec.padding >= h {
+                                    continue;
+                                }
+                                let row = x_base + (iy - spec.padding) * w;
+                                let wrow = w_base + ky * kw;
+                                for kx in 0..kw {
+                                    let ix = ix0 + kx;
+                                    if ix < spec.padding || ix - spec.padding >= w {
+                                        continue;
+                                    }
+                                    dw[wrow + kx] += g_out * x[row + ix - spec.padding];
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    Tensor::from_vec(dw, weight_shape)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_kernel_passthrough() {
+        // 1x1 kernel with weight 1 is the identity map.
+        let input = Tensor::from_vec((0..8).map(|v| v as f32).collect(), &[1, 2, 2, 2]);
+        let weight = Tensor::from_vec(vec![1.0, 0.0, 0.0, 1.0], &[2, 2, 1, 1]);
+        let out = conv2d_forward(&input, &weight, ConvSpec::unit());
+        assert_eq!(out.shape(), &[1, 2, 2, 2]);
+        assert_eq!(out.data(), input.data());
+    }
+
+    #[test]
+    fn known_3x3_valid_convolution() {
+        // Single channel, 3x3 input, 2x2 averaging-ish kernel.
+        let input = Tensor::from_vec(
+            vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0],
+            &[1, 1, 3, 3],
+        );
+        let weight = Tensor::from_vec(vec![1.0, 1.0, 1.0, 1.0], &[1, 1, 2, 2]);
+        let out = conv2d_forward(&input, &weight, ConvSpec::unit());
+        assert_eq!(out.shape(), &[1, 1, 2, 2]);
+        assert_eq!(out.data(), &[12.0, 16.0, 24.0, 28.0]);
+    }
+
+    #[test]
+    fn padding_preserves_extent() {
+        let input = Tensor::ones(&[2, 3, 5, 5]);
+        let weight = Tensor::ones(&[4, 3, 3, 3]);
+        let out = conv2d_forward(&input, &weight, ConvSpec::same3x3(1));
+        assert_eq!(out.shape(), &[2, 4, 5, 5]);
+        // Center pixel sees the full 3x3x3 window of ones.
+        assert_eq!(out.at(&[0, 0, 2, 2]), 27.0);
+        // Corner pixel sees a 2x2x3 window.
+        assert_eq!(out.at(&[0, 0, 0, 0]), 12.0);
+    }
+
+    #[test]
+    fn stride_halves_extent() {
+        let input = Tensor::ones(&[1, 1, 8, 8]);
+        let weight = Tensor::ones(&[1, 1, 3, 3]);
+        let out = conv2d_forward(&input, &weight, ConvSpec::same3x3(2));
+        assert_eq!(out.shape(), &[1, 1, 4, 4]);
+    }
+
+    #[test]
+    fn grouped_conv_blocks_cross_talk() {
+        // groups=2: output channel 0 must only see input channel 0.
+        let mut input = Tensor::zeros(&[1, 2, 2, 2]);
+        for i in 0..4 {
+            input.data_mut()[4 + i] = 1.0; // only channel 1 is nonzero
+        }
+        let weight = Tensor::ones(&[2, 1, 1, 1]);
+        let spec = ConvSpec {
+            stride: 1,
+            padding: 0,
+            groups: 2,
+        };
+        let out = conv2d_forward(&input, &weight, spec);
+        assert_eq!(&out.data()[0..4], &[0.0; 4]); // group 0 sees zeros
+        assert_eq!(&out.data()[4..8], &[1.0; 4]); // group 1 sees ones
+    }
+
+    #[test]
+    #[should_panic(expected = "channel mismatch")]
+    fn wrong_channels_panics() {
+        let input = Tensor::ones(&[1, 3, 4, 4]);
+        let weight = Tensor::ones(&[2, 2, 3, 3]);
+        conv2d_forward(&input, &weight, ConvSpec::unit());
+    }
+}

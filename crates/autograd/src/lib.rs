@@ -1,0 +1,33 @@
+//! Reverse-mode, define-by-run automatic differentiation over
+//! [`yf_tensor::Tensor`].
+//!
+//! A [`Graph`] is a tape: every operation eagerly computes its value and
+//! records how to back-propagate through it. Calling [`Graph::backward`] on
+//! a scalar loss fills the gradient of every trainable leaf. The op set is
+//! exactly what the paper's model zoo needs — dense algebra, 2-D
+//! convolution (with stride, padding and groups for the ResNeXt variant),
+//! batch normalization, embeddings, LSTM gate plumbing and a fused
+//! softmax-cross-entropy loss.
+//!
+//! # Example
+//!
+//! ```
+//! use yf_autograd::Graph;
+//! use yf_tensor::Tensor;
+//!
+//! let mut g = Graph::new();
+//! let x = g.leaf(Tensor::from_vec(vec![2.0], &[1]), true);
+//! let y = g.mul(x, x); // y = x^2
+//! let loss = g.sum_all(y);
+//! g.backward(loss);
+//! assert_eq!(g.grad(x).unwrap().data(), &[4.0]); // dy/dx = 2x
+//! ```
+
+mod backward;
+pub mod check;
+mod conv;
+mod graph;
+mod norm;
+
+pub use conv::ConvSpec;
+pub use graph::{Graph, NodeId};

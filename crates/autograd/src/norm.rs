@@ -1,0 +1,174 @@
+//! Training-mode batch normalization (forward and backward).
+
+use yf_tensor::Tensor;
+
+/// Per-channel statistics saved by the forward pass for the backward pass.
+#[derive(Debug, Clone)]
+pub(crate) struct BnSaved {
+    /// Per-channel batch mean.
+    pub mean: Vec<f32>,
+    /// Per-channel inverse standard deviation `1/sqrt(var + eps)`.
+    pub inv_std: Vec<f32>,
+}
+
+impl BnSaved {
+    /// Batch variance per channel, recovered from the saved inverse std
+    /// (exposed for tests; training-mode BN needs only `inv_std`).
+    #[cfg(test)]
+    pub fn variance(&self, eps: f32) -> Vec<f32> {
+        self.inv_std
+            .iter()
+            .map(|&is| 1.0 / (is * is) - eps)
+            .collect()
+    }
+}
+
+/// Normalizes `[B, C, H, W]` per channel over the batch and spatial axes.
+pub(crate) fn batch_norm_forward(
+    x: &Tensor,
+    gamma: &Tensor,
+    beta: &Tensor,
+    eps: f32,
+) -> (Tensor, BnSaved) {
+    assert_eq!(x.shape().len(), 4, "batch_norm: input must be rank 4");
+    let (b, c, h, w) = (x.shape()[0], x.shape()[1], x.shape()[2], x.shape()[3]);
+    assert_eq!(gamma.shape(), &[c], "batch_norm: gamma must be [C]");
+    assert_eq!(beta.shape(), &[c], "batch_norm: beta must be [C]");
+    let hw = h * w;
+    let n = (b * hw) as f32;
+    let mut mean = vec![0.0f32; c];
+    let mut var = vec![0.0f32; c];
+    for bi in 0..b {
+        for ci in 0..c {
+            let base = (bi * c + ci) * hw;
+            for &v in &x.data()[base..base + hw] {
+                mean[ci] += v;
+            }
+        }
+    }
+    for m in &mut mean {
+        *m /= n;
+    }
+    for bi in 0..b {
+        for ci in 0..c {
+            let base = (bi * c + ci) * hw;
+            for &v in &x.data()[base..base + hw] {
+                let d = v - mean[ci];
+                var[ci] += d * d;
+            }
+        }
+    }
+    for v in &mut var {
+        *v /= n;
+    }
+    let inv_std: Vec<f32> = var.iter().map(|&v| 1.0 / (v + eps).sqrt()).collect();
+    let mut out = vec![0.0f32; x.len()];
+    for bi in 0..b {
+        for ci in 0..c {
+            let base = (bi * c + ci) * hw;
+            let (m, is, g, bt) = (mean[ci], inv_std[ci], gamma.data()[ci], beta.data()[ci]);
+            for (o, &v) in out[base..base + hw].iter_mut().zip(&x.data()[base..base + hw]) {
+                *o = g * (v - m) * is + bt;
+            }
+        }
+    }
+    (
+        Tensor::from_vec(out, x.shape()),
+        BnSaved { mean, inv_std },
+    )
+}
+
+/// Backward pass: returns `(dx, dgamma, dbeta)`.
+///
+/// Uses the standard closed form: with `x_hat = (x - mean) * inv_std`,
+/// `dx = gamma * inv_std / N * (N * dy - sum(dy) - x_hat * sum(dy * x_hat))`.
+pub(crate) fn batch_norm_backward(
+    x: &Tensor,
+    gamma: &Tensor,
+    saved: &BnSaved,
+    grad_out: &Tensor,
+) -> (Tensor, Tensor, Tensor) {
+    let (b, c, h, w) = (x.shape()[0], x.shape()[1], x.shape()[2], x.shape()[3]);
+    let hw = h * w;
+    let n = (b * hw) as f32;
+    let mut sum_dy = vec![0.0f32; c];
+    let mut sum_dy_xhat = vec![0.0f32; c];
+    for bi in 0..b {
+        for ci in 0..c {
+            let base = (bi * c + ci) * hw;
+            let (m, is) = (saved.mean[ci], saved.inv_std[ci]);
+            for k in 0..hw {
+                let dy = grad_out.data()[base + k];
+                let xhat = (x.data()[base + k] - m) * is;
+                sum_dy[ci] += dy;
+                sum_dy_xhat[ci] += dy * xhat;
+            }
+        }
+    }
+    let mut dx = vec![0.0f32; x.len()];
+    for bi in 0..b {
+        for ci in 0..c {
+            let base = (bi * c + ci) * hw;
+            let (m, is, g) = (saved.mean[ci], saved.inv_std[ci], gamma.data()[ci]);
+            let k1 = g * is / n;
+            for k in 0..hw {
+                let dy = grad_out.data()[base + k];
+                let xhat = (x.data()[base + k] - m) * is;
+                dx[base + k] = k1 * (n * dy - sum_dy[ci] - xhat * sum_dy_xhat[ci]);
+            }
+        }
+    }
+    (
+        Tensor::from_vec(dx, x.shape()),
+        Tensor::from_vec(sum_dy_xhat, &[c]),
+        Tensor::from_vec(sum_dy, &[c]),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use yf_tensor::rng::Pcg32;
+
+    #[test]
+    fn output_is_normalized() {
+        let mut rng = Pcg32::seed(21);
+        let x = Tensor::randn(&[4, 3, 2, 2], &mut rng).map(|v| 3.0 * v + 1.0);
+        let gamma = Tensor::ones(&[3]);
+        let beta = Tensor::zeros(&[3]);
+        let (y, _) = batch_norm_forward(&x, &gamma, &beta, 1e-5);
+        // Per-channel mean ~0, variance ~1.
+        let hw = 4;
+        for ci in 0..3 {
+            let mut vals = Vec::new();
+            for bi in 0..4 {
+                let base = (bi * 3 + ci) * hw;
+                vals.extend_from_slice(&y.data()[base..base + hw]);
+            }
+            let mean: f32 = vals.iter().sum::<f32>() / vals.len() as f32;
+            let var: f32 =
+                vals.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / vals.len() as f32;
+            assert!(mean.abs() < 1e-4, "channel {ci} mean {mean}");
+            assert!((var - 1.0).abs() < 1e-2, "channel {ci} var {var}");
+        }
+    }
+
+    #[test]
+    fn gamma_beta_affine() {
+        let mut rng = Pcg32::seed(22);
+        let x = Tensor::randn(&[2, 1, 2, 2], &mut rng);
+        let gamma = Tensor::from_vec(vec![2.0], &[1]);
+        let beta = Tensor::from_vec(vec![-1.0], &[1]);
+        let (y, _) = batch_norm_forward(&x, &gamma, &beta, 1e-5);
+        let mean: f32 = y.data().iter().sum::<f32>() / y.len() as f32;
+        assert!((mean - -1.0).abs() < 1e-4, "beta shifts the mean: {mean}");
+    }
+
+    #[test]
+    fn saved_variance_round_trips() {
+        let x = Tensor::from_vec(vec![1.0, 3.0, 1.0, 3.0], &[1, 1, 2, 2]);
+        let (_, saved) = batch_norm_forward(&x, &Tensor::ones(&[1]), &Tensor::zeros(&[1]), 1e-5);
+        let var = saved.variance(1e-5);
+        assert!((var[0] - 1.0).abs() < 1e-4, "variance {}", var[0]);
+    }
+}

@@ -1,0 +1,406 @@
+//! Finite-difference validation of every op's backward pass.
+
+use yf_autograd::check::assert_grads_close;
+use yf_autograd::{ConvSpec, Graph};
+use yf_tensor::rng::Pcg32;
+use yf_tensor::Tensor;
+
+const TOL: f64 = 2e-2; // f32 forward + 1e-3 central differences
+
+fn randn(dims: &[usize], seed: u64) -> Tensor {
+    Tensor::randn(dims, &mut Pcg32::seed(seed))
+}
+
+#[test]
+fn add_sub_mul() {
+    let a = randn(&[3, 4], 1);
+    let b = randn(&[3, 4], 2);
+    assert_grads_close(
+        &[a.clone(), b.clone()],
+        |g, ids| {
+            let s = g.add(ids[0], ids[1]);
+            let d = g.sub(s, ids[1]);
+            let m = g.mul(d, ids[1]);
+            g.sum_all(m)
+        },
+        TOL,
+    );
+}
+
+#[test]
+fn matmul() {
+    let a = randn(&[3, 5], 3);
+    let b = randn(&[5, 2], 4);
+    assert_grads_close(
+        &[a, b],
+        |g, ids| {
+            let c = g.matmul(ids[0], ids[1]);
+            g.sum_all(c)
+        },
+        TOL,
+    );
+}
+
+#[test]
+fn matmul_mean() {
+    let a = randn(&[2, 3], 5);
+    let b = randn(&[3, 4], 6);
+    assert_grads_close(
+        &[a, b],
+        |g, ids| {
+            let c = g.matmul(ids[0], ids[1]);
+            g.mean_all(c)
+        },
+        TOL,
+    );
+}
+
+#[test]
+fn activations() {
+    let x = randn(&[4, 4], 7);
+    assert_grads_close(
+        &[x.clone()],
+        |g, ids| {
+            let t = g.tanh(ids[0]);
+            g.sum_all(t)
+        },
+        TOL,
+    );
+    assert_grads_close(
+        &[x.clone()],
+        |g, ids| {
+            let s = g.sigmoid(ids[0]);
+            g.sum_all(s)
+        },
+        TOL,
+    );
+    // Shift away from the ReLU kink so central differences are valid.
+    let shifted = x.map(|v| if v.abs() < 0.05 { v + 0.2 } else { v });
+    assert_grads_close(
+        &[shifted],
+        |g, ids| {
+            let r = g.relu(ids[0]);
+            g.sum_all(r)
+        },
+        TOL,
+    );
+}
+
+#[test]
+fn bias_broadcasts() {
+    let x = randn(&[3, 4], 8);
+    let b = randn(&[4], 9);
+    assert_grads_close(
+        &[x, b],
+        |g, ids| {
+            let y = g.add_bias(ids[0], ids[1]);
+            let sq = g.mul(y, y);
+            g.sum_all(sq)
+        },
+        TOL,
+    );
+    let x4 = randn(&[2, 3, 2, 2], 10);
+    let cb = randn(&[3], 11);
+    assert_grads_close(
+        &[x4, cb],
+        |g, ids| {
+            let y = g.add_chan_bias(ids[0], ids[1]);
+            let sq = g.mul(y, y);
+            g.sum_all(sq)
+        },
+        TOL,
+    );
+}
+
+#[test]
+fn scale_reshape() {
+    let x = randn(&[2, 6], 12);
+    assert_grads_close(
+        &[x],
+        |g, ids| {
+            let y = g.scale(ids[0], -2.5);
+            let z = g.reshape(y, &[3, 4]);
+            let w = g.mul(z, z);
+            g.mean_all(w)
+        },
+        TOL,
+    );
+}
+
+#[test]
+fn slice_and_concat() {
+    let x = randn(&[3, 8], 13);
+    assert_grads_close(
+        &[x.clone()],
+        |g, ids| {
+            let a = g.slice_cols(ids[0], 0, 3);
+            let b = g.slice_cols(ids[0], 3, 5);
+            let sq_a = g.mul(a, a);
+            let cat = g.concat_cols(&[sq_a, b]);
+            g.sum_all(cat)
+        },
+        TOL,
+    );
+}
+
+#[test]
+fn softmax_cross_entropy() {
+    let logits = randn(&[4, 5], 14);
+    let targets = vec![0, 2, 4, 1];
+    assert_grads_close(
+        &[logits],
+        |g, ids| g.softmax_cross_entropy(ids[0], &targets),
+        TOL,
+    );
+}
+
+#[test]
+fn embedding_gather() {
+    let weight = randn(&[6, 3], 15);
+    let ids_list = vec![0, 5, 2, 2]; // repeated id accumulates
+    assert_grads_close(
+        &[weight],
+        |g, nids| {
+            let e = g.embedding(nids[0], &ids_list);
+            let sq = g.mul(e, e);
+            g.sum_all(sq)
+        },
+        TOL,
+    );
+}
+
+#[test]
+fn conv2d_basic() {
+    let x = randn(&[2, 2, 5, 5], 16);
+    let w = randn(&[3, 2, 3, 3], 17);
+    assert_grads_close(
+        &[x, w],
+        |g, ids| {
+            let y = g.conv2d(ids[0], ids[1], ConvSpec::same3x3(1));
+            let sq = g.mul(y, y);
+            g.mean_all(sq)
+        },
+        TOL,
+    );
+}
+
+#[test]
+fn conv2d_strided_grouped() {
+    let x = randn(&[1, 4, 6, 6], 18);
+    let w = randn(&[4, 2, 3, 3], 19);
+    let spec = ConvSpec {
+        stride: 2,
+        padding: 1,
+        groups: 2,
+    };
+    assert_grads_close(
+        &[x, w],
+        |g, ids| {
+            let y = g.conv2d(ids[0], ids[1], spec);
+            let sq = g.mul(y, y);
+            g.mean_all(sq)
+        },
+        TOL,
+    );
+}
+
+#[test]
+fn conv2d_1x1_projection() {
+    let x = randn(&[2, 3, 4, 4], 20);
+    let w = randn(&[5, 3, 1, 1], 21);
+    let spec = ConvSpec {
+        stride: 2,
+        padding: 0,
+        groups: 1,
+    };
+    assert_grads_close(
+        &[x, w],
+        |g, ids| {
+            let y = g.conv2d(ids[0], ids[1], spec);
+            g.sum_all(y)
+        },
+        TOL,
+    );
+}
+
+#[test]
+fn batch_norm() {
+    let x = randn(&[3, 2, 2, 2], 22);
+    let gamma = randn(&[2], 23).map(|v| 1.0 + 0.1 * v);
+    let beta = randn(&[2], 24);
+    assert_grads_close(
+        &[x, gamma, beta],
+        |g, ids| {
+            let y = g.batch_norm(ids[0], ids[1], ids[2], 1e-3);
+            let sq = g.mul(y, y);
+            g.sum_all(sq)
+        },
+        5e-2, // BN backward is the most float-sensitive op
+    );
+}
+
+#[test]
+fn global_avg_pool() {
+    let x = randn(&[2, 3, 4, 4], 25);
+    assert_grads_close(
+        &[x],
+        |g, ids| {
+            let p = g.global_avg_pool(ids[0]);
+            let sq = g.mul(p, p);
+            g.sum_all(sq)
+        },
+        TOL,
+    );
+}
+
+#[test]
+fn shared_leaf_accumulates_from_both_uses() {
+    // Weight tying: the same leaf used in two places must receive the sum
+    // of both contributions.
+    let x = randn(&[3, 3], 26);
+    assert_grads_close(
+        &[x],
+        |g, ids| {
+            let a = g.matmul(ids[0], ids[0]); // x @ x
+            g.sum_all(a)
+        },
+        TOL,
+    );
+}
+
+#[test]
+fn lstm_cell_composition() {
+    // A full LSTM gate block built from primitive ops.
+    let x = randn(&[2, 3], 27);
+    let h = randn(&[2, 4], 28);
+    let c = randn(&[2, 4], 29);
+    let w_ih = randn(&[3, 16], 30).scale(0.5);
+    let w_hh = randn(&[4, 16], 31).scale(0.5);
+    let b = randn(&[16], 32).scale(0.1);
+    assert_grads_close(
+        &[x, h, c, w_ih, w_hh, b],
+        |g, ids| {
+            let (x, h, c, w_ih, w_hh, b) = (ids[0], ids[1], ids[2], ids[3], ids[4], ids[5]);
+            let xi = g.matmul(x, w_ih);
+            let hh = g.matmul(h, w_hh);
+            let pre = g.add(xi, hh);
+            let gates = g.add_bias(pre, b);
+            let i_g = g.slice_cols(gates, 0, 4);
+            let f_g = g.slice_cols(gates, 4, 4);
+            let g_g = g.slice_cols(gates, 8, 4);
+            let o_g = g.slice_cols(gates, 12, 4);
+            let i = g.sigmoid(i_g);
+            let f = g.sigmoid(f_g);
+            let cand = g.tanh(g_g);
+            let o = g.sigmoid(o_g);
+            let fc = g.mul(f, c);
+            let ig = g.mul(i, cand);
+            let c_new = g.add(fc, ig);
+            let tc = g.tanh(c_new);
+            let h_new = g.mul(o, tc);
+            let sq = g.mul(h_new, h_new);
+            g.sum_all(sq)
+        },
+        TOL,
+    );
+}
+
+#[test]
+fn max_pool_2x2() {
+    // Shift values apart so the argmax is stable under the FD perturbation.
+    let x = randn(&[2, 2, 4, 4], 33).scale(3.0);
+    assert_grads_close(
+        &[x],
+        |g, ids| {
+            let p = g.max_pool_2x2(ids[0]);
+            let sq = g.mul(p, p);
+            g.sum_all(sq)
+        },
+        TOL,
+    );
+}
+
+#[test]
+fn max_pool_forward_values() {
+    let mut g = Graph::new();
+    let x = g.constant(Tensor::from_vec(
+        vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0, 10.0, 11.0, 12.0, 13.0, 14.0, 15.0, 16.0],
+        &[1, 1, 4, 4],
+    ));
+    let p = g.max_pool_2x2(x);
+    let vals = g.value(p).data().to_vec();
+    assert_eq!(vals, vec![6.0, 8.0, 14.0, 16.0]);
+}
+
+#[test]
+fn layer_norm() {
+    let x = randn(&[3, 6], 34);
+    let gamma = randn(&[6], 35).map(|v| 1.0 + 0.2 * v);
+    let beta = randn(&[6], 36);
+    assert_grads_close(
+        &[x, gamma, beta],
+        |g, ids| {
+            let y = g.layer_norm(ids[0], ids[1], ids[2], 1e-3);
+            let sq = g.mul(y, y);
+            g.mean_all(sq)
+        },
+        5e-2,
+    );
+}
+
+#[test]
+fn layer_norm_normalizes_rows() {
+    let mut g = Graph::new();
+    let x = g.constant(randn(&[4, 8], 37).map(|v| 5.0 * v + 3.0));
+    let gamma = g.constant(Tensor::ones(&[8]));
+    let beta = g.constant(Tensor::zeros(&[8]));
+    let y = g.layer_norm(x, gamma, beta, 1e-5);
+    for r in 0..4 {
+        let row = &g.value(y).data()[r * 8..(r + 1) * 8];
+        let mean: f32 = row.iter().sum::<f32>() / 8.0;
+        assert!(mean.abs() < 1e-5, "row {r} mean {mean}");
+    }
+}
+
+#[test]
+fn dropout_scales_and_masks() {
+    let mut g = Graph::new();
+    let x = g.leaf(Tensor::ones(&[1, 100]), true);
+    let y = g.dropout(x, 0.5, 42);
+    let vals = g.value(y).data().to_vec();
+    let zeros = vals.iter().filter(|&&v| v == 0.0).count();
+    let twos = vals.iter().filter(|&&v| (v - 2.0).abs() < 1e-6).count();
+    assert_eq!(zeros + twos, 100, "inverted dropout: only 0 or 1/keep");
+    assert!((20..80).contains(&zeros), "zeros {zeros}");
+    // Gradient flows only through kept units, scaled by 1/keep.
+    let loss = g.sum_all(y);
+    g.backward(loss);
+    let grad = g.grad(x).unwrap();
+    for (gv, &v) in grad.data().iter().zip(&vals) {
+        assert_eq!(*gv, v, "grad equals mask");
+    }
+    // keep = 1 is the identity (same node).
+    let mut g2 = Graph::new();
+    let x2 = g2.leaf(Tensor::ones(&[4]), true);
+    assert_eq!(g2.dropout(x2, 1.0, 0), x2);
+}
+
+#[test]
+fn grad_is_none_for_constants() {
+    let mut g = Graph::new();
+    let c = g.constant(Tensor::ones(&[2]));
+    let x = g.leaf(Tensor::ones(&[2]), true);
+    let y = g.mul(c, x);
+    let loss = g.sum_all(y);
+    g.backward(loss);
+    assert!(g.grad(c).is_none());
+    assert_eq!(g.grad(x).unwrap().data(), &[1.0, 1.0]);
+}
+
+#[test]
+#[should_panic(expected = "loss must be a single-element node")]
+fn backward_requires_scalar() {
+    let mut g = Graph::new();
+    let x = g.leaf(Tensor::ones(&[2]), true);
+    g.backward(x);
+}

@@ -1,0 +1,85 @@
+//! Property-based gradient checks over random shapes and values.
+
+use proptest::prelude::*;
+use yf_autograd::check::gradient_check;
+use yf_autograd::Graph;
+use yf_tensor::rng::Pcg32;
+use yf_tensor::Tensor;
+
+fn tensor_strategy(max_dim: usize) -> impl Strategy<Value = Tensor> {
+    ((1..=max_dim), (1..=max_dim), any::<u64>()).prop_map(|(r, c, seed)| {
+        Tensor::randn(&[r, c], &mut Pcg32::seed(seed))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn matmul_grads_hold_for_random_shapes(
+        m in 1usize..5, k in 1usize..5, n in 1usize..5, seed in any::<u64>()
+    ) {
+        let mut rng = Pcg32::seed(seed);
+        let a = Tensor::randn(&[m, k], &mut rng);
+        let b = Tensor::randn(&[k, n], &mut rng);
+        let report = gradient_check(&[a, b], |g, ids| {
+            let c = g.matmul(ids[0], ids[1]);
+            g.sum_all(c)
+        }, 1e-3);
+        prop_assert!(report.max_rel_err < 5e-2, "err={}", report.max_rel_err);
+    }
+
+    #[test]
+    fn chain_rule_composes(t in tensor_strategy(5)) {
+        let report = gradient_check(&[t], |g, ids| {
+            let a = g.tanh(ids[0]);
+            let b = g.mul(a, a);
+            let c = g.sigmoid(b);
+            g.mean_all(c)
+        }, 1e-3);
+        prop_assert!(report.max_rel_err < 5e-2, "err={}", report.max_rel_err);
+    }
+
+    #[test]
+    fn sum_grad_is_ones(t in tensor_strategy(6)) {
+        let mut g = Graph::new();
+        let x = g.leaf(t.clone(), true);
+        let loss = g.sum_all(x);
+        g.backward(loss);
+        let grad = g.grad(x).unwrap();
+        prop_assert!(grad.data().iter().all(|&v| v == 1.0));
+    }
+
+    #[test]
+    fn linearity_of_backward(t in tensor_strategy(5), alpha in -3.0f32..3.0) {
+        // d(alpha * sum(x)) = alpha * ones
+        let mut g = Graph::new();
+        let x = g.leaf(t.clone(), true);
+        let s = g.sum_all(x);
+        let y = g.scale(s, alpha);
+        g.backward(y);
+        let grad = g.grad(x).unwrap();
+        for &v in grad.data() {
+            prop_assert!((v - alpha).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn softmax_xent_grad_rows_sum_to_zero(
+        b in 1usize..5, k in 2usize..6, seed in any::<u64>()
+    ) {
+        // Softmax gradient rows sum to zero: sum_j (p_j - 1[j=t]) = 0.
+        let mut rng = Pcg32::seed(seed);
+        let logits = Tensor::randn(&[b, k], &mut rng);
+        let targets: Vec<usize> = (0..b).map(|_| rng.below(k as u32) as usize).collect();
+        let mut g = Graph::new();
+        let l = g.leaf(logits, true);
+        let loss = g.softmax_cross_entropy(l, &targets);
+        g.backward(loss);
+        let grad = g.grad(l).unwrap();
+        for r in 0..b {
+            let row_sum: f32 = grad.data()[r * k..(r + 1) * k].iter().sum();
+            prop_assert!(row_sum.abs() < 1e-5, "row {r} sums to {row_sum}");
+        }
+    }
+}

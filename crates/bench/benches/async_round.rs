@@ -1,0 +1,32 @@
+//! One round-robin simulator step on a synthetic quadratic gradient
+//! source (dim 1000), with and without staleness.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use yf_async::RoundRobinSimulator;
+use yf_optim::MomentumSgd;
+
+fn bench_async(c: &mut Criterion) {
+    let mut group = c.benchmark_group("async_round");
+    for &workers in &[1usize, 16] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(workers),
+            &workers,
+            |b, &workers| {
+                let dim = 1000;
+                let mut sim = RoundRobinSimulator::new(workers, vec![1.0f32; dim]);
+                let mut source = (dim, |x: &[f32], _| {
+                    (0.0f32, x.iter().map(|v| *v * 0.99).collect::<Vec<f32>>())
+                });
+                let mut opt = MomentumSgd::new(1e-4, 0.9);
+                b.iter(|| {
+                    black_box(sim.step(&mut source, &mut opt));
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_async);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! The closed-form SingleStep solve (Appendix D) is a handful of flops;
+//! this pins down its absolute cost across measurement regimes.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use yellowfin::cubic::single_step;
+
+fn bench_cubic(c: &mut Criterion) {
+    let regimes = [
+        ("balanced", (1.0, 1.0, 1.0, 10.0)),
+        ("noise_dominated", (1e4, 0.01, 0.1, 1.0)),
+        ("signal_dominated", (1e-6, 10.0, 1.0, 1e3)),
+    ];
+    for (name, (cv, d, hmin, hmax)) in regimes {
+        c.bench_function(&format!("single_step/{name}"), |b| {
+            b.iter(|| {
+                single_step(
+                    black_box(cv),
+                    black_box(d),
+                    black_box(hmin),
+                    black_box(hmax),
+                )
+            })
+        });
+    }
+}
+
+criterion_group!(benches, bench_cubic);
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! End-to-end model kernels: one loss+gradient evaluation for the two
+//! main architecture families.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use yf_experiments::workloads::{cifar10_like, ptb_like};
+
+fn bench_models(c: &mut Criterion) {
+    let mut image = cifar10_like(1);
+    let image_params = image.init_params();
+    c.bench_function("resnet_loss_and_grad", |b| {
+        let mut step = 0u64;
+        b.iter(|| {
+            step += 1;
+            image.loss_grad_at(black_box(&image_params), step)
+        })
+    });
+
+    let mut lm = ptb_like(1);
+    let lm_params = lm.init_params();
+    c.bench_function("lstm_lm_loss_and_grad", |b| {
+        let mut step = 0u64;
+        b.iter(|| {
+            step += 1;
+            lm.loss_grad_at(black_box(&lm_params), step)
+        })
+    });
+}
+
+criterion_group!(benches, bench_models);
+criterion_main!(benches);

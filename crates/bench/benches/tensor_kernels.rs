@@ -1,0 +1,32 @@
+//! Core tensor kernels: matmul and direct conv2d forward.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use yf_autograd::ConvSpec;
+use yf_tensor::rng::Pcg32;
+use yf_tensor::Tensor;
+
+fn bench_tensor(c: &mut Criterion) {
+    let mut rng = Pcg32::seed(1);
+    let a = Tensor::randn(&[64, 64], &mut rng);
+    let b = Tensor::randn(&[64, 64], &mut rng);
+    c.bench_function("matmul_64x64", |bencher| {
+        bencher.iter(|| black_box(&a).matmul(black_box(&b)))
+    });
+
+    let input = Tensor::randn(&[4, 8, 12, 12], &mut rng);
+    let weight = Tensor::randn(&[8, 8, 3, 3], &mut rng);
+    c.bench_function("conv2d_fwd_4x8x12x12", |bencher| {
+        bencher.iter(|| {
+            yf_autograd::Graph::new();
+            // Forward through the public graph API (includes tape push).
+            let mut g = yf_autograd::Graph::new();
+            let x = g.constant(black_box(input.clone()));
+            let w = g.constant(black_box(weight.clone()));
+            g.conv2d(x, w, ConvSpec::same3x3(1))
+        })
+    });
+}
+
+criterion_group!(benches, bench_tensor);
+criterion_main!(benches);

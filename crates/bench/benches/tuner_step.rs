@@ -1,0 +1,30 @@
+//! Per-step overhead of YellowFin vs plain momentum SGD.
+//!
+//! The paper claims "overhead linear to model dimensionality"; the ratio
+//! between the two bars at each dimension is that overhead.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use yellowfin::YellowFin;
+use yf_optim::{MomentumSgd, Optimizer};
+
+fn bench_steps(c: &mut Criterion) {
+    let mut group = c.benchmark_group("optimizer_step");
+    for &dim in &[1_000usize, 10_000, 100_000] {
+        let grad: Vec<f32> = (0..dim).map(|i| (i as f32 * 0.1).sin()).collect();
+        group.bench_with_input(BenchmarkId::new("momentum_sgd", dim), &dim, |b, _| {
+            let mut opt = MomentumSgd::new(0.01, 0.9);
+            let mut params = vec![0.1f32; dim];
+            b.iter(|| opt.step(black_box(&mut params), black_box(&grad)));
+        });
+        group.bench_with_input(BenchmarkId::new("yellowfin", dim), &dim, |b, _| {
+            let mut opt = YellowFin::default();
+            let mut params = vec![0.1f32; dim];
+            b.iter(|| opt.step(black_box(&mut params), black_box(&grad)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_steps);
+criterion_main!(benches);

@@ -1,0 +1,99 @@
+//! Ablation of YellowFin's design choices (DESIGN.md §6).
+//!
+//! Not a paper figure: this sweeps the tuner's internal knobs — sliding
+//! window width, smoothing beta, slow start — around the paper's fixed
+//! constants (window 20, beta 0.999, slow start on) to show the defaults
+//! sit on a robustness plateau. Each variant trains the TS-like char LM
+//! and the CIFAR10-like ResNet; we report the lowest smoothed loss.
+
+use yellowfin::{YellowFin, YellowFinConfig};
+use yf_bench::{averaged_run, scaled, window_for};
+use yf_experiments::report;
+use yf_experiments::smoothing::smooth;
+use yf_experiments::task::TrainTask;
+use yf_experiments::trainer::RunConfig;
+use yf_experiments::workloads::{cifar10_like, ts_like};
+use yf_optim::Optimizer;
+
+fn variant(name: &'static str, cfg: YellowFinConfig) -> (&'static str, YellowFinConfig) {
+    (name, cfg)
+}
+
+fn main() {
+    println!("== Ablation: YellowFin's fixed constants ==\n");
+    let iters = scaled(900);
+    let window = window_for(iters);
+    let seeds = [1u64, 2];
+    let run_cfg = RunConfig::plain(iters);
+
+    let variants = vec![
+        variant("paper defaults (w=20, beta=0.999, slow start)", YellowFinConfig::default()),
+        variant(
+            "window 5",
+            YellowFinConfig {
+                window: 5,
+                ..Default::default()
+            },
+        ),
+        variant(
+            "window 100",
+            YellowFinConfig {
+                window: 100,
+                ..Default::default()
+            },
+        ),
+        variant(
+            "beta 0.9",
+            YellowFinConfig {
+                beta: 0.9,
+                ..Default::default()
+            },
+        ),
+        variant(
+            "beta 0.9999",
+            YellowFinConfig {
+                beta: 0.9999,
+                ..Default::default()
+            },
+        ),
+        variant(
+            "no slow start",
+            YellowFinConfig {
+                slow_start: false,
+                ..Default::default()
+            },
+        ),
+    ];
+
+    type TaskFn = fn(u64) -> Box<dyn TrainTask>;
+    let mut rows = Vec::new();
+    for (wname, make_task) in [
+        ("TS-like LSTM", ts_like as TaskFn),
+        ("CIFAR10-like ResNet", cifar10_like as TaskFn),
+    ] {
+        println!("--- {wname} ---");
+        for (vname, cfg) in &variants {
+            let cfg = cfg.clone();
+            let (losses, _) = averaged_run(&seeds, &run_cfg, make_task, move || {
+                Box::new(YellowFin::new(cfg.clone())) as Box<dyn Optimizer>
+            });
+            let lowest = smooth(&losses, window)
+                .iter()
+                .copied()
+                .fold(f64::INFINITY, f64::min);
+            println!("  {vname:45} lowest smoothed loss = {}", report::fmt(lowest));
+            rows.push(vec![
+                wname.to_string(),
+                vname.to_string(),
+                report::fmt(lowest),
+            ]);
+        }
+        println!();
+    }
+    report::write_csv(
+        "ablation_tuner.csv",
+        &["workload", "variant", "lowest_smoothed_loss"],
+        &rows,
+    );
+    println!("(wrote target/experiments/ablation_tuner.csv)");
+}

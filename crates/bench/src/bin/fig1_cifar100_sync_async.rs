@@ -1,0 +1,95 @@
+//! Figure 1: YellowFin vs Adam on the CIFAR100-like ResNet, synchronous
+//! (left) and asynchronous with 16 round-robin workers (right), where
+//! closed-loop YellowFin additionally compensates asynchrony-induced
+//! momentum.
+
+use yellowfin::{ClosedLoopYellowFin, YellowFinConfig};
+use yf_bench::{averaged_run, emit_curve, scaled, window_for, yellowfin};
+use yf_experiments::speedup::speedup_over;
+use yf_experiments::trainer::{train_async, RunConfig};
+use yf_experiments::workloads::cifar100_like;
+use yf_optim::{Adam, Optimizer};
+
+const WORKERS: usize = 16;
+
+fn main() {
+    println!("== Figure 1: CIFAR100-like ResNet, sync (left) and async (right) ==\n");
+    let seeds = [1u64, 2];
+
+    // --- Synchronous panel ---
+    let iters = scaled(1500);
+    let window = window_for(iters);
+    let cfg = RunConfig::plain(iters);
+    let (_, adam_curve, _) = yf_bench::mini_grid(
+        &[1e-4, 1e-3, 1e-2],
+        &seeds,
+        &cfg,
+        window,
+        cifar100_like,
+        |lr| Box::new(Adam::new(lr)) as Box<dyn Optimizer>,
+    );
+    let (yf_losses, _) = averaged_run(&seeds, &cfg, cifar100_like, || {
+        Box::new(yellowfin()) as Box<dyn Optimizer>
+    });
+    let yf_curve = emit_curve("sync: YellowFin", &yf_losses, window);
+    yf_experiments::report::print_series(
+        "sync: Adam (best lr)",
+        &yf_experiments::report::downsample(&adam_curve, 20),
+    );
+    let s = speedup_over(&adam_curve, &yf_curve).unwrap_or(f64::NAN);
+    println!("sync speedup of YellowFin over tuned Adam: {s:.2}x (paper: 1.38x)\n");
+
+    // --- Asynchronous panel ---
+    let iters_a = scaled(2000);
+    let window_a = window_for(iters_a);
+    let cfg_a = RunConfig::plain(iters_a);
+    let async_run = |make_opt: &dyn Fn() -> Box<dyn Optimizer>| -> Vec<f64> {
+        let mut curves = Vec::new();
+        for &seed in &seeds {
+            let mut task = cifar100_like(seed);
+            let mut opt = make_opt();
+            let r = train_async(task.as_mut(), opt.as_mut(), WORKERS, &cfg_a);
+            curves.push(r.losses);
+        }
+        let avg = yf_experiments::grid::average_curves(&curves);
+        yf_experiments::smoothing::smooth(&avg, window_a)
+    };
+
+    let adam_async = async_run(&|| Box::new(Adam::new(1e-3)));
+    let yf_async_curve = async_run(&|| Box::new(yellowfin()));
+    let cl_async = async_run(&|| {
+        Box::new(ClosedLoopYellowFin::new(
+            YellowFinConfig::default(),
+            WORKERS - 1,
+            0.01,
+        ))
+    });
+
+    for (label, curve) in [
+        ("async: Adam", &adam_async),
+        ("async: YellowFin", &yf_async_curve),
+        ("async: closed-loop YellowFin", &cl_async),
+    ] {
+        yf_experiments::report::print_series(
+            label,
+            &yf_experiments::report::downsample(curve, 20),
+        );
+    }
+    let s_cl_yf = speedup_over(&yf_async_curve, &cl_async).unwrap_or(f64::NAN);
+    let s_cl_adam = speedup_over(&adam_async, &cl_async).unwrap_or(f64::NAN);
+    println!("\nasync speedups: closed-loop over open-loop YF {s_cl_yf:.2}x (paper: 20.1x),");
+    println!("                closed-loop over Adam {s_cl_adam:.2}x (paper: 2.69x)");
+
+    yf_bench::write_curves_csv(
+        "fig1_sync.csv",
+        &[("adam", adam_curve.as_slice()), ("yellowfin", yf_curve.as_slice())],
+    );
+    yf_bench::write_curves_csv(
+        "fig1_async.csv",
+        &[
+            ("adam", adam_async.as_slice()),
+            ("yellowfin", yf_async_curve.as_slice()),
+            ("closed_loop", cl_async.as_slice()),
+        ],
+    );
+}

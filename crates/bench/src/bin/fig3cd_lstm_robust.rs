@@ -1,0 +1,105 @@
+//! Figure 3(c, d): per-variable convergence of an LSTM under momentum
+//! 0.9 vs 0.99.
+//!
+//! The paper's observation: raising the global momentum puts the (global
+//! lr, mu) pair inside the robust region of *more* model variables, so a
+//! larger fraction of per-variable distances |x_i,t - x_i,final| decay at
+//! (or slower than, but tracking) the robust rate sqrt(mu). The paper
+//! uses an MNIST LSTM; we use the char-LM LSTM (DESIGN.md §3.5).
+
+use yf_bench::{scaled, window_for};
+use yf_experiments::report;
+use yf_experiments::workloads::ts_like;
+use yf_optim::{MomentumSgd, Optimizer};
+
+struct VarTrack {
+    /// Snapshots of sampled coordinates, one row per recorded step.
+    rows: Vec<Vec<f32>>,
+    indices: Vec<usize>,
+}
+
+fn run(mu: f32, lr: f32, iters: usize, record_every: usize) -> (Vec<f32>, VarTrack) {
+    let mut task = ts_like(11);
+    let mut params = task.init_params();
+    let dim = params.len();
+    // ~200 evenly spaced coordinates.
+    let stride = (dim / 200).max(1);
+    let indices: Vec<usize> = (0..dim).step_by(stride).collect();
+    let mut opt = MomentumSgd::new(lr, mu);
+    let mut losses = Vec::with_capacity(iters);
+    let mut rows = Vec::new();
+    for step in 0..iters {
+        let (loss, grad) = task.loss_grad_at(&params, step as u64);
+        opt.step(&mut params, &grad);
+        losses.push(loss);
+        if step % record_every == 0 {
+            rows.push(indices.iter().map(|&i| params[i]).collect());
+        }
+    }
+    rows.push(indices.iter().map(|&i| params[i]).collect());
+    (losses, VarTrack { rows, indices })
+}
+
+/// Per-variable decay-rate estimate of |x_i,t - x_i,final| between two
+/// recorded checkpoints, in per-iteration units.
+fn per_variable_rates(track: &VarTrack, record_every: usize) -> Vec<f64> {
+    let last = track.rows.last().expect("rows recorded");
+    let n_rows = track.rows.len();
+    // Compare an early and a late checkpoint (25% / 75% of the run).
+    let (a, b) = (n_rows / 4, 3 * n_rows / 4);
+    let steps = ((b - a) * record_every) as f64;
+    let mut rates = Vec::new();
+    for (k, _) in track.indices.iter().enumerate() {
+        let da = f64::from((track.rows[a][k] - last[k]).abs()).max(1e-12);
+        let db = f64::from((track.rows[b][k] - last[k]).abs()).max(1e-12);
+        if da > 1e-9 {
+            rates.push((db / da).powf(1.0 / steps));
+        }
+    }
+    rates
+}
+
+fn main() {
+    println!("== Figure 3(c,d): per-variable sqrt(mu) convergence on an LSTM ==\n");
+    let iters = scaled(1500);
+    let record_every = (iters / 60).max(1);
+    for &(mu, lr) in &[(0.9f32, 0.05f32), (0.99, 0.005)] {
+        let (losses, track) = run(mu, lr, iters, record_every);
+        let rates = per_variable_rates(&track, record_every);
+        let robust = f64::from(mu).sqrt();
+        // A variable "follows" the robust rate if its decay constant is
+        // within half of the robust gap-to-1 of sqrt(mu).
+        let following = rates
+            .iter()
+            .filter(|&&r| (r - robust).abs() < (1.0 - robust) * 0.5)
+            .count();
+        let mut sorted = rates.clone();
+        sorted.sort_by(f64::total_cmp);
+        let median = sorted.get(sorted.len() / 2).copied().unwrap_or(f64::NAN);
+        println!(
+            "mu = {mu}: sqrt(mu) = {robust:.4}, median per-variable rate = {median:.4} \
+             (gap {:.4}), {following}/{} variables follow the robust rate",
+            (median - robust).abs(),
+            rates.len()
+        );
+        let window = window_for(iters);
+        let smoothed = yf_experiments::smoothing::smooth(&losses, window);
+        report::print_series(
+            &format!("training loss (mu = {mu})"),
+            &report::downsample(&smoothed, 10),
+        );
+        let rows: Vec<Vec<String>> = rates
+            .iter()
+            .map(|r| vec![report::fmt(*r)])
+            .collect();
+        report::write_csv(
+            &format!("fig3cd_rates_mu{}.csv", if mu > 0.95 { "099" } else { "09" }),
+            &["per_variable_rate"],
+            &rows,
+        );
+    }
+    println!(
+        "\npaper's claim: with mu = 0.99 the median per-variable rate sits closer to \
+         sqrt(mu) than with mu = 0.9 — more variables inside the robust region."
+    );
+}

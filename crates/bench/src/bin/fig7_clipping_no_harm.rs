@@ -1,0 +1,67 @@
+//! Figure 7 (Appendix F): adaptive clipping does not hurt on objectives
+//! without instabilities — YellowFin with and without adaptive clipping
+//! converges to the same loss on the PTB-like LSTM and the CIFAR10-like
+//! ResNet.
+
+use yf_bench::{averaged_run, scaled, window_for, yellowfin, yellowfin_clipped};
+use yf_experiments::report;
+use yf_experiments::smoothing::smooth;
+use yf_experiments::task::TrainTask;
+use yf_experiments::trainer::RunConfig;
+use yf_experiments::workloads::{cifar10_like, ptb_like};
+use yf_optim::Optimizer;
+
+fn main() {
+    println!("== Figure 7: YellowFin with vs without adaptive clipping ==\n");
+    let iters = scaled(1200);
+    let window = window_for(iters);
+    let seeds = [1u64, 2];
+    let cfg = RunConfig::plain(iters);
+
+    type TaskFn = fn(u64) -> Box<dyn TrainTask>;
+    for (name, make_task) in [
+        ("PTB-like LSTM", ptb_like as TaskFn),
+        ("CIFAR10-like ResNet", cifar10_like as TaskFn),
+    ] {
+        let (with_losses, _) = averaged_run(&seeds, &cfg, make_task, || {
+            Box::new(yellowfin_clipped()) as Box<dyn Optimizer>
+        });
+        let (without_losses, _) = averaged_run(&seeds, &cfg, make_task, || {
+            Box::new(yellowfin()) as Box<dyn Optimizer>
+        });
+        let with_curve = smooth(&with_losses, window);
+        let without_curve = smooth(&without_losses, window);
+        report::print_series(
+            &format!("{name}: YF with clipping"),
+            &report::downsample(&with_curve, 12),
+        );
+        report::print_series(
+            &format!("{name}: YF without clipping"),
+            &report::downsample(&without_curve, 12),
+        );
+        // Paper's claim: "the difference ... diminishes quickly".
+        let tail = iters * 3 / 4;
+        let gap_late = (with_curve[tail..]
+            .iter()
+            .zip(&without_curve[tail..])
+            .map(|(a, b)| (a - b).abs())
+            .sum::<f64>())
+            / (iters - tail) as f64;
+        let initial = without_curve.first().copied().unwrap_or(1.0);
+        println!(
+            "{name}: mean |gap| over the last quarter = {} ({}% of the initial loss)\n",
+            report::fmt(gap_late),
+            report::fmt(100.0 * gap_late / initial.max(1e-12))
+        );
+        yf_bench::write_curves_csv(
+            &format!(
+                "fig7_{}.csv",
+                name.split('-').next().unwrap_or("x").to_lowercase()
+            ),
+            &[
+                ("yf_with_clip", with_curve.as_slice()),
+                ("yf_without_clip", without_curve.as_slice()),
+            ],
+        );
+    }
+}

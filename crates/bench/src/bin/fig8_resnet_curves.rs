@@ -1,0 +1,73 @@
+//! Figure 8 (Appendix J.1): training-loss curves on the CIFAR10-like
+//! (basic blocks) and CIFAR100-like (bottleneck blocks) ResNets for
+//! tuned momentum SGD, tuned Adam and YellowFin.
+
+use yf_bench::{averaged_run, scaled, window_for, yellowfin};
+use yf_experiments::report;
+use yf_experiments::smoothing::smooth;
+use yf_experiments::speedup::speedup_over;
+use yf_experiments::task::TrainTask;
+use yf_experiments::trainer::RunConfig;
+use yf_experiments::workloads::{cifar10_like, cifar100_like};
+use yf_optim::{Adam, MomentumSgd, Optimizer};
+
+fn main() {
+    println!("== Figure 8: ResNet training-loss curves ==\n");
+    let iters = scaled(1500);
+    let window = window_for(iters);
+    let seeds = [1u64, 2];
+    let cfg = RunConfig::plain(iters);
+
+    type TaskFn = fn(u64) -> Box<dyn TrainTask>;
+    for (name, make_task) in [
+        ("CIFAR10-like", cifar10_like as TaskFn),
+        ("CIFAR100-like", cifar100_like as TaskFn),
+    ] {
+        let (lr_sgd, sgd_curve, _) = yf_bench::mini_grid(
+            &[1e-3, 1e-2, 1e-1, 1.0],
+            &seeds,
+            &cfg,
+            window,
+            make_task,
+            |lr| Box::new(MomentumSgd::new(lr, 0.9)) as Box<dyn Optimizer>,
+        );
+        let (lr_adam, adam_curve, _) = yf_bench::mini_grid(
+            &[1e-4, 1e-3, 1e-2, 1e-1],
+            &seeds,
+            &cfg,
+            window,
+            make_task,
+            |lr| Box::new(Adam::new(lr)) as Box<dyn Optimizer>,
+        );
+        let (yf_losses, _) = averaged_run(&seeds, &cfg, make_task, || {
+            Box::new(yellowfin()) as Box<dyn Optimizer>
+        });
+        let yf_curve = smooth(&yf_losses, window);
+
+        println!("--- {name} (mom-SGD lr {lr_sgd:.0e}, Adam lr {lr_adam:.0e}) ---");
+        for (label, curve) in [
+            ("momentum SGD", &sgd_curve),
+            ("Adam", &adam_curve),
+            ("YellowFin", &yf_curve),
+        ] {
+            report::print_series(
+                &format!("{name}: {label}"),
+                &report::downsample(curve, 12),
+            );
+        }
+        let s_sgd = speedup_over(&adam_curve, &sgd_curve).unwrap_or(f64::NAN);
+        let s_yf = speedup_over(&adam_curve, &yf_curve).unwrap_or(f64::NAN);
+        println!(
+            "{name}: mom-SGD speedup over Adam {s_sgd:.2}x, YF speedup {s_yf:.2}x \
+             (paper: 1.71x/1.93x on CIFAR10, 1.87x/1.38x on CIFAR100)\n"
+        );
+        yf_bench::write_curves_csv(
+            &format!("fig8_{}.csv", name.to_lowercase().replace('-', "_")),
+            &[
+                ("momentum_sgd", sgd_curve.as_slice()),
+                ("adam", adam_curve.as_slice()),
+                ("yellowfin", yf_curve.as_slice()),
+            ],
+        );
+    }
+}

@@ -1,0 +1,72 @@
+//! Figure 9 (Appendix J.2): the importance of momentum adaptivity.
+//!
+//! YellowFin with its own adaptive momentum vs YellowFin forced to feed
+//! fixed momentum (0.0 or 0.9) into the underlying momentum SGD while the
+//! learning rate continues to auto-tune — on the TS-like char LSTM and
+//! the CIFAR100-like ResNet.
+
+use yellowfin::{YellowFin, YellowFinConfig};
+use yf_bench::{averaged_run, scaled, window_for};
+use yf_experiments::report;
+use yf_experiments::smoothing::smooth;
+use yf_experiments::speedup::speedup_over;
+use yf_experiments::task::TrainTask;
+use yf_experiments::trainer::RunConfig;
+use yf_experiments::workloads::{cifar100_like, ts_like};
+use yf_optim::Optimizer;
+
+fn yf_with_override(mu: Option<f64>) -> Box<dyn Optimizer> {
+    Box::new(YellowFin::new(YellowFinConfig {
+        momentum_override: mu,
+        ..Default::default()
+    }))
+}
+
+fn main() {
+    println!("== Figure 9: adaptive momentum vs frozen momentum ==\n");
+    let iters = scaled(1500);
+    let window = window_for(iters);
+    let seeds = [1u64, 2];
+    let cfg = RunConfig::plain(iters);
+
+    type TaskFn = fn(u64) -> Box<dyn TrainTask>;
+    for (name, make_task) in [
+        ("TS-like LSTM", ts_like as TaskFn),
+        ("CIFAR100-like ResNet", cifar100_like as TaskFn),
+    ] {
+        let mut curves = Vec::new();
+        for (label, mu) in [
+            ("YellowFin (adaptive mu)", None),
+            ("YF mom. = 0.0", Some(0.0)),
+            ("YF mom. = 0.9", Some(0.9)),
+        ] {
+            let (losses, _) =
+                averaged_run(&seeds, &cfg, make_task, || yf_with_override(mu));
+            curves.push((label, smooth(&losses, window)));
+        }
+        println!("--- {name} ---");
+        for (label, curve) in &curves {
+            report::print_series(
+                &format!("{name}: {label}"),
+                &report::downsample(curve, 12),
+            );
+        }
+        let s0 = speedup_over(&curves[1].1, &curves[0].1).unwrap_or(f64::NAN);
+        let s9 = speedup_over(&curves[2].1, &curves[0].1).unwrap_or(f64::NAN);
+        println!(
+            "{name}: adaptive-momentum speedup over frozen 0.0 = {s0:.2}x, \
+             over frozen 0.9 = {s9:.2}x (paper: adaptive wins on both models)\n"
+        );
+        yf_bench::write_curves_csv(
+            &format!(
+                "fig9_{}.csv",
+                name.split('-').next().unwrap_or("x").to_lowercase()
+            ),
+            &[
+                ("adaptive", curves[0].1.as_slice()),
+                ("frozen_0.0", curves[1].1.as_slice()),
+                ("frozen_0.9", curves[2].1.as_slice()),
+            ],
+        );
+    }
+}

@@ -1,0 +1,35 @@
+//! Table 3: model specifications for every workload in the reproduction,
+//! paired with the paper's original architecture.
+
+use yf_experiments::report;
+use yf_experiments::workloads::spec_table;
+
+fn main() {
+    println!("== Table 3: model specifications (reproduction scale) ==\n");
+    let specs = spec_table();
+    let rows: Vec<Vec<String>> = specs
+        .iter()
+        .map(|s| {
+            vec![
+                s.name.to_string(),
+                s.paper_counterpart.to_string(),
+                s.architecture.clone(),
+                s.parameters.to_string(),
+                s.metric.to_string(),
+            ]
+        })
+        .collect();
+    print!(
+        "{}",
+        report::markdown_table(
+            &["workload", "paper counterpart", "architecture here", "params", "metric"],
+            &rows
+        )
+    );
+    report::write_csv(
+        "table3_model_specs.csv",
+        &["workload", "paper_counterpart", "architecture", "parameters", "metric"],
+        &rows,
+    );
+    println!("\n(wrote target/experiments/table3_model_specs.csv)");
+}

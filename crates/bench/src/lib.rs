@@ -1,0 +1,150 @@
+//! Shared plumbing for the figure/table regenerators.
+//!
+//! Every binary in `src/bin/` regenerates one table or figure of the
+//! paper (see DESIGN.md §4 for the index): it prints the paper's
+//! rows/series to stdout and writes CSV artifacts under
+//! `target/experiments/`. Iteration counts scale with the `YF_SCALE`
+//! environment variable (default 1.0) so the same binaries serve both a
+//! quick smoke run and a longer, closer-to-paper run.
+
+use yellowfin::{ClipMode, YellowFin, YellowFinConfig};
+use yf_experiments::report;
+use yf_experiments::smoothing::smooth;
+use yf_experiments::task::TrainTask;
+use yf_experiments::trainer::{train, RunConfig, RunResult};
+use yf_optim::Optimizer;
+
+/// The global iteration-scale factor (`YF_SCALE`, default 1.0).
+pub fn scale() -> f64 {
+    std::env::var("YF_SCALE")
+        .ok()
+        .and_then(|v| v.parse::<f64>().ok())
+        .filter(|v| *v > 0.0)
+        .unwrap_or(1.0)
+}
+
+/// Scales an iteration count by [`scale`], keeping at least 10.
+pub fn scaled(iters: usize) -> usize {
+    ((iters as f64 * scale()) as usize).max(10)
+}
+
+/// The smoothing window the paper's protocol uses, adapted to run
+/// length: the paper smooths 30k-120k-iteration runs with window 1000,
+/// i.e. roughly `len / 30`.
+pub fn window_for(iters: usize) -> usize {
+    (iters / 30).max(5)
+}
+
+/// A fresh YellowFin with the paper's fixed constants.
+pub fn yellowfin() -> YellowFin {
+    YellowFin::new(YellowFinConfig::default())
+}
+
+/// A fresh YellowFin with adaptive clipping enabled.
+pub fn yellowfin_clipped() -> YellowFin {
+    YellowFin::new(YellowFinConfig {
+        clip: ClipMode::Adaptive,
+        ..Default::default()
+    })
+}
+
+/// Trains `make_task(seed)` once per seed with `make_opt()` and returns
+/// the seed-averaged raw loss curve plus averaged metric series.
+pub fn averaged_run(
+    seeds: &[u64],
+    cfg: &RunConfig,
+    mut make_task: impl FnMut(u64) -> Box<dyn TrainTask>,
+    mut make_opt: impl FnMut() -> Box<dyn Optimizer>,
+) -> (Vec<f32>, Vec<(u64, f64)>) {
+    let mut curves = Vec::with_capacity(seeds.len());
+    let mut runs: Vec<RunResult> = Vec::with_capacity(seeds.len());
+    for &seed in seeds {
+        let mut task = make_task(seed);
+        let mut opt = make_opt();
+        let result = train(task.as_mut(), opt.as_mut(), cfg);
+        curves.push(result.losses.clone());
+        runs.push(result);
+    }
+    let avg = yf_experiments::grid::average_curves(&curves);
+    let metrics = yf_experiments::grid::average_metrics(&runs);
+    (avg, metrics)
+}
+
+/// Prints a named, smoothed loss curve (downsampled) and returns the
+/// smoothed series for further protocol computations.
+pub fn emit_curve(label: &str, losses: &[f32], window: usize) -> Vec<f64> {
+    let smoothed = smooth(losses, window);
+    report::print_series(label, &report::downsample(&smoothed, 20));
+    smoothed
+}
+
+/// CSV rows for a set of named curves sharing an iteration axis.
+pub fn curves_to_rows(curves: &[(&str, &[f64])]) -> (Vec<String>, Vec<Vec<String>>) {
+    let mut header = vec!["iteration".to_string()];
+    header.extend(curves.iter().map(|(n, _)| n.to_string()));
+    let len = curves.iter().map(|(_, c)| c.len()).min().unwrap_or(0);
+    let mut rows = Vec::with_capacity(len);
+    for i in 0..len {
+        let mut row = vec![i.to_string()];
+        for (_, c) in curves {
+            row.push(report::fmt(c[i]));
+        }
+        rows.push(row);
+    }
+    (header, rows)
+}
+
+/// Writes named curves as CSV under the experiments dir.
+pub fn write_curves_csv(file: &str, curves: &[(&str, &[f64])]) {
+    let (header, rows) = curves_to_rows(curves);
+    let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
+    let path = report::write_csv(file, &header_refs, &rows);
+    println!("(wrote {})", path.display());
+}
+
+/// A tiny learning-rate grid search (reduced from the Appendix I grids):
+/// returns `(best_lr, averaged smoothed curve of the winner)`.
+pub fn mini_grid(
+    lrs: &[f32],
+    seeds: &[u64],
+    cfg: &RunConfig,
+    window: usize,
+    make_task: impl FnMut(u64) -> Box<dyn TrainTask> + Copy,
+    mut make_opt: impl FnMut(f32) -> Box<dyn Optimizer>,
+) -> (f32, Vec<f64>, Vec<(u64, f64)>) {
+    let outcome = yf_experiments::grid::grid_search(lrs, seeds, window, cfg, make_task, |lr| {
+        make_opt(lr)
+    });
+    (
+        outcome.best_value,
+        outcome.best_curve,
+        outcome.best_metrics,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scaled_has_floor() {
+        // Without the env var the scale is 1.0.
+        assert_eq!(scaled(100), 100);
+        assert_eq!(scaled(1), 10);
+    }
+
+    #[test]
+    fn window_tracks_run_length() {
+        assert_eq!(window_for(30_000), 1000);
+        assert_eq!(window_for(60), 5);
+    }
+
+    #[test]
+    fn curves_to_rows_aligns_lengths() {
+        let a = [1.0, 2.0, 3.0];
+        let b = [4.0, 5.0];
+        let (header, rows) = curves_to_rows(&[("a", &a), ("b", &b)]);
+        assert_eq!(header.len(), 3);
+        assert_eq!(rows.len(), 2, "truncated to the shortest curve");
+    }
+}

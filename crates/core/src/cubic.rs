@@ -1,0 +1,215 @@
+//! Closed-form solution of the `SingleStep` problem (Eq. 15, Appendix D).
+//!
+//! `SingleStep` minimizes the one-step noisy-quadratic surrogate
+//!
+//! ```text
+//! min_{mu, alpha}  mu D^2 + alpha^2 C
+//! s.t.  mu >= mu_cap = ((sqrt(h_max/h_min) - 1) / (sqrt(h_max/h_min) + 1))^2
+//!       alpha = (1 - sqrt(mu))^2 / h_min
+//! ```
+//!
+//! Substituting the `alpha` constraint and `x = sqrt(mu)` gives the scalar
+//! problem `p(x) = x^2 D^2 + (1-x)^4 C / h_min^2` on `[0, 1)`. Its
+//! stationarity condition is the depressed cubic `y^3 + p y + p = 0` with
+//! `y = x - 1` and `p = D^2 h_min^2 / (2C)`, which has exactly one real
+//! root in `[-1, 0]`; we extract it with Vieta's substitution exactly as
+//! the paper's Appendix D prescribes.
+
+/// Result of solving `SingleStep`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SingleStepSolution {
+    /// Tuned momentum `mu_t`.
+    pub mu: f64,
+    /// Tuned learning rate `alpha_t = (1 - sqrt(mu))^2 / h_min`.
+    pub lr: f64,
+}
+
+const EPS: f64 = 1e-12;
+
+/// Root `x = sqrt(mu) ∈ [0, 1)` of the unconstrained scalar problem,
+/// i.e. of the stationarity condition `p x = (1 - x)^3`.
+///
+/// `p = D^2 h_min^2 / (2 C)`. The initial estimate is Appendix D's Vieta
+/// substitution on `y^3 + p y + p = 0` (or the closed-form limit for
+/// extreme `p`, where Vieta's `y = w - p/(3w)` suffers catastrophic
+/// cancellation between two `O(sqrt(p))` terms); a safeguarded Newton
+/// polish then drives the residual to machine precision. The function
+/// `g(x) = (1-x)^3 - p x` is strictly decreasing on `[0, 1]` with
+/// `g(0) = 1 > 0 > g(1) = -p`, so the root is unique and the bracketed
+/// iteration always converges.
+pub fn cubic_root(p: f64) -> f64 {
+    if !p.is_finite() {
+        return 0.0; // noiseless limit
+    }
+    if p < 1e-12 {
+        // Noise-dominated limit: (1-x)^3 = p x gives x ~ 1 - p^(1/3).
+        return (1.0 - p.max(0.0).cbrt()).clamp(0.0, 1.0 - EPS);
+    }
+    let mut x = if p > 1e4 {
+        // Signal-dominated asymptote: x ~ 1/p.
+        (1.0 / p).min(0.5)
+    } else {
+        // Vieta's substitution (Appendix D).
+        let w3 = (-(p * p + 4.0 * p.powi(3) / 27.0).sqrt() - p) / 2.0;
+        let w = w3.signum() * w3.abs().cbrt();
+        let y = w - p / (3.0 * w + EPS.copysign(w));
+        (y + 1.0).clamp(EPS, 1.0 - EPS)
+    };
+    // Safeguarded Newton on g(x) = (1-x)^3 - p x within [lo, hi].
+    let (mut lo, mut hi) = (0.0f64, 1.0f64);
+    for _ in 0..100 {
+        let one_m = 1.0 - x;
+        let g = one_m.powi(3) - p * x;
+        if g > 0.0 {
+            lo = x;
+        } else {
+            hi = x;
+        }
+        let gp = -3.0 * one_m * one_m - p;
+        let mut next = x - g / gp;
+        if !(lo..=hi).contains(&next) {
+            next = 0.5 * (lo + hi);
+        }
+        if (next - x).abs() <= 1e-16 * x.max(1e-300) {
+            x = next;
+            break;
+        }
+        x = next;
+    }
+    x.clamp(0.0, 1.0 - EPS)
+}
+
+/// Solves `SingleStep` given the four measurements.
+///
+/// Inputs are clamped to tiny positive values first (the measurement
+/// oracles can legitimately report zeros on degenerate streams), and
+/// `h_max` is raised to at least `h_min`.
+pub fn single_step(grad_var: f64, dist: f64, h_min: f64, h_max: f64) -> SingleStepSolution {
+    let c = grad_var.max(EPS);
+    let d = dist.max(EPS);
+    let h_min = h_min.max(EPS);
+    let h_max = h_max.max(h_min);
+    let p = d * d * h_min * h_min / (2.0 * c);
+    let x = cubic_root(p);
+    // Robust-region floor from the generalized condition number. The cap
+    // approaches (but must never reach) 1 as conditioning degrades; the
+    // final clamp also guards `dr = inf` (whose cap evaluates to NaN,
+    // which `max` ignores).
+    let dr = (h_max / h_min).sqrt();
+    let mu_cap = ((dr - 1.0) / (dr + 1.0)).powi(2);
+    let mu = (x * x).max(mu_cap).min(1.0 - EPS);
+    let lr = (1.0 - mu.sqrt()).powi(2) / h_min;
+    SingleStepSolution { mu, lr }
+}
+
+/// The scalar surrogate objective `x^2 D^2 + (1-x)^4 C / h_min^2`
+/// (exposed for tests and the ablation bench).
+pub fn surrogate_objective(x: f64, grad_var: f64, dist: f64, h_min: f64) -> f64 {
+    x * x * dist * dist + (1.0 - x).powi(4) * grad_var / (h_min * h_min)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn root_is_in_unit_interval() {
+        for &p in &[1e-15, 1e-6, 0.01, 1.0, 42.0, 1e6, 1e13, f64::INFINITY] {
+            let x = cubic_root(p);
+            assert!((0.0..1.0).contains(&x), "p={p} gave x={x}");
+        }
+    }
+
+    #[test]
+    fn root_satisfies_stationarity() {
+        // p x = (1-x)^3 at the root.
+        for &p in &[1e-3, 0.1, 1.0, 10.0, 1e3] {
+            let x = cubic_root(p);
+            let lhs = p * x;
+            let rhs = (1.0 - x).powi(3);
+            assert!(
+                (lhs - rhs).abs() < 1e-6 * (1.0 + lhs.abs()),
+                "p={p}: {lhs} vs {rhs}"
+            );
+        }
+    }
+
+    #[test]
+    fn root_is_monotone_decreasing_in_p() {
+        // More signal (larger D^2 h^2 / C) means less momentum.
+        let ps = [1e-6, 1e-3, 1e-1, 1.0, 10.0, 1e3, 1e6];
+        let roots: Vec<f64> = ps.iter().map(|&p| cubic_root(p)).collect();
+        for w in roots.windows(2) {
+            assert!(w[0] >= w[1], "roots must decrease: {roots:?}");
+        }
+    }
+
+    #[test]
+    fn beats_grid_search() {
+        // The closed-form root must (weakly) beat a dense grid scan of the
+        // surrogate.
+        for &(c, d, h) in &[(1.0, 1.0, 1.0), (10.0, 0.1, 2.0), (0.01, 5.0, 0.5)] {
+            let p = d * d * h * h / (2.0 * c);
+            let x = cubic_root(p);
+            let ours = surrogate_objective(x, c, d, h);
+            let best_grid = (0..1000)
+                .map(|i| surrogate_objective(i as f64 / 1000.0, c, d, h))
+                .fold(f64::MAX, f64::min);
+            assert!(
+                ours <= best_grid + 1e-9,
+                "closed form {ours} worse than grid {best_grid} for (C={c}, D={d}, h={h})"
+            );
+        }
+    }
+
+    #[test]
+    fn gcn_floor_activates_on_ill_conditioned_problems() {
+        // With no noise the unconstrained optimum is mu ~ 0, so the GCN
+        // cap must bind: mu = ((sqrt(nu)-1)/(sqrt(nu)+1))^2 with nu = 100.
+        let sol = single_step(1e-12, 1.0, 1.0, 100.0);
+        let expected = ((10.0f64 - 1.0) / (10.0 + 1.0)).powi(2);
+        assert!(
+            (sol.mu - expected).abs() < 1e-6,
+            "mu {} vs cap {expected}",
+            sol.mu
+        );
+    }
+
+    #[test]
+    fn lr_respects_robust_region() {
+        // alpha = (1 - sqrt(mu))^2 / h_min puts (alpha, mu) exactly on the
+        // lower edge of the robust region for h_min — and inside it for
+        // every h in [h_min, h_max] when mu >= mu_cap.
+        let sol = single_step(0.5, 2.0, 0.3, 30.0);
+        let lo = (1.0 - sol.mu.sqrt()).powi(2);
+        let hi = (1.0 + sol.mu.sqrt()).powi(2);
+        for &h in &[0.3, 1.0, 10.0, 30.0] {
+            let ah = sol.lr * h;
+            assert!(
+                ah >= lo - 1e-9 && ah <= hi + 1e-9,
+                "alpha*h = {ah} outside [{lo}, {hi}] for h={h}"
+            );
+        }
+    }
+
+    #[test]
+    fn noisier_gradients_mean_more_momentum_less_lr() {
+        let quiet = single_step(0.01, 1.0, 1.0, 1.0);
+        let noisy = single_step(100.0, 1.0, 1.0, 1.0);
+        assert!(noisy.mu > quiet.mu, "{} vs {}", noisy.mu, quiet.mu);
+        assert!(noisy.lr < quiet.lr, "{} vs {}", noisy.lr, quiet.lr);
+    }
+
+    #[test]
+    fn degenerate_inputs_stay_finite() {
+        for &(c, d, hmin, hmax) in &[
+            (0.0, 0.0, 0.0, 0.0),
+            (f64::MIN_POSITIVE, 1e300, 1e-300, 1e300),
+            (1e300, 1e-300, 1.0, 1.0),
+        ] {
+            let sol = single_step(c, d, hmin, hmax);
+            assert!(sol.mu.is_finite() && (0.0..1.0).contains(&sol.mu), "{sol:?}");
+            assert!(sol.lr.is_finite() && sol.lr >= 0.0, "{sol:?}");
+        }
+    }
+}

@@ -1,0 +1,264 @@
+//! The three measurement oracles of Algorithm 1 (paper Algorithms 2-4).
+//!
+//! All three consume nothing but the minibatch gradient, giving the tuner
+//! overhead linear in the model dimensionality. They assume a negative
+//! log-probability objective, under which the Fisher information (the
+//! expected outer product of noisy gradients) approximates the Hessian —
+//! which is why `h_t = ||g_t||^2`, the sole non-zero eigenvalue of
+//! `g_t g_t^T`, serves as a curvature sample along the gradient direction.
+
+use crate::ema::{Ema, VecEma};
+use std::collections::VecDeque;
+
+/// Algorithm 2: running estimates of the extremal curvatures
+/// `h_max`/`h_min` from a sliding window of `h_t = ||g_t||^2`.
+///
+/// Two refinements from Appendix E/F are implemented:
+/// - smoothing happens on `log h` (so rapidly decreasing curvature on
+///   LSTMs is tracked), and
+/// - with `limit_growth` (used by adaptive clipping, Eq. 35) the window
+///   maximum fed into the average is capped at `100 x` the current
+///   estimate, which keeps one catastrophic gradient spike from blowing
+///   up the clipping envelope.
+#[derive(Debug, Clone)]
+pub struct CurvatureRange {
+    pub(crate) window: VecDeque<f64>,
+    pub(crate) width: usize,
+    pub(crate) log_h_max: Ema,
+    pub(crate) log_h_min: Ema,
+    pub(crate) limit_growth: bool,
+}
+
+impl CurvatureRange {
+    /// Creates the estimator with sliding-window `width` (the paper uses
+    /// 20) and smoothing `beta` (the paper uses 0.999).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width == 0`.
+    pub fn new(width: usize, beta: f64, limit_growth: bool) -> Self {
+        assert!(width > 0, "curvature range: window width must be positive");
+        CurvatureRange {
+            window: VecDeque::with_capacity(width),
+            width,
+            log_h_max: Ema::new(beta),
+            log_h_min: Ema::new(beta),
+            limit_growth,
+        }
+    }
+
+    /// Feeds one squared gradient norm `h_t = ||g_t||^2`.
+    pub fn observe(&mut self, h_t: f64) {
+        let h_t = h_t.max(f64::MIN_POSITIVE); // log-space smoothing needs > 0
+        if self.window.len() == self.width {
+            self.window.pop_front();
+        }
+        self.window.push_back(h_t);
+        let mut h_max_t = self.window.iter().copied().fold(f64::MIN, f64::max);
+        let h_min_t = self.window.iter().copied().fold(f64::MAX, f64::min);
+        if self.limit_growth && self.log_h_max.is_initialized() {
+            // Eq. 35: envelope may grow at most 100x per step.
+            h_max_t = h_max_t.min(100.0 * self.h_max());
+        }
+        self.log_h_max.update(h_max_t.ln());
+        self.log_h_min.update(h_min_t.ln());
+    }
+
+    /// Debiased estimate of the largest curvature.
+    pub fn h_max(&self) -> f64 {
+        self.log_h_max.value().exp()
+    }
+
+    /// Debiased estimate of the smallest curvature.
+    pub fn h_min(&self) -> f64 {
+        self.log_h_min.value().exp()
+    }
+
+    /// Whether at least one observation was made.
+    pub fn is_initialized(&self) -> bool {
+        self.log_h_max.is_initialized()
+    }
+}
+
+/// Algorithm 3: gradient variance `C = 1^T (E[g g] - E[g] E[g])`.
+#[derive(Debug, Clone)]
+pub struct GradVariance {
+    pub(crate) first: VecEma,
+    pub(crate) second: VecEma,
+}
+
+impl GradVariance {
+    /// Creates the estimator with smoothing `beta`.
+    pub fn new(beta: f64) -> Self {
+        GradVariance {
+            first: VecEma::new(beta),
+            second: VecEma::new(beta),
+        }
+    }
+
+    /// Feeds one minibatch gradient.
+    pub fn observe(&mut self, grad: &[f32]) {
+        self.first.update(grad);
+        self.second.update_with(grad, |g| g * g);
+    }
+
+    /// The summed per-coordinate variance estimate, floored at zero
+    /// (finite-sample noise can drive individual coordinates slightly
+    /// negative).
+    pub fn variance(&self) -> f64 {
+        let mut total = 0.0;
+        for i in 0..self.first.len() {
+            let m1 = self.first.value_at(i);
+            let m2 = self.second.value_at(i);
+            total += (m2 - m1 * m1).max(0.0);
+        }
+        total
+    }
+
+    /// Whether at least one observation was made.
+    pub fn is_initialized(&self) -> bool {
+        self.first.is_initialized()
+    }
+}
+
+/// Algorithm 4: distance to the optimum of the local quadratic
+/// approximation, `D ≈ E||g|| / E h`, motivated by
+/// `||∇f(x)|| <= ||H|| ||x - x*||` on quadratics.
+#[derive(Debug, Clone)]
+pub struct DistanceToOpt {
+    pub(crate) grad_norm: Ema,
+    pub(crate) curvature: Ema,
+    pub(crate) dist: Ema,
+}
+
+impl DistanceToOpt {
+    /// Creates the estimator with smoothing `beta`.
+    pub fn new(beta: f64) -> Self {
+        DistanceToOpt {
+            grad_norm: Ema::new(beta),
+            curvature: Ema::new(beta),
+            dist: Ema::new(beta),
+        }
+    }
+
+    /// Feeds one gradient norm `||g_t||` (its square is the curvature
+    /// proxy `h_t`).
+    pub fn observe(&mut self, grad_norm: f64) {
+        self.grad_norm.update(grad_norm);
+        self.curvature.update(grad_norm * grad_norm);
+        let h = self.curvature.value();
+        if h > 0.0 {
+            self.dist.update(self.grad_norm.value() / h);
+        } else {
+            self.dist.update(0.0);
+        }
+    }
+
+    /// The debiased distance estimate `D`.
+    pub fn distance(&self) -> f64 {
+        self.dist.value()
+    }
+
+    /// Whether at least one observation was made.
+    pub fn is_initialized(&self) -> bool {
+        self.dist.is_initialized()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn curvature_range_brackets_constant_stream() {
+        let mut cr = CurvatureRange::new(20, 0.9, false);
+        for _ in 0..100 {
+            cr.observe(4.0);
+        }
+        assert!((cr.h_max() - 4.0).abs() < 1e-9);
+        assert!((cr.h_min() - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn curvature_range_separates_extremes() {
+        let mut cr = CurvatureRange::new(20, 0.9, false);
+        for i in 0..200 {
+            cr.observe(if i % 2 == 0 { 1.0 } else { 100.0 });
+        }
+        assert!(cr.h_max() > 50.0, "h_max {}", cr.h_max());
+        assert!(cr.h_min() < 2.0, "h_min {}", cr.h_min());
+        assert!(cr.h_max() >= cr.h_min());
+    }
+
+    #[test]
+    fn window_forgets_old_extremes() {
+        let mut cr = CurvatureRange::new(5, 0.5, false);
+        cr.observe(1000.0);
+        for _ in 0..50 {
+            cr.observe(1.0);
+        }
+        // The 1000 left the window long ago and the EMA has washed out.
+        assert!(cr.h_max() < 2.0, "h_max {}", cr.h_max());
+    }
+
+    #[test]
+    fn growth_limit_caps_spikes() {
+        let mut limited = CurvatureRange::new(1, 0.0, true);
+        let mut free = CurvatureRange::new(1, 0.0, false);
+        limited.observe(1.0);
+        free.observe(1.0);
+        limited.observe(1e9);
+        free.observe(1e9);
+        // beta=0, window=1: estimates track the last (possibly capped) value.
+        assert!((free.h_max() - 1e9).abs() / 1e9 < 1e-9);
+        assert!((limited.h_max() - 100.0).abs() < 1e-6, "{}", limited.h_max());
+    }
+
+    #[test]
+    fn variance_of_deterministic_stream_is_zero() {
+        let mut v = GradVariance::new(0.9);
+        for _ in 0..50 {
+            v.observe(&[1.0, -2.0, 3.0]);
+        }
+        assert!(v.variance() < 1e-9, "variance {}", v.variance());
+    }
+
+    #[test]
+    fn variance_matches_bernoulli_noise() {
+        // Gradient coordinate alternates a ± eps: variance per coordinate
+        // approaches eps^2 (equal weights in the long run).
+        let mut v = GradVariance::new(0.999);
+        for i in 0..20_000 {
+            let sign = if i % 2 == 0 { 1.0 } else { -1.0 };
+            v.observe(&[1.0 + 0.5 * sign]);
+        }
+        assert!((v.variance() - 0.25).abs() < 0.01, "variance {}", v.variance());
+    }
+
+    #[test]
+    fn distance_on_known_quadratic() {
+        // For f = h/2 x^2 at a fixed point x0, ||g|| = h|x0| and
+        // h_t = h^2 x0^2, so D = h|x0| / (h^2 x0^2) = 1/(h |x0|).
+        // With h = 2, x0 = 3: D = 1/6.
+        let mut d = DistanceToOpt::new(0.9);
+        for _ in 0..100 {
+            d.observe(6.0);
+        }
+        assert!((d.distance() - 1.0 / 6.0).abs() < 1e-9, "D {}", d.distance());
+    }
+
+    #[test]
+    fn zero_gradient_stream_is_safe() {
+        let mut cr = CurvatureRange::new(20, 0.999, true);
+        let mut v = GradVariance::new(0.999);
+        let mut d = DistanceToOpt::new(0.999);
+        for _ in 0..10 {
+            cr.observe(0.0);
+            v.observe(&[0.0, 0.0]);
+            d.observe(0.0);
+        }
+        assert!(cr.h_max().is_finite());
+        assert!(v.variance().is_finite());
+        assert!(d.distance().is_finite());
+    }
+}

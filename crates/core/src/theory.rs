@@ -1,0 +1,205 @@
+//! Analytical objects from Sections 2-3 of the paper.
+//!
+//! These are not used by the tuner itself — they exist so the repository
+//! can *verify* the theory the tuner is built on (Lemmas 3, 5 and 6) and
+//! regenerate Figures 2 and 3.
+
+/// The 2x2 momentum (bias) operator `A_t` of Eq. 5 for curvature `h`,
+/// learning rate `alpha` and momentum `mu`.
+pub fn momentum_operator(alpha: f64, mu: f64, h: f64) -> [[f64; 2]; 2] {
+    [[1.0 - alpha * h + mu, -mu], [1.0, 0.0]]
+}
+
+/// Spectral radius of the momentum operator.
+pub fn momentum_spectral_radius(alpha: f64, mu: f64, h: f64) -> f64 {
+    spectral_radius_2x2(momentum_operator(alpha, mu, h))
+}
+
+/// The 3x3 variance operator `B` of Eq. 12.
+pub fn variance_operator(alpha: f64, mu: f64, h: f64) -> [[f64; 3]; 3] {
+    let m = 1.0 - alpha * h + mu;
+    [
+        [m * m, mu * mu, -2.0 * mu * m],
+        [1.0, 0.0, 0.0],
+        [m, 0.0, -mu],
+    ]
+}
+
+/// Spectral radius of the variance operator.
+pub fn variance_spectral_radius(alpha: f64, mu: f64, h: f64) -> f64 {
+    spectral_radius_3x3(variance_operator(alpha, mu, h))
+}
+
+/// Whether `(alpha, mu)` lies in the robust region of Lemma 3 for
+/// curvature `h`: `(1 - sqrt(mu))^2 <= alpha h <= (1 + sqrt(mu))^2`.
+pub fn in_robust_region(alpha: f64, mu: f64, h: f64) -> bool {
+    let ah = alpha * h;
+    let rm = mu.max(0.0).sqrt();
+    (1.0 - rm).powi(2) <= ah && ah <= (1.0 + rm).powi(2)
+}
+
+/// The minimal momentum `mu*` for a generalized condition number `nu`
+/// (Eq. 2 / Eq. 9): `((sqrt(nu) - 1) / (sqrt(nu) + 1))^2`.
+///
+/// # Panics
+///
+/// Panics if `nu < 1`.
+pub fn mu_star(nu: f64) -> f64 {
+    assert!(nu >= 1.0, "mu_star: condition number {nu} < 1");
+    let s = nu.sqrt();
+    ((s - 1.0) / (s + 1.0)).powi(2)
+}
+
+/// The learning-rate interval of Eq. 9 for momentum `mu` and extremal
+/// curvatures: `[(1-sqrt(mu))^2 / h_min, (1+sqrt(mu))^2 / h_max]`.
+///
+/// For `mu >= mu_star(h_max / h_min)` the interval is non-empty.
+pub fn robust_lr_range(mu: f64, h_min: f64, h_max: f64) -> (f64, f64) {
+    let rm = mu.max(0.0).sqrt();
+    ((1.0 - rm).powi(2) / h_min, (1.0 + rm).powi(2) / h_max)
+}
+
+/// One-step mean-squared-distance surrogate in the robust region
+/// (Eq. 14): `mu^t (x0 - x*)^2 + (1 - mu^t) alpha^2 C / (1 - mu)`.
+pub fn surrogate_mse(t: u32, mu: f64, alpha: f64, grad_var: f64, dist0_sq: f64) -> f64 {
+    let mu_t = mu.powi(t as i32);
+    mu_t * dist0_sq + (1.0 - mu_t) * alpha * alpha * grad_var / (1.0 - mu)
+}
+
+/// Exact expected squared distance after `t` steps of momentum SGD on the
+/// noisy scalar quadratic of Eq. 10 (Lemma 5, Eq. 11), evaluated by
+/// iterating the recurrences rather than matrix powers.
+///
+/// `x0` is the common initial iterate (`x1 = x0`), `h` the curvature and
+/// `c` the gradient variance.
+pub fn exact_expected_sq_distance(t: u32, alpha: f64, mu: f64, h: f64, c: f64, x0: f64) -> f64 {
+    // Bias: [E x_{k+1}, E x_k] evolves by the A operator of Eq. 12.
+    let m = 1.0 - alpha * h + mu;
+    let mut bias = (x0, x0);
+    // Variance: [U_{k+1}, U_k, V_{k+1}] evolves by the B operator.
+    let mut var = (0.0f64, 0.0f64, 0.0f64);
+    for _ in 0..t {
+        bias = (m * bias.0 - mu * bias.1, bias.0);
+        var = (
+            m * m * var.0 + mu * mu * var.1 - 2.0 * mu * m * var.2 + alpha * alpha * c,
+            var.0,
+            m * var.0 - mu * var.2,
+        );
+    }
+    bias.0 * bias.0 + var.0
+}
+
+pub use yf_tensor_reexport::{spectral_radius_2x2, spectral_radius_3x3};
+
+// The spectral-radius routines live in `yf-tensor`; re-export them here so
+// theory consumers need only this crate. The core crate deliberately does
+// not depend on the tensor crate for its *tuning* path (it works on flat
+// slices), so the dependency is dev/theory-only in spirit — but Cargo
+// features are not worth the complexity here, so we take the dependency.
+mod yf_tensor_reexport {
+    pub use yf_tensor::linalg::{spectral_radius_2x2, spectral_radius_3x3};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lemma3_radius_is_sqrt_mu_inside_robust_region() {
+        for &mu in &[0.01, 0.25, 0.5, 0.81, 0.95] {
+            for &h in &[0.1, 1.0, 7.0] {
+                let (lo, _) = robust_lr_range(mu, h, h);
+                let hi = (1.0 + mu.sqrt()).powi(2) / h;
+                for i in 0..=10 {
+                    let alpha = lo + (hi - lo) * i as f64 / 10.0;
+                    let rho = momentum_spectral_radius(alpha, mu, h);
+                    assert!(
+                        (rho - mu.sqrt()).abs() < 1e-6,
+                        "mu={mu} h={h} alpha={alpha}: rho={rho}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn lemma3_radius_departs_outside_robust_region() {
+        let mu = 0.25;
+        let h = 1.0;
+        // alpha below the robust range: rho > sqrt(mu).
+        let rho_small = momentum_spectral_radius(0.5 * (1.0 - 0.5f64).powi(2), mu, h);
+        assert!(rho_small > mu.sqrt() + 1e-6, "rho={rho_small}");
+        // alpha above the robust range: rho > sqrt(mu) again.
+        let rho_big = momentum_spectral_radius(1.5 * (1.0 + 0.5f64).powi(2), mu, h);
+        assert!(rho_big > mu.sqrt() + 1e-6, "rho={rho_big}");
+    }
+
+    #[test]
+    fn lemma6_variance_radius_is_mu() {
+        for &mu in &[0.1f64, 0.5, 0.9] {
+            for &frac in &[0.0, 0.5, 1.0] {
+                let h = 2.0;
+                let lo = (1.0 - mu.sqrt()).powi(2) / h;
+                let hi = (1.0 + mu.sqrt()).powi(2) / h;
+                let alpha = lo + frac * (hi - lo);
+                let rho = variance_spectral_radius(alpha, mu, h);
+                assert!((rho - mu).abs() < 1e-5, "mu={mu} frac={frac}: rho={rho}");
+            }
+        }
+    }
+
+    #[test]
+    fn mu_star_matches_classic_values() {
+        assert!(mu_star(1.0).abs() < 1e-12, "kappa=1 needs no momentum");
+        let k = 100.0;
+        assert!((mu_star(k) - (9.0f64 / 11.0).powi(2)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn robust_lr_range_nonempty_iff_mu_above_mu_star() {
+        let (h_min, h_max) = (1.0, 16.0);
+        let nu = h_max / h_min;
+        let below = mu_star(nu) - 0.05;
+        let above = mu_star(nu) + 0.05;
+        let (lo_b, hi_b) = robust_lr_range(below, h_min, h_max);
+        assert!(lo_b > hi_b, "below mu*: empty range expected");
+        let (lo_a, hi_a) = robust_lr_range(above, h_min, h_max);
+        assert!(lo_a <= hi_a, "above mu*: nonempty range expected");
+    }
+
+    #[test]
+    fn exact_mse_matches_monte_carlo() {
+        // Simulate momentum SGD on the noisy quadratic and compare the
+        // empirical E(x_t - x*)^2 with Lemma 5's recurrence.
+        let (alpha, mu, h, c, x0) = (0.2f64, 0.3, 1.5, 0.8f64, 2.0);
+        let t = 25;
+        let trials = 60_000;
+        let mut acc = 0.0f64;
+        let mut rng = yf_tensor::rng::Pcg32::seed(99);
+        for _ in 0..trials {
+            let (mut x_prev, mut x) = (x0, x0);
+            for _ in 0..t {
+                // Noisy gradient: h*x + noise with Var = c (alpha^2 C term).
+                let noise = f64::from(rng.normal()) * c.sqrt();
+                let g = h * x + noise;
+                let x_next = x - alpha * g + mu * (x - x_prev);
+                x_prev = x;
+                x = x_next;
+            }
+            acc += x * x;
+        }
+        let empirical = acc / trials as f64;
+        let exact = exact_expected_sq_distance(t, alpha, mu, h, c, x0);
+        let rel = (empirical - exact).abs() / exact.max(1e-12);
+        assert!(rel < 0.05, "Lemma 5 mismatch: exact={exact} mc={empirical}");
+    }
+
+    #[test]
+    fn surrogate_decreases_with_t_in_signal_regime() {
+        // With small noise the surrogate is dominated by the mu^t bias
+        // term, so it must decay with t.
+        let s1 = surrogate_mse(1, 0.8, 0.01, 0.1, 4.0);
+        let s50 = surrogate_mse(50, 0.8, 0.01, 0.1, 4.0);
+        assert!(s50 < s1);
+    }
+}

@@ -1,0 +1,406 @@
+//! Algorithm 1: the YellowFin tuner wrapped around momentum SGD.
+
+use crate::cubic::single_step;
+use crate::ema::Ema;
+use crate::measurements::{CurvatureRange, DistanceToOpt, GradVariance};
+use yf_optim::clip::clip_by_global_norm;
+use yf_optim::Optimizer;
+
+/// Gradient clipping policy (Section 3.3 / Appendix F).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ClipMode {
+    /// No clipping.
+    None,
+    /// Clip to a fixed, manually chosen global-norm threshold (the
+    /// baseline in Table 1).
+    Manual(f32),
+    /// Adaptive clipping: threshold `sqrt(h_max)` from the curvature-range
+    /// estimator, whose growth is limited per Eq. 35.
+    Adaptive,
+}
+
+/// Configuration of [`YellowFin`]. The defaults are the constants the
+/// paper fixes across *all* of its experiments (Section 5.1: "We fix the
+/// parameters of Algorithm 1 in all experiments").
+#[derive(Debug, Clone, PartialEq)]
+pub struct YellowFinConfig {
+    /// Smoothing for every running estimate (paper: 0.999).
+    pub beta: f64,
+    /// Sliding-window width for extremal curvatures (paper: 20).
+    pub window: usize,
+    /// Multiplier on the auto-tuned learning rate (Appendix J.4's
+    /// "learning rate factor"; 1.0 = fully automatic).
+    pub lr_factor: f64,
+    /// Gradient clipping policy.
+    pub clip: ClipMode,
+    /// Slow start (Appendix E): use `min(lr_t, t * lr_t / (10 w))` so the
+    /// first `10 w` steps are conservative while estimates warm up.
+    pub slow_start: bool,
+    /// If set, the momentum applied to the update is frozen at this value
+    /// while the learning rate keeps auto-tuning — the ablation of
+    /// Figure 9 (Appendix J.2).
+    pub momentum_override: Option<f64>,
+}
+
+impl Default for YellowFinConfig {
+    fn default() -> Self {
+        YellowFinConfig {
+            beta: 0.999,
+            window: 20,
+            lr_factor: 1.0,
+            clip: ClipMode::None,
+            slow_start: true,
+            momentum_override: None,
+        }
+    }
+}
+
+/// The YellowFin optimizer (Algorithm 1).
+///
+/// Measures curvature range, gradient variance and distance-to-optimum
+/// from each minibatch gradient, solves `SingleStep` in closed form, and
+/// applies a Polyak momentum SGD update with the smoothed `(mu_t,
+/// alpha_t)`.
+///
+/// # Example
+///
+/// ```
+/// use yellowfin::{YellowFin, YellowFinConfig, ClipMode};
+/// use yf_optim::Optimizer;
+///
+/// let mut opt = YellowFin::new(YellowFinConfig {
+///     clip: ClipMode::Adaptive,
+///     ..Default::default()
+/// });
+/// let mut x = vec![1.0f32];
+/// for _ in 0..100 {
+///     let g = vec![2.0 * x[0]];
+///     opt.step(&mut x, &g);
+/// }
+/// assert!(opt.momentum() >= 0.0 && opt.momentum() < 1.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct YellowFin {
+    pub(crate) cfg: YellowFinConfig,
+    pub(crate) curvature: CurvatureRange,
+    pub(crate) variance: GradVariance,
+    pub(crate) distance: DistanceToOpt,
+    pub(crate) mu_ema: Ema,
+    pub(crate) lr_ema: Ema,
+    pub(crate) step_count: u64,
+    pub(crate) velocity: Vec<f32>,
+    pub(crate) grad_buf: Vec<f32>,
+    pub(crate) dim: Option<usize>,
+    pub(crate) last_norm: Option<f64>,
+}
+
+impl Default for YellowFin {
+    fn default() -> Self {
+        YellowFin::new(YellowFinConfig::default())
+    }
+}
+
+impl YellowFin {
+    /// Creates a tuner from a configuration.
+    pub fn new(cfg: YellowFinConfig) -> Self {
+        let limit_growth = cfg.clip == ClipMode::Adaptive;
+        YellowFin {
+            curvature: CurvatureRange::new(cfg.window, cfg.beta, limit_growth),
+            variance: GradVariance::new(cfg.beta),
+            distance: DistanceToOpt::new(cfg.beta),
+            mu_ema: Ema::new(cfg.beta),
+            lr_ema: Ema::new(cfg.beta),
+            step_count: 0,
+            velocity: Vec::new(),
+            grad_buf: Vec::new(),
+            dim: None,
+            last_norm: None,
+            cfg,
+        }
+    }
+
+    /// The momentum currently applied to updates.
+    pub fn momentum(&self) -> f64 {
+        match self.cfg.momentum_override {
+            Some(m) => m,
+            None if self.mu_ema.is_initialized() => self.mu_ema.value(),
+            None => 0.0,
+        }
+    }
+
+    /// The smoothed auto-tuned learning rate (before slow start and
+    /// `lr_factor`).
+    pub fn tuned_lr(&self) -> f64 {
+        if self.lr_ema.is_initialized() {
+            self.lr_ema.value()
+        } else {
+            0.0
+        }
+    }
+
+    /// The learning rate that the *next* update would use (slow start and
+    /// `lr_factor` included).
+    pub fn effective_lr(&self) -> f64 {
+        let lr = self.tuned_lr() * self.cfg.lr_factor;
+        if self.cfg.slow_start {
+            let warm = self.step_count as f64 / (10.0 * self.cfg.window as f64);
+            lr.min(lr * warm)
+        } else {
+            lr
+        }
+    }
+
+    /// Latest measurement snapshot `(h_min, h_max, C, D)`, if warmed up.
+    pub fn measurements(&self) -> Option<(f64, f64, f64, f64)> {
+        if !self.curvature.is_initialized() {
+            return None;
+        }
+        Some((
+            self.curvature.h_min(),
+            self.curvature.h_max(),
+            self.variance.variance(),
+            self.distance.distance(),
+        ))
+    }
+
+    /// Number of steps taken.
+    pub fn steps(&self) -> u64 {
+        self.step_count
+    }
+
+    /// The gradient norm observed at the last step, before clipping.
+    pub fn last_grad_norm(&self) -> Option<f64> {
+        self.last_norm
+    }
+}
+
+impl YellowFin {
+    fn clip_threshold(&self) -> f32 {
+        match self.cfg.clip {
+            ClipMode::None => f32::INFINITY,
+            ClipMode::Manual(t) => t,
+            ClipMode::Adaptive => {
+                if self.curvature.is_initialized() {
+                    // h is a squared gradient norm, so sqrt(h_max) bounds
+                    // the gradient norm itself.
+                    self.curvature.h_max().sqrt() as f32
+                } else {
+                    f32::INFINITY
+                }
+            }
+        }
+    }
+}
+
+impl Optimizer for YellowFin {
+    fn step(&mut self, params: &mut [f32], grads: &[f32]) {
+        let dim = *self.dim.get_or_insert(params.len());
+        assert_eq!(params.len(), grads.len(), "yellowfin: length mismatch");
+        assert_eq!(dim, params.len(), "yellowfin: parameter count changed");
+        if self.velocity.is_empty() {
+            self.velocity = vec![0.0; dim];
+        }
+
+        // 1. Clip (possibly adaptively) into a scratch buffer.
+        self.grad_buf.clear();
+        self.grad_buf.extend_from_slice(grads);
+        let threshold = self.clip_threshold();
+        let norm_before = clip_by_global_norm(&mut self.grad_buf, threshold);
+        self.last_norm = Some(f64::from(norm_before));
+        let clipped_norm = f64::from(norm_before).min(f64::from(threshold));
+
+        // 2. Update the measurement oracles with the clipped gradient.
+        let h_t = clipped_norm * clipped_norm;
+        self.curvature.observe(h_t);
+        self.variance.observe(&self.grad_buf);
+        self.distance.observe(clipped_norm);
+
+        // 3. Solve SingleStep and smooth the result.
+        let sol = single_step(
+            self.variance.variance(),
+            self.distance.distance(),
+            self.curvature.h_min(),
+            self.curvature.h_max(),
+        );
+        self.mu_ema.update(sol.mu);
+        self.lr_ema.update(sol.lr);
+        self.step_count += 1;
+
+        // 4. Momentum SGD update with the tuned values.
+        let mu = self.momentum() as f32;
+        let lr = self.effective_lr() as f32;
+        for ((p, &g), v) in params
+            .iter_mut()
+            .zip(self.grad_buf.iter())
+            .zip(&mut self.velocity)
+        {
+            *v = mu * *v - lr * g;
+            *p += *v;
+        }
+    }
+
+    fn learning_rate(&self) -> f32 {
+        self.effective_lr() as f32
+    }
+
+    fn set_learning_rate(&mut self, lr: f32) {
+        // External schedules scale the auto-tuned rate via the factor.
+        let tuned = self.tuned_lr();
+        if tuned > 0.0 {
+            self.cfg.lr_factor = f64::from(lr) / tuned;
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "yellowfin"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grad_quadratic(x: &[f32], h: &[f32]) -> Vec<f32> {
+        x.iter().zip(h).map(|(&x, &h)| h * x).collect()
+    }
+
+    #[test]
+    fn converges_on_well_conditioned_quadratic() {
+        let mut opt = YellowFin::default();
+        let h = vec![1.0f32, 2.0];
+        let mut x = vec![1.0f32, -1.0];
+        for _ in 0..800 {
+            let g = grad_quadratic(&x, &h);
+            opt.step(&mut x, &g);
+        }
+        let dist = (x[0] * x[0] + x[1] * x[1]).sqrt();
+        assert!(dist < 1e-2, "distance {dist}");
+    }
+
+    #[test]
+    fn converges_on_ill_conditioned_quadratic() {
+        let mut opt = YellowFin::default();
+        let h = vec![0.1f32, 10.0];
+        let mut x = vec![1.0f32, 1.0];
+        for _ in 0..2000 {
+            let g = grad_quadratic(&x, &h);
+            opt.step(&mut x, &g);
+        }
+        let dist = (x[0] * x[0] + x[1] * x[1]).sqrt();
+        assert!(dist < 5e-2, "distance {dist}");
+    }
+
+    #[test]
+    fn momentum_and_lr_stay_in_valid_ranges() {
+        let mut opt = YellowFin::default();
+        let h = vec![1.0f32, 100.0];
+        let mut x = vec![1.0f32, 1.0];
+        for _ in 0..500 {
+            let g = grad_quadratic(&x, &h);
+            opt.step(&mut x, &g);
+            let mu = opt.momentum();
+            assert!((0.0..1.0).contains(&mu), "mu = {mu}");
+            assert!(opt.effective_lr() >= 0.0 && opt.effective_lr().is_finite());
+        }
+    }
+
+    #[test]
+    fn slow_start_discounts_early_steps() {
+        let cfg = YellowFinConfig::default();
+        let mut opt = YellowFin::new(cfg);
+        let mut x = vec![1.0f32];
+        opt.step(&mut x, &[1.0]);
+        // After 1 step with window 20: warm factor is 1/200.
+        let full = opt.tuned_lr() * opt.cfg.lr_factor;
+        let eff = opt.effective_lr();
+        assert!(eff <= full / 100.0, "eff {eff} vs full {full}");
+    }
+
+    #[test]
+    fn momentum_override_freezes_momentum_only() {
+        let mut opt = YellowFin::new(YellowFinConfig {
+            momentum_override: Some(0.4),
+            ..Default::default()
+        });
+        let mut x = vec![1.0f32, 1.0];
+        for _ in 0..100 {
+            let g = grad_quadratic(&x, &[1.0, 10.0]);
+            opt.step(&mut x, &g);
+        }
+        assert_eq!(opt.momentum(), 0.4);
+        assert!(opt.tuned_lr() > 0.0, "lr keeps tuning");
+    }
+
+    #[test]
+    fn adaptive_clipping_tames_gradient_spikes() {
+        // A stream with occasional 1e4x spikes must not destroy the
+        // iterate when adaptive clipping is on.
+        let mut opt = YellowFin::new(YellowFinConfig {
+            clip: ClipMode::Adaptive,
+            ..Default::default()
+        });
+        let mut x = vec![1.0f32];
+        for t in 0..500 {
+            let spike = if t % 97 == 96 { 1e4 } else { 1.0 };
+            let g = vec![x[0] * spike];
+            opt.step(&mut x, &g);
+            assert!(x[0].is_finite(), "diverged at step {t}");
+        }
+        assert!(x[0].abs() < 1.0);
+    }
+
+    #[test]
+    fn survives_adversarial_gradient_streams() {
+        // NaN-free behavior on zero, tiny, huge and alternating gradients.
+        let mut opt = YellowFin::new(YellowFinConfig {
+            clip: ClipMode::Adaptive,
+            ..Default::default()
+        });
+        let mut x = vec![0.5f32, -0.5];
+        let streams: Vec<Vec<f32>> = vec![
+            vec![0.0, 0.0],
+            vec![1e-20, -1e-20],
+            vec![1e10, 1e10],
+            vec![-1e10, 1e10],
+            vec![0.0, 1.0],
+        ];
+        for t in 0..200 {
+            let g = streams[t % streams.len()].clone();
+            opt.step(&mut x, &g);
+            assert!(x.iter().all(|v| v.is_finite()), "step {t}: {x:?}");
+            assert!(opt.momentum().is_finite());
+            assert!(opt.effective_lr().is_finite());
+        }
+    }
+
+    #[test]
+    fn lr_factor_scales_linearly() {
+        // Feed both tuners the *same* pre-recorded gradient stream so the
+        // measurements coincide; the effective lr must then scale exactly
+        // with the factor.
+        let run = |factor: f64| {
+            let mut opt = YellowFin::new(YellowFinConfig {
+                lr_factor: factor,
+                slow_start: false,
+                ..Default::default()
+            });
+            let mut x = vec![0.0f32];
+            for t in 0..50 {
+                let g = vec![1.0 + 0.3 * ((t as f32) * 0.7).sin()];
+                opt.step(&mut x, &g);
+            }
+            opt.effective_lr()
+        };
+        let base = run(1.0);
+        let doubled = run(2.0);
+        assert!((doubled / base - 2.0).abs() < 1e-6, "{doubled} vs {base}");
+    }
+
+    #[test]
+    #[should_panic(expected = "parameter count changed")]
+    fn dimension_change_panics() {
+        let mut opt = YellowFin::default();
+        opt.step(&mut [0.0], &[1.0]);
+        opt.step(&mut [0.0, 0.0], &[1.0, 1.0]);
+    }
+}

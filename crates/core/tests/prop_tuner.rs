@@ -1,0 +1,167 @@
+//! Property-based tests for the tuner's invariants.
+
+use proptest::prelude::*;
+use yellowfin::cubic::{cubic_root, single_step, surrogate_objective};
+use yellowfin::theory::{
+    in_robust_region, momentum_spectral_radius, mu_star, variance_spectral_radius,
+};
+use yellowfin::{ClipMode, YellowFin, YellowFinConfig};
+use yf_optim::Optimizer;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The Vieta root is in [0, 1) and satisfies the stationarity
+    /// condition p x = (1 - x)^3 for all positive p.
+    #[test]
+    fn cubic_root_invariants(log_p in -25.0f64..25.0) {
+        let p = log_p.exp();
+        let x = cubic_root(p);
+        prop_assert!((0.0..1.0).contains(&x), "x = {x}");
+        let (lhs, rhs) = (p * x, (1.0 - x).powi(3));
+        let denom = 1.0f64.max(lhs.abs());
+        prop_assert!((lhs - rhs).abs() / denom < 1e-5, "p={p}: {lhs} vs {rhs}");
+    }
+
+    /// The closed form never loses to a 2000-point grid scan of the
+    /// surrogate objective.
+    #[test]
+    fn cubic_beats_grid(
+        log_c in -8.0f64..8.0, log_d in -8.0f64..8.0, log_h in -8.0f64..8.0
+    ) {
+        let (c, d, h) = (log_c.exp(), log_d.exp(), log_h.exp());
+        let p = d * d * h * h / (2.0 * c);
+        let x = cubic_root(p);
+        let ours = surrogate_objective(x, c, d, h);
+        let grid_best = (0..2000)
+            .map(|i| surrogate_objective(i as f64 / 2000.0, c, d, h))
+            .fold(f64::MAX, f64::min);
+        prop_assert!(
+            ours <= grid_best * (1.0 + 1e-9) + 1e-12,
+            "closed form {ours} vs grid {grid_best} (C={c}, D={d}, h={h})"
+        );
+    }
+
+    /// SingleStep always returns mu in [0, 1), a non-negative finite lr,
+    /// and (alpha, mu) inside the robust region for every curvature in
+    /// [h_min, h_max].
+    #[test]
+    fn single_step_is_always_in_robust_region(
+        log_c in -10.0f64..10.0,
+        log_d in -10.0f64..10.0,
+        log_hmin in -10.0f64..10.0,
+        log_ratio in 0.0f64..12.0,
+        frac in 0.0f64..1.0,
+    ) {
+        let c = log_c.exp();
+        let d = log_d.exp();
+        let h_min = log_hmin.exp();
+        let h_max = h_min * log_ratio.exp();
+        let sol = single_step(c, d, h_min, h_max);
+        prop_assert!((0.0..1.0).contains(&sol.mu), "mu = {}", sol.mu);
+        prop_assert!(sol.lr.is_finite() && sol.lr >= 0.0, "lr = {}", sol.lr);
+        // Check an arbitrary curvature inside the range (log interpolant).
+        let h = (h_min.ln() + frac * (h_max.ln() - h_min.ln())).exp();
+        prop_assert!(
+            in_robust_region(sol.lr * (1.0 + 1e-12), sol.mu, h)
+                || in_robust_region(sol.lr, sol.mu, h),
+            "(lr {}, mu {}) outside robust region for h = {h}",
+            sol.lr,
+            sol.mu
+        );
+    }
+
+    /// Lemma 3 over random parameters: anywhere inside the robust region
+    /// the bias operator's radius is sqrt(mu), and Lemma 6: the variance
+    /// operator's radius is mu.
+    #[test]
+    fn lemmas_3_and_6_hold(
+        mu in 0.001f64..0.999,
+        frac in 0.001f64..0.999,
+        log_h in -5.0f64..5.0,
+    ) {
+        let h = log_h.exp();
+        let lo = (1.0 - mu.sqrt()).powi(2) / h;
+        let hi = (1.0 + mu.sqrt()).powi(2) / h;
+        let alpha = lo + frac * (hi - lo);
+        let rho_a = momentum_spectral_radius(alpha, mu, h);
+        prop_assert!((rho_a - mu.sqrt()).abs() < 1e-5, "rho(A) = {rho_a}, mu = {mu}");
+        let rho_b = variance_spectral_radius(alpha, mu, h);
+        prop_assert!((rho_b - mu).abs() < 1e-4, "rho(B) = {rho_b}, mu = {mu}");
+    }
+
+    /// mu* is monotone in the condition number and bounded in [0, 1).
+    #[test]
+    fn mu_star_monotone(nu_a in 1.0f64..1e6, bump in 1.01f64..100.0) {
+        let a = mu_star(nu_a);
+        let b = mu_star(nu_a * bump);
+        prop_assert!((0.0..1.0).contains(&a));
+        prop_assert!(b > a || (nu_a == 1.0 && b >= a), "{a} !< {b}");
+    }
+
+    /// The tuner never produces non-finite state, whatever the gradient
+    /// stream throws at it.
+    #[test]
+    fn tuner_stays_finite_on_arbitrary_streams(
+        grads in prop::collection::vec(
+            prop::collection::vec(-1e6f32..1e6, 4), 1..80
+        ),
+        adaptive in any::<bool>(),
+    ) {
+        let mut opt = YellowFin::new(YellowFinConfig {
+            clip: if adaptive { ClipMode::Adaptive } else { ClipMode::None },
+            ..Default::default()
+        });
+        let mut x = vec![0.1f32; 4];
+        for g in &grads {
+            opt.step(&mut x, g);
+            prop_assert!(x.iter().all(|v| v.is_finite()), "params {x:?}");
+            prop_assert!(opt.momentum().is_finite());
+            prop_assert!((0.0..1.0).contains(&opt.momentum()));
+            prop_assert!(opt.effective_lr().is_finite() && opt.effective_lr() >= 0.0);
+        }
+    }
+
+    /// Measurements exposed by the tuner are internally consistent:
+    /// h_max >= h_min > 0, C >= 0, D >= 0.
+    #[test]
+    fn measurement_consistency(
+        grads in prop::collection::vec(
+            prop::collection::vec(-100.0f32..100.0, 3), 2..40
+        ),
+    ) {
+        let mut opt = YellowFin::default();
+        let mut x = vec![0.0f32; 3];
+        for g in &grads {
+            opt.step(&mut x, g);
+        }
+        let (h_min, h_max, c, d) = opt.measurements().expect("warmed up");
+        prop_assert!(h_max >= h_min * (1.0 - 1e-9), "{h_max} < {h_min}");
+        prop_assert!(h_min >= 0.0);
+        prop_assert!(c >= 0.0);
+        prop_assert!(d >= 0.0);
+    }
+}
+
+#[test]
+fn tuner_solution_matches_direct_single_step() {
+    // The smoothed (mu, lr) must stay inside the hull of the per-step
+    // SingleStep solutions; with a constant gradient stream they coincide
+    // after warmup.
+    let mut opt = YellowFin::new(YellowFinConfig {
+        slow_start: false,
+        ..Default::default()
+    });
+    let mut x = vec![0.0f32, 0.0];
+    for _ in 0..400 {
+        opt.step(&mut x, &[3.0, -4.0]);
+    }
+    let (h_min, h_max, c, d) = opt.measurements().expect("warmed up");
+    let direct = single_step(c, d, h_min, h_max);
+    assert!(
+        (opt.momentum() - direct.mu).abs() < 0.05,
+        "smoothed mu {} vs direct {}",
+        opt.momentum(),
+        direct.mu
+    );
+}

@@ -1,0 +1,21 @@
+//! Synthetic workload generators substituting the paper's datasets.
+//!
+//! The evaluation of the paper runs on CIFAR10/100, Penn TreeBank,
+//! TinyShakespeare, WSJ and IWSLT'14 De-En — none of which can be
+//! downloaded in this reproduction environment. Each generator here is a
+//! seeded, procedurally generated stand-in that preserves the *properties
+//! the optimizer study depends on*: class-conditional image structure
+//! with pixel noise ([`images`]), Zipfian/Markov sequential structure for
+//! the language models ([`text`]), bracket-balanced strings for
+//! parsing-as-language-modeling ([`text::CfgParseText`]), a bijective
+//! token-level translation task with a real BLEU-4 metric
+//! ([`translation`]), and the analytical toy objectives of Sections 2-3
+//! ([`toy`]).
+//!
+//! Everything is deterministic given a seed, so every figure regenerated
+//! by `yf-bench` is bit-reproducible.
+
+pub mod images;
+pub mod text;
+pub mod toy;
+pub mod translation;

@@ -1,0 +1,411 @@
+//! Sequential text generators (PTB / TinyShakespeare / WSJ substitutes).
+//!
+//! Three generators produce `(input, target)` language-modeling batches in
+//! the layout of `yf_nn::LmBatch` (targets are inputs shifted by one):
+//!
+//! - [`MarkovText`]: an order-2 character Markov chain with a sparse,
+//!   seeded transition table — the TinyShakespeare stand-in.
+//! - [`ZipfBigramText`]: Zipf-distributed word frequencies modulated by a
+//!   seeded bigram affinity — the Penn TreeBank stand-in.
+//! - [`CfgParseText`]: strings sampled from a probabilistic CFG with
+//!   explicit bracket tokens — the WSJ "parsing as language modeling"
+//!   stand-in (Choe & Charniak), with a bracket-F1 validation metric.
+
+use yf_tensor::rng::Pcg32;
+
+/// A language-model minibatch specification shared by the generators.
+#[derive(Debug, Clone, Copy)]
+pub struct LmSample {
+    /// Number of sequences.
+    pub batch: usize,
+    /// Tokens per sequence (inputs; targets are shifted by one).
+    pub time: usize,
+}
+
+/// Common interface of the text generators.
+pub trait TextSource {
+    /// Vocabulary size.
+    fn vocab(&self) -> usize;
+
+    /// Generates one sequence of `len + 1` token ids (so that a length
+    /// `len` input and its shifted target can be cut from it).
+    fn sequence(&mut self, len: usize) -> Vec<usize>;
+
+    /// Builds `(inputs, targets)` of `spec.batch * spec.time` tokens each.
+    fn lm_arrays(&mut self, spec: LmSample) -> (Vec<usize>, Vec<usize>) {
+        let mut inputs = Vec::with_capacity(spec.batch * spec.time);
+        let mut targets = Vec::with_capacity(spec.batch * spec.time);
+        for _ in 0..spec.batch {
+            let seq = self.sequence(spec.time);
+            debug_assert_eq!(seq.len(), spec.time + 1);
+            inputs.extend_from_slice(&seq[..spec.time]);
+            targets.extend_from_slice(&seq[1..]);
+        }
+        (inputs, targets)
+    }
+}
+
+/// Order-2 character Markov chain over a small alphabet.
+#[derive(Debug, Clone)]
+pub struct MarkovText {
+    vocab: usize,
+    /// Sparse transition weights: for each (prev2, prev1) pair a small set
+    /// of preferred successors.
+    table: Vec<Vec<f32>>,
+    rng: Pcg32,
+}
+
+impl MarkovText {
+    /// Creates a chain over `vocab` symbols with `branching` preferred
+    /// successors per context.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `vocab < 2` or `branching` is 0.
+    pub fn new(vocab: usize, branching: usize, seed: u64) -> Self {
+        assert!(vocab >= 2, "markov: vocab too small");
+        assert!(branching > 0, "markov: branching must be positive");
+        let mut init = Pcg32::seed_stream(seed, 0x3333);
+        let mut table = Vec::with_capacity(vocab * vocab);
+        for _ in 0..vocab * vocab {
+            // Mostly-uniform floor plus a few strong preferred successors:
+            // gives low-entropy structure a small LSTM can learn.
+            let mut row = vec![0.02f32; vocab];
+            for _ in 0..branching {
+                let k = init.below(vocab as u32) as usize;
+                row[k] += 1.0;
+            }
+            table.push(row);
+        }
+        MarkovText {
+            vocab,
+            table,
+            rng: Pcg32::seed_stream(seed, 0x4444),
+        }
+    }
+
+    /// Per-symbol empirical entropy of a long generated stream, in nats
+    /// (useful for sanity-checking that the task is learnable).
+    pub fn empirical_unigram_entropy(&mut self, samples: usize) -> f64 {
+        let seq = self.sequence(samples);
+        let mut counts = vec![0usize; self.vocab];
+        for &s in &seq {
+            counts[s] += 1;
+        }
+        let n = seq.len() as f64;
+        counts
+            .iter()
+            .filter(|&&c| c > 0)
+            .map(|&c| {
+                let p = c as f64 / n;
+                -p * p.ln()
+            })
+            .sum()
+    }
+}
+
+impl TextSource for MarkovText {
+    fn vocab(&self) -> usize {
+        self.vocab
+    }
+
+    fn sequence(&mut self, len: usize) -> Vec<usize> {
+        let mut out = Vec::with_capacity(len + 1);
+        let mut p2 = self.rng.below(self.vocab as u32) as usize;
+        let mut p1 = self.rng.below(self.vocab as u32) as usize;
+        for _ in 0..len + 1 {
+            let row = &self.table[p2 * self.vocab + p1];
+            let next = self.rng.categorical(row);
+            out.push(next);
+            p2 = p1;
+            p1 = next;
+        }
+        out
+    }
+}
+
+/// Zipf-distributed words with bigram affinity (PTB substitute).
+#[derive(Debug, Clone)]
+pub struct ZipfBigramText {
+    vocab: usize,
+    /// Zipf weights per word.
+    unigram: Vec<f32>,
+    /// Each word prefers a successor "topic block".
+    successor_block: Vec<usize>,
+    block: usize,
+    rng: Pcg32,
+}
+
+impl ZipfBigramText {
+    /// Creates the generator; `exponent` is the Zipf slope (~1.0 for
+    /// natural language).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `vocab < 4`.
+    pub fn new(vocab: usize, exponent: f32, seed: u64) -> Self {
+        assert!(vocab >= 4, "zipf: vocab too small");
+        let mut init = Pcg32::seed_stream(seed, 0x5555);
+        let unigram: Vec<f32> = (1..=vocab)
+            .map(|r| (r as f32).powf(-exponent))
+            .collect();
+        let block = (vocab / 4).max(1);
+        let successor_block = (0..vocab)
+            .map(|_| init.below((vocab / block).max(1) as u32) as usize)
+            .collect();
+        ZipfBigramText {
+            vocab,
+            unigram,
+            successor_block,
+            block,
+            rng: Pcg32::seed_stream(seed, 0x6666),
+        }
+    }
+}
+
+impl TextSource for ZipfBigramText {
+    fn vocab(&self) -> usize {
+        self.vocab
+    }
+
+    fn sequence(&mut self, len: usize) -> Vec<usize> {
+        let mut out = Vec::with_capacity(len + 1);
+        let mut prev = self.rng.below(self.vocab as u32) as usize;
+        let mut weights = vec![0.0f32; self.vocab];
+        for _ in 0..len + 1 {
+            let blk = self.successor_block[prev];
+            let lo = blk * self.block;
+            let hi = ((blk + 1) * self.block).min(self.vocab);
+            for (w, u) in weights.iter_mut().zip(&self.unigram) {
+                *w = 0.3 * u;
+            }
+            for (w, u) in weights[lo..hi].iter_mut().zip(&self.unigram[lo..hi]) {
+                *w += 2.0 * u;
+            }
+            let next = self.rng.categorical(&weights);
+            out.push(next);
+            prev = next;
+        }
+        out
+    }
+}
+
+/// Token ids reserved by [`CfgParseText`].
+pub mod parse_tokens {
+    /// Opening bracket `(`.
+    pub const OPEN: usize = 0;
+    /// Closing bracket `)`.
+    pub const CLOSE: usize = 1;
+    /// First non-bracket token id.
+    pub const FIRST_WORD: usize = 2;
+}
+
+/// Balanced-bracket strings from a probabilistic CFG (WSJ substitute).
+///
+/// Grammar: `S -> ( L )` where `L` is a sequence of 1-3 children, each a
+/// terminal word or (with decaying probability by depth) another `S`.
+/// Linearized with explicit bracket tokens, this is exactly the
+/// "parsing as language modeling" encoding of Choe & Charniak that the
+/// paper's WSJ experiments use.
+#[derive(Debug, Clone)]
+pub struct CfgParseText {
+    vocab: usize,
+    max_depth: usize,
+    rng: Pcg32,
+}
+
+impl CfgParseText {
+    /// Creates the generator with `words` terminal symbols.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `words == 0` or `max_depth == 0`.
+    pub fn new(words: usize, max_depth: usize, seed: u64) -> Self {
+        assert!(words > 0, "cfg: need at least one word");
+        assert!(max_depth > 0, "cfg: max_depth must be positive");
+        CfgParseText {
+            vocab: parse_tokens::FIRST_WORD + words,
+            max_depth,
+            rng: Pcg32::seed_stream(seed, 0x7777),
+        }
+    }
+
+    fn emit(&mut self, out: &mut Vec<usize>, depth: usize) {
+        out.push(parse_tokens::OPEN);
+        let children = 1 + self.rng.below(3) as usize;
+        for _ in 0..children {
+            let recurse = depth < self.max_depth && self.rng.uniform() < 0.35;
+            if recurse {
+                self.emit(out, depth + 1);
+            } else {
+                let w = self.rng.below((self.vocab - parse_tokens::FIRST_WORD) as u32) as usize;
+                out.push(parse_tokens::FIRST_WORD + w);
+            }
+        }
+        out.push(parse_tokens::CLOSE);
+    }
+
+    /// Bracket F1 between predictions and targets, counting only the
+    /// bracket tokens (precision/recall of predicting `(` and `)` at the
+    /// right positions under teacher forcing). This is the validation
+    /// surrogate for the paper's parse F1.
+    pub fn bracket_f1(predictions: &[usize], targets: &[usize]) -> f64 {
+        assert_eq!(predictions.len(), targets.len(), "bracket_f1: lengths");
+        let is_bracket = |t: usize| t == parse_tokens::OPEN || t == parse_tokens::CLOSE;
+        let mut tp = 0usize;
+        let mut pred_brackets = 0usize;
+        let mut true_brackets = 0usize;
+        for (&p, &t) in predictions.iter().zip(targets) {
+            if is_bracket(p) {
+                pred_brackets += 1;
+            }
+            if is_bracket(t) {
+                true_brackets += 1;
+            }
+            if is_bracket(p) && p == t {
+                tp += 1;
+            }
+        }
+        if pred_brackets == 0 || true_brackets == 0 {
+            return 0.0;
+        }
+        let precision = tp as f64 / pred_brackets as f64;
+        let recall = tp as f64 / true_brackets as f64;
+        if precision + recall == 0.0 {
+            0.0
+        } else {
+            2.0 * precision * recall / (precision + recall)
+        }
+    }
+}
+
+impl TextSource for CfgParseText {
+    fn vocab(&self) -> usize {
+        self.vocab
+    }
+
+    fn sequence(&mut self, len: usize) -> Vec<usize> {
+        let mut out = Vec::with_capacity(len + 1);
+        while out.len() < len + 1 {
+            self.emit(&mut out, 0);
+        }
+        out.truncate(len + 1);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn markov_tokens_in_range_and_deterministic() {
+        let mut a = MarkovText::new(20, 3, 5);
+        let mut b = MarkovText::new(20, 3, 5);
+        let sa = a.sequence(100);
+        assert_eq!(sa.len(), 101);
+        assert!(sa.iter().all(|&t| t < 20));
+        assert_eq!(sa, b.sequence(100));
+    }
+
+    #[test]
+    fn markov_has_learnable_structure() {
+        // The chain is order-2: conditioned on the two previous symbols,
+        // the next-token entropy must be well below uniform (otherwise an
+        // LSTM could not learn anything).
+        let v = 16usize;
+        let mut gen = MarkovText::new(v, 2, 6);
+        let seq = gen.sequence(60_000);
+        let mut cond_counts = vec![0usize; v * v * v];
+        for w in seq.windows(3) {
+            cond_counts[(w[0] * v + w[1]) * v + w[2]] += 1;
+        }
+        let mut h = 0.0f64;
+        let total = (seq.len() - 2) as f64;
+        for ctx in 0..v * v {
+            let row = &cond_counts[ctx * v..(ctx + 1) * v];
+            let n: usize = row.iter().sum();
+            if n == 0 {
+                continue;
+            }
+            for &c in row {
+                if c > 0 {
+                    let p = c as f64 / n as f64;
+                    h -= (n as f64 / total) * p * p.ln();
+                }
+            }
+        }
+        let uniform = (v as f64).ln();
+        assert!(
+            h < 0.7 * uniform,
+            "order-2 entropy {h} too close to uniform {uniform}"
+        );
+    }
+
+    #[test]
+    fn lm_arrays_are_shifted() {
+        let mut gen = MarkovText::new(10, 2, 7);
+        let (inputs, targets) = gen.lm_arrays(LmSample { batch: 3, time: 8 });
+        assert_eq!(inputs.len(), 24);
+        assert_eq!(targets.len(), 24);
+        // Within each row, target[t] should equal input[t+1].
+        for r in 0..3 {
+            for t in 0..7 {
+                assert_eq!(targets[r * 8 + t], inputs[r * 8 + t + 1]);
+            }
+        }
+    }
+
+    #[test]
+    fn zipf_is_skewed() {
+        let mut gen = ZipfBigramText::new(50, 1.0, 8);
+        let seq = gen.sequence(20_000);
+        let mut counts = vec![0usize; 50];
+        for &t in &seq {
+            counts[t] += 1;
+        }
+        // Top word should be much more frequent than the median word.
+        let mut sorted = counts.clone();
+        sorted.sort_unstable_by(|a, b| b.cmp(a));
+        assert!(
+            sorted[0] > 5 * sorted[25].max(1),
+            "head {} vs median {}",
+            sorted[0],
+            sorted[25]
+        );
+    }
+
+    #[test]
+    fn cfg_brackets_are_balanced_in_full_trees() {
+        let mut gen = CfgParseText::new(10, 4, 9);
+        let mut out = Vec::new();
+        gen.emit(&mut out, 0);
+        let mut depth = 0i64;
+        for &t in &out {
+            if t == parse_tokens::OPEN {
+                depth += 1;
+            } else if t == parse_tokens::CLOSE {
+                depth -= 1;
+            }
+            assert!(depth >= 0, "negative depth");
+        }
+        assert_eq!(depth, 0, "unbalanced tree");
+    }
+
+    #[test]
+    fn bracket_f1_bounds() {
+        let t = vec![0, 2, 3, 1, 0, 4, 1];
+        assert!((CfgParseText::bracket_f1(&t, &t) - 1.0).abs() < 1e-12);
+        let all_words = vec![2; 7];
+        assert_eq!(CfgParseText::bracket_f1(&all_words, &t), 0.0);
+        let half = vec![0, 2, 3, 2, 2, 4, 1];
+        let f1 = CfgParseText::bracket_f1(&half, &t);
+        assert!(f1 > 0.0 && f1 < 1.0, "partial F1 {f1}");
+    }
+
+    #[test]
+    #[should_panic(expected = "vocab too small")]
+    fn markov_tiny_vocab_panics() {
+        MarkovText::new(1, 1, 0);
+    }
+}

@@ -1,0 +1,280 @@
+//! Analytical toy objectives from Sections 2-3 of the paper.
+
+use yf_tensor::rng::Pcg32;
+
+/// A one-dimensional objective with gradient and (generalized) curvature.
+pub trait Objective1d {
+    /// Function value.
+    fn value(&self, x: f64) -> f64;
+    /// Derivative.
+    fn grad(&self, x: f64) -> f64;
+    /// The minimizer the generalized curvature is defined against.
+    fn minimizer(&self) -> f64;
+
+    /// Generalized curvature of Definition 2: `h(x) = f'(x) / (x - x*)`.
+    fn generalized_curvature(&self, x: f64) -> f64 {
+        let d = x - self.minimizer();
+        if d.abs() < 1e-300 {
+            0.0
+        } else {
+            self.grad(x) / d
+        }
+    }
+}
+
+/// The non-convex toy objective of Figure 3(a): two quadratic pieces with
+/// curvatures `h_small` (outer) and `h_large` (inner well), glued at
+/// `|x| = boundary` so the function and derivative stay continuous.
+///
+/// Its generalized condition number with respect to the minimum at 0 is
+/// `h_large / h_small` (1000 in the paper's example).
+#[derive(Debug, Clone, Copy)]
+pub struct PiecewiseQuadratic {
+    /// Curvature of the outer region.
+    pub h_small: f64,
+    /// Curvature of the inner well.
+    pub h_large: f64,
+    /// Radius of the inner well.
+    pub boundary: f64,
+}
+
+impl PiecewiseQuadratic {
+    /// The paper's Figure 3(a) instance: curvatures 1 and 1000.
+    ///
+    /// The inner well is narrow (radius 0.01) so that over the plotted
+    /// domain `[-20, 20]` the generalized curvature actually spans
+    /// (nearly) the full `[1, 1000]` range — with a wide well, the
+    /// generalized curvature far from the minimum never gets close to
+    /// `h_small` and the effective GCN is much smaller than 1000.
+    pub fn figure3() -> Self {
+        PiecewiseQuadratic {
+            h_small: 1.0,
+            h_large: 1000.0,
+            boundary: 0.01,
+        }
+    }
+
+    /// Generalized condition number with respect to the minimum.
+    pub fn gcn(&self) -> f64 {
+        self.h_large / self.h_small
+    }
+}
+
+impl Objective1d for PiecewiseQuadratic {
+    fn value(&self, x: f64) -> f64 {
+        let a = x.abs();
+        if a <= self.boundary {
+            0.5 * self.h_large * x * x
+        } else {
+            // Matched so that value and derivative are continuous at the
+            // boundary: slope there is h_large * boundary.
+            let vb = 0.5 * self.h_large * self.boundary * self.boundary;
+            let slope = self.h_large * self.boundary;
+            // Quadratic with curvature h_small continuing from (b, vb).
+            vb + slope * (a - self.boundary) + 0.5 * self.h_small * (a - self.boundary).powi(2)
+        }
+    }
+
+    fn grad(&self, x: f64) -> f64 {
+        let a = x.abs();
+        let s = x.signum();
+        if a <= self.boundary {
+            self.h_large * x
+        } else {
+            s * (self.h_large * self.boundary + self.h_small * (a - self.boundary))
+        }
+    }
+
+    fn minimizer(&self) -> f64 {
+        0.0
+    }
+}
+
+/// The noisy quadratic model of Eq. 10: `f(x) = (1/n) sum_i h/2 (x-c_i)^2`
+/// with `sum_i c_i = 0`. Sampling a component index and differentiating
+/// gives an unbiased gradient `h (x - c_i)` whose variance is
+/// `h^2 Var(c)`.
+#[derive(Debug, Clone)]
+pub struct NoisyQuadratic {
+    /// Common curvature.
+    pub h: f64,
+    centers: Vec<f64>,
+    rng: Pcg32,
+}
+
+impl NoisyQuadratic {
+    /// Builds the model with `n` centers of standard deviation `spread`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 2`.
+    pub fn new(h: f64, n: usize, spread: f64, seed: u64) -> Self {
+        assert!(n >= 2, "noisy quadratic: need >= 2 components");
+        let mut init = Pcg32::seed_stream(seed, 0xaaaa);
+        let mut centers: Vec<f64> = (0..n)
+            .map(|_| f64::from(init.normal()) * spread)
+            .collect();
+        // Enforce sum c_i = 0 exactly so the optimum is x* = 0.
+        let mean: f64 = centers.iter().sum::<f64>() / n as f64;
+        for c in &mut centers {
+            *c -= mean;
+        }
+        NoisyQuadratic {
+            h,
+            centers,
+            rng: Pcg32::seed_stream(seed, 0xbbbb),
+        }
+    }
+
+    /// Full-batch gradient `h * x`.
+    pub fn full_grad(&self, x: f64) -> f64 {
+        self.h * x
+    }
+
+    /// A stochastic gradient from one uniformly sampled component.
+    pub fn stochastic_grad(&mut self, x: f64) -> f64 {
+        let i = self.rng.below(self.centers.len() as u32) as usize;
+        self.h * (x - self.centers[i])
+    }
+
+    /// The gradient variance `C = E (g - E g)^2 = h^2 Var(c)`.
+    pub fn gradient_variance(&self) -> f64 {
+        let n = self.centers.len() as f64;
+        let var_c: f64 = self.centers.iter().map(|c| c * c).sum::<f64>() / n;
+        self.h * self.h * var_c
+    }
+}
+
+/// A diagonal multidimensional quadratic `f(x) = 1/2 sum h_i x_i^2` with
+/// optional additive Gaussian gradient noise — the multidimensional test
+/// bed for the tuner.
+#[derive(Debug, Clone)]
+pub struct DiagonalQuadratic {
+    /// Per-coordinate curvatures.
+    pub curvatures: Vec<f64>,
+    noise_std: f64,
+    rng: Pcg32,
+}
+
+impl DiagonalQuadratic {
+    /// Creates the objective.
+    pub fn new(curvatures: Vec<f64>, noise_std: f64, seed: u64) -> Self {
+        DiagonalQuadratic {
+            curvatures,
+            noise_std,
+            rng: Pcg32::seed_stream(seed, 0xcccc),
+        }
+    }
+
+    /// Log-spaced curvatures between `h_min` and `h_max`.
+    pub fn log_spaced(dim: usize, h_min: f64, h_max: f64, noise_std: f64, seed: u64) -> Self {
+        assert!(dim >= 2, "diagonal quadratic: dim >= 2");
+        let curvatures = (0..dim)
+            .map(|i| {
+                let t = i as f64 / (dim - 1) as f64;
+                (h_min.ln() + t * (h_max.ln() - h_min.ln())).exp()
+            })
+            .collect();
+        DiagonalQuadratic::new(curvatures, noise_std, seed)
+    }
+
+    /// Dimensionality.
+    pub fn dim(&self) -> usize {
+        self.curvatures.len()
+    }
+
+    /// Loss at `x`.
+    pub fn loss(&self, x: &[f32]) -> f64 {
+        x.iter()
+            .zip(&self.curvatures)
+            .map(|(&x, &h)| 0.5 * h * f64::from(x) * f64::from(x))
+            .sum()
+    }
+
+    /// Noisy gradient at `x`.
+    pub fn grad(&mut self, x: &[f32]) -> Vec<f32> {
+        x.iter()
+            .zip(&self.curvatures)
+            .map(|(&x, &h)| (h * f64::from(x)) as f32 + self.noise_std as f32 * self.rng.normal())
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn piecewise_is_continuous_at_boundary() {
+        let f = PiecewiseQuadratic::figure3();
+        let b = f.boundary;
+        let eps = 1e-9;
+        assert!((f.value(b - eps) - f.value(b + eps)).abs() < 1e-4);
+        assert!((f.grad(b - eps) - f.grad(b + eps)).abs() < 1e-4);
+        // Symmetric.
+        assert!((f.value(-2.0) - f.value(2.0)).abs() < 1e-12);
+        assert!((f.grad(-2.0) + f.grad(2.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn piecewise_generalized_curvature_range() {
+        let f = PiecewiseQuadratic::figure3();
+        // Inside the well: h(x) = 1000. Far outside: approaches h_small
+        // (from above) but never goes below it.
+        assert!((f.generalized_curvature(f.boundary / 2.0) - 1000.0).abs() < 1e-9);
+        let far = f.generalized_curvature(20.0);
+        assert!(far > 1.0 && far < 2.0, "far curvature {far}");
+        // GCN matches the curvature ratio.
+        assert_eq!(f.gcn(), 1000.0);
+    }
+
+    #[test]
+    fn gradient_descent_on_piecewise_decreases() {
+        let f = PiecewiseQuadratic::figure3();
+        let mut x = 15.0;
+        for _ in 0..50 {
+            x -= 1e-3 * f.grad(x);
+        }
+        assert!(x.abs() < 15.0);
+        assert!(f.value(x) < f.value(15.0));
+    }
+
+    #[test]
+    fn noisy_quadratic_variance_matches_formula() {
+        let mut nq = NoisyQuadratic::new(2.0, 500, 1.5, 4);
+        let x = 0.7;
+        let analytic = nq.gradient_variance();
+        let n = 200_000;
+        let mut mean = 0.0f64;
+        let mut m2 = 0.0f64;
+        for _ in 0..n {
+            let g = nq.stochastic_grad(x);
+            mean += g;
+            m2 += g * g;
+        }
+        mean /= n as f64;
+        let var = m2 / n as f64 - mean * mean;
+        assert!(
+            (var - analytic).abs() / analytic < 0.05,
+            "variance {var} vs analytic {analytic}"
+        );
+        // Unbiasedness.
+        assert!((mean - nq.full_grad(x)).abs() < 0.05);
+    }
+
+    #[test]
+    fn diagonal_quadratic_log_spacing() {
+        let dq = DiagonalQuadratic::log_spaced(5, 1.0, 16.0, 0.0, 1);
+        assert!((dq.curvatures[0] - 1.0).abs() < 1e-9);
+        assert!((dq.curvatures[4] - 16.0).abs() < 1e-9);
+        assert!((dq.curvatures[2] - 4.0).abs() < 1e-9, "geometric middle");
+    }
+
+    #[test]
+    fn diagonal_quadratic_noiseless_grad() {
+        let mut dq = DiagonalQuadratic::new(vec![2.0, 3.0], 0.0, 2);
+        let g = dq.grad(&[1.0, -1.0]);
+        assert!((g[0] - 2.0).abs() < 1e-6);
+        assert!((g[1] + 3.0).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,234 @@
+//! Synthetic translation task and BLEU-4 (IWSLT'14 De-En substitute).
+//!
+//! Sources are random token strings; the "translation" is a deterministic
+//! bijection — reverse the sequence and permute the vocabulary — which an
+//! encoder-decoder must actually learn end-to-end (it is not learnable by
+//! a unigram model). BLEU-4 with brevity penalty is implemented in full
+//! so Table 1 reports the same metric family as the paper.
+
+use yf_tensor::rng::Pcg32;
+
+/// Reserved ids for the translation task.
+pub mod special {
+    /// Beginning-of-sequence marker fed to the decoder.
+    pub const BOS: usize = 0;
+    /// First content token id.
+    pub const FIRST_WORD: usize = 1;
+}
+
+/// A seeded generator of (source, target) pairs.
+#[derive(Debug, Clone)]
+pub struct TranslationTask {
+    vocab: usize,
+    permutation: Vec<usize>,
+    len: usize,
+    rng: Pcg32,
+}
+
+impl TranslationTask {
+    /// Creates the task: `words` content tokens, sequences of `len`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `words < 2` or `len == 0`.
+    pub fn new(words: usize, len: usize, seed: u64) -> Self {
+        assert!(words >= 2, "translation: need at least two words");
+        assert!(len > 0, "translation: empty sequences");
+        let mut init = Pcg32::seed_stream(seed, 0x8888);
+        // Random permutation of the content vocabulary (Fisher-Yates).
+        let mut permutation: Vec<usize> = (0..words).collect();
+        for i in (1..words).rev() {
+            let j = init.below((i + 1) as u32) as usize;
+            permutation.swap(i, j);
+        }
+        TranslationTask {
+            vocab: special::FIRST_WORD + words,
+            permutation,
+            len,
+            rng: Pcg32::seed_stream(seed, 0x9999),
+        }
+    }
+
+    /// Total vocabulary (content words + specials).
+    pub fn vocab(&self) -> usize {
+        self.vocab
+    }
+
+    /// Sequence length.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Always false (sequences are non-empty by construction).
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// The reference translation of `src`: reversed and token-mapped.
+    pub fn translate(&self, src: &[usize]) -> Vec<usize> {
+        src.iter()
+            .rev()
+            .map(|&t| special::FIRST_WORD + self.permutation[t - special::FIRST_WORD])
+            .collect()
+    }
+
+    /// Samples one source sentence.
+    pub fn source(&mut self) -> Vec<usize> {
+        (0..self.len)
+            .map(|_| {
+                special::FIRST_WORD
+                    + self.rng.below((self.vocab - special::FIRST_WORD) as u32) as usize
+            })
+            .collect()
+    }
+
+    /// Builds a teacher-forced batch in `yf_nn::SeqBatch` array layout:
+    /// `(src, tgt_in, tgt_out)` flattened row-major.
+    pub fn batch_arrays(&mut self, n: usize) -> (Vec<usize>, Vec<usize>, Vec<usize>) {
+        let mut src = Vec::with_capacity(n * self.len);
+        let mut tgt_in = Vec::with_capacity(n * self.len);
+        let mut tgt_out = Vec::with_capacity(n * self.len);
+        for _ in 0..n {
+            let s = self.source();
+            let t = self.translate(&s);
+            tgt_in.push(special::BOS);
+            tgt_in.extend_from_slice(&t[..self.len - 1]);
+            tgt_out.extend_from_slice(&t);
+            src.extend_from_slice(&s);
+        }
+        (src, tgt_in, tgt_out)
+    }
+}
+
+/// Corpus-level BLEU-4 with brevity penalty (Papineni et al. 2002),
+/// computed over token-id sequences.
+///
+/// Returns a value in `[0, 1]`; multiply by 100 for the conventional
+/// score. N-gram orders with no candidate n-grams contribute smoothing
+/// count 0 (standard "add-epsilon-free" corpus BLEU: if any order has
+/// zero matches the score is 0, as in the reference implementation).
+pub fn bleu4(candidates: &[Vec<usize>], references: &[Vec<usize>]) -> f64 {
+    assert_eq!(
+        candidates.len(),
+        references.len(),
+        "bleu4: corpus size mismatch"
+    );
+    let mut cand_len = 0usize;
+    let mut ref_len = 0usize;
+    let mut matches = [0usize; 4];
+    let mut totals = [0usize; 4];
+    for (cand, reference) in candidates.iter().zip(references) {
+        cand_len += cand.len();
+        ref_len += reference.len();
+        for n in 1..=4usize {
+            if cand.len() < n {
+                continue;
+            }
+            let mut ref_counts = std::collections::HashMap::new();
+            if reference.len() >= n {
+                for w in reference.windows(n) {
+                    *ref_counts.entry(w).or_insert(0usize) += 1;
+                }
+            }
+            for w in cand.windows(n) {
+                totals[n - 1] += 1;
+                if let Some(c) = ref_counts.get_mut(w) {
+                    if *c > 0 {
+                        *c -= 1;
+                        matches[n - 1] += 1;
+                    }
+                }
+            }
+        }
+    }
+    let mut log_precision = 0.0f64;
+    for n in 0..4 {
+        if totals[n] == 0 || matches[n] == 0 {
+            return 0.0;
+        }
+        log_precision += (matches[n] as f64 / totals[n] as f64).ln() / 4.0;
+    }
+    let bp = if cand_len >= ref_len {
+        1.0
+    } else if cand_len == 0 {
+        0.0
+    } else {
+        (1.0 - ref_len as f64 / cand_len as f64).exp()
+    };
+    bp * log_precision.exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn translation_is_a_learnable_bijection() {
+        let task = TranslationTask::new(10, 5, 3);
+        let src = vec![1, 2, 3, 4, 5];
+        let tgt = task.translate(&src);
+        assert_eq!(tgt.len(), 5);
+        // Bijection: translating two different sources differs.
+        let tgt2 = task.translate(&[5, 4, 3, 2, 1]);
+        assert_ne!(tgt, tgt2);
+        // Reversal: last source token determines first target token.
+        let t_last = task.translate(&[1, 1, 1, 1, 9]);
+        let t_last2 = task.translate(&[2, 2, 2, 2, 9]);
+        assert_eq!(t_last[0], t_last2[0]);
+    }
+
+    #[test]
+    fn batch_arrays_layout() {
+        let mut task = TranslationTask::new(8, 4, 5);
+        let (src, tgt_in, tgt_out) = task.batch_arrays(3);
+        assert_eq!(src.len(), 12);
+        assert_eq!(tgt_in.len(), 12);
+        assert_eq!(tgt_out.len(), 12);
+        for r in 0..3 {
+            assert_eq!(tgt_in[r * 4], special::BOS);
+            // tgt_in is tgt_out shifted right by one.
+            assert_eq!(&tgt_in[r * 4 + 1..(r + 1) * 4], &tgt_out[r * 4..r * 4 + 3]);
+        }
+    }
+
+    #[test]
+    fn bleu_perfect_match_is_one() {
+        let c = vec![vec![1, 2, 3, 4, 5]];
+        assert!((bleu4(&c, &c) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bleu_no_overlap_is_zero() {
+        let c = vec![vec![1, 2, 3, 4, 5]];
+        let r = vec![vec![6, 7, 8, 9, 10]];
+        assert_eq!(bleu4(&c, &r), 0.0);
+    }
+
+    #[test]
+    fn bleu_brevity_penalty_kicks_in() {
+        // Candidate is a perfect prefix but shorter: BP < 1.
+        let c = vec![vec![1, 2, 3, 4]];
+        let r = vec![vec![1, 2, 3, 4, 5, 6, 7, 8]];
+        let score = bleu4(&c, &r);
+        assert!(score > 0.0 && score < 0.5, "score {score}");
+    }
+
+    #[test]
+    fn bleu_clips_repeated_ngrams() {
+        // Candidate repeats a reference word more often than it occurs.
+        let c = vec![vec![1, 1, 1, 1, 1]];
+        let r = vec![vec![1, 2, 3, 4, 5]];
+        // Only one unigram match allowed; 4-grams won't match at all -> 0.
+        assert_eq!(bleu4(&c, &r), 0.0);
+    }
+
+    #[test]
+    fn bleu_hand_computed_value() {
+        // Candidate shares the 5-token prefix of a 6-token reference.
+        // p1 = 5/5, p2 = 4/4, p3 = 3/3, p4 = 2/2, BP = exp(1 - 6/5).
+        let c = vec![vec![1, 2, 3, 4, 5]];
+        let r = vec![vec![1, 2, 3, 4, 5, 6]];
+        let expected = (1.0f64 - 6.0 / 5.0).exp();
+        assert!((bleu4(&c, &r) - expected).abs() < 1e-12);
+    }
+}

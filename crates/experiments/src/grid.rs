@@ -1,0 +1,178 @@
+//! Learning-rate grid search with multi-seed averaging (Appendix I).
+//!
+//! The paper tunes Adam and momentum SGD on logarithmic learning-rate
+//! grids, averages training losses over 3 random seeds, and picks the
+//! configuration with the lowest averaged smoothed loss.
+
+use crate::smoothing::smooth;
+use crate::task::TrainTask;
+use crate::trainer::{train, RunConfig, RunResult};
+use yf_optim::Optimizer;
+
+/// Outcome of one grid search.
+#[derive(Debug, Clone)]
+pub struct GridOutcome {
+    /// The winning grid value (e.g. learning rate).
+    pub best_value: f32,
+    /// Seed-averaged *smoothed* loss curve of the winner.
+    pub best_curve: Vec<f64>,
+    /// Seed-averaged validation metrics of the winner
+    /// (iteration, metric), averaged pointwise across seeds.
+    pub best_metrics: Vec<(u64, f64)>,
+    /// `(value, lowest smoothed loss)` for every grid point.
+    pub scores: Vec<(f32, f64)>,
+}
+
+/// Averages loss curves pointwise (all must have equal length).
+pub fn average_curves(curves: &[Vec<f32>]) -> Vec<f32> {
+    assert!(!curves.is_empty(), "average_curves: no curves");
+    let n = curves[0].len();
+    let mut out = vec![0.0f32; n];
+    for c in curves {
+        assert_eq!(c.len(), n, "average_curves: ragged curves");
+        for (o, &v) in out.iter_mut().zip(c) {
+            *o += v;
+        }
+    }
+    for o in &mut out {
+        *o /= curves.len() as f32;
+    }
+    out
+}
+
+/// Runs `make_opt(value)` for every grid `value` on `make_task(seed)` for
+/// every seed, smooths the seed-averaged loss with `window`, and picks
+/// the value whose curve attains the lowest smoothed loss.
+///
+/// # Panics
+///
+/// Panics if `values` or `seeds` is empty.
+pub fn grid_search(
+    values: &[f32],
+    seeds: &[u64],
+    window: usize,
+    cfg: &RunConfig,
+    mut make_task: impl FnMut(u64) -> Box<dyn TrainTask>,
+    mut make_opt: impl FnMut(f32) -> Box<dyn Optimizer>,
+) -> GridOutcome {
+    assert!(!values.is_empty(), "grid_search: empty grid");
+    assert!(!seeds.is_empty(), "grid_search: no seeds");
+    let mut best: Option<GridOutcome> = None;
+    let mut scores = Vec::with_capacity(values.len());
+    for &value in values {
+        let mut loss_curves = Vec::with_capacity(seeds.len());
+        let mut metric_runs: Vec<RunResult> = Vec::with_capacity(seeds.len());
+        for &seed in seeds {
+            let mut task = make_task(seed);
+            let mut opt = make_opt(value);
+            let result = train(task.as_mut(), opt.as_mut(), cfg);
+            loss_curves.push(result.losses.clone());
+            metric_runs.push(result);
+        }
+        let avg = average_curves(&loss_curves);
+        let smoothed = smooth(&avg, window);
+        let lowest = smoothed.iter().copied().fold(f64::INFINITY, f64::min);
+        scores.push((value, lowest));
+        let metrics = average_metrics(&metric_runs);
+        let better = match &best {
+            None => true,
+            Some(b) => {
+                let b_low = b
+                    .best_curve
+                    .iter()
+                    .copied()
+                    .fold(f64::INFINITY, f64::min);
+                lowest < b_low
+            }
+        };
+        if better {
+            best = Some(GridOutcome {
+                best_value: value,
+                best_curve: smoothed,
+                best_metrics: metrics,
+                scores: Vec::new(),
+            });
+        }
+    }
+    let mut outcome = best.expect("at least one grid point");
+    outcome.scores = scores;
+    outcome
+}
+
+/// Averages validation metric series pointwise across runs (all runs must
+/// have validated at the same iterations).
+pub fn average_metrics(runs: &[RunResult]) -> Vec<(u64, f64)> {
+    if runs.is_empty() || runs[0].metrics.is_empty() {
+        return Vec::new();
+    }
+    let n = runs[0].metrics.len();
+    let mut out: Vec<(u64, f64)> = runs[0].metrics.iter().map(|&(i, _)| (i, 0.0)).collect();
+    for run in runs {
+        assert_eq!(run.metrics.len(), n, "average_metrics: ragged runs");
+        for (slot, &(i, v)) in out.iter_mut().zip(&run.metrics) {
+            assert_eq!(slot.0, i, "average_metrics: misaligned iterations");
+            slot.1 += v;
+        }
+    }
+    for slot in &mut out {
+        slot.1 /= runs.len() as f64;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::task::ModelTask;
+    use yf_nn::Mlp;
+    use yf_optim::Sgd;
+    use yf_tensor::rng::Pcg32;
+    use yf_tensor::Tensor;
+
+    fn make_task(seed: u64) -> Box<dyn TrainTask> {
+        let mut rng = Pcg32::seed(seed);
+        let mlp = Mlp::new(&[2, 6, 2], &mut rng);
+        let mut data_rng = Pcg32::seed(seed ^ 0xdead);
+        Box::new(ModelTask::new(
+            mlp,
+            move |_| {
+                let x = Tensor::randn(&[8, 2], &mut data_rng);
+                let y = (0..8).map(|r| usize::from(x.at(&[r, 0]) > 0.0)).collect();
+                (x, y)
+            },
+            |_| 0.0,
+            "none",
+            true,
+        ))
+    }
+
+    #[test]
+    fn grid_prefers_working_learning_rate() {
+        // 1e-6 barely moves; 0.3 learns. The grid must pick 0.3.
+        let outcome = grid_search(
+            &[1e-6, 0.3],
+            &[1, 2],
+            20,
+            &RunConfig::plain(150),
+            make_task,
+            |lr| Box::new(Sgd::new(lr)),
+        );
+        assert_eq!(outcome.best_value, 0.3);
+        assert_eq!(outcome.scores.len(), 2);
+        let s_tiny = outcome.scores[0].1;
+        let s_good = outcome.scores[1].1;
+        assert!(s_good < s_tiny, "{s_good} vs {s_tiny}");
+    }
+
+    #[test]
+    fn average_curves_pointwise() {
+        let avg = average_curves(&[vec![1.0, 2.0], vec![3.0, 4.0]]);
+        assert_eq!(avg, vec![2.0, 3.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "ragged curves")]
+    fn ragged_curves_panic() {
+        average_curves(&[vec![1.0], vec![1.0, 2.0]]);
+    }
+}

@@ -1,0 +1,25 @@
+//! Experiment harness for the YellowFin reproduction.
+//!
+//! Everything the per-figure regenerators in `yf-bench` share lives here:
+//!
+//! - [`task`]: the type-erased [`task::TrainTask`] interface every
+//!   workload implements, plus the adapter that turns a
+//!   [`yf_nn::SupervisedModel`] into one;
+//! - [`trainer`]: synchronous and asynchronous training loops producing
+//!   loss curves and periodic validation metrics;
+//! - [`smoothing`]: the uniform-window loss smoothing of Section 5.1;
+//! - [`speedup`]: the paper's speedup protocol (common lowest smoothed
+//!   loss, ratio of iterations to reach it);
+//! - [`grid`]: learning-rate grid search with multi-seed averaging
+//!   (Appendix I protocol);
+//! - [`workloads`]: seeded constructors for every workload in the
+//!   evaluation (Table 3 at reduced scale) plus the specification table;
+//! - [`report`]: CSV/markdown emission under `target/experiments/`.
+
+pub mod grid;
+pub mod report;
+pub mod smoothing;
+pub mod speedup;
+pub mod task;
+pub mod trainer;
+pub mod workloads;

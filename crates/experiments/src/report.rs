@@ -1,0 +1,128 @@
+//! CSV and markdown emission for the figure/table regenerators.
+
+use std::fs;
+use std::io::Write as _;
+use std::path::PathBuf;
+
+/// Directory where regenerators drop their CSV artifacts.
+pub fn output_dir() -> PathBuf {
+    let dir = std::env::var("YF_OUT_DIR").unwrap_or_else(|_| "target/experiments".to_string());
+    PathBuf::from(dir)
+}
+
+/// Writes a CSV file with a header row under [`output_dir`], creating the
+/// directory if needed. Returns the path written.
+///
+/// # Panics
+///
+/// Panics if the file cannot be written (regenerators treat that as
+/// fatal).
+pub fn write_csv(name: &str, header: &[&str], rows: &[Vec<String>]) -> PathBuf {
+    let dir = output_dir();
+    fs::create_dir_all(&dir).expect("create experiments output dir");
+    let path = dir.join(name);
+    let mut f = fs::File::create(&path).expect("create csv");
+    writeln!(f, "{}", header.join(",")).expect("write header");
+    for row in rows {
+        writeln!(f, "{}", row.join(",")).expect("write row");
+    }
+    path
+}
+
+/// Renders a two-dimensional table as github-flavored markdown.
+pub fn markdown_table(header: &[&str], rows: &[Vec<String>]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("| {} |\n", header.join(" | ")));
+    out.push_str(&format!(
+        "|{}\n",
+        header.iter().map(|_| "---|").collect::<String>()
+    ));
+    for row in rows {
+        out.push_str(&format!("| {} |\n", row.join(" | ")));
+    }
+    out
+}
+
+/// Downsamples a per-iteration series to at most `points` evenly spaced
+/// `(iteration, value)` pairs for compact printing.
+pub fn downsample(series: &[f64], points: usize) -> Vec<(usize, f64)> {
+    if series.is_empty() || points == 0 {
+        return Vec::new();
+    }
+    let stride = (series.len() / points).max(1);
+    let mut out: Vec<(usize, f64)> = series
+        .iter()
+        .copied()
+        .enumerate()
+        .step_by(stride)
+        .collect();
+    let last = series.len() - 1;
+    if out.last().map(|&(i, _)| i) != Some(last) {
+        out.push((last, series[last]));
+    }
+    out
+}
+
+/// Formats a float compactly for table cells.
+pub fn fmt(v: f64) -> String {
+    if !v.is_finite() {
+        return format!("{v}");
+    }
+    let a = v.abs();
+    if a != 0.0 && (a < 1e-3 || a >= 1e5) {
+        format!("{v:.3e}")
+    } else {
+        format!("{v:.4}")
+    }
+}
+
+/// Prints a labelled series (figure regenerators use this to emit the
+/// paper's curves as text).
+pub fn print_series(label: &str, series: &[(usize, f64)]) {
+    println!("# {label}");
+    for (i, v) in series {
+        println!("{i}\t{}", fmt(*v));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn markdown_table_shape() {
+        let md = markdown_table(&["a", "b"], &[vec!["1".into(), "2".into()]]);
+        assert!(md.contains("| a | b |"));
+        assert!(md.contains("| 1 | 2 |"));
+        assert_eq!(md.lines().count(), 3);
+    }
+
+    #[test]
+    fn downsample_keeps_endpoints() {
+        let series: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        let d = downsample(&series, 10);
+        assert_eq!(d.first(), Some(&(0, 0.0)));
+        assert_eq!(d.last(), Some(&(99, 99.0)));
+        assert!(d.len() <= 12);
+    }
+
+    #[test]
+    fn fmt_styles() {
+        assert_eq!(fmt(1.5), "1.5000");
+        assert_eq!(fmt(1e-9), "1.000e-9");
+        assert!(fmt(f64::NAN).contains("NaN"));
+    }
+
+    #[test]
+    fn write_csv_round_trip() {
+        std::env::set_var("YF_OUT_DIR", std::env::temp_dir().join("yf-test-out"));
+        let p = write_csv(
+            "unit_test.csv",
+            &["x", "y"],
+            &[vec!["1".into(), "2".into()]],
+        );
+        let content = std::fs::read_to_string(p).unwrap();
+        assert_eq!(content, "x,y\n1,2\n");
+        std::env::remove_var("YF_OUT_DIR");
+    }
+}

@@ -1,0 +1,90 @@
+//! Loss-curve smoothing (Section 5.1).
+//!
+//! "For visualization purposes, we smooth training losses with a uniform
+//! window" — and the speedup protocol operates on the smoothed curves.
+//! The window is trailing (causal), so smoothed value `t` uses losses
+//! `t-w+1..=t`, which keeps "iterations to reach a loss" well defined.
+
+/// Trailing uniform-window average of a loss curve.
+///
+/// The first `window - 1` entries average over the (shorter) available
+/// prefix. `window == 0` is treated as 1 (no smoothing).
+pub fn smooth(losses: &[f32], window: usize) -> Vec<f64> {
+    let w = window.max(1);
+    let mut out = Vec::with_capacity(losses.len());
+    let mut acc = 0.0f64;
+    for (i, &l) in losses.iter().enumerate() {
+        acc += f64::from(l);
+        if i >= w {
+            acc -= f64::from(losses[i - w]);
+        }
+        let n = (i + 1).min(w);
+        out.push(acc / n as f64);
+    }
+    out
+}
+
+/// Monotone best-so-far transform for validation metrics ("the validation
+/// metrics are monotonic as we report the best values up to each number
+/// of iterations", Figure 5 caption).
+pub fn best_so_far(values: &[f64], lower_is_better: bool) -> Vec<f64> {
+    let mut out = Vec::with_capacity(values.len());
+    let mut best = if lower_is_better {
+        f64::INFINITY
+    } else {
+        f64::NEG_INFINITY
+    };
+    for &v in values {
+        best = if lower_is_better {
+            best.min(v)
+        } else {
+            best.max(v)
+        };
+        out.push(best);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smooth_window_one_is_identity() {
+        let xs = [3.0f32, 1.0, 2.0];
+        assert_eq!(smooth(&xs, 1), vec![3.0, 1.0, 2.0]);
+        assert_eq!(smooth(&xs, 0), vec![3.0, 1.0, 2.0]);
+    }
+
+    #[test]
+    fn smooth_matches_hand_computation() {
+        let xs = [4.0f32, 2.0, 6.0, 0.0];
+        let s = smooth(&xs, 2);
+        assert_eq!(s, vec![4.0, 3.0, 4.0, 3.0]);
+    }
+
+    #[test]
+    fn smooth_reduces_oscillation() {
+        let xs: Vec<f32> = (0..200)
+            .map(|i| 1.0 + if i % 2 == 0 { 0.5 } else { -0.5 })
+            .collect();
+        let s = smooth(&xs, 50);
+        let spread = s[100..]
+            .iter()
+            .fold((f64::MAX, f64::MIN), |(lo, hi), &v| (lo.min(v), hi.max(v)));
+        assert!(spread.1 - spread.0 < 0.05, "spread {spread:?}");
+    }
+
+    #[test]
+    fn best_so_far_monotone_both_directions() {
+        let v = [5.0, 7.0, 3.0, 4.0];
+        assert_eq!(best_so_far(&v, true), vec![5.0, 5.0, 3.0, 3.0]);
+        assert_eq!(best_so_far(&v, false), vec![5.0, 7.0, 7.0, 7.0]);
+    }
+
+    #[test]
+    fn empty_inputs() {
+        assert!(smooth(&[], 5).is_empty());
+        assert!(best_so_far(&[], true).is_empty());
+    }
+}

@@ -1,0 +1,85 @@
+//! The paper's speedup protocol (Section 5.1).
+//!
+//! "To compare two algorithms, we record the lowest smoothed loss
+//! achieved by both. Then the speedup is reported as the ratio of
+//! iterations to achieve this loss."
+
+/// First iteration (0-based) at which `curve` reaches `target` or lower,
+/// if it ever does.
+pub fn iters_to_reach(curve: &[f64], target: f64) -> Option<usize> {
+    curve.iter().position(|&v| v <= target)
+}
+
+/// The lowest value both curves achieve (i.e. the max of the two minima).
+///
+/// Returns `None` if either curve is empty.
+pub fn common_lowest(a: &[f64], b: &[f64]) -> Option<f64> {
+    let min = |c: &[f64]| c.iter().copied().fold(f64::INFINITY, f64::min);
+    if a.is_empty() || b.is_empty() {
+        return None;
+    }
+    Some(min(a).max(min(b)))
+}
+
+/// Speedup of `candidate` over `baseline`: (iterations the baseline needs
+/// to reach the common lowest loss) / (iterations the candidate needs).
+/// Values above 1 mean the candidate is faster, exactly as reported in
+/// the paper's Table 2.
+///
+/// Returns `None` if the curves are empty or either never reaches the
+/// target (which cannot happen for the curve attaining the max-of-minima,
+/// but guards float edge cases).
+pub fn speedup_over(baseline: &[f64], candidate: &[f64]) -> Option<f64> {
+    let target = common_lowest(baseline, candidate)?;
+    let ib = iters_to_reach(baseline, target)?;
+    let ic = iters_to_reach(candidate, target)?;
+    // +1: "iterations to achieve", counting from 1, avoids 0/0 when both
+    // start below the target.
+    Some((ib + 1) as f64 / (ic + 1) as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn geometric(start: f64, rate: f64, n: usize) -> Vec<f64> {
+        (0..n).map(|t| start * rate.powi(t as i32)).collect()
+    }
+
+    #[test]
+    fn identical_curves_give_speedup_one() {
+        let c = geometric(1.0, 0.99, 500);
+        assert!((speedup_over(&c, &c).unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn faster_decay_wins_by_rate_ratio() {
+        // Curve B decays twice as fast in log domain: it reaches any
+        // given level in half the iterations, so speedup ~ 2.
+        let a = geometric(1.0, 0.99, 2000);
+        let b = geometric(1.0, 0.99 * 0.99, 2000);
+        let s = speedup_over(&a, &b).unwrap();
+        assert!((s - 2.0).abs() < 0.05, "speedup {s}");
+    }
+
+    #[test]
+    fn slower_candidate_reports_below_one() {
+        let a = geometric(1.0, 0.98, 1000);
+        let b = geometric(1.0, 0.99, 1000);
+        let s = speedup_over(&a, &b).unwrap();
+        assert!(s < 1.0, "speedup {s}");
+    }
+
+    #[test]
+    fn common_lowest_is_max_of_minima() {
+        let a = vec![3.0, 2.0, 1.0];
+        let b = vec![3.0, 2.5, 2.0];
+        assert_eq!(common_lowest(&a, &b), Some(2.0));
+    }
+
+    #[test]
+    fn unreached_target_is_none() {
+        assert_eq!(iters_to_reach(&[3.0, 2.0], 1.0), None);
+        assert_eq!(common_lowest(&[], &[1.0]), None);
+    }
+}

@@ -1,0 +1,200 @@
+//! Synchronous and asynchronous training loops.
+
+use crate::task::{TaskSource, TrainTask};
+use yf_async::RoundRobinSimulator;
+use yf_optim::schedule::Schedule;
+use yf_optim::Optimizer;
+
+/// Options for a training run.
+#[derive(Debug, Clone)]
+pub struct RunConfig {
+    /// Iterations to train.
+    pub iters: usize,
+    /// Validate every this many iterations (0 disables validation).
+    pub eval_every: usize,
+    /// Learning-rate schedule applied on "epoch" boundaries.
+    pub schedule: Schedule,
+    /// Iterations per epoch for the schedule (0 disables epochs).
+    pub iters_per_epoch: usize,
+}
+
+impl RunConfig {
+    /// A plain run: no validation, no schedule.
+    pub fn plain(iters: usize) -> Self {
+        RunConfig {
+            iters,
+            eval_every: 0,
+            schedule: Schedule::Constant,
+            iters_per_epoch: 0,
+        }
+    }
+
+    /// Adds periodic validation.
+    pub fn with_eval(mut self, every: usize) -> Self {
+        self.eval_every = every;
+        self
+    }
+}
+
+/// The product of a training run.
+#[derive(Debug, Clone, Default)]
+pub struct RunResult {
+    /// Per-iteration minibatch losses.
+    pub losses: Vec<f32>,
+    /// `(iteration, metric)` validation points.
+    pub metrics: Vec<(u64, f64)>,
+    /// Final parameters.
+    pub final_params: Vec<f32>,
+}
+
+impl RunResult {
+    /// The best validation metric seen, if any was recorded.
+    pub fn best_metric(&self, lower_is_better: bool) -> Option<f64> {
+        let vals = self.metrics.iter().map(|&(_, v)| v);
+        if lower_is_better {
+            vals.fold(None, |acc: Option<f64>, v| Some(acc.map_or(v, |a| a.min(v))))
+        } else {
+            vals.fold(None, |acc: Option<f64>, v| Some(acc.map_or(v, |a| a.max(v))))
+        }
+    }
+}
+
+/// Trains synchronously: one gradient per step, applied immediately.
+pub fn train(task: &mut dyn TrainTask, opt: &mut dyn Optimizer, cfg: &RunConfig) -> RunResult {
+    let mut params = task.init_params();
+    let base_lr = opt.learning_rate();
+    let mut result = RunResult::default();
+    for step in 0..cfg.iters {
+        if cfg.iters_per_epoch > 0 && step % cfg.iters_per_epoch == 0 {
+            let epoch = step / cfg.iters_per_epoch;
+            cfg.schedule.apply(opt, base_lr, epoch);
+        }
+        let (loss, grad) = task.loss_grad_at(&params, step as u64);
+        opt.step(&mut params, &grad);
+        result.losses.push(loss);
+        if cfg.eval_every > 0 && (step + 1) % cfg.eval_every == 0 {
+            let m = task.validate(&params);
+            result.metrics.push((step as u64 + 1, m));
+        }
+    }
+    result.final_params = params;
+    result
+}
+
+/// Trains through the round-robin asynchronous simulator with `workers`
+/// workers (gradient staleness `workers - 1`).
+pub fn train_async(
+    task: &mut dyn TrainTask,
+    opt: &mut dyn Optimizer,
+    workers: usize,
+    cfg: &RunConfig,
+) -> RunResult {
+    let initial = task.init_params();
+    let mut result = RunResult::default();
+    let mut sim = RoundRobinSimulator::new(workers, initial);
+    for step in 0..cfg.iters {
+        let record = {
+            let mut source = TaskSource::new(task);
+            sim.step(&mut source, opt)
+        };
+        result.losses.push(record.loss);
+        if cfg.eval_every > 0 && (step + 1) % cfg.eval_every == 0 {
+            let m = task.validate(sim.params());
+            result.metrics.push((step as u64 + 1, m));
+        }
+    }
+    result.final_params = sim.params().to_vec();
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::task::ModelTask;
+    use yf_nn::Mlp;
+    use yf_optim::MomentumSgd;
+    use yf_tensor::rng::Pcg32;
+    use yf_tensor::Tensor;
+
+    fn small_task(seed: u64) -> ModelTask<Mlp> {
+        let mut rng = Pcg32::seed(seed);
+        let mlp = Mlp::new(&[2, 8, 2], &mut rng);
+        let mut data_rng = Pcg32::seed(seed + 1);
+        ModelTask::new(
+            mlp,
+            move |_| {
+                let x = Tensor::randn(&[8, 2], &mut data_rng);
+                let y = (0..8)
+                    .map(|r| usize::from(x.at(&[r, 0]) + x.at(&[r, 1]) > 0.0))
+                    .collect();
+                (x, y)
+            },
+            |m| {
+                let mut rng = Pcg32::seed(999);
+                let x = Tensor::randn(&[64, 2], &mut rng);
+                let y: Vec<usize> = (0..64)
+                    .map(|r| usize::from(x.at(&[r, 0]) + x.at(&[r, 1]) > 0.0))
+                    .collect();
+                f64::from(m.accuracy(&x, &y))
+            },
+            "accuracy",
+            false,
+        )
+    }
+
+    #[test]
+    fn sync_training_learns() {
+        let mut task = small_task(10);
+        let mut opt = MomentumSgd::new(0.1, 0.9);
+        let result = train(
+            &mut task,
+            &mut opt,
+            &RunConfig::plain(400).with_eval(100),
+        );
+        assert_eq!(result.losses.len(), 400);
+        assert_eq!(result.metrics.len(), 4);
+        let best = result.best_metric(false).unwrap();
+        assert!(best > 0.9, "best accuracy {best}");
+    }
+
+    #[test]
+    fn async_training_learns_with_staleness() {
+        let mut task = small_task(11);
+        let mut opt = MomentumSgd::new(0.02, 0.5);
+        let result = train_async(
+            &mut task,
+            &mut opt,
+            8,
+            &RunConfig::plain(800).with_eval(200),
+        );
+        let best = result.best_metric(false).unwrap();
+        assert!(best > 0.85, "best accuracy {best}");
+    }
+
+    #[test]
+    fn async_with_one_worker_matches_sync() {
+        let mut t1 = small_task(12);
+        let mut t2 = small_task(12);
+        let mut o1 = MomentumSgd::new(0.05, 0.9);
+        let mut o2 = MomentumSgd::new(0.05, 0.9);
+        let r1 = train(&mut t1, &mut o1, &RunConfig::plain(100));
+        let r2 = train_async(&mut t2, &mut o2, 1, &RunConfig::plain(100));
+        assert_eq!(r1.losses, r2.losses);
+        assert_eq!(r1.final_params, r2.final_params);
+    }
+
+    #[test]
+    fn schedule_decays_learning_rate() {
+        let mut task = small_task(13);
+        let mut opt = MomentumSgd::new(1.0, 0.0);
+        let cfg = RunConfig {
+            iters: 30,
+            eval_every: 0,
+            schedule: Schedule::EveryEpoch { factor: 0.5 },
+            iters_per_epoch: 10,
+        };
+        train(&mut task, &mut opt, &cfg);
+        // After epochs 0, 1, 2 the last applied multiplier is 0.25.
+        assert!((opt.learning_rate() - 0.25).abs() < 1e-6);
+    }
+}

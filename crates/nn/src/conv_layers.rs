@@ -1,0 +1,120 @@
+//! Convolution and batch-normalization layers.
+
+use crate::model::{Param, ParamNodes};
+use yf_autograd::{ConvSpec, Graph, NodeId};
+use yf_tensor::rng::Pcg32;
+use yf_tensor::Tensor;
+
+/// A 2-D convolution layer (no bias — every use in the ResNets is
+/// followed by batch normalization, which absorbs it).
+#[derive(Debug, Clone)]
+pub struct Conv2dLayer {
+    /// Kernel `[out, in/groups, k, k]`.
+    pub w: Param,
+    /// Stride/padding/groups.
+    pub spec: ConvSpec,
+}
+
+impl Conv2dLayer {
+    /// He-initialized square convolution.
+    pub fn new(
+        name: &str,
+        in_ch: usize,
+        out_ch: usize,
+        kernel: usize,
+        spec: ConvSpec,
+        rng: &mut Pcg32,
+    ) -> Self {
+        assert_eq!(in_ch % spec.groups, 0, "conv layer: channels vs groups");
+        let fan_in = (in_ch / spec.groups) * kernel * kernel;
+        Conv2dLayer {
+            w: Param::new(
+                format!("{name}.w"),
+                Tensor::he(&[out_ch, in_ch / spec.groups, kernel, kernel], fan_in, rng),
+            ),
+            spec,
+        }
+    }
+
+    /// Binds the kernel and convolves `[B, Cin, H, W]`.
+    pub fn forward(&self, g: &mut Graph, nodes: &mut ParamNodes, x: NodeId) -> NodeId {
+        let w = nodes.bind(g, &self.w);
+        g.conv2d(x, w, self.spec)
+    }
+}
+
+/// Batch normalization over `[B, C, H, W]`.
+///
+/// This reproduction always normalizes with *batch* statistics (training
+/// mode), including during evaluation — our synthetic validation batches
+/// are the same size as training batches, so the eval-mode running-stats
+/// refinement does not change any of the comparisons the paper makes.
+/// (Documented as a deviation in DESIGN.md.)
+#[derive(Debug, Clone)]
+pub struct BatchNorm2d {
+    /// Per-channel scale, initialized to 1.
+    pub gamma: Param,
+    /// Per-channel shift, initialized to 0.
+    pub beta: Param,
+    /// Numerical floor inside the square root.
+    pub eps: f32,
+}
+
+impl BatchNorm2d {
+    /// A batch-norm layer for `channels` feature maps.
+    pub fn new(name: &str, channels: usize) -> Self {
+        BatchNorm2d {
+            gamma: Param::new(format!("{name}.gamma"), Tensor::ones(&[channels])),
+            beta: Param::new(format!("{name}.beta"), Tensor::zeros(&[channels])),
+            eps: 1e-5,
+        }
+    }
+
+    /// Binds scale/shift and normalizes.
+    pub fn forward(&self, g: &mut Graph, nodes: &mut ParamNodes, x: NodeId) -> NodeId {
+        let gamma = nodes.bind(g, &self.gamma);
+        let beta = nodes.bind(g, &self.beta);
+        g.batch_norm(x, gamma, beta, self.eps)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conv_layer_output_shape() {
+        let mut rng = Pcg32::seed(4);
+        let layer = Conv2dLayer::new("c", 3, 8, 3, ConvSpec::same3x3(2), &mut rng);
+        let mut g = Graph::new();
+        let mut nodes = ParamNodes::new();
+        let x = g.constant(Tensor::ones(&[2, 3, 8, 8]));
+        let y = layer.forward(&mut g, &mut nodes, x);
+        assert_eq!(g.value(y).shape(), &[2, 8, 4, 4]);
+    }
+
+    #[test]
+    fn batch_norm_normalizes_batch() {
+        let mut rng = Pcg32::seed(5);
+        let bn = BatchNorm2d::new("bn", 2);
+        let mut g = Graph::new();
+        let mut nodes = ParamNodes::new();
+        let x = g.constant(Tensor::randn(&[4, 2, 3, 3], &mut rng).map(|v| 5.0 * v + 2.0));
+        let y = bn.forward(&mut g, &mut nodes, x);
+        let mean = g.value(y).mean();
+        assert!(mean.abs() < 1e-4, "post-BN mean {mean}");
+        assert_eq!(nodes.ids().len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "channels vs groups")]
+    fn bad_group_count_panics() {
+        let mut rng = Pcg32::seed(6);
+        let spec = ConvSpec {
+            stride: 1,
+            padding: 1,
+            groups: 3,
+        };
+        Conv2dLayer::new("c", 4, 6, 3, spec, &mut rng);
+    }
+}

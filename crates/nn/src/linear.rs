@@ -1,0 +1,144 @@
+//! Dense and embedding layers.
+
+use crate::model::{Param, ParamNodes};
+use yf_autograd::{Graph, NodeId};
+use yf_tensor::rng::Pcg32;
+use yf_tensor::Tensor;
+
+/// A fully connected layer `y = x W + b`.
+#[derive(Debug, Clone)]
+pub struct Linear {
+    /// Weight `[in, out]`.
+    pub w: Param,
+    /// Bias `[out]`, optional.
+    pub b: Option<Param>,
+}
+
+impl Linear {
+    /// Xavier-initialized linear layer.
+    pub fn new(name: &str, fan_in: usize, fan_out: usize, bias: bool, rng: &mut Pcg32) -> Self {
+        Linear {
+            w: Param::new(
+                format!("{name}.w"),
+                Tensor::xavier(&[fan_in, fan_out], fan_in, fan_out, rng),
+            ),
+            b: bias.then(|| Param::new(format!("{name}.b"), Tensor::zeros(&[fan_out]))),
+        }
+    }
+
+    /// Binds parameters and applies the layer to `[B, in]`.
+    pub fn forward(&self, g: &mut Graph, nodes: &mut ParamNodes, x: NodeId) -> NodeId {
+        let w = nodes.bind(g, &self.w);
+        let y = g.matmul(x, w);
+        match &self.b {
+            Some(b) => {
+                let b = nodes.bind(g, b);
+                g.add_bias(y, b)
+            }
+            None => y,
+        }
+    }
+
+    /// Applies the layer reusing an already-bound weight node (weight
+    /// tying; `w_t` must be the transpose-shaped `[in, out]` weight).
+    pub fn forward_with_weight(&self, g: &mut Graph, nodes: &mut ParamNodes, x: NodeId, w: NodeId) -> NodeId {
+        let y = g.matmul(x, w);
+        match &self.b {
+            Some(b) => {
+                let b = nodes.bind(g, b);
+                g.add_bias(y, b)
+            }
+            None => y,
+        }
+    }
+
+    /// Parameters in binding order.
+    pub fn params(&self) -> Vec<&Param> {
+        let mut v = vec![&self.w];
+        if let Some(b) = &self.b {
+            v.push(b);
+        }
+        v
+    }
+
+    /// Mutable parameters in binding order.
+    pub fn params_mut(&mut self) -> Vec<&mut Param> {
+        let mut v = vec![&mut self.w];
+        if let Some(b) = &mut self.b {
+            v.push(b);
+        }
+        v
+    }
+}
+
+/// A token embedding table `[vocab, dim]`.
+#[derive(Debug, Clone)]
+pub struct Embedding {
+    /// The table.
+    pub w: Param,
+}
+
+impl Embedding {
+    /// Normal(0, 0.1)-initialized embedding.
+    pub fn new(name: &str, vocab: usize, dim: usize, rng: &mut Pcg32) -> Self {
+        let mut t = Tensor::randn(&[vocab, dim], rng);
+        t.scale_in_place(0.1);
+        Embedding {
+            w: Param::new(format!("{name}.w"), t),
+        }
+    }
+
+    /// Binds the table and gathers rows for `ids`, producing
+    /// `[ids.len(), dim]`.
+    pub fn forward(&self, g: &mut Graph, nodes: &mut ParamNodes, ids: &[usize]) -> NodeId {
+        let w = nodes.bind(g, &self.w);
+        g.embedding(w, ids)
+    }
+
+    /// Vocabulary size.
+    pub fn vocab(&self) -> usize {
+        self.w.value.shape()[0]
+    }
+
+    /// Embedding dimension.
+    pub fn dim(&self) -> usize {
+        self.w.value.shape()[1]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linear_shapes_and_bias() {
+        let mut rng = Pcg32::seed(1);
+        let layer = Linear::new("fc", 4, 3, true, &mut rng);
+        let mut g = Graph::new();
+        let mut nodes = ParamNodes::new();
+        let x = g.constant(Tensor::ones(&[2, 4]));
+        let y = layer.forward(&mut g, &mut nodes, x);
+        assert_eq!(g.value(y).shape(), &[2, 3]);
+        assert_eq!(nodes.ids().len(), 2);
+    }
+
+    #[test]
+    fn linear_without_bias_binds_one_param() {
+        let mut rng = Pcg32::seed(2);
+        let layer = Linear::new("fc", 4, 3, false, &mut rng);
+        assert_eq!(layer.params().len(), 1);
+    }
+
+    #[test]
+    fn embedding_gathers_rows() {
+        let mut rng = Pcg32::seed(3);
+        let emb = Embedding::new("emb", 5, 2, &mut rng);
+        let mut g = Graph::new();
+        let mut nodes = ParamNodes::new();
+        let out = emb.forward(&mut g, &mut nodes, &[4, 0, 4]);
+        assert_eq!(g.value(out).shape(), &[3, 2]);
+        let row4: Vec<f32> = emb.w.value.data()[8..10].to_vec();
+        assert_eq!(&g.value(out).data()[0..2], row4.as_slice());
+        assert_eq!(&g.value(out).data()[4..6], row4.as_slice());
+    }
+}

@@ -1,0 +1,282 @@
+//! LSTM cells and stacks.
+
+use crate::model::{Param, ParamNodes};
+use yf_autograd::{Graph, NodeId};
+use yf_tensor::rng::Pcg32;
+use yf_tensor::Tensor;
+
+/// Hidden and cell node pair for one LSTM layer at one timestep.
+#[derive(Debug, Clone, Copy)]
+pub struct LstmState {
+    /// Hidden state `[B, H]`.
+    pub h: NodeId,
+    /// Cell state `[B, H]`.
+    pub c: NodeId,
+}
+
+/// A single LSTM cell with fused gate weights.
+///
+/// Gate layout along the `4H` axis is `[input, forget, candidate,
+/// output]`. `recurrent_scale > 1` deliberately inflates the recurrent
+/// weights — the knob used to induce the exploding-gradient behaviour of
+/// the paper's Figure 6.
+#[derive(Debug, Clone)]
+pub struct LstmCell {
+    /// Input-to-gates weight `[I, 4H]`.
+    pub w_ih: Param,
+    /// Hidden-to-gates weight `[H, 4H]`.
+    pub w_hh: Param,
+    /// Gate bias `[4H]` (forget-gate slice initialized to 1).
+    pub b: Param,
+    hidden: usize,
+}
+
+impl LstmCell {
+    /// Creates a cell with Xavier weights and forget-gate bias 1.
+    pub fn new(name: &str, input: usize, hidden: usize, rng: &mut Pcg32) -> Self {
+        Self::with_recurrent_scale(name, input, hidden, 1.0, rng)
+    }
+
+    /// Creates a cell whose recurrent weight is scaled by
+    /// `recurrent_scale` after initialization (used to construct the
+    /// exploding-gradient variant of Figure 6).
+    pub fn with_recurrent_scale(
+        name: &str,
+        input: usize,
+        hidden: usize,
+        recurrent_scale: f32,
+        rng: &mut Pcg32,
+    ) -> Self {
+        let w_ih = Tensor::xavier(&[input, 4 * hidden], input, hidden, rng);
+        let mut w_hh = Tensor::xavier(&[hidden, 4 * hidden], hidden, hidden, rng);
+        w_hh.scale_in_place(recurrent_scale);
+        let mut b = Tensor::zeros(&[4 * hidden]);
+        for i in hidden..2 * hidden {
+            b.data_mut()[i] = 1.0; // forget-gate bias: remember by default
+        }
+        LstmCell {
+            w_ih: Param::new(format!("{name}.w_ih"), w_ih),
+            w_hh: Param::new(format!("{name}.w_hh"), w_hh),
+            b: Param::new(format!("{name}.b"), b),
+            hidden,
+        }
+    }
+
+    /// Hidden width `H`.
+    pub fn hidden(&self) -> usize {
+        self.hidden
+    }
+
+    /// Binds this cell's parameters once per graph; the returned ids are
+    /// then reused across all timesteps.
+    pub fn bind(&self, g: &mut Graph, nodes: &mut ParamNodes) -> (NodeId, NodeId, NodeId) {
+        (
+            nodes.bind(g, &self.w_ih),
+            nodes.bind(g, &self.w_hh),
+            nodes.bind(g, &self.b),
+        )
+    }
+
+    /// One timestep: `x [B, I]`, previous state -> next state.
+    pub fn step(
+        &self,
+        g: &mut Graph,
+        bound: (NodeId, NodeId, NodeId),
+        x: NodeId,
+        state: LstmState,
+    ) -> LstmState {
+        let (w_ih, w_hh, b) = bound;
+        let hsz = self.hidden;
+        let xi = g.matmul(x, w_ih);
+        let hh = g.matmul(state.h, w_hh);
+        let pre = g.add(xi, hh);
+        let gates = g.add_bias(pre, b);
+        let i_pre = g.slice_cols(gates, 0, hsz);
+        let f_pre = g.slice_cols(gates, hsz, hsz);
+        let g_pre = g.slice_cols(gates, 2 * hsz, hsz);
+        let o_pre = g.slice_cols(gates, 3 * hsz, hsz);
+        let i = g.sigmoid(i_pre);
+        let f = g.sigmoid(f_pre);
+        let cand = g.tanh(g_pre);
+        let o = g.sigmoid(o_pre);
+        let fc = g.mul(f, state.c);
+        let ic = g.mul(i, cand);
+        let c = g.add(fc, ic);
+        let tc = g.tanh(c);
+        let h = g.mul(o, tc);
+        LstmState { h, c }
+    }
+
+    /// Zero initial state for batch size `b`.
+    pub fn zero_state(&self, g: &mut Graph, b: usize) -> LstmState {
+        LstmState {
+            h: g.constant(Tensor::zeros(&[b, self.hidden])),
+            c: g.constant(Tensor::zeros(&[b, self.hidden])),
+        }
+    }
+
+    /// Parameters in binding order.
+    pub fn params(&self) -> Vec<&Param> {
+        vec![&self.w_ih, &self.w_hh, &self.b]
+    }
+
+    /// Mutable parameters in binding order.
+    pub fn params_mut(&mut self) -> Vec<&mut Param> {
+        vec![&mut self.w_ih, &mut self.w_hh, &mut self.b]
+    }
+}
+
+/// A stack of LSTM layers run over a sequence.
+#[derive(Debug, Clone)]
+pub struct Lstm {
+    /// The layers, bottom first.
+    pub cells: Vec<LstmCell>,
+}
+
+impl Lstm {
+    /// Builds `layers` stacked cells: `input -> hidden -> ... -> hidden`.
+    pub fn new(name: &str, input: usize, hidden: usize, layers: usize, rng: &mut Pcg32) -> Self {
+        Self::with_recurrent_scale(name, input, hidden, layers, 1.0, rng)
+    }
+
+    /// Stacked cells with a recurrent-weight scale (cf.
+    /// [`LstmCell::with_recurrent_scale`]).
+    pub fn with_recurrent_scale(
+        name: &str,
+        input: usize,
+        hidden: usize,
+        layers: usize,
+        recurrent_scale: f32,
+        rng: &mut Pcg32,
+    ) -> Self {
+        assert!(layers > 0, "lstm: needs at least one layer");
+        let cells = (0..layers)
+            .map(|l| {
+                let in_dim = if l == 0 { input } else { hidden };
+                LstmCell::with_recurrent_scale(
+                    &format!("{name}.l{l}"),
+                    in_dim,
+                    hidden,
+                    recurrent_scale,
+                    rng,
+                )
+            })
+            .collect();
+        Lstm { cells }
+    }
+
+    /// Runs the stack over `xs` (one `[B, I]` node per timestep),
+    /// returning the top layer's hidden node at every timestep and the
+    /// final states of all layers.
+    pub fn forward_seq(
+        &self,
+        g: &mut Graph,
+        nodes: &mut ParamNodes,
+        xs: &[NodeId],
+        batch: usize,
+        init: Option<Vec<LstmState>>,
+    ) -> (Vec<NodeId>, Vec<LstmState>) {
+        let bound: Vec<_> = self.cells.iter().map(|c| c.bind(g, nodes)).collect();
+        let mut states: Vec<LstmState> = match init {
+            Some(s) => {
+                assert_eq!(s.len(), self.cells.len(), "lstm: init state count");
+                s
+            }
+            None => self.cells.iter().map(|c| c.zero_state(g, batch)).collect(),
+        };
+        let mut outputs = Vec::with_capacity(xs.len());
+        for &x in xs {
+            let mut input = x;
+            for (l, cell) in self.cells.iter().enumerate() {
+                let next = cell.step(g, bound[l], input, states[l]);
+                input = next.h;
+                states[l] = next;
+            }
+            outputs.push(input);
+        }
+        (outputs, states)
+    }
+
+    /// Parameters of all cells, in binding order.
+    pub fn params(&self) -> Vec<&Param> {
+        self.cells.iter().flat_map(|c| c.params()).collect()
+    }
+
+    /// Mutable parameters of all cells, in binding order.
+    pub fn params_mut(&mut self) -> Vec<&mut Param> {
+        self.cells.iter_mut().flat_map(|c| c.params_mut()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_step_shapes() {
+        let mut rng = Pcg32::seed(7);
+        let cell = LstmCell::new("c", 3, 5, &mut rng);
+        let mut g = Graph::new();
+        let mut nodes = ParamNodes::new();
+        let bound = cell.bind(&mut g, &mut nodes);
+        let x = g.constant(Tensor::ones(&[2, 3]));
+        let s0 = cell.zero_state(&mut g, 2);
+        let s1 = cell.step(&mut g, bound, x, s0);
+        assert_eq!(g.value(s1.h).shape(), &[2, 5]);
+        assert_eq!(g.value(s1.c).shape(), &[2, 5]);
+        assert_eq!(nodes.ids().len(), 3);
+    }
+
+    #[test]
+    fn hidden_values_bounded_by_tanh() {
+        let mut rng = Pcg32::seed(8);
+        let cell = LstmCell::new("c", 2, 4, &mut rng);
+        let mut g = Graph::new();
+        let mut nodes = ParamNodes::new();
+        let bound = cell.bind(&mut g, &mut nodes);
+        let x = g.constant(Tensor::full(&[1, 2], 100.0));
+        let mut s = cell.zero_state(&mut g, 1);
+        for _ in 0..5 {
+            s = cell.step(&mut g, bound, x, s);
+        }
+        assert!(g.value(s.h).data().iter().all(|v| v.abs() <= 1.0));
+    }
+
+    #[test]
+    fn stack_runs_sequence_and_params_count() {
+        let mut rng = Pcg32::seed(9);
+        let lstm = Lstm::new("l", 4, 6, 2, &mut rng);
+        assert_eq!(lstm.params().len(), 6);
+        let mut g = Graph::new();
+        let mut nodes = ParamNodes::new();
+        let xs: Vec<NodeId> = (0..3)
+            .map(|_| g.constant(Tensor::ones(&[2, 4])))
+            .collect();
+        let (outs, finals) = lstm.forward_seq(&mut g, &mut nodes, &xs, 2, None);
+        assert_eq!(outs.len(), 3);
+        assert_eq!(finals.len(), 2);
+        assert_eq!(g.value(outs[2]).shape(), &[2, 6]);
+        // 2 cells x 3 params bound exactly once despite 3 timesteps.
+        assert_eq!(nodes.ids().len(), 6);
+    }
+
+    #[test]
+    fn forget_bias_is_one() {
+        let mut rng = Pcg32::seed(10);
+        let cell = LstmCell::new("c", 2, 3, &mut rng);
+        let b = cell.b.value.data();
+        assert_eq!(&b[3..6], &[1.0, 1.0, 1.0]);
+        assert_eq!(&b[0..3], &[0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn recurrent_scale_amplifies_weights() {
+        let mut rng_a = Pcg32::seed(11);
+        let mut rng_b = Pcg32::seed(11);
+        let base = LstmCell::new("a", 2, 3, &mut rng_a);
+        let hot = LstmCell::with_recurrent_scale("b", 2, 3, 2.0, &mut rng_b);
+        let n_base = base.w_hh.value.norm();
+        let n_hot = hot.w_hh.value.norm();
+        assert!((n_hot / n_base - 2.0).abs() < 1e-5);
+    }
+}

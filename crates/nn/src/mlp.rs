@@ -1,0 +1,124 @@
+//! A plain multi-layer perceptron classifier (quickstart model).
+
+use crate::linear::Linear;
+use crate::model::{Param, ParamNodes, SupervisedModel};
+use yf_autograd::{Graph, NodeId};
+use yf_tensor::rng::Pcg32;
+use yf_tensor::Tensor;
+
+/// An MLP with ReLU hidden layers and a softmax-cross-entropy loss.
+///
+/// # Example
+///
+/// ```
+/// use yf_nn::{Mlp, SupervisedModel, loss_and_grad};
+/// use yf_tensor::{Tensor, rng::Pcg32};
+///
+/// let mut rng = Pcg32::seed(0);
+/// let mlp = Mlp::new(&[4, 16, 3], &mut rng);
+/// let batch = (Tensor::ones(&[2, 4]), vec![0usize, 2]);
+/// let (loss, grads) = loss_and_grad(&mlp, &batch);
+/// assert!(loss > 0.0);
+/// assert!(!grads.is_empty());
+/// ```
+#[derive(Debug, Clone)]
+pub struct Mlp {
+    layers: Vec<Linear>,
+}
+
+impl Mlp {
+    /// Builds an MLP from layer widths `[in, hidden.., classes]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than two widths are given.
+    pub fn new(widths: &[usize], rng: &mut Pcg32) -> Self {
+        assert!(widths.len() >= 2, "mlp: need at least input and output");
+        let layers = widths
+            .windows(2)
+            .enumerate()
+            .map(|(i, w)| Linear::new(&format!("mlp.fc{i}"), w[0], w[1], true, rng))
+            .collect();
+        Mlp { layers }
+    }
+
+    /// Class logits for a `[B, in]` input node.
+    pub fn logits(&self, g: &mut Graph, nodes: &mut ParamNodes, x: NodeId) -> NodeId {
+        let mut h = x;
+        let last = self.layers.len() - 1;
+        for (i, layer) in self.layers.iter().enumerate() {
+            h = layer.forward(g, nodes, h);
+            if i != last {
+                h = g.relu(h);
+            }
+        }
+        h
+    }
+
+    /// Fraction of `inputs` rows classified as `labels`.
+    pub fn accuracy(&self, inputs: &Tensor, labels: &[usize]) -> f32 {
+        let mut g = Graph::new();
+        let mut nodes = ParamNodes::new();
+        let x = g.constant(inputs.clone());
+        let logits = self.logits(&mut g, &mut nodes, x);
+        crate::model::argmax_accuracy(g.value(logits), labels)
+    }
+}
+
+impl SupervisedModel for Mlp {
+    type Batch = (Tensor, Vec<usize>);
+
+    fn loss(&self, g: &mut Graph, batch: &Self::Batch) -> (NodeId, ParamNodes) {
+        let mut nodes = ParamNodes::new();
+        let x = g.constant(batch.0.clone());
+        let logits = self.logits(g, &mut nodes, x);
+        (g.softmax_cross_entropy(logits, &batch.1), nodes)
+    }
+
+    fn params(&self) -> Vec<&Param> {
+        self.layers.iter().flat_map(|l| l.params()).collect()
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        self.layers.iter_mut().flat_map(|l| l.params_mut()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{flat_params, load_flat, loss_and_grad};
+
+    #[test]
+    fn learns_a_linearly_separable_problem() {
+        let mut rng = Pcg32::seed(20);
+        let mut mlp = Mlp::new(&[2, 8, 2], &mut rng);
+        // Class = sign of first coordinate.
+        let mut xs = Vec::new();
+        let mut ys = Vec::new();
+        for _ in 0..64 {
+            let a = rng.normal();
+            let b = rng.normal();
+            xs.extend_from_slice(&[a, b]);
+            ys.push(usize::from(a > 0.0));
+        }
+        let inputs = Tensor::from_vec(xs, &[64, 2]);
+        let batch = (inputs.clone(), ys.clone());
+        for _ in 0..200 {
+            let (_, grads) = loss_and_grad(&mlp, &batch);
+            let mut flat = flat_params(&mlp);
+            for (p, g) in flat.iter_mut().zip(&grads) {
+                *p -= 0.5 * g;
+            }
+            load_flat(&mut mlp, &flat);
+        }
+        let acc = mlp.accuracy(&inputs, &ys);
+        assert!(acc > 0.95, "accuracy {acc}");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least input and output")]
+    fn too_few_widths_panics() {
+        Mlp::new(&[3], &mut Pcg32::seed(0));
+    }
+}

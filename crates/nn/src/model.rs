@@ -1,0 +1,255 @@
+//! Parameter bookkeeping and the model/optimizer bridge.
+
+use yf_autograd::{Graph, NodeId};
+use yf_tensor::Tensor;
+
+/// A named, trainable tensor owned by a layer.
+#[derive(Debug, Clone)]
+pub struct Param {
+    /// Diagnostic name (e.g. `"stage1.block0.conv1.w"`).
+    pub name: String,
+    /// Current value.
+    pub value: Tensor,
+}
+
+impl Param {
+    /// Creates a named parameter.
+    pub fn new(name: impl Into<String>, value: Tensor) -> Self {
+        Param {
+            name: name.into(),
+            value,
+        }
+    }
+}
+
+/// Records the tape leaf for each parameter, in binding order.
+///
+/// Binding order is the contract between a model's `loss` and its
+/// `params()` list: layer code must bind parameters in exactly the order
+/// `params()` yields them, which [`collect_grads`] then relies on to
+/// flatten gradients.
+#[derive(Debug, Default)]
+pub struct ParamNodes {
+    ids: Vec<NodeId>,
+}
+
+impl ParamNodes {
+    /// Creates an empty recorder.
+    pub fn new() -> Self {
+        ParamNodes::default()
+    }
+
+    /// Binds `param` as a trainable leaf on `g` and records its node.
+    pub fn bind(&mut self, g: &mut Graph, param: &Param) -> NodeId {
+        let id = g.leaf(param.value.clone(), true);
+        self.ids.push(id);
+        id
+    }
+
+    /// Records an already-bound node again (weight tying lists a shared
+    /// parameter once in `params()` but may need its node in two places —
+    /// do *not* call this for that case; simply reuse the returned
+    /// `NodeId`. This method exists for models that assemble sub-modules
+    /// whose binding was done elsewhere.)
+    pub fn push_bound(&mut self, id: NodeId) {
+        self.ids.push(id);
+    }
+
+    /// The recorded nodes, in binding order.
+    pub fn ids(&self) -> &[NodeId] {
+        &self.ids
+    }
+}
+
+/// A trainable model with a batch type and a scalar loss.
+pub trait SupervisedModel {
+    /// One minibatch of training data.
+    type Batch;
+
+    /// Builds the loss for `batch` on a fresh graph, returning the scalar
+    /// loss node and the bound parameter nodes (in `params()` order).
+    fn loss(&self, g: &mut Graph, batch: &Self::Batch) -> (NodeId, ParamNodes);
+
+    /// The parameters in canonical (binding) order.
+    fn params(&self) -> Vec<&Param>;
+
+    /// Mutable access to the parameters, same order as [`Self::params`].
+    fn params_mut(&mut self) -> Vec<&mut Param>;
+}
+
+/// Total number of scalar parameters of a model.
+pub fn flat_dim<M: SupervisedModel + ?Sized>(model: &M) -> usize {
+    model.params().iter().map(|p| p.value.len()).sum()
+}
+
+/// Flattens all parameters into one vector (canonical order).
+pub fn flat_params<M: SupervisedModel + ?Sized>(model: &M) -> Vec<f32> {
+    let mut out = Vec::with_capacity(flat_dim(model));
+    for p in model.params() {
+        out.extend_from_slice(p.value.data());
+    }
+    out
+}
+
+/// Writes a flat vector back into the model's parameters.
+///
+/// # Panics
+///
+/// Panics if `flat.len()` does not match [`flat_dim`].
+pub fn load_flat<M: SupervisedModel + ?Sized>(model: &mut M, flat: &[f32]) {
+    assert_eq!(flat.len(), flat_dim(model), "load_flat: length mismatch");
+    let mut offset = 0;
+    for p in model.params_mut() {
+        let n = p.value.len();
+        p.value
+            .data_mut()
+            .copy_from_slice(&flat[offset..offset + n]);
+        offset += n;
+    }
+}
+
+/// Flattens the gradients of bound parameters after `backward`, in
+/// binding order; parameters that received no gradient contribute zeros.
+///
+/// # Panics
+///
+/// Panics if the number of bound nodes differs from `params().len()`.
+pub fn collect_grads<M: SupervisedModel + ?Sized>(
+    model: &M,
+    g: &Graph,
+    nodes: &ParamNodes,
+) -> Vec<f32> {
+    let params = model.params();
+    assert_eq!(
+        params.len(),
+        nodes.ids().len(),
+        "collect_grads: binding order broken ({} params, {} bound)",
+        params.len(),
+        nodes.ids().len()
+    );
+    let mut out = Vec::with_capacity(flat_dim(model));
+    for (p, &id) in params.iter().zip(nodes.ids()) {
+        match g.grad(id) {
+            Some(grad) => {
+                debug_assert_eq!(grad.shape(), p.value.shape(), "param {}", p.name);
+                out.extend_from_slice(grad.data());
+            }
+            None => out.extend(std::iter::repeat_n(0.0, p.value.len())),
+        }
+    }
+    out
+}
+
+/// Convenience: forward + backward on one batch, returning the scalar
+/// loss and the flat gradient.
+pub fn loss_and_grad<M: SupervisedModel>(model: &M, batch: &M::Batch) -> (f32, Vec<f32>) {
+    let mut g = Graph::new();
+    let (loss, nodes) = model.loss(&mut g, batch);
+    let loss_val = g.value(loss).data()[0];
+    g.backward(loss);
+    (loss_val, collect_grads(model, &g, &nodes))
+}
+
+/// Fraction of rows of a `[B, K]` logits tensor whose argmax matches the
+/// label — the accuracy metric shared by the classifier models.
+pub fn argmax_accuracy(logits: &Tensor, labels: &[usize]) -> f32 {
+    let k = logits.shape()[1];
+    let correct = labels
+        .iter()
+        .enumerate()
+        .filter(|&(r, &y)| {
+            let row = &logits.data()[r * k..(r + 1) * k];
+            let pred = row
+                .iter()
+                .enumerate()
+                .max_by(|a, b| a.1.total_cmp(b.1))
+                .map(|(i, _)| i)
+                .unwrap_or(0);
+            pred == y
+        })
+        .count();
+    correct as f32 / labels.len().max(1) as f32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Affine {
+        w: Param,
+        b: Param,
+    }
+
+    impl SupervisedModel for Affine {
+        type Batch = (Tensor, Vec<usize>);
+
+        fn loss(&self, g: &mut Graph, batch: &Self::Batch) -> (NodeId, ParamNodes) {
+            let mut nodes = ParamNodes::new();
+            let w = nodes.bind(g, &self.w);
+            let b = nodes.bind(g, &self.b);
+            let x = g.constant(batch.0.clone());
+            let xw = g.matmul(x, w);
+            let logits = g.add_bias(xw, b);
+            (g.softmax_cross_entropy(logits, &batch.1), nodes)
+        }
+
+        fn params(&self) -> Vec<&Param> {
+            vec![&self.w, &self.b]
+        }
+
+        fn params_mut(&mut self) -> Vec<&mut Param> {
+            vec![&mut self.w, &mut self.b]
+        }
+    }
+
+    fn affine() -> Affine {
+        Affine {
+            w: Param::new("w", Tensor::from_vec(vec![0.1, -0.2, 0.3, 0.4, 0.0, -0.1], &[3, 2])),
+            b: Param::new("b", Tensor::zeros(&[2])),
+        }
+    }
+
+    #[test]
+    fn flat_round_trip() {
+        let mut m = affine();
+        let flat = flat_params(&m);
+        assert_eq!(flat.len(), flat_dim(&m));
+        let doubled: Vec<f32> = flat.iter().map(|v| v * 2.0).collect();
+        load_flat(&mut m, &doubled);
+        assert_eq!(flat_params(&m), doubled);
+    }
+
+    #[test]
+    fn loss_and_grad_shapes() {
+        let m = affine();
+        let batch = (Tensor::ones(&[4, 3]), vec![0, 1, 0, 1]);
+        let (loss, grads) = loss_and_grad(&m, &batch);
+        assert!(loss.is_finite() && loss > 0.0);
+        assert_eq!(grads.len(), flat_dim(&m));
+        assert!(grads.iter().any(|&g| g != 0.0));
+    }
+
+    #[test]
+    fn sgd_descends_on_model_loss() {
+        let mut m = affine();
+        let batch = (Tensor::ones(&[4, 3]), vec![0, 1, 0, 1]);
+        let (initial, _) = loss_and_grad(&m, &batch);
+        for _ in 0..50 {
+            let (_, grads) = loss_and_grad(&m, &batch);
+            let mut flat = flat_params(&m);
+            for (p, g) in flat.iter_mut().zip(&grads) {
+                *p -= 0.5 * g;
+            }
+            load_flat(&mut m, &flat);
+        }
+        let (final_loss, _) = loss_and_grad(&m, &batch);
+        assert!(final_loss < initial, "{final_loss} !< {initial}");
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn load_flat_wrong_length_panics() {
+        let mut m = affine();
+        load_flat(&mut m, &[0.0; 3]);
+    }
+}

@@ -1,0 +1,405 @@
+//! LSTM language models (char-level, word-level, tied-embedding).
+
+use crate::linear::{Embedding, Linear};
+use crate::lstm::Lstm;
+use crate::model::{Param, ParamNodes, SupervisedModel};
+use yf_autograd::{Graph, NodeId};
+use yf_tensor::rng::Pcg32;
+
+/// A teacher-forced language-modeling batch.
+///
+/// `inputs`/`targets` are `[batch * time]` token ids laid out timestep
+/// major-within-row: position `b * time + t` is sequence `b` at step `t`.
+#[derive(Debug, Clone)]
+pub struct LmBatch {
+    /// Input token ids.
+    pub inputs: Vec<usize>,
+    /// Next-token targets, aligned with `inputs`.
+    pub targets: Vec<usize>,
+    /// Number of sequences.
+    pub batch: usize,
+    /// Sequence length.
+    pub time: usize,
+}
+
+impl LmBatch {
+    /// Validates and constructs a batch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if lengths do not equal `batch * time`.
+    pub fn new(inputs: Vec<usize>, targets: Vec<usize>, batch: usize, time: usize) -> Self {
+        assert_eq!(inputs.len(), batch * time, "lm batch: inputs length");
+        assert_eq!(targets.len(), batch * time, "lm batch: targets length");
+        LmBatch {
+            inputs,
+            targets,
+            batch,
+            time,
+        }
+    }
+}
+
+/// Architecture of an [`LstmLm`] (mirrors the LSTM rows of Table 3).
+#[derive(Debug, Clone)]
+pub struct LstmLmConfig {
+    /// Vocabulary size.
+    pub vocab: usize,
+    /// Embedding dimension.
+    pub embed: usize,
+    /// Hidden width.
+    pub hidden: usize,
+    /// Stacked layers.
+    pub layers: usize,
+    /// Tie the input embedding and output projection (Press & Wolf,
+    /// the "Tied LSTM" of Appendix J.4). Requires `embed == hidden`.
+    pub tied: bool,
+    /// Recurrent-weight scale; > 1 induces exploding gradients (Fig. 6).
+    pub recurrent_scale: f32,
+}
+
+impl LstmLmConfig {
+    /// A small char-level model (TinyShakespeare-like row of Table 3).
+    pub fn char_like(vocab: usize) -> Self {
+        LstmLmConfig {
+            vocab,
+            embed: 16,
+            hidden: 16,
+            layers: 2,
+            tied: false,
+            recurrent_scale: 1.0,
+        }
+    }
+
+    /// A small word-level model (PTB-like row of Table 3).
+    pub fn word_like(vocab: usize) -> Self {
+        LstmLmConfig {
+            vocab,
+            embed: 24,
+            hidden: 24,
+            layers: 2,
+            tied: false,
+            recurrent_scale: 1.0,
+        }
+    }
+
+    /// A tied-embedding variant (Appendix J.4).
+    pub fn tied_like(vocab: usize) -> Self {
+        LstmLmConfig {
+            tied: true,
+            ..LstmLmConfig::word_like(vocab)
+        }
+    }
+}
+
+/// An LSTM language model: embedding -> LSTM stack -> vocabulary logits,
+/// with mean cross-entropy over all positions.
+#[derive(Debug, Clone)]
+pub struct LstmLm {
+    embed: Embedding,
+    lstm: Lstm,
+    /// Untied output projection; `None` when embeddings are tied.
+    out: Option<Linear>,
+    /// Output bias used in the tied configuration.
+    tied_bias: Option<Param>,
+    cfg: LstmLmConfig,
+}
+
+impl LstmLm {
+    /// Builds the model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tied` is requested with `embed != hidden`.
+    pub fn new(cfg: LstmLmConfig, rng: &mut Pcg32) -> Self {
+        if cfg.tied {
+            assert_eq!(
+                cfg.embed, cfg.hidden,
+                "tied embeddings require embed == hidden"
+            );
+        }
+        let embed = Embedding::new("lm.embed", cfg.vocab, cfg.embed, rng);
+        let lstm = Lstm::with_recurrent_scale(
+            "lm.lstm",
+            cfg.embed,
+            cfg.hidden,
+            cfg.layers,
+            cfg.recurrent_scale,
+            rng,
+        );
+        let (out, tied_bias) = if cfg.tied {
+            (
+                None,
+                Some(Param::new(
+                    "lm.tied_bias",
+                    yf_tensor::Tensor::zeros(&[cfg.vocab]),
+                )),
+            )
+        } else {
+            (
+                Some(Linear::new("lm.out", cfg.hidden, cfg.vocab, true, rng)),
+                None,
+            )
+        };
+        LstmLm {
+            embed,
+            lstm,
+            out,
+            tied_bias,
+            cfg,
+        }
+    }
+
+    /// The configuration this model was built with.
+    pub fn config(&self) -> &LstmLmConfig {
+        &self.cfg
+    }
+
+    /// Builds `[time * batch, vocab]` logits for a batch (timestep-major
+    /// rows; see [`Self::reorder_targets`]), binding all parameters onto
+    /// `g`.
+    pub fn logits(&self, g: &mut Graph, nodes: &mut ParamNodes, batch: &LmBatch) -> NodeId {
+        let (b, t) = (batch.batch, batch.time);
+        // Bind the embedding table once (first in params() order); every
+        // per-step gather reuses the same bound node so its gradient
+        // accumulates across timesteps — and, when tied, across the
+        // output projection too.
+        let embed_w = nodes.bind(g, &self.embed.w);
+        let mut xs = Vec::with_capacity(t);
+        for step in 0..t {
+            let ids: Vec<usize> = (0..b).map(|r| batch.inputs[r * t + step]).collect();
+            xs.push(g.embedding(embed_w, &ids));
+        }
+        let (outs, _) = self.lstm.forward_seq(g, nodes, &xs, b, None);
+        // Stack the per-step [B, H] outputs into [T*B, H]; row t*B + b is
+        // sequence b at step t.
+        let h_cat = concat_rows(g, &outs);
+        match (&self.out, &self.tied_bias) {
+            (Some(out), None) => out.forward(g, nodes, h_cat),
+            (None, Some(bias)) => {
+                // Tied output: logits = h E^T + bias, reusing the bound
+                // embedding table.
+                let tr = transpose_node(g, embed_w, &self.embed.w);
+                let logits = g.matmul(h_cat, tr);
+                let bias_id = nodes.bind(g, bias);
+                g.add_bias(logits, bias_id)
+            }
+            _ => unreachable!("exactly one of out/tied_bias is set"),
+        }
+    }
+
+    /// Targets reordered to match [`Self::logits`] row order
+    /// (timestep-major: row `t * batch + b`).
+    pub fn reorder_targets(&self, batch: &LmBatch) -> Vec<usize> {
+        let (b, t) = (batch.batch, batch.time);
+        let mut out = Vec::with_capacity(b * t);
+        for step in 0..t {
+            for r in 0..b {
+                out.push(batch.targets[r * t + step]);
+            }
+        }
+        out
+    }
+}
+
+/// Concatenates `[B, H]` nodes into `[T*B, H]` (timestep-major rows).
+pub(crate) fn concat_rows(g: &mut Graph, parts: &[NodeId]) -> NodeId {
+    // Reshape each [B, H] into [1, B*H], concat along columns into
+    // [1, T*B*H], then reshape to [T*B, H]. All reshapes are free-order
+    // preserving, which keeps rows timestep-major.
+    let (b, h) = {
+        let v = g.value(parts[0]);
+        (v.shape()[0], v.shape()[1])
+    };
+    let flat: Vec<NodeId> = parts.iter().map(|&p| g.reshape(p, &[1, b * h])).collect();
+    let cat = g.concat_cols(&flat);
+    g.reshape(cat, &[parts.len() * b, h])
+}
+
+/// Transpose of a bound `[V, D]` parameter node as a `[D, V]` node with
+/// exact gradients: each column is sliced out ([V, 1]), laid flat
+/// ([1, V]) and the columns-as-rows are concatenated. O(V*D) copies —
+/// the cost of any transpose — built from existing differentiable ops.
+fn transpose_node(g: &mut Graph, bound: NodeId, param: &Param) -> NodeId {
+    let dims = param.value.shape();
+    let (v, d) = (dims[0], dims[1]);
+    let mut rows = Vec::with_capacity(d);
+    for col in 0..d {
+        let c = g.slice_cols(bound, col, 1);
+        rows.push(g.reshape(c, &[1, v]));
+    }
+    let cat = g.concat_cols(&rows); // [1, D*V], row-major == [D, V]
+    g.reshape(cat, &[d, v])
+}
+
+impl SupervisedModel for LstmLm {
+    type Batch = LmBatch;
+
+    fn loss(&self, g: &mut Graph, batch: &Self::Batch) -> (NodeId, ParamNodes) {
+        let mut nodes = ParamNodes::new();
+        let logits = self.logits(g, &mut nodes, batch);
+        let targets = self.reorder_targets(batch);
+        (g.softmax_cross_entropy(logits, &targets), nodes)
+    }
+
+    fn params(&self) -> Vec<&Param> {
+        let mut v = vec![&self.embed.w];
+        v.extend(self.lstm.params());
+        if let Some(out) = &self.out {
+            v.extend(out.params());
+        }
+        if let Some(b) = &self.tied_bias {
+            v.push(b);
+        }
+        v
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        let mut v = vec![&mut self.embed.w];
+        v.extend(self.lstm.params_mut());
+        if let Some(out) = &mut self.out {
+            v.extend(out.params_mut());
+        }
+        if let Some(b) = &mut self.tied_bias {
+            v.push(b);
+        }
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{flat_dim, flat_params, load_flat, loss_and_grad};
+
+    fn toy_batch(vocab: usize, b: usize, t: usize, seed: u64) -> LmBatch {
+        let mut rng = Pcg32::seed(seed);
+        let inputs: Vec<usize> = (0..b * t).map(|_| rng.below(vocab as u32) as usize).collect();
+        // Target = next input (cyclic toy task).
+        let targets: Vec<usize> = inputs.iter().map(|&i| (i + 1) % vocab).collect();
+        LmBatch::new(inputs, targets, b, t)
+    }
+
+    #[test]
+    fn untied_model_trains() {
+        let mut rng = Pcg32::seed(40);
+        let mut lm = LstmLm::new(
+            LstmLmConfig {
+                vocab: 8,
+                embed: 6,
+                hidden: 6,
+                layers: 1,
+                tied: false,
+                recurrent_scale: 1.0,
+            },
+            &mut rng,
+        );
+        let batch = toy_batch(8, 4, 5, 41);
+        let (initial, grads) = loss_and_grad(&lm, &batch);
+        assert_eq!(grads.len(), flat_dim(&lm));
+        for _ in 0..60 {
+            let (_, grads) = loss_and_grad(&lm, &batch);
+            let mut flat = flat_params(&lm);
+            for (p, g) in flat.iter_mut().zip(&grads) {
+                *p -= 0.5 * g;
+            }
+            load_flat(&mut lm, &flat);
+        }
+        let (final_loss, _) = loss_and_grad(&lm, &batch);
+        assert!(final_loss < initial * 0.7, "{final_loss} vs {initial}");
+    }
+
+    #[test]
+    fn tied_model_shares_embedding() {
+        let mut rng = Pcg32::seed(42);
+        let lm = LstmLm::new(LstmLmConfig::tied_like(10), &mut rng);
+        // Tied model has embedding + lstm params + bias only.
+        let untied = LstmLm::new(LstmLmConfig::word_like(10), &mut Pcg32::seed(42));
+        assert!(flat_dim(&lm) < flat_dim(&untied), "tying removes a matrix");
+        let batch = toy_batch(10, 2, 4, 43);
+        let (loss, grads) = loss_and_grad(&lm, &batch);
+        assert!(loss.is_finite());
+        // Embedding gradient must combine input and output contributions.
+        let emb_len = lm.embed.w.value.len();
+        let nonzero = grads[..emb_len].iter().filter(|&&g| g != 0.0).count();
+        assert!(nonzero > 0, "tied embedding receives gradient");
+    }
+
+    #[test]
+    fn tied_model_trains() {
+        let mut rng = Pcg32::seed(44);
+        let mut lm = LstmLm::new(
+            LstmLmConfig {
+                vocab: 6,
+                embed: 8,
+                hidden: 8,
+                layers: 1,
+                tied: true,
+                recurrent_scale: 1.0,
+            },
+            &mut rng,
+        );
+        let batch = toy_batch(6, 4, 4, 45);
+        let (initial, _) = loss_and_grad(&lm, &batch);
+        for _ in 0..80 {
+            let (_, grads) = loss_and_grad(&lm, &batch);
+            let mut flat = flat_params(&lm);
+            for (p, g) in flat.iter_mut().zip(&grads) {
+                *p -= 0.5 * g;
+            }
+            load_flat(&mut lm, &flat);
+        }
+        let (final_loss, _) = loss_and_grad(&lm, &batch);
+        assert!(final_loss < initial * 0.8, "{final_loss} vs {initial}");
+    }
+
+    #[test]
+    fn exploding_variant_produces_larger_gradients() {
+        // Back-propagation through 48 steps: inflated recurrent weights
+        // amplify the gradient norm (the seed is fixed, so this is a
+        // deterministic comparison).
+        let batch = toy_batch(8, 2, 48, 46);
+        let grad_norm = |scale: f32| {
+            let mut rng = Pcg32::seed(47);
+            let lm = LstmLm::new(
+                LstmLmConfig {
+                    vocab: 8,
+                    embed: 8,
+                    hidden: 8,
+                    layers: 1,
+                    tied: false,
+                    recurrent_scale: scale,
+                },
+                &mut rng,
+            );
+            let (_, grads) = loss_and_grad(&lm, &batch);
+            grads.iter().map(|g| (g * g) as f64).sum::<f64>().sqrt()
+        };
+        let calm = grad_norm(1.0);
+        let hot = grad_norm(2.0);
+        assert!(hot > 2.0 * calm, "hot {hot} vs calm {calm}");
+    }
+
+    #[test]
+    #[should_panic(expected = "embed == hidden")]
+    fn tied_requires_matching_dims() {
+        let mut rng = Pcg32::seed(48);
+        LstmLm::new(
+            LstmLmConfig {
+                vocab: 5,
+                embed: 4,
+                hidden: 6,
+                layers: 1,
+                tied: true,
+                recurrent_scale: 1.0,
+            },
+            &mut rng,
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "inputs length")]
+    fn bad_batch_panics() {
+        LmBatch::new(vec![0; 5], vec![0; 6], 2, 3);
+    }
+}

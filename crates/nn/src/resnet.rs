@@ -1,0 +1,425 @@
+//! CIFAR-style residual networks (Table 3 architecture families).
+//!
+//! The paper trains a 110-layer basic-block ResNet on CIFAR10 and a
+//! 164-layer bottleneck ResNet on CIFAR100; Appendix J.4 adds a ResNeXt
+//! (grouped 3x3 convolutions). This module implements all three families
+//! with configurable depth/width so the reproduction can run them at
+//! laptop scale while keeping the exact block structure.
+
+use crate::conv_layers::{BatchNorm2d, Conv2dLayer};
+use crate::linear::Linear;
+use crate::model::{Param, ParamNodes, SupervisedModel};
+use yf_autograd::{ConvSpec, Graph, NodeId};
+use yf_tensor::rng::Pcg32;
+use yf_tensor::Tensor;
+
+/// Residual block family.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BlockKind {
+    /// Two 3x3 convolutions (CIFAR10 ResNet in Table 3).
+    Basic,
+    /// 1x1 reduce, 3x3, 1x1 expand (CIFAR100 ResNet in Table 3). The 3x3
+    /// stage uses `groups` channel groups (`groups > 1` gives ResNeXt).
+    Bottleneck,
+}
+
+/// Architecture hyperparameters.
+#[derive(Debug, Clone)]
+pub struct ResNetConfig {
+    /// Input image channels.
+    pub in_channels: usize,
+    /// Channel width of the first stage (doubles per stage).
+    pub base_width: usize,
+    /// Residual blocks per stage; stage `i > 0` downsamples by 2.
+    pub stage_blocks: Vec<usize>,
+    /// Block family.
+    pub block: BlockKind,
+    /// Channel groups in the bottleneck's 3x3 convolution.
+    pub groups: usize,
+    /// Output classes.
+    pub num_classes: usize,
+}
+
+impl ResNetConfig {
+    /// A small basic-block network standing in for the paper's CIFAR10
+    /// ResNet.
+    pub fn cifar10_like(num_classes: usize) -> Self {
+        ResNetConfig {
+            in_channels: 3,
+            base_width: 4,
+            stage_blocks: vec![2, 2],
+            block: BlockKind::Basic,
+            groups: 1,
+            num_classes,
+        }
+    }
+
+    /// A small bottleneck network standing in for the paper's CIFAR100
+    /// ResNet.
+    pub fn cifar100_like(num_classes: usize) -> Self {
+        ResNetConfig {
+            in_channels: 3,
+            base_width: 8,
+            stage_blocks: vec![2, 2],
+            block: BlockKind::Bottleneck,
+            groups: 1,
+            num_classes,
+        }
+    }
+
+    /// A grouped-convolution bottleneck network standing in for the
+    /// ResNeXt of Appendix J.4.
+    pub fn resnext_like(num_classes: usize, groups: usize) -> Self {
+        ResNetConfig {
+            groups,
+            ..ResNetConfig::cifar100_like(num_classes)
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Block {
+    convs: Vec<(Conv2dLayer, BatchNorm2d)>,
+    shortcut: Option<(Conv2dLayer, BatchNorm2d)>,
+}
+
+impl Block {
+    fn new(
+        name: &str,
+        kind: BlockKind,
+        in_ch: usize,
+        out_ch: usize,
+        stride: usize,
+        groups: usize,
+        rng: &mut Pcg32,
+    ) -> Self {
+        let mut convs = Vec::new();
+        match kind {
+            BlockKind::Basic => {
+                convs.push((
+                    Conv2dLayer::new(
+                        &format!("{name}.conv1"),
+                        in_ch,
+                        out_ch,
+                        3,
+                        ConvSpec::same3x3(stride),
+                        rng,
+                    ),
+                    BatchNorm2d::new(&format!("{name}.bn1"), out_ch),
+                ));
+                convs.push((
+                    Conv2dLayer::new(
+                        &format!("{name}.conv2"),
+                        out_ch,
+                        out_ch,
+                        3,
+                        ConvSpec::same3x3(1),
+                        rng,
+                    ),
+                    BatchNorm2d::new(&format!("{name}.bn2"), out_ch),
+                ));
+            }
+            BlockKind::Bottleneck => {
+                let mid = (out_ch / 2).max(groups);
+                convs.push((
+                    Conv2dLayer::new(
+                        &format!("{name}.conv1"),
+                        in_ch,
+                        mid,
+                        1,
+                        ConvSpec {
+                            stride: 1,
+                            padding: 0,
+                            groups: 1,
+                        },
+                        rng,
+                    ),
+                    BatchNorm2d::new(&format!("{name}.bn1"), mid),
+                ));
+                convs.push((
+                    Conv2dLayer::new(
+                        &format!("{name}.conv2"),
+                        mid,
+                        mid,
+                        3,
+                        ConvSpec {
+                            stride,
+                            padding: 1,
+                            groups,
+                        },
+                        rng,
+                    ),
+                    BatchNorm2d::new(&format!("{name}.bn2"), mid),
+                ));
+                convs.push((
+                    Conv2dLayer::new(
+                        &format!("{name}.conv3"),
+                        mid,
+                        out_ch,
+                        1,
+                        ConvSpec {
+                            stride: 1,
+                            padding: 0,
+                            groups: 1,
+                        },
+                        rng,
+                    ),
+                    BatchNorm2d::new(&format!("{name}.bn3"), out_ch),
+                ));
+            }
+        }
+        let shortcut = (in_ch != out_ch || stride != 1).then(|| {
+            (
+                Conv2dLayer::new(
+                    &format!("{name}.proj"),
+                    in_ch,
+                    out_ch,
+                    1,
+                    ConvSpec {
+                        stride,
+                        padding: 0,
+                        groups: 1,
+                    },
+                    rng,
+                ),
+                BatchNorm2d::new(&format!("{name}.proj_bn"), out_ch),
+            )
+        });
+        Block { convs, shortcut }
+    }
+
+    fn forward(&self, g: &mut Graph, nodes: &mut ParamNodes, x: NodeId) -> NodeId {
+        let mut h = x;
+        let last = self.convs.len() - 1;
+        for (i, (conv, bn)) in self.convs.iter().enumerate() {
+            h = conv.forward(g, nodes, h);
+            h = bn.forward(g, nodes, h);
+            if i != last {
+                h = g.relu(h);
+            }
+        }
+        let skip = match &self.shortcut {
+            Some((conv, bn)) => {
+                let s = conv.forward(g, nodes, x);
+                bn.forward(g, nodes, s)
+            }
+            None => x,
+        };
+        let sum = g.add(h, skip);
+        g.relu(sum)
+    }
+
+    fn params(&self) -> Vec<&Param> {
+        let mut v = Vec::new();
+        for (conv, bn) in &self.convs {
+            v.push(&conv.w);
+            v.push(&bn.gamma);
+            v.push(&bn.beta);
+        }
+        if let Some((conv, bn)) = &self.shortcut {
+            v.push(&conv.w);
+            v.push(&bn.gamma);
+            v.push(&bn.beta);
+        }
+        v
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        let mut v = Vec::new();
+        for (conv, bn) in &mut self.convs {
+            v.push(&mut conv.w);
+            v.push(&mut bn.gamma);
+            v.push(&mut bn.beta);
+        }
+        if let Some((conv, bn)) = &mut self.shortcut {
+            v.push(&mut conv.w);
+            v.push(&mut bn.gamma);
+            v.push(&mut bn.beta);
+        }
+        v
+    }
+}
+
+/// A CIFAR-style residual network classifier.
+#[derive(Debug, Clone)]
+pub struct ResNet {
+    stem: (Conv2dLayer, BatchNorm2d),
+    stages: Vec<Vec<Block>>,
+    head: Linear,
+}
+
+impl ResNet {
+    /// Builds the network from a configuration.
+    pub fn new(cfg: &ResNetConfig, rng: &mut Pcg32) -> Self {
+        let stem_w = cfg.base_width;
+        let stem = (
+            Conv2dLayer::new(
+                "stem.conv",
+                cfg.in_channels,
+                stem_w,
+                3,
+                ConvSpec::same3x3(1),
+                rng,
+            ),
+            BatchNorm2d::new("stem.bn", stem_w),
+        );
+        let mut stages = Vec::new();
+        let mut in_ch = stem_w;
+        for (s, &blocks) in cfg.stage_blocks.iter().enumerate() {
+            let out_ch = cfg.base_width << s;
+            let mut stage = Vec::new();
+            for b in 0..blocks {
+                let stride = if s > 0 && b == 0 { 2 } else { 1 };
+                stage.push(Block::new(
+                    &format!("stage{s}.block{b}"),
+                    cfg.block,
+                    in_ch,
+                    out_ch,
+                    stride,
+                    cfg.groups,
+                    rng,
+                ));
+                in_ch = out_ch;
+            }
+            stages.push(stage);
+        }
+        let head = Linear::new("head", in_ch, cfg.num_classes, true, rng);
+        ResNet { stem, stages, head }
+    }
+
+    /// Class logits for an image batch node `[B, C, H, W]`.
+    pub fn logits(&self, g: &mut Graph, nodes: &mut ParamNodes, x: NodeId) -> NodeId {
+        let mut h = self.stem.0.forward(g, nodes, x);
+        h = self.stem.1.forward(g, nodes, h);
+        h = g.relu(h);
+        for stage in &self.stages {
+            for block in stage {
+                h = block.forward(g, nodes, h);
+            }
+        }
+        let pooled = g.global_avg_pool(h);
+        self.head.forward(g, nodes, pooled)
+    }
+
+    /// Fraction of images classified correctly.
+    pub fn accuracy(&self, images: &Tensor, labels: &[usize]) -> f32 {
+        let mut g = Graph::new();
+        let mut nodes = ParamNodes::new();
+        let x = g.constant(images.clone());
+        let logits = self.logits(&mut g, &mut nodes, x);
+        crate::model::argmax_accuracy(g.value(logits), labels)
+    }
+}
+
+impl SupervisedModel for ResNet {
+    type Batch = (Tensor, Vec<usize>);
+
+    fn loss(&self, g: &mut Graph, batch: &Self::Batch) -> (NodeId, ParamNodes) {
+        let mut nodes = ParamNodes::new();
+        let x = g.constant(batch.0.clone());
+        let logits = self.logits(g, &mut nodes, x);
+        (g.softmax_cross_entropy(logits, &batch.1), nodes)
+    }
+
+    fn params(&self) -> Vec<&Param> {
+        let mut v = vec![&self.stem.0.w, &self.stem.1.gamma, &self.stem.1.beta];
+        for stage in &self.stages {
+            for block in stage {
+                v.extend(block.params());
+            }
+        }
+        v.extend(self.head.params());
+        v
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        let mut v = vec![
+            &mut self.stem.0.w,
+            &mut self.stem.1.gamma,
+            &mut self.stem.1.beta,
+        ];
+        for stage in &mut self.stages {
+            for block in stage {
+                v.extend(block.params_mut());
+            }
+        }
+        v.extend(self.head.params_mut());
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{flat_dim, flat_params, load_flat, loss_and_grad};
+
+    fn tiny_batch(rng: &mut Pcg32, classes: usize) -> (Tensor, Vec<usize>) {
+        let images = Tensor::randn(&[4, 3, 8, 8], rng);
+        let labels = (0..4).map(|i| i % classes).collect();
+        (images, labels)
+    }
+
+    #[test]
+    fn basic_resnet_forward_and_grads() {
+        let mut rng = Pcg32::seed(30);
+        let net = ResNet::new(&ResNetConfig::cifar10_like(4), &mut rng);
+        let batch = tiny_batch(&mut rng, 4);
+        let (loss, grads) = loss_and_grad(&net, &batch);
+        assert!(loss.is_finite() && loss > 0.0);
+        assert_eq!(grads.len(), flat_dim(&net));
+        let nonzero = grads.iter().filter(|&&g| g != 0.0).count();
+        assert!(
+            nonzero > grads.len() / 2,
+            "gradients should flow everywhere ({nonzero}/{})",
+            grads.len()
+        );
+    }
+
+    #[test]
+    fn bottleneck_and_grouped_variants_run() {
+        let mut rng = Pcg32::seed(31);
+        for cfg in [
+            ResNetConfig::cifar100_like(6),
+            ResNetConfig::resnext_like(6, 2),
+        ] {
+            let net = ResNet::new(&cfg, &mut rng);
+            let batch = tiny_batch(&mut rng, 6);
+            let (loss, grads) = loss_and_grad(&net, &batch);
+            assert!(loss.is_finite(), "{cfg:?}");
+            assert_eq!(grads.len(), flat_dim(&net));
+        }
+    }
+
+    #[test]
+    fn training_reduces_loss() {
+        let mut rng = Pcg32::seed(32);
+        let mut net = ResNet::new(&ResNetConfig::cifar10_like(2), &mut rng);
+        let batch = tiny_batch(&mut rng, 2);
+        let (initial, _) = loss_and_grad(&net, &batch);
+        for _ in 0..30 {
+            let (_, grads) = loss_and_grad(&net, &batch);
+            let mut flat = flat_params(&net);
+            for (p, g) in flat.iter_mut().zip(&grads) {
+                *p -= 0.1 * g;
+            }
+            load_flat(&mut net, &flat);
+        }
+        let (final_loss, _) = loss_and_grad(&net, &batch);
+        assert!(final_loss < initial * 0.8, "{final_loss} vs {initial}");
+    }
+
+    #[test]
+    fn deeper_stages_halve_spatial_extent() {
+        let mut rng = Pcg32::seed(33);
+        let cfg = ResNetConfig {
+            stage_blocks: vec![1, 1, 1],
+            ..ResNetConfig::cifar10_like(3)
+        };
+        let net = ResNet::new(&cfg, &mut rng);
+        // Just verify the full pipeline runs on a 16x16 input (two
+        // downsamples -> 4x4 before pooling).
+        let batch = (Tensor::randn(&[2, 3, 16, 16], &mut rng), vec![0, 1]);
+        let (loss, _) = loss_and_grad(&net, &batch);
+        assert!(loss.is_finite());
+    }
+}

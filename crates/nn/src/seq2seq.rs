@@ -1,0 +1,317 @@
+//! Encoder-decoder LSTM for the translation task of Table 1.
+//!
+//! The paper's Table 1 uses the convolutional seq-to-seq model of Gehring
+//! et al. on IWSLT'14 German-English; this reproduction substitutes an
+//! LSTM encoder-decoder on a synthetic bijective translation task (see
+//! `yf-data`). What Table 1 actually measures — divergence of a
+//! high-momentum optimizer without clipping, stabilization with a manual
+//! threshold, and YellowFin's adaptive clipping doing better — depends on
+//! the exploding-gradient dynamics of a deep recurrent objective, which
+//! this model reproduces (with an optional inflated recurrent scale).
+
+use crate::linear::{Embedding, Linear};
+use crate::lstm::Lstm;
+use crate::model::{Param, ParamNodes, SupervisedModel};
+use yf_autograd::{Graph, NodeId};
+use yf_tensor::rng::Pcg32;
+
+/// A batch of aligned source/target sequences (`[batch * time]` each,
+/// row-major per sequence like [`crate::LmBatch`]).
+#[derive(Debug, Clone)]
+pub struct SeqBatch {
+    /// Source token ids.
+    pub src: Vec<usize>,
+    /// Decoder input ids (`<bos>` + target prefix).
+    pub tgt_in: Vec<usize>,
+    /// Decoder targets (target + `<eos>`).
+    pub tgt_out: Vec<usize>,
+    /// Number of sequence pairs.
+    pub batch: usize,
+    /// Source length.
+    pub src_time: usize,
+    /// Target length.
+    pub tgt_time: usize,
+}
+
+impl SeqBatch {
+    /// Validates and constructs a batch.
+    ///
+    /// # Panics
+    ///
+    /// Panics on length mismatches.
+    pub fn new(
+        src: Vec<usize>,
+        tgt_in: Vec<usize>,
+        tgt_out: Vec<usize>,
+        batch: usize,
+        src_time: usize,
+        tgt_time: usize,
+    ) -> Self {
+        assert_eq!(src.len(), batch * src_time, "seq batch: src length");
+        assert_eq!(tgt_in.len(), batch * tgt_time, "seq batch: tgt_in length");
+        assert_eq!(tgt_out.len(), batch * tgt_time, "seq batch: tgt_out length");
+        SeqBatch {
+            src,
+            tgt_in,
+            tgt_out,
+            batch,
+            src_time,
+            tgt_time,
+        }
+    }
+}
+
+/// Architecture of a [`Seq2Seq`].
+#[derive(Debug, Clone)]
+pub struct Seq2SeqConfig {
+    /// Shared source/target vocabulary size.
+    pub vocab: usize,
+    /// Embedding dimension.
+    pub embed: usize,
+    /// Hidden width of encoder and decoder.
+    pub hidden: usize,
+    /// Stacked layers on each side.
+    pub layers: usize,
+    /// Recurrent-weight scale (> 1 induces exploding gradients).
+    pub recurrent_scale: f32,
+}
+
+impl Seq2SeqConfig {
+    /// The small configuration used by the Table 1 regenerator.
+    pub fn table1_like(vocab: usize) -> Self {
+        Seq2SeqConfig {
+            vocab,
+            embed: 12,
+            hidden: 16,
+            layers: 1,
+            recurrent_scale: 1.15,
+        }
+    }
+}
+
+/// LSTM encoder-decoder with teacher forcing and greedy decoding.
+#[derive(Debug, Clone)]
+pub struct Seq2Seq {
+    src_embed: Embedding,
+    tgt_embed: Embedding,
+    encoder: Lstm,
+    decoder: Lstm,
+    out: Linear,
+    cfg: Seq2SeqConfig,
+}
+
+impl Seq2Seq {
+    /// Builds the model.
+    pub fn new(cfg: Seq2SeqConfig, rng: &mut Pcg32) -> Self {
+        Seq2Seq {
+            src_embed: Embedding::new("s2s.src_embed", cfg.vocab, cfg.embed, rng),
+            tgt_embed: Embedding::new("s2s.tgt_embed", cfg.vocab, cfg.embed, rng),
+            encoder: Lstm::with_recurrent_scale(
+                "s2s.enc",
+                cfg.embed,
+                cfg.hidden,
+                cfg.layers,
+                cfg.recurrent_scale,
+                rng,
+            ),
+            decoder: Lstm::with_recurrent_scale(
+                "s2s.dec",
+                cfg.embed,
+                cfg.hidden,
+                cfg.layers,
+                cfg.recurrent_scale,
+                rng,
+            ),
+            out: Linear::new("s2s.out", cfg.hidden, cfg.vocab, true, rng),
+            cfg,
+        }
+    }
+
+    /// The configuration this model was built with.
+    pub fn config(&self) -> &Seq2SeqConfig {
+        &self.cfg
+    }
+
+    fn embed_steps(
+        g: &mut Graph,
+        table: NodeId,
+        ids: &[usize],
+        batch: usize,
+        time: usize,
+    ) -> Vec<NodeId> {
+        (0..time)
+            .map(|step| {
+                let step_ids: Vec<usize> = (0..batch).map(|r| ids[r * time + step]).collect();
+                g.embedding(table, &step_ids)
+            })
+            .collect()
+    }
+
+    /// Builds `[tgt_time * batch, vocab]` logits (timestep-major rows).
+    pub fn logits(&self, g: &mut Graph, nodes: &mut ParamNodes, batch: &SeqBatch) -> NodeId {
+        let src_w = nodes.bind(g, &self.src_embed.w);
+        let tgt_w = nodes.bind(g, &self.tgt_embed.w);
+        let src_xs = Self::embed_steps(g, src_w, &batch.src, batch.batch, batch.src_time);
+        let (_, enc_state) = self.encoder.forward_seq(g, nodes, &src_xs, batch.batch, None);
+        let tgt_xs = Self::embed_steps(g, tgt_w, &batch.tgt_in, batch.batch, batch.tgt_time);
+        let (outs, _) = self
+            .decoder
+            .forward_seq(g, nodes, &tgt_xs, batch.batch, Some(enc_state));
+        let h_cat = crate::models_lm::concat_rows(g, &outs);
+        self.out.forward(g, nodes, h_cat)
+    }
+
+    /// Targets reordered to the logits' timestep-major row order.
+    pub fn reorder_targets(&self, batch: &SeqBatch) -> Vec<usize> {
+        let (b, t) = (batch.batch, batch.tgt_time);
+        let mut out = Vec::with_capacity(b * t);
+        for step in 0..t {
+            for r in 0..b {
+                out.push(batch.tgt_out[r * t + step]);
+            }
+        }
+        out
+    }
+
+    /// Greedy decode of a single source sequence: feeds `bos` and emits
+    /// tokens until `max_len`, returning the produced ids.
+    pub fn greedy_decode(&self, src: &[usize], bos: usize, max_len: usize) -> Vec<usize> {
+        let mut g = Graph::new();
+        let mut nodes = ParamNodes::new();
+        let src_w = nodes.bind(&mut g, &self.src_embed.w);
+        let tgt_w = nodes.bind(&mut g, &self.tgt_embed.w);
+        let src_xs = Self::embed_steps(&mut g, src_w, src, 1, src.len());
+        let (_, mut state) = self.encoder.forward_seq(&mut g, &mut nodes, &src_xs, 1, None);
+        let bound: Vec<_> = self
+            .decoder
+            .cells
+            .iter()
+            .map(|c| c.bind(&mut g, &mut nodes))
+            .collect();
+        let mut token = bos;
+        let mut produced = Vec::new();
+        for _ in 0..max_len {
+            let x = g.embedding(tgt_w, &[token]);
+            let mut input = x;
+            for (l, cell) in self.decoder.cells.iter().enumerate() {
+                let next = cell.step(&mut g, bound[l], input, state[l]);
+                input = next.h;
+                state[l] = next;
+            }
+            let mut tmp = ParamNodes::new();
+            let logits = self.out.forward(&mut g, &mut tmp, input);
+            token = g.value(logits).argmax();
+            produced.push(token);
+        }
+        produced
+    }
+}
+
+impl SupervisedModel for Seq2Seq {
+    type Batch = SeqBatch;
+
+    fn loss(&self, g: &mut Graph, batch: &Self::Batch) -> (NodeId, ParamNodes) {
+        let mut nodes = ParamNodes::new();
+        let logits = self.logits(g, &mut nodes, batch);
+        let targets = self.reorder_targets(batch);
+        (g.softmax_cross_entropy(logits, &targets), nodes)
+    }
+
+    fn params(&self) -> Vec<&Param> {
+        let mut v = vec![&self.src_embed.w, &self.tgt_embed.w];
+        v.extend(self.encoder.params());
+        v.extend(self.decoder.params());
+        v.extend(self.out.params());
+        v
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        let mut v = vec![&mut self.src_embed.w, &mut self.tgt_embed.w];
+        v.extend(self.encoder.params_mut());
+        v.extend(self.decoder.params_mut());
+        v.extend(self.out.params_mut());
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{flat_dim, flat_params, load_flat, loss_and_grad};
+
+    fn copy_task_batch(vocab: usize, b: usize, t: usize, seed: u64) -> SeqBatch {
+        // Target = source (copy task), bos = 0.
+        let mut rng = Pcg32::seed(seed);
+        let src: Vec<usize> =
+            (0..b * t).map(|_| 1 + rng.below(vocab as u32 - 1) as usize).collect();
+        let mut tgt_in = Vec::with_capacity(b * t);
+        let mut tgt_out = Vec::with_capacity(b * t);
+        for r in 0..b {
+            tgt_in.push(0);
+            tgt_in.extend_from_slice(&src[r * t..r * t + t - 1]);
+            tgt_out.extend_from_slice(&src[r * t..(r + 1) * t]);
+        }
+        SeqBatch::new(src, tgt_in, tgt_out, b, t, t)
+    }
+
+    #[test]
+    fn forward_backward_shapes() {
+        let mut rng = Pcg32::seed(50);
+        let model = Seq2Seq::new(
+            Seq2SeqConfig {
+                vocab: 8,
+                embed: 6,
+                hidden: 8,
+                layers: 1,
+                recurrent_scale: 1.0,
+            },
+            &mut rng,
+        );
+        let batch = copy_task_batch(8, 3, 4, 51);
+        let (loss, grads) = loss_and_grad(&model, &batch);
+        assert!(loss.is_finite() && loss > 0.0);
+        assert_eq!(grads.len(), flat_dim(&model));
+    }
+
+    #[test]
+    fn learns_the_copy_task() {
+        let mut rng = Pcg32::seed(52);
+        let mut model = Seq2Seq::new(
+            Seq2SeqConfig {
+                vocab: 6,
+                embed: 8,
+                hidden: 12,
+                layers: 1,
+                recurrent_scale: 1.0,
+            },
+            &mut rng,
+        );
+        let batch = copy_task_batch(6, 8, 3, 53);
+        let (initial, _) = loss_and_grad(&model, &batch);
+        for _ in 0..150 {
+            let (_, grads) = loss_and_grad(&model, &batch);
+            let mut flat = flat_params(&model);
+            for (p, g) in flat.iter_mut().zip(&grads) {
+                *p -= 0.5 * g;
+            }
+            load_flat(&mut model, &flat);
+        }
+        let (final_loss, _) = loss_and_grad(&model, &batch);
+        assert!(final_loss < initial * 0.5, "{final_loss} vs {initial}");
+    }
+
+    #[test]
+    fn greedy_decode_produces_tokens_in_vocab() {
+        let mut rng = Pcg32::seed(54);
+        let model = Seq2Seq::new(Seq2SeqConfig::table1_like(10), &mut rng);
+        let out = model.greedy_decode(&[1, 2, 3], 0, 5);
+        assert_eq!(out.len(), 5);
+        assert!(out.iter().all(|&t| t < 10));
+    }
+
+    #[test]
+    #[should_panic(expected = "src length")]
+    fn bad_batch_panics() {
+        SeqBatch::new(vec![0; 5], vec![0; 6], vec![0; 6], 2, 3, 3);
+    }
+}

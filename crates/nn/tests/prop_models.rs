@@ -1,0 +1,130 @@
+//! Property-based tests over the model zoo: flat-parameter round trips,
+//! gradient finiteness, and loss-decrease under gradient steps for
+//! randomly sized architectures.
+
+use proptest::prelude::*;
+use yf_nn::{
+    flat_dim, flat_params, load_flat, loss_and_grad, LmBatch, LstmLm, LstmLmConfig, Mlp,
+    SupervisedModel,
+};
+use yf_tensor::rng::Pcg32;
+use yf_tensor::Tensor;
+
+fn lm_batch(vocab: usize, b: usize, t: usize, seed: u64) -> LmBatch {
+    let mut rng = Pcg32::seed(seed);
+    let inputs: Vec<usize> = (0..b * t).map(|_| rng.below(vocab as u32) as usize).collect();
+    let targets: Vec<usize> = inputs.iter().map(|&i| (i + 1) % vocab).collect();
+    LmBatch::new(inputs, targets, b, t)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn mlp_flat_round_trip(
+        hidden in 1usize..24, classes in 2usize..6, seed in any::<u64>()
+    ) {
+        let mut rng = Pcg32::seed(seed);
+        let mut mlp = Mlp::new(&[3, hidden, classes], &mut rng);
+        let flat = flat_params(&mlp);
+        prop_assert_eq!(flat.len(), flat_dim(&mlp));
+        let perturbed: Vec<f32> = flat.iter().map(|v| v + 1.0).collect();
+        load_flat(&mut mlp, &perturbed);
+        prop_assert_eq!(flat_params(&mlp), perturbed);
+    }
+
+    #[test]
+    fn mlp_gradients_finite_and_descend(
+        hidden in 2usize..16, seed in any::<u64>()
+    ) {
+        let mut rng = Pcg32::seed(seed);
+        let mlp = Mlp::new(&[4, hidden, 3], &mut rng);
+        let x = Tensor::randn(&[6, 4], &mut rng);
+        let y: Vec<usize> = (0..6).map(|i| i % 3).collect();
+        let batch = (x, y);
+        let (loss, grads) = loss_and_grad(&mlp, &batch);
+        prop_assert!(loss.is_finite());
+        prop_assert!(grads.iter().all(|g| g.is_finite()));
+        // A tiny step along -grad must not increase the loss (first-order).
+        let mut moved = mlp.clone();
+        let flat: Vec<f32> = flat_params(&mlp)
+            .iter()
+            .zip(&grads)
+            .map(|(p, g)| p - 1e-3 * g)
+            .collect();
+        load_flat(&mut moved, &flat);
+        let (loss2, _) = loss_and_grad(&moved, &batch);
+        prop_assert!(loss2 <= loss + 1e-4, "{loss} -> {loss2}");
+    }
+
+    #[test]
+    fn lstm_lm_shapes_hold_for_random_sizes(
+        vocab in 4usize..12,
+        hidden in 2usize..10,
+        layers in 1usize..3,
+        b in 1usize..4,
+        t in 1usize..6,
+        seed in any::<u64>(),
+    ) {
+        let mut rng = Pcg32::seed(seed);
+        let lm = LstmLm::new(
+            LstmLmConfig {
+                vocab,
+                embed: hidden,
+                hidden,
+                layers,
+                tied: false,
+                recurrent_scale: 1.0,
+            },
+            &mut rng,
+        );
+        let batch = lm_batch(vocab, b, t, seed ^ 1);
+        let (loss, grads) = loss_and_grad(&lm, &batch);
+        prop_assert!(loss.is_finite() && loss > 0.0);
+        prop_assert_eq!(grads.len(), flat_dim(&lm));
+        // Initial loss should be near ln(vocab) for random weights.
+        let uniform = (vocab as f32).ln();
+        prop_assert!(loss < 3.0 * uniform, "loss {loss} vs ln V {uniform}");
+    }
+
+    #[test]
+    fn tied_lm_has_fewer_params_than_untied(
+        vocab in 4usize..16, hidden in 2usize..10, seed in any::<u64>()
+    ) {
+        let mk = |tied: bool| {
+            LstmLm::new(
+                LstmLmConfig {
+                    vocab,
+                    embed: hidden,
+                    hidden,
+                    layers: 1,
+                    tied,
+                    recurrent_scale: 1.0,
+                },
+                &mut Pcg32::seed(seed),
+            )
+        };
+        let tied = mk(true);
+        let untied = mk(false);
+        // Tying removes the [hidden, vocab] projection matrix.
+        prop_assert_eq!(
+            flat_dim(&untied) - flat_dim(&tied),
+            hidden * vocab
+        );
+    }
+}
+
+#[test]
+fn params_and_bindings_agree_for_every_model() {
+    // The binding-order contract: loss() must bind exactly params().len()
+    // nodes, in order, for each model family.
+    let mut rng = Pcg32::seed(99);
+    let lm = LstmLm::new(LstmLmConfig::word_like(10), &mut rng);
+    let batch = lm_batch(10, 2, 3, 5);
+    let mut g = yf_autograd::Graph::new();
+    let (_, nodes) = lm.loss(&mut g, &batch);
+    assert_eq!(nodes.ids().len(), lm.params().len());
+    for (id, p) in nodes.ids().iter().zip(lm.params()) {
+        assert_eq!(g.value(*id).shape(), p.value.shape(), "param {}", p.name);
+    }
+}

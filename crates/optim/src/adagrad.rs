@@ -1,0 +1,78 @@
+//! AdaGrad (Duchi, Hazan & Singer, 2011).
+
+use crate::{check_lengths, Optimizer};
+
+/// AdaGrad: per-coordinate learning rates from accumulated squared
+/// gradients. One of the baselines the paper compares against on the WSJ
+/// constituency parsing task (Figure 5, right).
+#[derive(Debug, Clone)]
+pub struct AdaGrad {
+    lr: f32,
+    eps: f32,
+    accum: Vec<f32>,
+    dim: Option<usize>,
+}
+
+impl AdaGrad {
+    /// AdaGrad with accumulator floor ε = 1e-10.
+    pub fn new(lr: f32) -> Self {
+        AdaGrad {
+            lr,
+            eps: 1e-10,
+            accum: Vec::new(),
+            dim: None,
+        }
+    }
+}
+
+impl Optimizer for AdaGrad {
+    fn step(&mut self, params: &mut [f32], grads: &[f32]) {
+        let dim = *self.dim.get_or_insert(params.len());
+        check_lengths(dim, params, grads);
+        if self.accum.is_empty() {
+            self.accum = vec![0.0; dim];
+        }
+        for i in 0..dim {
+            let g = grads[i];
+            self.accum[i] += g * g;
+            params[i] -= self.lr * g / (self.accum[i].sqrt() + self.eps);
+        }
+    }
+
+    fn learning_rate(&self) -> f32 {
+        self.lr
+    }
+
+    fn set_learning_rate(&mut self, lr: f32) {
+        self.lr = lr;
+    }
+
+    fn name(&self) -> &'static str {
+        "adagrad"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_step_is_signed_lr() {
+        let mut opt = AdaGrad::new(0.1);
+        let mut x = vec![0.0f32];
+        opt.step(&mut x, &[5.0]);
+        assert!((x[0] + 0.1).abs() < 1e-5);
+    }
+
+    #[test]
+    fn step_sizes_shrink_over_time() {
+        let mut opt = AdaGrad::new(0.1);
+        let mut x = vec![0.0f32];
+        opt.step(&mut x, &[1.0]);
+        let first = x[0].abs();
+        let before = x[0];
+        opt.step(&mut x, &[1.0]);
+        let second = (x[0] - before).abs();
+        assert!(second < first, "second step {second} >= first {first}");
+    }
+}

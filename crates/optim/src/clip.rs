@@ -1,0 +1,136 @@
+//! Gradient clipping utilities.
+//!
+//! The paper's Table 1 baseline uses a *manually chosen* global-norm
+//! threshold (0.1 for the seq2seq model); YellowFin's adaptive variant
+//! (Appendix F) derives the threshold from its own curvature estimate.
+//! Both paths call [`clip_by_global_norm`].
+
+/// Euclidean norm of a flat gradient, accumulated in `f64`.
+pub fn global_norm(grads: &[f32]) -> f32 {
+    grads
+        .iter()
+        .map(|&g| f64::from(g) * f64::from(g))
+        .sum::<f64>()
+        .sqrt() as f32
+}
+
+/// Scales `grads` in place so its global norm is at most `threshold`.
+/// Returns the norm measured *before* clipping.
+///
+/// A non-positive or non-finite threshold disables clipping (the norm is
+/// still returned), which lets callers thread an "off" setting through
+/// unconditionally.
+pub fn clip_by_global_norm(grads: &mut [f32], threshold: f32) -> f32 {
+    let norm = global_norm(grads);
+    if threshold > 0.0 && threshold.is_finite() && norm > threshold {
+        let scale = threshold / norm;
+        for g in grads.iter_mut() {
+            *g *= scale;
+        }
+    }
+    norm
+}
+
+/// An optimizer adapter that clips the gradient to a fixed global-norm
+/// threshold before delegating — the "manually set gradient norm
+/// threshold" baseline of the paper's Table 1.
+#[derive(Debug, Clone)]
+pub struct Clipped<O> {
+    inner: O,
+    threshold: f32,
+    buf: Vec<f32>,
+}
+
+impl<O: crate::Optimizer> Clipped<O> {
+    /// Wraps `inner`, clipping gradients to `threshold`.
+    pub fn new(inner: O, threshold: f32) -> Self {
+        Clipped {
+            inner,
+            threshold,
+            buf: Vec::new(),
+        }
+    }
+
+    /// The wrapped optimizer.
+    pub fn inner(&self) -> &O {
+        &self.inner
+    }
+}
+
+impl<O: crate::Optimizer> crate::Optimizer for Clipped<O> {
+    fn step(&mut self, params: &mut [f32], grads: &[f32]) {
+        self.buf.clear();
+        self.buf.extend_from_slice(grads);
+        clip_by_global_norm(&mut self.buf, self.threshold);
+        self.inner.step(params, &self.buf);
+    }
+
+    fn learning_rate(&self) -> f32 {
+        self.inner.learning_rate()
+    }
+
+    fn set_learning_rate(&mut self, lr: f32) {
+        self.inner.set_learning_rate(lr);
+    }
+
+    fn name(&self) -> &'static str {
+        "clipped"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn norm_matches_hand_value() {
+        assert!((global_norm(&[3.0, 4.0]) - 5.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn clips_only_above_threshold() {
+        let mut g = vec![3.0f32, 4.0];
+        let norm = clip_by_global_norm(&mut g, 10.0);
+        assert_eq!(norm, 5.0);
+        assert_eq!(g, vec![3.0, 4.0], "below threshold: untouched");
+
+        let norm = clip_by_global_norm(&mut g, 1.0);
+        assert_eq!(norm, 5.0);
+        assert!((global_norm(&g) - 1.0).abs() < 1e-6);
+        // Direction preserved.
+        assert!((g[1] / g[0] - 4.0 / 3.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn nonpositive_threshold_disables() {
+        let mut g = vec![30.0f32, 40.0];
+        clip_by_global_norm(&mut g, 0.0);
+        assert_eq!(g, vec![30.0, 40.0]);
+        clip_by_global_norm(&mut g, f32::INFINITY);
+        assert_eq!(g, vec![30.0, 40.0]);
+    }
+
+    #[test]
+    fn clipped_adapter_limits_update_size() {
+        use crate::{Optimizer, Sgd};
+        let mut plain = Sgd::new(1.0);
+        let mut clipped = Clipped::new(Sgd::new(1.0), 1.0);
+        let mut xp = vec![0.0f32, 0.0];
+        let mut xc = vec![0.0f32, 0.0];
+        let huge = vec![30.0f32, 40.0];
+        plain.step(&mut xp, &huge);
+        clipped.step(&mut xc, &huge);
+        assert_eq!(xp, vec![-30.0, -40.0]);
+        let step_norm = global_norm(&xc);
+        assert!((step_norm - 1.0).abs() < 1e-6, "clipped step {step_norm}");
+    }
+
+    #[test]
+    fn clipped_adapter_passes_small_gradients_through() {
+        use crate::{Optimizer, Sgd};
+        let mut clipped = Clipped::new(Sgd::new(0.5), 10.0);
+        let mut x = vec![1.0f32];
+        clipped.step(&mut x, &[1.0]);
+        assert!((x[0] - 0.5).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,115 @@
+//! Baseline first-order optimizers on flat `f32` parameter vectors.
+//!
+//! Every optimizer in the workspace — including the `yellowfin` tuner —
+//! implements the same [`Optimizer`] trait: one `step` that consumes the
+//! current gradient and updates the parameters in place. Working on flat
+//! vectors keeps the optimizers independent of the autodiff stack and lets
+//! the asynchronous simulator snapshot models cheaply.
+//!
+//! Implemented baselines (the comparison set of the paper's Section 5):
+//! plain SGD, Polyak and Nesterov momentum SGD, [`Adam`] (which accepts the
+//! *negative* β1 values swept in Figure 10), [`AdaGrad`] and [`RmsProp`],
+//! plus [`clip`] utilities and the experiments' learning-rate
+//! [`schedule`]s.
+//!
+//! # Example
+//!
+//! ```
+//! use yf_optim::{MomentumSgd, Optimizer};
+//!
+//! // Minimize f(x) = 0.5 * x^2 from x = 1.
+//! let mut opt = MomentumSgd::new(0.1, 0.9);
+//! let mut x = vec![1.0f32];
+//! for _ in 0..200 {
+//!     let grad = vec![x[0]];
+//!     opt.step(&mut x, &grad);
+//! }
+//! assert!(x[0].abs() < 1e-3);
+//! ```
+
+pub mod clip;
+pub mod schedule;
+
+mod adagrad;
+mod adam;
+mod rmsprop;
+mod sgd;
+
+pub use adagrad::AdaGrad;
+pub use adam::Adam;
+pub use rmsprop::RmsProp;
+pub use sgd::{MomentumSgd, Sgd};
+
+/// A first-order optimizer over a flat parameter vector.
+///
+/// Implementations must tolerate being constructed before the parameter
+/// count is known: internal state buffers are sized lazily on the first
+/// `step`.
+pub trait Optimizer {
+    /// Applies one update to `params` in place given the gradient.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `params.len() != grads.len()` or if the length changes
+    /// between calls.
+    fn step(&mut self, params: &mut [f32], grads: &[f32]);
+
+    /// The learning rate most recently used (for logging and schedules).
+    fn learning_rate(&self) -> f32;
+
+    /// Overrides the learning rate (used by decay schedules).
+    fn set_learning_rate(&mut self, lr: f32);
+
+    /// A short human-readable name for reports.
+    fn name(&self) -> &'static str;
+}
+
+pub(crate) fn check_lengths(state_len: usize, params: &[f32], grads: &[f32]) {
+    assert_eq!(
+        params.len(),
+        grads.len(),
+        "optimizer: params ({}) and grads ({}) differ",
+        params.len(),
+        grads.len()
+    );
+    assert_eq!(
+        state_len,
+        params.len(),
+        "optimizer: parameter count changed between steps ({state_len} -> {})",
+        params.len()
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quadratic_converges(mut opt: impl Optimizer, iters: usize, tol: f32) {
+        // f(x) = 0.5 * sum(h_i x_i^2) with curvatures 1 and 4.
+        let h = [1.0f32, 4.0];
+        let mut x = vec![1.0f32, -1.0];
+        for _ in 0..iters {
+            let g: Vec<f32> = x.iter().zip(h.iter()).map(|(&xi, &hi)| hi * xi).collect();
+            opt.step(&mut x, &g);
+        }
+        let dist = (x[0] * x[0] + x[1] * x[1]).sqrt();
+        assert!(dist < tol, "{} left distance {dist}", opt.name());
+    }
+
+    #[test]
+    fn all_optimizers_minimize_a_quadratic() {
+        quadratic_converges(Sgd::new(0.1), 300, 1e-3);
+        quadratic_converges(MomentumSgd::new(0.05, 0.9), 400, 1e-3);
+        quadratic_converges(MomentumSgd::nesterov(0.05, 0.9), 400, 1e-3);
+        quadratic_converges(Adam::new(0.1), 400, 1e-2);
+        quadratic_converges(AdaGrad::new(0.5), 800, 1e-2);
+        quadratic_converges(RmsProp::new(0.01), 800, 1e-2);
+    }
+
+    #[test]
+    #[should_panic(expected = "params (1) and grads (2)")]
+    fn length_mismatch_panics() {
+        let mut opt = Sgd::new(0.1);
+        opt.step(&mut [0.0], &[0.0, 0.0]);
+    }
+}

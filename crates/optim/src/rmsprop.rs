@@ -1,0 +1,88 @@
+//! RMSProp (Tieleman & Hinton, 2012).
+
+use crate::{check_lengths, Optimizer};
+
+/// RMSProp: per-coordinate learning rates from an exponential moving
+/// average of squared gradients.
+#[derive(Debug, Clone)]
+pub struct RmsProp {
+    lr: f32,
+    decay: f32,
+    eps: f32,
+    ms: Vec<f32>,
+    dim: Option<usize>,
+}
+
+impl RmsProp {
+    /// RMSProp with the customary decay 0.9 and ε = 1e-8.
+    pub fn new(lr: f32) -> Self {
+        RmsProp::with_decay(lr, 0.9)
+    }
+
+    /// RMSProp with explicit squared-gradient decay.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `decay ∈ [0, 1)`.
+    pub fn with_decay(lr: f32, decay: f32) -> Self {
+        assert!((0.0..1.0).contains(&decay), "rmsprop: decay {decay}");
+        RmsProp {
+            lr,
+            decay,
+            eps: 1e-8,
+            ms: Vec::new(),
+            dim: None,
+        }
+    }
+}
+
+impl Optimizer for RmsProp {
+    fn step(&mut self, params: &mut [f32], grads: &[f32]) {
+        let dim = *self.dim.get_or_insert(params.len());
+        check_lengths(dim, params, grads);
+        if self.ms.is_empty() {
+            self.ms = vec![0.0; dim];
+        }
+        for i in 0..dim {
+            let g = grads[i];
+            self.ms[i] = self.decay * self.ms[i] + (1.0 - self.decay) * g * g;
+            params[i] -= self.lr * g / (self.ms[i].sqrt() + self.eps);
+        }
+    }
+
+    fn learning_rate(&self) -> f32 {
+        self.lr
+    }
+
+    fn set_learning_rate(&mut self, lr: f32) {
+        self.lr = lr;
+    }
+
+    fn name(&self) -> &'static str {
+        "rmsprop"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normalizes_gradient_scale() {
+        // Two problems whose gradients differ by 1000x should take nearly
+        // identical first steps (that is RMSProp's point).
+        let mut a = RmsProp::new(0.01);
+        let mut b = RmsProp::new(0.01);
+        let mut xa = vec![0.0f32];
+        let mut xb = vec![0.0f32];
+        a.step(&mut xa, &[1.0]);
+        b.step(&mut xb, &[1000.0]);
+        assert!((xa[0] - xb[0]).abs() < 1e-4, "{} vs {}", xa[0], xb[0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "decay")]
+    fn bad_decay_panics() {
+        RmsProp::with_decay(0.1, 1.5);
+    }
+}

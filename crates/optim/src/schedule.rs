@@ -1,0 +1,84 @@
+//! Learning-rate schedules used by the paper's experiment protocols.
+//!
+//! Appendix I: the TinyShakespeare LSTM decays the learning rate by 0.97
+//! every epoch; the WSJ LSTM decays by 0.9 every epoch after epoch 14.
+//! These compose with any [`crate::Optimizer`] via
+//! [`Schedule::apply`].
+
+use crate::Optimizer;
+
+/// A multiplicative learning-rate decay schedule on epoch boundaries.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Schedule {
+    /// No decay.
+    Constant,
+    /// Multiply the learning rate by `factor` at the end of every epoch.
+    EveryEpoch {
+        /// Per-epoch multiplier in `(0, 1]`.
+        factor: f32,
+    },
+    /// Multiply by `factor` at the end of every epoch from `start_epoch`
+    /// onward (epochs are 0-based).
+    AfterEpoch {
+        /// Per-epoch multiplier in `(0, 1]`.
+        factor: f32,
+        /// First epoch (0-based) at which decay applies.
+        start_epoch: usize,
+    },
+}
+
+impl Schedule {
+    /// The cumulative multiplier in effect during `epoch`.
+    pub fn multiplier(&self, epoch: usize) -> f32 {
+        match *self {
+            Schedule::Constant => 1.0,
+            Schedule::EveryEpoch { factor } => factor.powi(epoch as i32),
+            Schedule::AfterEpoch {
+                factor,
+                start_epoch,
+            } => factor.powi(epoch.saturating_sub(start_epoch) as i32),
+        }
+    }
+
+    /// Sets `opt`'s learning rate to `base_lr * multiplier(epoch)`.
+    pub fn apply(&self, opt: &mut dyn Optimizer, base_lr: f32, epoch: usize) {
+        opt.set_learning_rate(base_lr * self.multiplier(epoch));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Sgd;
+
+    #[test]
+    fn constant_never_decays() {
+        assert_eq!(Schedule::Constant.multiplier(100), 1.0);
+    }
+
+    #[test]
+    fn every_epoch_compounds() {
+        let s = Schedule::EveryEpoch { factor: 0.97 };
+        assert!((s.multiplier(0) - 1.0).abs() < 1e-6);
+        assert!((s.multiplier(2) - 0.97 * 0.97).abs() < 1e-6);
+    }
+
+    #[test]
+    fn after_epoch_waits() {
+        let s = Schedule::AfterEpoch {
+            factor: 0.9,
+            start_epoch: 14,
+        };
+        assert_eq!(s.multiplier(10), 1.0);
+        assert_eq!(s.multiplier(14), 1.0);
+        assert!((s.multiplier(16) - 0.81).abs() < 1e-6);
+    }
+
+    #[test]
+    fn apply_updates_optimizer() {
+        let mut opt = Sgd::new(1.0);
+        let s = Schedule::EveryEpoch { factor: 0.5 };
+        s.apply(&mut opt, 1.0, 3);
+        assert!((opt.learning_rate() - 0.125).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,130 @@
+//! Property-based tests for the baseline optimizers.
+
+use proptest::prelude::*;
+use yf_optim::clip::{clip_by_global_norm, global_norm};
+use yf_optim::{Adam, AdaGrad, MomentumSgd, Optimizer, RmsProp, Sgd};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// SGD is linear in the gradient: step(g1 + g2) == step(g1) then
+    /// step(g2) applied to the same start (for lr fixed).
+    #[test]
+    fn sgd_is_linear(
+        g1 in prop::collection::vec(-10.0f32..10.0, 1..8),
+        lr in 0.001f32..1.0,
+    ) {
+        let g2: Vec<f32> = g1.iter().map(|v| v * 0.5 - 1.0).collect();
+        let dim = g1.len();
+        let mut combined = vec![0.0f32; dim];
+        let sum: Vec<f32> = g1.iter().zip(&g2).map(|(a, b)| a + b).collect();
+        Sgd::new(lr).step(&mut combined, &sum);
+        let mut sequential = vec![0.0f32; dim];
+        let mut opt = Sgd::new(lr);
+        opt.step(&mut sequential, &g1);
+        opt.step(&mut sequential, &g2);
+        for (c, s) in combined.iter().zip(&sequential) {
+            prop_assert!((c - s).abs() < 1e-4, "{c} vs {s}");
+        }
+    }
+
+    /// Adam's first step has magnitude exactly lr in every coordinate
+    /// with a non-zero gradient (bias correction).
+    #[test]
+    fn adam_first_step_magnitude(
+        g in prop::collection::vec(-100.0f32..100.0, 1..8),
+        lr in 0.0001f32..0.5,
+    ) {
+        let mut x = vec![0.0f32; g.len()];
+        Adam::new(lr).step(&mut x, &g);
+        for (xi, gi) in x.iter().zip(&g) {
+            if gi.abs() > 1e-3 {
+                prop_assert!(
+                    (xi.abs() - lr).abs() < lr * 0.01,
+                    "step {xi} for grad {gi}, lr {lr}"
+                );
+                prop_assert!(xi.signum() == -gi.signum());
+            }
+        }
+    }
+
+    /// Momentum SGD's velocity form reproduces the Polyak position
+    /// recurrence for arbitrary gradient streams.
+    #[test]
+    fn momentum_matches_position_form(
+        grads in prop::collection::vec(-5.0f32..5.0, 2..20),
+        lr in 0.001f32..0.3,
+        mu in 0.0f32..0.95,
+    ) {
+        let mut opt = MomentumSgd::new(lr, mu);
+        let mut x = vec![1.0f32];
+        let mut manual = 1.0f64;
+        let mut manual_prev = 1.0f64;
+        for (t, &g) in grads.iter().enumerate() {
+            opt.step(&mut x, &[g]);
+            let next = if t == 0 {
+                manual - f64::from(lr) * f64::from(g)
+            } else {
+                manual - f64::from(lr) * f64::from(g)
+                    + f64::from(mu) * (manual - manual_prev)
+            };
+            manual_prev = manual;
+            manual = next;
+            prop_assert!((f64::from(x[0]) - manual).abs() < 1e-4,
+                "step {t}: {} vs {manual}", x[0]);
+        }
+    }
+
+    /// Clipping never increases the norm, never changes direction, and is
+    /// idempotent.
+    #[test]
+    fn clip_contract(
+        g in prop::collection::vec(-1e4f32..1e4, 1..16),
+        threshold in 0.01f32..100.0,
+    ) {
+        let mut clipped = g.clone();
+        clip_by_global_norm(&mut clipped, threshold);
+        prop_assert!(global_norm(&clipped) <= threshold * (1.0 + 1e-4));
+        // Direction preserved: clipped = s * g for one s in [0, 1].
+        let norm_g = global_norm(&g);
+        if norm_g > 0.0 {
+            let s = global_norm(&clipped) / norm_g;
+            for (c, o) in clipped.iter().zip(&g) {
+                prop_assert!((c - s * o).abs() < 1e-2 * (1.0 + o.abs()));
+            }
+        }
+        let mut twice = clipped.clone();
+        clip_by_global_norm(&mut twice, threshold);
+        for (a, b) in twice.iter().zip(&clipped) {
+            prop_assert!((a - b).abs() <= 1e-6 * (1.0 + b.abs()));
+        }
+    }
+
+    /// All per-coordinate adaptive methods are scale-covariant in the
+    /// direction: flipping the gradient sign flips the step.
+    #[test]
+    fn sign_symmetry(g in prop::collection::vec(0.01f32..10.0, 1..6)) {
+        let neg: Vec<f32> = g.iter().map(|v| -v).collect();
+        let run = |grad: &[f32]| -> Vec<Vec<f32>> {
+            let mut outs = Vec::new();
+            let opts: Vec<Box<dyn Optimizer>> = vec![
+                Box::new(Adam::new(0.1)),
+                Box::new(AdaGrad::new(0.1)),
+                Box::new(RmsProp::new(0.1)),
+            ];
+            for mut opt in opts {
+                let mut x = vec![0.0f32; grad.len()];
+                opt.step(&mut x, grad);
+                outs.push(x);
+            }
+            outs
+        };
+        let pos_steps = run(&g);
+        let neg_steps = run(&neg);
+        for (p, n) in pos_steps.iter().zip(&neg_steps) {
+            for (a, b) in p.iter().zip(n) {
+                prop_assert!((a + b).abs() < 1e-5, "asymmetric: {a} vs {b}");
+            }
+        }
+    }
+}

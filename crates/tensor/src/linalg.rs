@@ -1,0 +1,232 @@
+//! Small-matrix spectral tools.
+//!
+//! The paper's analysis (Lemmas 3 and 6) turns on the spectral radii of the
+//! 2x2 bias operator `A` and the 3x3 variance operator `B` of momentum SGD
+//! on a scalar quadratic. This module provides exact polynomial root
+//! solvers (quadratic and Cardano cubic) and spectral radii for 2x2 and 3x3
+//! real matrices so those lemmas can be checked *numerically* in tests and
+//! regenerated for Figure 2.
+
+/// A complex number represented as `(re, im)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Complex {
+    /// Real part.
+    pub re: f64,
+    /// Imaginary part.
+    pub im: f64,
+}
+
+impl Complex {
+    /// A purely real complex number.
+    pub fn real(re: f64) -> Self {
+        Complex { re, im: 0.0 }
+    }
+
+    /// The modulus `|z|`.
+    pub fn abs(&self) -> f64 {
+        self.re.hypot(self.im)
+    }
+}
+
+/// Roots of the monic quadratic `x^2 + b x + c = 0`.
+///
+/// # Example
+///
+/// ```
+/// use yf_tensor::linalg::quadratic_roots;
+/// let [r0, r1] = quadratic_roots(-3.0, 2.0); // x^2 - 3x + 2 = (x-1)(x-2)
+/// assert!((r0.re - 2.0).abs() < 1e-12 || (r0.re - 1.0).abs() < 1e-12);
+/// assert_eq!(r0.im, 0.0);
+/// assert_eq!(r1.im, 0.0);
+/// ```
+pub fn quadratic_roots(b: f64, c: f64) -> [Complex; 2] {
+    let disc = b * b - 4.0 * c;
+    if disc >= 0.0 {
+        let sq = disc.sqrt();
+        // Numerically stable: compute the larger-magnitude root first.
+        let q = -0.5 * (b + b.signum() * sq);
+        let r0 = if b == 0.0 { sq / 2.0 } else { q };
+        let r1 = if r0 != 0.0 { c / r0 } else { -b - r0 };
+        [Complex::real(r0), Complex::real(r1)]
+    } else {
+        let sq = (-disc).sqrt() / 2.0;
+        [
+            Complex { re: -b / 2.0, im: sq },
+            Complex {
+                re: -b / 2.0,
+                im: -sq,
+            },
+        ]
+    }
+}
+
+/// Roots of the monic cubic `x^3 + a2 x^2 + a1 x + a0 = 0` (Cardano with the
+/// trigonometric branch for three real roots).
+pub fn cubic_roots(a2: f64, a1: f64, a0: f64) -> [Complex; 3] {
+    // Depress: x = t - a2/3 gives t^3 + p t + q = 0.
+    let p = a1 - a2 * a2 / 3.0;
+    let q = 2.0 * a2.powi(3) / 27.0 - a2 * a1 / 3.0 + a0;
+    let shift = -a2 / 3.0;
+    let disc = -4.0 * p.powi(3) - 27.0 * q * q;
+    let eps = 1e-12 * (1.0 + q.abs() + p.abs().powi(3));
+    if disc > eps {
+        // Three distinct real roots: trigonometric method.
+        let m = 2.0 * (-p / 3.0).sqrt();
+        let theta = (3.0 * q / (p * m)).clamp(-1.0, 1.0).acos() / 3.0;
+        let mut roots = [Complex::real(0.0); 3];
+        for (k, r) in roots.iter_mut().enumerate() {
+            let angle = theta - 2.0 * std::f64::consts::PI * k as f64 / 3.0;
+            *r = Complex::real(m * angle.cos() + shift);
+        }
+        roots
+    } else {
+        // One real root (Cardano), then deflate to a quadratic.
+        let half_q = q / 2.0;
+        let inner = half_q * half_q + p.powi(3) / 27.0;
+        let t0 = if inner >= 0.0 {
+            let sq = inner.sqrt();
+            cbrt(-half_q + sq) + cbrt(-half_q - sq)
+        } else {
+            // Borderline three-real-root case that fell through on eps.
+            let m = 2.0 * (-p / 3.0).sqrt();
+            let theta = (3.0 * q / (p * m)).clamp(-1.0, 1.0).acos() / 3.0;
+            m * theta.cos()
+        };
+        let x0 = t0 + shift;
+        // Deflate: x^3 + a2 x^2 + a1 x + a0 = (x - x0)(x^2 + bx + c).
+        let b = a2 + x0;
+        let c = a1 + x0 * b;
+        let [r1, r2] = quadratic_roots(b, c);
+        [Complex::real(x0), r1, r2]
+    }
+}
+
+fn cbrt(x: f64) -> f64 {
+    x.signum() * x.abs().cbrt()
+}
+
+/// Spectral radius (largest eigenvalue modulus) of a 2x2 real matrix.
+pub fn spectral_radius_2x2(m: [[f64; 2]; 2]) -> f64 {
+    let trace = m[0][0] + m[1][1];
+    let det = m[0][0] * m[1][1] - m[0][1] * m[1][0];
+    quadratic_roots(-trace, det)
+        .iter()
+        .map(Complex::abs)
+        .fold(0.0, f64::max)
+}
+
+/// Spectral radius of a 3x3 real matrix via its characteristic polynomial.
+pub fn spectral_radius_3x3(m: [[f64; 3]; 3]) -> f64 {
+    let trace = m[0][0] + m[1][1] + m[2][2];
+    // Sum of principal 2x2 minors.
+    let m01 = m[0][0] * m[1][1] - m[0][1] * m[1][0];
+    let m02 = m[0][0] * m[2][2] - m[0][2] * m[2][0];
+    let m12 = m[1][1] * m[2][2] - m[1][2] * m[2][1];
+    let det = m[0][0] * (m[1][1] * m[2][2] - m[1][2] * m[2][1])
+        - m[0][1] * (m[1][0] * m[2][2] - m[1][2] * m[2][0])
+        + m[0][2] * (m[1][0] * m[2][1] - m[1][1] * m[2][0]);
+    // det(M - xI) = -x^3 + trace x^2 - (minors) x + det; negate for monic.
+    cubic_roots(-trace, m01 + m02 + m12, -det)
+        .iter()
+        .map(Complex::abs)
+        .fold(0.0, f64::max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_close(a: f64, b: f64, tol: f64) {
+        assert!((a - b).abs() < tol, "{a} vs {b}");
+    }
+
+    #[test]
+    fn quadratic_real_roots() {
+        let roots = quadratic_roots(-5.0, 6.0); // (x-2)(x-3)
+        let mut vals: Vec<f64> = roots.iter().map(|r| r.re).collect();
+        vals.sort_by(f64::total_cmp);
+        assert_close(vals[0], 2.0, 1e-12);
+        assert_close(vals[1], 3.0, 1e-12);
+    }
+
+    #[test]
+    fn quadratic_complex_roots() {
+        let [r0, r1] = quadratic_roots(0.0, 1.0); // x^2 + 1
+        assert_close(r0.abs(), 1.0, 1e-12);
+        assert_close(r1.abs(), 1.0, 1e-12);
+        assert_close(r0.re, 0.0, 1e-12);
+    }
+
+    #[test]
+    fn cubic_three_real() {
+        // (x-1)(x-2)(x-3) = x^3 - 6x^2 + 11x - 6
+        let roots = cubic_roots(-6.0, 11.0, -6.0);
+        let mut vals: Vec<f64> = roots.iter().map(|r| r.re).collect();
+        vals.sort_by(f64::total_cmp);
+        assert_close(vals[0], 1.0, 1e-9);
+        assert_close(vals[1], 2.0, 1e-9);
+        assert_close(vals[2], 3.0, 1e-9);
+        assert!(roots.iter().all(|r| r.im.abs() < 1e-9));
+    }
+
+    #[test]
+    fn cubic_one_real_pair_complex() {
+        // x^3 - 1 has roots 1, exp(±2πi/3); all modulus 1.
+        let roots = cubic_roots(0.0, 0.0, -1.0);
+        for r in roots {
+            assert_close(r.abs(), 1.0, 1e-9);
+        }
+        assert!(roots.iter().any(|r| r.im.abs() < 1e-9 && (r.re - 1.0).abs() < 1e-9));
+    }
+
+    #[test]
+    fn cubic_repeated_roots() {
+        // (x-2)^3 = x^3 - 6x^2 + 12x - 8
+        let roots = cubic_roots(-6.0, 12.0, -8.0);
+        for r in roots {
+            assert_close(r.re, 2.0, 1e-5);
+            assert!(r.im.abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn radius_2x2_diagonal() {
+        assert_close(spectral_radius_2x2([[3.0, 0.0], [0.0, -5.0]]), 5.0, 1e-12);
+    }
+
+    #[test]
+    fn radius_2x2_rotation() {
+        // Rotation by 90 degrees: eigenvalues ±i, radius 1.
+        assert_close(spectral_radius_2x2([[0.0, -1.0], [1.0, 0.0]]), 1.0, 1e-12);
+    }
+
+    #[test]
+    fn radius_3x3_diagonal() {
+        let m = [[1.0, 0.0, 0.0], [0.0, -4.0, 0.0], [0.0, 0.0, 2.0]];
+        assert_close(spectral_radius_3x3(m), 4.0, 1e-9);
+    }
+
+    #[test]
+    fn radius_3x3_permutation() {
+        // Cyclic permutation: eigenvalues are cube roots of unity, radius 1.
+        let m = [[0.0, 1.0, 0.0], [0.0, 0.0, 1.0], [1.0, 0.0, 0.0]];
+        assert_close(spectral_radius_3x3(m), 1.0, 1e-9);
+    }
+
+    #[test]
+    fn momentum_operator_radius_is_sqrt_mu_in_robust_region() {
+        // Lemma 3 sanity check straight from the paper: with
+        // (1-sqrt(mu))^2 <= alpha*h <= (1+sqrt(mu))^2 the 2x2 operator's
+        // radius is exactly sqrt(mu).
+        for &mu in &[0.1f64, 0.5, 0.9] {
+            for &ah in &[
+                (1.0 - mu.sqrt()).powi(2) + 1e-9,
+                1.0 + mu,
+                (1.0 + mu.sqrt()).powi(2) - 1e-9,
+            ] {
+                let a = [[1.0 - ah + mu, -mu], [1.0, 0.0]];
+                assert_close(spectral_radius_2x2(a), mu.sqrt(), 1e-6);
+            }
+        }
+    }
+}

@@ -1,0 +1,228 @@
+//! Seeded pseudo-random number generation.
+//!
+//! We implement PCG32 (O'Neill 2014) instead of depending on `rand`: it is a
+//! few dozen lines, it is fast, and — most importantly for a reproduction —
+//! every workload generator and weight initializer in the workspace becomes
+//! bit-reproducible across platforms from a single `u64` seed.
+
+/// A PCG-XSH-RR 64/32 random number generator.
+///
+/// # Example
+///
+/// ```
+/// use yf_tensor::rng::Pcg32;
+/// let mut a = Pcg32::seed(42);
+/// let mut b = Pcg32::seed(42);
+/// assert_eq!(a.next_u32(), b.next_u32());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Pcg32 {
+    state: u64,
+    inc: u64,
+}
+
+const PCG_MULT: u64 = 6364136223846793005;
+
+impl Pcg32 {
+    /// Creates a generator from a seed, using a fixed default stream.
+    pub fn seed(seed: u64) -> Self {
+        Self::seed_stream(seed, 0xda3e39cb94b95bdb)
+    }
+
+    /// Creates a generator with an explicit stream selector, so several
+    /// independent generators can share one logical seed.
+    pub fn seed_stream(seed: u64, stream: u64) -> Self {
+        let mut rng = Pcg32 {
+            state: 0,
+            inc: (stream << 1) | 1,
+        };
+        rng.next_u32();
+        rng.state = rng.state.wrapping_add(seed);
+        rng.next_u32();
+        rng
+    }
+
+    /// Returns the next 32 uniformly random bits.
+    pub fn next_u32(&mut self) -> u32 {
+        let old = self.state;
+        self.state = old.wrapping_mul(PCG_MULT).wrapping_add(self.inc);
+        let xorshifted = (((old >> 18) ^ old) >> 27) as u32;
+        let rot = (old >> 59) as u32;
+        xorshifted.rotate_right(rot)
+    }
+
+    /// Returns 64 uniformly random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        (u64::from(self.next_u32()) << 32) | u64::from(self.next_u32())
+    }
+
+    /// Returns a uniform sample in `[0, 1)` with 24 bits of precision.
+    pub fn uniform(&mut self) -> f32 {
+        (self.next_u32() >> 8) as f32 * (1.0 / 16_777_216.0)
+    }
+
+    /// Returns a uniform sample in `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi`.
+    pub fn uniform_in(&mut self, lo: f32, hi: f32) -> f32 {
+        assert!(lo <= hi, "uniform_in: empty range [{lo}, {hi})");
+        lo + (hi - lo) * self.uniform()
+    }
+
+    /// Returns a uniform integer in `[0, n)` using Lemire rejection.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn below(&mut self, n: u32) -> u32 {
+        assert!(n > 0, "below: n must be positive");
+        // Rejection sampling keeps the distribution exactly uniform.
+        let threshold = n.wrapping_neg() % n;
+        loop {
+            let r = self.next_u32();
+            let m = u64::from(r) * u64::from(n);
+            if (m as u32) >= threshold {
+                return (m >> 32) as u32;
+            }
+        }
+    }
+
+    /// Returns a standard normal sample (Box–Muller transform).
+    pub fn normal(&mut self) -> f32 {
+        // Draw until u1 is safely away from zero to keep ln finite.
+        let mut u1 = self.uniform();
+        while u1 <= f32::MIN_POSITIVE {
+            u1 = self.uniform();
+        }
+        let u2 = self.uniform();
+        let r = (-2.0 * u1.ln()).sqrt();
+        r * (2.0 * std::f32::consts::PI * u2).cos()
+    }
+
+    /// Fills `buf` with standard normal samples.
+    pub fn fill_normal(&mut self, buf: &mut [f32]) {
+        for v in buf {
+            *v = self.normal();
+        }
+    }
+
+    /// Samples an index from unnormalized non-negative weights.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weights` is empty or sums to zero.
+    pub fn categorical(&mut self, weights: &[f32]) -> usize {
+        assert!(!weights.is_empty(), "categorical: empty weights");
+        let total: f32 = weights.iter().sum();
+        assert!(total > 0.0, "categorical: weights sum to zero");
+        let mut u = self.uniform() * total;
+        for (i, &w) in weights.iter().enumerate() {
+            u -= w;
+            if u < 0.0 {
+                return i;
+            }
+        }
+        weights.len() - 1
+    }
+
+    /// Splits off an independent generator (different stream).
+    pub fn split(&mut self) -> Pcg32 {
+        let seed = self.next_u64();
+        let stream = self.next_u64();
+        Pcg32::seed_stream(seed, stream)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = Pcg32::seed(1);
+        let mut b = Pcg32::seed(1);
+        for _ in 0..100 {
+            assert_eq!(a.next_u32(), b.next_u32());
+        }
+    }
+
+    #[test]
+    fn seeds_differ() {
+        let mut a = Pcg32::seed(1);
+        let mut b = Pcg32::seed(2);
+        let same = (0..32).filter(|_| a.next_u32() == b.next_u32()).count();
+        assert!(same < 4, "different seeds should decorrelate streams");
+    }
+
+    #[test]
+    fn uniform_bounds_and_mean() {
+        let mut rng = Pcg32::seed(3);
+        let n = 20_000;
+        let mut sum = 0.0f64;
+        for _ in 0..n {
+            let u = rng.uniform();
+            assert!((0.0..1.0).contains(&u));
+            sum += f64::from(u);
+        }
+        let mean = sum / f64::from(n);
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean} too far from 0.5");
+    }
+
+    #[test]
+    fn below_is_in_range_and_covers() {
+        let mut rng = Pcg32::seed(4);
+        let mut seen = [false; 7];
+        for _ in 0..1000 {
+            let v = rng.below(7) as usize;
+            assert!(v < 7);
+            seen[v] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn normal_moments() {
+        let mut rng = Pcg32::seed(5);
+        let n = 50_000;
+        let (mut s1, mut s2) = (0.0f64, 0.0f64);
+        for _ in 0..n {
+            let x = f64::from(rng.normal());
+            s1 += x;
+            s2 += x * x;
+        }
+        let mean = s1 / f64::from(n);
+        let var = s2 / f64::from(n) - mean * mean;
+        assert!(mean.abs() < 0.02, "normal mean {mean}");
+        assert!((var - 1.0).abs() < 0.05, "normal var {var}");
+    }
+
+    #[test]
+    fn categorical_respects_weights() {
+        let mut rng = Pcg32::seed(6);
+        let w = [1.0, 0.0, 3.0];
+        let mut counts = [0usize; 3];
+        for _ in 0..4000 {
+            counts[rng.categorical(&w)] += 1;
+        }
+        assert_eq!(counts[1], 0);
+        assert!(counts[2] > 2 * counts[0]);
+    }
+
+    #[test]
+    fn split_decorrelates() {
+        let mut parent = Pcg32::seed(7);
+        let mut child = parent.split();
+        let same = (0..32)
+            .filter(|_| parent.next_u32() == child.next_u32())
+            .count();
+        assert!(same < 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "below: n must be positive")]
+    fn below_zero_panics() {
+        Pcg32::seed(0).below(0);
+    }
+}

@@ -1,0 +1,470 @@
+//! The dense `f32` tensor type.
+
+use crate::rng::Pcg32;
+use crate::shape::Shape;
+use std::fmt;
+
+/// A dense, row-major `f32` tensor.
+///
+/// This is deliberately simple: owned contiguous storage, eager ops,
+/// shape-checked at runtime. It is fast enough to train the scaled-down
+/// models in this reproduction and small enough to audit.
+///
+/// # Example
+///
+/// ```
+/// use yf_tensor::Tensor;
+/// let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]);
+/// let b = a.add(&a);
+/// assert_eq!(b.data(), &[2.0, 4.0, 6.0, 8.0]);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Tensor {
+    data: Vec<f32>,
+    shape: Shape,
+}
+
+impl Tensor {
+    /// Creates a tensor from a flat buffer and a shape.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len()` does not match the shape's element count.
+    pub fn from_vec(data: Vec<f32>, dims: &[usize]) -> Self {
+        let shape = Shape::new(dims);
+        assert_eq!(
+            data.len(),
+            shape.len(),
+            "data length {} does not match shape {shape}",
+            data.len()
+        );
+        Tensor { data, shape }
+    }
+
+    /// A tensor of zeros.
+    pub fn zeros(dims: &[usize]) -> Self {
+        let shape = Shape::new(dims);
+        Tensor {
+            data: vec![0.0; shape.len()],
+            shape,
+        }
+    }
+
+    /// A tensor filled with `value`.
+    pub fn full(dims: &[usize], value: f32) -> Self {
+        let shape = Shape::new(dims);
+        Tensor {
+            data: vec![value; shape.len()],
+            shape,
+        }
+    }
+
+    /// A tensor of ones.
+    pub fn ones(dims: &[usize]) -> Self {
+        Tensor::full(dims, 1.0)
+    }
+
+    /// A rank-0 (scalar) tensor.
+    pub fn scalar(value: f32) -> Self {
+        Tensor::from_vec(vec![value], &[])
+    }
+
+    /// Standard-normal initialized tensor.
+    pub fn randn(dims: &[usize], rng: &mut Pcg32) -> Self {
+        let mut t = Tensor::zeros(dims);
+        rng.fill_normal(&mut t.data);
+        t
+    }
+
+    /// Uniform `[lo, hi)` initialized tensor.
+    pub fn rand_uniform(dims: &[usize], lo: f32, hi: f32, rng: &mut Pcg32) -> Self {
+        let mut t = Tensor::zeros(dims);
+        for v in &mut t.data {
+            *v = rng.uniform_in(lo, hi);
+        }
+        t
+    }
+
+    /// Xavier/Glorot-uniform initialization for a weight of `dims`, given
+    /// fan-in and fan-out.
+    pub fn xavier(dims: &[usize], fan_in: usize, fan_out: usize, rng: &mut Pcg32) -> Self {
+        let bound = (6.0 / (fan_in + fan_out) as f32).sqrt();
+        Tensor::rand_uniform(dims, -bound, bound, rng)
+    }
+
+    /// He-normal initialization (for ReLU stacks), given fan-in.
+    pub fn he(dims: &[usize], fan_in: usize, rng: &mut Pcg32) -> Self {
+        let std = (2.0 / fan_in as f32).sqrt();
+        let mut t = Tensor::randn(dims, rng);
+        t.scale_in_place(std);
+        t
+    }
+
+    /// The tensor's shape extents.
+    pub fn shape(&self) -> &[usize] {
+        self.shape.dims()
+    }
+
+    /// The tensor's [`Shape`].
+    pub fn shape_obj(&self) -> &Shape {
+        &self.shape
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the tensor has zero elements.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Read-only view of the flat storage.
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable view of the flat storage.
+    pub fn data_mut(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Consumes the tensor, returning its flat storage.
+    pub fn into_vec(self) -> Vec<f32> {
+        self.data
+    }
+
+    /// Element at a multi-index.
+    pub fn at(&self, index: &[usize]) -> f32 {
+        self.data[self.shape.offset(index)]
+    }
+
+    /// Sets the element at a multi-index.
+    pub fn set(&mut self, index: &[usize], value: f32) {
+        let off = self.shape.offset(index);
+        self.data[off] = value;
+    }
+
+    /// Returns a tensor with the same data and a new shape.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the element counts differ.
+    pub fn reshape(&self, dims: &[usize]) -> Tensor {
+        Tensor::from_vec(self.data.clone(), dims)
+    }
+
+    fn zip_check(&self, other: &Tensor, op: &str) {
+        assert_eq!(
+            self.shape, other.shape,
+            "{op}: shape mismatch {} vs {}",
+            self.shape, other.shape
+        );
+    }
+
+    /// Elementwise sum.
+    pub fn add(&self, other: &Tensor) -> Tensor {
+        self.zip_check(other, "add");
+        self.zip_map(other, |a, b| a + b)
+    }
+
+    /// Elementwise difference.
+    pub fn sub(&self, other: &Tensor) -> Tensor {
+        self.zip_check(other, "sub");
+        self.zip_map(other, |a, b| a - b)
+    }
+
+    /// Elementwise (Hadamard) product.
+    pub fn mul(&self, other: &Tensor) -> Tensor {
+        self.zip_check(other, "mul");
+        self.zip_map(other, |a, b| a * b)
+    }
+
+    /// Elementwise quotient.
+    pub fn div(&self, other: &Tensor) -> Tensor {
+        self.zip_check(other, "div");
+        self.zip_map(other, |a, b| a / b)
+    }
+
+    /// Applies `f` elementwise, producing a new tensor.
+    pub fn map(&self, f: impl Fn(f32) -> f32) -> Tensor {
+        Tensor {
+            data: self.data.iter().map(|&v| f(v)).collect(),
+            shape: self.shape.clone(),
+        }
+    }
+
+    fn zip_map(&self, other: &Tensor, f: impl Fn(f32, f32) -> f32) -> Tensor {
+        Tensor {
+            data: self
+                .data
+                .iter()
+                .zip(other.data.iter())
+                .map(|(&a, &b)| f(a, b))
+                .collect(),
+            shape: self.shape.clone(),
+        }
+    }
+
+    /// `self + alpha * other`, in place.
+    pub fn axpy_in_place(&mut self, alpha: f32, other: &Tensor) {
+        self.zip_check(other, "axpy");
+        for (a, &b) in self.data.iter_mut().zip(other.data.iter()) {
+            *a += alpha * b;
+        }
+    }
+
+    /// Multiplies every element by `alpha`, in place.
+    pub fn scale_in_place(&mut self, alpha: f32) {
+        for v in &mut self.data {
+            *v *= alpha;
+        }
+    }
+
+    /// Scalar multiple.
+    pub fn scale(&self, alpha: f32) -> Tensor {
+        self.map(|v| v * alpha)
+    }
+
+    /// Sum of all elements.
+    pub fn sum(&self) -> f32 {
+        self.data.iter().sum()
+    }
+
+    /// Mean of all elements (0 for empty tensors).
+    pub fn mean(&self) -> f32 {
+        if self.data.is_empty() {
+            0.0
+        } else {
+            self.sum() / self.data.len() as f32
+        }
+    }
+
+    /// Euclidean norm of the flattened tensor, accumulated in f64.
+    pub fn norm(&self) -> f32 {
+        self.data
+            .iter()
+            .map(|&v| f64::from(v) * f64::from(v))
+            .sum::<f64>()
+            .sqrt() as f32
+    }
+
+    /// Largest element.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor is empty.
+    pub fn max(&self) -> f32 {
+        assert!(!self.data.is_empty(), "max of empty tensor");
+        self.data.iter().copied().fold(f32::NEG_INFINITY, f32::max)
+    }
+
+    /// Index of the largest element in the flat storage.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor is empty.
+    pub fn argmax(&self) -> usize {
+        assert!(!self.data.is_empty(), "argmax of empty tensor");
+        let mut best = 0;
+        for (i, &v) in self.data.iter().enumerate() {
+            if v > self.data[best] {
+                best = i;
+            }
+        }
+        best
+    }
+
+    /// Matrix product of two rank-2 tensors: `[m, k] x [k, n] -> [m, n]`.
+    ///
+    /// Uses an ikj loop order with a flat accumulator row, which is cache
+    /// friendly enough for the model sizes in this reproduction.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless both tensors are rank 2 with compatible inner
+    /// dimensions.
+    pub fn matmul(&self, other: &Tensor) -> Tensor {
+        assert_eq!(self.shape.rank(), 2, "matmul: lhs must be rank 2");
+        assert_eq!(other.shape.rank(), 2, "matmul: rhs must be rank 2");
+        let (m, k) = (self.shape.dims()[0], self.shape.dims()[1]);
+        let (k2, n) = (other.shape.dims()[0], other.shape.dims()[1]);
+        assert_eq!(k, k2, "matmul: inner dims {k} vs {k2}");
+        let mut out = vec![0.0f32; m * n];
+        for i in 0..m {
+            let row_out = &mut out[i * n..(i + 1) * n];
+            for p in 0..k {
+                let a = self.data[i * k + p];
+                if a == 0.0 {
+                    continue;
+                }
+                let row_b = &other.data[p * n..(p + 1) * n];
+                for (o, &b) in row_out.iter_mut().zip(row_b.iter()) {
+                    *o += a * b;
+                }
+            }
+        }
+        Tensor::from_vec(out, &[m, n])
+    }
+
+    /// Transpose of a rank-2 tensor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor is not rank 2.
+    pub fn transpose(&self) -> Tensor {
+        assert_eq!(self.shape.rank(), 2, "transpose: must be rank 2");
+        let (m, n) = (self.shape.dims()[0], self.shape.dims()[1]);
+        let mut out = vec![0.0f32; m * n];
+        for i in 0..m {
+            for j in 0..n {
+                out[j * m + i] = self.data[i * n + j];
+            }
+        }
+        Tensor::from_vec(out, &[n, m])
+    }
+
+    /// Extracts row `r` of a rank-2 tensor as a rank-1 tensor.
+    pub fn row(&self, r: usize) -> Tensor {
+        assert_eq!(self.shape.rank(), 2, "row: must be rank 2");
+        let n = self.shape.dims()[1];
+        Tensor::from_vec(self.data[r * n..(r + 1) * n].to_vec(), &[n])
+    }
+
+    /// Stacks rank-1 tensors of equal length into a rank-2 tensor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rows` is empty or lengths differ.
+    pub fn from_rows(rows: &[Tensor]) -> Tensor {
+        assert!(!rows.is_empty(), "from_rows: no rows");
+        let n = rows[0].len();
+        let mut data = Vec::with_capacity(rows.len() * n);
+        for r in rows {
+            assert_eq!(r.len(), n, "from_rows: ragged rows");
+            data.extend_from_slice(r.data());
+        }
+        Tensor::from_vec(data, &[rows.len(), n])
+    }
+}
+
+impl fmt::Display for Tensor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Tensor{} {:?}", self.shape, &self.data)
+    }
+}
+
+impl FromIterator<f32> for Tensor {
+    /// Collects into a rank-1 tensor.
+    fn from_iter<I: IntoIterator<Item = f32>>(iter: I) -> Self {
+        let data: Vec<f32> = iter.into_iter().collect();
+        let n = data.len();
+        Tensor::from_vec(data, &[n])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_access() {
+        let t = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[2, 3]);
+        assert_eq!(t.at(&[0, 0]), 1.0);
+        assert_eq!(t.at(&[1, 2]), 6.0);
+        assert_eq!(t.shape(), &[2, 3]);
+    }
+
+    #[test]
+    fn elementwise_ops() {
+        let a = Tensor::from_vec(vec![1.0, 2.0], &[2]);
+        let b = Tensor::from_vec(vec![3.0, 5.0], &[2]);
+        assert_eq!(a.add(&b).data(), &[4.0, 7.0]);
+        assert_eq!(b.sub(&a).data(), &[2.0, 3.0]);
+        assert_eq!(a.mul(&b).data(), &[3.0, 10.0]);
+        assert_eq!(b.div(&a).data(), &[3.0, 2.5]);
+    }
+
+    #[test]
+    fn matmul_known_values() {
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]);
+        let b = Tensor::from_vec(vec![5.0, 6.0, 7.0, 8.0], &[2, 2]);
+        let c = a.matmul(&b);
+        assert_eq!(c.data(), &[19.0, 22.0, 43.0, 50.0]);
+    }
+
+    #[test]
+    fn matmul_identity() {
+        let mut rng = Pcg32::seed(10);
+        let a = Tensor::randn(&[3, 3], &mut rng);
+        let eye = Tensor::from_vec(
+            vec![1.0, 0.0, 0.0, 0.0, 1.0, 0.0, 0.0, 0.0, 1.0],
+            &[3, 3],
+        );
+        let b = a.matmul(&eye);
+        for (x, y) in a.data().iter().zip(b.data().iter()) {
+            assert!((x - y).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let mut rng = Pcg32::seed(11);
+        let a = Tensor::randn(&[4, 7], &mut rng);
+        assert_eq!(a.transpose().transpose(), a);
+    }
+
+    #[test]
+    fn reductions() {
+        let t = Tensor::from_vec(vec![1.0, -2.0, 3.0], &[3]);
+        assert_eq!(t.sum(), 2.0);
+        assert_eq!(t.max(), 3.0);
+        assert_eq!(t.argmax(), 2);
+        assert!((t.norm() - 14.0f32.sqrt()).abs() < 1e-6);
+        assert!((t.mean() - 2.0 / 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn axpy_and_scale() {
+        let mut a = Tensor::from_vec(vec![1.0, 1.0], &[2]);
+        let b = Tensor::from_vec(vec![2.0, 4.0], &[2]);
+        a.axpy_in_place(0.5, &b);
+        assert_eq!(a.data(), &[2.0, 3.0]);
+        a.scale_in_place(2.0);
+        assert_eq!(a.data(), &[4.0, 6.0]);
+    }
+
+    #[test]
+    fn from_rows_round_trip() {
+        let r0 = Tensor::from_vec(vec![1.0, 2.0], &[2]);
+        let r1 = Tensor::from_vec(vec![3.0, 4.0], &[2]);
+        let m = Tensor::from_rows(&[r0.clone(), r1]);
+        assert_eq!(m.shape(), &[2, 2]);
+        assert_eq!(m.row(0), r0);
+    }
+
+    #[test]
+    fn he_init_scale() {
+        let mut rng = Pcg32::seed(12);
+        let t = Tensor::he(&[64, 64], 64, &mut rng);
+        let var = t.data().iter().map(|v| v * v).sum::<f32>() / t.len() as f32;
+        assert!((var - 2.0 / 64.0).abs() < 0.01, "He variance {var}");
+    }
+
+    #[test]
+    #[should_panic(expected = "shape mismatch")]
+    fn add_shape_mismatch_panics() {
+        let a = Tensor::zeros(&[2]);
+        let b = Tensor::zeros(&[3]);
+        let _ = a.add(&b);
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dims")]
+    fn matmul_dim_mismatch_panics() {
+        let a = Tensor::zeros(&[2, 3]);
+        let b = Tensor::zeros(&[4, 2]);
+        let _ = a.matmul(&b);
+    }
+}

@@ -1,0 +1,127 @@
+//! Property-based tests for tensor algebra and the polynomial solvers.
+
+use proptest::prelude::*;
+use yf_tensor::linalg::{cubic_roots, quadratic_roots, spectral_radius_2x2, spectral_radius_3x3};
+use yf_tensor::rng::Pcg32;
+use yf_tensor::Tensor;
+
+fn tensor(rows: usize, cols: usize, seed: u64) -> Tensor {
+    Tensor::randn(&[rows, cols], &mut Pcg32::seed(seed))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn add_commutes(r in 1usize..6, c in 1usize..6, s1 in any::<u64>(), s2 in any::<u64>()) {
+        let a = tensor(r, c, s1);
+        let b = tensor(r, c, s2);
+        prop_assert_eq!(a.add(&b), b.add(&a));
+    }
+
+    #[test]
+    fn matmul_distributes_over_add(
+        m in 1usize..5, k in 1usize..5, n in 1usize..5, s in any::<u64>()
+    ) {
+        let a = tensor(m, k, s);
+        let b = tensor(k, n, s.wrapping_add(1));
+        let c = tensor(k, n, s.wrapping_add(2));
+        let lhs = a.matmul(&b.add(&c));
+        let rhs = a.matmul(&b).add(&a.matmul(&c));
+        for (x, y) in lhs.data().iter().zip(rhs.data()) {
+            prop_assert!((x - y).abs() < 1e-3 * (1.0 + x.abs()), "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn matmul_transpose_identity(
+        m in 1usize..5, k in 1usize..5, n in 1usize..5, s in any::<u64>()
+    ) {
+        // (A B)^T = B^T A^T
+        let a = tensor(m, k, s);
+        let b = tensor(k, n, s.wrapping_add(9));
+        let lhs = a.matmul(&b).transpose();
+        let rhs = b.transpose().matmul(&a.transpose());
+        for (x, y) in lhs.data().iter().zip(rhs.data()) {
+            prop_assert!((x - y).abs() < 1e-4 * (1.0 + x.abs()));
+        }
+    }
+
+    #[test]
+    fn norm_scales_homogeneously(r in 1usize..6, c in 1usize..6, s in any::<u64>(), alpha in -10.0f32..10.0) {
+        let a = tensor(r, c, s);
+        let scaled = a.scale(alpha);
+        let expected = a.norm() * alpha.abs();
+        prop_assert!((scaled.norm() - expected).abs() < 1e-3 * (1.0 + expected));
+    }
+
+    #[test]
+    fn reshape_preserves_data(r in 1usize..8, c in 1usize..8, s in any::<u64>()) {
+        let a = tensor(r, c, s);
+        let b = a.reshape(&[c * r]);
+        prop_assert_eq!(a.data(), b.data());
+    }
+
+    /// Quadratic roots reconstruct the polynomial: x^2 + bx + c has roots
+    /// whose sum is -b and product is c.
+    #[test]
+    fn quadratic_vieta(b in -100.0f64..100.0, c in -100.0f64..100.0) {
+        let [r0, r1] = quadratic_roots(b, c);
+        let sum_re = r0.re + r1.re;
+        let sum_im = r0.im + r1.im;
+        prop_assert!((sum_re + b).abs() < 1e-6 * (1.0 + b.abs()), "sum {sum_re} vs {}", -b);
+        prop_assert!(sum_im.abs() < 1e-9);
+        let prod_re = r0.re * r1.re - r0.im * r1.im;
+        prop_assert!((prod_re - c).abs() < 1e-6 * (1.0 + c.abs()), "prod {prod_re} vs {c}");
+    }
+
+    /// Cubic roots satisfy Vieta's formulas for x^3 + a2 x^2 + a1 x + a0.
+    #[test]
+    fn cubic_vieta(a2 in -20.0f64..20.0, a1 in -20.0f64..20.0, a0 in -20.0f64..20.0) {
+        let roots = cubic_roots(a2, a1, a0);
+        let sum: f64 = roots.iter().map(|r| r.re).sum();
+        prop_assert!((sum + a2).abs() < 1e-5 * (1.0 + a2.abs()), "sum {sum} vs {}", -a2);
+        // Product of roots = -a0 (real part; imaginary parts cancel).
+        let (mut pr, mut pi) = (1.0f64, 0.0f64);
+        for r in roots {
+            let nr = pr * r.re - pi * r.im;
+            let ni = pr * r.im + pi * r.re;
+            pr = nr;
+            pi = ni;
+        }
+        prop_assert!((pr + a0).abs() < 1e-4 * (1.0 + a0.abs()), "prod {pr} vs {}", -a0);
+        prop_assert!(pi.abs() < 1e-4 * (1.0 + a0.abs()));
+    }
+
+    /// Spectral radius is invariant to transposition (2x2) and scales
+    /// absolutely homogeneously.
+    #[test]
+    fn radius_properties(
+        a in -10.0f64..10.0, b in -10.0f64..10.0,
+        c in -10.0f64..10.0, d in -10.0f64..10.0,
+        alpha in -3.0f64..3.0,
+    ) {
+        let m = [[a, b], [c, d]];
+        let mt = [[a, c], [b, d]];
+        let r = spectral_radius_2x2(m);
+        prop_assert!((r - spectral_radius_2x2(mt)).abs() < 1e-6 * (1.0 + r));
+        let scaled = [[alpha * a, alpha * b], [alpha * c, alpha * d]];
+        let rs = spectral_radius_2x2(scaled);
+        prop_assert!((rs - alpha.abs() * r).abs() < 1e-6 * (1.0 + rs));
+    }
+
+    /// The 3x3 radius of a block-diagonal embedding of a 2x2 matrix with
+    /// an extra eigenvalue lambda is max(radius2x2, |lambda|).
+    #[test]
+    fn radius_3x3_block_diagonal(
+        a in -5.0f64..5.0, b in -5.0f64..5.0,
+        c in -5.0f64..5.0, d in -5.0f64..5.0,
+        lambda in -10.0f64..10.0,
+    ) {
+        let r2 = spectral_radius_2x2([[a, b], [c, d]]);
+        let m3 = [[a, b, 0.0], [c, d, 0.0], [0.0, 0.0, lambda]];
+        let r3 = spectral_radius_3x3(m3);
+        let expected = r2.max(lambda.abs());
+        prop_assert!((r3 - expected).abs() < 1e-5 * (1.0 + expected), "{r3} vs {expected}");
+    }
+}

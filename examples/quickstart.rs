@@ -1,0 +1,51 @@
+//! Quickstart: train a small MLP classifier with YellowFin — no learning
+//! rate, no momentum, nothing to tune.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use yellowfin::YellowFin;
+use yf_nn::{flat_params, load_flat, loss_and_grad, Mlp};
+use yf_optim::Optimizer;
+use yf_tensor::rng::Pcg32;
+use yf_tensor::Tensor;
+
+fn main() {
+    // A 2-class spiral-ish problem: class = sign of x0 * x1.
+    let mut data_rng = Pcg32::seed(42);
+    let sample = |rng: &mut Pcg32, n: usize| -> (Tensor, Vec<usize>) {
+        let x = Tensor::randn(&[n, 2], rng);
+        let y = (0..n)
+            .map(|r| usize::from(x.at(&[r, 0]) * x.at(&[r, 1]) > 0.0))
+            .collect();
+        (x, y)
+    };
+
+    let mut model = Mlp::new(&[2, 24, 24, 2], &mut Pcg32::seed(7));
+    let mut opt = YellowFin::default();
+    let mut params = flat_params(&model);
+
+    println!("training a 2-24-24-2 MLP with YellowFin (zero hand-tuning)");
+    for step in 0..1500 {
+        let batch = sample(&mut data_rng, 32);
+        load_flat(&mut model, &params);
+        let (loss, grads) = loss_and_grad(&model, &batch);
+        opt.step(&mut params, &grads);
+        if step % 250 == 0 {
+            println!(
+                "step {step:4}: loss = {loss:.4}, tuned mu = {:.3}, tuned lr = {:.2e}",
+                opt.momentum(),
+                opt.effective_lr()
+            );
+        }
+    }
+    load_flat(&mut model, &params);
+
+    let (test_x, test_y) = sample(&mut Pcg32::seed(1234), 512);
+    let acc = model.accuracy(&test_x, &test_y);
+    println!("\nfinal test accuracy: {acc:.3} (random guessing would be ~0.5)");
+    println!(
+        "final auto-tuned hyperparameters: mu = {:.3}, lr = {:.2e}",
+        opt.momentum(),
+        opt.effective_lr()
+    );
+}

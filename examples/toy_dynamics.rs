@@ -1,0 +1,61 @@
+//! The momentum-operator story of Section 2, end to end:
+//! 1. the robust region — a plateau of spectral radius sqrt(mu) that
+//!    widens with momentum (Figure 2);
+//! 2. linear convergence on a non-convex objective with curvature
+//!    varying by 1000x, tuned purely by the rule of Eq. 9 (Figure 3);
+//! 3. the noisy-quadratic surrogate behind SingleStep (Lemma 5).
+//!
+//! Run with: `cargo run --release --example toy_dynamics`
+
+use yellowfin::theory::{
+    exact_expected_sq_distance, momentum_spectral_radius, mu_star, robust_lr_range,
+};
+use yf_data::toy::{Objective1d, PiecewiseQuadratic};
+
+fn main() {
+    // 1. Robust region widths.
+    println!("1. momentum's robust region (h = 1): rho(A) plateaus at sqrt(mu)\n");
+    for &mu in &[0.0, 0.1, 0.3, 0.5] {
+        let (lo, _) = robust_lr_range(mu, 1.0, 1.0);
+        let hi = (1.0 + f64::sqrt(mu)).powi(2);
+        let probe = 0.5 * (lo + hi);
+        println!(
+            "   mu = {mu:.1}: plateau alpha in [{lo:.3}, {hi:.3}], rho at midpoint = {:.4} \
+             (sqrt(mu) = {:.4})",
+            momentum_spectral_radius(probe, mu, 1.0),
+            mu.sqrt()
+        );
+    }
+
+    // 2. Non-convex toy convergence under the Eq. 9 rule.
+    println!("\n2. non-convex toy objective (curvatures 1 and 1000, GCN = 1000)\n");
+    let f = PiecewiseQuadratic::figure3();
+    let mu = mu_star(f.gcn());
+    let alpha = (1.0 - mu.sqrt()).powi(2) / f.h_small;
+    let (mut x, mut x_prev) = (15.0f64, 15.0f64);
+    println!("   tuning from the GCN alone: mu = {mu:.4}, alpha = {alpha:.2e}");
+    for t in 0..=400 {
+        if t % 80 == 0 {
+            println!("   iter {t:3}: |x - x*| = {:.3e}", x.abs());
+        }
+        let g = f.grad(x);
+        let x_next = x - alpha * g + mu * (x - x_prev);
+        x_prev = x;
+        x = x_next;
+    }
+    println!("   predicted linear rate sqrt(mu) = {:.4}", mu.sqrt());
+
+    // 3. Lemma 5: exact MSE of momentum SGD on a noisy quadratic.
+    println!("\n3. noisy quadratic: E(x_t - x*)^2 from Lemma 5's recurrence\n");
+    let (h, c, x0) = (1.5, 0.5, 2.0);
+    for &(mu, alpha) in &[(0.0, 0.2), (0.5, 0.2), (0.9, 0.05)] {
+        let at_20 = exact_expected_sq_distance(20, alpha, mu, h, c, x0);
+        let at_200 = exact_expected_sq_distance(200, alpha, mu, h, c, x0);
+        // Stationary variance: alpha^2 C / ((1-mu) ...) — the floor the
+        // surrogate of Eq. 14 predicts.
+        println!(
+            "   mu = {mu:.1}, alpha = {alpha}: E|x-x*|^2 at t=20: {at_20:.4}, at t=200: {at_200:.4} \
+             (higher momentum trades bias decay for noise amplification)"
+        );
+    }
+}

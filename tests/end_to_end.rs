@@ -1,0 +1,133 @@
+//! Cross-crate integration tests: every workload trains end to end,
+//! YellowFin behaves as the paper claims, and runs are deterministic.
+
+use yellowfin::{ClosedLoopYellowFin, YellowFin, YellowFinConfig};
+use yf_experiments::smoothing::smooth;
+use yf_experiments::task::TrainTask;
+use yf_experiments::trainer::{train, train_async, RunConfig};
+use yf_experiments::workloads;
+use yf_optim::{MomentumSgd, Optimizer};
+
+fn final_smoothed(losses: &[f32]) -> f64 {
+    *smooth(losses, 20).last().expect("non-empty run")
+}
+
+#[test]
+fn yellowfin_trains_every_workload() {
+    type TaskFn = fn(u64) -> Box<dyn TrainTask>;
+    let builders: Vec<(&str, TaskFn, usize)> = vec![
+        ("cifar10", workloads::cifar10_like as TaskFn, 400),
+        ("cifar100", workloads::cifar100_like, 400),
+        ("ptb", workloads::ptb_like, 700),
+        ("ts", workloads::ts_like, 700),
+        ("wsj", workloads::wsj_like, 700),
+        ("seq2seq", |s| workloads::translation_like(s, 1.0), 700),
+    ];
+    for (name, make, iters) in builders {
+        let mut task = make(1);
+        let mut opt = YellowFin::default();
+        let result = train(task.as_mut(), &mut opt, &RunConfig::plain(iters));
+        let early: f64 = result.losses[..20]
+            .iter()
+            .map(|&l| f64::from(l))
+            .sum::<f64>()
+            / 20.0;
+        let late = final_smoothed(&result.losses);
+        assert!(
+            late < early,
+            "{name}: YellowFin failed to reduce loss ({early:.4} -> {late:.4})"
+        );
+        assert!(
+            result.final_params.iter().all(|p| p.is_finite()),
+            "{name}: non-finite parameters"
+        );
+    }
+}
+
+#[test]
+fn yellowfin_beats_misspecified_momentum_sgd() {
+    // The headline promise: no tuning required. Against a momentum SGD
+    // whose lr is off by 100x in either direction, YF must win easily.
+    let run = |opt: &mut dyn Optimizer| {
+        let mut task = workloads::ts_like(2);
+        let r = train(task.as_mut(), opt, &RunConfig::plain(700));
+        final_smoothed(&r.losses)
+    };
+    let yf = run(&mut YellowFin::default());
+    let tiny = run(&mut MomentumSgd::new(1e-4, 0.9));
+    let huge = run(&mut MomentumSgd::new(10.0, 0.9));
+    assert!(
+        yf < tiny && (yf < huge || !huge.is_finite()),
+        "yf {yf} vs tiny-lr {tiny} vs huge-lr {huge}"
+    );
+}
+
+#[test]
+fn closed_loop_tracks_target_momentum_under_staleness() {
+    let workers = 8;
+    let mut task = workloads::cifar100_like(3);
+    let mut opt = ClosedLoopYellowFin::new(YellowFinConfig::default(), workers - 1, 0.01);
+    let result = train_async(task.as_mut(), &mut opt, workers, &RunConfig::plain(500));
+    assert!(result.final_params.iter().all(|p| p.is_finite()));
+    let total = opt.total_momentum().expect("estimator warmed up");
+    let target = opt.target_momentum();
+    // The controller must have moved algorithmic momentum *below* the
+    // target (it absorbs asynchrony-induced momentum)...
+    assert!(
+        opt.algorithmic_momentum() < target,
+        "algorithmic {} vs target {}",
+        opt.algorithmic_momentum(),
+        target
+    );
+    // ...and the measured total momentum should sit near the target, far
+    // closer than the open-loop gap.
+    assert!(
+        (total - target).abs() < 0.35,
+        "total {total} vs target {target}"
+    );
+}
+
+#[test]
+fn training_is_bit_deterministic() {
+    let run = || {
+        let mut task = workloads::ptb_like(5);
+        let mut opt = YellowFin::default();
+        train(task.as_mut(), &mut opt, &RunConfig::plain(60)).losses
+    };
+    assert_eq!(run(), run(), "same seed must give identical curves");
+}
+
+#[test]
+fn async_one_worker_equals_sync_for_yellowfin() {
+    let mut t1 = workloads::ts_like(6);
+    let mut t2 = workloads::ts_like(6);
+    let mut o1 = YellowFin::default();
+    let mut o2 = YellowFin::default();
+    let sync = train(t1.as_mut(), &mut o1, &RunConfig::plain(80));
+    let async_run = train_async(t2.as_mut(), &mut o2, 1, &RunConfig::plain(80));
+    assert_eq!(sync.losses, async_run.losses);
+}
+
+#[test]
+fn adaptive_clipping_survives_spiky_stream() {
+    // The Figure 6 scenario at test scale: periodic 300x gradient spikes.
+    let mut task = workloads::exploding_lstm_like(4);
+    let mut params = task.init_params();
+    let mut opt = YellowFin::new(YellowFinConfig {
+        clip: yellowfin::ClipMode::Adaptive,
+        ..Default::default()
+    });
+    for step in 0..260u64 {
+        let (_, mut grad) = task.loss_grad_at(&params, step);
+        if step % 50 == 49 {
+            for g in &mut grad {
+                *g *= 300.0;
+            }
+        }
+        opt.step(&mut params, &grad);
+        assert!(
+            params.iter().all(|p| p.is_finite()),
+            "diverged at step {step}"
+        );
+    }
+}

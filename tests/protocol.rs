@@ -1,0 +1,56 @@
+//! Integration tests for the evaluation protocol itself: the speedup
+//! computation, grid search and smoothing behave like Section 5.1
+//! describes when wired to real training runs.
+
+use yf_experiments::smoothing::{best_so_far, smooth};
+use yf_experiments::speedup::{common_lowest, speedup_over};
+use yf_experiments::trainer::{train, RunConfig};
+use yf_experiments::workloads::cifar10_like;
+use yf_optim::{MomentumSgd, Optimizer, Sgd};
+
+#[test]
+fn speedup_protocol_orders_real_optimizers() {
+    // Momentum SGD at a good lr should reach the common lowest loss in
+    // fewer iterations than plain SGD at the same lr (acceleration).
+    let run = |opt: &mut dyn Optimizer| {
+        let mut task = cifar10_like(8);
+        let r = train(task.as_mut(), opt, &RunConfig::plain(300));
+        smooth(&r.losses, 15)
+    };
+    let sgd_curve = run(&mut Sgd::new(0.05));
+    let mom_curve = run(&mut MomentumSgd::new(0.05, 0.9));
+    let s = speedup_over(&sgd_curve, &mom_curve).expect("curves overlap");
+    assert!(s > 1.0, "momentum should accelerate plain SGD: {s}");
+}
+
+#[test]
+fn common_lowest_is_reachable_by_both() {
+    let run = |lr: f32| {
+        let mut task = cifar10_like(9);
+        let mut opt = MomentumSgd::new(lr, 0.9);
+        let r = train(task.as_mut(), &mut opt, &RunConfig::plain(150));
+        smooth(&r.losses, 15)
+    };
+    let a = run(0.01);
+    let b = run(0.05);
+    let target = common_lowest(&a, &b).expect("non-empty curves");
+    assert!(a.iter().any(|&v| v <= target));
+    assert!(b.iter().any(|&v| v <= target));
+}
+
+#[test]
+fn validation_metric_monotone_transform() {
+    let mut task = cifar10_like(10);
+    let mut opt = MomentumSgd::new(0.05, 0.9);
+    let r = train(
+        task.as_mut(),
+        &mut opt,
+        &RunConfig::plain(200).with_eval(40),
+    );
+    let vals: Vec<f64> = r.metrics.iter().map(|&(_, v)| v).collect();
+    let mono = best_so_far(&vals, false);
+    for w in mono.windows(2) {
+        assert!(w[1] >= w[0], "best-so-far must be monotone: {mono:?}");
+    }
+    assert!(mono.last().unwrap() > &0.2, "accuracy should exceed chance");
+}
