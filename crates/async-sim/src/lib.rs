@@ -148,6 +148,9 @@ mod tests {
     use yf_optim::Sgd;
 
     /// Quadratic f = |x|^2 / 2 as a gradient source.
+    // The `(dim, closure)` tuple IS the GradSource impl; an alias can't
+    // name the `impl Trait` half of it on stable.
+    #[allow(clippy::type_complexity)]
     fn quadratic(dim: usize) -> (usize, impl FnMut(&[f32], u64) -> (f32, Vec<f32>)) {
         (dim, move |params: &[f32], _| {
             let loss: f32 = params.iter().map(|p| 0.5 * p * p).sum();

@@ -1,13 +1,13 @@
 //! A real multi-threaded asynchronous trainer (demonstration variant).
 //!
 //! Workers pull parameter snapshots, compute gradients, and send them to
-//! a central applier thread over a crossbeam channel; the applier updates
+//! a central applier thread over a bounded channel; the applier updates
 //! the shared parameters under a mutex. Unlike
 //! [`RoundRobinSimulator`](crate::RoundRobinSimulator) the interleaving
 //! here is scheduler-dependent, so this type is used by the
 //! `async_training` example rather than by the reproducible benches.
 
-use crossbeam::channel;
+use std::sync::mpsc;
 use std::sync::{Arc, Mutex};
 use std::thread;
 use yf_optim::Optimizer;
@@ -43,7 +43,7 @@ pub fn run_threaded(
     assert!(workers > 0, "threaded: need at least one worker");
     assert!(total_updates > 0, "threaded: need at least one update");
     let params = Arc::new(Mutex::new(initial));
-    let (tx, rx) = channel::bounded::<(f32, Vec<f32>)>(workers * 2);
+    let (tx, rx) = mpsc::sync_channel::<(f32, Vec<f32>)>(workers * 2);
     let stop = Arc::new(Mutex::new(false));
 
     let mut handles = Vec::new();

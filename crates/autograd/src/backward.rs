@@ -124,7 +124,9 @@ impl Graph {
                     if self.rg(p) {
                         let mut dp = Vec::with_capacity(b * n);
                         for r in 0..b {
-                            dp.extend_from_slice(&grad.data()[r * total + col..r * total + col + n]);
+                            dp.extend_from_slice(
+                                &grad.data()[r * total + col..r * total + col + n],
+                            );
                         }
                         self.accumulate(p, &Tensor::from_vec(dp, &[b, n]));
                     }
@@ -243,8 +245,7 @@ impl Graph {
                     for j in 0..n {
                         let xhat = (row[j] - mean) * inv_std;
                         let dy = gr[j] * gv[j];
-                        dx[r * n + j] =
-                            inv_std / nf * (nf * dy - sum_dy - xhat * sum_dy_xhat);
+                        dx[r * n + j] = inv_std / nf * (nf * dy - sum_dy - xhat * sum_dy_xhat);
                     }
                 }
                 self.accumulate(input, &Tensor::from_vec(dx, &[b, n]));

@@ -56,7 +56,10 @@ fn dims4(t: &[usize]) -> (usize, usize, usize, usize) {
 pub fn conv2d_forward(input: &Tensor, weight: &Tensor, spec: ConvSpec) -> Tensor {
     let (b, cin, h, w) = dims4(input.shape());
     let (cout, cin_g, kh, kw) = dims4(weight.shape());
-    assert!(spec.groups > 0 && spec.stride > 0, "conv2d: bad spec {spec:?}");
+    assert!(
+        spec.groups > 0 && spec.stride > 0,
+        "conv2d: bad spec {spec:?}"
+    );
     assert_eq!(cin % spec.groups, 0, "conv2d: cin {cin} % groups");
     assert_eq!(cout % spec.groups, 0, "conv2d: cout {cout} % groups");
     assert_eq!(cin / spec.groups, cin_g, "conv2d: weight channel mismatch");

@@ -377,7 +377,8 @@ impl Graph {
     /// Training-mode batch normalization of `[B, C, H, W]` with per-channel
     /// scale `gamma` and shift `beta` (both `[C]`).
     pub fn batch_norm(&mut self, input: NodeId, gamma: NodeId, beta: NodeId, eps: f32) -> NodeId {
-        let (v, saved) = batch_norm_forward(self.value(input), self.value(gamma), self.value(beta), eps);
+        let (v, saved) =
+            batch_norm_forward(self.value(input), self.value(gamma), self.value(beta), eps);
         let rg = self.rg(input) || self.rg(gamma) || self.rg(beta);
         self.push(
             Op::BatchNorm {
@@ -395,19 +396,13 @@ impl Graph {
     pub fn global_avg_pool(&mut self, x: NodeId) -> NodeId {
         let xv = self.value(x);
         assert_eq!(xv.shape().len(), 4, "global_avg_pool: must be rank 4");
-        let (b, c, h, w) = (
-            xv.shape()[0],
-            xv.shape()[1],
-            xv.shape()[2],
-            xv.shape()[3],
-        );
+        let (b, c, h, w) = (xv.shape()[0], xv.shape()[1], xv.shape()[2], xv.shape()[3]);
         let hw = h * w;
         let mut out = vec![0.0f32; b * c];
         for bi in 0..b {
             for ci in 0..c {
                 let base = (bi * c + ci) * hw;
-                out[bi * c + ci] =
-                    xv.data()[base..base + hw].iter().sum::<f32>() / hw as f32;
+                out[bi * c + ci] = xv.data()[base..base + hw].iter().sum::<f32>() / hw as f32;
             }
         }
         let v = Tensor::from_vec(out, &[b, c]);
@@ -422,12 +417,7 @@ impl Graph {
     pub fn max_pool_2x2(&mut self, input: NodeId) -> NodeId {
         let xv = self.value(input);
         assert_eq!(xv.shape().len(), 4, "max_pool: input must be rank 4");
-        let (b, c, h, w) = (
-            xv.shape()[0],
-            xv.shape()[1],
-            xv.shape()[2],
-            xv.shape()[3],
-        );
+        let (b, c, h, w) = (xv.shape()[0], xv.shape()[1], xv.shape()[2], xv.shape()[3]);
         assert!(h % 2 == 0 && w % 2 == 0, "max_pool: extents must be even");
         let (ho, wo) = (h / 2, w / 2);
         let mut out = vec![f32::NEG_INFINITY; b * c * ho * wo];

@@ -39,10 +39,10 @@ pub(crate) fn batch_norm_forward(
     let mut mean = vec![0.0f32; c];
     let mut var = vec![0.0f32; c];
     for bi in 0..b {
-        for ci in 0..c {
+        for (ci, m) in mean.iter_mut().enumerate() {
             let base = (bi * c + ci) * hw;
             for &v in &x.data()[base..base + hw] {
-                mean[ci] += v;
+                *m += v;
             }
         }
     }
@@ -50,11 +50,11 @@ pub(crate) fn batch_norm_forward(
         *m /= n;
     }
     for bi in 0..b {
-        for ci in 0..c {
+        for (ci, vr) in var.iter_mut().enumerate() {
             let base = (bi * c + ci) * hw;
             for &v in &x.data()[base..base + hw] {
                 let d = v - mean[ci];
-                var[ci] += d * d;
+                *vr += d * d;
             }
         }
     }
@@ -67,15 +67,15 @@ pub(crate) fn batch_norm_forward(
         for ci in 0..c {
             let base = (bi * c + ci) * hw;
             let (m, is, g, bt) = (mean[ci], inv_std[ci], gamma.data()[ci], beta.data()[ci]);
-            for (o, &v) in out[base..base + hw].iter_mut().zip(&x.data()[base..base + hw]) {
+            for (o, &v) in out[base..base + hw]
+                .iter_mut()
+                .zip(&x.data()[base..base + hw])
+            {
                 *o = g * (v - m) * is + bt;
             }
         }
     }
-    (
-        Tensor::from_vec(out, x.shape()),
-        BnSaved { mean, inv_std },
-    )
+    (Tensor::from_vec(out, x.shape()), BnSaved { mean, inv_std })
 }
 
 /// Backward pass: returns `(dx, dgamma, dbeta)`.

@@ -59,7 +59,7 @@ fn matmul_mean() {
 fn activations() {
     let x = randn(&[4, 4], 7);
     assert_grads_close(
-        &[x.clone()],
+        std::slice::from_ref(&x),
         |g, ids| {
             let t = g.tanh(ids[0]);
             g.sum_all(t)
@@ -67,7 +67,7 @@ fn activations() {
         TOL,
     );
     assert_grads_close(
-        &[x.clone()],
+        std::slice::from_ref(&x),
         |g, ids| {
             let s = g.sigmoid(ids[0]);
             g.sum_all(s)
@@ -131,7 +131,7 @@ fn scale_reshape() {
 fn slice_and_concat() {
     let x = randn(&[3, 8], 13);
     assert_grads_close(
-        &[x.clone()],
+        std::slice::from_ref(&x),
         |g, ids| {
             let a = g.slice_cols(ids[0], 0, 3);
             let b = g.slice_cols(ids[0], 3, 5);
@@ -324,7 +324,9 @@ fn max_pool_2x2() {
 fn max_pool_forward_values() {
     let mut g = Graph::new();
     let x = g.constant(Tensor::from_vec(
-        vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0, 10.0, 11.0, 12.0, 13.0, 14.0, 15.0, 16.0],
+        vec![
+            1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0, 10.0, 11.0, 12.0, 13.0, 14.0, 15.0, 16.0,
+        ],
         &[1, 1, 4, 4],
     ));
     let p = g.max_pool_2x2(x);

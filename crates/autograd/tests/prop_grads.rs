@@ -7,9 +7,8 @@ use yf_tensor::rng::Pcg32;
 use yf_tensor::Tensor;
 
 fn tensor_strategy(max_dim: usize) -> impl Strategy<Value = Tensor> {
-    ((1..=max_dim), (1..=max_dim), any::<u64>()).prop_map(|(r, c, seed)| {
-        Tensor::randn(&[r, c], &mut Pcg32::seed(seed))
-    })
+    ((1..=max_dim), (1..=max_dim), any::<u64>())
+        .prop_map(|(r, c, seed)| Tensor::randn(&[r, c], &mut Pcg32::seed(seed)))
 }
 
 proptest! {

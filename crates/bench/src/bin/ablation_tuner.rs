@@ -10,9 +10,8 @@ use yellowfin::{YellowFin, YellowFinConfig};
 use yf_bench::{averaged_run, scaled, window_for};
 use yf_experiments::report;
 use yf_experiments::smoothing::smooth;
-use yf_experiments::task::TrainTask;
 use yf_experiments::trainer::RunConfig;
-use yf_experiments::workloads::{cifar10_like, ts_like};
+use yf_experiments::workloads::{cifar10_like, ts_like, TaskBuilder};
 use yf_optim::Optimizer;
 
 fn variant(name: &'static str, cfg: YellowFinConfig) -> (&'static str, YellowFinConfig) {
@@ -27,7 +26,10 @@ fn main() {
     let run_cfg = RunConfig::plain(iters);
 
     let variants = vec![
-        variant("paper defaults (w=20, beta=0.999, slow start)", YellowFinConfig::default()),
+        variant(
+            "paper defaults (w=20, beta=0.999, slow start)",
+            YellowFinConfig::default(),
+        ),
         variant(
             "window 5",
             YellowFinConfig {
@@ -65,11 +67,10 @@ fn main() {
         ),
     ];
 
-    type TaskFn = fn(u64) -> Box<dyn TrainTask>;
     let mut rows = Vec::new();
     for (wname, make_task) in [
-        ("TS-like LSTM", ts_like as TaskFn),
-        ("CIFAR10-like ResNet", cifar10_like as TaskFn),
+        ("TS-like LSTM", ts_like as TaskBuilder),
+        ("CIFAR10-like ResNet", cifar10_like as TaskBuilder),
     ] {
         println!("--- {wname} ---");
         for (vname, cfg) in &variants {
@@ -81,7 +82,10 @@ fn main() {
                 .iter()
                 .copied()
                 .fold(f64::INFINITY, f64::min);
-            println!("  {vname:45} lowest smoothed loss = {}", report::fmt(lowest));
+            println!(
+                "  {vname:45} lowest smoothed loss = {}",
+                report::fmt(lowest)
+            );
             rows.push(vec![
                 wname.to_string(),
                 vname.to_string(),

@@ -58,7 +58,9 @@ fn main() {
         "\ncontrolled beta1 settled at {:.3} (fixed baseline uses 0.9); \
          measured total momentum {:?}",
         probe.beta1(),
-        probe.total_momentum().map(|m| (m * 1000.0).round() / 1000.0)
+        probe
+            .total_momentum()
+            .map(|m| (m * 1000.0).round() / 1000.0)
     );
     let lowest = |c: &[f64]| c.iter().copied().fold(f64::INFINITY, f64::min);
     println!(
@@ -68,6 +70,9 @@ fn main() {
     );
     yf_bench::write_curves_csv(
         "ext_closed_loop_adam.csv",
-        &[("adam_fixed", fixed.as_slice()), ("adam_closed_loop", closed.as_slice())],
+        &[
+            ("adam_fixed", fixed.as_slice()),
+            ("adam_closed_loop", closed.as_slice()),
+        ],
     );
 }

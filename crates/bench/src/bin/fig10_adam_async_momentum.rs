@@ -37,7 +37,10 @@ fn main() {
         let avg = yf_experiments::grid::average_curves(&curves);
         let smoothed = smooth(&avg, window);
         let lowest = smoothed.iter().copied().fold(f64::INFINITY, f64::min);
-        println!("beta1 = {b1:+.1}: lowest smoothed loss = {}", report::fmt(lowest));
+        println!(
+            "beta1 = {b1:+.1}: lowest smoothed loss = {}",
+            report::fmt(lowest)
+        );
         report::print_series(
             &format!("beta1 = {b1:+.1}"),
             &report::downsample(&smoothed, 10),

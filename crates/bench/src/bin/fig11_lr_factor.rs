@@ -9,9 +9,8 @@
 use yellowfin::{YellowFin, YellowFinConfig};
 use yf_bench::{scaled, window_for};
 use yf_experiments::report;
-use yf_experiments::task::TrainTask;
 use yf_experiments::trainer::{train, RunConfig};
-use yf_experiments::workloads::{resnext_like, tied_lstm_like};
+use yf_experiments::workloads::{resnext_like, tied_lstm_like, TaskBuilder};
 use yf_optim::{Adam, Optimizer};
 
 fn best_metric_over(
@@ -19,7 +18,7 @@ fn best_metric_over(
     seeds: &[u64],
     cfg: &RunConfig,
     lower_better: bool,
-    make_task: fn(u64) -> Box<dyn TrainTask>,
+    make_task: TaskBuilder,
     mut make_opt: impl FnMut(f32) -> Box<dyn Optimizer>,
 ) -> Vec<(f32, f64)> {
     values
@@ -64,10 +63,13 @@ fn main() {
     let factors = [1.0f32 / 3.0, 0.5, 1.0, 2.0, 3.0, 10.0];
     let adam_lrs = [1e-4f32, 5e-4, 1e-3, 5e-3, 1e-2];
 
-    type TaskFn = fn(u64) -> Box<dyn TrainTask>;
     for (name, make_task, lower_better) in [
-        ("Tied-LSTM (perplexity)", tied_lstm_like as TaskFn, true),
-        ("ResNeXt (accuracy)", resnext_like as TaskFn, false),
+        (
+            "Tied-LSTM (perplexity)",
+            tied_lstm_like as TaskBuilder,
+            true,
+        ),
+        ("ResNeXt (accuracy)", resnext_like as TaskBuilder, false),
     ] {
         let yf_results = best_metric_over(&factors, &seeds, &cfg, lower_better, make_task, |f| {
             Box::new(YellowFin::new(YellowFinConfig {

@@ -70,10 +70,7 @@ fn main() {
         ("async: YellowFin", &yf_async_curve),
         ("async: closed-loop YellowFin", &cl_async),
     ] {
-        yf_experiments::report::print_series(
-            label,
-            &yf_experiments::report::downsample(curve, 20),
-        );
+        yf_experiments::report::print_series(label, &yf_experiments::report::downsample(curve, 20));
     }
     let s_cl_yf = speedup_over(&yf_async_curve, &cl_async).unwrap_or(f64::NAN);
     let s_cl_adam = speedup_over(&adam_async, &cl_async).unwrap_or(f64::NAN);
@@ -82,7 +79,10 @@ fn main() {
 
     yf_bench::write_curves_csv(
         "fig1_sync.csv",
-        &[("adam", adam_curve.as_slice()), ("yellowfin", yf_curve.as_slice())],
+        &[
+            ("adam", adam_curve.as_slice()),
+            ("yellowfin", yf_curve.as_slice()),
+        ],
     );
     yf_bench::write_curves_csv(
         "fig1_async.csv",

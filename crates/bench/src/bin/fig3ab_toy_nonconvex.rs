@@ -15,7 +15,10 @@ fn main() {
     let lo = (1.0 - mu.sqrt()).powi(2) / f.h_small;
     let hi = (1.0 + mu.sqrt()).powi(2) / f.h_large;
     let alpha = lo; // for nu = 1000 the interval collapses to a point
-    assert!(alpha <= hi * (1.0 + 1e-9), "rule (9) interval must be nonempty");
+    assert!(
+        alpha <= hi * (1.0 + 1e-9),
+        "rule (9) interval must be nonempty"
+    );
     println!("GCN nu = {nu}, mu* = {mu:.5}, robust lr in [{lo:.3e}, {hi:.3e}], using alpha = {alpha:.3e}");
     println!("predicted linear rate sqrt(mu) = {:.5}\n", mu.sqrt());
 
@@ -65,6 +68,10 @@ fn main() {
         .enumerate()
         .map(|(t, d)| vec![t.to_string(), report::fmt(*d)])
         .collect();
-    report::write_csv("fig3b_toy_convergence.csv", &["iteration", "distance"], &rows);
+    report::write_csv(
+        "fig3b_toy_convergence.csv",
+        &["iteration", "distance"],
+        &rows,
+    );
     println!("(wrote target/experiments/fig3b_toy_convergence.csv)");
 }

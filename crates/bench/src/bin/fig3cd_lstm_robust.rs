@@ -88,12 +88,12 @@ fn main() {
             &format!("training loss (mu = {mu})"),
             &report::downsample(&smoothed, 10),
         );
-        let rows: Vec<Vec<String>> = rates
-            .iter()
-            .map(|r| vec![report::fmt(*r)])
-            .collect();
+        let rows: Vec<Vec<String>> = rates.iter().map(|r| vec![report::fmt(*r)]).collect();
         report::write_csv(
-            &format!("fig3cd_rates_mu{}.csv", if mu > 0.95 { "099" } else { "09" }),
+            &format!(
+                "fig3cd_rates_mu{}.csv",
+                if mu > 0.95 { "099" } else { "09" }
+            ),
             &["per_variable_rate"],
             &rows,
         );

@@ -137,7 +137,11 @@ fn main() {
         &["panel", "target_mu", "measured_total_mu"],
         &[
             vec!["sync".into(), report::fmt(t_sync), report::fmt(m_sync)],
-            vec!["async_open".into(), report::fmt(t_async), report::fmt(m_async)],
+            vec![
+                "async_open".into(),
+                report::fmt(t_async),
+                report::fmt(m_async),
+            ],
             vec!["async_closed".into(), report::fmt(t_cl), report::fmt(m_cl)],
         ],
     );

@@ -6,9 +6,8 @@
 use yf_bench::{averaged_run, scaled, window_for, yellowfin};
 use yf_experiments::report;
 use yf_experiments::smoothing::{best_so_far, smooth};
-use yf_experiments::task::TrainTask;
 use yf_experiments::trainer::RunConfig;
-use yf_experiments::workloads::{ptb_like, ts_like, wsj_like};
+use yf_experiments::workloads::{ptb_like, ts_like, wsj_like, TaskBuilder};
 use yf_optim::{AdaGrad, Adam, MomentumSgd, Optimizer, Sgd};
 
 fn main() {
@@ -19,8 +18,9 @@ fn main() {
     let eval_every = (iters / 10).max(1);
     let cfg = RunConfig::plain(iters).with_eval(eval_every);
 
-    type TaskFn = fn(u64) -> Box<dyn TrainTask>;
-    let workloads: [(&str, TaskFn, bool); 3] = [
+    // (label, smoothed loss curve, (step, metric) validation points).
+    type NamedCurve = (String, Vec<f64>, Vec<(u64, f64)>);
+    let workloads: [(&str, TaskBuilder, bool); 3] = [
         ("PTB-like (word LM)", ptb_like, true),
         ("TS-like (char LM)", ts_like, true),
         ("WSJ-like (parsing LM)", wsj_like, false),
@@ -28,52 +28,44 @@ fn main() {
 
     for (name, make_task, lower_better) in workloads {
         println!("--- {name} ---");
-        let mut named_curves: Vec<(String, Vec<f64>, Vec<(u64, f64)>)> = Vec::new();
+        let mut named_curves: Vec<NamedCurve> = Vec::new();
 
-        let (lr_sgd, sgd_curve, sgd_metrics) = yf_bench::mini_grid(
-            &[1e-2, 1e-1, 1.0],
-            &seeds,
-            &cfg,
-            window,
-            make_task,
-            |lr| Box::new(MomentumSgd::new(lr, 0.9)) as Box<dyn Optimizer>,
-        );
-        named_curves.push((format!("momentum SGD (lr {lr_sgd:.0e})"), sgd_curve, sgd_metrics));
+        let (lr_sgd, sgd_curve, sgd_metrics) =
+            yf_bench::mini_grid(&[1e-2, 1e-1, 1.0], &seeds, &cfg, window, make_task, |lr| {
+                Box::new(MomentumSgd::new(lr, 0.9)) as Box<dyn Optimizer>
+            });
+        named_curves.push((
+            format!("momentum SGD (lr {lr_sgd:.0e})"),
+            sgd_curve,
+            sgd_metrics,
+        ));
 
-        let (lr_adam, adam_curve, adam_metrics) = yf_bench::mini_grid(
-            &[1e-4, 1e-3, 1e-2],
-            &seeds,
-            &cfg,
-            window,
-            make_task,
-            |lr| Box::new(Adam::new(lr)) as Box<dyn Optimizer>,
-        );
+        let (lr_adam, adam_curve, adam_metrics) =
+            yf_bench::mini_grid(&[1e-4, 1e-3, 1e-2], &seeds, &cfg, window, make_task, |lr| {
+                Box::new(Adam::new(lr)) as Box<dyn Optimizer>
+            });
         named_curves.push((format!("Adam (lr {lr_adam:.0e})"), adam_curve, adam_metrics));
 
         let (yf_losses, yf_metrics) = averaged_run(&seeds, &cfg, make_task, || {
             Box::new(yellowfin()) as Box<dyn Optimizer>
         });
-        named_curves.push(("YellowFin".to_string(), smooth(&yf_losses, window), yf_metrics));
+        named_curves.push((
+            "YellowFin".to_string(),
+            smooth(&yf_losses, window),
+            yf_metrics,
+        ));
 
         if !lower_better {
             // WSJ panel adds vanilla SGD and AdaGrad (paper right column).
-            let (lr_v, v_curve, v_metrics) = yf_bench::mini_grid(
-                &[1e-2, 1e-1, 1.0],
-                &seeds,
-                &cfg,
-                window,
-                make_task,
-                |lr| Box::new(Sgd::new(lr)) as Box<dyn Optimizer>,
-            );
+            let (lr_v, v_curve, v_metrics) =
+                yf_bench::mini_grid(&[1e-2, 1e-1, 1.0], &seeds, &cfg, window, make_task, |lr| {
+                    Box::new(Sgd::new(lr)) as Box<dyn Optimizer>
+                });
             named_curves.push((format!("vanilla SGD (lr {lr_v:.0e})"), v_curve, v_metrics));
-            let (lr_a, a_curve, a_metrics) = yf_bench::mini_grid(
-                &[1e-2, 1e-1, 1.0],
-                &seeds,
-                &cfg,
-                window,
-                make_task,
-                |lr| Box::new(AdaGrad::new(lr)) as Box<dyn Optimizer>,
-            );
+            let (lr_a, a_curve, a_metrics) =
+                yf_bench::mini_grid(&[1e-2, 1e-1, 1.0], &seeds, &cfg, window, make_task, |lr| {
+                    Box::new(AdaGrad::new(lr)) as Box<dyn Optimizer>
+                });
             named_curves.push((format!("AdaGrad (lr {lr_a:.0e})"), a_curve, a_metrics));
         }
 

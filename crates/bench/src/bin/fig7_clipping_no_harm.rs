@@ -6,9 +6,8 @@
 use yf_bench::{averaged_run, scaled, window_for, yellowfin, yellowfin_clipped};
 use yf_experiments::report;
 use yf_experiments::smoothing::smooth;
-use yf_experiments::task::TrainTask;
 use yf_experiments::trainer::RunConfig;
-use yf_experiments::workloads::{cifar10_like, ptb_like};
+use yf_experiments::workloads::{cifar10_like, ptb_like, TaskBuilder};
 use yf_optim::Optimizer;
 
 fn main() {
@@ -18,10 +17,9 @@ fn main() {
     let seeds = [1u64, 2];
     let cfg = RunConfig::plain(iters);
 
-    type TaskFn = fn(u64) -> Box<dyn TrainTask>;
     for (name, make_task) in [
-        ("PTB-like LSTM", ptb_like as TaskFn),
-        ("CIFAR10-like ResNet", cifar10_like as TaskFn),
+        ("PTB-like LSTM", ptb_like as TaskBuilder),
+        ("CIFAR10-like ResNet", cifar10_like as TaskBuilder),
     ] {
         let (with_losses, _) = averaged_run(&seeds, &cfg, make_task, || {
             Box::new(yellowfin_clipped()) as Box<dyn Optimizer>

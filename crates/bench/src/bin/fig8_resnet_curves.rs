@@ -6,9 +6,8 @@ use yf_bench::{averaged_run, scaled, window_for, yellowfin};
 use yf_experiments::report;
 use yf_experiments::smoothing::smooth;
 use yf_experiments::speedup::speedup_over;
-use yf_experiments::task::TrainTask;
 use yf_experiments::trainer::RunConfig;
-use yf_experiments::workloads::{cifar10_like, cifar100_like};
+use yf_experiments::workloads::{cifar100_like, cifar10_like, TaskBuilder};
 use yf_optim::{Adam, MomentumSgd, Optimizer};
 
 fn main() {
@@ -18,10 +17,9 @@ fn main() {
     let seeds = [1u64, 2];
     let cfg = RunConfig::plain(iters);
 
-    type TaskFn = fn(u64) -> Box<dyn TrainTask>;
     for (name, make_task) in [
-        ("CIFAR10-like", cifar10_like as TaskFn),
-        ("CIFAR100-like", cifar100_like as TaskFn),
+        ("CIFAR10-like", cifar10_like as TaskBuilder),
+        ("CIFAR100-like", cifar100_like as TaskBuilder),
     ] {
         let (lr_sgd, sgd_curve, _) = yf_bench::mini_grid(
             &[1e-3, 1e-2, 1e-1, 1.0],
@@ -50,10 +48,7 @@ fn main() {
             ("Adam", &adam_curve),
             ("YellowFin", &yf_curve),
         ] {
-            report::print_series(
-                &format!("{name}: {label}"),
-                &report::downsample(curve, 12),
-            );
+            report::print_series(&format!("{name}: {label}"), &report::downsample(curve, 12));
         }
         let s_sgd = speedup_over(&adam_curve, &sgd_curve).unwrap_or(f64::NAN);
         let s_yf = speedup_over(&adam_curve, &yf_curve).unwrap_or(f64::NAN);

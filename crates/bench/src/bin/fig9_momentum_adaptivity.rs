@@ -10,9 +10,8 @@ use yf_bench::{averaged_run, scaled, window_for};
 use yf_experiments::report;
 use yf_experiments::smoothing::smooth;
 use yf_experiments::speedup::speedup_over;
-use yf_experiments::task::TrainTask;
 use yf_experiments::trainer::RunConfig;
-use yf_experiments::workloads::{cifar100_like, ts_like};
+use yf_experiments::workloads::{cifar100_like, ts_like, TaskBuilder};
 use yf_optim::Optimizer;
 
 fn yf_with_override(mu: Option<f64>) -> Box<dyn Optimizer> {
@@ -29,10 +28,9 @@ fn main() {
     let seeds = [1u64, 2];
     let cfg = RunConfig::plain(iters);
 
-    type TaskFn = fn(u64) -> Box<dyn TrainTask>;
     for (name, make_task) in [
-        ("TS-like LSTM", ts_like as TaskFn),
-        ("CIFAR100-like ResNet", cifar100_like as TaskFn),
+        ("TS-like LSTM", ts_like as TaskBuilder),
+        ("CIFAR100-like ResNet", cifar100_like as TaskBuilder),
     ] {
         let mut curves = Vec::new();
         for (label, mu) in [
@@ -40,16 +38,12 @@ fn main() {
             ("YF mom. = 0.0", Some(0.0)),
             ("YF mom. = 0.9", Some(0.9)),
         ] {
-            let (losses, _) =
-                averaged_run(&seeds, &cfg, make_task, || yf_with_override(mu));
+            let (losses, _) = averaged_run(&seeds, &cfg, make_task, || yf_with_override(mu));
             curves.push((label, smooth(&losses, window)));
         }
         println!("--- {name} ---");
         for (label, curve) in &curves {
-            report::print_series(
-                &format!("{name}: {label}"),
-                &report::downsample(curve, 12),
-            );
+            report::print_series(&format!("{name}: {label}"), &report::downsample(curve, 12));
         }
         let s0 = speedup_over(&curves[1].1, &curves[0].1).unwrap_or(f64::NAN);
         let s9 = speedup_over(&curves[2].1, &curves[0].1).unwrap_or(f64::NAN);

@@ -44,11 +44,7 @@ fn main() {
     let seed = 7;
 
     // Row 1: the paper's default optimizer, no clipping.
-    let (loss_def, bleu_def) = run(
-        Box::new(MomentumSgd::nesterov(0.25, 0.99)),
-        iters,
-        seed,
-    );
+    let (loss_def, bleu_def) = run(Box::new(MomentumSgd::nesterov(0.25, 0.99)), iters, seed);
     // Row 2: same optimizer with the manually tuned threshold 0.1.
     let (loss_clip, bleu_clip) = run(
         Box::new(Clipped::new(MomentumSgd::nesterov(0.25, 0.99), 0.1)),

@@ -26,22 +26,14 @@ fn main() {
 
     let mut rows = Vec::new();
     for (name, make_task) in table2_workloads() {
-        let (adam_lr, adam_curve, _) = yf_bench::mini_grid(
-            &adam_grid,
-            &seeds,
-            &cfg,
-            window,
-            make_task,
-            |lr| Box::new(Adam::new(lr)) as Box<dyn Optimizer>,
-        );
-        let (sgd_lr, sgd_curve, _) = yf_bench::mini_grid(
-            &sgd_grid,
-            &seeds,
-            &cfg,
-            window,
-            make_task,
-            |lr| Box::new(MomentumSgd::new(lr, 0.9)) as Box<dyn Optimizer>,
-        );
+        let (adam_lr, adam_curve, _) =
+            yf_bench::mini_grid(&adam_grid, &seeds, &cfg, window, make_task, |lr| {
+                Box::new(Adam::new(lr)) as Box<dyn Optimizer>
+            });
+        let (sgd_lr, sgd_curve, _) =
+            yf_bench::mini_grid(&sgd_grid, &seeds, &cfg, window, make_task, |lr| {
+                Box::new(MomentumSgd::new(lr, 0.9)) as Box<dyn Optimizer>
+            });
         let (yf_losses, _) = averaged_run(&seeds, &cfg, make_task, || {
             Box::new(yellowfin()) as Box<dyn Optimizer>
         });
@@ -69,10 +61,10 @@ fn main() {
         );
     }
 
-    println!("\n{}", report::markdown_table(
-        &["workload", "Adam", "mom. SGD", "YellowFin"],
-        &rows,
-    ));
+    println!(
+        "\n{}",
+        report::markdown_table(&["workload", "Adam", "mom. SGD", "YellowFin"], &rows,)
+    );
     report::write_csv(
         "table2_speedups.csv",
         &["workload", "adam", "momentum_sgd", "yellowfin"],

@@ -22,13 +22,25 @@ fn main() {
     print!(
         "{}",
         report::markdown_table(
-            &["workload", "paper counterpart", "architecture here", "params", "metric"],
+            &[
+                "workload",
+                "paper counterpart",
+                "architecture here",
+                "params",
+                "metric"
+            ],
             &rows
         )
     );
     report::write_csv(
         "table3_model_specs.csv",
-        &["workload", "paper_counterpart", "architecture", "parameters", "metric"],
+        &[
+            "workload",
+            "paper_counterpart",
+            "architecture",
+            "parameters",
+            "metric",
+        ],
         &rows,
     );
     println!("\n(wrote target/experiments/table3_model_specs.csv)");

@@ -112,14 +112,9 @@ pub fn mini_grid(
     make_task: impl FnMut(u64) -> Box<dyn TrainTask> + Copy,
     mut make_opt: impl FnMut(f32) -> Box<dyn Optimizer>,
 ) -> (f32, Vec<f64>, Vec<(u64, f64)>) {
-    let outcome = yf_experiments::grid::grid_search(lrs, seeds, window, cfg, make_task, |lr| {
-        make_opt(lr)
-    });
-    (
-        outcome.best_value,
-        outcome.best_curve,
-        outcome.best_metrics,
-    )
+    let outcome =
+        yf_experiments::grid::grid_search(lrs, seeds, window, cfg, make_task, |lr| make_opt(lr));
+    (outcome.best_value, outcome.best_curve, outcome.best_metrics)
 }
 
 #[cfg(test)]

@@ -341,7 +341,7 @@ mod tests {
         let mut x_prev = x.clone();
         let mut last = None;
         for _ in 0..50 {
-            let g: Vec<f32> = x.iter().map(|&v| v).collect(); // f = |x|^2/2
+            let g: Vec<f32> = x.to_vec(); // f = |x|^2/2
             if let Some(m) = est.observe(&x, &g, lr) {
                 last = Some(m);
             }

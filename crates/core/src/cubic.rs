@@ -208,7 +208,10 @@ mod tests {
             (1e300, 1e-300, 1.0, 1.0),
         ] {
             let sol = single_step(c, d, hmin, hmax);
-            assert!(sol.mu.is_finite() && (0.0..1.0).contains(&sol.mu), "{sol:?}");
+            assert!(
+                sol.mu.is_finite() && (0.0..1.0).contains(&sol.mu),
+                "{sol:?}"
+            );
             assert!(sol.lr.is_finite() && sol.lr >= 0.0, "{sol:?}");
         }
     }

@@ -211,7 +211,11 @@ mod tests {
         free.observe(1e9);
         // beta=0, window=1: estimates track the last (possibly capped) value.
         assert!((free.h_max() - 1e9).abs() / 1e9 < 1e-9);
-        assert!((limited.h_max() - 100.0).abs() < 1e-6, "{}", limited.h_max());
+        assert!(
+            (limited.h_max() - 100.0).abs() < 1e-6,
+            "{}",
+            limited.h_max()
+        );
     }
 
     #[test]
@@ -232,7 +236,11 @@ mod tests {
             let sign = if i % 2 == 0 { 1.0 } else { -1.0 };
             v.observe(&[1.0 + 0.5 * sign]);
         }
-        assert!((v.variance() - 0.25).abs() < 0.01, "variance {}", v.variance());
+        assert!(
+            (v.variance() - 0.25).abs() < 0.01,
+            "variance {}",
+            v.variance()
+        );
     }
 
     #[test]
@@ -244,7 +252,11 @@ mod tests {
         for _ in 0..100 {
             d.observe(6.0);
         }
-        assert!((d.distance() - 1.0 / 6.0).abs() < 1e-9, "D {}", d.distance());
+        assert!(
+            (d.distance() - 1.0 / 6.0).abs() < 1e-9,
+            "D {}",
+            d.distance()
+        );
     }
 
     #[test]

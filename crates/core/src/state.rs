@@ -187,7 +187,6 @@ impl YellowFin {
     }
 }
 
-
 impl YellowFin {
     pub(crate) fn write_state(&self) -> String {
         use crate::tuner::ClipMode;
@@ -222,7 +221,9 @@ impl YellowFin {
         w.f32_slice("velocity", &self.velocity);
         w.field(
             "dim",
-            self.dim.map(|d| d.to_string()).unwrap_or_else(|| "none".into()),
+            self.dim
+                .map(|d| d.to_string())
+                .unwrap_or_else(|| "none".into()),
         );
         match self.last_norm {
             Some(n) => w.f64_field("last_norm", n),
@@ -281,10 +282,7 @@ impl YellowFin {
         tuner.velocity = r.f32_vec("velocity")?;
         tuner.dim = match r.raw("dim")? {
             "none" => None,
-            d => Some(
-                d.parse()
-                    .map_err(|_| RestoreStateError::new("bad dim"))?,
-            ),
+            d => Some(d.parse().map_err(|_| RestoreStateError::new("bad dim"))?),
         };
         tuner.last_norm = match r.raw("last_norm")? {
             "none" => None,
@@ -300,11 +298,7 @@ fn write_ema(w: &mut Writer, key: &str, ema: &crate::ema::Ema) {
     w.field(&format!("{key}.steps"), ema.steps);
 }
 
-fn read_ema(
-    r: &Reader<'_>,
-    key: &str,
-    beta: f64,
-) -> Result<crate::ema::Ema, RestoreStateError> {
+fn read_ema(r: &Reader<'_>, key: &str, beta: f64) -> Result<crate::ema::Ema, RestoreStateError> {
     let mut ema = crate::ema::Ema::new(beta);
     ema.biased = r.f64(&format!("{key}.biased"))?;
     ema.correction = r.f64(&format!("{key}.correction"))?;
@@ -344,7 +338,10 @@ mod tests {
         });
         let mut x = vec![1.0f32, -2.0, 0.5];
         for t in 0..steps {
-            let g: Vec<f32> = x.iter().map(|v| v * (1.0 + 0.1 * (t as f32).sin())).collect();
+            let g: Vec<f32> = x
+                .iter()
+                .map(|v| v * (1.0 + 0.1 * (t as f32).sin()))
+                .collect();
             opt.step(&mut x, &g);
         }
         (opt, x)

@@ -46,8 +46,7 @@ impl SyntheticImages {
                 let sigma = rng.uniform_in(0.15, 0.35) * size as f32;
                 for y in 0..size {
                     for x in 0..size {
-                        let g = (std::f32::consts::TAU
-                            * (fx * x as f32 + fy * y as f32)
+                        let g = (std::f32::consts::TAU * (fx * x as f32 + fy * y as f32)
                             / size as f32
                             + phase)
                             .sin();

@@ -146,9 +146,7 @@ impl ZipfBigramText {
     pub fn new(vocab: usize, exponent: f32, seed: u64) -> Self {
         assert!(vocab >= 4, "zipf: vocab too small");
         let mut init = Pcg32::seed_stream(seed, 0x5555);
-        let unigram: Vec<f32> = (1..=vocab)
-            .map(|r| (r as f32).powf(-exponent))
-            .collect();
+        let unigram: Vec<f32> = (1..=vocab).map(|r| (r as f32).powf(-exponent)).collect();
         let block = (vocab / 4).max(1);
         let successor_block = (0..vocab)
             .map(|_| init.below((vocab / block).max(1) as u32) as usize)
@@ -238,7 +236,10 @@ impl CfgParseText {
             if recurse {
                 self.emit(out, depth + 1);
             } else {
-                let w = self.rng.below((self.vocab - parse_tokens::FIRST_WORD) as u32) as usize;
+                let w = self
+                    .rng
+                    .below((self.vocab - parse_tokens::FIRST_WORD) as u32)
+                    as usize;
                 out.push(parse_tokens::FIRST_WORD + w);
             }
         }

@@ -111,9 +111,7 @@ impl NoisyQuadratic {
     pub fn new(h: f64, n: usize, spread: f64, seed: u64) -> Self {
         assert!(n >= 2, "noisy quadratic: need >= 2 components");
         let mut init = Pcg32::seed_stream(seed, 0xaaaa);
-        let mut centers: Vec<f64> = (0..n)
-            .map(|_| f64::from(init.normal()) * spread)
-            .collect();
+        let mut centers: Vec<f64> = (0..n).map(|_| f64::from(init.normal()) * spread).collect();
         // Enforce sum c_i = 0 exactly so the optimum is x* = 0.
         let mean: f64 = centers.iter().sum::<f64>() / n as f64;
         for c in &mut centers {

@@ -77,11 +77,7 @@ pub fn grid_search(
         let better = match &best {
             None => true,
             Some(b) => {
-                let b_low = b
-                    .best_curve
-                    .iter()
-                    .copied()
-                    .fold(f64::INFINITY, f64::min);
+                let b_low = b.best_curve.iter().copied().fold(f64::INFINITY, f64::min);
                 lowest < b_low
             }
         };

@@ -50,12 +50,7 @@ pub fn downsample(series: &[f64], points: usize) -> Vec<(usize, f64)> {
         return Vec::new();
     }
     let stride = (series.len() / points).max(1);
-    let mut out: Vec<(usize, f64)> = series
-        .iter()
-        .copied()
-        .enumerate()
-        .step_by(stride)
-        .collect();
+    let mut out: Vec<(usize, f64)> = series.iter().copied().enumerate().step_by(stride).collect();
     let last = series.len() - 1;
     if out.last().map(|&(i, _)| i) != Some(last) {
         out.push((last, series[last]));
@@ -69,7 +64,7 @@ pub fn fmt(v: f64) -> String {
         return format!("{v}");
     }
     let a = v.abs();
-    if a != 0.0 && (a < 1e-3 || a >= 1e5) {
+    if a != 0.0 && !(1e-3..1e5).contains(&a) {
         format!("{v:.3e}")
     } else {
         format!("{v:.4}")

@@ -132,17 +132,13 @@ mod tests {
             mlp,
             move |_| {
                 let x = Tensor::randn(&[4, 3], &mut data_rng);
-                let y = (0..4)
-                    .map(|r| usize::from(x.at(&[r, 0]) > 0.0))
-                    .collect();
+                let y = (0..4).map(|r| usize::from(x.at(&[r, 0]) > 0.0)).collect();
                 (x, y)
             },
             |m| {
                 let mut rng = Pcg32::seed(3);
                 let x = Tensor::randn(&[32, 3], &mut rng);
-                let y: Vec<usize> = (0..32)
-                    .map(|r| usize::from(x.at(&[r, 0]) > 0.0))
-                    .collect();
+                let y: Vec<usize> = (0..32).map(|r| usize::from(x.at(&[r, 0]) > 0.0)).collect();
                 f64::from(m.accuracy(&x, &y))
             },
             "accuracy",

@@ -52,9 +52,13 @@ impl RunResult {
     pub fn best_metric(&self, lower_is_better: bool) -> Option<f64> {
         let vals = self.metrics.iter().map(|&(_, v)| v);
         if lower_is_better {
-            vals.fold(None, |acc: Option<f64>, v| Some(acc.map_or(v, |a| a.min(v))))
+            vals.fold(None, |acc: Option<f64>, v| {
+                Some(acc.map_or(v, |a| a.min(v)))
+            })
         } else {
-            vals.fold(None, |acc: Option<f64>, v| Some(acc.map_or(v, |a| a.max(v))))
+            vals.fold(None, |acc: Option<f64>, v| {
+                Some(acc.map_or(v, |a| a.max(v)))
+            })
         }
     }
 }
@@ -146,11 +150,7 @@ mod tests {
     fn sync_training_learns() {
         let mut task = small_task(10);
         let mut opt = MomentumSgd::new(0.1, 0.9);
-        let result = train(
-            &mut task,
-            &mut opt,
-            &RunConfig::plain(400).with_eval(100),
-        );
+        let result = train(&mut task, &mut opt, &RunConfig::plain(400).with_eval(100));
         assert_eq!(result.losses.len(), 400);
         assert_eq!(result.metrics.len(), 4);
         let best = result.best_metric(false).unwrap();

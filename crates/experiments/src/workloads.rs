@@ -6,6 +6,7 @@
 //! `seed`.
 
 use crate::task::{ModelTask, TrainTask};
+use yf_autograd::Graph;
 use yf_data::images::SyntheticImages;
 use yf_data::text::{CfgParseText, LmSample, MarkovText, TextSource, ZipfBigramText};
 use yf_data::translation::{bleu4, special, TranslationTask};
@@ -13,7 +14,6 @@ use yf_nn::{
     LmBatch, LstmLm, LstmLmConfig, ParamNodes, ResNet, ResNetConfig, Seq2Seq, Seq2SeqConfig,
     SeqBatch, SupervisedModel,
 };
-use yf_autograd::Graph;
 use yf_tensor::rng::Pcg32;
 
 /// Mirror of the paper's Table 3 rows for this reproduction's scale.
@@ -36,9 +36,7 @@ pub const IMAGE_BATCH: usize = 8;
 /// Batch size shared by the sequence workloads.
 pub const SEQ_BATCH: usize = 8;
 
-fn lm_perplexity_validator(
-    val_batch: LmBatch,
-) -> impl FnMut(&LstmLm) -> f64 + Send + 'static {
+fn lm_perplexity_validator(val_batch: LmBatch) -> impl FnMut(&LstmLm) -> f64 + Send + 'static {
     move |model: &LstmLm| {
         let mut g = Graph::new();
         let (loss, _) = model.loss(&mut g, &val_batch);
@@ -106,10 +104,7 @@ fn lm_task(
         batch: SEQ_BATCH,
         time,
     };
-    let (vi, vt) = source.lm_arrays(LmSample {
-        batch: 16,
-        time,
-    });
+    let (vi, vt) = source.lm_arrays(LmSample { batch: 16, time });
     let val_batch = LmBatch::new(vi, vt, 16, time);
     Box::new(ModelTask::new(
         model,
@@ -260,10 +255,13 @@ pub fn translation_like(seed: u64, recurrent_scale: f32) -> Box<dyn TrainTask> {
     ))
 }
 
+/// Seeded constructor for a boxed training task.
+pub type TaskBuilder = fn(u64) -> Box<dyn TrainTask>;
+
 /// The five Table 2 workloads in paper order, with constructors.
-pub fn table2_workloads() -> Vec<(&'static str, fn(u64) -> Box<dyn TrainTask>)> {
+pub fn table2_workloads() -> Vec<(&'static str, TaskBuilder)> {
     vec![
-        ("CIFAR10", cifar10_like as fn(u64) -> Box<dyn TrainTask>),
+        ("CIFAR10", cifar10_like as TaskBuilder),
         ("CIFAR100", cifar100_like),
         ("PTB", ptb_like),
         ("TS", ts_like),

@@ -166,11 +166,7 @@ impl Gru {
         batch: usize,
     ) -> (Vec<NodeId>, Vec<NodeId>) {
         let bound: Vec<_> = self.cells.iter().map(|c| c.bind(g, nodes)).collect();
-        let mut states: Vec<NodeId> = self
-            .cells
-            .iter()
-            .map(|c| c.zero_state(g, batch))
-            .collect();
+        let mut states: Vec<NodeId> = self.cells.iter().map(|c| c.zero_state(g, batch)).collect();
         let mut outputs = Vec::with_capacity(xs.len());
         for &x in xs {
             let mut input = x;
@@ -286,14 +282,9 @@ mod tests {
         }
         impl SupervisedModel for GruClassifier {
             type Batch = (Vec<Tensor>, Vec<usize>);
-            fn loss(
-                &self,
-                g: &mut Graph,
-                batch: &Self::Batch,
-            ) -> (NodeId, ParamNodes) {
+            fn loss(&self, g: &mut Graph, batch: &Self::Batch) -> (NodeId, ParamNodes) {
                 let mut nodes = ParamNodes::new();
-                let xs: Vec<NodeId> =
-                    batch.0.iter().map(|t| g.constant(t.clone())).collect();
+                let xs: Vec<NodeId> = batch.0.iter().map(|t| g.constant(t.clone())).collect();
                 let b = batch.1.len();
                 let (outs, _) = self.gru.forward_seq(g, &mut nodes, &xs, b);
                 let logits = self.head.forward(g, &mut nodes, *outs.last().unwrap());
@@ -318,8 +309,12 @@ mod tests {
         };
         // Class = whether the first input's first coordinate is positive.
         let mut data_rng = Pcg32::seed(64);
-        let xs: Vec<Tensor> = (0..4).map(|_| Tensor::randn(&[8, 2], &mut data_rng)).collect();
-        let ys: Vec<usize> = (0..8).map(|r| usize::from(xs[0].at(&[r, 0]) > 0.0)).collect();
+        let xs: Vec<Tensor> = (0..4)
+            .map(|_| Tensor::randn(&[8, 2], &mut data_rng))
+            .collect();
+        let ys: Vec<usize> = (0..8)
+            .map(|r| usize::from(xs[0].at(&[r, 0]) > 0.0))
+            .collect();
         let batch = (xs, ys);
         let (initial, _) = loss_and_grad(&model, &batch);
         for _ in 0..120 {

@@ -41,7 +41,13 @@ impl Linear {
 
     /// Applies the layer reusing an already-bound weight node (weight
     /// tying; `w_t` must be the transpose-shaped `[in, out]` weight).
-    pub fn forward_with_weight(&self, g: &mut Graph, nodes: &mut ParamNodes, x: NodeId, w: NodeId) -> NodeId {
+    pub fn forward_with_weight(
+        &self,
+        g: &mut Graph,
+        nodes: &mut ParamNodes,
+        x: NodeId,
+        w: NodeId,
+    ) -> NodeId {
         let y = g.matmul(x, w);
         match &self.b {
             Some(b) => {

@@ -249,9 +249,7 @@ mod tests {
         assert_eq!(lstm.params().len(), 6);
         let mut g = Graph::new();
         let mut nodes = ParamNodes::new();
-        let xs: Vec<NodeId> = (0..3)
-            .map(|_| g.constant(Tensor::ones(&[2, 4])))
-            .collect();
+        let xs: Vec<NodeId> = (0..3).map(|_| g.constant(Tensor::ones(&[2, 4]))).collect();
         let (outs, finals) = lstm.forward_seq(&mut g, &mut nodes, &xs, 2, None);
         assert_eq!(outs.len(), 3);
         assert_eq!(finals.len(), 2);

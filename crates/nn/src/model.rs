@@ -204,7 +204,10 @@ mod tests {
 
     fn affine() -> Affine {
         Affine {
-            w: Param::new("w", Tensor::from_vec(vec![0.1, -0.2, 0.3, 0.4, 0.0, -0.1], &[3, 2])),
+            w: Param::new(
+                "w",
+                Tensor::from_vec(vec![0.1, -0.2, 0.3, 0.4, 0.0, -0.1], &[3, 2]),
+            ),
             b: Param::new("b", Tensor::zeros(&[2])),
         }
     }

@@ -274,7 +274,9 @@ mod tests {
 
     fn toy_batch(vocab: usize, b: usize, t: usize, seed: u64) -> LmBatch {
         let mut rng = Pcg32::seed(seed);
-        let inputs: Vec<usize> = (0..b * t).map(|_| rng.below(vocab as u32) as usize).collect();
+        let inputs: Vec<usize> = (0..b * t)
+            .map(|_| rng.below(vocab as u32) as usize)
+            .collect();
         // Target = next input (cyclic toy task).
         let targets: Vec<usize> = inputs.iter().map(|&i| (i + 1) % vocab).collect();
         LmBatch::new(inputs, targets, b, t)

@@ -152,7 +152,9 @@ impl Seq2Seq {
         let src_w = nodes.bind(g, &self.src_embed.w);
         let tgt_w = nodes.bind(g, &self.tgt_embed.w);
         let src_xs = Self::embed_steps(g, src_w, &batch.src, batch.batch, batch.src_time);
-        let (_, enc_state) = self.encoder.forward_seq(g, nodes, &src_xs, batch.batch, None);
+        let (_, enc_state) = self
+            .encoder
+            .forward_seq(g, nodes, &src_xs, batch.batch, None);
         let tgt_xs = Self::embed_steps(g, tgt_w, &batch.tgt_in, batch.batch, batch.tgt_time);
         let (outs, _) = self
             .decoder
@@ -181,7 +183,9 @@ impl Seq2Seq {
         let src_w = nodes.bind(&mut g, &self.src_embed.w);
         let tgt_w = nodes.bind(&mut g, &self.tgt_embed.w);
         let src_xs = Self::embed_steps(&mut g, src_w, src, 1, src.len());
-        let (_, mut state) = self.encoder.forward_seq(&mut g, &mut nodes, &src_xs, 1, None);
+        let (_, mut state) = self
+            .encoder
+            .forward_seq(&mut g, &mut nodes, &src_xs, 1, None);
         let bound: Vec<_> = self
             .decoder
             .cells
@@ -242,8 +246,9 @@ mod tests {
     fn copy_task_batch(vocab: usize, b: usize, t: usize, seed: u64) -> SeqBatch {
         // Target = source (copy task), bos = 0.
         let mut rng = Pcg32::seed(seed);
-        let src: Vec<usize> =
-            (0..b * t).map(|_| 1 + rng.below(vocab as u32 - 1) as usize).collect();
+        let src: Vec<usize> = (0..b * t)
+            .map(|_| 1 + rng.below(vocab as u32 - 1) as usize)
+            .collect();
         let mut tgt_in = Vec::with_capacity(b * t);
         let mut tgt_out = Vec::with_capacity(b * t);
         for r in 0..b {

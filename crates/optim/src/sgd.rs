@@ -147,12 +147,11 @@ mod tests {
         let grad_fn = |x: f32| 2.0 * x; // f = x^2
         let mut opt = MomentumSgd::new(lr, mu);
         let mut x = vec![1.0f32];
-        let mut manual_prev = 1.0f32;
-        let mut manual = 1.0f32;
+        let manual = 1.0f32;
         // First step has no momentum history.
         opt.step(&mut x, &[grad_fn(manual)]);
         let m_next = manual - lr * grad_fn(manual);
-        (manual_prev, manual) = (manual, m_next);
+        let (mut manual_prev, mut manual) = (manual, m_next);
         assert!((x[0] - manual).abs() < 1e-6);
         for _ in 0..20 {
             opt.step(&mut x, &[grad_fn(manual)]);

@@ -2,7 +2,7 @@
 
 use proptest::prelude::*;
 use yf_optim::clip::{clip_by_global_norm, global_norm};
-use yf_optim::{Adam, AdaGrad, MomentumSgd, Optimizer, RmsProp, Sgd};
+use yf_optim::{AdaGrad, Adam, MomentumSgd, Optimizer, RmsProp, Sgd};
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]

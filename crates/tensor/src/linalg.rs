@@ -51,7 +51,10 @@ pub fn quadratic_roots(b: f64, c: f64) -> [Complex; 2] {
     } else {
         let sq = (-disc).sqrt() / 2.0;
         [
-            Complex { re: -b / 2.0, im: sq },
+            Complex {
+                re: -b / 2.0,
+                im: sq,
+            },
             Complex {
                 re: -b / 2.0,
                 im: -sq,
@@ -176,7 +179,9 @@ mod tests {
         for r in roots {
             assert_close(r.abs(), 1.0, 1e-9);
         }
-        assert!(roots.iter().any(|r| r.im.abs() < 1e-9 && (r.re - 1.0).abs() < 1e-9));
+        assert!(roots
+            .iter()
+            .any(|r| r.im.abs() < 1e-9 && (r.re - 1.0).abs() < 1e-9));
     }
 
     #[test]

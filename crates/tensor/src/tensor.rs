@@ -398,10 +398,7 @@ mod tests {
     fn matmul_identity() {
         let mut rng = Pcg32::seed(10);
         let a = Tensor::randn(&[3, 3], &mut rng);
-        let eye = Tensor::from_vec(
-            vec![1.0, 0.0, 0.0, 0.0, 1.0, 0.0, 0.0, 0.0, 1.0],
-            &[3, 3],
-        );
+        let eye = Tensor::from_vec(vec![1.0, 0.0, 0.0, 0.0, 1.0, 0.0, 0.0, 0.0, 1.0], &[3, 3]);
         let b = a.matmul(&eye);
         for (x, y) in a.data().iter().zip(b.data().iter()) {
             assert!((x - y).abs() < 1e-6);

@@ -64,6 +64,9 @@ fn main() {
     let report = run_threaded(4, 2000, vec![1.0f32; 64], grad_fn, &mut opt);
     let early: f32 = report.losses[..50].iter().sum::<f32>() / 50.0;
     let late: f32 = report.losses[report.updates - 50..].iter().sum::<f32>() / 50.0;
-    println!("applied {} asynchronous updates across 4 threads", report.updates);
+    println!(
+        "applied {} asynchronous updates across 4 threads",
+        report.updates
+    );
     println!("loss: {early:.4} (first 50 updates) -> {late:.6} (last 50 updates)");
 }

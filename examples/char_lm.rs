@@ -21,20 +21,22 @@ fn main() {
         let curve = smooth(&result.losses, 20);
         let final_loss = curve.last().copied().unwrap_or(f64::NAN);
         let best_ppl = result.best_metric(true).unwrap_or(f64::NAN);
-        println!("{label:28} final smoothed loss = {final_loss:.4}, best val perplexity = {best_ppl:.2}");
+        println!(
+            "{label:28} final smoothed loss = {final_loss:.4}, best val perplexity = {best_ppl:.2}"
+        );
         rows.push((label.to_string(), final_loss));
     };
 
-    run("YellowFin (no tuning)", &mut yellowfin::YellowFin::default());
+    run(
+        "YellowFin (no tuning)",
+        &mut yellowfin::YellowFin::default(),
+    );
     for &lr in &[1e-3f32, 5e-3, 1e-2] {
         run(&format!("Adam lr = {lr:.0e}"), &mut Adam::new(lr));
     }
 
     let yf_loss = rows[0].1;
-    let best_adam = rows[1..]
-        .iter()
-        .map(|r| r.1)
-        .fold(f64::INFINITY, f64::min);
+    let best_adam = rows[1..].iter().map(|r| r.1).fold(f64::INFINITY, f64::min);
     println!(
         "\nYellowFin {} the best Adam grid point ({yf_loss:.4} vs {best_adam:.4}) — \
          with zero configuration.",

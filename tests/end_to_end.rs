@@ -3,7 +3,6 @@
 
 use yellowfin::{ClosedLoopYellowFin, YellowFin, YellowFinConfig};
 use yf_experiments::smoothing::smooth;
-use yf_experiments::task::TrainTask;
 use yf_experiments::trainer::{train, train_async, RunConfig};
 use yf_experiments::workloads;
 use yf_optim::{MomentumSgd, Optimizer};
@@ -14,9 +13,12 @@ fn final_smoothed(losses: &[f32]) -> f64 {
 
 #[test]
 fn yellowfin_trains_every_workload() {
-    type TaskFn = fn(u64) -> Box<dyn TrainTask>;
-    let builders: Vec<(&str, TaskFn, usize)> = vec![
-        ("cifar10", workloads::cifar10_like as TaskFn, 400),
+    let builders: Vec<(&str, workloads::TaskBuilder, usize)> = vec![
+        (
+            "cifar10",
+            workloads::cifar10_like as workloads::TaskBuilder,
+            400,
+        ),
         ("cifar100", workloads::cifar100_like, 400),
         ("ptb", workloads::ptb_like, 700),
         ("ts", workloads::ts_like, 700),

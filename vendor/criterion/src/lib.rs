@@ -1,0 +1,205 @@
+//! Minimal offline stand-in for the `criterion` crate.
+//!
+//! The workspace's benches were written against real criterion, but the
+//! build environment cannot reach crates.io. This shim keeps
+//! `cargo bench` compiling and producing useful numbers: each benchmark
+//! runs a short warmup, then iterates under a wall-clock budget and
+//! reports the mean ns/iter. There is no statistical analysis, HTML
+//! report, or comparison against saved baselines.
+//!
+//! Environment knobs:
+//! - `YF_BENCH_MS` — per-benchmark measurement budget in milliseconds
+//!   (default 300).
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Re-export so benches may use `criterion::black_box` interchangeably
+/// with `std::hint::black_box`.
+pub use std::hint::black_box;
+
+fn budget() -> Duration {
+    let ms = std::env::var("YF_BENCH_MS")
+        .ok()
+        .and_then(|v| v.parse::<u64>().ok())
+        .unwrap_or(300);
+    Duration::from_millis(ms)
+}
+
+/// Times closures passed to [`Bencher::iter`].
+pub struct Bencher {
+    budget: Duration,
+    total: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Runs `f` repeatedly under the time budget, recording elapsed time
+    /// and iteration count for the caller's report line.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // One untimed warmup pass so lazy setup and cold caches don't
+        // land in the measurement.
+        black_box(f());
+        let started = Instant::now();
+        let mut iters = 0u64;
+        loop {
+            let t0 = Instant::now();
+            black_box(f());
+            self.total += t0.elapsed();
+            iters += 1;
+            if started.elapsed() >= self.budget || iters >= 1_000_000 {
+                break;
+            }
+        }
+        self.iters = iters;
+    }
+
+    fn report(&self, id: &str) {
+        if self.iters == 0 {
+            println!("{id:<40} (no measurement)");
+            return;
+        }
+        let ns = self.total.as_nanos() as f64 / self.iters as f64;
+        println!("{id:<40} {ns:>14.1} ns/iter ({} iters)", self.iters);
+    }
+}
+
+/// Identifies one benchmark within a group, e.g. `yellowfin/10000`.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// A `function_name/parameter` id.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// An id that is just the parameter, for single-function groups.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// The benchmark driver handed to every `criterion_group!` target.
+pub struct Criterion {
+    budget: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { budget: budget() }
+    }
+}
+
+impl Criterion {
+    fn run_one(&mut self, id: &str, f: &mut dyn FnMut(&mut Bencher)) {
+        let mut b = Bencher {
+            budget: self.budget,
+            total: Duration::ZERO,
+            iters: 0,
+        };
+        f(&mut b);
+        b.report(id);
+    }
+
+    /// Benchmarks a single closure under `id`.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        self.run_one(id, &mut f);
+        self
+    }
+
+    /// Starts a named group; ids inside it are prefixed with the group
+    /// name.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+        }
+    }
+}
+
+/// A named collection of related benchmarks.
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Benchmarks `f` with `input`, labeled `group/id`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id.id);
+        self.criterion.run_one(&full, &mut |b| f(b, input));
+        self
+    }
+
+    /// Benchmarks a closure without an input, labeled `group/id`.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let full = format!("{}/{}", self.name, id);
+        self.criterion.run_one(&full, &mut f);
+        self
+    }
+
+    /// Ends the group. (Real criterion emits summary output here.)
+    pub fn finish(self) {}
+}
+
+/// Declares a benchmark group function that runs each target with a
+/// fresh default [`Criterion`].
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` for a `harness = false` bench binary.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_counts() {
+        std::env::set_var("YF_BENCH_MS", "5");
+        let mut c = Criterion::default();
+        let mut calls = 0u64;
+        c.bench_function("counter", |b| {
+            b.iter(|| {
+                calls += 1;
+            });
+        });
+        assert!(calls > 0);
+    }
+
+    #[test]
+    fn group_ids_compose() {
+        let id = BenchmarkId::new("f", 42);
+        assert_eq!(id.id, "f/42");
+        let id = BenchmarkId::from_parameter(7);
+        assert_eq!(id.id, "7");
+    }
+}
