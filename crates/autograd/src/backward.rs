@@ -1,6 +1,6 @@
 //! Vector-Jacobian products for every op on the tape.
 
-use crate::conv::{conv2d_backward_input, conv2d_backward_weight};
+use crate::conv::{conv2d_backward_input_with_scratch, conv2d_backward_weight_with_scratch};
 use crate::graph::{Graph, Op};
 use crate::norm::batch_norm_backward;
 use yf_tensor::Tensor;
@@ -61,12 +61,25 @@ impl Graph {
                 }
             }
             Op::MatMul(a, b) => {
+                // Both products read the transposed operand through the
+                // GEMM packing layer — nothing is materialized.
                 if self.rg(a) {
-                    let da = grad.matmul(&self.value(b).transpose());
+                    let da = grad.matmul_nt(self.value(b));
                     self.accumulate(a, &da);
                 }
                 if self.rg(b) {
-                    let db = self.value(a).transpose().matmul(&grad);
+                    let db = self.value(a).matmul_tn(&grad);
+                    self.accumulate(b, &db);
+                }
+            }
+            Op::MatMulNT(a, b) => {
+                // y = a bᵀ with a: [m, k], b: [n, k], grad: [m, n].
+                if self.rg(a) {
+                    let da = grad.matmul(self.value(b));
+                    self.accumulate(a, &da);
+                }
+                if self.rg(b) {
+                    let db = grad.matmul_tn(self.value(a));
                     self.accumulate(b, &db);
                 }
             }
@@ -173,24 +186,30 @@ impl Graph {
                 weight,
                 spec,
             } => {
+                // Reuse the tape's scratch pool across both backward
+                // kernels (and across steps when the graph is reused).
+                let mut scratch = std::mem::take(&mut self.scratch);
                 if self.rg(input) {
-                    let di = conv2d_backward_input(
+                    let di = conv2d_backward_input_with_scratch(
                         self.value(input).shape(),
                         self.value(weight),
                         &grad,
                         spec,
+                        &mut scratch,
                     );
                     self.accumulate(input, &di);
                 }
                 if self.rg(weight) {
-                    let dw = conv2d_backward_weight(
+                    let dw = conv2d_backward_weight_with_scratch(
                         self.value(input),
                         self.value(weight).shape(),
                         &grad,
                         spec,
+                        &mut scratch,
                     );
                     self.accumulate(weight, &dw);
                 }
+                self.scratch = scratch;
             }
             Op::BatchNorm {
                 input,

@@ -1,11 +1,24 @@
-//! Direct 2-D convolution kernels (forward and both backward passes).
+//! 2-D convolution kernels (forward and both backward passes).
 //!
 //! Shapes follow the PyTorch convention: input `[B, Cin, H, W]`, weight
 //! `[Cout, Cin/groups, KH, KW]`, output `[B, Cout, Ho, Wo]`. Grouped
 //! convolution (`groups > 1`) supports the ResNeXt ablation of the paper's
 //! Appendix J.4.
+//!
+//! The production kernels lower every pass onto the cache-blocked GEMM in
+//! [`yf_tensor::gemm`] via the [`im2col`](crate::im2col) unroll (with a
+//! column-buffer-free fast path for 1x1 stride-1 unpadded convolutions).
+//! The original direct loops are retained verbatim in [`reference`]; the
+//! property tests cross-check the lowered kernels against them across
+//! random shapes, strides, paddings, and groups.
+//!
+//! Each kernel has a `*_with_scratch` variant taking an explicit
+//! [`Scratch`] pool (the autograd tape threads its own through) and a
+//! plain variant using the thread-local pool, so steady-state training
+//! allocates no column buffers either way.
 
-use yf_tensor::Tensor;
+use crate::im2col::{col2im_add, im2col_into, ColShape};
+use yf_tensor::{gemm, Scratch, Tensor};
 
 /// Static parameters of a convolution.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -47,64 +60,135 @@ fn dims4(t: &[usize]) -> (usize, usize, usize, usize) {
     (t[0], t[1], t[2], t[3])
 }
 
-/// Forward convolution.
+/// All derived dimensions of one convolution, shape-checked once.
+#[derive(Debug, Clone, Copy)]
+struct ConvDims {
+    b: usize,
+    cin: usize,
+    cout: usize,
+    cout_g: usize,
+    /// Weight rows per group flattened: `cin_g * kh * kw`.
+    ckk: usize,
+    /// Output pixels: `ho * wo`.
+    owo: usize,
+    ho: usize,
+    wo: usize,
+    cs: ColShape,
+}
+
+impl ConvDims {
+    fn new(input_shape: &[usize], weight_shape: &[usize], spec: ConvSpec) -> Self {
+        let (b, cin, h, w) = dims4(input_shape);
+        let (cout, cin_g, kh, kw) = dims4(weight_shape);
+        assert!(
+            spec.groups > 0 && spec.stride > 0,
+            "conv2d: bad spec {spec:?}"
+        );
+        assert_eq!(cin % spec.groups, 0, "conv2d: cin {cin} % groups");
+        assert_eq!(cout % spec.groups, 0, "conv2d: cout {cout} % groups");
+        assert_eq!(cin / spec.groups, cin_g, "conv2d: weight channel mismatch");
+        let (ho, wo) = (spec.out_extent(h, kh), spec.out_extent(w, kw));
+        ConvDims {
+            b,
+            cin,
+            cout,
+            cout_g: cout / spec.groups,
+            ckk: cin_g * kh * kw,
+            owo: ho * wo,
+            ho,
+            wo,
+            cs: ColShape {
+                cin_g,
+                h,
+                w,
+                kh,
+                kw,
+                ho,
+                wo,
+            },
+        }
+    }
+
+    /// Whether the convolution is a pure channel mix (1x1, stride 1, no
+    /// padding): the column matrix would equal the input slice, so the
+    /// unroll is skipped entirely.
+    fn is_pointwise(&self, spec: ConvSpec) -> bool {
+        self.cs.kh == 1 && self.cs.kw == 1 && spec.stride == 1 && spec.padding == 0
+    }
+
+    /// Flat range of the (batch `bi`, group `g`) input slice.
+    fn x_slice(&self, bi: usize, g: usize) -> std::ops::Range<usize> {
+        let start = (bi * self.cin + g * self.cs.cin_g) * self.cs.h * self.cs.w;
+        start..start + self.cs.cin_g * self.cs.h * self.cs.w
+    }
+
+    /// Flat range of the (batch `bi`, group `g`) output slice.
+    fn o_slice(&self, bi: usize, g: usize) -> std::ops::Range<usize> {
+        let start = (bi * self.cout + g * self.cout_g) * self.owo;
+        start..start + self.cout_g * self.owo
+    }
+
+    /// Flat range of group `g`'s weight block `[cout_g, ckk]`.
+    fn w_slice(&self, g: usize) -> std::ops::Range<usize> {
+        let start = g * self.cout_g * self.ckk;
+        start..start + self.cout_g * self.ckk
+    }
+}
+
+/// Forward convolution via im2col + GEMM.
 ///
 /// # Panics
 ///
 /// Panics on rank/shape mismatches or if channel counts are not divisible
 /// by `groups`.
 pub fn conv2d_forward(input: &Tensor, weight: &Tensor, spec: ConvSpec) -> Tensor {
-    let (b, cin, h, w) = dims4(input.shape());
-    let (cout, cin_g, kh, kw) = dims4(weight.shape());
-    assert!(
-        spec.groups > 0 && spec.stride > 0,
-        "conv2d: bad spec {spec:?}"
-    );
-    assert_eq!(cin % spec.groups, 0, "conv2d: cin {cin} % groups");
-    assert_eq!(cout % spec.groups, 0, "conv2d: cout {cout} % groups");
-    assert_eq!(cin / spec.groups, cin_g, "conv2d: weight channel mismatch");
-    let (ho, wo) = (spec.out_extent(h, kh), spec.out_extent(w, kw));
-    let mut out = vec![0.0f32; b * cout * ho * wo];
-    let cout_g = cout / spec.groups;
+    Scratch::with_thread_local(|s| conv2d_forward_with_scratch(input, weight, spec, s))
+}
+
+/// [`conv2d_forward`] with an explicit scratch pool for column buffers.
+pub fn conv2d_forward_with_scratch(
+    input: &Tensor,
+    weight: &Tensor,
+    spec: ConvSpec,
+    scratch: &mut Scratch,
+) -> Tensor {
+    let d = ConvDims::new(input.shape(), weight.shape(), spec);
+    let mut out = vec![0.0f32; d.b * d.cout * d.owo];
     let x = input.data();
     let wt = weight.data();
-    for bi in 0..b {
-        for g in 0..spec.groups {
-            for ocl in 0..cout_g {
-                let oc = g * cout_g + ocl;
-                for icl in 0..cin_g {
-                    let ic = g * cin_g + icl;
-                    let x_base = (bi * cin + ic) * h * w;
-                    let w_base = (oc * cin_g + icl) * kh * kw;
-                    let o_base = (bi * cout + oc) * ho * wo;
-                    for oy in 0..ho {
-                        let iy0 = oy * spec.stride;
-                        for ox in 0..wo {
-                            let ix0 = ox * spec.stride;
-                            let mut acc = 0.0f32;
-                            for ky in 0..kh {
-                                let iy = iy0 + ky;
-                                if iy < spec.padding || iy - spec.padding >= h {
-                                    continue;
-                                }
-                                let row = x_base + (iy - spec.padding) * w;
-                                let wrow = w_base + ky * kw;
-                                for kx in 0..kw {
-                                    let ix = ix0 + kx;
-                                    if ix < spec.padding || ix - spec.padding >= w {
-                                        continue;
-                                    }
-                                    acc += x[row + ix - spec.padding] * wt[wrow + kx];
-                                }
-                            }
-                            out[o_base + oy * wo + ox] += acc;
-                        }
-                    }
-                }
+    if d.is_pointwise(spec) {
+        for bi in 0..d.b {
+            for g in 0..spec.groups {
+                gemm::gemm_nn(
+                    d.cout_g,
+                    d.owo,
+                    d.ckk,
+                    &wt[d.w_slice(g)],
+                    &x[d.x_slice(bi, g)],
+                    0.0,
+                    &mut out[d.o_slice(bi, g)],
+                );
             }
         }
+    } else {
+        let mut cols = scratch.take(d.ckk * d.owo);
+        for bi in 0..d.b {
+            for g in 0..spec.groups {
+                im2col_into(&x[d.x_slice(bi, g)], d.cs, spec, &mut cols);
+                gemm::gemm_nn(
+                    d.cout_g,
+                    d.owo,
+                    d.ckk,
+                    &wt[d.w_slice(g)],
+                    &cols,
+                    0.0,
+                    &mut out[d.o_slice(bi, g)],
+                );
+            }
+        }
+        scratch.put(cols);
     }
-    Tensor::from_vec(out, &[b, cout, ho, wo])
+    Tensor::from_vec(out, &[d.b, d.cout, d.ho, d.wo])
 }
 
 /// Gradient of the convolution with respect to its input.
@@ -114,50 +198,56 @@ pub fn conv2d_backward_input(
     grad_out: &Tensor,
     spec: ConvSpec,
 ) -> Tensor {
-    let (b, cin, h, w) = dims4(input_shape);
-    let (cout, cin_g, kh, kw) = dims4(weight.shape());
-    let (_, _, ho, wo) = dims4(grad_out.shape());
-    let cout_g = cout / spec.groups;
-    let mut dx = vec![0.0f32; b * cin * h * w];
+    Scratch::with_thread_local(|s| {
+        conv2d_backward_input_with_scratch(input_shape, weight, grad_out, spec, s)
+    })
+}
+
+/// [`conv2d_backward_input`] with an explicit scratch pool.
+pub fn conv2d_backward_input_with_scratch(
+    input_shape: &[usize],
+    weight: &Tensor,
+    grad_out: &Tensor,
+    spec: ConvSpec,
+    scratch: &mut Scratch,
+) -> Tensor {
+    let d = ConvDims::new(input_shape, weight.shape(), spec);
+    debug_assert_eq!(grad_out.shape(), &[d.b, d.cout, d.ho, d.wo]);
+    let mut dx = vec![0.0f32; d.b * d.cin * d.cs.h * d.cs.w];
     let go = grad_out.data();
     let wt = weight.data();
-    for bi in 0..b {
-        for g in 0..spec.groups {
-            for ocl in 0..cout_g {
-                let oc = g * cout_g + ocl;
-                for icl in 0..cin_g {
-                    let ic = g * cin_g + icl;
-                    let x_base = (bi * cin + ic) * h * w;
-                    let w_base = (oc * cin_g + icl) * kh * kw;
-                    let o_base = (bi * cout + oc) * ho * wo;
-                    for oy in 0..ho {
-                        let iy0 = oy * spec.stride;
-                        for ox in 0..wo {
-                            let ix0 = ox * spec.stride;
-                            let g_out = go[o_base + oy * wo + ox];
-                            if g_out == 0.0 {
-                                continue;
-                            }
-                            for ky in 0..kh {
-                                let iy = iy0 + ky;
-                                if iy < spec.padding || iy - spec.padding >= h {
-                                    continue;
-                                }
-                                let row = x_base + (iy - spec.padding) * w;
-                                let wrow = w_base + ky * kw;
-                                for kx in 0..kw {
-                                    let ix = ix0 + kx;
-                                    if ix < spec.padding || ix - spec.padding >= w {
-                                        continue;
-                                    }
-                                    dx[row + ix - spec.padding] += g_out * wt[wrow + kx];
-                                }
-                            }
-                        }
-                    }
-                }
+    if d.is_pointwise(spec) {
+        for bi in 0..d.b {
+            for g in 0..spec.groups {
+                // dx = Wᵀ · dy, written straight into the image slice.
+                gemm::gemm_tn(
+                    d.ckk,
+                    d.owo,
+                    d.cout_g,
+                    &wt[d.w_slice(g)],
+                    &go[d.o_slice(bi, g)],
+                    0.0,
+                    &mut dx[d.x_slice(bi, g)],
+                );
             }
         }
+    } else {
+        let mut dcols = scratch.take(d.ckk * d.owo);
+        for bi in 0..d.b {
+            for g in 0..spec.groups {
+                gemm::gemm_tn(
+                    d.ckk,
+                    d.owo,
+                    d.cout_g,
+                    &wt[d.w_slice(g)],
+                    &go[d.o_slice(bi, g)],
+                    0.0,
+                    &mut dcols,
+                );
+                col2im_add(&dcols, d.cs, spec, &mut dx[d.x_slice(bi, g)]);
+            }
+        }
+        scratch.put(dcols);
     }
     Tensor::from_vec(dx, input_shape)
 }
@@ -169,43 +259,167 @@ pub fn conv2d_backward_weight(
     grad_out: &Tensor,
     spec: ConvSpec,
 ) -> Tensor {
-    let (b, cin, h, w) = dims4(input.shape());
-    let (cout, cin_g, kh, kw) = dims4(weight_shape);
-    let (_, _, ho, wo) = dims4(grad_out.shape());
-    let cout_g = cout / spec.groups;
-    let mut dw = vec![0.0f32; cout * cin_g * kh * kw];
-    let go = grad_out.data();
+    Scratch::with_thread_local(|s| {
+        conv2d_backward_weight_with_scratch(input, weight_shape, grad_out, spec, s)
+    })
+}
+
+/// [`conv2d_backward_weight`] with an explicit scratch pool.
+pub fn conv2d_backward_weight_with_scratch(
+    input: &Tensor,
+    weight_shape: &[usize],
+    grad_out: &Tensor,
+    spec: ConvSpec,
+    scratch: &mut Scratch,
+) -> Tensor {
+    let d = ConvDims::new(input.shape(), weight_shape, spec);
+    debug_assert_eq!(grad_out.shape(), &[d.b, d.cout, d.ho, d.wo]);
+    let mut dw = vec![0.0f32; d.cout * d.ckk];
     let x = input.data();
-    for bi in 0..b {
-        for g in 0..spec.groups {
-            for ocl in 0..cout_g {
-                let oc = g * cout_g + ocl;
-                for icl in 0..cin_g {
-                    let ic = g * cin_g + icl;
-                    let x_base = (bi * cin + ic) * h * w;
-                    let w_base = (oc * cin_g + icl) * kh * kw;
-                    let o_base = (bi * cout + oc) * ho * wo;
-                    for oy in 0..ho {
-                        let iy0 = oy * spec.stride;
-                        for ox in 0..wo {
-                            let ix0 = ox * spec.stride;
-                            let g_out = go[o_base + oy * wo + ox];
-                            if g_out == 0.0 {
-                                continue;
-                            }
-                            for ky in 0..kh {
-                                let iy = iy0 + ky;
-                                if iy < spec.padding || iy - spec.padding >= h {
-                                    continue;
-                                }
-                                let row = x_base + (iy - spec.padding) * w;
-                                let wrow = w_base + ky * kw;
-                                for kx in 0..kw {
-                                    let ix = ix0 + kx;
-                                    if ix < spec.padding || ix - spec.padding >= w {
+    let go = grad_out.data();
+    if d.is_pointwise(spec) {
+        for bi in 0..d.b {
+            for g in 0..spec.groups {
+                // dW += dy · xᵀ, accumulated across the batch.
+                gemm::gemm_nt(
+                    d.cout_g,
+                    d.ckk,
+                    d.owo,
+                    &go[d.o_slice(bi, g)],
+                    &x[d.x_slice(bi, g)],
+                    1.0,
+                    &mut dw[d.w_slice(g)],
+                );
+            }
+        }
+    } else {
+        let mut cols = scratch.take(d.ckk * d.owo);
+        for bi in 0..d.b {
+            for g in 0..spec.groups {
+                im2col_into(&x[d.x_slice(bi, g)], d.cs, spec, &mut cols);
+                gemm::gemm_nt(
+                    d.cout_g,
+                    d.ckk,
+                    d.owo,
+                    &go[d.o_slice(bi, g)],
+                    &cols,
+                    1.0,
+                    &mut dw[d.w_slice(g)],
+                );
+            }
+        }
+        scratch.put(cols);
+    }
+    Tensor::from_vec(dw, weight_shape)
+}
+
+/// The seed repository's direct convolution loops, retained verbatim as
+/// the ground truth the GEMM-lowered kernels are cross-checked against
+/// (and as the perf baseline `perf_report` measures speedups over).
+pub mod reference {
+    use super::{dims4, ConvSpec};
+    use yf_tensor::Tensor;
+
+    /// Direct-loop forward convolution.
+    pub fn conv2d_forward(input: &Tensor, weight: &Tensor, spec: ConvSpec) -> Tensor {
+        let (b, cin, h, w) = dims4(input.shape());
+        let (cout, cin_g, kh, kw) = dims4(weight.shape());
+        assert!(
+            spec.groups > 0 && spec.stride > 0,
+            "conv2d: bad spec {spec:?}"
+        );
+        assert_eq!(cin % spec.groups, 0, "conv2d: cin {cin} % groups");
+        assert_eq!(cout % spec.groups, 0, "conv2d: cout {cout} % groups");
+        assert_eq!(cin / spec.groups, cin_g, "conv2d: weight channel mismatch");
+        let (ho, wo) = (spec.out_extent(h, kh), spec.out_extent(w, kw));
+        let mut out = vec![0.0f32; b * cout * ho * wo];
+        let cout_g = cout / spec.groups;
+        let x = input.data();
+        let wt = weight.data();
+        for bi in 0..b {
+            for g in 0..spec.groups {
+                for ocl in 0..cout_g {
+                    let oc = g * cout_g + ocl;
+                    for icl in 0..cin_g {
+                        let ic = g * cin_g + icl;
+                        let x_base = (bi * cin + ic) * h * w;
+                        let w_base = (oc * cin_g + icl) * kh * kw;
+                        let o_base = (bi * cout + oc) * ho * wo;
+                        for oy in 0..ho {
+                            let iy0 = oy * spec.stride;
+                            for ox in 0..wo {
+                                let ix0 = ox * spec.stride;
+                                let mut acc = 0.0f32;
+                                for ky in 0..kh {
+                                    let iy = iy0 + ky;
+                                    if iy < spec.padding || iy - spec.padding >= h {
                                         continue;
                                     }
-                                    dw[wrow + kx] += g_out * x[row + ix - spec.padding];
+                                    let row = x_base + (iy - spec.padding) * w;
+                                    let wrow = w_base + ky * kw;
+                                    for kx in 0..kw {
+                                        let ix = ix0 + kx;
+                                        if ix < spec.padding || ix - spec.padding >= w {
+                                            continue;
+                                        }
+                                        acc += x[row + ix - spec.padding] * wt[wrow + kx];
+                                    }
+                                }
+                                out[o_base + oy * wo + ox] += acc;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        Tensor::from_vec(out, &[b, cout, ho, wo])
+    }
+
+    /// Direct-loop gradient with respect to the input.
+    pub fn conv2d_backward_input(
+        input_shape: &[usize],
+        weight: &Tensor,
+        grad_out: &Tensor,
+        spec: ConvSpec,
+    ) -> Tensor {
+        let (b, cin, h, w) = dims4(input_shape);
+        let (cout, cin_g, kh, kw) = dims4(weight.shape());
+        let (_, _, ho, wo) = dims4(grad_out.shape());
+        let cout_g = cout / spec.groups;
+        let mut dx = vec![0.0f32; b * cin * h * w];
+        let go = grad_out.data();
+        let wt = weight.data();
+        for bi in 0..b {
+            for g in 0..spec.groups {
+                for ocl in 0..cout_g {
+                    let oc = g * cout_g + ocl;
+                    for icl in 0..cin_g {
+                        let ic = g * cin_g + icl;
+                        let x_base = (bi * cin + ic) * h * w;
+                        let w_base = (oc * cin_g + icl) * kh * kw;
+                        let o_base = (bi * cout + oc) * ho * wo;
+                        for oy in 0..ho {
+                            let iy0 = oy * spec.stride;
+                            for ox in 0..wo {
+                                let ix0 = ox * spec.stride;
+                                let g_out = go[o_base + oy * wo + ox];
+                                if g_out == 0.0 {
+                                    continue;
+                                }
+                                for ky in 0..kh {
+                                    let iy = iy0 + ky;
+                                    if iy < spec.padding || iy - spec.padding >= h {
+                                        continue;
+                                    }
+                                    let row = x_base + (iy - spec.padding) * w;
+                                    let wrow = w_base + ky * kw;
+                                    for kx in 0..kw {
+                                        let ix = ix0 + kx;
+                                        if ix < spec.padding || ix - spec.padding >= w {
+                                            continue;
+                                        }
+                                        dx[row + ix - spec.padding] += g_out * wt[wrow + kx];
+                                    }
                                 }
                             }
                         }
@@ -213,13 +427,69 @@ pub fn conv2d_backward_weight(
                 }
             }
         }
+        Tensor::from_vec(dx, input_shape)
     }
-    Tensor::from_vec(dw, weight_shape)
+
+    /// Direct-loop gradient with respect to the weight.
+    pub fn conv2d_backward_weight(
+        input: &Tensor,
+        weight_shape: &[usize],
+        grad_out: &Tensor,
+        spec: ConvSpec,
+    ) -> Tensor {
+        let (b, cin, h, w) = dims4(input.shape());
+        let (cout, cin_g, kh, kw) = dims4(weight_shape);
+        let (_, _, ho, wo) = dims4(grad_out.shape());
+        let cout_g = cout / spec.groups;
+        let mut dw = vec![0.0f32; cout * cin_g * kh * kw];
+        let go = grad_out.data();
+        let x = input.data();
+        for bi in 0..b {
+            for g in 0..spec.groups {
+                for ocl in 0..cout_g {
+                    let oc = g * cout_g + ocl;
+                    for icl in 0..cin_g {
+                        let ic = g * cin_g + icl;
+                        let x_base = (bi * cin + ic) * h * w;
+                        let w_base = (oc * cin_g + icl) * kh * kw;
+                        let o_base = (bi * cout + oc) * ho * wo;
+                        for oy in 0..ho {
+                            let iy0 = oy * spec.stride;
+                            for ox in 0..wo {
+                                let ix0 = ox * spec.stride;
+                                let g_out = go[o_base + oy * wo + ox];
+                                if g_out == 0.0 {
+                                    continue;
+                                }
+                                for ky in 0..kh {
+                                    let iy = iy0 + ky;
+                                    if iy < spec.padding || iy - spec.padding >= h {
+                                        continue;
+                                    }
+                                    let row = x_base + (iy - spec.padding) * w;
+                                    let wrow = w_base + ky * kw;
+                                    for kx in 0..kw {
+                                        let ix = ix0 + kx;
+                                        if ix < spec.padding || ix - spec.padding >= w {
+                                            continue;
+                                        }
+                                        dw[wrow + kx] += g_out * x[row + ix - spec.padding];
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        Tensor::from_vec(dw, weight_shape)
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use yf_tensor::rng::Pcg32;
 
     #[test]
     fn identity_kernel_passthrough() {
@@ -280,6 +550,39 @@ mod tests {
         let out = conv2d_forward(&input, &weight, spec);
         assert_eq!(&out.data()[0..4], &[0.0; 4]); // group 0 sees zeros
         assert_eq!(&out.data()[4..8], &[1.0; 4]); // group 1 sees ones
+    }
+
+    #[test]
+    fn lowered_kernels_match_reference() {
+        // A grouped, strided, padded case through all three passes.
+        let spec = ConvSpec {
+            stride: 2,
+            padding: 1,
+            groups: 2,
+        };
+        let mut rng = Pcg32::seed(33);
+        let input = Tensor::randn(&[2, 4, 7, 6], &mut rng);
+        let weight = Tensor::randn(&[6, 2, 3, 3], &mut rng);
+        let out = conv2d_forward(&input, &weight, spec);
+        let out_ref = reference::conv2d_forward(&input, &weight, spec);
+        assert_eq!(out.shape(), out_ref.shape());
+        let grad = Tensor::randn(out.shape(), &mut rng);
+        let pairs = [
+            (out, out_ref),
+            (
+                conv2d_backward_input(input.shape(), &weight, &grad, spec),
+                reference::conv2d_backward_input(input.shape(), &weight, &grad, spec),
+            ),
+            (
+                conv2d_backward_weight(&input, weight.shape(), &grad, spec),
+                reference::conv2d_backward_weight(&input, weight.shape(), &grad, spec),
+            ),
+        ];
+        for (got, want) in &pairs {
+            for (g, w) in got.data().iter().zip(want.data()) {
+                assert!((g - w).abs() <= 1e-4 * (1.0 + w.abs()), "{g} vs {w}");
+            }
+        }
     }
 
     #[test]

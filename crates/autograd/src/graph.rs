@@ -1,6 +1,6 @@
 //! The tape: nodes, eager forward evaluation, and the public op surface.
 
-use crate::conv::{conv2d_forward, ConvSpec};
+use crate::conv::ConvSpec;
 use crate::norm::{batch_norm_forward, BnSaved};
 use yf_tensor::Tensor;
 
@@ -20,6 +20,9 @@ pub(crate) enum Op {
     /// `[B, C, H, W] + [C]` broadcast per channel.
     AddChanBias(NodeId, NodeId),
     MatMul(NodeId, NodeId),
+    /// `a · bᵀ` with `b` stored `[n, k]` — the fused-transpose product
+    /// used by tied output projections.
+    MatMulNT(NodeId, NodeId),
     Relu(NodeId),
     Tanh(NodeId),
     Sigmoid(NodeId),
@@ -94,12 +97,15 @@ pub(crate) struct Node {
 #[derive(Debug, Default)]
 pub struct Graph {
     pub(crate) nodes: Vec<Node>,
+    /// Reusable column/packing buffers threaded through the conv kernels,
+    /// so repeated forward/backward passes stop allocating per op.
+    pub(crate) scratch: yf_tensor::Scratch,
 }
 
 impl Graph {
     /// Creates an empty tape.
     pub fn new() -> Self {
-        Graph { nodes: Vec::new() }
+        Graph::default()
     }
 
     /// Number of recorded nodes.
@@ -215,6 +221,15 @@ impl Graph {
     pub fn matmul(&mut self, a: NodeId, b: NodeId) -> NodeId {
         let v = self.value(a).matmul(self.value(b));
         self.binary(Op::MatMul(a, b), a, b, v)
+    }
+
+    /// Fused `a · bᵀ` of rank-2 nodes (`a: [m, k]`, `b: [n, k]`), without
+    /// materializing the transpose in either pass — the backward products
+    /// are fused-transpose GEMMs too. This is how tied output projections
+    /// (`logits = h Eᵀ`) reuse an embedding table.
+    pub fn matmul_nt(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        let v = self.value(a).matmul_nt(self.value(b));
+        self.binary(Op::MatMulNT(a, b), a, b, v)
     }
 
     /// Rectified linear unit.
@@ -361,7 +376,16 @@ impl Graph {
 
     /// 2-D convolution of `[B, Cin, H, W]` with `[Cout, Cin/groups, KH, KW]`.
     pub fn conv2d(&mut self, input: NodeId, weight: NodeId, spec: ConvSpec) -> NodeId {
-        let v = conv2d_forward(self.value(input), self.value(weight), spec);
+        // Detach the scratch pool so the kernel can borrow it mutably
+        // while reading node values out of `self`.
+        let mut scratch = std::mem::take(&mut self.scratch);
+        let v = crate::conv::conv2d_forward_with_scratch(
+            self.value(input),
+            self.value(weight),
+            spec,
+            &mut scratch,
+        );
+        self.scratch = scratch;
         self.binary(
             Op::Conv2d {
                 input,

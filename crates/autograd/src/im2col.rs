@@ -1,0 +1,237 @@
+//! im2col/col2im lowering: 2-D convolution as GEMM.
+//!
+//! One (batch, group) image slice `[Cin/g, H, W]` unrolls into a column
+//! matrix `[Cin/g * KH * KW, Ho * Wo]`; convolution is then a single
+//! `[Cout/g, Cin/g*KH*KW] x [Cin/g*KH*KW, Ho*Wo]` matrix product per
+//! (batch, group) against the packed GEMM in `yf_tensor::gemm`. Both
+//! backward passes are the matching transposed products, with
+//! [`col2im_add`] scattering the column gradient back to image layout.
+//!
+//! The unroll walks output rows, not individual taps: each `(channel, ky,
+//! kx)` row of the column matrix is filled per output row with one
+//! bounds computation, so the padding-free interior (every row of an
+//! unpadded convolution, and all interior rows of a padded one) is
+//! `copy_from_slice` runs at stride 1 and a tight gather at larger
+//! strides — no per-element padding checks anywhere.
+//!
+//! Column buffers come from a caller-provided
+//! [`Scratch`](yf_tensor::Scratch) pool, so steady-state training reuses
+//! one allocation per shape.
+
+use crate::conv::ConvSpec;
+
+/// Geometry of one (batch, group) column unroll, shared by the three
+/// conv kernels.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct ColShape {
+    /// Channels per group.
+    pub cin_g: usize,
+    /// Input spatial extents.
+    pub h: usize,
+    pub w: usize,
+    /// Kernel spatial extents.
+    pub kh: usize,
+    pub kw: usize,
+    /// Output spatial extents.
+    pub ho: usize,
+    pub wo: usize,
+}
+
+impl ColShape {
+    /// Rows of the column matrix: one per (channel, ky, kx) tap.
+    pub fn rows(&self) -> usize {
+        self.cin_g * self.kh * self.kw
+    }
+
+    /// Columns of the column matrix: one per output pixel.
+    pub fn cols(&self) -> usize {
+        self.ho * self.wo
+    }
+
+    /// The valid output-x range `[lo, hi)` for tap column `kx`, i.e. the
+    /// `ox` whose input column `ox*stride + kx - padding` lands in
+    /// `[0, w)`. Everything outside is padding.
+    fn ox_range(&self, kx: usize, spec: ConvSpec) -> (usize, usize) {
+        let lo = if kx >= spec.padding {
+            0
+        } else {
+            (spec.padding - kx).div_ceil(spec.stride)
+        };
+        let hi = if self.w + spec.padding > kx {
+            self.wo
+                .min((self.w + spec.padding - kx - 1) / spec.stride + 1)
+        } else {
+            0
+        };
+        (lo.min(self.wo), hi.max(lo).min(self.wo))
+    }
+}
+
+/// Unrolls one image slice `x: [cin_g, h, w]` into `cols: [rows(), cols()]`.
+pub(crate) fn im2col_into(x: &[f32], cs: ColShape, spec: ConvSpec, cols: &mut [f32]) {
+    debug_assert_eq!(x.len(), cs.cin_g * cs.h * cs.w);
+    debug_assert_eq!(cols.len(), cs.rows() * cs.cols());
+    let (st, pad) = (spec.stride, spec.padding);
+    let mut dst_rows = cols.chunks_exact_mut(cs.cols());
+    for ic in 0..cs.cin_g {
+        let plane = &x[ic * cs.h * cs.w..(ic + 1) * cs.h * cs.w];
+        for ky in 0..cs.kh {
+            for kx in 0..cs.kw {
+                let dst = dst_rows.next().expect("cols row count");
+                let (ox_lo, ox_hi) = cs.ox_range(kx, spec);
+                for oy in 0..cs.ho {
+                    let iy = oy * st + ky;
+                    let seg = &mut dst[oy * cs.wo..(oy + 1) * cs.wo];
+                    if iy < pad || iy - pad >= cs.h {
+                        seg.fill(0.0);
+                        continue;
+                    }
+                    let src = &plane[(iy - pad) * cs.w..(iy - pad + 1) * cs.w];
+                    seg[..ox_lo].fill(0.0);
+                    seg[ox_hi..].fill(0.0);
+                    if st == 1 {
+                        // Interior fast path: one contiguous run.
+                        let i0 = ox_lo + kx - pad;
+                        seg[ox_lo..ox_hi].copy_from_slice(&src[i0..i0 + (ox_hi - ox_lo)]);
+                    } else {
+                        for (ox, slot) in seg[ox_lo..ox_hi].iter_mut().enumerate() {
+                            *slot = src[(ox_lo + ox) * st + kx - pad];
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Scatter-adds a column matrix back into an image slice:
+/// `dx[ic, iy, ix] += cols[(ic,ky,kx), (oy,ox)]` over every tap that read
+/// that pixel. Exact adjoint of [`im2col_into`].
+pub(crate) fn col2im_add(cols: &[f32], cs: ColShape, spec: ConvSpec, dx: &mut [f32]) {
+    debug_assert_eq!(dx.len(), cs.cin_g * cs.h * cs.w);
+    debug_assert_eq!(cols.len(), cs.rows() * cs.cols());
+    let (st, pad) = (spec.stride, spec.padding);
+    let mut src_rows = cols.chunks_exact(cs.cols());
+    for ic in 0..cs.cin_g {
+        let plane = &mut dx[ic * cs.h * cs.w..(ic + 1) * cs.h * cs.w];
+        for ky in 0..cs.kh {
+            for kx in 0..cs.kw {
+                let src = src_rows.next().expect("cols row count");
+                let (ox_lo, ox_hi) = cs.ox_range(kx, spec);
+                for oy in 0..cs.ho {
+                    let iy = oy * st + ky;
+                    if iy < pad || iy - pad >= cs.h {
+                        continue;
+                    }
+                    let seg = &src[oy * cs.wo..(oy + 1) * cs.wo];
+                    let drow = &mut plane[(iy - pad) * cs.w..(iy - pad + 1) * cs.w];
+                    if st == 1 {
+                        let i0 = ox_lo + kx - pad;
+                        for (slot, &g) in drow[i0..i0 + (ox_hi - ox_lo)]
+                            .iter_mut()
+                            .zip(&seg[ox_lo..ox_hi])
+                        {
+                            *slot += g;
+                        }
+                    } else {
+                        for (ox, &g) in seg[ox_lo..ox_hi].iter().enumerate() {
+                            drow[(ox_lo + ox) * st + kx - pad] += g;
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn unroll_naive(x: &[f32], cs: ColShape, spec: ConvSpec) -> Vec<f32> {
+        let mut cols = vec![0.0f32; cs.rows() * cs.cols()];
+        for ic in 0..cs.cin_g {
+            for ky in 0..cs.kh {
+                for kx in 0..cs.kw {
+                    let row = (ic * cs.kh + ky) * cs.kw + kx;
+                    for oy in 0..cs.ho {
+                        for ox in 0..cs.wo {
+                            let iy = (oy * spec.stride + ky) as isize - spec.padding as isize;
+                            let ix = (ox * spec.stride + kx) as isize - spec.padding as isize;
+                            if iy < 0 || ix < 0 || iy >= cs.h as isize || ix >= cs.w as isize {
+                                continue;
+                            }
+                            cols[row * cs.cols() + oy * cs.wo + ox] =
+                                x[(ic * cs.h + iy as usize) * cs.w + ix as usize];
+                        }
+                    }
+                }
+            }
+        }
+        cols
+    }
+
+    #[test]
+    fn matches_naive_unroll_across_geometries() {
+        for &(h, w, kh, kw, stride, padding) in &[
+            (5, 5, 3, 3, 1, 1),
+            (5, 7, 3, 3, 2, 1),
+            (4, 4, 1, 1, 1, 0),
+            (6, 6, 3, 3, 1, 0),
+            (7, 5, 5, 3, 2, 2),
+            (3, 3, 3, 3, 1, 2),
+        ] {
+            let spec = ConvSpec {
+                stride,
+                padding,
+                groups: 1,
+            };
+            let cs = ColShape {
+                cin_g: 2,
+                h,
+                w,
+                kh,
+                kw,
+                ho: spec.out_extent(h, kh),
+                wo: spec.out_extent(w, kw),
+            };
+            let x: Vec<f32> = (0..2 * h * w).map(|v| v as f32 + 1.0).collect();
+            let want = unroll_naive(&x, cs, spec);
+            let mut got = vec![f32::NAN; want.len()];
+            im2col_into(&x, cs, spec, &mut got);
+            assert_eq!(got, want, "h{h} w{w} k{kh}x{kw} s{stride} p{padding}");
+        }
+    }
+
+    #[test]
+    fn col2im_is_adjoint_of_im2col() {
+        // <im2col(x), y> == <x, col2im(y)> for random-ish x, y.
+        let spec = ConvSpec {
+            stride: 2,
+            padding: 1,
+            groups: 1,
+        };
+        let cs = ColShape {
+            cin_g: 3,
+            h: 5,
+            w: 6,
+            kh: 3,
+            kw: 3,
+            ho: spec.out_extent(5, 3),
+            wo: spec.out_extent(6, 3),
+        };
+        let x: Vec<f32> = (0..cs.cin_g * cs.h * cs.w)
+            .map(|v| (v as f32 * 0.37).sin())
+            .collect();
+        let y: Vec<f32> = (0..cs.rows() * cs.cols())
+            .map(|v| (v as f32 * 0.71).cos())
+            .collect();
+        let mut cols = vec![0.0f32; y.len()];
+        im2col_into(&x, cs, spec, &mut cols);
+        let lhs: f64 = cols.iter().zip(&y).map(|(&a, &b)| f64::from(a * b)).sum();
+        let mut xt = vec![0.0f32; x.len()];
+        col2im_add(&y, cs, spec, &mut xt);
+        let rhs: f64 = x.iter().zip(&xt).map(|(&a, &b)| f64::from(a * b)).sum();
+        assert!((lhs - rhs).abs() < 1e-3, "{lhs} vs {rhs}");
+    }
+}

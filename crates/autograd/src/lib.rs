@@ -25,8 +25,9 @@
 
 mod backward;
 pub mod check;
-mod conv;
+pub mod conv;
 mod graph;
+mod im2col;
 mod norm;
 
 pub use conv::ConvSpec;

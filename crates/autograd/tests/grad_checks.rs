@@ -42,6 +42,22 @@ fn matmul() {
 }
 
 #[test]
+fn matmul_nt() {
+    // y = a bᵀ with b stored [n, k] — the fused-transpose product used by
+    // tied output projections.
+    let a = randn(&[3, 5], 13);
+    let b = randn(&[4, 5], 14);
+    assert_grads_close(
+        &[a, b],
+        |g, ids| {
+            let c = g.matmul_nt(ids[0], ids[1]);
+            g.sum_all(c)
+        },
+        TOL,
+    );
+}
+
+#[test]
 fn matmul_mean() {
     let a = randn(&[2, 3], 5);
     let b = randn(&[3, 4], 6);

@@ -1,0 +1,93 @@
+//! Property tests: the im2col/GEMM convolution kernels must match the
+//! retained direct reference loops across random shapes, strides,
+//! paddings, and groups — forward and both backward passes.
+
+use proptest::prelude::*;
+use yf_autograd::conv::{
+    self, conv2d_backward_input, conv2d_backward_weight, conv2d_forward, reference,
+};
+use yf_autograd::ConvSpec;
+use yf_tensor::rng::Pcg32;
+use yf_tensor::Tensor;
+
+fn close(got: &Tensor, want: &Tensor, tag: &str) -> Result<(), String> {
+    if got.shape() != want.shape() {
+        return Err(format!(
+            "{tag}: shape {:?} vs {:?}",
+            got.shape(),
+            want.shape()
+        ));
+    }
+    for (i, (g, w)) in got.data().iter().zip(want.data()).enumerate() {
+        if (g - w).abs() > 1e-4 * (1.0 + w.abs()) {
+            return Err(format!("{tag}[{i}]: {g} vs {w}"));
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    #[test]
+    fn conv_matches_reference_kernels(
+        b in 1usize..3,
+        groups in 1usize..4,
+        cin_g in 1usize..4,
+        cout_g in 1usize..4,
+        h in 1usize..9,
+        w in 1usize..9,
+        kh in 1usize..4,
+        kw in 1usize..4,
+        stride in 1usize..3,
+        padding in 0usize..3,
+        seed in any::<u64>(),
+    ) {
+        // Keep the output extent positive: padding alone may not save an
+        // undersized input.
+        let h = h.max(kh);
+        let w = w.max(kw);
+        let spec = ConvSpec { stride, padding, groups };
+        let (cin, cout) = (groups * cin_g, groups * cout_g);
+        let mut rng = Pcg32::seed(seed);
+        let input = Tensor::randn(&[b, cin, h, w], &mut rng);
+        let weight = Tensor::randn(&[cout, cin_g, kh, kw], &mut rng);
+
+        let fwd = conv2d_forward(&input, &weight, spec);
+        let fwd_ref = reference::conv2d_forward(&input, &weight, spec);
+        prop_assert!(close(&fwd, &fwd_ref, "forward").is_ok(),
+            "{:?} b{b} g{groups} {cin}x{h}x{w} k{kh}x{kw}: {:?}",
+            spec, close(&fwd, &fwd_ref, "forward"));
+
+        let grad = Tensor::randn(fwd.shape(), &mut rng);
+        let di = conv2d_backward_input(input.shape(), &weight, &grad, spec);
+        let di_ref = reference::conv2d_backward_input(input.shape(), &weight, &grad, spec);
+        prop_assert!(close(&di, &di_ref, "backward_input").is_ok(),
+            "{:?}: {:?}", spec, close(&di, &di_ref, "backward_input"));
+
+        let dw = conv2d_backward_weight(&input, weight.shape(), &grad, spec);
+        let dw_ref = reference::conv2d_backward_weight(&input, weight.shape(), &grad, spec);
+        prop_assert!(close(&dw, &dw_ref, "backward_weight").is_ok(),
+            "{:?}: {:?}", spec, close(&dw, &dw_ref, "backward_weight"));
+    }
+
+    #[test]
+    fn scratch_variants_match_thread_local_variants(
+        h in 3usize..8, w in 3usize..8, seed in any::<u64>(),
+    ) {
+        // The explicit-scratch entry points are what the tape uses; they
+        // must agree with the default entry points bit for bit.
+        let spec = ConvSpec::same3x3(1);
+        let mut rng = Pcg32::seed(seed);
+        let input = Tensor::randn(&[2, 3, h, w], &mut rng);
+        let weight = Tensor::randn(&[4, 3, 3, 3], &mut rng);
+        let mut scratch = yf_tensor::Scratch::new();
+        let a = conv::conv2d_forward_with_scratch(&input, &weight, spec, &mut scratch);
+        let bt = conv2d_forward(&input, &weight, spec);
+        prop_assert_eq!(a.data(), bt.data());
+        // The pool now holds the column buffer; a second call must reuse
+        // it and still be exact.
+        let c = conv::conv2d_forward_with_scratch(&input, &weight, spec, &mut scratch);
+        prop_assert_eq!(c.data(), bt.data());
+    }
+}

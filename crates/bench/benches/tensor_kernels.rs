@@ -1,4 +1,6 @@
-//! Core tensor kernels: matmul and direct conv2d forward.
+//! Core tensor kernels: blocked GEMM and im2col conv2d at paper-relevant
+//! sizes (LSTM-scale and 256x256 matmuls; ResNet-shaped, strided, and
+//! grouped convolutions).
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
@@ -6,27 +8,80 @@ use yf_autograd::ConvSpec;
 use yf_tensor::rng::Pcg32;
 use yf_tensor::Tensor;
 
-fn bench_tensor(c: &mut Criterion) {
+fn bench_matmul(c: &mut Criterion) {
     let mut rng = Pcg32::seed(1);
-    let a = Tensor::randn(&[64, 64], &mut rng);
-    let b = Tensor::randn(&[64, 64], &mut rng);
-    c.bench_function("matmul_64x64", |bencher| {
-        bencher.iter(|| black_box(&a).matmul(black_box(&b)))
+    for n in [64usize, 256] {
+        let a = Tensor::randn(&[n, n], &mut rng);
+        let b = Tensor::randn(&[n, n], &mut rng);
+        c.bench_function(&format!("matmul_{n}x{n}"), |bencher| {
+            bencher.iter(|| black_box(&a).matmul(black_box(&b)))
+        });
+    }
+    // The fused-transpose product the matmul backward pass runs.
+    let a = Tensor::randn(&[256, 256], &mut rng);
+    let b = Tensor::randn(&[256, 256], &mut rng);
+    c.bench_function("matmul_nt_256x256", |bencher| {
+        bencher.iter(|| black_box(&a).matmul_nt(black_box(&b)))
     });
+}
 
+fn bench_conv(c: &mut Criterion) {
+    let mut rng = Pcg32::seed(2);
+
+    // Small legacy shape, timed through the public graph API (includes
+    // the tape push), so regressions in the op plumbing show up too.
     let input = Tensor::randn(&[4, 8, 12, 12], &mut rng);
     let weight = Tensor::randn(&[8, 8, 3, 3], &mut rng);
-    c.bench_function("conv2d_fwd_4x8x12x12", |bencher| {
+    c.bench_function("conv2d_fwd_graph_4x8x12x12", |bencher| {
         bencher.iter(|| {
-            yf_autograd::Graph::new();
-            // Forward through the public graph API (includes tape push).
             let mut g = yf_autograd::Graph::new();
             let x = g.constant(black_box(input.clone()));
             let w = g.constant(black_box(weight.clone()));
             g.conv2d(x, w, ConvSpec::same3x3(1))
         })
     });
+
+    // ResNet-shaped: a CIFAR stage-1 3x3 block convolution.
+    let input = Tensor::randn(&[8, 16, 32, 32], &mut rng);
+    let weight = Tensor::randn(&[16, 16, 3, 3], &mut rng);
+    c.bench_function("conv2d_fwd_resnet_8x16x32x32", |bencher| {
+        bencher.iter(|| {
+            yf_autograd::conv::conv2d_forward(
+                black_box(&input),
+                black_box(&weight),
+                ConvSpec::same3x3(1),
+            )
+        })
+    });
+
+    // Strided downsampling convolution (stage transition).
+    let weight_s = Tensor::randn(&[32, 16, 3, 3], &mut rng);
+    c.bench_function("conv2d_fwd_strided_8x16x32x32_s2", |bencher| {
+        bencher.iter(|| {
+            yf_autograd::conv::conv2d_forward(
+                black_box(&input),
+                black_box(&weight_s),
+                ConvSpec::same3x3(2),
+            )
+        })
+    });
+
+    // Grouped convolution (the ResNeXt ablation of Appendix J.4).
+    let weight_g = Tensor::randn(&[32, 4, 3, 3], &mut rng);
+    c.bench_function("conv2d_fwd_grouped_8x16x32x32_g4", |bencher| {
+        bencher.iter(|| {
+            yf_autograd::conv::conv2d_forward(
+                black_box(&input),
+                black_box(&weight_g),
+                ConvSpec {
+                    stride: 1,
+                    padding: 1,
+                    groups: 4,
+                },
+            )
+        })
+    });
 }
 
-criterion_group!(benches, bench_tensor);
+criterion_group!(benches, bench_matmul, bench_conv);
 criterion_main!(benches);

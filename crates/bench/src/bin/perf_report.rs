@@ -1,0 +1,276 @@
+//! `perf_report` — times the core compute kernels against the retained
+//! seed/reference kernels and writes `BENCH_kernels.json`.
+//!
+//! This is the repository's perf trajectory: CI runs it on every push and
+//! uploads the JSON as an artifact, so kernel regressions (or wins) are
+//! visible per commit. Each entry records the median ns/op of the current
+//! kernel, the median ns/op of the seed-era kernel doing the same job,
+//! and the resulting speedup.
+//!
+//! Environment knobs:
+//! - `YF_PERF_SAMPLES` — samples per kernel for the median (default 9).
+//! - `YF_PERF_OUT` — output path (default `BENCH_kernels.json`).
+//! - `YF_NUM_THREADS` — kernel-layer thread count, recorded in the JSON.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+use yf_autograd::conv::{self, reference as conv_ref};
+use yf_autograd::ConvSpec;
+use yf_tensor::gemm::reference as gemm_ref;
+use yf_tensor::rng::Pcg32;
+use yf_tensor::{parallel, Tensor};
+
+fn samples() -> usize {
+    std::env::var("YF_PERF_SAMPLES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(9)
+}
+
+/// Median wall-clock ns of `f` over an odd number of samples (one untimed
+/// warmup first).
+fn median_ns(mut f: impl FnMut()) -> u128 {
+    f();
+    let n = samples() | 1;
+    let mut times: Vec<u128> = (0..n)
+        .map(|_| {
+            let t0 = Instant::now();
+            f();
+            t0.elapsed().as_nanos()
+        })
+        .collect();
+    times.sort_unstable();
+    times[times.len() / 2]
+}
+
+struct Entry {
+    name: &'static str,
+    median_ns: u128,
+    seed_median_ns: u128,
+}
+
+impl Entry {
+    fn speedup(&self) -> f64 {
+        self.seed_median_ns as f64 / self.median_ns.max(1) as f64
+    }
+}
+
+fn main() {
+    let mut rng = Pcg32::seed(7);
+    let mut entries: Vec<Entry> = Vec::new();
+    let mut push = |name: &'static str, median_ns: u128, seed_median_ns: u128| {
+        let e = Entry {
+            name,
+            median_ns,
+            seed_median_ns,
+        };
+        println!(
+            "{name:<36} {:>12} ns  seed {:>12} ns  speedup {:>6.2}x",
+            e.median_ns,
+            e.seed_median_ns,
+            e.speedup()
+        );
+        entries.push(e);
+    };
+
+    // --- Dense matmul: new blocked GEMM vs the seed ikj kernel. ---
+    for &n in &[64usize, 256] {
+        let a = Tensor::randn(&[n, n], &mut rng);
+        let b = Tensor::randn(&[n, n], &mut rng);
+        let new = median_ns(|| {
+            std::hint::black_box(a.matmul(&b));
+        });
+        let (ad, bd) = (a.data(), b.data());
+        let seed = median_ns(|| {
+            std::hint::black_box(gemm_ref::matmul_ikj(n, n, n, ad, bd));
+        });
+        push(
+            if n == 64 {
+                "matmul_64x64"
+            } else {
+                "matmul_256x256"
+            },
+            new,
+            seed,
+        );
+    }
+
+    // --- Fused A·Bᵀ vs the seed path (materialize transpose, then ikj),
+    // which is exactly what the matmul backward pass used to do. ---
+    {
+        let n = 256;
+        let a = Tensor::randn(&[n, n], &mut rng);
+        let b = Tensor::randn(&[n, n], &mut rng);
+        let new = median_ns(|| {
+            std::hint::black_box(a.matmul_nt(&b));
+        });
+        let seed = median_ns(|| {
+            let bt = b.transpose();
+            std::hint::black_box(gemm_ref::matmul_ikj(n, n, n, a.data(), bt.data()));
+        });
+        push("matmul_nt_256x256", new, seed);
+    }
+
+    // --- Convolutions: im2col/GEMM vs the seed direct loops. ---
+    // (name, pass, input shape, weight shape, spec)
+    type ConvCase = (
+        &'static str,
+        &'static str,
+        &'static [usize],
+        &'static [usize],
+        ConvSpec,
+    );
+    let conv_cases: &[ConvCase] = &[
+        (
+            "conv2d_fwd_resnet_8x16x32x32",
+            "fwd",
+            &[8, 16, 32, 32],
+            &[16, 16, 3, 3],
+            ConvSpec {
+                stride: 1,
+                padding: 1,
+                groups: 1,
+            },
+        ),
+        (
+            "conv2d_bwd_input_resnet_8x16x32x32",
+            "bwd_input",
+            &[8, 16, 32, 32],
+            &[16, 16, 3, 3],
+            ConvSpec {
+                stride: 1,
+                padding: 1,
+                groups: 1,
+            },
+        ),
+        (
+            "conv2d_bwd_weight_resnet_8x16x32x32",
+            "bwd_weight",
+            &[8, 16, 32, 32],
+            &[16, 16, 3, 3],
+            ConvSpec {
+                stride: 1,
+                padding: 1,
+                groups: 1,
+            },
+        ),
+        (
+            "conv2d_fwd_strided_8x16x32x32_s2",
+            "fwd",
+            &[8, 16, 32, 32],
+            &[32, 16, 3, 3],
+            ConvSpec {
+                stride: 2,
+                padding: 1,
+                groups: 1,
+            },
+        ),
+        (
+            "conv2d_fwd_grouped_8x16x32x32_g4",
+            "fwd",
+            &[8, 16, 32, 32],
+            &[32, 4, 3, 3],
+            ConvSpec {
+                stride: 1,
+                padding: 1,
+                groups: 4,
+            },
+        ),
+        (
+            "conv2d_fwd_pointwise_8x64x16x16",
+            "fwd",
+            &[8, 64, 16, 16],
+            &[64, 64, 1, 1],
+            ConvSpec {
+                stride: 1,
+                padding: 0,
+                groups: 1,
+            },
+        ),
+    ];
+    for &(name, pass, in_shape, w_shape, spec) in conv_cases {
+        let input = Tensor::randn(in_shape, &mut rng);
+        let weight = Tensor::randn(w_shape, &mut rng);
+        let out = conv::conv2d_forward(&input, &weight, spec);
+        let grad = Tensor::randn(out.shape(), &mut rng);
+        let (new, seed) = match pass {
+            "fwd" => (
+                median_ns(|| {
+                    std::hint::black_box(conv::conv2d_forward(&input, &weight, spec));
+                }),
+                median_ns(|| {
+                    std::hint::black_box(conv_ref::conv2d_forward(&input, &weight, spec));
+                }),
+            ),
+            "bwd_input" => (
+                median_ns(|| {
+                    std::hint::black_box(conv::conv2d_backward_input(
+                        input.shape(),
+                        &weight,
+                        &grad,
+                        spec,
+                    ));
+                }),
+                median_ns(|| {
+                    std::hint::black_box(conv_ref::conv2d_backward_input(
+                        input.shape(),
+                        &weight,
+                        &grad,
+                        spec,
+                    ));
+                }),
+            ),
+            _ => (
+                median_ns(|| {
+                    std::hint::black_box(conv::conv2d_backward_weight(
+                        &input,
+                        weight.shape(),
+                        &grad,
+                        spec,
+                    ));
+                }),
+                median_ns(|| {
+                    std::hint::black_box(conv_ref::conv2d_backward_weight(
+                        &input,
+                        weight.shape(),
+                        &grad,
+                        spec,
+                    ));
+                }),
+            ),
+        };
+        push(name, new, seed);
+    }
+
+    // --- Emit BENCH_kernels.json. ---
+    let mut json = String::new();
+    let _ = writeln!(json, "{{");
+    let _ = writeln!(json, "  \"generated_by\": \"perf_report\",");
+    let _ = writeln!(json, "  \"samples_per_kernel\": {},", samples() | 1);
+    let _ = writeln!(json, "  \"threads\": {},", parallel::num_threads());
+    let _ = writeln!(
+        json,
+        "  \"simd\": \"{}\",",
+        yf_tensor::gemm::detected_simd()
+    );
+    let _ = writeln!(json, "  \"unit\": \"median ns per op\",");
+    let _ = writeln!(json, "  \"kernels\": {{");
+    for (i, e) in entries.iter().enumerate() {
+        let comma = if i + 1 == entries.len() { "" } else { "," };
+        let _ = writeln!(
+            json,
+            "    \"{}\": {{\"median_ns\": {}, \"seed_median_ns\": {}, \"speedup\": {:.3}}}{comma}",
+            e.name,
+            e.median_ns,
+            e.seed_median_ns,
+            e.speedup()
+        );
+    }
+    let _ = writeln!(json, "  }}");
+    let _ = writeln!(json, "}}");
+    let out_path =
+        std::env::var("YF_PERF_OUT").unwrap_or_else(|_| "BENCH_kernels.json".to_string());
+    std::fs::write(&out_path, json).expect("write BENCH_kernels.json");
+    println!("\nwrote {out_path}");
+}

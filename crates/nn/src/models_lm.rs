@@ -178,9 +178,9 @@ impl LstmLm {
             (Some(out), None) => out.forward(g, nodes, h_cat),
             (None, Some(bias)) => {
                 // Tied output: logits = h E^T + bias, reusing the bound
-                // embedding table.
-                let tr = transpose_node(g, embed_w, &self.embed.w);
-                let logits = g.matmul(h_cat, tr);
+                // embedding table through the fused-transpose product (no
+                // transpose is ever materialized, forward or backward).
+                let logits = g.matmul_nt(h_cat, embed_w);
                 let bias_id = nodes.bind(g, bias);
                 g.add_bias(logits, bias_id)
             }
@@ -214,22 +214,6 @@ pub(crate) fn concat_rows(g: &mut Graph, parts: &[NodeId]) -> NodeId {
     let flat: Vec<NodeId> = parts.iter().map(|&p| g.reshape(p, &[1, b * h])).collect();
     let cat = g.concat_cols(&flat);
     g.reshape(cat, &[parts.len() * b, h])
-}
-
-/// Transpose of a bound `[V, D]` parameter node as a `[D, V]` node with
-/// exact gradients: each column is sliced out ([V, 1]), laid flat
-/// ([1, V]) and the columns-as-rows are concatenated. O(V*D) copies —
-/// the cost of any transpose — built from existing differentiable ops.
-fn transpose_node(g: &mut Graph, bound: NodeId, param: &Param) -> NodeId {
-    let dims = param.value.shape();
-    let (v, d) = (dims[0], dims[1]);
-    let mut rows = Vec::with_capacity(d);
-    for col in 0..d {
-        let c = g.slice_cols(bound, col, 1);
-        rows.push(g.reshape(c, &[1, v]));
-    }
-    let cat = g.concat_cols(&rows); // [1, D*V], row-major == [D, V]
-    g.reshape(cat, &[d, v])
 }
 
 impl SupervisedModel for LstmLm {

@@ -1,6 +1,7 @@
 //! AdaGrad (Duchi, Hazan & Singer, 2011).
 
 use crate::{check_lengths, Optimizer};
+use yf_tensor::elementwise;
 
 /// AdaGrad: per-coordinate learning rates from accumulated squared
 /// gradients. One of the baselines the paper compares against on the WSJ
@@ -32,11 +33,7 @@ impl Optimizer for AdaGrad {
         if self.accum.is_empty() {
             self.accum = vec![0.0; dim];
         }
-        for i in 0..dim {
-            let g = grads[i];
-            self.accum[i] += g * g;
-            params[i] -= self.lr * g / (self.accum[i].sqrt() + self.eps);
-        }
+        elementwise::adaptive_sq_step(params, &mut self.accum, grads, 1.0, 1.0, self.lr, self.eps);
     }
 
     fn learning_rate(&self) -> f32 {

@@ -1,6 +1,7 @@
 //! Adam (Kingma & Ba, 2014) with zero-debiased moments.
 
 use crate::{check_lengths, Optimizer};
+use yf_tensor::elementwise;
 
 /// The Adam optimizer.
 ///
@@ -70,14 +71,18 @@ impl Optimizer for Adam {
         self.t += 1;
         let bc1 = 1.0 - self.beta1.powi(self.t.min(i32::MAX as u64) as i32);
         let bc2 = 1.0 - self.beta2.powi(self.t.min(i32::MAX as u64) as i32);
-        for i in 0..dim {
-            let g = grads[i];
-            self.m[i] = self.beta1 * self.m[i] + (1.0 - self.beta1) * g;
-            self.v[i] = self.beta2 * self.v[i] + (1.0 - self.beta2) * g * g;
-            let m_hat = self.m[i] / bc1;
-            let v_hat = self.v[i] / bc2;
-            params[i] -= self.lr * m_hat / (v_hat.sqrt() + self.eps);
-        }
+        elementwise::adam_step(
+            params,
+            &mut self.m,
+            &mut self.v,
+            grads,
+            self.beta1,
+            self.beta2,
+            self.lr,
+            self.eps,
+            bc1,
+            bc2,
+        );
     }
 
     fn learning_rate(&self) -> f32 {

@@ -1,6 +1,7 @@
 //! RMSProp (Tieleman & Hinton, 2012).
 
 use crate::{check_lengths, Optimizer};
+use yf_tensor::elementwise;
 
 /// RMSProp: per-coordinate learning rates from an exponential moving
 /// average of squared gradients.
@@ -43,11 +44,15 @@ impl Optimizer for RmsProp {
         if self.ms.is_empty() {
             self.ms = vec![0.0; dim];
         }
-        for i in 0..dim {
-            let g = grads[i];
-            self.ms[i] = self.decay * self.ms[i] + (1.0 - self.decay) * g * g;
-            params[i] -= self.lr * g / (self.ms[i].sqrt() + self.eps);
-        }
+        elementwise::adaptive_sq_step(
+            params,
+            &mut self.ms,
+            grads,
+            self.decay,
+            1.0 - self.decay,
+            self.lr,
+            self.eps,
+        );
     }
 
     fn learning_rate(&self) -> f32 {

@@ -1,6 +1,7 @@
 //! Stochastic gradient descent, with and without momentum.
 
 use crate::{check_lengths, Optimizer};
+use yf_tensor::elementwise;
 
 /// Vanilla SGD: `x <- x - lr * g`.
 #[derive(Debug, Clone)]
@@ -20,9 +21,7 @@ impl Optimizer for Sgd {
     fn step(&mut self, params: &mut [f32], grads: &[f32]) {
         let dim = *self.dim.get_or_insert(params.len());
         check_lengths(dim, params, grads);
-        for (p, &g) in params.iter_mut().zip(grads) {
-            *p -= self.lr * g;
-        }
+        elementwise::axpy(params, -self.lr, grads);
     }
 
     fn learning_rate(&self) -> f32 {
@@ -99,16 +98,16 @@ impl Optimizer for MomentumSgd {
         if self.velocity.is_empty() {
             self.velocity = vec![0.0; dim];
         }
-        for ((p, &g), v) in params.iter_mut().zip(grads).zip(&mut self.velocity) {
-            *v = self.momentum * *v - self.lr * g;
-            if self.nesterov {
-                // Look-ahead form: apply the velocity plus a momentum
-                // correction of the current gradient.
-                *p += self.momentum * *v - self.lr * g;
-            } else {
-                *p += *v;
-            }
-        }
+        // Single fused pass: velocity update plus either the Polyak apply
+        // or the Nesterov look-ahead correction.
+        elementwise::momentum_step(
+            params,
+            &mut self.velocity,
+            grads,
+            self.momentum,
+            self.lr,
+            self.nesterov,
+        );
     }
 
     fn learning_rate(&self) -> f32 {

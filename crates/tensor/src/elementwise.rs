@@ -1,0 +1,201 @@
+//! Fused in-place elementwise kernels over flat `f32` slices.
+//!
+//! These are the primitives behind [`Tensor`](crate::Tensor)'s in-place
+//! ops and the optimizer update loops in `yf-optim`: every kernel writes
+//! its first argument in place, so a steady-state training step performs
+//! no allocation in the parameter-update path. They operate on plain
+//! slices (not tensors) because optimizers, the async simulator, and the
+//! tape all hold flat buffers.
+//!
+//! All binary kernels panic on length mismatch — silent truncation hides
+//! real wiring bugs.
+
+#[inline]
+fn check(y: &[f32], x: &[f32], op: &str) {
+    assert_eq!(
+        y.len(),
+        x.len(),
+        "{op}: length mismatch {} vs {}",
+        y.len(),
+        x.len()
+    );
+}
+
+/// `y += x`.
+pub fn add(y: &mut [f32], x: &[f32]) {
+    check(y, x, "add");
+    for (a, &b) in y.iter_mut().zip(x) {
+        *a += b;
+    }
+}
+
+/// `y -= x`.
+pub fn sub(y: &mut [f32], x: &[f32]) {
+    check(y, x, "sub");
+    for (a, &b) in y.iter_mut().zip(x) {
+        *a -= b;
+    }
+}
+
+/// `y *= x` (Hadamard).
+pub fn mul(y: &mut [f32], x: &[f32]) {
+    check(y, x, "mul");
+    for (a, &b) in y.iter_mut().zip(x) {
+        *a *= b;
+    }
+}
+
+/// `y *= alpha`.
+pub fn scale(y: &mut [f32], alpha: f32) {
+    for a in y.iter_mut() {
+        *a *= alpha;
+    }
+}
+
+/// `y += alpha * x` — the BLAS axpy.
+pub fn axpy(y: &mut [f32], alpha: f32, x: &[f32]) {
+    check(y, x, "axpy");
+    for (a, &b) in y.iter_mut().zip(x) {
+        *a += alpha * b;
+    }
+}
+
+/// `y = alpha * y + beta * x` — one fused pass for momentum-style
+/// velocity updates (`v = mu*v - lr*g`).
+pub fn scale_axpy(y: &mut [f32], alpha: f32, beta: f32, x: &[f32]) {
+    check(y, x, "scale_axpy");
+    for (a, &b) in y.iter_mut().zip(x) {
+        *a = alpha * *a + beta * b;
+    }
+}
+
+/// `y += alpha * x + beta * z` — one fused pass for look-ahead updates
+/// (Nesterov's `p += mu*v - lr*g`).
+pub fn axpy2(y: &mut [f32], alpha: f32, x: &[f32], beta: f32, z: &[f32]) {
+    check(y, x, "axpy2");
+    check(y, z, "axpy2");
+    for ((a, &b), &c) in y.iter_mut().zip(x).zip(z) {
+        *a += alpha * b + beta * c;
+    }
+}
+
+/// `y = alpha * y + beta * x * x` — one fused pass for squared-gradient
+/// second-moment accumulators.
+pub fn scale_axpy_sq(y: &mut [f32], alpha: f32, beta: f32, x: &[f32]) {
+    check(y, x, "scale_axpy_sq");
+    for (a, &b) in y.iter_mut().zip(x) {
+        *a = alpha * *a + beta * b * b;
+    }
+}
+
+/// One fused momentum-SGD step: `v = mu*v - lr*g`, then `p += v` (Polyak)
+/// or `p += mu*v - lr*g` (Nesterov look-ahead). A single pass over all
+/// three buffers — the optimizer hot loop stays memory-lean.
+pub fn momentum_step(
+    params: &mut [f32],
+    velocity: &mut [f32],
+    grads: &[f32],
+    mu: f32,
+    lr: f32,
+    nesterov: bool,
+) {
+    check(params, grads, "momentum_step");
+    check(params, velocity, "momentum_step");
+    for ((p, v), &g) in params.iter_mut().zip(velocity.iter_mut()).zip(grads) {
+        *v = mu * *v - lr * g;
+        if nesterov {
+            *p += mu * *v - lr * g;
+        } else {
+            *p += *v;
+        }
+    }
+}
+
+/// One fused Adam step: updates both moment buffers and the parameters in
+/// a single pass. `bc1`/`bc2` are the zero-debias divisors `1 - beta^t`.
+#[allow(clippy::too_many_arguments)]
+pub fn adam_step(
+    params: &mut [f32],
+    m: &mut [f32],
+    v: &mut [f32],
+    grads: &[f32],
+    beta1: f32,
+    beta2: f32,
+    lr: f32,
+    eps: f32,
+    bc1: f32,
+    bc2: f32,
+) {
+    check(params, grads, "adam_step");
+    check(params, m, "adam_step");
+    check(params, v, "adam_step");
+    for (((p, m), v), &g) in params
+        .iter_mut()
+        .zip(m.iter_mut())
+        .zip(v.iter_mut())
+        .zip(grads)
+    {
+        *m = beta1 * *m + (1.0 - beta1) * g;
+        *v = beta2 * *v + (1.0 - beta2) * g * g;
+        let m_hat = *m / bc1;
+        let v_hat = *v / bc2;
+        *p -= lr * m_hat / (v_hat.sqrt() + eps);
+    }
+}
+
+/// One fused squared-gradient-normalized step shared by AdaGrad and
+/// RMSProp: `acc = decay*acc + scale*g*g`, then `p -= lr*g/(sqrt(acc)+eps)`.
+pub fn adaptive_sq_step(
+    params: &mut [f32],
+    accum: &mut [f32],
+    grads: &[f32],
+    decay: f32,
+    scale: f32,
+    lr: f32,
+    eps: f32,
+) {
+    check(params, grads, "adaptive_sq_step");
+    check(params, accum, "adaptive_sq_step");
+    for ((p, a), &g) in params.iter_mut().zip(accum.iter_mut()).zip(grads) {
+        *a = decay * *a + scale * g * g;
+        *p -= lr * g / (a.sqrt() + eps);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fused_kernels_match_naive() {
+        let y0 = [1.0f32, -2.0, 3.0];
+        let x = [0.5f32, 4.0, -1.0];
+        let z = [2.0f32, 0.0, 1.0];
+
+        let mut y = y0;
+        axpy(&mut y, 2.0, &x);
+        assert_eq!(y, [2.0, 6.0, 1.0]);
+
+        let mut y = y0;
+        scale_axpy(&mut y, 0.5, -1.0, &x);
+        assert_eq!(y, [0.0, -5.0, 2.5]);
+
+        let mut y = y0;
+        axpy2(&mut y, 2.0, &x, -1.0, &z);
+        assert_eq!(y, [0.0, 6.0, 0.0]);
+
+        let mut y = y0;
+        scale_axpy_sq(&mut y, 1.0, 2.0, &x);
+        assert_eq!(y, [1.5, 30.0, 5.0]);
+
+        let mut y = y0;
+        mul(&mut y, &x);
+        assert_eq!(y, [0.5, -8.0, -3.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn length_mismatch_panics() {
+        axpy(&mut [0.0], 1.0, &[0.0, 0.0]);
+    }
+}

@@ -1,0 +1,718 @@
+//! Cache-blocked, panel-packed f32 GEMM — the workhorse under `matmul`
+//! and the im2col convolution lowering.
+//!
+//! The design is the classic three-loop blocking scheme (Goto/BLIS):
+//! `C = op(A)·op(B) + beta·C` is computed panel by panel. The K dimension
+//! is split into `KC`-deep slabs, B slabs are packed into `NR`-wide
+//! column strips and A slabs into `MR`-tall row strips, and an `MR x NR`
+//! register-tiled micro-kernel runs down the packed panels with
+//! perfect-stride loads. Packing also absorbs both transpose variants, so
+//! [`Tensor::matmul_nt`](crate::Tensor::matmul_nt) and
+//! [`Tensor::matmul_tn`](crate::Tensor::matmul_tn) never materialize a
+//! transposed matrix.
+//!
+//! Three micro-kernels are compiled and selected at runtime on x86-64:
+//! an AVX-512 kernel (6x32 tile), an AVX2+FMA kernel (6x16), and a
+//! portable safe-Rust kernel (6x16) that is also the only kernel on other
+//! architectures. The binary stays runnable on any x86-64 machine; fast
+//! paths light up where the CPU supports them.
+//!
+//! Multi-threading splits the rows of `C` into contiguous blocks, one per
+//! thread, via [`parallel::scoped_chunks_mut`]; each B panel is packed
+//! once by the calling thread and shared read-only, and every worker owns
+//! a pooled A buffer (wrapped in a never-contended `Mutex` purely for the
+//! borrow checker). The thread count defaults to
+//! [`parallel::num_threads`] (`YF_NUM_THREADS` overrides it), and
+//! [`gemm_with_threads`] takes an explicit count.
+//!
+//! Packing panels come from the thread-local [`Scratch`] pool, so a
+//! steady-state training loop performs no per-call heap allocation here.
+
+use crate::parallel;
+use crate::scratch::Scratch;
+
+/// Rows of the micro-kernel register tile.
+const MR: usize = 6;
+/// K-dimension slab depth (one packed panel holds `KC` levels).
+const KC: usize = 256;
+/// Row-block height packed per A panel (multiple of `MR`).
+const MC: usize = 96;
+/// Column-block width packed per B panel (multiple of every kernel's NR).
+const NC: usize = 2048;
+
+/// `kernel(kc, a_strip, b_strip, acc)`: accumulate an `MR x NR` tile.
+///
+/// The `unsafe` in the type is the CPU-feature contract: callers must only
+/// pass kernels whose `#[target_feature]` requirements were verified via
+/// `is_x86_feature_detected!` (the portable kernel has none).
+type MicroKernel<const NR: usize> = unsafe fn(usize, &[f32], &[f32], &mut [[f32; NR]; MR]);
+
+#[inline(always)]
+fn kernel_body<const NR: usize, const FMA: bool>(
+    kc: usize,
+    a: &[f32],
+    b: &[f32],
+    acc: &mut [[f32; NR]; MR],
+) {
+    for (ap, bp) in a.chunks_exact(MR).zip(b.chunks_exact(NR)).take(kc) {
+        let ap: &[f32; MR] = ap.try_into().unwrap();
+        let bp: &[f32; NR] = bp.try_into().unwrap();
+        for r in 0..MR {
+            let av = ap[r];
+            let row = &mut acc[r];
+            for c in 0..NR {
+                row[c] = if FMA {
+                    av.mul_add(bp[c], row[c])
+                } else {
+                    av * bp[c] + row[c]
+                };
+            }
+        }
+    }
+}
+
+/// Safe fallback kernel; `unsafe fn` only to match [`MicroKernel`].
+unsafe fn kernel_portable(kc: usize, a: &[f32], b: &[f32], acc: &mut [[f32; 16]; MR]) {
+    kernel_body::<16, false>(kc, a, b, acc);
+}
+
+/// AVX2+FMA 6x16 micro-kernel: 12 ymm accumulators (6 rows x 2 vectors),
+/// one broadcast per A element, `vfmadd231ps` throughout.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2,fma")]
+unsafe fn kernel_avx2(kc: usize, a: &[f32], b: &[f32], acc: &mut [[f32; 16]; MR]) {
+    use core::arch::x86_64::*;
+    debug_assert!(a.len() >= kc * MR && b.len() >= kc * 16);
+    let mut regs = [[_mm256_setzero_ps(); 2]; MR];
+    let mut pa = a.as_ptr();
+    let mut pb = b.as_ptr();
+    for _ in 0..kc {
+        let b0 = _mm256_loadu_ps(pb);
+        let b1 = _mm256_loadu_ps(pb.add(8));
+        for (r, row) in regs.iter_mut().enumerate() {
+            let av = _mm256_set1_ps(*pa.add(r));
+            row[0] = _mm256_fmadd_ps(av, b0, row[0]);
+            row[1] = _mm256_fmadd_ps(av, b1, row[1]);
+        }
+        pa = pa.add(MR);
+        pb = pb.add(16);
+    }
+    for (row, out) in regs.iter().zip(acc.iter_mut()) {
+        _mm256_storeu_ps(out.as_mut_ptr(), row[0]);
+        _mm256_storeu_ps(out.as_mut_ptr().add(8), row[1]);
+    }
+}
+
+/// AVX-512 6x32 micro-kernel: 12 zmm accumulators (6 rows x 2 vectors).
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx512f")]
+unsafe fn kernel_avx512(kc: usize, a: &[f32], b: &[f32], acc: &mut [[f32; 32]; MR]) {
+    use core::arch::x86_64::*;
+    debug_assert!(a.len() >= kc * MR && b.len() >= kc * 32);
+    let mut regs = [[_mm512_setzero_ps(); 2]; MR];
+    let mut pa = a.as_ptr();
+    let mut pb = b.as_ptr();
+    for _ in 0..kc {
+        let b0 = _mm512_loadu_ps(pb);
+        let b1 = _mm512_loadu_ps(pb.add(16));
+        for (r, row) in regs.iter_mut().enumerate() {
+            let av = _mm512_set1_ps(*pa.add(r));
+            row[0] = _mm512_fmadd_ps(av, b0, row[0]);
+            row[1] = _mm512_fmadd_ps(av, b1, row[1]);
+        }
+        pa = pa.add(MR);
+        pb = pb.add(32);
+    }
+    for (row, out) in regs.iter().zip(acc.iter_mut()) {
+        _mm512_storeu_ps(out.as_mut_ptr(), row[0]);
+        _mm512_storeu_ps(out.as_mut_ptr().add(16), row[1]);
+    }
+}
+
+/// Packs the A slab rows `row0..row0+mc`, K levels `pc..pc+kc` into
+/// `MR`-tall strips (strip-major, K-level-major inside a strip, zero
+/// padded past the last row).
+#[allow(clippy::too_many_arguments)]
+fn pack_a(
+    out: &mut [f32],
+    a: &[f32],
+    trans: bool,
+    lda: usize,
+    row0: usize,
+    mc: usize,
+    pc: usize,
+    kc: usize,
+) {
+    for (s, dst) in out
+        .chunks_exact_mut(kc * MR)
+        .take(mc.div_ceil(MR))
+        .enumerate()
+    {
+        let i0 = row0 + s * MR;
+        let rows = MR.min(row0 + mc - i0);
+        if trans {
+            // A is stored [K, M]: one K level is a contiguous row.
+            for p in 0..kc {
+                let src = &a[(pc + p) * lda + i0..];
+                let dst = &mut dst[p * MR..p * MR + MR];
+                dst[..rows].copy_from_slice(&src[..rows]);
+                dst[rows..].fill(0.0);
+            }
+        } else {
+            // A is stored [M, K]: gather one element per row per K level.
+            for p in 0..kc {
+                for r in 0..MR {
+                    dst[p * MR + r] = if r < rows {
+                        a[(i0 + r) * lda + pc + p]
+                    } else {
+                        0.0
+                    };
+                }
+            }
+        }
+    }
+}
+
+/// Packs the B slab K levels `pc..pc+kc`, columns `col0..col0+nc` into
+/// `NR`-wide strips (strip-major, K-level-major inside a strip, zero
+/// padded past the last column).
+#[allow(clippy::too_many_arguments)]
+fn pack_b<const NR: usize>(
+    out: &mut [f32],
+    b: &[f32],
+    trans: bool,
+    ldb: usize,
+    col0: usize,
+    nc: usize,
+    pc: usize,
+    kc: usize,
+) {
+    for (s, dst) in out
+        .chunks_exact_mut(kc * NR)
+        .take(nc.div_ceil(NR))
+        .enumerate()
+    {
+        let j0 = col0 + s * NR;
+        let cols = NR.min(col0 + nc - j0);
+        if trans {
+            // B is stored [N, K]: columns of op(B) are contiguous rows.
+            for p in 0..kc {
+                for c in 0..NR {
+                    dst[p * NR + c] = if c < cols {
+                        b[(j0 + c) * ldb + pc + p]
+                    } else {
+                        0.0
+                    };
+                }
+            }
+        } else {
+            // B is stored [K, N]: one K level is a contiguous slice.
+            for p in 0..kc {
+                let src = &b[(pc + p) * ldb + j0..];
+                let dst = &mut dst[p * NR..p * NR + NR];
+                dst[..cols].copy_from_slice(&src[..cols]);
+                dst[cols..].fill(0.0);
+            }
+        }
+    }
+}
+
+/// Writes an accumulated tile into `c` (`ldc`-strided, `c` starts at this
+/// thread's first row), blending with the previous contents per `beta`.
+#[allow(clippy::too_many_arguments)]
+fn store_tile<const NR: usize>(
+    acc: &[[f32; NR]; MR],
+    c: &mut [f32],
+    ldc: usize,
+    i0: usize,
+    j0: usize,
+    mr_eff: usize,
+    nr_eff: usize,
+    beta: f32,
+) {
+    for (r, acc_row) in acc.iter().enumerate().take(mr_eff) {
+        let base = (i0 + r) * ldc + j0;
+        let row = &mut c[base..base + nr_eff];
+        if beta == 0.0 {
+            row.copy_from_slice(&acc_row[..nr_eff]);
+        } else if beta == 1.0 {
+            for (slot, &v) in row.iter_mut().zip(acc_row.iter()) {
+                *slot += v;
+            }
+        } else {
+            for (slot, &v) in row.iter_mut().zip(acc_row.iter()) {
+                *slot = v + beta * *slot;
+            }
+        }
+    }
+}
+
+/// Runs one packed B panel (`jc..jc+nc`, `pc..pc+kc`) against rows
+/// `row0..row0+rows` of `C`: packs A one `MC` block at a time into `abuf`
+/// and drives the micro-kernel over the tile grid.
+///
+/// `c_rows` is this worker's row chunk (`rows * ldc` elements, first row
+/// `row0` of the full `C`).
+#[allow(clippy::too_many_arguments)]
+fn macro_kernel<const NR: usize>(
+    kernel: MicroKernel<NR>,
+    a: &[f32],
+    trans_a: bool,
+    lda: usize,
+    row0: usize,
+    rows: usize,
+    (jc, nc): (usize, usize),
+    (pc, kc): (usize, usize),
+    bbuf: &[f32],
+    abuf: &mut [f32],
+    beta_cur: f32,
+    c_rows: &mut [f32],
+    ldc: usize,
+) {
+    let mut ic = 0;
+    while ic < rows {
+        let mc = MC.min(rows - ic);
+        pack_a(abuf, a, trans_a, lda, row0 + ic, mc, pc, kc);
+        for js in 0..nc.div_ceil(NR) {
+            let j0 = js * NR;
+            let nr_eff = NR.min(nc - j0);
+            let b_strip = &bbuf[js * kc * NR..(js + 1) * kc * NR];
+            for is in 0..mc.div_ceil(MR) {
+                let i0 = is * MR;
+                let mr_eff = MR.min(mc - i0);
+                let a_strip = &abuf[is * kc * MR..(is + 1) * kc * MR];
+                let mut acc = [[0.0f32; NR]; MR];
+                // SAFETY: the dispatcher only selects kernels whose
+                // target features it has verified on this CPU (see
+                // `gemm_with_threads`).
+                unsafe { kernel(kc, a_strip, b_strip, &mut acc) };
+                store_tile::<NR>(
+                    &acc,
+                    c_rows,
+                    ldc,
+                    ic + i0,
+                    jc + j0,
+                    mr_eff,
+                    nr_eff,
+                    beta_cur,
+                );
+            }
+        }
+        ic += mc;
+    }
+}
+
+/// The blocked GEMM driver for one selected micro-kernel width.
+///
+/// Loop order is jc → pc → (parallel ic): each B panel is packed exactly
+/// once by the calling thread and shared read-only by every row-chunk
+/// worker; each worker owns one pooled A buffer (`Mutex`-wrapped only to
+/// satisfy the borrow checker — a worker locks its own buffer, so there
+/// is never contention). All panels come from the thread-local pack pool,
+/// so a steady-state caller performs no per-call allocation.
+#[allow(clippy::too_many_arguments)]
+fn run_gemm<const NR: usize>(
+    kernel: MicroKernel<NR>,
+    trans_a: bool,
+    trans_b: bool,
+    m: usize,
+    n: usize,
+    k: usize,
+    a: &[f32],
+    b: &[f32],
+    beta: f32,
+    c: &mut [f32],
+    threads: usize,
+) {
+    use std::sync::Mutex;
+    let lda = if trans_a { m } else { k };
+    let ldb = if trans_b { k } else { n };
+    // A pool dedicated to packing panels (distinct from the public
+    // thread-local pool) so higher-level kernels holding that pool can
+    // call into GEMM freely, and panel sizes stay stable across calls.
+    with_pack_scratch(|scratch| {
+        let nc_max = NC.min(n.div_ceil(NR) * NR);
+        let mut bbuf = scratch.take(nc_max.div_ceil(NR) * NR * KC);
+        let rows_per_chunk = parallel::chunk_rows(m, threads);
+        let abuf_len = MC.div_ceil(MR) * MR * KC;
+        let abufs: Vec<Mutex<Vec<f32>>> = (0..m.div_ceil(rows_per_chunk))
+            .map(|_| Mutex::new(scratch.take(abuf_len)))
+            .collect();
+        let mut jc = 0;
+        while jc < n {
+            let nc = NC.min(n - jc);
+            let mut pc = 0;
+            while pc < k {
+                let kc = KC.min(k - pc);
+                pack_b::<NR>(&mut bbuf, b, trans_b, ldb, jc, nc, pc, kc);
+                // First K slab applies the caller's beta; later slabs
+                // accumulate onto the partial results.
+                let beta_cur = if pc == 0 { beta } else { 1.0 };
+                let (bbuf, abufs) = (&bbuf, &abufs);
+                parallel::scoped_chunks_mut(c, n, threads, |row0, c_rows| {
+                    let mut abuf = abufs[row0 / rows_per_chunk]
+                        .lock()
+                        .expect("gemm A-buffer lock");
+                    macro_kernel::<NR>(
+                        kernel,
+                        a,
+                        trans_a,
+                        lda,
+                        row0,
+                        c_rows.len() / n,
+                        (jc, nc),
+                        (pc, kc),
+                        bbuf,
+                        &mut abuf,
+                        beta_cur,
+                        c_rows,
+                        n,
+                    );
+                });
+                pc += kc;
+            }
+            jc += nc;
+        }
+        for abuf in abufs {
+            scratch.put(abuf.into_inner().expect("gemm A-buffer lock"));
+        }
+        scratch.put(bbuf);
+    });
+}
+
+fn with_pack_scratch<R>(f: impl FnOnce(&mut Scratch) -> R) -> R {
+    use std::cell::RefCell;
+    thread_local! {
+        static PACK: RefCell<Scratch> = RefCell::new(Scratch::new());
+    }
+    PACK.with(|s| f(&mut s.borrow_mut()))
+}
+
+fn scale_or_zero(c: &mut [f32], beta: f32) {
+    if beta == 0.0 {
+        c.fill(0.0);
+    } else if beta != 1.0 {
+        for v in c.iter_mut() {
+            *v *= beta;
+        }
+    }
+}
+
+/// `C = op(A)·op(B) + beta·C` over row-major buffers, using the default
+/// thread count.
+///
+/// `op(A)` is `[m, k]` (`A` itself is `[k, m]` when `trans_a`), `op(B)` is
+/// `[k, n]`, and `C` is `[m, n]`.
+///
+/// # Panics
+///
+/// Panics if any buffer length disagrees with the dimensions.
+#[allow(clippy::too_many_arguments)]
+pub fn gemm(
+    trans_a: bool,
+    trans_b: bool,
+    m: usize,
+    n: usize,
+    k: usize,
+    a: &[f32],
+    b: &[f32],
+    beta: f32,
+    c: &mut [f32],
+) {
+    gemm_with_threads(
+        trans_a,
+        trans_b,
+        m,
+        n,
+        k,
+        a,
+        b,
+        beta,
+        c,
+        parallel::num_threads(),
+    );
+}
+
+/// [`gemm`] with an explicit thread count (the property tests compare 1
+/// and N threads; callers inside already-parallel regions pass 1).
+#[allow(clippy::too_many_arguments)]
+pub fn gemm_with_threads(
+    trans_a: bool,
+    trans_b: bool,
+    m: usize,
+    n: usize,
+    k: usize,
+    a: &[f32],
+    b: &[f32],
+    beta: f32,
+    c: &mut [f32],
+    threads: usize,
+) {
+    assert_eq!(a.len(), m * k, "gemm: A length vs {m}x{k}");
+    assert_eq!(b.len(), k * n, "gemm: B length vs {k}x{n}");
+    assert_eq!(c.len(), m * n, "gemm: C length vs {m}x{n}");
+    if m == 0 || n == 0 {
+        return;
+    }
+    if k == 0 {
+        scale_or_zero(c, beta);
+        return;
+    }
+    // Threads only pay off once the kernel has real work per row block.
+    let threads = if 2 * m * n * k < 64 * 64 * 64 {
+        1
+    } else {
+        threads
+    };
+    match detected_simd() {
+        #[cfg(target_arch = "x86_64")]
+        "avx512" => run_gemm::<32>(
+            kernel_avx512,
+            trans_a,
+            trans_b,
+            m,
+            n,
+            k,
+            a,
+            b,
+            beta,
+            c,
+            threads,
+        ),
+        #[cfg(target_arch = "x86_64")]
+        "avx2" => run_gemm::<16>(
+            kernel_avx2,
+            trans_a,
+            trans_b,
+            m,
+            n,
+            k,
+            a,
+            b,
+            beta,
+            c,
+            threads,
+        ),
+        _ => run_gemm::<16>(
+            kernel_portable,
+            trans_a,
+            trans_b,
+            m,
+            n,
+            k,
+            a,
+            b,
+            beta,
+            c,
+            threads,
+        ),
+    }
+}
+
+/// The micro-kernel tier the dispatcher selects on this machine:
+/// `"avx512"`, `"avx2"`, or `"portable"`. The dispatcher itself matches on
+/// this value, so diagnostics (e.g. `perf_report`'s JSON header) can never
+/// drift from what actually ran.
+pub fn detected_simd() -> &'static str {
+    #[cfg(target_arch = "x86_64")]
+    {
+        if is_x86_feature_detected!("avx512f") {
+            return "avx512";
+        }
+        if is_x86_feature_detected!("avx2") && is_x86_feature_detected!("fma") {
+            return "avx2";
+        }
+    }
+    "portable"
+}
+
+/// `C = A·B + beta·C` with `A: [m, k]`, `B: [k, n]`.
+pub fn gemm_nn(m: usize, n: usize, k: usize, a: &[f32], b: &[f32], beta: f32, c: &mut [f32]) {
+    gemm(false, false, m, n, k, a, b, beta, c);
+}
+
+/// `C = A·Bᵀ + beta·C` with `A: [m, k]`, `B: [n, k]` — no transpose is
+/// materialized; packing reads `B` column-wise.
+pub fn gemm_nt(m: usize, n: usize, k: usize, a: &[f32], b: &[f32], beta: f32, c: &mut [f32]) {
+    gemm(false, true, m, n, k, a, b, beta, c);
+}
+
+/// `C = Aᵀ·B + beta·C` with `A: [k, m]`, `B: [k, n]` — no transpose is
+/// materialized; packing reads `A` column-wise.
+pub fn gemm_tn(m: usize, n: usize, k: usize, a: &[f32], b: &[f32], beta: f32, c: &mut [f32]) {
+    gemm(true, false, m, n, k, a, b, beta, c);
+}
+
+/// Reference kernels retained for cross-checking and perf baselines.
+pub mod reference {
+    /// Textbook ijk triple loop (dot-product form). The property tests
+    /// compare the blocked GEMM against this.
+    pub fn matmul_naive(m: usize, n: usize, k: usize, a: &[f32], b: &[f32]) -> Vec<f32> {
+        let mut out = vec![0.0f32; m * n];
+        for i in 0..m {
+            for j in 0..n {
+                let mut acc = 0.0f32;
+                for p in 0..k {
+                    acc += a[i * k + p] * b[p * n + j];
+                }
+                out[i * n + j] = acc;
+            }
+        }
+        out
+    }
+
+    /// The seed repository's matmul (ikj loop order with a flat
+    /// accumulator row and a zero-skip) — kept verbatim as the perf
+    /// baseline that `perf_report` measures speedups against.
+    pub fn matmul_ikj(m: usize, n: usize, k: usize, a: &[f32], b: &[f32]) -> Vec<f32> {
+        let mut out = vec![0.0f32; m * n];
+        for i in 0..m {
+            let row_out = &mut out[i * n..(i + 1) * n];
+            for p in 0..k {
+                let av = a[i * k + p];
+                if av == 0.0 {
+                    continue;
+                }
+                let row_b = &b[p * n..(p + 1) * n];
+                for (o, &bv) in row_out.iter_mut().zip(row_b.iter()) {
+                    *o += av * bv;
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::Pcg32;
+
+    fn filled(len: usize, seed: u64) -> Vec<f32> {
+        let mut v = vec![0.0f32; len];
+        Pcg32::seed(seed).fill_normal(&mut v);
+        v
+    }
+
+    fn assert_close(got: &[f32], want: &[f32], tag: &str) {
+        assert_eq!(got.len(), want.len(), "{tag}: length");
+        for (i, (g, w)) in got.iter().zip(want.iter()).enumerate() {
+            assert!(
+                (g - w).abs() <= 1e-4 * (1.0 + w.abs()),
+                "{tag}[{i}]: {g} vs {w}"
+            );
+        }
+    }
+
+    #[test]
+    fn matches_naive_across_sizes_and_threads() {
+        for &(m, n, k) in &[
+            (1, 1, 1),
+            (5, 7, 3),
+            (6, 16, 256),
+            (7, 17, 9),
+            (33, 31, 65),
+            (97, 130, 40),
+        ] {
+            let a = filled(m * k, 1 + m as u64);
+            let b = filled(k * n, 2 + n as u64);
+            let want = reference::matmul_naive(m, n, k, &a, &b);
+            for threads in [1, 4] {
+                let mut c = vec![0.0f32; m * n];
+                gemm_with_threads(false, false, m, n, k, &a, &b, 0.0, &mut c, threads);
+                assert_close(&c, &want, &format!("nn {m}x{n}x{k} t{threads}"));
+            }
+        }
+    }
+
+    #[test]
+    fn transpose_variants_match_explicit_transpose() {
+        let (m, n, k) = (13, 21, 17);
+        let a = filled(m * k, 3);
+        let b = filled(k * n, 4);
+        let want = reference::matmul_naive(m, n, k, &a, &b);
+
+        // A stored transposed: [k, m].
+        let mut at = vec![0.0f32; m * k];
+        for i in 0..m {
+            for p in 0..k {
+                at[p * m + i] = a[i * k + p];
+            }
+        }
+        let mut c = vec![0.0f32; m * n];
+        gemm_tn(m, n, k, &at, &b, 0.0, &mut c);
+        assert_close(&c, &want, "tn");
+
+        // B stored transposed: [n, k].
+        let mut bt = vec![0.0f32; k * n];
+        for p in 0..k {
+            for j in 0..n {
+                bt[j * k + p] = b[p * n + j];
+            }
+        }
+        let mut c = vec![0.0f32; m * n];
+        gemm_nt(m, n, k, &a, &bt, 0.0, &mut c);
+        assert_close(&c, &want, "nt");
+    }
+
+    #[test]
+    fn multi_slab_and_multi_panel_blocking() {
+        // k > KC exercises the pc > 0 slab accumulation; n > NC exercises
+        // the jc panel loop — the paths small shapes never reach.
+        const { assert!(KC == 256 && NC == 2048, "update the shapes below") };
+        for &(m, n, k) in &[(13, 40, 600), (7, 2100, 12), (37, 2060, 300)] {
+            let a = filled(m * k, 40 + m as u64);
+            let b = filled(k * n, 41 + n as u64);
+            let want = reference::matmul_naive(m, n, k, &a, &b);
+            for threads in [1, 3] {
+                let mut c = vec![0.0f32; m * n];
+                gemm_with_threads(false, false, m, n, k, &a, &b, 0.0, &mut c, threads);
+                assert_close(&c, &want, &format!("blocking {m}x{n}x{k} t{threads}"));
+            }
+            // beta = 1 must still accumulate correctly across K slabs.
+            let base = filled(m * n, 42);
+            let mut c = base.clone();
+            gemm_nn(m, n, k, &a, &b, 1.0, &mut c);
+            let want_acc: Vec<f32> = want.iter().zip(&base).map(|(p, c0)| p + c0).collect();
+            assert_close(&c, &want_acc, &format!("blocking beta=1 {m}x{n}x{k}"));
+        }
+    }
+
+    #[test]
+    fn beta_accumulates() {
+        let (m, n, k) = (9, 11, 7);
+        let a = filled(m * k, 5);
+        let b = filled(k * n, 6);
+        let base = filled(m * n, 7);
+        let want: Vec<f32> = reference::matmul_naive(m, n, k, &a, &b)
+            .iter()
+            .zip(base.iter())
+            .map(|(p, c0)| p + c0)
+            .collect();
+        let mut c = base;
+        gemm_nn(m, n, k, &a, &b, 1.0, &mut c);
+        assert_close(&c, &want, "beta=1");
+    }
+
+    #[test]
+    fn k_zero_respects_beta() {
+        let mut c = vec![2.0f32; 6];
+        gemm_nn(2, 3, 0, &[], &[], 0.0, &mut c);
+        assert!(c.iter().all(|&v| v == 0.0));
+        let mut c = vec![2.0f32; 6];
+        gemm_nn(2, 3, 0, &[], &[], 1.0, &mut c);
+        assert!(c.iter().all(|&v| v == 2.0));
+    }
+
+    #[test]
+    fn ikj_reference_matches_naive() {
+        let (m, n, k) = (8, 9, 10);
+        let a = filled(m * k, 8);
+        let b = filled(k * n, 9);
+        assert_close(
+            &reference::matmul_ikj(m, n, k, &a, &b),
+            &reference::matmul_naive(m, n, k, &a, &b),
+            "ikj",
+        );
+    }
+}

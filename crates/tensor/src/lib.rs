@@ -21,10 +21,15 @@
 //! assert_eq!(c.shape(), &[2, 4]);
 //! ```
 
+pub mod elementwise;
+pub mod gemm;
 pub mod linalg;
+pub mod parallel;
 pub mod rng;
+mod scratch;
 mod shape;
 mod tensor;
 
+pub use scratch::Scratch;
 pub use shape::Shape;
 pub use tensor::Tensor;

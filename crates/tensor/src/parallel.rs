@@ -1,0 +1,123 @@
+//! Scoped-thread work partitioning for the kernel layer.
+//!
+//! The build environment is offline, so there is no rayon: this module is
+//! the minimal std-only substitute the compute kernels share. Work is
+//! always split into *contiguous, disjoint* chunks of an output buffer, so
+//! no synchronization beyond [`std::thread::scope`]'s join is ever needed.
+//!
+//! The thread count comes from `YF_NUM_THREADS` when set (any positive
+//! integer), else from [`std::thread::available_parallelism`]. Kernels that
+//! want explicit control (e.g. the property tests that compare 1-thread and
+//! N-thread results) take a thread count parameter instead of calling
+//! [`num_threads`] themselves.
+
+/// The kernel-layer thread count: `YF_NUM_THREADS` if set and positive,
+/// otherwise the machine's available parallelism (1 if unknown).
+pub fn num_threads() -> usize {
+    std::env::var("YF_NUM_THREADS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        })
+}
+
+/// Rows per chunk that [`scoped_chunks_mut`] hands each worker for a
+/// `rows`-row workload at `threads` threads. Exposed so callers can
+/// pre-provision per-chunk state (chunk index = `first_row / chunk_rows`).
+///
+/// # Panics
+///
+/// Panics if `rows == 0`.
+pub fn chunk_rows(rows: usize, threads: usize) -> usize {
+    assert!(rows > 0, "chunk_rows: no rows");
+    rows.div_ceil(threads.clamp(1, rows))
+}
+
+/// Splits `data` into at most `threads` contiguous chunks, each a whole
+/// number of `unit`-element rows, and runs `f(first_row, chunk)` on every
+/// chunk — on scoped worker threads when more than one chunk results, with
+/// the final chunk processed on the calling thread.
+///
+/// `data.len()` must be a multiple of `unit`. With `threads <= 1` (or a
+/// single row) this is a plain function call, so single-threaded use has
+/// zero overhead.
+///
+/// # Panics
+///
+/// Panics if `unit == 0` or `data.len()` is not a multiple of `unit`.
+pub fn scoped_chunks_mut<T, F>(data: &mut [T], unit: usize, threads: usize, f: F)
+where
+    T: Send,
+    F: Fn(usize, &mut [T]) + Sync,
+{
+    assert!(unit > 0, "scoped_chunks_mut: unit must be positive");
+    assert_eq!(
+        data.len() % unit,
+        0,
+        "scoped_chunks_mut: data length {} is not a multiple of unit {unit}",
+        data.len()
+    );
+    if data.is_empty() {
+        return;
+    }
+    let rows = data.len() / unit;
+    let threads = threads.clamp(1, rows);
+    if threads <= 1 {
+        f(0, data);
+        return;
+    }
+    let rows_per_chunk = chunk_rows(rows, threads);
+    std::thread::scope(|scope| {
+        let f = &f;
+        let mut rest = data;
+        let mut row = 0;
+        while !rest.is_empty() {
+            let take = (rows_per_chunk * unit).min(rest.len());
+            let (chunk, tail) = rest.split_at_mut(take);
+            let first_row = row;
+            row += take / unit;
+            rest = tail;
+            if row == rows {
+                f(first_row, chunk);
+            } else {
+                scope.spawn(move || f(first_row, chunk));
+            }
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn covers_all_rows_once() {
+        for threads in [1, 2, 3, 7, 64] {
+            let mut data = vec![0u32; 10 * 3];
+            scoped_chunks_mut(&mut data, 3, threads, |first_row, chunk| {
+                for (r, row) in chunk.chunks_mut(3).enumerate() {
+                    for v in row {
+                        *v += (first_row + r) as u32 + 1;
+                    }
+                }
+            });
+            let expect: Vec<u32> = (0..10u32).flat_map(|r| [r + 1; 3]).collect();
+            assert_eq!(data, expect, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn empty_input_is_a_noop() {
+        let mut data: Vec<f32> = Vec::new();
+        scoped_chunks_mut(&mut data, 4, 8, |_, _| panic!("no chunks expected"));
+    }
+
+    #[test]
+    fn num_threads_is_positive() {
+        assert!(num_threads() >= 1);
+    }
+}

@@ -1,0 +1,133 @@
+//! A reusable pool of `f32` buffers so steady-state training stops
+//! allocating per op.
+//!
+//! The GEMM packing panels and the im2col column buffers are the two big
+//! per-op allocations in a training step. A [`Scratch`] keeps returned
+//! buffers and hands them back on the next request, so a training loop
+//! that calls the same kernels every step settles into zero heap churn.
+//!
+//! Buffers come back with *unspecified contents*; every kernel in the
+//! workspace that takes scratch space overwrites what it reads.
+//!
+//! Kernels have two entry points: an explicit `*_with_scratch` variant for
+//! callers that manage reuse themselves (the autograd tape does this), and
+//! a default variant that borrows a thread-local pool via [`Scratch::with_thread_local`].
+
+use std::cell::RefCell;
+
+/// A pool of reusable `f32` buffers.
+#[derive(Debug, Default)]
+pub struct Scratch {
+    pool: Vec<Vec<f32>>,
+}
+
+impl Scratch {
+    /// An empty pool.
+    pub fn new() -> Self {
+        Scratch::default()
+    }
+
+    /// Takes a buffer of exactly `len` elements with unspecified contents,
+    /// reusing the pooled allocation with the largest capacity when one
+    /// exists.
+    pub fn take(&mut self, len: usize) -> Vec<f32> {
+        // The pool is kept sorted by capacity on `put`, so the best
+        // candidate for reuse is always the last one.
+        let mut buf = self.pool.pop().unwrap_or_default();
+        // Only the grown tail is written: a steady-state caller that asks
+        // for the same size every step pays zero fill cost.
+        if buf.len() > len {
+            buf.truncate(len);
+        } else {
+            buf.resize(len, 0.0);
+        }
+        buf
+    }
+
+    /// Returns a buffer to the pool for later reuse.
+    pub fn put(&mut self, buf: Vec<f32>) {
+        if buf.capacity() == 0 {
+            return;
+        }
+        let at = self
+            .pool
+            .partition_point(|b| b.capacity() <= buf.capacity());
+        self.pool.insert(at, buf);
+    }
+
+    /// Number of buffers currently pooled (for tests and diagnostics).
+    pub fn pooled(&self) -> usize {
+        self.pool.len()
+    }
+
+    /// Moves every pooled buffer of `other` into this pool.
+    pub fn absorb(&mut self, mut other: Scratch) {
+        for buf in other.pool.drain(..) {
+            self.put(buf);
+        }
+    }
+
+    /// Runs `f` with this thread's shared scratch pool.
+    ///
+    /// This is what the default (non-`_with_scratch`) kernel entry points
+    /// use, so repeated kernel calls on one thread reuse allocations even
+    /// when the caller never threads a pool through explicitly.
+    ///
+    /// The pool is *moved out* of the thread-local slot for the duration
+    /// of `f` and merged back afterwards, so nested kernels (a conv
+    /// holding the pool while its inner GEMM asks for one) see an empty
+    /// pool instead of a `RefCell` double-borrow panic.
+    pub fn with_thread_local<R>(f: impl FnOnce(&mut Scratch) -> R) -> R {
+        thread_local! {
+            static SCRATCH: RefCell<Scratch> = RefCell::new(Scratch::new());
+        }
+        let mut pool = SCRATCH.with(|s| std::mem::take(&mut *s.borrow_mut()));
+        let result = f(&mut pool);
+        SCRATCH.with(|s| s.borrow_mut().absorb(pool));
+        result
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn take_put_reuses_allocation() {
+        let mut s = Scratch::new();
+        let mut buf = s.take(100);
+        buf[0] = 42.0;
+        let ptr = buf.as_ptr();
+        s.put(buf);
+        let again = s.take(50);
+        assert_eq!(again.len(), 50);
+        assert_eq!(again.as_ptr(), ptr, "allocation should be reused");
+    }
+
+    #[test]
+    fn best_fit_prefers_largest_capacity() {
+        let mut s = Scratch::new();
+        s.put(Vec::with_capacity(10));
+        s.put(Vec::with_capacity(1000));
+        s.put(Vec::with_capacity(100));
+        let buf = s.take(500);
+        assert!(buf.capacity() >= 1000, "largest pooled buffer not reused");
+    }
+
+    #[test]
+    fn thread_local_pool_persists_across_calls() {
+        let ptr = Scratch::with_thread_local(|s| {
+            let buf = s.take(64);
+            let p = buf.as_ptr();
+            s.put(buf);
+            p
+        });
+        let again = Scratch::with_thread_local(|s| {
+            let buf = s.take(64);
+            let p = buf.as_ptr();
+            s.put(buf);
+            p
+        });
+        assert_eq!(ptr, again);
+    }
+}

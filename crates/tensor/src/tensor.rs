@@ -1,5 +1,7 @@
 //! The dense `f32` tensor type.
 
+use crate::elementwise;
+use crate::gemm;
 use crate::rng::Pcg32;
 use crate::shape::Shape;
 use std::fmt;
@@ -155,6 +157,16 @@ impl Tensor {
         Tensor::from_vec(self.data.clone(), dims)
     }
 
+    /// Like [`Tensor::reshape`], but consumes the tensor so the storage
+    /// moves instead of being cloned.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the element counts differ.
+    pub fn into_reshape(self, dims: &[usize]) -> Tensor {
+        Tensor::from_vec(self.data, dims)
+    }
+
     fn zip_check(&self, other: &Tensor, op: &str) {
         assert_eq!(
             self.shape, other.shape,
@@ -210,15 +222,36 @@ impl Tensor {
     /// `self + alpha * other`, in place.
     pub fn axpy_in_place(&mut self, alpha: f32, other: &Tensor) {
         self.zip_check(other, "axpy");
-        for (a, &b) in self.data.iter_mut().zip(other.data.iter()) {
-            *a += alpha * b;
-        }
+        elementwise::axpy(&mut self.data, alpha, &other.data);
     }
 
     /// Multiplies every element by `alpha`, in place.
     pub fn scale_in_place(&mut self, alpha: f32) {
+        elementwise::scale(&mut self.data, alpha);
+    }
+
+    /// Elementwise sum, in place (`self += other`).
+    pub fn add_assign(&mut self, other: &Tensor) {
+        self.zip_check(other, "add_assign");
+        elementwise::add(&mut self.data, &other.data);
+    }
+
+    /// Elementwise difference, in place (`self -= other`).
+    pub fn sub_assign(&mut self, other: &Tensor) {
+        self.zip_check(other, "sub_assign");
+        elementwise::sub(&mut self.data, &other.data);
+    }
+
+    /// Elementwise (Hadamard) product, in place (`self *= other`).
+    pub fn mul_assign(&mut self, other: &Tensor) {
+        self.zip_check(other, "mul_assign");
+        elementwise::mul(&mut self.data, &other.data);
+    }
+
+    /// Applies `f` to every element, in place.
+    pub fn map_in_place(&mut self, f: impl Fn(f32) -> f32) {
         for v in &mut self.data {
-            *v *= alpha;
+            *v = f(*v);
         }
     }
 
@@ -278,8 +311,9 @@ impl Tensor {
 
     /// Matrix product of two rank-2 tensors: `[m, k] x [k, n] -> [m, n]`.
     ///
-    /// Uses an ikj loop order with a flat accumulator row, which is cache
-    /// friendly enough for the model sizes in this reproduction.
+    /// Backed by the cache-blocked, panel-packed [`gemm`] kernel (SIMD
+    /// micro-kernels selected at runtime, rows parallelized across
+    /// `YF_NUM_THREADS` threads).
     ///
     /// # Panics
     ///
@@ -292,19 +326,42 @@ impl Tensor {
         let (k2, n) = (other.shape.dims()[0], other.shape.dims()[1]);
         assert_eq!(k, k2, "matmul: inner dims {k} vs {k2}");
         let mut out = vec![0.0f32; m * n];
-        for i in 0..m {
-            let row_out = &mut out[i * n..(i + 1) * n];
-            for p in 0..k {
-                let a = self.data[i * k + p];
-                if a == 0.0 {
-                    continue;
-                }
-                let row_b = &other.data[p * n..(p + 1) * n];
-                for (o, &b) in row_out.iter_mut().zip(row_b.iter()) {
-                    *o += a * b;
-                }
-            }
-        }
+        gemm::gemm_nn(m, n, k, &self.data, &other.data, 0.0, &mut out);
+        Tensor::from_vec(out, &[m, n])
+    }
+
+    /// Fused `self · otherᵀ` for rank-2 tensors: `[m, k] x [n, k]ᵀ ->
+    /// [m, n]`, without materializing the transpose (the GEMM packing
+    /// layer reads `other` column-wise instead).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless both tensors are rank 2 with matching `k`.
+    pub fn matmul_nt(&self, other: &Tensor) -> Tensor {
+        assert_eq!(self.shape.rank(), 2, "matmul_nt: lhs must be rank 2");
+        assert_eq!(other.shape.rank(), 2, "matmul_nt: rhs must be rank 2");
+        let (m, k) = (self.shape.dims()[0], self.shape.dims()[1]);
+        let (n, k2) = (other.shape.dims()[0], other.shape.dims()[1]);
+        assert_eq!(k, k2, "matmul_nt: inner dims {k} vs {k2}");
+        let mut out = vec![0.0f32; m * n];
+        gemm::gemm_nt(m, n, k, &self.data, &other.data, 0.0, &mut out);
+        Tensor::from_vec(out, &[m, n])
+    }
+
+    /// Fused `selfᵀ · other` for rank-2 tensors: `[k, m]ᵀ x [k, n] ->
+    /// [m, n]`, without materializing the transpose.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless both tensors are rank 2 with matching `k`.
+    pub fn matmul_tn(&self, other: &Tensor) -> Tensor {
+        assert_eq!(self.shape.rank(), 2, "matmul_tn: lhs must be rank 2");
+        assert_eq!(other.shape.rank(), 2, "matmul_tn: rhs must be rank 2");
+        let (k, m) = (self.shape.dims()[0], self.shape.dims()[1]);
+        let (k2, n) = (other.shape.dims()[0], other.shape.dims()[1]);
+        assert_eq!(k, k2, "matmul_tn: inner dims {k} vs {k2}");
+        let mut out = vec![0.0f32; m * n];
+        gemm::gemm_tn(m, n, k, &self.data, &other.data, 0.0, &mut out);
         Tensor::from_vec(out, &[m, n])
     }
 
@@ -403,6 +460,56 @@ mod tests {
         for (x, y) in a.data().iter().zip(b.data().iter()) {
             assert!((x - y).abs() < 1e-6);
         }
+    }
+
+    #[test]
+    fn matmul_nt_tn_match_explicit_transpose() {
+        let mut rng = Pcg32::seed(21);
+        let a = Tensor::randn(&[7, 5], &mut rng);
+        let b = Tensor::randn(&[5, 9], &mut rng);
+        let want = a.matmul(&b);
+        let via_nt = a.matmul_nt(&b.transpose());
+        let via_tn = a.transpose().matmul_tn(&b);
+        for (w, (x, y)) in want
+            .data()
+            .iter()
+            .zip(via_nt.data().iter().zip(via_tn.data()))
+        {
+            assert!((w - x).abs() < 1e-5, "nt: {w} vs {x}");
+            assert!((w - y).abs() < 1e-5, "tn: {w} vs {y}");
+        }
+    }
+
+    #[test]
+    fn in_place_ops_match_allocating_ops() {
+        let mut rng = Pcg32::seed(22);
+        let a = Tensor::randn(&[3, 4], &mut rng);
+        let b = Tensor::randn(&[3, 4], &mut rng);
+
+        let mut t = a.clone();
+        t.add_assign(&b);
+        assert_eq!(t, a.add(&b));
+
+        let mut t = a.clone();
+        t.sub_assign(&b);
+        assert_eq!(t, a.sub(&b));
+
+        let mut t = a.clone();
+        t.mul_assign(&b);
+        assert_eq!(t, a.mul(&b));
+
+        let mut t = a.clone();
+        t.map_in_place(|v| v.max(0.0));
+        assert_eq!(t, a.map(|v| v.max(0.0)));
+    }
+
+    #[test]
+    fn into_reshape_moves_storage() {
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]);
+        let ptr = a.data().as_ptr();
+        let b = a.into_reshape(&[4]);
+        assert_eq!(b.shape(), &[4]);
+        assert_eq!(b.data().as_ptr(), ptr, "storage should move, not clone");
     }
 
     #[test]
