@@ -8,8 +8,8 @@
 //! applied at step `t` was computed on the parameter snapshot of step
 //! `t - tau` — so Figures 1 (right), 4 and 10 are bit-reproducible.
 //!
-//! [`threads`] contains a real multi-threaded Hogwild-style variant built
-//! on crossbeam channels for demonstration; the simulator is what the
+//! [`threads`] contains a real multi-threaded Hogwild-style variant with
+//! per-shard parameter locks for demonstration; the simulator is what the
 //! benches use.
 
 pub mod threads;
@@ -68,6 +68,8 @@ pub struct RoundRobinSimulator {
     /// Parameter snapshots awaiting their gradient.
     params: Vec<f32>,
     step: u64,
+    /// Parallel shards for the apply phase (1 = whole-vector apply).
+    shards: usize,
 }
 
 impl RoundRobinSimulator {
@@ -85,7 +87,17 @@ impl RoundRobinSimulator {
             queue: VecDeque::with_capacity(workers),
             params: initial,
             step: 0,
+            shards: 1,
         }
+    }
+
+    /// Applies updates as `shards` parallel slices (one `observe`, N
+    /// `step_shard`s). Updates are per-coordinate, so the trajectory is
+    /// bit-identical for every shard count — this only changes how the
+    /// apply phase is scheduled.
+    pub fn with_shards(mut self, shards: usize) -> Self {
+        self.shards = shards.max(1);
+        self
     }
 
     /// Gradient staleness `tau = workers - 1`.
@@ -114,7 +126,7 @@ impl RoundRobinSimulator {
         let record = if self.queue.len() > self.staleness {
             let (stale_loss, stale_grad) = self.queue.pop_front().expect("queue non-empty");
             let norm = yf_optim::clip::global_norm(&stale_grad);
-            opt.step(&mut self.params, &stale_grad);
+            yf_optim::sharded::step_sharded(opt, &mut self.params, &stale_grad, self.shards);
             StepRecord {
                 step: self.step,
                 loss: stale_loss,

@@ -1,20 +1,109 @@
 //! A real multi-threaded asynchronous trainer (demonstration variant).
 //!
 //! Workers pull parameter snapshots, compute gradients, and send them to
-//! a central applier thread over a bounded channel; the applier updates
-//! the shared parameters under a mutex. Unlike
-//! [`RoundRobinSimulator`](crate::RoundRobinSimulator) the interleaving
-//! here is scheduler-dependent, so this type is used by the
+//! a central applier thread over a bounded channel. Parameters are held
+//! in a [`ShardedParams`]: one mutex per contiguous shard instead of one
+//! whole-model lock, so a worker snapshotting shard 0 never waits for the
+//! applier updating shard 3 — the applier and the workers no longer
+//! serialize on a single `Mutex<Vec<f32>>`. The applier drives the
+//! two-phase optimizer API directly: one `observe` on a consistent
+//! snapshot, then per-shard `step_shard`s that each hold only their own
+//! shard's lock.
+//!
+//! Unlike [`RoundRobinSimulator`](crate::RoundRobinSimulator) the
+//! interleaving here is scheduler-dependent, so this type is used by the
 //! `async_training` example rather than by the reproducible benches.
 
 use std::sync::mpsc;
 use std::sync::{Arc, Mutex};
 use std::thread;
-use yf_optim::Optimizer;
+use yf_optim::{Optimizer, ParamShard};
+use yf_tensor::parallel;
 
 /// A thread-safe gradient function: maps `(params, step)` to
 /// `(loss, gradient)`.
 pub type SharedGradFn = Arc<dyn Fn(&[f32], u64) -> (f32, Vec<f32>) + Send + Sync>;
+
+/// A flat parameter vector split into contiguous shards, each behind its
+/// own lock. Readers lock one shard at a time, so concurrent access only
+/// contends when two parties touch the *same* shard.
+#[derive(Debug)]
+pub struct ShardedParams {
+    shards: Vec<Mutex<Vec<f32>>>,
+    /// Flat offset of each shard (same length as `shards`).
+    offsets: Vec<usize>,
+    total: usize,
+}
+
+impl ShardedParams {
+    /// Splits `initial` into up to `shards` contiguous slices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `initial` is empty.
+    pub fn new(initial: Vec<f32>, shards: usize) -> Self {
+        assert!(!initial.is_empty(), "sharded params: empty vector");
+        let total = initial.len();
+        let shards = shards.clamp(1, total);
+        let rows_per = parallel::chunk_rows(total, shards);
+        let mut slots = Vec::new();
+        let mut offsets = Vec::new();
+        let mut offset = 0;
+        while offset < total {
+            let end = (offset + rows_per).min(total);
+            slots.push(Mutex::new(initial[offset..end].to_vec()));
+            offsets.push(offset);
+            offset = end;
+        }
+        ShardedParams {
+            shards: slots,
+            offsets,
+            total,
+        }
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Flat dimension.
+    pub fn total(&self) -> usize {
+        self.total
+    }
+
+    /// Stitches the current parameters into one vector, locking each
+    /// shard briefly in turn. The result is consistent whenever a single
+    /// applier performs all writes between its own snapshots; concurrent
+    /// snapshots during an update may mix shard generations (ordinary
+    /// Hogwild-style staleness, which is the point of this trainer).
+    pub fn snapshot(&self) -> Vec<f32> {
+        let mut out = Vec::with_capacity(self.total);
+        for shard in &self.shards {
+            out.extend_from_slice(&shard.lock().expect("params shard lock"));
+        }
+        out
+    }
+
+    /// Applies one optimizer step: `hyper` must come from an `observe`
+    /// on this step's gradient. Each shard's lock is held only while that
+    /// shard is updated.
+    pub fn apply(&self, opt: &dyn Optimizer, grads: &[f32], hyper: yf_optim::Hyper) {
+        assert_eq!(grads.len(), self.total, "sharded params: gradient length");
+        let count = self.shards.len();
+        for (i, (shard, &offset)) in self.shards.iter().zip(&self.offsets).enumerate() {
+            let mut p = shard.lock().expect("params shard lock");
+            let len = p.len();
+            let meta = ParamShard {
+                index: i,
+                count,
+                offset,
+                total: self.total,
+            };
+            opt.step_shard(meta, &mut p, &grads[offset..offset + len], hyper);
+        }
+    }
+}
 
 /// Summary of a threaded asynchronous run.
 #[derive(Debug, Clone)]
@@ -27,7 +116,8 @@ pub struct ThreadedRunReport {
     pub updates: usize,
 }
 
-/// Runs `workers` threads for `total_updates` gradient applications.
+/// Runs `workers` threads for `total_updates` gradient applications,
+/// with the shared parameters split across `shards` locks.
 ///
 /// # Panics
 ///
@@ -39,10 +129,11 @@ pub fn run_threaded(
     initial: Vec<f32>,
     grad_fn: SharedGradFn,
     opt: &mut dyn Optimizer,
+    shards: usize,
 ) -> ThreadedRunReport {
     assert!(workers > 0, "threaded: need at least one worker");
     assert!(total_updates > 0, "threaded: need at least one update");
-    let params = Arc::new(Mutex::new(initial));
+    let params = Arc::new(ShardedParams::new(initial, shards));
     let (tx, rx) = mpsc::sync_channel::<(f32, Vec<f32>)>(workers * 2);
     let stop = Arc::new(Mutex::new(false));
 
@@ -58,7 +149,7 @@ pub fn run_threaded(
                 if *stop.lock().expect("stop lock") {
                     break;
                 }
-                let snapshot = params.lock().expect("params lock").clone();
+                let snapshot = params.snapshot();
                 let (loss, grad) = grad_fn(&snapshot, local_step);
                 local_step += workers as u64;
                 // The applier may have exited already; stop quietly then.
@@ -73,8 +164,11 @@ pub fn run_threaded(
     let mut losses = Vec::with_capacity(total_updates);
     for _ in 0..total_updates {
         let (loss, grad) = rx.recv().expect("workers alive while updates remain");
-        let mut p = params.lock().expect("params lock");
-        opt.step(&mut p, &grad);
+        // Measure on a consistent applier-side snapshot, then apply per
+        // shard — workers keep reading other shards in the meantime.
+        let snapshot = params.snapshot();
+        let hyper = opt.observe(&snapshot, &grad);
+        params.apply(&*opt, &grad, hyper);
         losses.push(loss);
     }
     *stop.lock().expect("stop lock") = true;
@@ -84,7 +178,7 @@ pub fn run_threaded(
     for h in handles {
         h.join().expect("worker thread panicked");
     }
-    let final_params = params.lock().expect("params lock").clone();
+    let final_params = params.snapshot();
     ThreadedRunReport {
         params: final_params,
         updates: losses.len(),
@@ -95,7 +189,7 @@ pub fn run_threaded(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use yf_optim::Sgd;
+    use yf_optim::{MomentumSgd, Sgd};
 
     #[test]
     fn threaded_training_converges_on_quadratic() {
@@ -104,18 +198,39 @@ mod tests {
             (loss, x.to_vec())
         });
         let mut opt = Sgd::new(0.05);
-        let report = run_threaded(4, 400, vec![1.0f32; 8], grad_fn, &mut opt);
+        let report = run_threaded(4, 400, vec![1.0f32; 8], grad_fn, &mut opt, 4);
         assert_eq!(report.updates, 400);
         let dist: f32 = report.params.iter().map(|p| p * p).sum::<f32>().sqrt();
         assert!(dist < 0.1, "distance {dist}");
     }
 
     #[test]
+    fn sharded_locks_match_single_lock_with_stateful_optimizer() {
+        // A parameter-independent gradient makes the applied sequence
+        // deterministic regardless of thread interleaving, so a 1-shard
+        // and a 3-shard run must agree bit-for-bit even for an optimizer
+        // with per-shard state.
+        let run = |shards: usize| {
+            let grad_fn: SharedGradFn = Arc::new(|x: &[f32], _| (0.0, vec![0.25; x.len()]));
+            let mut opt = MomentumSgd::new(0.05, 0.8);
+            run_threaded(2, 60, vec![1.0f32; 7], grad_fn, &mut opt, shards).params
+        };
+        assert_eq!(run(1), run(3));
+    }
+
+    #[test]
     fn single_worker_still_works() {
         let grad_fn: SharedGradFn = Arc::new(|x: &[f32], _| (0.0, x.to_vec()));
         let mut opt = Sgd::new(0.1);
-        let report = run_threaded(1, 50, vec![1.0f32], grad_fn, &mut opt);
+        let report = run_threaded(1, 50, vec![1.0f32], grad_fn, &mut opt, 1);
         assert!(report.params[0] < 1.0);
+    }
+
+    #[test]
+    fn shard_count_is_clamped_to_dimension() {
+        let p = ShardedParams::new(vec![0.0; 3], 8);
+        assert_eq!(p.shard_count(), 3);
+        assert_eq!(p.snapshot().len(), 3);
     }
 
     #[test]
@@ -123,6 +238,6 @@ mod tests {
     fn zero_workers_panics() {
         let grad_fn: SharedGradFn = Arc::new(|x: &[f32], _| (0.0, x.to_vec()));
         let mut opt = Sgd::new(0.1);
-        run_threaded(0, 1, vec![1.0], grad_fn, &mut opt);
+        run_threaded(0, 1, vec![1.0], grad_fn, &mut opt, 1);
     }
 }

@@ -2,7 +2,7 @@
 
 use proptest::prelude::*;
 use yf_async::RoundRobinSimulator;
-use yf_optim::{Optimizer, Sgd};
+use yf_optim::{MomentumSgd, Optimizer, Sgd};
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(32))]
@@ -60,9 +60,17 @@ proptest! {
         let mut src = (1usize, |_: &[f32], step: u64| (0.0f32, vec![step as f32]));
         struct Recorder(Vec<f32>);
         impl Optimizer for Recorder {
-            fn step(&mut self, _p: &mut [f32], g: &[f32]) {
+            fn observe(&mut self, _p: &[f32], g: &[f32]) -> yf_optim::Hyper {
                 self.0.push(g[0]);
+                yf_optim::Hyper::default()
             }
+            fn step_shard(
+                &self,
+                _: yf_optim::ParamShard,
+                _: &mut [f32],
+                _: &[f32],
+                _: yf_optim::Hyper,
+            ) {}
             fn learning_rate(&self) -> f32 { 0.0 }
             fn set_learning_rate(&mut self, _: f32) {}
             fn name(&self) -> &'static str { "recorder" }
@@ -76,5 +84,24 @@ proptest! {
             prop_assert_eq!(g as usize, k, "queue order broken");
         }
         prop_assert_eq!(opt.0.len(), iters.saturating_sub(tau));
+    }
+
+    /// Applying updates through N parallel shards is bit-identical to the
+    /// whole-vector apply, for any worker count and dimension.
+    #[test]
+    fn sharded_apply_is_bitwise_invariant(
+        workers in 1usize..6,
+        shards in 2usize..6,
+        dim in 1usize..12,
+    ) {
+        let initial: Vec<f32> = (0..dim).map(|i| 1.0 + i as f32 * 0.3).collect();
+        let run = |s: usize| {
+            let mut sim = RoundRobinSimulator::new(workers, initial.clone()).with_shards(s);
+            let mut src = (dim, |x: &[f32], _| (0.0f32, x.to_vec()));
+            let mut opt = MomentumSgd::new(0.05, 0.7);
+            sim.run(&mut src, &mut opt, 40);
+            sim.params().to_vec()
+        };
+        prop_assert_eq!(run(1), run(shards));
     }
 }

@@ -18,7 +18,21 @@
 //! allocates no column buffers either way.
 
 use crate::im2col::{col2im_add, im2col_into, ColShape};
-use yf_tensor::{gemm, Scratch, Tensor};
+use yf_tensor::{gemm, parallel, Scratch, Tensor};
+
+/// Minimum column-matrix elements per (batch, group) slice before the
+/// im2col/col2im pass fans out across channels; below this the scoped
+/// thread spawn costs more than the unroll.
+const PARALLEL_UNROLL_MIN: usize = 1 << 14;
+
+/// Threads for unrolling a column matrix of `elems` elements.
+fn unroll_threads(elems: usize) -> usize {
+    if elems >= PARALLEL_UNROLL_MIN {
+        parallel::num_threads()
+    } else {
+        1
+    }
+}
 
 /// Static parameters of a convolution.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -172,9 +186,10 @@ pub fn conv2d_forward_with_scratch(
         }
     } else {
         let mut cols = scratch.take(d.ckk * d.owo);
+        let threads = unroll_threads(cols.len());
         for bi in 0..d.b {
             for g in 0..spec.groups {
-                im2col_into(&x[d.x_slice(bi, g)], d.cs, spec, &mut cols);
+                im2col_into(&x[d.x_slice(bi, g)], d.cs, spec, &mut cols, threads);
                 gemm::gemm_nn(
                     d.cout_g,
                     d.owo,
@@ -233,6 +248,7 @@ pub fn conv2d_backward_input_with_scratch(
         }
     } else {
         let mut dcols = scratch.take(d.ckk * d.owo);
+        let threads = unroll_threads(dcols.len());
         for bi in 0..d.b {
             for g in 0..spec.groups {
                 gemm::gemm_tn(
@@ -244,7 +260,7 @@ pub fn conv2d_backward_input_with_scratch(
                     0.0,
                     &mut dcols,
                 );
-                col2im_add(&dcols, d.cs, spec, &mut dx[d.x_slice(bi, g)]);
+                col2im_add(&dcols, d.cs, spec, &mut dx[d.x_slice(bi, g)], threads);
             }
         }
         scratch.put(dcols);
@@ -294,9 +310,10 @@ pub fn conv2d_backward_weight_with_scratch(
         }
     } else {
         let mut cols = scratch.take(d.ckk * d.owo);
+        let threads = unroll_threads(cols.len());
         for bi in 0..d.b {
             for g in 0..spec.groups {
-                im2col_into(&x[d.x_slice(bi, g)], d.cs, spec, &mut cols);
+                im2col_into(&x[d.x_slice(bi, g)], d.cs, spec, &mut cols, threads);
                 gemm::gemm_nt(
                     d.cout_g,
                     d.ckk,

@@ -17,6 +17,12 @@
 //! Column buffers come from a caller-provided
 //! [`Scratch`](yf_tensor::Scratch) pool, so steady-state training reuses
 //! one allocation per shape.
+//!
+//! Both the unroll and the scatter are embarrassingly parallel across
+//! input channels (each channel owns a contiguous row block of the
+//! column matrix and its own image plane), so both take a thread count
+//! and fan out through `yf_tensor::parallel::scoped_chunks_mut` when the
+//! caller's column matrix is large enough to pay for it.
 
 use crate::conv::ConvSpec;
 
@@ -67,36 +73,89 @@ impl ColShape {
     }
 }
 
+/// Unrolls one channel plane `x: [h, w]` into its `kh * kw` rows of the
+/// column matrix (`dst: [kh * kw, cols()]`).
+fn im2col_channel(plane: &[f32], cs: ColShape, spec: ConvSpec, dst: &mut [f32]) {
+    let (st, pad) = (spec.stride, spec.padding);
+    let mut dst_rows = dst.chunks_exact_mut(cs.cols());
+    for ky in 0..cs.kh {
+        for kx in 0..cs.kw {
+            let dst = dst_rows.next().expect("cols row count");
+            let (ox_lo, ox_hi) = cs.ox_range(kx, spec);
+            for oy in 0..cs.ho {
+                let iy = oy * st + ky;
+                let seg = &mut dst[oy * cs.wo..(oy + 1) * cs.wo];
+                if iy < pad || iy - pad >= cs.h {
+                    seg.fill(0.0);
+                    continue;
+                }
+                let src = &plane[(iy - pad) * cs.w..(iy - pad + 1) * cs.w];
+                seg[..ox_lo].fill(0.0);
+                seg[ox_hi..].fill(0.0);
+                if st == 1 {
+                    // Interior fast path: one contiguous run.
+                    let i0 = ox_lo + kx - pad;
+                    seg[ox_lo..ox_hi].copy_from_slice(&src[i0..i0 + (ox_hi - ox_lo)]);
+                } else {
+                    for (ox, slot) in seg[ox_lo..ox_hi].iter_mut().enumerate() {
+                        *slot = src[(ox_lo + ox) * st + kx - pad];
+                    }
+                }
+            }
+        }
+    }
+}
+
 /// Unrolls one image slice `x: [cin_g, h, w]` into `cols: [rows(), cols()]`.
-pub(crate) fn im2col_into(x: &[f32], cs: ColShape, spec: ConvSpec, cols: &mut [f32]) {
+///
+/// Channel `ic` owns the contiguous row block `[ic*kh*kw, (ic+1)*kh*kw)`
+/// of the column matrix, so the unroll parallelizes across channels with
+/// disjoint output chunks (`threads` scoped workers; 1 = plain call).
+pub(crate) fn im2col_into(
+    x: &[f32],
+    cs: ColShape,
+    spec: ConvSpec,
+    cols: &mut [f32],
+    threads: usize,
+) {
     debug_assert_eq!(x.len(), cs.cin_g * cs.h * cs.w);
     debug_assert_eq!(cols.len(), cs.rows() * cs.cols());
+    let per_channel = cs.kh * cs.kw * cs.cols();
+    yf_tensor::parallel::scoped_chunks_mut(cols, per_channel, threads, |first_ch, chunk| {
+        for (c, dst) in chunk.chunks_exact_mut(per_channel).enumerate() {
+            let ic = first_ch + c;
+            let plane = &x[ic * cs.h * cs.w..(ic + 1) * cs.h * cs.w];
+            im2col_channel(plane, cs, spec, dst);
+        }
+    });
+}
+
+/// Scatter-adds one channel's column rows back into its image plane.
+fn col2im_channel(src_rows: &[f32], cs: ColShape, spec: ConvSpec, plane: &mut [f32]) {
     let (st, pad) = (spec.stride, spec.padding);
-    let mut dst_rows = cols.chunks_exact_mut(cs.cols());
-    for ic in 0..cs.cin_g {
-        let plane = &x[ic * cs.h * cs.w..(ic + 1) * cs.h * cs.w];
-        for ky in 0..cs.kh {
-            for kx in 0..cs.kw {
-                let dst = dst_rows.next().expect("cols row count");
-                let (ox_lo, ox_hi) = cs.ox_range(kx, spec);
-                for oy in 0..cs.ho {
-                    let iy = oy * st + ky;
-                    let seg = &mut dst[oy * cs.wo..(oy + 1) * cs.wo];
-                    if iy < pad || iy - pad >= cs.h {
-                        seg.fill(0.0);
-                        continue;
+    let mut src_rows = src_rows.chunks_exact(cs.cols());
+    for ky in 0..cs.kh {
+        for kx in 0..cs.kw {
+            let src = src_rows.next().expect("cols row count");
+            let (ox_lo, ox_hi) = cs.ox_range(kx, spec);
+            for oy in 0..cs.ho {
+                let iy = oy * st + ky;
+                if iy < pad || iy - pad >= cs.h {
+                    continue;
+                }
+                let seg = &src[oy * cs.wo..(oy + 1) * cs.wo];
+                let drow = &mut plane[(iy - pad) * cs.w..(iy - pad + 1) * cs.w];
+                if st == 1 {
+                    let i0 = ox_lo + kx - pad;
+                    for (slot, &g) in drow[i0..i0 + (ox_hi - ox_lo)]
+                        .iter_mut()
+                        .zip(&seg[ox_lo..ox_hi])
+                    {
+                        *slot += g;
                     }
-                    let src = &plane[(iy - pad) * cs.w..(iy - pad + 1) * cs.w];
-                    seg[..ox_lo].fill(0.0);
-                    seg[ox_hi..].fill(0.0);
-                    if st == 1 {
-                        // Interior fast path: one contiguous run.
-                        let i0 = ox_lo + kx - pad;
-                        seg[ox_lo..ox_hi].copy_from_slice(&src[i0..i0 + (ox_hi - ox_lo)]);
-                    } else {
-                        for (ox, slot) in seg[ox_lo..ox_hi].iter_mut().enumerate() {
-                            *slot = src[(ox_lo + ox) * st + kx - pad];
-                        }
+                } else {
+                    for (ox, &g) in seg[ox_lo..ox_hi].iter().enumerate() {
+                        drow[(ox_lo + ox) * st + kx - pad] += g;
                     }
                 }
             }
@@ -107,41 +166,28 @@ pub(crate) fn im2col_into(x: &[f32], cs: ColShape, spec: ConvSpec, cols: &mut [f
 /// Scatter-adds a column matrix back into an image slice:
 /// `dx[ic, iy, ix] += cols[(ic,ky,kx), (oy,ox)]` over every tap that read
 /// that pixel. Exact adjoint of [`im2col_into`].
-pub(crate) fn col2im_add(cols: &[f32], cs: ColShape, spec: ConvSpec, dx: &mut [f32]) {
+///
+/// Each channel writes only its own `[h, w]` plane of `dx` (reading its
+/// own row block of `cols`), so the scatter parallelizes across channels
+/// with disjoint output chunks, mirroring the unroll.
+pub(crate) fn col2im_add(
+    cols: &[f32],
+    cs: ColShape,
+    spec: ConvSpec,
+    dx: &mut [f32],
+    threads: usize,
+) {
     debug_assert_eq!(dx.len(), cs.cin_g * cs.h * cs.w);
     debug_assert_eq!(cols.len(), cs.rows() * cs.cols());
-    let (st, pad) = (spec.stride, spec.padding);
-    let mut src_rows = cols.chunks_exact(cs.cols());
-    for ic in 0..cs.cin_g {
-        let plane = &mut dx[ic * cs.h * cs.w..(ic + 1) * cs.h * cs.w];
-        for ky in 0..cs.kh {
-            for kx in 0..cs.kw {
-                let src = src_rows.next().expect("cols row count");
-                let (ox_lo, ox_hi) = cs.ox_range(kx, spec);
-                for oy in 0..cs.ho {
-                    let iy = oy * st + ky;
-                    if iy < pad || iy - pad >= cs.h {
-                        continue;
-                    }
-                    let seg = &src[oy * cs.wo..(oy + 1) * cs.wo];
-                    let drow = &mut plane[(iy - pad) * cs.w..(iy - pad + 1) * cs.w];
-                    if st == 1 {
-                        let i0 = ox_lo + kx - pad;
-                        for (slot, &g) in drow[i0..i0 + (ox_hi - ox_lo)]
-                            .iter_mut()
-                            .zip(&seg[ox_lo..ox_hi])
-                        {
-                            *slot += g;
-                        }
-                    } else {
-                        for (ox, &g) in seg[ox_lo..ox_hi].iter().enumerate() {
-                            drow[(ox_lo + ox) * st + kx - pad] += g;
-                        }
-                    }
-                }
-            }
+    let per_channel = cs.kh * cs.kw * cs.cols();
+    let plane_len = cs.h * cs.w;
+    yf_tensor::parallel::scoped_chunks_mut(dx, plane_len, threads, |first_ch, chunk| {
+        for (c, plane) in chunk.chunks_exact_mut(plane_len).enumerate() {
+            let ic = first_ch + c;
+            let src_rows = &cols[ic * per_channel..(ic + 1) * per_channel];
+            col2im_channel(src_rows, cs, spec, plane);
         }
-    }
+    });
 }
 
 #[cfg(test)]
@@ -197,9 +243,14 @@ mod tests {
             };
             let x: Vec<f32> = (0..2 * h * w).map(|v| v as f32 + 1.0).collect();
             let want = unroll_naive(&x, cs, spec);
-            let mut got = vec![f32::NAN; want.len()];
-            im2col_into(&x, cs, spec, &mut got);
-            assert_eq!(got, want, "h{h} w{w} k{kh}x{kw} s{stride} p{padding}");
+            for threads in [1usize, 2, 4] {
+                let mut got = vec![f32::NAN; want.len()];
+                im2col_into(&x, cs, spec, &mut got, threads);
+                assert_eq!(
+                    got, want,
+                    "h{h} w{w} k{kh}x{kw} s{stride} p{padding} t{threads}"
+                );
+            }
         }
     }
 
@@ -227,11 +278,17 @@ mod tests {
             .map(|v| (v as f32 * 0.71).cos())
             .collect();
         let mut cols = vec![0.0f32; y.len()];
-        im2col_into(&x, cs, spec, &mut cols);
+        im2col_into(&x, cs, spec, &mut cols, 2);
         let lhs: f64 = cols.iter().zip(&y).map(|(&a, &b)| f64::from(a * b)).sum();
         let mut xt = vec![0.0f32; x.len()];
-        col2im_add(&y, cs, spec, &mut xt);
+        col2im_add(&y, cs, spec, &mut xt, 2);
         let rhs: f64 = x.iter().zip(&xt).map(|(&a, &b)| f64::from(a * b)).sum();
         assert!((lhs - rhs).abs() < 1e-3, "{lhs} vs {rhs}");
+
+        // The parallel scatter is deterministic: per-channel outputs are
+        // disjoint, so 1-thread and N-thread results agree bitwise.
+        let mut xt1 = vec![0.0f32; x.len()];
+        col2im_add(&y, cs, spec, &mut xt1, 1);
+        assert_eq!(xt, xt1);
     }
 }

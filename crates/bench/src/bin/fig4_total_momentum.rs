@@ -37,16 +37,33 @@ impl<O: Optimizer> Instrumented<O> {
 }
 
 impl<O: Optimizer> Optimizer for Instrumented<O> {
-    fn step(&mut self, params: &mut [f32], grads: &[f32]) {
+    fn observe(&mut self, params: &[f32], grads: &[f32]) -> yf_optim::Hyper {
+        // The measure phase sees exactly the (pre-update params, applied
+        // gradient) pair Eq. 37 needs — instrumentation composes with the
+        // two-phase API without shadowing the update.
         let lr = self.inner.learning_rate();
         if let Some(total) = self.estimator.observe(params, grads, lr) {
             self.series.push(((self.target_fn)(&self.inner), total));
         }
-        self.inner.step(params, grads);
+        self.inner.observe(params, grads)
+    }
+
+    fn step_shard(
+        &self,
+        shard: yf_optim::ParamShard,
+        params: &mut [f32],
+        grads: &[f32],
+        hyper: yf_optim::Hyper,
+    ) {
+        self.inner.step_shard(shard, params, grads, hyper);
     }
 
     fn learning_rate(&self) -> f32 {
         self.inner.learning_rate()
+    }
+
+    fn is_self_tuning(&self) -> bool {
+        self.inner.is_self_tuning()
     }
 
     fn set_learning_rate(&mut self, lr: f32) {

@@ -1,21 +1,33 @@
 //! `perf_report` — times the core compute kernels against the retained
-//! seed/reference kernels and writes `BENCH_kernels.json`.
+//! seed/reference kernels and writes `BENCH_kernels.json`, optionally
+//! gating against a committed baseline.
 //!
-//! This is the repository's perf trajectory: CI runs it on every push and
-//! uploads the JSON as an artifact, so kernel regressions (or wins) are
-//! visible per commit. Each entry records the median ns/op of the current
-//! kernel, the median ns/op of the seed-era kernel doing the same job,
-//! and the resulting speedup.
+//! This is the repository's perf trajectory: CI runs it on every push,
+//! compares against the committed `BENCH_kernels.json`, and uploads the
+//! fresh JSON as an artifact, so kernel regressions (or wins) are visible
+//! — and >35% regressions *fail* — per commit. Each entry records the
+//! median ns/op of the current kernel, the median ns/op of the seed-era
+//! kernel doing the same job, and the resulting speedup.
+//!
+//! The regression gate compares **speedups**, not absolute nanoseconds:
+//! both the kernel and its seed counterpart run on the same machine in
+//! the same process, so their ratio is far more stable across runner
+//! hardware than raw timings.
 //!
 //! Environment knobs:
 //! - `YF_PERF_SAMPLES` — samples per kernel for the median (default 9).
 //! - `YF_PERF_OUT` — output path (default `BENCH_kernels.json`).
+//! - `YF_PERF_BASELINE` — baseline JSON to gate against (exit 1 when a
+//!   kernel's speedup falls more than the tolerance below the baseline).
+//! - `YF_PERF_TOL` — gate tolerance as a fraction (default 0.35).
 //! - `YF_NUM_THREADS` — kernel-layer thread count, recorded in the JSON.
 
 use std::fmt::Write as _;
 use std::time::Instant;
 use yf_autograd::conv::{self, reference as conv_ref};
 use yf_autograd::ConvSpec;
+use yf_optim::sharded::step_sharded;
+use yf_optim::{Adam, MomentumSgd, Optimizer};
 use yf_tensor::gemm::reference as gemm_ref;
 use yf_tensor::rng::Pcg32;
 use yf_tensor::{parallel, Tensor};
@@ -56,8 +68,60 @@ impl Entry {
     }
 }
 
+/// Parses the `"name": {"median_ns": .., "seed_median_ns": .., "speedup": ..}`
+/// lines of a previously emitted `BENCH_kernels.json` into
+/// `(name, speedup)` pairs. Hand-rolled because the format is ours and
+/// the build environment is offline.
+fn parse_baseline(text: &str) -> Vec<(String, f64)> {
+    let mut out = Vec::new();
+    for line in text.lines() {
+        let line = line.trim();
+        if !line.contains("\"median_ns\"") {
+            continue;
+        }
+        let Some(name) = line.strip_prefix('"').and_then(|r| r.split('"').next()) else {
+            continue;
+        };
+        let Some(speedup) = line
+            .split("\"speedup\":")
+            .nth(1)
+            .and_then(|r| r.trim().trim_end_matches(['}', ',', ' ']).parse().ok())
+        else {
+            continue;
+        };
+        out.push((name.to_string(), speedup));
+    }
+    out
+}
+
+/// Compares fresh entries against a baseline; returns the kernels whose
+/// speedup regressed by more than `tol` (fractional).
+fn regressions<'a>(
+    entries: &'a [Entry],
+    baseline: &'a [(String, f64)],
+    tol: f64,
+) -> Vec<(&'a str, f64, f64)> {
+    let mut bad = Vec::new();
+    for e in entries {
+        let Some((_, base)) = baseline.iter().find(|(n, _)| n == e.name) else {
+            continue; // new kernel: no baseline yet
+        };
+        let now = e.speedup();
+        if now < base / (1.0 + tol) {
+            bad.push((e.name, *base, now));
+        }
+    }
+    bad
+}
+
 fn main() {
     let mut rng = Pcg32::seed(7);
+    // Read the baseline up front: the output may overwrite the same file.
+    let baseline = std::env::var("YF_PERF_BASELINE").ok().map(|path| {
+        let text =
+            std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read baseline {path}: {e}"));
+        (path, parse_baseline(&text))
+    });
     let mut entries: Vec<Entry> = Vec::new();
     let mut push = |name: &'static str, median_ns: u128, seed_median_ns: u128| {
         let e = Entry {
@@ -243,6 +307,38 @@ fn main() {
         push(name, new, seed);
     }
 
+    // --- Optimizer-step kernels: sharded apply vs single-thread apply on
+    // ~1M parameters (the ShardedState + scoped-thread payoff). The
+    // "seed" column is the whole-vector single-shard path, which is
+    // exactly what the one-phase API executed. ---
+    {
+        let n = 1 << 20;
+        let grads: Vec<f32> = (0..n).map(|_| rng.normal()).collect();
+        let shards = parallel::num_threads();
+        type OptCase = (&'static str, fn() -> Box<dyn Optimizer>);
+        let cases: &[OptCase] = &[
+            ("momentum_step_1M_sharded", || {
+                Box::new(MomentumSgd::new(1e-4, 0.9))
+            }),
+            ("adam_step_1M_sharded", || Box::new(Adam::new(1e-4))),
+        ];
+        for &(name, make) in cases {
+            let mut single = make();
+            let mut params1 = vec![0.0f32; n];
+            let single_ns = median_ns(|| {
+                single.step(&mut params1, &grads);
+                std::hint::black_box(&params1);
+            });
+            let mut sharded = make();
+            let mut params2 = vec![0.0f32; n];
+            let sharded_ns = median_ns(|| {
+                step_sharded(sharded.as_mut(), &mut params2, &grads, shards);
+                std::hint::black_box(&params2);
+            });
+            push(name, sharded_ns, single_ns);
+        }
+    }
+
     // --- Emit BENCH_kernels.json. ---
     let mut json = String::new();
     let _ = writeln!(json, "{{");
@@ -273,4 +369,30 @@ fn main() {
         std::env::var("YF_PERF_OUT").unwrap_or_else(|_| "BENCH_kernels.json".to_string());
     std::fs::write(&out_path, json).expect("write BENCH_kernels.json");
     println!("\nwrote {out_path}");
+
+    // --- Regression gate against the committed baseline. ---
+    if let Some((path, baseline)) = baseline {
+        let tol: f64 = std::env::var("YF_PERF_TOL")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .filter(|t| *t > 0.0)
+            .unwrap_or(0.35);
+        let bad = regressions(&entries, &baseline, tol);
+        if bad.is_empty() {
+            println!(
+                "perf gate: all {} kernels within {:.0}% of {path}",
+                entries.len(),
+                tol * 100.0
+            );
+        } else {
+            eprintln!(
+                "perf gate: kernel speedups regressed >{:.0}% vs {path}:",
+                tol * 100.0
+            );
+            for (name, base, now) in &bad {
+                eprintln!("  {name}: {base:.2}x -> {now:.2}x");
+            }
+            std::process::exit(1);
+        }
+    }
 }

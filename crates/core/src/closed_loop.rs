@@ -11,7 +11,7 @@
 
 use crate::tuner::{YellowFin, YellowFinConfig};
 use std::collections::VecDeque;
-use yf_optim::Optimizer;
+use yf_optim::{Hyper, Optimizer, ParamShard, ShardedState};
 
 /// The total-momentum estimator of Eq. 37:
 ///
@@ -112,6 +112,11 @@ impl TotalMomentumEstimator {
 ///
 /// The update itself is the position-form momentum step of Algorithm 5,
 /// line 3: `x_t = x_{t-1} + mu (x_{t-1} - x_{t-2}) - alpha g`.
+///
+/// Two-phase mapping: `observe` runs the estimator, the tuner's
+/// measurement/solve phase (targets only — the tuner applies nothing),
+/// and the feedback law; `step_shard` is the position-form update with
+/// per-shard previous-parameter state.
 #[derive(Debug, Clone)]
 pub struct ClosedLoopYellowFin {
     tuner: YellowFin,
@@ -119,10 +124,11 @@ pub struct ClosedLoopYellowFin {
     gamma: f64,
     mu: f64,
     last_total: Option<f64>,
-    prev_params: Option<Vec<f32>>,
-    /// Scratch for the tuner's "shadow" parameters: the tuner is only used
-    /// for measurement + target computation, not for the actual update.
-    shadow: Vec<f32>,
+    /// Per-shard previous parameters for the position-form update. A
+    /// shard's buffer is seeded with the parameters themselves on its
+    /// first step (which then degenerates to plain gradient descent, as
+    /// in Algorithm 5's warmup).
+    prev_params: ShardedState,
 }
 
 impl ClosedLoopYellowFin {
@@ -136,8 +142,7 @@ impl ClosedLoopYellowFin {
             gamma,
             mu: 0.0,
             last_total: None,
-            prev_params: None,
-            shadow: Vec::new(),
+            prev_params: ShardedState::new(1),
         }
     }
 
@@ -164,7 +169,7 @@ impl ClosedLoopYellowFin {
 }
 
 impl Optimizer for ClosedLoopYellowFin {
-    fn step(&mut self, params: &mut [f32], grads: &[f32]) {
+    fn observe(&mut self, params: &[f32], grads: &[f32]) -> Hyper {
         assert_eq!(params.len(), grads.len(), "closed-loop: length mismatch");
         // Measure total momentum from the pre-update state.
         let lr = self.tuner.effective_lr() as f32;
@@ -172,11 +177,10 @@ impl Optimizer for ClosedLoopYellowFin {
             self.last_total = Some(mu_t);
         }
 
-        // Run the tuner on a shadow copy to produce mu* and alpha without
-        // letting it apply its own (open-loop) momentum to the real model.
-        self.shadow.clear();
-        self.shadow.extend_from_slice(params);
-        self.tuner.step(&mut self.shadow, grads);
+        // Run the tuner's measure/solve phase to produce mu* and alpha;
+        // its open-loop momentum update is never applied to the model
+        // (the position-form update below replaces it).
+        self.tuner.observe(params, grads);
 
         // Negative feedback on the algorithmic momentum.
         if let Some(mu_total) = self.last_total {
@@ -186,24 +190,30 @@ impl Optimizer for ClosedLoopYellowFin {
             self.mu = self.tuner.momentum();
         }
 
+        // Per Algorithm 5 the applied gradient is the raw one; clipping
+        // only shapes the tuner's measurements.
+        Hyper::new(self.tuner.effective_lr() as f32, self.mu as f32)
+    }
+
+    fn step_shard(&self, shard: ParamShard, params: &mut [f32], grads: &[f32], hyper: Hyper) {
+        shard.validate(params, grads);
+        let (lr, mu) = (hyper.lr, hyper.momentum);
         // Position-form momentum update (Algorithm 5, line 3).
-        let lr = self.tuner.effective_lr() as f32;
-        let mu = self.mu as f32;
-        match &mut self.prev_params {
-            Some(prev) => {
+        self.prev_params.with(shard, params.len(), |bufs| {
+            let prev = &mut bufs[0];
+            if prev.is_empty() {
+                prev.extend_from_slice(params);
+                for (p, &g) in params.iter_mut().zip(grads) {
+                    *p -= lr * hyper.grad_scale * g;
+                }
+            } else {
                 for i in 0..params.len() {
                     let x = params[i];
-                    params[i] += mu * (x - prev[i]) - lr * grads[i];
+                    params[i] += mu * (x - prev[i]) - lr * hyper.grad_scale * grads[i];
                     prev[i] = x;
                 }
             }
-            None => {
-                self.prev_params = Some(params.to_vec());
-                for (p, &g) in params.iter_mut().zip(grads) {
-                    *p -= lr * g;
-                }
-            }
-        }
+        });
     }
 
     fn learning_rate(&self) -> f32 {
@@ -212,6 +222,10 @@ impl Optimizer for ClosedLoopYellowFin {
 
     fn set_learning_rate(&mut self, lr: f32) {
         self.tuner.set_learning_rate(lr);
+    }
+
+    fn is_self_tuning(&self) -> bool {
+        true
     }
 
     fn name(&self) -> &'static str {
@@ -238,8 +252,11 @@ pub struct ClosedLoopAdam {
     gamma: f64,
     estimator: TotalMomentumEstimator,
     last_total: Option<f64>,
-    /// Rebuilt whenever beta1 moves (Adam state is kept across updates).
-    m: Vec<f32>,
+    /// First moment, per shard (apply-phase state).
+    m: ShardedState,
+    /// Second moment, whole-vector: the measure phase needs it to build
+    /// the effective (preconditioned) gradient Eq. 37 is fed, so it is
+    /// updated in `observe` and only *read* by `step_shard`.
     v: Vec<f32>,
     t: u64,
 }
@@ -257,7 +274,7 @@ impl ClosedLoopAdam {
             gamma,
             estimator: TotalMomentumEstimator::new(staleness),
             last_total: None,
-            m: Vec::new(),
+            m: ShardedState::new(1),
             v: Vec::new(),
             t: 0,
         }
@@ -275,12 +292,18 @@ impl ClosedLoopAdam {
 }
 
 impl Optimizer for ClosedLoopAdam {
-    fn step(&mut self, params: &mut [f32], grads: &[f32]) {
+    fn observe(&mut self, params: &[f32], grads: &[f32]) -> Hyper {
         assert_eq!(params.len(), grads.len(), "closed-loop adam: lengths");
-        if self.m.is_empty() {
-            self.m = vec![0.0; params.len()];
+        if self.v.is_empty() {
             self.v = vec![0.0; params.len()];
         }
+        assert_eq!(
+            self.v.len(),
+            params.len(),
+            "optimizer: parameter count changed between steps ({} -> {})",
+            self.v.len(),
+            params.len()
+        );
         self.t += 1;
         let b1 = self.beta1 as f32;
         let bc1 = 1.0 - b1.powi(self.t.min(i32::MAX as u64) as i32);
@@ -303,13 +326,29 @@ impl Optimizer for ClosedLoopAdam {
             self.beta1 += self.gamma * (self.target - total);
             self.beta1 = self.beta1.clamp(-0.95, 0.999);
         }
-        for i in 0..params.len() {
-            let g = grads[i];
-            self.m[i] = b1 * self.m[i] + (1.0 - b1) * g;
-            let m_hat = self.m[i] / bc1;
-            let v_hat = self.v[i] / bc2;
-            params[i] -= self.lr * m_hat / (v_hat.sqrt() + 1e-8);
-        }
+        // The applied β1 is the pre-feedback value, exactly as before the
+        // split: the adjusted β1 takes effect from the next step.
+        Hyper::new(self.lr, b1)
+    }
+
+    fn step_shard(&self, shard: ParamShard, params: &mut [f32], grads: &[f32], hyper: Hyper) {
+        shard.validate(params, grads);
+        let b1 = hyper.momentum;
+        let bc1 = 1.0 - b1.powi(self.t.min(i32::MAX as u64) as i32);
+        let bc2 = 1.0 - self.beta2.powi(self.t.min(i32::MAX as u64) as i32);
+        self.m.with(shard, params.len(), |bufs| {
+            let m = &mut bufs[0];
+            if m.is_empty() {
+                m.resize(params.len(), 0.0);
+            }
+            for i in 0..params.len() {
+                let g = hyper.grad_scale * grads[i];
+                m[i] = b1 * m[i] + (1.0 - b1) * g;
+                let m_hat = m[i] / bc1;
+                let v_hat = self.v[shard.offset + i] / bc2;
+                params[i] -= hyper.lr * m_hat / (v_hat.sqrt() + 1e-8);
+            }
+        });
     }
 
     fn learning_rate(&self) -> f32 {

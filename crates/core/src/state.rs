@@ -216,9 +216,11 @@ impl YellowFin {
         write_ema(&mut w, "distance.dist", &self.distance.dist);
         write_ema(&mut w, "mu_ema", &self.mu_ema);
         write_ema(&mut w, "lr_ema", &self.lr_ema);
-        // Optimizer state.
+        // Optimizer state. The per-shard velocity is stitched back into
+        // one flat vector, so checkpoints are independent of the shard
+        // plan that produced them.
         w.field("step_count", self.step_count);
-        w.f32_slice("velocity", &self.velocity);
+        w.f32_slice("velocity", &self.velocity.flatten(0));
         w.field(
             "dim",
             self.dim
@@ -279,7 +281,10 @@ impl YellowFin {
         tuner.mu_ema = read_ema(&r, "mu_ema", tuner.cfg.beta)?;
         tuner.lr_ema = read_ema(&r, "lr_ema", tuner.cfg.beta)?;
         tuner.step_count = r.parse("step_count")?;
-        tuner.velocity = r.f32_vec("velocity")?;
+        let velocity = r.f32_vec("velocity")?;
+        if !velocity.is_empty() {
+            tuner.velocity.load_full(vec![velocity]);
+        }
         tuner.dim = match r.raw("dim")? {
             "none" => None,
             d => Some(d.parse().map_err(|_| RestoreStateError::new("bad dim"))?),

@@ -3,8 +3,9 @@
 use crate::cubic::single_step;
 use crate::ema::Ema;
 use crate::measurements::{CurvatureRange, DistanceToOpt, GradVariance};
-use yf_optim::clip::clip_by_global_norm;
-use yf_optim::Optimizer;
+use yf_optim::clip::{clip_by_global_norm, clip_scale};
+use yf_optim::{Hyper, Optimizer, ParamShard, ShardedState};
+use yf_tensor::elementwise;
 
 /// Gradient clipping policy (Section 3.3 / Appendix F).
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -62,6 +63,13 @@ impl Default for YellowFinConfig {
 /// applies a Polyak momentum SGD update with the smoothed `(mu_t,
 /// alpha_t)`.
 ///
+/// The paper's *measure → tune → apply* structure maps directly onto the
+/// two-phase [`Optimizer`] API: `observe` runs the (global) measurement
+/// oracles and the `SingleStep` solve once per step and folds the clip
+/// factor into [`Hyper::grad_scale`]; `step_shard` is then the generic
+/// per-shard momentum update, so the apply phase parallelizes and shards
+/// like any baseline optimizer while the tuning stays whole-model.
+///
 /// # Example
 ///
 /// ```
@@ -88,7 +96,7 @@ pub struct YellowFin {
     pub(crate) mu_ema: Ema,
     pub(crate) lr_ema: Ema,
     pub(crate) step_count: u64,
-    pub(crate) velocity: Vec<f32>,
+    pub(crate) velocity: ShardedState,
     pub(crate) grad_buf: Vec<f32>,
     pub(crate) dim: Option<usize>,
     pub(crate) last_norm: Option<f64>,
@@ -111,7 +119,7 @@ impl YellowFin {
             mu_ema: Ema::new(cfg.beta),
             lr_ema: Ema::new(cfg.beta),
             step_count: 0,
-            velocity: Vec::new(),
+            velocity: ShardedState::new(1),
             grad_buf: Vec::new(),
             dim: None,
             last_norm: None,
@@ -193,13 +201,10 @@ impl YellowFin {
 }
 
 impl Optimizer for YellowFin {
-    fn step(&mut self, params: &mut [f32], grads: &[f32]) {
+    fn observe(&mut self, params: &[f32], grads: &[f32]) -> Hyper {
         let dim = *self.dim.get_or_insert(params.len());
         assert_eq!(params.len(), grads.len(), "yellowfin: length mismatch");
         assert_eq!(dim, params.len(), "yellowfin: parameter count changed");
-        if self.velocity.is_empty() {
-            self.velocity = vec![0.0; dim];
-        }
 
         // 1. Clip (possibly adaptively) into a scratch buffer.
         self.grad_buf.clear();
@@ -226,17 +231,34 @@ impl Optimizer for YellowFin {
         self.lr_ema.update(sol.lr);
         self.step_count += 1;
 
-        // 4. Momentum SGD update with the tuned values.
-        let mu = self.momentum() as f32;
-        let lr = self.effective_lr() as f32;
-        for ((p, &g), v) in params
-            .iter_mut()
-            .zip(self.grad_buf.iter())
-            .zip(&mut self.velocity)
-        {
-            *v = mu * *v - lr * g;
-            *p += *v;
+        // The apply phase re-scales the raw gradient by the clip factor
+        // instead of reading the clipped buffer, so shards stay
+        // self-contained.
+        Hyper {
+            lr: self.effective_lr() as f32,
+            momentum: self.momentum() as f32,
+            grad_scale: clip_scale(norm_before, threshold),
         }
+    }
+
+    fn step_shard(&self, shard: ParamShard, params: &mut [f32], grads: &[f32], hyper: Hyper) {
+        shard.validate(params, grads);
+        // 4. Momentum SGD update with the tuned values.
+        self.velocity.with(shard, params.len(), |bufs| {
+            let v = &mut bufs[0];
+            if v.is_empty() {
+                v.resize(params.len(), 0.0);
+            }
+            elementwise::momentum_step(
+                params,
+                v,
+                grads,
+                hyper.momentum,
+                hyper.lr,
+                false,
+                hyper.grad_scale,
+            );
+        });
     }
 
     fn learning_rate(&self) -> f32 {
@@ -249,6 +271,10 @@ impl Optimizer for YellowFin {
         if tuned > 0.0 {
             self.cfg.lr_factor = f64::from(lr) / tuned;
         }
+    }
+
+    fn is_self_tuning(&self) -> bool {
+        true
     }
 
     fn name(&self) -> &'static str {

@@ -1,9 +1,15 @@
 //! Synchronous and asynchronous training loops.
+//!
+//! Both loops drive the two-phase optimizer API: one `observe` per step,
+//! then the apply phase fanned out over parallel shards (through
+//! `yf_tensor::parallel::scoped_chunks_mut`) or named parameter groups.
+//! Updates are per-coordinate, so the trajectory is bit-identical for
+//! every shard count — sharding only changes how the apply is scheduled.
 
 use crate::task::{TaskSource, TrainTask};
 use yf_async::RoundRobinSimulator;
 use yf_optim::schedule::Schedule;
-use yf_optim::Optimizer;
+use yf_optim::{sharded, Optimizer, ParamGroups};
 
 /// Options for a training run.
 #[derive(Debug, Clone)]
@@ -16,16 +22,25 @@ pub struct RunConfig {
     pub schedule: Schedule,
     /// Iterations per epoch for the schedule (0 disables epochs).
     pub iters_per_epoch: usize,
+    /// Parallel shards for the optimizer apply phase: 0 = automatic
+    /// (thread count for large models, 1 otherwise).
+    pub shards: usize,
+    /// Optional named parameter groups with per-group hyper overrides;
+    /// when set, updates go through [`sharded::step_grouped`] (and the
+    /// groups' own shard plan wins over [`RunConfig::shards`]).
+    pub groups: Option<ParamGroups>,
 }
 
 impl RunConfig {
-    /// A plain run: no validation, no schedule.
+    /// A plain run: no validation, no schedule, automatic sharding.
     pub fn plain(iters: usize) -> Self {
         RunConfig {
             iters,
             eval_every: 0,
             schedule: Schedule::Constant,
             iters_per_epoch: 0,
+            shards: 0,
+            groups: None,
         }
     }
 
@@ -33,6 +48,23 @@ impl RunConfig {
     pub fn with_eval(mut self, every: usize) -> Self {
         self.eval_every = every;
         self
+    }
+
+    /// Fixes the shard count for the apply phase.
+    pub fn with_shards(mut self, shards: usize) -> Self {
+        self.shards = shards;
+        self
+    }
+
+    /// Trains with per-group hyper overrides.
+    pub fn with_groups(mut self, groups: ParamGroups) -> Self {
+        self.groups = Some(groups);
+        self
+    }
+
+    /// The shard count a run over `dim` parameters will use.
+    fn resolved_shards(&self, dim: usize) -> usize {
+        sharded::auto_shards(self.shards, dim)
     }
 }
 
@@ -63,9 +95,12 @@ impl RunResult {
     }
 }
 
-/// Trains synchronously: one gradient per step, applied immediately.
+/// Trains synchronously: one gradient per step, measured globally and
+/// applied over the configured shard plan (one `observe`, N parallel
+/// `step_shard`s).
 pub fn train(task: &mut dyn TrainTask, opt: &mut dyn Optimizer, cfg: &RunConfig) -> RunResult {
     let mut params = task.init_params();
+    let shards = cfg.resolved_shards(params.len());
     let base_lr = opt.learning_rate();
     let mut result = RunResult::default();
     for step in 0..cfg.iters {
@@ -74,7 +109,10 @@ pub fn train(task: &mut dyn TrainTask, opt: &mut dyn Optimizer, cfg: &RunConfig)
             cfg.schedule.apply(opt, base_lr, epoch);
         }
         let (loss, grad) = task.loss_grad_at(&params, step as u64);
-        opt.step(&mut params, &grad);
+        match &cfg.groups {
+            Some(groups) => sharded::step_grouped(opt, groups, &mut params, &grad),
+            None => sharded::step_sharded(opt, &mut params, &grad, shards),
+        }
         result.losses.push(loss);
         if cfg.eval_every > 0 && (step + 1) % cfg.eval_every == 0 {
             let m = task.validate(&params);
@@ -86,7 +124,8 @@ pub fn train(task: &mut dyn TrainTask, opt: &mut dyn Optimizer, cfg: &RunConfig)
 }
 
 /// Trains through the round-robin asynchronous simulator with `workers`
-/// workers (gradient staleness `workers - 1`).
+/// workers (gradient staleness `workers - 1`), applying updates over the
+/// configured shard plan.
 pub fn train_async(
     task: &mut dyn TrainTask,
     opt: &mut dyn Optimizer,
@@ -94,8 +133,9 @@ pub fn train_async(
     cfg: &RunConfig,
 ) -> RunResult {
     let initial = task.init_params();
+    let shards = cfg.resolved_shards(initial.len());
     let mut result = RunResult::default();
-    let mut sim = RoundRobinSimulator::new(workers, initial);
+    let mut sim = RoundRobinSimulator::new(workers, initial).with_shards(shards);
     for step in 0..cfg.iters {
         let record = {
             let mut source = TaskSource::new(task);
@@ -188,13 +228,61 @@ mod tests {
         let mut task = small_task(13);
         let mut opt = MomentumSgd::new(1.0, 0.0);
         let cfg = RunConfig {
-            iters: 30,
-            eval_every: 0,
             schedule: Schedule::EveryEpoch { factor: 0.5 },
             iters_per_epoch: 10,
+            ..RunConfig::plain(30)
         };
         train(&mut task, &mut opt, &cfg);
         // After epochs 0, 1, 2 the last applied multiplier is 0.25.
         assert!((opt.learning_rate() - 0.25).abs() < 1e-6);
+    }
+
+    #[test]
+    fn sharded_training_is_bitwise_identical() {
+        let mut t1 = small_task(21);
+        let mut t2 = small_task(21);
+        let mut o1 = MomentumSgd::new(0.1, 0.9);
+        let mut o2 = MomentumSgd::new(0.1, 0.9);
+        let r1 = train(&mut t1, &mut o1, &RunConfig::plain(120));
+        let r2 = train(&mut t2, &mut o2, &RunConfig::plain(120).with_shards(4));
+        assert_eq!(r1.losses, r2.losses);
+        assert_eq!(r1.final_params, r2.final_params);
+    }
+
+    #[test]
+    fn grouped_training_applies_overrides() {
+        use yf_nn::param_groups;
+        // Freezing every parameter group (lr scale 0) must leave the
+        // model untouched, while the default groups reproduce the
+        // ungrouped run bit-for-bit.
+        let mut task = small_task(22);
+        let groups = {
+            let mut rng = Pcg32::seed(10);
+            param_groups(&Mlp::new(&[2, 8, 2], &mut rng))
+        };
+        assert_eq!(groups.total(), task.dim());
+
+        let mut frozen = groups.clone();
+        assert!(frozen.scale_lr("", 0.0) > 0, "pattern matches all groups");
+        let mut opt = MomentumSgd::new(0.1, 0.0);
+        let init = task.init_params();
+        let r = train(
+            &mut task,
+            &mut opt,
+            &RunConfig::plain(5).with_groups(frozen),
+        );
+        assert_eq!(r.final_params, init, "lr scale 0 freezes the model");
+
+        let mut t1 = small_task(23);
+        let mut t2 = small_task(23);
+        let mut o1 = MomentumSgd::new(0.1, 0.9);
+        let mut o2 = MomentumSgd::new(0.1, 0.9);
+        let plain = train(&mut t1, &mut o1, &RunConfig::plain(60));
+        let grouped = train(
+            &mut t2,
+            &mut o2,
+            &RunConfig::plain(60).with_groups(groups.with_shards(2)),
+        );
+        assert_eq!(plain.final_params, grouped.final_params);
     }
 }

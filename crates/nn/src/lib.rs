@@ -29,8 +29,8 @@ pub use linear::{Embedding, Linear};
 pub use lstm::{Lstm, LstmCell, LstmState};
 pub use mlp::Mlp;
 pub use model::{
-    collect_grads, flat_dim, flat_params, load_flat, loss_and_grad, Param, ParamNodes,
-    SupervisedModel,
+    collect_grads, flat_dim, flat_params, load_flat, loss_and_grad, param_groups, Param,
+    ParamNodes, SupervisedModel,
 };
 pub use models_lm::{LmBatch, LstmLm, LstmLmConfig};
 pub use resnet::{BlockKind, ResNet, ResNetConfig};

@@ -82,6 +82,18 @@ pub fn flat_dim<M: SupervisedModel + ?Sized>(model: &M) -> usize {
     model.params().iter().map(|p| p.value.len()).sum()
 }
 
+/// The model's flat-vector layout as named [`yf_optim::ParamGroups`]
+/// (binding order), ready for per-group hyper overrides and the sharded
+/// apply drivers.
+pub fn param_groups<M: SupervisedModel + ?Sized>(model: &M) -> yf_optim::ParamGroups {
+    yf_optim::ParamGroups::from_named(
+        model
+            .params()
+            .iter()
+            .map(|p| (p.name.as_str(), p.value.len())),
+    )
+}
+
 /// Flattens all parameters into one vector (canonical order).
 pub fn flat_params<M: SupervisedModel + ?Sized>(model: &M) -> Vec<f32> {
     let mut out = Vec::with_capacity(flat_dim(model));
@@ -254,5 +266,16 @@ mod tests {
     fn load_flat_wrong_length_panics() {
         let mut m = affine();
         load_flat(&mut m, &[0.0; 3]);
+    }
+
+    #[test]
+    fn param_groups_mirror_binding_order() {
+        let m = affine();
+        let groups = param_groups(&m);
+        assert_eq!(groups.total(), flat_dim(&m));
+        assert_eq!(groups.groups()[0].name, "w");
+        assert_eq!(groups.groups()[0].len, 6);
+        assert_eq!(groups.groups()[1].name, "b");
+        assert_eq!(groups.groups()[1].offset, 6);
     }
 }

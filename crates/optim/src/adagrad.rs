@@ -1,6 +1,6 @@
 //! AdaGrad (Duchi, Hazan & Singer, 2011).
 
-use crate::{check_lengths, Optimizer};
+use crate::{check_lengths, Hyper, Optimizer, ParamShard, ShardedState};
 use yf_tensor::elementwise;
 
 /// AdaGrad: per-coordinate learning rates from accumulated squared
@@ -10,7 +10,7 @@ use yf_tensor::elementwise;
 pub struct AdaGrad {
     lr: f32,
     eps: f32,
-    accum: Vec<f32>,
+    state: ShardedState,
     dim: Option<usize>,
 }
 
@@ -20,20 +20,37 @@ impl AdaGrad {
         AdaGrad {
             lr,
             eps: 1e-10,
-            accum: Vec::new(),
+            state: ShardedState::new(1),
             dim: None,
         }
     }
 }
 
 impl Optimizer for AdaGrad {
-    fn step(&mut self, params: &mut [f32], grads: &[f32]) {
+    fn observe(&mut self, params: &[f32], grads: &[f32]) -> Hyper {
         let dim = *self.dim.get_or_insert(params.len());
         check_lengths(dim, params, grads);
-        if self.accum.is_empty() {
-            self.accum = vec![0.0; dim];
-        }
-        elementwise::adaptive_sq_step(params, &mut self.accum, grads, 1.0, 1.0, self.lr, self.eps);
+        Hyper::new(self.lr, 0.0)
+    }
+
+    fn step_shard(&self, shard: ParamShard, params: &mut [f32], grads: &[f32], hyper: Hyper) {
+        shard.validate(params, grads);
+        self.state.with(shard, params.len(), |bufs| {
+            let accum = &mut bufs[0];
+            if accum.is_empty() {
+                accum.resize(params.len(), 0.0);
+            }
+            elementwise::adaptive_sq_step(
+                params,
+                accum,
+                grads,
+                1.0,
+                1.0,
+                hyper.lr,
+                self.eps,
+                hyper.grad_scale,
+            );
+        });
     }
 
     fn learning_rate(&self) -> f32 {

@@ -1,6 +1,6 @@
 //! Adam (Kingma & Ba, 2014) with zero-debiased moments.
 
-use crate::{check_lengths, Optimizer};
+use crate::{check_lengths, Hyper, Optimizer, ParamShard, ShardedState};
 use yf_tensor::elementwise;
 
 /// The Adam optimizer.
@@ -10,6 +10,10 @@ use yf_tensor::elementwise;
 /// first-moment smoothing acts like negative momentum and compensates for
 /// asynchrony-induced momentum. Bias correction `1 − β1^t` remains valid
 /// for negative β1.
+///
+/// Two-phase mapping: `observe` advances the step counter `t` and reports
+/// β1 as the [`Hyper::momentum`]; `step_shard` updates the per-shard
+/// `(m, v)` moment buffers and the parameters in one fused pass.
 #[derive(Debug, Clone)]
 pub struct Adam {
     lr: f32,
@@ -17,8 +21,7 @@ pub struct Adam {
     beta2: f32,
     eps: f32,
     t: u64,
-    m: Vec<f32>,
-    v: Vec<f32>,
+    state: ShardedState,
     dim: Option<usize>,
 }
 
@@ -48,8 +51,7 @@ impl Adam {
             beta2,
             eps: 1e-8,
             t: 0,
-            m: Vec::new(),
-            v: Vec::new(),
+            state: ShardedState::new(2),
             dim: None,
         }
     }
@@ -61,28 +63,39 @@ impl Adam {
 }
 
 impl Optimizer for Adam {
-    fn step(&mut self, params: &mut [f32], grads: &[f32]) {
+    fn observe(&mut self, params: &[f32], grads: &[f32]) -> Hyper {
         let dim = *self.dim.get_or_insert(params.len());
         check_lengths(dim, params, grads);
-        if self.m.is_empty() {
-            self.m = vec![0.0; dim];
-            self.v = vec![0.0; dim];
-        }
         self.t += 1;
-        let bc1 = 1.0 - self.beta1.powi(self.t.min(i32::MAX as u64) as i32);
+        Hyper::new(self.lr, self.beta1)
+    }
+
+    fn step_shard(&self, shard: ParamShard, params: &mut [f32], grads: &[f32], hyper: Hyper) {
+        shard.validate(params, grads);
+        let beta1 = hyper.momentum;
+        let bc1 = 1.0 - beta1.powi(self.t.min(i32::MAX as u64) as i32);
         let bc2 = 1.0 - self.beta2.powi(self.t.min(i32::MAX as u64) as i32);
-        elementwise::adam_step(
-            params,
-            &mut self.m,
-            &mut self.v,
-            grads,
-            self.beta1,
-            self.beta2,
-            self.lr,
-            self.eps,
-            bc1,
-            bc2,
-        );
+        self.state.with(shard, params.len(), |bufs| {
+            let (m, rest) = bufs.split_first_mut().expect("adam: two state buffers");
+            let v = &mut rest[0];
+            if m.is_empty() {
+                m.resize(params.len(), 0.0);
+                v.resize(params.len(), 0.0);
+            }
+            elementwise::adam_step(
+                params,
+                m,
+                v,
+                grads,
+                beta1,
+                self.beta2,
+                hyper.lr,
+                self.eps,
+                bc1,
+                bc2,
+                hyper.grad_scale,
+            );
+        });
     }
 
     fn learning_rate(&self) -> f32 {

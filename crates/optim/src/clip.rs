@@ -31,9 +31,25 @@ pub fn clip_by_global_norm(grads: &mut [f32], threshold: f32) -> f32 {
     norm
 }
 
-/// An optimizer adapter that clips the gradient to a fixed global-norm
+/// The scale factor [`clip_by_global_norm`] would apply for a gradient of
+/// norm `norm` under `threshold` (1.0 when no clipping occurs).
+pub fn clip_scale(norm: f32, threshold: f32) -> f32 {
+    if threshold > 0.0 && threshold.is_finite() && norm > threshold {
+        threshold / norm
+    } else {
+        1.0
+    }
+}
+
+/// Clipping middleware: scales the gradient to a fixed global-norm
 /// threshold before delegating — the "manually set gradient norm
 /// threshold" baseline of the paper's Table 1.
+///
+/// In the two-phase API the measurement (`observe`) sees the *clipped*
+/// gradient, while the apply phase folds the clip factor into
+/// [`Hyper::grad_scale`] and passes the raw gradient straight through to
+/// the inner `step_shard` — no per-shard gradient copies, so clipping
+/// composes with sharded and grouped application for free.
 #[derive(Debug, Clone)]
 pub struct Clipped<O> {
     inner: O,
@@ -58,11 +74,26 @@ impl<O: crate::Optimizer> Clipped<O> {
 }
 
 impl<O: crate::Optimizer> crate::Optimizer for Clipped<O> {
-    fn step(&mut self, params: &mut [f32], grads: &[f32]) {
+    fn observe(&mut self, params: &[f32], grads: &[f32]) -> crate::Hyper {
         self.buf.clear();
         self.buf.extend_from_slice(grads);
-        clip_by_global_norm(&mut self.buf, self.threshold);
-        self.inner.step(params, &self.buf);
+        let norm = clip_by_global_norm(&mut self.buf, self.threshold);
+        let scale = clip_scale(norm, self.threshold);
+        let hyper = self.inner.observe(params, &self.buf);
+        crate::Hyper {
+            grad_scale: hyper.grad_scale * scale,
+            ..hyper
+        }
+    }
+
+    fn step_shard(
+        &self,
+        shard: crate::ParamShard,
+        params: &mut [f32],
+        grads: &[f32],
+        hyper: crate::Hyper,
+    ) {
+        self.inner.step_shard(shard, params, grads, hyper);
     }
 
     fn learning_rate(&self) -> f32 {
@@ -71,6 +102,10 @@ impl<O: crate::Optimizer> crate::Optimizer for Clipped<O> {
 
     fn set_learning_rate(&mut self, lr: f32) {
         self.inner.set_learning_rate(lr);
+    }
+
+    fn is_self_tuning(&self) -> bool {
+        self.inner.is_self_tuning()
     }
 
     fn name(&self) -> &'static str {

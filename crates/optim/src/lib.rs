@@ -1,23 +1,39 @@
-//! Baseline first-order optimizers on flat `f32` parameter vectors.
+//! First-order optimizers on flat `f32` parameter vectors, with a
+//! two-phase, shard-aware update API.
 //!
 //! Every optimizer in the workspace — including the `yellowfin` tuner —
-//! implements the same [`Optimizer`] trait: one `step` that consumes the
-//! current gradient and updates the parameters in place. Working on flat
-//! vectors keeps the optimizers independent of the autodiff stack and lets
-//! the asynchronous simulator snapshot models cheaply.
+//! implements the same [`Optimizer`] trait, which mirrors the paper's
+//! *measure → tune → apply* structure (§3):
+//!
+//! 1. [`Optimizer::observe`] sees the whole `(params, grads)` pair once
+//!    per step, updates global statistics (moment counters, curvature
+//!    estimates, clipping norms), and returns the tuned [`Hyper`] —
+//!    the `(lr, momentum, grad_scale)` this step will apply.
+//! 2. [`Optimizer::step_shard`] applies the update to one disjoint slice
+//!    of the vector. It takes `&self`: all per-coordinate state lives in
+//!    a [`ShardedState`] (per-shard, lock-protected, lazily initialized),
+//!    so disjoint shards can be applied concurrently from scoped threads
+//!    or held behind per-shard locks by an asynchronous trainer.
+//! 3. The provided [`Optimizer::step`] composes the two over a single
+//!    whole-vector shard, so one-phase callers keep working unchanged —
+//!    and because updates are per-coordinate, `observe` + N parallel
+//!    `step_shard`s is bitwise identical to `step` for every shard count.
+//!
+//! The drivers live in [`sharded`]: [`sharded::step_sharded`] (uniform
+//! parallel shards) and [`sharded::step_grouped`] (named [`ParamGroups`]
+//! with per-group learning-rate/momentum overrides).
 //!
 //! Implemented baselines (the comparison set of the paper's Section 5):
 //! plain SGD, Polyak and Nesterov momentum SGD, [`Adam`] (which accepts the
 //! *negative* β1 values swept in Figure 10), [`AdaGrad`] and [`RmsProp`],
-//! plus [`clip`] utilities and the experiments' learning-rate
-//! [`schedule`]s.
+//! plus the [`clip::Clipped`] and [`schedule::Scheduled`] middleware.
 //!
 //! # Example
 //!
 //! ```
 //! use yf_optim::{MomentumSgd, Optimizer};
 //!
-//! // Minimize f(x) = 0.5 * x^2 from x = 1.
+//! // Minimize f(x) = 0.5 * x^2 from x = 1 (one-phase API).
 //! let mut opt = MomentumSgd::new(0.1, 0.9);
 //! let mut x = vec![1.0f32];
 //! for _ in 0..200 {
@@ -25,40 +41,117 @@
 //!     opt.step(&mut x, &grad);
 //! }
 //! assert!(x[0].abs() < 1e-3);
+//!
+//! // The same trajectory, two-phase and sharded (bitwise identical).
+//! use yf_optim::sharded::step_sharded;
+//! let mut opt = MomentumSgd::new(0.1, 0.9);
+//! let mut y = vec![1.0f32];
+//! for _ in 0..200 {
+//!     let grad = vec![y[0]];
+//!     step_sharded(&mut opt, &mut y, &grad, 4);
+//! }
+//! assert_eq!(x, y);
 //! ```
 
 pub mod clip;
 pub mod schedule;
+pub mod sharded;
 
 mod adagrad;
 mod adam;
+mod groups;
 mod rmsprop;
 mod sgd;
 
 pub use adagrad::AdaGrad;
 pub use adam::Adam;
+pub use groups::{ParamGroup, ParamGroups};
 pub use rmsprop::RmsProp;
 pub use sgd::{MomentumSgd, Sgd};
+pub use sharded::AUTO_SHARD_MIN_DIM;
+pub use sharded::{ParamShard, ShardedState};
+
+/// The hyperparameters one `observe` tunes for the step it precedes.
+///
+/// `grad_scale` is a global multiplier on the gradient (1.0 = none); the
+/// clipping middleware folds the clip factor into it so shard application
+/// never materializes a scaled gradient copy.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Hyper {
+    /// Learning rate to apply.
+    pub lr: f32,
+    /// Momentum to apply (β1 for Adam-family optimizers; 0 when unused).
+    pub momentum: f32,
+    /// Global gradient scale (clipping), applied element-wise on read.
+    pub grad_scale: f32,
+}
+
+impl Hyper {
+    /// A plain `(lr, momentum)` pair with no gradient scaling.
+    pub fn new(lr: f32, momentum: f32) -> Self {
+        Hyper {
+            lr,
+            momentum,
+            grad_scale: 1.0,
+        }
+    }
+}
+
+impl Default for Hyper {
+    fn default() -> Self {
+        Hyper::new(0.0, 0.0)
+    }
+}
 
 /// A first-order optimizer over a flat parameter vector.
 ///
 /// Implementations must tolerate being constructed before the parameter
 /// count is known: internal state buffers are sized lazily on the first
-/// `step`.
-pub trait Optimizer {
-    /// Applies one update to `params` in place given the gradient.
+/// step. `Send + Sync` is a supertrait so `&dyn Optimizer` can fan the
+/// apply phase out over scoped worker threads.
+pub trait Optimizer: Send + Sync {
+    /// Measure phase: consumes the whole gradient once, updates global
+    /// statistics and scalar state, and returns the hyperparameters the
+    /// subsequent [`Optimizer::step_shard`] calls must apply.
     ///
     /// # Panics
     ///
     /// Panics if `params.len() != grads.len()` or if the length changes
     /// between calls.
-    fn step(&mut self, params: &mut [f32], grads: &[f32]);
+    fn observe(&mut self, params: &[f32], grads: &[f32]) -> Hyper;
+
+    /// Apply phase: updates one disjoint shard of the parameter vector in
+    /// place. `params`/`grads` are the shard's slices; per-coordinate
+    /// state lives in the optimizer's [`ShardedState`]. Callers must pass
+    /// disjoint shards of one consistent plan per step (the [`sharded`]
+    /// drivers do); each shard may run on its own thread.
+    ///
+    /// # Panics
+    ///
+    /// Panics on slice length mismatches or if the flat dimension changes
+    /// between steps.
+    fn step_shard(&self, shard: ParamShard, params: &mut [f32], grads: &[f32], hyper: Hyper);
+
+    /// One-phase convenience: `observe` plus a single whole-vector
+    /// `step_shard`. Equivalent to — and interchangeable with — any
+    /// sharded application of the same step.
+    fn step(&mut self, params: &mut [f32], grads: &[f32]) {
+        let hyper = self.observe(params, grads);
+        self.step_shard(ParamShard::whole(params.len()), params, grads, hyper);
+    }
 
     /// The learning rate most recently used (for logging and schedules).
     fn learning_rate(&self) -> f32;
 
     /// Overrides the learning rate (used by decay schedules).
     fn set_learning_rate(&mut self, lr: f32);
+
+    /// True for optimizers that tune their own learning rate (the
+    /// YellowFin family): external schedules must not fight the tuner,
+    /// and [`schedule::Schedule::apply`] no-ops on them.
+    fn is_self_tuning(&self) -> bool {
+        false
+    }
 
     /// A short human-readable name for reports.
     fn name(&self) -> &'static str;
@@ -111,5 +204,14 @@ mod tests {
     fn length_mismatch_panics() {
         let mut opt = Sgd::new(0.1);
         opt.step(&mut [0.0], &[0.0, 0.0]);
+    }
+
+    #[test]
+    fn observe_reports_tuned_values() {
+        let mut opt = MomentumSgd::new(0.25, 0.5);
+        let hyper = opt.observe(&[1.0, 2.0], &[0.1, 0.2]);
+        assert_eq!(hyper.lr, 0.25);
+        assert_eq!(hyper.momentum, 0.5);
+        assert_eq!(hyper.grad_scale, 1.0);
     }
 }

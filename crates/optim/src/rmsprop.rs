@@ -1,6 +1,6 @@
 //! RMSProp (Tieleman & Hinton, 2012).
 
-use crate::{check_lengths, Optimizer};
+use crate::{check_lengths, Hyper, Optimizer, ParamShard, ShardedState};
 use yf_tensor::elementwise;
 
 /// RMSProp: per-coordinate learning rates from an exponential moving
@@ -10,7 +10,7 @@ pub struct RmsProp {
     lr: f32,
     decay: f32,
     eps: f32,
-    ms: Vec<f32>,
+    state: ShardedState,
     dim: Option<usize>,
 }
 
@@ -31,28 +31,37 @@ impl RmsProp {
             lr,
             decay,
             eps: 1e-8,
-            ms: Vec::new(),
+            state: ShardedState::new(1),
             dim: None,
         }
     }
 }
 
 impl Optimizer for RmsProp {
-    fn step(&mut self, params: &mut [f32], grads: &[f32]) {
+    fn observe(&mut self, params: &[f32], grads: &[f32]) -> Hyper {
         let dim = *self.dim.get_or_insert(params.len());
         check_lengths(dim, params, grads);
-        if self.ms.is_empty() {
-            self.ms = vec![0.0; dim];
-        }
-        elementwise::adaptive_sq_step(
-            params,
-            &mut self.ms,
-            grads,
-            self.decay,
-            1.0 - self.decay,
-            self.lr,
-            self.eps,
-        );
+        Hyper::new(self.lr, 0.0)
+    }
+
+    fn step_shard(&self, shard: ParamShard, params: &mut [f32], grads: &[f32], hyper: Hyper) {
+        shard.validate(params, grads);
+        self.state.with(shard, params.len(), |bufs| {
+            let ms = &mut bufs[0];
+            if ms.is_empty() {
+                ms.resize(params.len(), 0.0);
+            }
+            elementwise::adaptive_sq_step(
+                params,
+                ms,
+                grads,
+                self.decay,
+                1.0 - self.decay,
+                hyper.lr,
+                self.eps,
+                hyper.grad_scale,
+            );
+        });
     }
 
     fn learning_rate(&self) -> f32 {

@@ -1,6 +1,6 @@
 //! Stochastic gradient descent, with and without momentum.
 
-use crate::{check_lengths, Optimizer};
+use crate::{check_lengths, Hyper, Optimizer, ParamShard, ShardedState};
 use yf_tensor::elementwise;
 
 /// Vanilla SGD: `x <- x - lr * g`.
@@ -18,10 +18,15 @@ impl Sgd {
 }
 
 impl Optimizer for Sgd {
-    fn step(&mut self, params: &mut [f32], grads: &[f32]) {
+    fn observe(&mut self, params: &[f32], grads: &[f32]) -> Hyper {
         let dim = *self.dim.get_or_insert(params.len());
         check_lengths(dim, params, grads);
-        elementwise::axpy(params, -self.lr, grads);
+        Hyper::new(self.lr, 0.0)
+    }
+
+    fn step_shard(&self, shard: ParamShard, params: &mut [f32], grads: &[f32], hyper: Hyper) {
+        shard.validate(params, grads);
+        elementwise::axpy(params, -(hyper.lr * hyper.grad_scale), grads);
     }
 
     fn learning_rate(&self) -> f32 {
@@ -50,7 +55,7 @@ pub struct MomentumSgd {
     lr: f32,
     momentum: f32,
     nesterov: bool,
-    velocity: Vec<f32>,
+    velocity: ShardedState,
     dim: Option<usize>,
 }
 
@@ -61,7 +66,7 @@ impl MomentumSgd {
             lr,
             momentum,
             nesterov: false,
-            velocity: Vec::new(),
+            velocity: ShardedState::new(1),
             dim: None,
         }
     }
@@ -85,29 +90,39 @@ impl MomentumSgd {
         self.momentum = momentum;
     }
 
-    /// The internal velocity buffer (empty before the first step).
-    pub fn velocity(&self) -> &[f32] {
-        &self.velocity
+    /// The velocity buffer stitched back into one flat vector (empty
+    /// before the first step).
+    pub fn velocity(&self) -> Vec<f32> {
+        self.velocity.flatten(0)
     }
 }
 
 impl Optimizer for MomentumSgd {
-    fn step(&mut self, params: &mut [f32], grads: &[f32]) {
+    fn observe(&mut self, params: &[f32], grads: &[f32]) -> Hyper {
         let dim = *self.dim.get_or_insert(params.len());
         check_lengths(dim, params, grads);
-        if self.velocity.is_empty() {
-            self.velocity = vec![0.0; dim];
-        }
-        // Single fused pass: velocity update plus either the Polyak apply
-        // or the Nesterov look-ahead correction.
-        elementwise::momentum_step(
-            params,
-            &mut self.velocity,
-            grads,
-            self.momentum,
-            self.lr,
-            self.nesterov,
-        );
+        Hyper::new(self.lr, self.momentum)
+    }
+
+    fn step_shard(&self, shard: ParamShard, params: &mut [f32], grads: &[f32], hyper: Hyper) {
+        shard.validate(params, grads);
+        self.velocity.with(shard, params.len(), |bufs| {
+            let v = &mut bufs[0];
+            if v.is_empty() {
+                v.resize(params.len(), 0.0);
+            }
+            // Single fused pass: velocity update plus either the Polyak
+            // apply or the Nesterov look-ahead correction.
+            elementwise::momentum_step(
+                params,
+                v,
+                grads,
+                hyper.momentum,
+                hyper.lr,
+                self.nesterov,
+                hyper.grad_scale,
+            );
+        });
     }
 
     fn learning_rate(&self) -> f32 {
@@ -206,5 +221,13 @@ mod tests {
         opt.step(&mut x, &[1.0]);
         // With mu = 0 this is plain SGD: 1 - 0.1 - 0.1 = 0.8.
         assert!((x[0] - 0.8).abs() < 1e-6);
+    }
+
+    #[test]
+    fn velocity_accessor_reflects_state() {
+        let mut opt = MomentumSgd::new(0.1, 0.9);
+        assert!(opt.velocity().is_empty(), "no state before the first step");
+        opt.step(&mut [1.0, 2.0], &[1.0, 1.0]);
+        assert_eq!(opt.velocity(), vec![-0.1, -0.1]);
     }
 }

@@ -1,0 +1,538 @@
+//! The shard-aware half of the optimizer API: [`Hyper`], [`ParamShard`],
+//! the per-shard state pool [`ShardedState`], and the drivers that fan a
+//! single tuned step out over disjoint parameter slices.
+//!
+//! YellowFin's loop (paper §3) is *measure → tune → apply*: the global
+//! statistics and the `(lr, momentum)` decision need the whole gradient
+//! once per step, but the update itself is per-coordinate. Splitting the
+//! two phases lets the apply run sharded — in parallel threads
+//! ([`step_sharded`]), with per-group hyperparameter overrides
+//! ([`step_grouped`]), or under per-shard locks in the asynchronous
+//! trainer — while the measurement stays exactly the paper's.
+//!
+//! [`ShardedState`] is the helper every stateful optimizer shares: one
+//! lock-protected, lazily-initialized slot of state buffers per shard, so
+//! `step_shard` can take `&self` and disjoint shards can be applied
+//! concurrently from scoped threads without any whole-model lock.
+
+use crate::{Hyper, Optimizer, ParamGroups};
+use std::sync::{Arc, Mutex, RwLock};
+use yf_tensor::parallel;
+
+/// Below this many coordinates, auto-sharding stays single-threaded: the
+/// scoped-thread spawn costs more than the update.
+pub const AUTO_SHARD_MIN_DIM: usize = 1 << 16;
+
+/// The automatic shard-count policy shared by the trainers and
+/// [`ParamGroups`]: an explicit `shards > 0` wins; otherwise the kernel
+/// thread count for vectors large enough to pay for fan-out, else 1.
+pub fn auto_shards(shards: usize, dim: usize) -> usize {
+    if shards > 0 {
+        shards
+    } else if dim >= AUTO_SHARD_MIN_DIM {
+        parallel::num_threads()
+    } else {
+        1
+    }
+}
+
+/// Identifies one disjoint slice of the flat parameter vector within a
+/// shard plan. Shards of one plan must tile `[0, total)` without overlap;
+/// the drivers in this module guarantee that.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ParamShard {
+    /// Position of this shard in the plan (`0..count`).
+    pub index: usize,
+    /// Number of shards in the plan.
+    pub count: usize,
+    /// First flat coordinate covered by this shard.
+    pub offset: usize,
+    /// Total flat coordinates across the whole plan.
+    pub total: usize,
+}
+
+impl ParamShard {
+    /// The trivial plan: one shard covering the whole vector. This is
+    /// what the blanket [`Optimizer::step`] uses.
+    pub fn whole(total: usize) -> Self {
+        ParamShard {
+            index: 0,
+            count: 1,
+            offset: 0,
+            total,
+        }
+    }
+
+    /// Panics unless `params`/`grads` are equal-length and fit inside the
+    /// shard's coordinate range. Every `step_shard` implementation calls
+    /// this first so the length-mismatch panics of the one-phase API are
+    /// preserved verbatim.
+    pub fn validate(&self, params: &[f32], grads: &[f32]) {
+        assert_eq!(
+            params.len(),
+            grads.len(),
+            "optimizer: params ({}) and grads ({}) differ",
+            params.len(),
+            grads.len()
+        );
+        assert!(
+            self.index < self.count,
+            "optimizer: shard index {} out of plan of {}",
+            self.index,
+            self.count
+        );
+        assert!(
+            self.offset + params.len() <= self.total,
+            "optimizer: shard [{}, {}) exceeds parameter count {}",
+            self.offset,
+            self.offset + params.len(),
+            self.total
+        );
+    }
+}
+
+/// One shard's lazily-initialized state buffers.
+#[derive(Debug, Clone, Default)]
+struct Slot {
+    offset: usize,
+    len: usize,
+    /// False until the shard's first `with` call.
+    touched: bool,
+    /// `buffers` vectors; each is empty until the optimizer initializes
+    /// it (or it is seeded from `spill` at slot creation).
+    bufs: Vec<Vec<f32>>,
+}
+
+#[derive(Debug, Default)]
+struct StateInner {
+    /// One slot per shard of the current plan.
+    slots: Vec<Arc<Mutex<Slot>>>,
+    /// Flat dimension of the whole vector; 0 until first observed.
+    total: usize,
+    /// Full-length carry-over buffers: populated when the shard plan
+    /// changes (or a checkpoint is loaded) so state survives re-sharding.
+    spill: Vec<Vec<f32>>,
+}
+
+impl StateInner {
+    fn matches(&self, shard: ParamShard) -> bool {
+        self.slots.len() == shard.count && self.total == shard.total
+    }
+}
+
+/// Per-shard optimizer state shared by every stateful optimizer in the
+/// workspace (velocity for momentum SGD and YellowFin, the moment buffers
+/// for Adam/AdaGrad/RMSProp, previous parameters for the closed-loop
+/// position update).
+///
+/// Each shard owns a private slot of `buffers` state vectors behind its
+/// own mutex, created lazily on the shard's first
+/// [`with`](ShardedState::with). Disjoint shards therefore never contend,
+/// which is what lets [`Optimizer::step_shard`] take `&self` and run on
+/// scoped worker threads. Buffers start *empty* (length 0); the optimizer
+/// decides their initial contents (zeros for moments, a parameter copy
+/// for position-form updates), so "lazily initialized" means exactly what
+/// it meant for the old whole-vector `Vec`s.
+///
+/// Changing the shard plan between steps (different shard count or
+/// boundaries — e.g. a trainer re-tuned its thread count, or a checkpoint
+/// is resumed with different parallelism) is handled transparently: the
+/// existing per-shard state is flattened into full-length carry-over
+/// buffers and re-split under the new plan, preserving the trajectory
+/// bit-for-bit. Changing the *total* parameter count still panics, like
+/// the one-phase API did.
+#[derive(Debug)]
+pub struct ShardedState {
+    buffers: usize,
+    inner: RwLock<StateInner>,
+}
+
+impl ShardedState {
+    /// A pool of `buffers` state vectors per shard.
+    pub fn new(buffers: usize) -> Self {
+        ShardedState {
+            buffers,
+            inner: RwLock::new(StateInner::default()),
+        }
+    }
+
+    /// Runs `f` on the shard's state buffers, creating the slot on first
+    /// use. `len` is the shard's coordinate count (`params.len()` at the
+    /// call site). Buffers passed to `f` are empty on the very first
+    /// touch of a fresh optimizer; thereafter they carry the shard's
+    /// state, including across shard-plan changes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shard.total` disagrees with the dimension this state
+    /// has already seen ("parameter count changed between steps").
+    pub fn with<R>(
+        &self,
+        shard: ParamShard,
+        len: usize,
+        f: impl FnOnce(&mut [Vec<f32>]) -> R,
+    ) -> R {
+        assert!(shard.index < shard.count, "sharded state: bad shard index");
+        loop {
+            {
+                let inner = self.inner.read().expect("sharded state lock");
+                if inner.total != 0 && inner.total != shard.total {
+                    panic!(
+                        "optimizer: parameter count changed between steps ({} -> {})",
+                        inner.total, shard.total
+                    );
+                }
+                if inner.matches(shard) {
+                    let slot = Arc::clone(&inner.slots[shard.index]);
+                    let mut guard = slot.lock().expect("sharded slot lock");
+                    if !guard.touched {
+                        guard.offset = shard.offset;
+                        guard.len = len;
+                        guard.touched = true;
+                        guard.bufs = (0..self.buffers)
+                            .map(|b| match inner.spill.get(b) {
+                                Some(full) if !full.is_empty() => {
+                                    full[shard.offset..shard.offset + len].to_vec()
+                                }
+                                _ => Vec::new(),
+                            })
+                            .collect();
+                    }
+                    if guard.offset == shard.offset && guard.len == len {
+                        return f(&mut guard.bufs);
+                    }
+                    // Same shard count, different boundaries: fall
+                    // through and re-plan.
+                }
+            }
+            self.replan(shard, len);
+        }
+    }
+
+    /// Rebuilds the slot table for `shard`'s plan, spilling any existing
+    /// per-shard state into full-length carry-over buffers first.
+    fn replan(&self, shard: ParamShard, len: usize) {
+        let mut inner = self.inner.write().expect("sharded state lock");
+        if inner.matches(shard) {
+            // Another thread may already have re-planned to this exact
+            // plan; only spill again if our slot still disagrees.
+            let guard = inner.slots[shard.index].lock().expect("sharded slot lock");
+            if !guard.touched || (guard.offset == shard.offset && guard.len == len) {
+                return;
+            }
+        }
+        Self::spill_locked(&mut inner, self.buffers);
+        inner.total = shard.total;
+        inner.slots = (0..shard.count)
+            .map(|_| Arc::new(Mutex::new(Slot::default())))
+            .collect();
+    }
+
+    /// Flattens touched slots into `inner.spill` (zero-based full-length
+    /// buffers), then clears the slot table.
+    fn spill_locked(inner: &mut StateInner, buffers: usize) {
+        if inner.total == 0 {
+            inner.slots.clear();
+            return;
+        }
+        let any_touched = inner
+            .slots
+            .iter()
+            .any(|s| s.lock().expect("sharded slot lock").touched);
+        if !any_touched {
+            inner.slots.clear();
+            return;
+        }
+        for b in 0..buffers {
+            if inner.spill.len() <= b {
+                inner.spill.push(Vec::new());
+            }
+            if inner.spill[b].is_empty() {
+                inner.spill[b] = vec![0.0; inner.total];
+            }
+        }
+        for slot in &inner.slots {
+            let slot = slot.lock().expect("sharded slot lock");
+            if !slot.touched {
+                continue;
+            }
+            for (b, buf) in slot.bufs.iter().enumerate() {
+                if buf.len() == slot.len {
+                    inner.spill[b][slot.offset..slot.offset + slot.len].copy_from_slice(buf);
+                }
+            }
+        }
+        inner.slots.clear();
+    }
+
+    /// Stitches buffer `b` back into one full-length vector (zeros where
+    /// no shard has state yet). Empty if nothing has been stepped — the
+    /// same "empty until first step" contract the old whole-vector state
+    /// had, which the checkpoint format relies on.
+    pub fn flatten(&self, b: usize) -> Vec<f32> {
+        let inner = self.inner.read().expect("sharded state lock");
+        if inner.total == 0 {
+            return Vec::new();
+        }
+        let mut out = match inner.spill.get(b) {
+            Some(full) if !full.is_empty() => full.clone(),
+            _ => vec![0.0; inner.total],
+        };
+        let mut any = inner.spill.get(b).is_some_and(|full| !full.is_empty());
+        for slot in &inner.slots {
+            let slot = slot.lock().expect("sharded slot lock");
+            if !slot.touched {
+                continue;
+            }
+            if let Some(buf) = slot.bufs.get(b) {
+                if buf.len() == slot.len {
+                    out[slot.offset..slot.offset + slot.len].copy_from_slice(buf);
+                    any = true;
+                }
+            }
+        }
+        if any {
+            out
+        } else {
+            Vec::new()
+        }
+    }
+
+    /// Replaces all state with full-length buffers (checkpoint restore).
+    /// The next `step_shard` re-splits them under whatever plan it uses.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the buffers disagree on length.
+    pub fn load_full(&mut self, bufs: Vec<Vec<f32>>) {
+        let total = bufs.first().map_or(0, Vec::len);
+        assert!(
+            bufs.iter().all(|b| b.len() == total),
+            "sharded state: checkpoint buffers disagree on length"
+        );
+        let inner = self.inner.get_mut().expect("sharded state lock");
+        *inner = StateInner {
+            slots: Vec::new(),
+            total,
+            spill: bufs,
+        };
+    }
+}
+
+impl Clone for ShardedState {
+    fn clone(&self) -> Self {
+        let inner = self.inner.read().expect("sharded state lock");
+        let slots = inner
+            .slots
+            .iter()
+            .map(|s| Arc::new(Mutex::new(s.lock().expect("sharded slot lock").clone())))
+            .collect();
+        ShardedState {
+            buffers: self.buffers,
+            inner: RwLock::new(StateInner {
+                slots,
+                total: inner.total,
+                spill: inner.spill.clone(),
+            }),
+        }
+    }
+}
+
+/// One measure phase plus a (possibly parallel) sharded apply phase:
+/// `observe` once, then `step_shard` each of `shards` contiguous slices
+/// through [`yf_tensor::parallel::scoped_chunks_mut`]. With `shards <= 1`
+/// this is exactly the blanket [`Optimizer::step`]; updates are
+/// per-coordinate, so the result is bitwise identical for any shard
+/// count.
+pub fn step_sharded(opt: &mut dyn Optimizer, params: &mut [f32], grads: &[f32], shards: usize) {
+    let hyper = opt.observe(params, grads);
+    apply_sharded(opt, params, grads, hyper, shards);
+}
+
+/// The apply phase alone: fans `hyper` out over `shards` slices. Use this
+/// when `observe` already ran (e.g. the caller inspected the tuned values
+/// first, or holds parameters behind per-shard locks).
+pub fn apply_sharded(
+    opt: &dyn Optimizer,
+    params: &mut [f32],
+    grads: &[f32],
+    hyper: Hyper,
+    shards: usize,
+) {
+    let total = params.len();
+    if total == 0 {
+        return;
+    }
+    let shards = shards.clamp(1, total);
+    if shards == 1 {
+        opt.step_shard(ParamShard::whole(total), params, grads, hyper);
+        return;
+    }
+    let rows_per = parallel::chunk_rows(total, shards);
+    let count = total.div_ceil(rows_per);
+    parallel::scoped_chunks_mut(params, 1, shards, |first, chunk| {
+        let shard = ParamShard {
+            index: first / rows_per,
+            count,
+            offset: first,
+            total,
+        };
+        opt.step_shard(shard, chunk, &grads[first..first + chunk.len()], hyper);
+    });
+}
+
+/// One measure phase plus a grouped, sharded apply: each group of
+/// `groups` is applied with its own (override-adjusted) hyperparameters,
+/// split into parallel shards. Shard indices are numbered globally across
+/// groups so [`ShardedState`] sees one consistent plan.
+///
+/// # Panics
+///
+/// Panics if `groups.total()` does not match `params.len()`.
+pub fn step_grouped(
+    opt: &mut dyn Optimizer,
+    groups: &ParamGroups,
+    params: &mut [f32],
+    grads: &[f32],
+) {
+    assert_eq!(
+        groups.total(),
+        params.len(),
+        "step_grouped: groups cover {} coordinates, params have {}",
+        groups.total(),
+        params.len()
+    );
+    let base = opt.observe(params, grads);
+    let total = params.len();
+    let threads = groups.resolved_shards();
+    // Pre-compute the global plan: (chunks, rows-per-chunk) per group.
+    let plan: Vec<(usize, usize)> = groups
+        .groups()
+        .iter()
+        .map(|g| {
+            if g.len == 0 {
+                (0, 1)
+            } else {
+                let t = threads.clamp(1, g.len);
+                let rows = parallel::chunk_rows(g.len, t);
+                (g.len.div_ceil(rows), rows)
+            }
+        })
+        .collect();
+    let count: usize = plan.iter().map(|&(c, _)| c).sum();
+    let opt: &dyn Optimizer = opt;
+    let mut base_index = 0;
+    let mut rest = params;
+    let mut consumed = 0;
+    for (g, &(chunks, rows_per)) in groups.groups().iter().zip(&plan) {
+        debug_assert_eq!(g.offset, consumed, "groups must tile the vector");
+        let (slice, tail) = rest.split_at_mut(g.len);
+        rest = tail;
+        consumed += g.len;
+        if g.len == 0 {
+            continue;
+        }
+        let hyper = g.adjust(base);
+        parallel::scoped_chunks_mut(slice, 1, threads, |first, chunk| {
+            let shard = ParamShard {
+                index: base_index + first / rows_per,
+                count,
+                offset: g.offset + first,
+                total,
+            };
+            let gslice = &grads[g.offset + first..g.offset + first + chunk.len()];
+            opt.step_shard(shard, chunk, gslice, hyper);
+        });
+        base_index += chunks;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{MomentumSgd, Optimizer, Sgd};
+
+    fn grad(x: &[f32]) -> Vec<f32> {
+        x.to_vec()
+    }
+
+    #[test]
+    fn sharded_matches_whole_step_bitwise() {
+        for shards in [1usize, 2, 3, 4, 7] {
+            let mut a = MomentumSgd::new(0.07, 0.9);
+            let mut b = MomentumSgd::new(0.07, 0.9);
+            let mut xa: Vec<f32> = (0..23).map(|i| (i as f32 * 0.3).sin()).collect();
+            let mut xb = xa.clone();
+            for _ in 0..25 {
+                let g = grad(&xa);
+                a.step(&mut xa, &g);
+                let g = grad(&xb);
+                step_sharded(&mut b, &mut xb, &g, shards);
+            }
+            assert_eq!(xa, xb, "shards = {shards}");
+        }
+    }
+
+    #[test]
+    fn shard_plan_change_preserves_state() {
+        // 1-shard steps, then 4-shard steps, must equal all-1-shard.
+        let mut a = MomentumSgd::new(0.05, 0.8);
+        let mut b = MomentumSgd::new(0.05, 0.8);
+        let mut xa: Vec<f32> = (0..17).map(|i| i as f32 * 0.1 - 0.8).collect();
+        let mut xb = xa.clone();
+        for t in 0..30 {
+            let g = grad(&xa);
+            a.step(&mut xa, &g);
+            let g = grad(&xb);
+            let shards = if t < 10 { 1 } else { 4 };
+            step_sharded(&mut b, &mut xb, &g, shards);
+        }
+        assert_eq!(xa, xb, "re-sharding mid-run must carry state over");
+    }
+
+    #[test]
+    fn flatten_and_load_round_trip() {
+        let state = ShardedState::new(1);
+        let shard = ParamShard::whole(4);
+        state.with(shard, 4, |bufs| {
+            bufs[0] = vec![1.0, 2.0, 3.0, 4.0];
+        });
+        let flat = state.flatten(0);
+        assert_eq!(flat, vec![1.0, 2.0, 3.0, 4.0]);
+        let mut restored = ShardedState::new(1);
+        restored.load_full(vec![flat]);
+        // Read back under a different plan.
+        let s0 = ParamShard {
+            index: 0,
+            count: 2,
+            offset: 0,
+            total: 4,
+        };
+        restored.with(s0, 2, |bufs| assert_eq!(bufs[0], vec![1.0, 2.0]));
+        let s1 = ParamShard {
+            index: 1,
+            count: 2,
+            offset: 2,
+            total: 4,
+        };
+        restored.with(s1, 2, |bufs| assert_eq!(bufs[0], vec![3.0, 4.0]));
+    }
+
+    #[test]
+    #[should_panic(expected = "parameter count changed")]
+    fn dimension_change_panics() {
+        let state = ShardedState::new(1);
+        state.with(ParamShard::whole(3), 3, |_| {});
+        state.with(ParamShard::whole(4), 4, |_| {});
+    }
+
+    #[test]
+    fn apply_sharded_on_stateless_optimizer() {
+        let mut opt = Sgd::new(0.5);
+        let mut x = vec![1.0f32, 2.0, 3.0, 4.0, 5.0];
+        let g = vec![2.0f32; 5];
+        let hyper = opt.observe(&x, &g);
+        apply_sharded(&opt, &mut x, &g, hyper, 3);
+        assert_eq!(x, vec![0.0, 1.0, 2.0, 3.0, 4.0]);
+    }
+}

@@ -1,7 +1,8 @@
 //! Property-based tests for the baseline optimizers.
 
 use proptest::prelude::*;
-use yf_optim::clip::{clip_by_global_norm, global_norm};
+use yf_optim::clip::{clip_by_global_norm, global_norm, Clipped};
+use yf_optim::sharded::step_sharded;
 use yf_optim::{AdaGrad, Adam, MomentumSgd, Optimizer, RmsProp, Sgd};
 
 proptest! {
@@ -125,6 +126,43 @@ proptest! {
             for (a, b) in p.iter().zip(n) {
                 prop_assert!((a + b).abs() < 1e-5, "asymmetric: {a} vs {b}");
             }
+        }
+    }
+
+    /// `observe` + parallel `step_shard` over any shard count is bitwise
+    /// identical to the one-phase `step`, for every baseline optimizer,
+    /// dimension, and learning rate.
+    #[test]
+    fn sharded_apply_matches_step_bitwise(
+        dim in 1usize..24,
+        shards in 2usize..6,
+        steps in 1usize..12,
+        lr in 0.001f32..0.3,
+    ) {
+        let factories: Vec<Box<dyn Fn() -> Box<dyn Optimizer>>> = vec![
+            Box::new(move || Box::new(Sgd::new(lr))),
+            Box::new(move || Box::new(MomentumSgd::new(lr, 0.85))),
+            Box::new(move || Box::new(MomentumSgd::nesterov(lr, 0.85))),
+            Box::new(move || Box::new(Adam::new(lr))),
+            Box::new(move || Box::new(AdaGrad::new(lr))),
+            Box::new(move || Box::new(RmsProp::new(lr))),
+            Box::new(move || Box::new(Clipped::new(MomentumSgd::new(lr, 0.85), 0.75))),
+        ];
+        for make in &factories {
+            let run = |n_shards: usize| {
+                let mut opt = make();
+                let mut x: Vec<f32> = (0..dim).map(|i| 1.0 + (i as f32 * 0.37).sin()).collect();
+                for t in 0..steps {
+                    let g: Vec<f32> = x.iter().map(|&v| v + (t as f32) * 0.1).collect();
+                    if n_shards == 0 {
+                        opt.step(&mut x, &g);
+                    } else {
+                        step_sharded(opt.as_mut(), &mut x, &g, n_shards);
+                    }
+                }
+                x
+            };
+            prop_assert_eq!(run(0), run(shards));
         }
     }
 }

@@ -91,6 +91,10 @@ pub fn scale_axpy_sq(y: &mut [f32], alpha: f32, beta: f32, x: &[f32]) {
 /// One fused momentum-SGD step: `v = mu*v - lr*g`, then `p += v` (Polyak)
 /// or `p += mu*v - lr*g` (Nesterov look-ahead). A single pass over all
 /// three buffers — the optimizer hot loop stays memory-lean.
+///
+/// `grad_scale` is applied to each gradient element before use (1.0 is a
+/// bitwise no-op); it lets gradient-clipping middleware fold the global
+/// clip factor into the kernel instead of materializing a scaled copy.
 pub fn momentum_step(
     params: &mut [f32],
     velocity: &mut [f32],
@@ -98,10 +102,12 @@ pub fn momentum_step(
     mu: f32,
     lr: f32,
     nesterov: bool,
+    grad_scale: f32,
 ) {
     check(params, grads, "momentum_step");
     check(params, velocity, "momentum_step");
     for ((p, v), &g) in params.iter_mut().zip(velocity.iter_mut()).zip(grads) {
+        let g = if grad_scale == 1.0 { g } else { grad_scale * g };
         *v = mu * *v - lr * g;
         if nesterov {
             *p += mu * *v - lr * g;
@@ -112,7 +118,8 @@ pub fn momentum_step(
 }
 
 /// One fused Adam step: updates both moment buffers and the parameters in
-/// a single pass. `bc1`/`bc2` are the zero-debias divisors `1 - beta^t`.
+/// a single pass. `bc1`/`bc2` are the zero-debias divisors `1 - beta^t`;
+/// `grad_scale` pre-scales each gradient element (clipping middleware).
 #[allow(clippy::too_many_arguments)]
 pub fn adam_step(
     params: &mut [f32],
@@ -125,6 +132,7 @@ pub fn adam_step(
     eps: f32,
     bc1: f32,
     bc2: f32,
+    grad_scale: f32,
 ) {
     check(params, grads, "adam_step");
     check(params, m, "adam_step");
@@ -135,6 +143,7 @@ pub fn adam_step(
         .zip(v.iter_mut())
         .zip(grads)
     {
+        let g = if grad_scale == 1.0 { g } else { grad_scale * g };
         *m = beta1 * *m + (1.0 - beta1) * g;
         *v = beta2 * *v + (1.0 - beta2) * g * g;
         let m_hat = *m / bc1;
@@ -144,7 +153,9 @@ pub fn adam_step(
 }
 
 /// One fused squared-gradient-normalized step shared by AdaGrad and
-/// RMSProp: `acc = decay*acc + scale*g*g`, then `p -= lr*g/(sqrt(acc)+eps)`.
+/// RMSProp: `acc = decay*acc + scale*g*g`, then `p -= lr*g/(sqrt(acc)+eps)`;
+/// `grad_scale` pre-scales each gradient element (clipping middleware).
+#[allow(clippy::too_many_arguments)]
 pub fn adaptive_sq_step(
     params: &mut [f32],
     accum: &mut [f32],
@@ -153,10 +164,12 @@ pub fn adaptive_sq_step(
     scale: f32,
     lr: f32,
     eps: f32,
+    grad_scale: f32,
 ) {
     check(params, grads, "adaptive_sq_step");
     check(params, accum, "adaptive_sq_step");
     for ((p, a), &g) in params.iter_mut().zip(accum.iter_mut()).zip(grads) {
+        let g = if grad_scale == 1.0 { g } else { grad_scale * g };
         *a = decay * *a + scale * g * g;
         *p -= lr * g / (a.sqrt() + eps);
     }

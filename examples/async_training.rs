@@ -3,8 +3,9 @@
 //! Part 1 uses the paper's deterministic round-robin protocol (16
 //! workers, gradient staleness 15) to show closed-loop momentum control
 //! beating open-loop YellowFin. Part 2 runs a real multi-threaded
-//! Hogwild-style trainer built on crossbeam to show the same components
-//! in actual parallel execution.
+//! Hogwild-style trainer — parameters split across per-shard locks, the
+//! two-phase optimizer applying shard by shard — to show the same
+//! components in actual parallel execution.
 //!
 //! Run with: `cargo run --release --example async_training`
 
@@ -47,8 +48,8 @@ fn main() {
         closed_opt.target_momentum()
     );
 
-    // --- Part 2: real threads (crossbeam) on a noisy quadratic ----------
-    println!("part 2: threaded Hogwild-style training (4 OS threads)\n");
+    // --- Part 2: real threads on a noisy quadratic ----------------------
+    println!("part 2: threaded Hogwild-style training (4 OS threads, 4 param shards)\n");
     let quadratic = Arc::new(Mutex::new(DiagonalQuadratic::log_spaced(
         64, 0.5, 8.0, 0.05, 11,
     )));
@@ -61,7 +62,7 @@ fn main() {
     // (the very effect Section 4 compensates for), so the fixed-momentum
     // baseline here runs with modest constants.
     let mut opt = MomentumSgd::new(0.005, 0.5);
-    let report = run_threaded(4, 2000, vec![1.0f32; 64], grad_fn, &mut opt);
+    let report = run_threaded(4, 2000, vec![1.0f32; 64], grad_fn, &mut opt, 4);
     let early: f32 = report.losses[..50].iter().sum::<f32>() / 50.0;
     let late: f32 = report.losses[report.updates - 50..].iter().sum::<f32>() / 50.0;
     println!(
