@@ -1,8 +1,8 @@
 //! Vector-Jacobian products for every op on the tape.
 
-use crate::conv::{conv2d_backward_input_with_scratch, conv2d_backward_weight_with_scratch};
+use crate::conv::{conv2d_backward_input_with_threads, conv2d_backward_weight_with_threads};
 use crate::graph::{Graph, Op};
-use crate::norm::batch_norm_backward;
+use crate::norm;
 use yf_tensor::Tensor;
 
 impl Graph {
@@ -153,17 +153,9 @@ impl Graph {
             } => {
                 // d loss / d logit = (softmax - onehot) / B, scaled by the
                 // upstream scalar gradient.
-                let g = grad.data()[0];
-                let (b, k) = (probs.shape()[0], probs.shape()[1]);
-                let mut dl = probs.data().to_vec();
-                for (r, &t) in targets.iter().enumerate() {
-                    dl[r * k + t] -= 1.0;
-                }
-                let scale = g / b as f32;
-                for v in &mut dl {
-                    *v *= scale;
-                }
-                self.accumulate(logits, &Tensor::from_vec(dl, &[b, k]));
+                let dl =
+                    norm::softmax_xent_backward(&probs, &targets, grad.data()[0], self.threads);
+                self.accumulate(logits, &dl);
             }
             Op::Embedding { weight, ids } => {
                 if self.rg(weight) {
@@ -185,27 +177,33 @@ impl Graph {
                 input,
                 weight,
                 spec,
+                cols,
             } => {
                 // Reuse the tape's scratch pool across both backward
                 // kernels (and across steps when the graph is reused).
                 let mut scratch = std::mem::take(&mut self.scratch);
                 if self.rg(input) {
-                    let di = conv2d_backward_input_with_scratch(
+                    let di = conv2d_backward_input_with_threads(
                         self.value(input).shape(),
                         self.value(weight),
                         &grad,
                         spec,
                         &mut scratch,
+                        self.threads,
                     );
                     self.accumulate(input, &di);
                 }
                 if self.rg(weight) {
-                    let dw = conv2d_backward_weight_with_scratch(
+                    // Reuse the forward's cached columns when present;
+                    // otherwise the GEMM re-unrolls from the image.
+                    let dw = conv2d_backward_weight_with_threads(
                         self.value(input),
                         self.value(weight).shape(),
                         &grad,
                         spec,
                         &mut scratch,
+                        cols.as_ref(),
+                        self.threads,
                     );
                     self.accumulate(weight, &dw);
                 }
@@ -217,19 +215,21 @@ impl Graph {
                 beta,
                 saved,
             } => {
-                let (dx, dgamma, dbeta) =
-                    batch_norm_backward(self.value(input), self.value(gamma), &saved, &grad);
+                let (dx, dgamma, dbeta) = norm::batch_norm_backward(
+                    self.value(input),
+                    self.value(gamma),
+                    &saved,
+                    &grad,
+                    self.threads,
+                );
                 self.accumulate(input, &dx);
                 self.accumulate(gamma, &dgamma);
                 self.accumulate(beta, &dbeta);
             }
             Op::MaxPool2x2 { input, argmax } => {
                 let shape = self.value(input).shape().to_vec();
-                let mut dx = vec![0.0f32; shape.iter().product()];
-                for (o, &src) in argmax.iter().enumerate() {
-                    dx[src] += grad.data()[o];
-                }
-                self.accumulate(input, &Tensor::from_vec(dx, &shape));
+                let dx = norm::max_pool2x2_backward(&shape, &argmax, &grad, self.threads);
+                self.accumulate(input, &dx);
             }
             Op::LayerNorm {
                 input,
@@ -237,55 +237,21 @@ impl Graph {
                 beta,
                 stats,
             } => {
-                let (b, n) = {
-                    let v = self.value(input);
-                    (v.shape()[0], v.shape()[1])
-                };
-                let x = self.value(input).data().to_vec();
-                let gv = self.value(gamma).data().to_vec();
-                let mut dx = vec![0.0f32; b * n];
-                let mut dgamma = vec![0.0f32; n];
-                let mut dbeta = vec![0.0f32; n];
-                for r in 0..b {
-                    let (mean, inv_std) = stats[r];
-                    let row = &x[r * n..(r + 1) * n];
-                    let gr = &grad.data()[r * n..(r + 1) * n];
-                    let mut sum_dy = 0.0f32;
-                    let mut sum_dy_xhat = 0.0f32;
-                    for j in 0..n {
-                        let xhat = (row[j] - mean) * inv_std;
-                        let dy = gr[j] * gv[j];
-                        sum_dy += dy;
-                        sum_dy_xhat += dy * xhat;
-                        dgamma[j] += gr[j] * xhat;
-                        dbeta[j] += gr[j];
-                    }
-                    let nf = n as f32;
-                    for j in 0..n {
-                        let xhat = (row[j] - mean) * inv_std;
-                        let dy = gr[j] * gv[j];
-                        dx[r * n + j] = inv_std / nf * (nf * dy - sum_dy - xhat * sum_dy_xhat);
-                    }
-                }
-                self.accumulate(input, &Tensor::from_vec(dx, &[b, n]));
-                self.accumulate(gamma, &Tensor::from_vec(dgamma, &[n]));
-                self.accumulate(beta, &Tensor::from_vec(dbeta, &[n]));
+                let (dx, dgamma, dbeta) = norm::layer_norm_backward(
+                    self.value(input),
+                    self.value(gamma),
+                    &stats,
+                    &grad,
+                    self.threads,
+                );
+                self.accumulate(input, &dx);
+                self.accumulate(gamma, &dgamma);
+                self.accumulate(beta, &dbeta);
             }
             Op::GlobalAvgPool(x) => {
                 let shape = self.value(x).shape().to_vec();
-                let (b, c, h, w) = (shape[0], shape[1], shape[2], shape[3]);
-                let hw = (h * w) as f32;
-                let mut dx = vec![0.0f32; b * c * h * w];
-                for bi in 0..b {
-                    for ci in 0..c {
-                        let g = grad.data()[bi * c + ci] / hw;
-                        let base = (bi * c + ci) * h * w;
-                        for slot in &mut dx[base..base + h * w] {
-                            *slot = g;
-                        }
-                    }
-                }
-                self.accumulate(x, &Tensor::from_vec(dx, &shape));
+                let dx = norm::global_avg_pool_backward(&shape, &grad, self.threads);
+                self.accumulate(x, &dx);
             }
         }
     }

@@ -5,34 +5,53 @@
 //! convolution (`groups > 1`) supports the ResNeXt ablation of the paper's
 //! Appendix J.4.
 //!
-//! The production kernels lower every pass onto the cache-blocked GEMM in
-//! [`yf_tensor::gemm`] via the [`im2col`](crate::im2col) unroll (with a
-//! column-buffer-free fast path for 1x1 stride-1 unpadded convolutions).
-//! The original direct loops are retained verbatim in [`reference`]; the
-//! property tests cross-check the lowered kernels against them across
-//! random shapes, strides, paddings, and groups.
+//! The production kernels are **batch-fused**: every pass lowers onto one
+//! GEMM per *group* over the whole batch — the virtual column matrix
+//! `[Cin*KH*KW, B*Ho*Wo]` of [`im2col`](crate::im2col) — instead of one
+//! GEMM per `(batch, group)`. The column matrix is normally never
+//! materialized: the im2col unroll implements
+//! [`yf_tensor::gemm::PackBPanel`], packing column panels straight from
+//! the input image inside the GEMM ([`yf_tensor::gemm::gemm_custom_b`]),
+//! so the unroll *is* the packing pass the GEMM needed anyway.
+//!
+//! The exception is [`conv2d_forward_caching`], which the autograd tape
+//! uses: it materializes the batched column matrix once at forward time
+//! and returns it as a [`ColumnCache`] (memory-capped via
+//! `YF_CONV_CACHE_MB`, default 256 MiB per convolution), so
+//! [`conv2d_backward_weight_cached`] can run its `dY · colsᵀ` GEMM over
+//! the cached columns instead of re-running the unroll. Both
+//! backward-weight paths produce bitwise-identical gradients (the packed
+//! panels are equal element for element).
+//!
+//! Batched operands use the layout `[C, B*Ho*Wo]` (channel rows, batch
+//!-major pixel columns); [`gather_batched`]/[`scatter_batched`] convert
+//! gradients/outputs to and from the tensor layout `[B, C, Ho, Wo]` with
+//! plane-sized `memcpy`s, parallel across planes. When `B == 1` the two
+//! layouts coincide and both copies are skipped, and a 1x1 stride-1
+//! unpadded convolution with `B == 1` degenerates to plain GEMMs on the
+//! input itself (no unroll, no copies).
+//!
+//! Thread fan-out for the unroll/scatter passes is sized by
+//! [`yf_tensor::parallel::threads_for`] on the *batched* matrix (the old
+//! per-`(batch, group)` threshold starved the partitioner once columns
+//! became `B*Ho*Wo` wide); the GEMMs partition internally.
 //!
 //! Each kernel has a `*_with_scratch` variant taking an explicit
 //! [`Scratch`] pool (the autograd tape threads its own through) and a
-//! plain variant using the thread-local pool, so steady-state training
-//! allocates no column buffers either way.
+//! plain variant using the thread-local pool, so the fused paths
+//! allocate no column buffers in steady state. The one exception is the
+//! column cache: its buffer is owned by the returned [`ColumnCache`]
+//! (dropped with the tape, not returned to the pool), so each caching
+//! forward allocates it afresh — see ROADMAP's column-cache accounting
+//! follow-on for the per-tape budget that would let deep models bound
+//! and recycle this. The original direct loops are
+//! retained verbatim in [`reference`]; the property tests cross-check the
+//! lowered kernels against them across random shapes, strides, paddings,
+//! groups, and batch sizes.
 
-use crate::im2col::{col2im_add, im2col_into, ColShape};
+use crate::im2col::{col2im_batched, im2col_batched, BatchGeom, ColShape, ColsPackNN, ColsPackNT};
+use std::sync::Arc;
 use yf_tensor::{gemm, parallel, Scratch, Tensor};
-
-/// Minimum column-matrix elements per (batch, group) slice before the
-/// im2col/col2im pass fans out across channels; below this the scoped
-/// thread spawn costs more than the unroll.
-const PARALLEL_UNROLL_MIN: usize = 1 << 14;
-
-/// Threads for unrolling a column matrix of `elems` elements.
-fn unroll_threads(elems: usize) -> usize {
-    if elems >= PARALLEL_UNROLL_MIN {
-        parallel::num_threads()
-    } else {
-        1
-    }
-}
 
 /// Static parameters of a convolution.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -83,7 +102,7 @@ struct ConvDims {
     cout_g: usize,
     /// Weight rows per group flattened: `cin_g * kh * kw`.
     ckk: usize,
-    /// Output pixels: `ho * wo`.
+    /// Output pixels per batch element: `ho * wo`.
     owo: usize,
     ho: usize,
     wo: usize,
@@ -130,6 +149,21 @@ impl ConvDims {
         self.cs.kh == 1 && self.cs.kw == 1 && spec.stride == 1 && spec.padding == 0
     }
 
+    /// Columns of the batched matrices: `b * ho * wo`.
+    fn bcols(&self) -> usize {
+        self.b * self.owo
+    }
+
+    /// The batched-unroll geometry.
+    fn geom(&self, spec: ConvSpec) -> BatchGeom {
+        BatchGeom {
+            b: self.b,
+            cin: self.cin,
+            cs: self.cs,
+            spec,
+        }
+    }
+
     /// Flat range of the (batch `bi`, group `g`) input slice.
     fn x_slice(&self, bi: usize, g: usize) -> std::ops::Range<usize> {
         let start = (bi * self.cin + g * self.cs.cin_g) * self.cs.h * self.cs.w;
@@ -147,9 +181,73 @@ impl ConvDims {
         let start = g * self.cout_g * self.ckk;
         start..start + self.cout_g * self.ckk
     }
+
+    /// Flat range of group `g`'s row block in a batched `[C, bcols]`
+    /// matrix with `per_g` rows per group.
+    fn g_rows(&self, g: usize, per_g: usize) -> std::ops::Range<usize> {
+        let start = g * per_g * self.bcols();
+        start..start + per_g * self.bcols()
+    }
 }
 
-/// Forward convolution via im2col + GEMM.
+/// The batched column matrix a [`conv2d_forward_caching`] call captured,
+/// for reuse by [`conv2d_backward_weight_cached`]. Cheap to clone (the
+/// buffer is shared), so the autograd tape stores it inside the op.
+#[derive(Debug, Clone)]
+pub struct ColumnCache {
+    cols: Arc<Vec<f32>>,
+}
+
+impl ColumnCache {
+    /// Bytes held by the cached column matrix.
+    pub fn bytes(&self) -> usize {
+        self.cols.len() * std::mem::size_of::<f32>()
+    }
+}
+
+/// Per-convolution column-cache budget in elements: `YF_CONV_CACHE_MB`
+/// MiB (default 256). Column matrices larger than this are not cached;
+/// the backward-weight pass transparently re-unrolls instead.
+fn cache_budget_elems() -> usize {
+    use std::sync::OnceLock;
+    static BUDGET: OnceLock<usize> = OnceLock::new();
+    *BUDGET.get_or_init(|| {
+        let mb = std::env::var("YF_CONV_CACHE_MB")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .unwrap_or(256);
+        mb * (1024 * 1024) / std::mem::size_of::<f32>()
+    })
+}
+
+/// Gathers a `[B, C, Ho, Wo]` tensor into batched layout `[C, B*Ho*Wo]`
+/// (parallel across channel rows).
+fn gather_batched(src: &[f32], b: usize, c: usize, owo: usize, dst: &mut [f32], threads: usize) {
+    let bcols = b * owo;
+    parallel::scoped_chunks_mut(dst, bcols, threads, |first, chunk| {
+        for (o, row) in chunk.chunks_exact_mut(bcols).enumerate() {
+            let ch = first + o;
+            for bi in 0..b {
+                row[bi * owo..(bi + 1) * owo].copy_from_slice(&src[(bi * c + ch) * owo..][..owo]);
+            }
+        }
+    });
+}
+
+/// Scatters a batched `[C, B*Ho*Wo]` matrix into `[B, C, Ho, Wo]` layout
+/// (parallel across output planes).
+fn scatter_batched(src: &[f32], b: usize, c: usize, owo: usize, dst: &mut [f32], threads: usize) {
+    let bcols = b * owo;
+    parallel::scoped_chunks_mut(dst, owo, threads, |first, chunk| {
+        for (p, plane) in chunk.chunks_exact_mut(owo).enumerate() {
+            let idx = first + p;
+            let (bi, ch) = (idx / c, idx % c);
+            plane.copy_from_slice(&src[ch * bcols + bi * owo..][..owo]);
+        }
+    });
+}
+
+/// Forward convolution via the batch-fused im2col GEMM.
 ///
 /// # Panics
 ///
@@ -159,51 +257,148 @@ pub fn conv2d_forward(input: &Tensor, weight: &Tensor, spec: ConvSpec) -> Tensor
     Scratch::with_thread_local(|s| conv2d_forward_with_scratch(input, weight, spec, s))
 }
 
-/// [`conv2d_forward`] with an explicit scratch pool for column buffers.
+/// [`conv2d_forward`] with an explicit scratch pool for the batched GEMM
+/// output buffer.
 pub fn conv2d_forward_with_scratch(
     input: &Tensor,
     weight: &Tensor,
     spec: ConvSpec,
     scratch: &mut Scratch,
 ) -> Tensor {
+    forward_impl(input, weight, spec, scratch, false, parallel::num_threads()).0
+}
+
+/// [`conv2d_forward`] that additionally materializes and returns the
+/// batched column matrix (when it fits the `YF_CONV_CACHE_MB` budget and
+/// the convolution actually unrolls), so the caller can hand it to
+/// [`conv2d_backward_weight_cached`] and skip the re-unroll there. This
+/// is what the autograd tape uses.
+pub fn conv2d_forward_caching(
+    input: &Tensor,
+    weight: &Tensor,
+    spec: ConvSpec,
+    scratch: &mut Scratch,
+) -> (Tensor, Option<ColumnCache>) {
+    forward_impl(input, weight, spec, scratch, true, parallel::num_threads())
+}
+
+/// [`conv2d_forward_caching`] with an explicit thread budget (what the
+/// tape calls; [`crate::Graph::set_threads`] caps it).
+pub fn conv2d_forward_caching_with_threads(
+    input: &Tensor,
+    weight: &Tensor,
+    spec: ConvSpec,
+    scratch: &mut Scratch,
+    threads: usize,
+) -> (Tensor, Option<ColumnCache>) {
+    forward_impl(input, weight, spec, scratch, true, threads)
+}
+
+/// [`conv2d_forward_with_scratch`] with an explicit thread budget.
+pub fn conv2d_forward_with_threads(
+    input: &Tensor,
+    weight: &Tensor,
+    spec: ConvSpec,
+    scratch: &mut Scratch,
+    threads: usize,
+) -> Tensor {
+    forward_impl(input, weight, spec, scratch, false, threads).0
+}
+
+fn forward_impl(
+    input: &Tensor,
+    weight: &Tensor,
+    spec: ConvSpec,
+    scratch: &mut Scratch,
+    want_cache: bool,
+    threads: usize,
+) -> (Tensor, Option<ColumnCache>) {
     let d = ConvDims::new(input.shape(), weight.shape(), spec);
     let mut out = vec![0.0f32; d.b * d.cout * d.owo];
     let x = input.data();
     let wt = weight.data();
-    if d.is_pointwise(spec) {
-        for bi in 0..d.b {
-            for g in 0..spec.groups {
-                gemm::gemm_nn(
-                    d.cout_g,
-                    d.owo,
-                    d.ckk,
-                    &wt[d.w_slice(g)],
-                    &x[d.x_slice(bi, g)],
-                    0.0,
-                    &mut out[d.o_slice(bi, g)],
-                );
-            }
+    let out_shape = [d.b, d.cout, d.ho, d.wo];
+    if d.is_pointwise(spec) && d.b == 1 {
+        // The column matrix equals the input slice per group: plain GEMMs,
+        // zero copies, nothing worth caching.
+        for g in 0..spec.groups {
+            gemm::gemm_nn(
+                d.cout_g,
+                d.owo,
+                d.ckk,
+                &wt[d.w_slice(g)],
+                &x[d.x_slice(0, g)],
+                0.0,
+                &mut out[d.o_slice(0, g)],
+            );
         }
-    } else {
-        let mut cols = scratch.take(d.ckk * d.owo);
-        let threads = unroll_threads(cols.len());
-        for bi in 0..d.b {
-            for g in 0..spec.groups {
-                im2col_into(&x[d.x_slice(bi, g)], d.cs, spec, &mut cols, threads);
-                gemm::gemm_nn(
-                    d.cout_g,
-                    d.owo,
-                    d.ckk,
-                    &wt[d.w_slice(g)],
-                    &cols,
-                    0.0,
-                    &mut out[d.o_slice(bi, g)],
-                );
-            }
-        }
-        scratch.put(cols);
+        return (Tensor::from_vec(out, &out_shape), None);
     }
-    Tensor::from_vec(out, &[d.b, d.cout, d.ho, d.wo])
+    let geom = d.geom(spec);
+    let bcols = d.bcols();
+    // Materialize the batched column matrix only when asked to cache it
+    // (and it fits the budget and is a real unroll); otherwise the GEMM
+    // packs columns straight from the image.
+    let cols_len = geom.rows() * bcols;
+    let cache = if want_cache && !d.is_pointwise(spec) && cols_len <= cache_budget_elems() {
+        let mut cols = scratch.take(cols_len);
+        im2col_batched(
+            x,
+            geom,
+            &mut cols,
+            threads.min(parallel::threads_for(cols_len)),
+        );
+        Some(ColumnCache {
+            cols: Arc::new(cols),
+        })
+    } else {
+        None
+    };
+    let run_group_gemms = |dst: &mut [f32], threads: usize| {
+        for g in 0..spec.groups {
+            let crows = &mut dst[d.g_rows(g, d.cout_g)];
+            match &cache {
+                Some(c) => gemm::gemm_with_threads(
+                    false,
+                    false,
+                    d.cout_g,
+                    bcols,
+                    d.ckk,
+                    &wt[d.w_slice(g)],
+                    &c.cols[d.g_rows(g, d.ckk)],
+                    0.0,
+                    crows,
+                    threads,
+                ),
+                None => gemm::gemm_custom_b(
+                    false,
+                    d.cout_g,
+                    bcols,
+                    d.ckk,
+                    &wt[d.w_slice(g)],
+                    &ColsPackNN {
+                        x,
+                        g: geom,
+                        row0: g * d.ckk,
+                    },
+                    0.0,
+                    crows,
+                    threads,
+                ),
+            }
+        }
+    };
+    if d.b == 1 {
+        // Batched layout [Cout, Ho*Wo] is the output layout.
+        run_group_gemms(&mut out, threads);
+    } else {
+        let mut gbuf = scratch.take(d.cout * bcols);
+        run_group_gemms(&mut gbuf, threads);
+        let t_out = threads.min(parallel::threads_for(out.len()));
+        scatter_batched(&gbuf, d.b, d.cout, d.owo, &mut out, t_out);
+        scratch.put(gbuf);
+    }
+    (Tensor::from_vec(out, &out_shape), cache)
 }
 
 /// Gradient of the convolution with respect to its input.
@@ -226,45 +421,104 @@ pub fn conv2d_backward_input_with_scratch(
     spec: ConvSpec,
     scratch: &mut Scratch,
 ) -> Tensor {
+    conv2d_backward_input_with_threads(
+        input_shape,
+        weight,
+        grad_out,
+        spec,
+        scratch,
+        parallel::num_threads(),
+    )
+}
+
+/// [`conv2d_backward_input_with_scratch`] with an explicit thread budget
+/// (what the tape calls; [`crate::Graph::set_threads`] caps it).
+pub fn conv2d_backward_input_with_threads(
+    input_shape: &[usize],
+    weight: &Tensor,
+    grad_out: &Tensor,
+    spec: ConvSpec,
+    scratch: &mut Scratch,
+    threads: usize,
+) -> Tensor {
     let d = ConvDims::new(input_shape, weight.shape(), spec);
     debug_assert_eq!(grad_out.shape(), &[d.b, d.cout, d.ho, d.wo]);
     let mut dx = vec![0.0f32; d.b * d.cin * d.cs.h * d.cs.w];
     let go = grad_out.data();
     let wt = weight.data();
-    if d.is_pointwise(spec) {
-        for bi in 0..d.b {
-            for g in 0..spec.groups {
-                // dx = Wᵀ · dy, written straight into the image slice.
-                gemm::gemm_tn(
-                    d.ckk,
-                    d.owo,
-                    d.cout_g,
-                    &wt[d.w_slice(g)],
-                    &go[d.o_slice(bi, g)],
-                    0.0,
-                    &mut dx[d.x_slice(bi, g)],
-                );
-            }
+    if d.is_pointwise(spec) && d.b == 1 {
+        for g in 0..spec.groups {
+            // dx = Wᵀ · dy, written straight into the image slice.
+            gemm::gemm_tn(
+                d.ckk,
+                d.owo,
+                d.cout_g,
+                &wt[d.w_slice(g)],
+                &go[d.o_slice(0, g)],
+                0.0,
+                &mut dx[d.x_slice(0, g)],
+            );
         }
-    } else {
-        let mut dcols = scratch.take(d.ckk * d.owo);
-        let threads = unroll_threads(dcols.len());
-        for bi in 0..d.b {
-            for g in 0..spec.groups {
-                gemm::gemm_tn(
-                    d.ckk,
-                    d.owo,
-                    d.cout_g,
-                    &wt[d.w_slice(g)],
-                    &go[d.o_slice(bi, g)],
-                    0.0,
-                    &mut dcols,
-                );
-                col2im_add(&dcols, d.cs, spec, &mut dx[d.x_slice(bi, g)], threads);
-            }
-        }
-        scratch.put(dcols);
+        return Tensor::from_vec(dx, input_shape);
     }
+    let geom = d.geom(spec);
+    // The GEMM writes the column-gradient matrix and col2im immediately
+    // re-reads it, so process the batch in chunks sized to keep that
+    // matrix within half of L2 (still one fused GEMM per group per
+    // chunk — the GEMM keeps plenty of rows to partition across
+    // threads). One chunk covers the whole batch when it fits.
+    let rows = geom.rows();
+    let chunk_b = {
+        let (_, l2, _) = gemm::cache_sizes();
+        let target_cols = l2 / (2 * std::mem::size_of::<f32>() * rows.max(1));
+        (target_cols / d.owo.max(1)).clamp(1, d.b)
+    };
+    let plane = d.cs.h * d.cs.w;
+    // When B == 1 the batched layout is the gradient's own layout, so no
+    // gather buffer is ever needed.
+    let mut dy_buf = if d.b > 1 {
+        scratch.take(d.cout * chunk_b * d.owo)
+    } else {
+        Vec::new()
+    };
+    let mut dcols = scratch.take(rows * chunk_b * d.owo);
+    let mut bi = 0;
+    while bi < d.b {
+        let cb = chunk_b.min(d.b - bi);
+        let cg = BatchGeom { b: cb, ..geom };
+        let bcols = cb * d.owo;
+        let go_chunk = &go[bi * d.cout * d.owo..][..d.cout * bcols];
+        let dyb: &[f32] = if d.b == 1 {
+            go_chunk
+        } else {
+            let t_dy = threads.min(parallel::threads_for(d.cout * bcols));
+            let dst = &mut dy_buf[..d.cout * bcols];
+            gather_batched(go_chunk, cb, d.cout, d.owo, dst, t_dy);
+            dst
+        };
+        // dcols = Wᵀ · dY per group, then one batched scatter back to
+        // image layout (parallel across the chunk's planes).
+        for g in 0..spec.groups {
+            gemm::gemm_with_threads(
+                true,
+                false,
+                d.ckk,
+                bcols,
+                d.cout_g,
+                &wt[d.w_slice(g)],
+                &dyb[g * d.cout_g * bcols..][..d.cout_g * bcols],
+                0.0,
+                &mut dcols[g * d.ckk * bcols..][..d.ckk * bcols],
+                threads,
+            );
+        }
+        let dx_chunk = &mut dx[bi * d.cin * plane..][..cb * d.cin * plane];
+        let t_dx = threads.min(parallel::threads_for(dx_chunk.len()));
+        col2im_batched(&dcols[..rows * bcols], cg, dx_chunk, t_dx);
+        bi += cb;
+    }
+    scratch.put(dcols);
+    scratch.put(dy_buf);
     Tensor::from_vec(dx, input_shape)
 }
 
@@ -288,45 +542,112 @@ pub fn conv2d_backward_weight_with_scratch(
     spec: ConvSpec,
     scratch: &mut Scratch,
 ) -> Tensor {
+    conv2d_backward_weight_cached(input, weight_shape, grad_out, spec, scratch, None)
+}
+
+/// [`conv2d_backward_weight`] that reuses the forward pass's
+/// [`ColumnCache`] when one is supplied (skipping the re-unroll), and
+/// transparently falls back to packing columns from the image when the
+/// cache is absent. Both paths are bitwise identical.
+pub fn conv2d_backward_weight_cached(
+    input: &Tensor,
+    weight_shape: &[usize],
+    grad_out: &Tensor,
+    spec: ConvSpec,
+    scratch: &mut Scratch,
+    cache: Option<&ColumnCache>,
+) -> Tensor {
+    conv2d_backward_weight_with_threads(
+        input,
+        weight_shape,
+        grad_out,
+        spec,
+        scratch,
+        cache,
+        parallel::num_threads(),
+    )
+}
+
+/// [`conv2d_backward_weight_cached`] with an explicit thread budget
+/// (what the tape calls; [`crate::Graph::set_threads`] caps it).
+#[allow(clippy::too_many_arguments)]
+pub fn conv2d_backward_weight_with_threads(
+    input: &Tensor,
+    weight_shape: &[usize],
+    grad_out: &Tensor,
+    spec: ConvSpec,
+    scratch: &mut Scratch,
+    cache: Option<&ColumnCache>,
+    threads: usize,
+) -> Tensor {
     let d = ConvDims::new(input.shape(), weight_shape, spec);
     debug_assert_eq!(grad_out.shape(), &[d.b, d.cout, d.ho, d.wo]);
     let mut dw = vec![0.0f32; d.cout * d.ckk];
     let x = input.data();
     let go = grad_out.data();
-    if d.is_pointwise(spec) {
-        for bi in 0..d.b {
-            for g in 0..spec.groups {
-                // dW += dy · xᵀ, accumulated across the batch.
-                gemm::gemm_nt(
-                    d.cout_g,
-                    d.ckk,
-                    d.owo,
-                    &go[d.o_slice(bi, g)],
-                    &x[d.x_slice(bi, g)],
-                    1.0,
-                    &mut dw[d.w_slice(g)],
-                );
-            }
+    if d.is_pointwise(spec) && d.b == 1 {
+        for g in 0..spec.groups {
+            // dW = dy · xᵀ.
+            gemm::gemm_nt(
+                d.cout_g,
+                d.ckk,
+                d.owo,
+                &go[d.o_slice(0, g)],
+                &x[d.x_slice(0, g)],
+                0.0,
+                &mut dw[d.w_slice(g)],
+            );
         }
-    } else {
-        let mut cols = scratch.take(d.ckk * d.owo);
-        let threads = unroll_threads(cols.len());
-        for bi in 0..d.b {
-            for g in 0..spec.groups {
-                im2col_into(&x[d.x_slice(bi, g)], d.cs, spec, &mut cols, threads);
-                gemm::gemm_nt(
-                    d.cout_g,
-                    d.ckk,
-                    d.owo,
-                    &go[d.o_slice(bi, g)],
-                    &cols,
-                    1.0,
-                    &mut dw[d.w_slice(g)],
-                );
-            }
-        }
-        scratch.put(cols);
+        return Tensor::from_vec(dw, weight_shape);
     }
+    let geom = d.geom(spec);
+    let bcols = d.bcols();
+    let mut dy_buf = Vec::new();
+    let dyb: &[f32] = if d.b == 1 {
+        go
+    } else {
+        dy_buf = scratch.take(d.cout * bcols);
+        let t_dy = threads.min(parallel::threads_for(dy_buf.len()));
+        gather_batched(go, d.b, d.cout, d.owo, &mut dy_buf, t_dy);
+        &dy_buf
+    };
+    let cached_cols = cache.and_then(|c| {
+        // A stale cache (different shape) is ignored, never misused.
+        (c.cols.len() == geom.rows() * bcols).then_some(&c.cols)
+    });
+    for g in 0..spec.groups {
+        // dW_g = dY_g · cols_gᵀ over the whole batch.
+        match cached_cols {
+            Some(cols) => gemm::gemm_with_threads(
+                false,
+                true,
+                d.cout_g,
+                d.ckk,
+                bcols,
+                &dyb[d.g_rows(g, d.cout_g)],
+                &cols[d.g_rows(g, d.ckk)],
+                0.0,
+                &mut dw[d.w_slice(g)],
+                threads,
+            ),
+            None => gemm::gemm_custom_b(
+                false,
+                d.cout_g,
+                d.ckk,
+                bcols,
+                &dyb[d.g_rows(g, d.cout_g)],
+                &ColsPackNT {
+                    x,
+                    g: geom,
+                    row0: g * d.ckk,
+                },
+                0.0,
+                &mut dw[d.w_slice(g)],
+                threads,
+            ),
+        }
+    }
+    scratch.put(dy_buf);
     Tensor::from_vec(dw, weight_shape)
 }
 
@@ -571,14 +892,15 @@ mod tests {
 
     #[test]
     fn lowered_kernels_match_reference() {
-        // A grouped, strided, padded case through all three passes.
+        // A grouped, strided, padded, batched case through all three
+        // passes.
         let spec = ConvSpec {
             stride: 2,
             padding: 1,
             groups: 2,
         };
         let mut rng = Pcg32::seed(33);
-        let input = Tensor::randn(&[2, 4, 7, 6], &mut rng);
+        let input = Tensor::randn(&[3, 4, 7, 6], &mut rng);
         let weight = Tensor::randn(&[6, 2, 3, 3], &mut rng);
         let out = conv2d_forward(&input, &weight, spec);
         let out_ref = reference::conv2d_forward(&input, &weight, spec);
@@ -600,6 +922,59 @@ mod tests {
                 assert!((g - w).abs() <= 1e-4 * (1.0 + w.abs()), "{g} vs {w}");
             }
         }
+    }
+
+    #[test]
+    fn cached_and_fallback_backward_weight_agree_bitwise() {
+        // The cached-columns GEMM and the fused re-unroll pack identical
+        // panels, so the weight gradients must agree bit for bit.
+        let spec = ConvSpec {
+            stride: 2,
+            padding: 1,
+            groups: 2,
+        };
+        let mut rng = Pcg32::seed(77);
+        let input = Tensor::randn(&[4, 4, 9, 7], &mut rng);
+        let weight = Tensor::randn(&[6, 2, 3, 3], &mut rng);
+        let mut scratch = Scratch::new();
+        let (out, cache) = conv2d_forward_caching(&input, &weight, spec, &mut scratch);
+        let cache = cache.expect("column matrix fits the default budget");
+        assert!(cache.bytes() > 0);
+        let grad = Tensor::randn(out.shape(), &mut rng);
+        let with_cache = conv2d_backward_weight_cached(
+            &input,
+            weight.shape(),
+            &grad,
+            spec,
+            &mut scratch,
+            Some(&cache),
+        );
+        let without =
+            conv2d_backward_weight_cached(&input, weight.shape(), &grad, spec, &mut scratch, None);
+        assert_eq!(with_cache.data(), without.data());
+    }
+
+    #[test]
+    fn caching_forward_matches_fused_forward_bitwise() {
+        let spec = ConvSpec::same3x3(1);
+        let mut rng = Pcg32::seed(78);
+        let input = Tensor::randn(&[3, 3, 8, 8], &mut rng);
+        let weight = Tensor::randn(&[5, 3, 3, 3], &mut rng);
+        let mut scratch = Scratch::new();
+        let (cached, cache) = conv2d_forward_caching(&input, &weight, spec, &mut scratch);
+        assert!(cache.is_some());
+        let fused = conv2d_forward(&input, &weight, spec);
+        assert_eq!(cached.data(), fused.data());
+    }
+
+    #[test]
+    fn pointwise_never_caches() {
+        let mut rng = Pcg32::seed(79);
+        let input = Tensor::randn(&[2, 4, 5, 5], &mut rng);
+        let weight = Tensor::randn(&[3, 4, 1, 1], &mut rng);
+        let mut scratch = Scratch::new();
+        let (_, cache) = conv2d_forward_caching(&input, &weight, ConvSpec::unit(), &mut scratch);
+        assert!(cache.is_none(), "1x1 stride-1 convs skip the column cache");
     }
 
     #[test]

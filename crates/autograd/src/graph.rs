@@ -1,7 +1,7 @@
 //! The tape: nodes, eager forward evaluation, and the public op surface.
 
-use crate::conv::ConvSpec;
-use crate::norm::{batch_norm_forward, BnSaved};
+use crate::conv::{ColumnCache, ConvSpec};
+use crate::norm::{self, BnSaved};
 use yf_tensor::Tensor;
 
 /// Identifier of a node on a [`Graph`] tape.
@@ -54,6 +54,11 @@ pub(crate) enum Op {
         input: NodeId,
         weight: NodeId,
         spec: ConvSpec,
+        /// Batched column matrix captured at forward time (when the
+        /// weight needs a gradient and the matrix fits the cache budget)
+        /// so the weight-gradient pass skips the re-unroll. Shared, so
+        /// cloning the op descriptor stays cheap.
+        cols: Option<ColumnCache>,
     },
     /// Training-mode batch normalization over `[B, C, H, W]` per channel.
     BatchNorm {
@@ -94,18 +99,39 @@ pub(crate) struct Node {
 /// replays the tape in reverse. A graph is built fresh for every training
 /// step (the usual define-by-run pattern), so node storage is reclaimed by
 /// dropping the graph.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct Graph {
     pub(crate) nodes: Vec<Node>,
     /// Reusable column/packing buffers threaded through the conv kernels,
     /// so repeated forward/backward passes stop allocating per op.
     pub(crate) scratch: yf_tensor::Scratch,
+    /// Thread budget handed to the parallel kernels (norms, softmax,
+    /// pooling, unrolls). Defaults to the machine width; tests pin it.
+    pub(crate) threads: usize,
+}
+
+impl Default for Graph {
+    fn default() -> Self {
+        Graph {
+            nodes: Vec::new(),
+            scratch: yf_tensor::Scratch::default(),
+            threads: yf_tensor::parallel::num_threads(),
+        }
+    }
 }
 
 impl Graph {
     /// Creates an empty tape.
     pub fn new() -> Self {
         Graph::default()
+    }
+
+    /// Overrides the thread budget for this tape's parallel kernels
+    /// (norms, softmax, pooling, conv unrolls). The gradient-check tests
+    /// use this to validate the kernels at 1 and N threads; kernels still
+    /// gate small tensors down to one thread themselves.
+    pub fn set_threads(&mut self, threads: usize) {
+        self.threads = threads.max(1);
     }
 
     /// Number of recorded nodes.
@@ -320,33 +346,12 @@ impl Graph {
     /// Panics if `targets.len()` differs from the batch size or a target is
     /// out of range.
     pub fn softmax_cross_entropy(&mut self, logits: NodeId, targets: &[usize]) -> NodeId {
-        let lv = self.value(logits);
-        assert_eq!(lv.shape().len(), 2, "softmax_xent: logits must be rank 2");
-        let (b, k) = (lv.shape()[0], lv.shape()[1]);
-        assert_eq!(targets.len(), b, "softmax_xent: target count mismatch");
-        let mut probs = vec![0.0f32; b * k];
-        let mut loss = 0.0f64;
-        for r in 0..b {
-            let row = &lv.data()[r * k..(r + 1) * k];
-            let t = targets[r];
-            assert!(t < k, "softmax_xent: target {t} out of range {k}");
-            let m = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
-            let mut z = 0.0f32;
-            for (j, &v) in row.iter().enumerate() {
-                let e = (v - m).exp();
-                probs[r * k + j] = e;
-                z += e;
-            }
-            for p in &mut probs[r * k..(r + 1) * k] {
-                *p /= z;
-            }
-            loss -= f64::from(probs[r * k + t].max(1e-30).ln());
-        }
-        let value = Tensor::scalar((loss / b as f64) as f32);
+        let (loss, probs) = norm::softmax_xent_forward(self.value(logits), targets, self.threads);
+        let value = Tensor::scalar(loss);
         let op = Op::SoftmaxCrossEntropy {
             logits,
             targets: targets.to_vec(),
-            probs: Tensor::from_vec(probs, &[b, k]),
+            probs,
         };
         self.unary(op, logits, value)
     }
@@ -379,18 +384,33 @@ impl Graph {
         // Detach the scratch pool so the kernel can borrow it mutably
         // while reading node values out of `self`.
         let mut scratch = std::mem::take(&mut self.scratch);
-        let v = crate::conv::conv2d_forward_with_scratch(
-            self.value(input),
-            self.value(weight),
-            spec,
-            &mut scratch,
-        );
+        // Capture the batched column matrix only when a weight gradient
+        // will want it back.
+        let (v, cols) = if self.rg(weight) {
+            crate::conv::conv2d_forward_caching_with_threads(
+                self.value(input),
+                self.value(weight),
+                spec,
+                &mut scratch,
+                self.threads,
+            )
+        } else {
+            let v = crate::conv::conv2d_forward_with_threads(
+                self.value(input),
+                self.value(weight),
+                spec,
+                &mut scratch,
+                self.threads,
+            );
+            (v, None)
+        };
         self.scratch = scratch;
         self.binary(
             Op::Conv2d {
                 input,
                 weight,
                 spec,
+                cols,
             },
             input,
             weight,
@@ -401,8 +421,13 @@ impl Graph {
     /// Training-mode batch normalization of `[B, C, H, W]` with per-channel
     /// scale `gamma` and shift `beta` (both `[C]`).
     pub fn batch_norm(&mut self, input: NodeId, gamma: NodeId, beta: NodeId, eps: f32) -> NodeId {
-        let (v, saved) =
-            batch_norm_forward(self.value(input), self.value(gamma), self.value(beta), eps);
+        let (v, saved) = norm::batch_norm_forward(
+            self.value(input),
+            self.value(gamma),
+            self.value(beta),
+            eps,
+            self.threads,
+        );
         let rg = self.rg(input) || self.rg(gamma) || self.rg(beta);
         self.push(
             Op::BatchNorm {
@@ -418,18 +443,7 @@ impl Graph {
 
     /// Spatial mean pooling `[B, C, H, W] -> [B, C]`.
     pub fn global_avg_pool(&mut self, x: NodeId) -> NodeId {
-        let xv = self.value(x);
-        assert_eq!(xv.shape().len(), 4, "global_avg_pool: must be rank 4");
-        let (b, c, h, w) = (xv.shape()[0], xv.shape()[1], xv.shape()[2], xv.shape()[3]);
-        let hw = h * w;
-        let mut out = vec![0.0f32; b * c];
-        for bi in 0..b {
-            for ci in 0..c {
-                let base = (bi * c + ci) * hw;
-                out[bi * c + ci] = xv.data()[base..base + hw].iter().sum::<f32>() / hw as f32;
-            }
-        }
-        let v = Tensor::from_vec(out, &[b, c]);
+        let v = norm::global_avg_pool_forward(self.value(x), self.threads);
         self.unary(Op::GlobalAvgPool(x), x, v)
     }
 
@@ -439,57 +453,20 @@ impl Graph {
     ///
     /// Panics unless the input is rank 4 with even spatial extents.
     pub fn max_pool_2x2(&mut self, input: NodeId) -> NodeId {
-        let xv = self.value(input);
-        assert_eq!(xv.shape().len(), 4, "max_pool: input must be rank 4");
-        let (b, c, h, w) = (xv.shape()[0], xv.shape()[1], xv.shape()[2], xv.shape()[3]);
-        assert!(h % 2 == 0 && w % 2 == 0, "max_pool: extents must be even");
-        let (ho, wo) = (h / 2, w / 2);
-        let mut out = vec![f32::NEG_INFINITY; b * c * ho * wo];
-        let mut argmax = vec![0usize; b * c * ho * wo];
-        let x = xv.data();
-        for bc in 0..b * c {
-            let in_base = bc * h * w;
-            let out_base = bc * ho * wo;
-            for oy in 0..ho {
-                for ox in 0..wo {
-                    let o = out_base + oy * wo + ox;
-                    for (dy, dx) in [(0, 0), (0, 1), (1, 0), (1, 1)] {
-                        let i = in_base + (2 * oy + dy) * w + 2 * ox + dx;
-                        if x[i] > out[o] {
-                            out[o] = x[i];
-                            argmax[o] = i;
-                        }
-                    }
-                }
-            }
-        }
-        let v = Tensor::from_vec(out, &[b, c, ho, wo]);
+        let (v, argmax) = norm::max_pool2x2_forward(self.value(input), self.threads);
         self.unary(Op::MaxPool2x2 { input, argmax }, input, v)
     }
 
     /// Row-wise layer normalization of a `[B, N]` node with learnable
     /// per-column scale `gamma` and shift `beta` (both `[N]`).
     pub fn layer_norm(&mut self, input: NodeId, gamma: NodeId, beta: NodeId, eps: f32) -> NodeId {
-        let xv = self.value(input);
-        assert_eq!(xv.shape().len(), 2, "layer_norm: input must be rank 2");
-        let (b, n) = (xv.shape()[0], xv.shape()[1]);
-        let gv = self.value(gamma);
-        let bv = self.value(beta);
-        assert_eq!(gv.shape(), &[n], "layer_norm: gamma must be [N]");
-        assert_eq!(bv.shape(), &[n], "layer_norm: beta must be [N]");
-        let mut out = vec![0.0f32; b * n];
-        let mut stats = Vec::with_capacity(b);
-        for r in 0..b {
-            let row = &xv.data()[r * n..(r + 1) * n];
-            let mean = row.iter().sum::<f32>() / n as f32;
-            let var = row.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / n as f32;
-            let inv_std = 1.0 / (var + eps).sqrt();
-            stats.push((mean, inv_std));
-            for j in 0..n {
-                out[r * n + j] = gv.data()[j] * (row[j] - mean) * inv_std + bv.data()[j];
-            }
-        }
-        let v = Tensor::from_vec(out, &[b, n]);
+        let (v, stats) = norm::layer_norm_forward(
+            self.value(input),
+            self.value(gamma),
+            self.value(beta),
+            eps,
+            self.threads,
+        );
         let rg = self.rg(input) || self.rg(gamma) || self.rg(beta);
         self.push(
             Op::LayerNorm {

@@ -28,7 +28,7 @@ pub mod check;
 pub mod conv;
 mod graph;
 mod im2col;
-mod norm;
+pub mod norm;
 
 pub use conv::ConvSpec;
 pub use graph::{Graph, NodeId};

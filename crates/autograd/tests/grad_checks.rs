@@ -415,6 +415,104 @@ fn grad_is_none_for_constants() {
     assert_eq!(g.grad(x).unwrap().data(), &[1.0, 1.0]);
 }
 
+/// Finite-difference checks for the parallelized norm/softmax/pool
+/// backward kernels, pinned at 1 and 4 tape threads: the fan-out must
+/// change neither the values (the kernels are deterministic at any
+/// thread count) nor the gradients.
+#[test]
+fn parallel_kernels_grad_check_at_1_and_4_threads() {
+    for threads in [1usize, 4] {
+        let x = randn(&[3, 2, 4, 4], 50);
+        let gamma = randn(&[2], 51).map(|v| 1.0 + 0.1 * v);
+        let beta = randn(&[2], 52);
+        assert_grads_close(
+            &[x, gamma, beta],
+            |g, ids| {
+                g.set_threads(threads);
+                let y = g.batch_norm(ids[0], ids[1], ids[2], 1e-3);
+                let sq = g.mul(y, y);
+                g.sum_all(sq)
+            },
+            5e-2,
+        );
+
+        let x = randn(&[4, 6], 53);
+        let gamma = randn(&[6], 54).map(|v| 1.0 + 0.2 * v);
+        let beta = randn(&[6], 55);
+        assert_grads_close(
+            &[x, gamma, beta],
+            |g, ids| {
+                g.set_threads(threads);
+                let y = g.layer_norm(ids[0], ids[1], ids[2], 1e-3);
+                let sq = g.mul(y, y);
+                g.mean_all(sq)
+            },
+            5e-2,
+        );
+
+        let logits = randn(&[5, 7], 56);
+        let targets = vec![0, 6, 3, 2, 2];
+        assert_grads_close(
+            &[logits],
+            |g, ids| {
+                g.set_threads(threads);
+                g.softmax_cross_entropy(ids[0], &targets)
+            },
+            TOL,
+        );
+
+        // Shift values apart so the argmax is stable under perturbation.
+        let x = randn(&[2, 3, 4, 4], 57).scale(3.0);
+        assert_grads_close(
+            &[x],
+            |g, ids| {
+                g.set_threads(threads);
+                let p = g.max_pool_2x2(ids[0]);
+                let sq = g.mul(p, p);
+                g.sum_all(sq)
+            },
+            TOL,
+        );
+
+        let x = randn(&[2, 3, 4, 4], 58);
+        assert_grads_close(
+            &[x],
+            |g, ids| {
+                g.set_threads(threads);
+                let p = g.global_avg_pool(ids[0]);
+                let sq = g.mul(p, p);
+                g.sum_all(sq)
+            },
+            TOL,
+        );
+    }
+}
+
+/// A conv tape step at 1 and 4 threads must produce bitwise-identical
+/// loss and gradients: every parallel kernel in the pipeline partitions
+/// disjoint outputs with a fixed accumulation order.
+#[test]
+fn conv_tape_is_bitwise_deterministic_across_threads() {
+    let x = randn(&[3, 4, 6, 6], 60);
+    let w = randn(&[4, 4, 3, 3], 61);
+    let run = |threads: usize| {
+        let mut g = Graph::new();
+        g.set_threads(threads);
+        let xi = g.leaf(x.clone(), true);
+        let wi = g.leaf(w.clone(), true);
+        let y = g.conv2d(xi, wi, ConvSpec::same3x3(1));
+        let sq = g.mul(y, y);
+        let loss = g.sum_all(sq);
+        g.backward(loss);
+        (
+            g.value(loss).data().to_vec(),
+            g.grad(xi).unwrap().data().to_vec(),
+            g.grad(wi).unwrap().data().to_vec(),
+        )
+    };
+    assert_eq!(run(1), run(4));
+}
+
 #[test]
 #[should_panic(expected = "loss must be a single-element node")]
 fn backward_requires_scalar() {

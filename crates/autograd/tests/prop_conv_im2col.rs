@@ -1,6 +1,8 @@
-//! Property tests: the im2col/GEMM convolution kernels must match the
-//! retained direct reference loops across random shapes, strides,
-//! paddings, and groups — forward and both backward passes.
+//! Property tests: the batch-fused im2col/GEMM convolution kernels must
+//! match the retained direct reference loops across random shapes,
+//! strides, paddings, groups, and batch sizes — forward and both
+//! backward passes — and the cached-columns and re-unroll
+//! backward-weight paths must agree bit for bit.
 
 use proptest::prelude::*;
 use yf_autograd::conv::{
@@ -31,7 +33,7 @@ proptest! {
 
     #[test]
     fn conv_matches_reference_kernels(
-        b in 1usize..3,
+        b in 1usize..6,
         groups in 1usize..4,
         cin_g in 1usize..4,
         cout_g in 1usize..4,
@@ -69,6 +71,40 @@ proptest! {
         let dw_ref = reference::conv2d_backward_weight(&input, weight.shape(), &grad, spec);
         prop_assert!(close(&dw, &dw_ref, "backward_weight").is_ok(),
             "{:?}: {:?}", spec, close(&dw, &dw_ref, "backward_weight"));
+    }
+
+    #[test]
+    fn cached_and_reunroll_backward_weight_agree_bitwise(
+        b in 1usize..5,
+        groups in 1usize..3,
+        cin_g in 1usize..4,
+        cout_g in 1usize..4,
+        h in 2usize..8,
+        w in 2usize..8,
+        stride in 1usize..3,
+        padding in 0usize..2,
+        seed in any::<u64>(),
+    ) {
+        // The cached-columns GEMM and the transparent re-unroll pack
+        // identical panels, so their weight gradients are bit-identical.
+        let (kh, kw) = (3.min(h), 3.min(w));
+        let spec = ConvSpec { stride, padding, groups };
+        let (cin, cout) = (groups * cin_g, groups * cout_g);
+        let mut rng = Pcg32::seed(seed);
+        let input = Tensor::randn(&[b, cin, h, w], &mut rng);
+        let weight = Tensor::randn(&[cout, cin_g, kh, kw], &mut rng);
+        let mut scratch = yf_tensor::Scratch::new();
+        let (out, cache) = conv::conv2d_forward_caching(&input, &weight, spec, &mut scratch);
+        // The caching forward itself must match the fused forward
+        // bit for bit (both run the same GEMM over equal panels).
+        let fused = conv2d_forward(&input, &weight, spec);
+        prop_assert_eq!(out.data(), fused.data());
+        let grad = Tensor::randn(out.shape(), &mut rng);
+        let with_cache = conv::conv2d_backward_weight_cached(
+            &input, weight.shape(), &grad, spec, &mut scratch, cache.as_ref());
+        let without = conv::conv2d_backward_weight_cached(
+            &input, weight.shape(), &grad, spec, &mut scratch, None);
+        prop_assert_eq!(with_cache.data(), without.data());
     }
 
     #[test]

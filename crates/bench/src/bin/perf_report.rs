@@ -21,10 +21,16 @@
 //!   kernel's speedup falls more than the tolerance below the baseline).
 //! - `YF_PERF_TOL` — gate tolerance as a fraction (default 0.35).
 //! - `YF_NUM_THREADS` — kernel-layer thread count, recorded in the JSON.
+//!
+//! The gate only compares runs at the **same thread count**: speedups of
+//! the parallel kernels scale with cores, so a baseline recorded at a
+//! different `threads` value is skipped entirely (with a warning) rather
+//! than producing phantom regressions or free passes.
 
 use std::fmt::Write as _;
 use std::time::Instant;
 use yf_autograd::conv::{self, reference as conv_ref};
+use yf_autograd::norm::{self, reference as norm_ref};
 use yf_autograd::ConvSpec;
 use yf_optim::sharded::step_sharded;
 use yf_optim::{Adam, MomentumSgd, Optimizer};
@@ -69,13 +75,18 @@ impl Entry {
 }
 
 /// Parses the `"name": {"median_ns": .., "seed_median_ns": .., "speedup": ..}`
-/// lines of a previously emitted `BENCH_kernels.json` into
-/// `(name, speedup)` pairs. Hand-rolled because the format is ours and
-/// the build environment is offline.
-fn parse_baseline(text: &str) -> Vec<(String, f64)> {
+/// lines of a previously emitted `BENCH_kernels.json` into the recorded
+/// thread count plus `(name, speedup)` pairs. Hand-rolled because the
+/// format is ours and the build environment is offline.
+fn parse_baseline(text: &str) -> (Option<usize>, Vec<(String, f64)>) {
+    let mut threads = None;
     let mut out = Vec::new();
     for line in text.lines() {
         let line = line.trim();
+        if let Some(rest) = line.strip_prefix("\"threads\":") {
+            threads = rest.trim().trim_end_matches(',').parse::<usize>().ok();
+            continue;
+        }
         if !line.contains("\"median_ns\"") {
             continue;
         }
@@ -91,7 +102,7 @@ fn parse_baseline(text: &str) -> Vec<(String, f64)> {
         };
         out.push((name.to_string(), speedup));
     }
-    out
+    (threads, out)
 }
 
 /// Compares fresh entries against a baseline; returns the kernels whose
@@ -285,26 +296,176 @@ fn main() {
                     ));
                 }),
             ),
-            _ => (
-                median_ns(|| {
-                    std::hint::black_box(conv::conv2d_backward_weight(
-                        &input,
-                        weight.shape(),
-                        &grad,
-                        spec,
-                    ));
-                }),
-                median_ns(|| {
-                    std::hint::black_box(conv_ref::conv2d_backward_weight(
-                        &input,
-                        weight.shape(),
-                        &grad,
-                        spec,
-                    ));
-                }),
-            ),
+            _ => {
+                // The training-pipeline cost: the tape caches the batched
+                // column matrix at forward time, so backward-weight is
+                // one NT GEMM over the cached columns.
+                let mut scratch = yf_tensor::Scratch::new();
+                let (_, cache) = conv::conv2d_forward_caching(&input, &weight, spec, &mut scratch);
+                (
+                    median_ns(|| {
+                        std::hint::black_box(conv::conv2d_backward_weight_cached(
+                            &input,
+                            weight.shape(),
+                            &grad,
+                            spec,
+                            &mut scratch,
+                            cache.as_ref(),
+                        ));
+                    }),
+                    median_ns(|| {
+                        std::hint::black_box(conv_ref::conv2d_backward_weight(
+                            &input,
+                            weight.shape(),
+                            &grad,
+                            spec,
+                        ));
+                    }),
+                )
+            }
         };
         push(name, new, seed);
+    }
+
+    // --- Backward-weight without the forward's column cache: the
+    // transparent re-unroll fallback (columns packed straight from the
+    // image inside the GEMM). ---
+    {
+        let spec = ConvSpec {
+            stride: 1,
+            padding: 1,
+            groups: 1,
+        };
+        let input = Tensor::randn(&[8, 16, 32, 32], &mut rng);
+        let weight = Tensor::randn(&[16, 16, 3, 3], &mut rng);
+        let out = conv::conv2d_forward(&input, &weight, spec);
+        let grad = Tensor::randn(out.shape(), &mut rng);
+        let new = median_ns(|| {
+            std::hint::black_box(conv::conv2d_backward_weight(
+                &input,
+                weight.shape(),
+                &grad,
+                spec,
+            ));
+        });
+        let seed = median_ns(|| {
+            std::hint::black_box(conv_ref::conv2d_backward_weight(
+                &input,
+                weight.shape(),
+                &grad,
+                spec,
+            ));
+        });
+        push("conv2d_bwd_weight_reunroll_8x16x32x32", new, seed);
+    }
+
+    // --- Norm / softmax / pooling kernels: parallel fused reductions vs
+    // the seed scalar loops (`yf_autograd::norm::reference`). ---
+    let threads = parallel::num_threads();
+    {
+        let x = Tensor::randn(&[8, 32, 32, 32], &mut rng);
+        let gamma = Tensor::randn(&[32], &mut rng).map(|v| 1.0 + 0.1 * v);
+        let beta = Tensor::randn(&[32], &mut rng);
+        let grad = Tensor::randn(x.shape(), &mut rng);
+        let (_, saved) = norm::batch_norm_forward(&x, &gamma, &beta, 1e-5, threads);
+        push(
+            "batch_norm_fwd_8x32x32x32",
+            median_ns(|| {
+                std::hint::black_box(norm::batch_norm_forward(&x, &gamma, &beta, 1e-5, threads));
+            }),
+            median_ns(|| {
+                std::hint::black_box(norm_ref::batch_norm_forward(&x, &gamma, &beta, 1e-5));
+            }),
+        );
+        push(
+            "batch_norm_bwd_8x32x32x32",
+            median_ns(|| {
+                std::hint::black_box(norm::batch_norm_backward(
+                    &x, &gamma, &saved, &grad, threads,
+                ));
+            }),
+            median_ns(|| {
+                std::hint::black_box(norm_ref::batch_norm_backward(&x, &gamma, &saved, &grad));
+            }),
+        );
+    }
+    {
+        let x = Tensor::randn(&[64, 1024], &mut rng);
+        let gamma = Tensor::randn(&[1024], &mut rng).map(|v| 1.0 + 0.1 * v);
+        let beta = Tensor::randn(&[1024], &mut rng);
+        let grad = Tensor::randn(x.shape(), &mut rng);
+        let (_, stats) = norm::layer_norm_forward(&x, &gamma, &beta, 1e-5, threads);
+        push(
+            "layer_norm_fwd_64x1024",
+            median_ns(|| {
+                std::hint::black_box(norm::layer_norm_forward(&x, &gamma, &beta, 1e-5, threads));
+            }),
+            median_ns(|| {
+                std::hint::black_box(norm_ref::layer_norm_forward(&x, &gamma, &beta, 1e-5));
+            }),
+        );
+        push(
+            "layer_norm_bwd_64x1024",
+            median_ns(|| {
+                std::hint::black_box(norm::layer_norm_backward(
+                    &x, &gamma, &stats, &grad, threads,
+                ));
+            }),
+            median_ns(|| {
+                std::hint::black_box(norm_ref::layer_norm_backward(&x, &gamma, &stats, &grad));
+            }),
+        );
+    }
+    {
+        let logits = Tensor::randn(&[64, 4096], &mut rng);
+        let targets: Vec<usize> = (0..64).map(|r| (r * 61) % 4096).collect();
+        let (_, probs) = norm::softmax_xent_forward(&logits, &targets, threads);
+        push(
+            "softmax_ce_fwd_64x4096",
+            median_ns(|| {
+                std::hint::black_box(norm::softmax_xent_forward(&logits, &targets, threads));
+            }),
+            median_ns(|| {
+                std::hint::black_box(norm_ref::softmax_xent_forward(&logits, &targets));
+            }),
+        );
+        push(
+            "softmax_ce_bwd_64x4096",
+            median_ns(|| {
+                std::hint::black_box(norm::softmax_xent_backward(&probs, &targets, 1.0, threads));
+            }),
+            median_ns(|| {
+                std::hint::black_box(norm_ref::softmax_xent_backward(&probs, &targets, 1.0));
+            }),
+        );
+    }
+    {
+        let x = Tensor::randn(&[8, 32, 32, 32], &mut rng);
+        let (pooled, argmax) = norm::max_pool2x2_forward(&x, threads);
+        let grad = Tensor::randn(pooled.shape(), &mut rng);
+        push(
+            "max_pool_fwd_8x32x32x32",
+            median_ns(|| {
+                std::hint::black_box(norm::max_pool2x2_forward(&x, threads));
+            }),
+            median_ns(|| {
+                std::hint::black_box(norm_ref::max_pool2x2_forward(&x));
+            }),
+        );
+        push(
+            "max_pool_bwd_8x32x32x32",
+            median_ns(|| {
+                std::hint::black_box(norm::max_pool2x2_backward(
+                    x.shape(),
+                    &argmax,
+                    &grad,
+                    threads,
+                ));
+            }),
+            median_ns(|| {
+                std::hint::black_box(norm_ref::max_pool2x2_backward(x.shape(), &argmax, &grad));
+            }),
+        );
     }
 
     // --- Optimizer-step kernels: sharded apply vs single-thread apply on
@@ -350,6 +511,12 @@ fn main() {
         "  \"simd\": \"{}\",",
         yf_tensor::gemm::detected_simd()
     );
+    let bl = yf_tensor::gemm::blocks();
+    let _ = writeln!(
+        json,
+        "  \"gemm_blocks\": \"{},{},{}\",",
+        bl.mc, bl.kc, bl.nc
+    );
     let _ = writeln!(json, "  \"unit\": \"median ns per op\",");
     let _ = writeln!(json, "  \"kernels\": {{");
     for (i, e) in entries.iter().enumerate() {
@@ -371,7 +538,19 @@ fn main() {
     println!("\nwrote {out_path}");
 
     // --- Regression gate against the committed baseline. ---
-    if let Some((path, baseline)) = baseline {
+    if let Some((path, (base_threads, baseline))) = baseline {
+        // Parallel-kernel speedups scale with the machine width; gating a
+        // 16-thread run against a 1-thread baseline (or vice versa) would
+        // manufacture regressions or free passes. Skip, loudly.
+        let now_threads = parallel::num_threads();
+        if base_threads != Some(now_threads) {
+            eprintln!(
+                "perf gate: WARNING: baseline {path} was recorded at {} threads, \
+                 this run uses {now_threads}; skipping all baseline entries",
+                base_threads.map_or("unknown".to_string(), |t| t.to_string()),
+            );
+            return;
+        }
         let tol: f64 = std::env::var("YF_PERF_TOL")
             .ok()
             .and_then(|v| v.parse().ok())

@@ -21,6 +21,64 @@ fn check(y: &[f32], x: &[f32], op: &str) {
     );
 }
 
+/// Copies `src` into `dst` (equal lengths) through an inlined 8-wide
+/// block loop instead of a `memcpy` call. The GEMM packers and the
+/// im2col unroll copy millions of tile-width (16-32 element) runs per
+/// pass; at that size the dynamic-length `memcpy` dispatch costs more
+/// than the copy itself.
+///
+/// # Panics
+///
+/// Panics on length mismatch.
+#[inline]
+pub fn copy_short(dst: &mut [f32], src: &[f32]) {
+    check(dst, src, "copy_short");
+    let n = dst.len();
+    if n < 8 {
+        for (dv, &sv) in dst.iter_mut().zip(src) {
+            *dv = sv;
+        }
+        return;
+    }
+    let mut i = 0;
+    while i + 8 <= n {
+        let dc: &mut [f32; 8] = (&mut dst[i..i + 8]).try_into().unwrap();
+        let sc: &[f32; 8] = (&src[i..i + 8]).try_into().unwrap();
+        *dc = *sc;
+        i += 8;
+    }
+    if i < n {
+        // Ragged tail: one overlapping 8-block instead of a scalar loop
+        // (copies are idempotent, so re-writing a few elements is free).
+        let dc: &mut [f32; 8] = (&mut dst[n - 8..]).try_into().unwrap();
+        let sc: &[f32; 8] = (&src[n - 8..]).try_into().unwrap();
+        *dc = *sc;
+    }
+}
+
+/// Zero-fills `dst` through an inlined 8-wide block loop instead of a
+/// `memset` call (see [`copy_short`] for why).
+#[inline]
+pub fn zero_short(dst: &mut [f32]) {
+    let n = dst.len();
+    if n < 8 {
+        for dv in dst.iter_mut() {
+            *dv = 0.0;
+        }
+        return;
+    }
+    let mut i = 0;
+    while i + 8 <= n {
+        let dc: &mut [f32; 8] = (&mut dst[i..i + 8]).try_into().unwrap();
+        *dc = [0.0; 8];
+        i += 8;
+    }
+    if i < n {
+        let dc: &mut [f32; 8] = (&mut dst[n - 8..]).try_into().unwrap();
+        *dc = [0.0; 8];
+    }
+}
+
 /// `y += x`.
 pub fn add(y: &mut [f32], x: &[f32]) {
     check(y, x, "add");

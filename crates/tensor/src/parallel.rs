@@ -11,6 +11,19 @@
 //! N-thread results) take a thread count parameter instead of calling
 //! [`num_threads`] themselves.
 
+/// Minimum elements of work per additional worker thread. Below this a
+/// scoped spawn costs more than the loop it offloads; kernels gate their
+/// fan-out on it via [`threads_for`].
+pub const MIN_PAR_ELEMS: usize = 1 << 14;
+
+/// Thread count for a kernel touching `elems` elements: one worker per
+/// [`MIN_PAR_ELEMS`] block of work, capped at [`num_threads`]. Small
+/// workloads get 1 (a plain call), and the fan-out grows with the
+/// workload instead of jumping straight to the machine width.
+pub fn threads_for(elems: usize) -> usize {
+    (elems / MIN_PAR_ELEMS).clamp(1, num_threads())
+}
+
 /// The kernel-layer thread count: `YF_NUM_THREADS` if set and positive,
 /// otherwise the machine's available parallelism (1 if unknown).
 pub fn num_threads() -> usize {
@@ -90,6 +103,80 @@ where
     });
 }
 
+/// Like [`scoped_chunks_mut`] but splits **two** buffers by the same row
+/// partition: row `r` of `a` is `unit_a` elements, row `r` of `b` is
+/// `unit_b` elements, and `f(first_row, a_chunk, b_chunk)` receives the
+/// matching chunks. This is what reduction kernels that produce paired
+/// outputs (values + indices, means + inverse stds) fan out on.
+///
+/// # Panics
+///
+/// Panics if either unit is zero, either length is not a multiple of its
+/// unit, or the row counts disagree.
+pub fn scoped_chunks_mut2<A, B, F>(
+    a: &mut [A],
+    unit_a: usize,
+    b: &mut [B],
+    unit_b: usize,
+    threads: usize,
+    f: F,
+) where
+    A: Send,
+    B: Send,
+    F: Fn(usize, &mut [A], &mut [B]) + Sync,
+{
+    assert!(
+        unit_a > 0 && unit_b > 0,
+        "scoped_chunks_mut2: units must be positive"
+    );
+    assert_eq!(
+        a.len() % unit_a,
+        0,
+        "scoped_chunks_mut2: a length {} vs unit {unit_a}",
+        a.len()
+    );
+    assert_eq!(
+        b.len() % unit_b,
+        0,
+        "scoped_chunks_mut2: b length {} vs unit {unit_b}",
+        b.len()
+    );
+    let rows = a.len() / unit_a;
+    assert_eq!(
+        rows,
+        b.len() / unit_b,
+        "scoped_chunks_mut2: row count mismatch"
+    );
+    if rows == 0 {
+        return;
+    }
+    let threads = threads.clamp(1, rows);
+    if threads <= 1 {
+        f(0, a, b);
+        return;
+    }
+    let rows_per_chunk = chunk_rows(rows, threads);
+    std::thread::scope(|scope| {
+        let f = &f;
+        let (mut rest_a, mut rest_b) = (a, b);
+        let mut row = 0;
+        while !rest_a.is_empty() {
+            let take_rows = rows_per_chunk.min(rest_a.len() / unit_a);
+            let (chunk_a, tail_a) = rest_a.split_at_mut(take_rows * unit_a);
+            let (chunk_b, tail_b) = rest_b.split_at_mut(take_rows * unit_b);
+            let first_row = row;
+            row += take_rows;
+            rest_a = tail_a;
+            rest_b = tail_b;
+            if row == rows {
+                f(first_row, chunk_a, chunk_b);
+            } else {
+                scope.spawn(move || f(first_row, chunk_a, chunk_b));
+            }
+        }
+    });
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -119,5 +206,41 @@ mod tests {
     #[test]
     fn num_threads_is_positive() {
         assert!(num_threads() >= 1);
+    }
+
+    #[test]
+    fn threads_for_scales_with_work() {
+        assert_eq!(threads_for(0), 1);
+        assert_eq!(threads_for(MIN_PAR_ELEMS - 1), 1);
+        assert!(threads_for(2 * MIN_PAR_ELEMS) >= 1);
+        assert!(threads_for(usize::MAX / 2) <= num_threads());
+    }
+
+    #[test]
+    fn paired_chunks_stay_aligned() {
+        for threads in [1, 2, 5, 16] {
+            let mut vals = vec![0u32; 7 * 4];
+            let mut tags = vec![0u32; 7];
+            scoped_chunks_mut2(&mut vals, 4, &mut tags, 1, threads, |first, va, tb| {
+                assert_eq!(va.len() / 4, tb.len());
+                for (r, (row, tag)) in va.chunks_mut(4).zip(tb.iter_mut()).enumerate() {
+                    let id = (first + r) as u32;
+                    row.fill(id);
+                    *tag = id;
+                }
+            });
+            let want_vals: Vec<u32> = (0..7u32).flat_map(|r| [r; 4]).collect();
+            let want_tags: Vec<u32> = (0..7).collect();
+            assert_eq!(vals, want_vals, "threads = {threads}");
+            assert_eq!(tags, want_tags, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "row count mismatch")]
+    fn paired_chunks_reject_ragged_rows() {
+        let mut a = vec![0f32; 8];
+        let mut b = vec![0f32; 3];
+        scoped_chunks_mut2(&mut a, 2, &mut b, 1, 2, |_, _, _| {});
     }
 }

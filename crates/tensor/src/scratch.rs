@@ -28,12 +28,19 @@ impl Scratch {
     }
 
     /// Takes a buffer of exactly `len` elements with unspecified contents,
-    /// reusing the pooled allocation with the largest capacity when one
-    /// exists.
+    /// reusing the *smallest* pooled allocation that already fits (so a
+    /// small request never steals — and truncates — a big pooled buffer
+    /// that a later, larger request would have to regrow), or the largest
+    /// one otherwise.
     pub fn take(&mut self, len: usize) -> Vec<f32> {
-        // The pool is kept sorted by capacity on `put`, so the best
-        // candidate for reuse is always the last one.
-        let mut buf = self.pool.pop().unwrap_or_default();
+        // The pool is kept sorted by capacity on `put`: best fit is the
+        // first buffer with enough capacity, else the last (largest).
+        let at = self.pool.partition_point(|b| b.capacity() < len);
+        let mut buf = if at < self.pool.len() {
+            self.pool.remove(at)
+        } else {
+            self.pool.pop().unwrap_or_default()
+        };
         // Only the grown tail is written: a steady-state caller that asks
         // for the same size every step pays zero fill cost.
         if buf.len() > len {
@@ -105,13 +112,37 @@ mod tests {
     }
 
     #[test]
-    fn best_fit_prefers_largest_capacity() {
+    fn best_fit_prefers_smallest_sufficient_capacity() {
         let mut s = Scratch::new();
         s.put(Vec::with_capacity(10));
         s.put(Vec::with_capacity(1000));
         s.put(Vec::with_capacity(100));
-        let buf = s.take(500);
-        assert!(buf.capacity() >= 1000, "largest pooled buffer not reused");
+        let buf = s.take(50);
+        assert_eq!(buf.capacity(), 100, "smallest sufficient buffer reused");
+        // Nothing fits 5000: fall back to the largest and grow it.
+        let buf = s.take(5000);
+        assert!(buf.capacity() >= 5000);
+        assert_eq!(s.pooled(), 1, "the 10-capacity buffer remains");
+    }
+
+    #[test]
+    fn interleaved_sizes_keep_their_buffers() {
+        // A small take must not truncate the big pooled buffer: the
+        // big/small request pair settles into steady-state reuse.
+        let mut s = Scratch::new();
+        let big = s.take(1 << 16);
+        let small = s.take(1 << 8);
+        let (big_ptr, small_ptr) = (big.as_ptr(), small.as_ptr());
+        s.put(big);
+        s.put(small);
+        for _ in 0..3 {
+            let small = s.take(1 << 8);
+            let big = s.take(1 << 16);
+            assert_eq!(small.as_ptr(), small_ptr);
+            assert_eq!(big.as_ptr(), big_ptr);
+            s.put(big);
+            s.put(small);
+        }
     }
 
     #[test]
