@@ -6,9 +6,10 @@
 //! whole-model lock, so a worker snapshotting shard 0 never waits for the
 //! applier updating shard 3 — the applier and the workers no longer
 //! serialize on a single `Mutex<Vec<f32>>`. The applier drives the
-//! two-phase optimizer API directly: one `observe` on a consistent
-//! snapshot, then per-shard `step_shard`s that each hold only their own
-//! shard's lock.
+//! sharded two-phase optimizer API directly: one `observe_sharded`
+//! fan-out (per-shard partial reductions + deterministic combine) on a
+//! consistent snapshot, then per-shard `step_shard`s that each hold only
+//! their own shard's lock.
 //!
 //! Unlike [`RoundRobinSimulator`](crate::RoundRobinSimulator) the
 //! interleaving here is scheduler-dependent, so this type is used by the
@@ -164,10 +165,12 @@ pub fn run_threaded(
     let mut losses = Vec::with_capacity(total_updates);
     for _ in 0..total_updates {
         let (loss, grad) = rx.recv().expect("workers alive while updates remain");
-        // Measure on a consistent applier-side snapshot, then apply per
-        // shard — workers keep reading other shards in the meantime.
+        // Measure on a consistent applier-side snapshot — through the
+        // sharded partial-reduction fan-out, so the applier's serial
+        // phase shrinks to the scalar combine — then apply per shard;
+        // workers keep reading other shards in the meantime.
         let snapshot = params.snapshot();
-        let hyper = opt.observe(&snapshot, &grad);
+        let hyper = yf_optim::sharded::observe_sharded(opt, &snapshot, &grad, params.shard_count());
         params.apply(&*opt, &grad, hyper);
         losses.push(loss);
     }

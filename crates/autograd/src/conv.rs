@@ -7,7 +7,7 @@
 //!
 //! The production kernels are **batch-fused**: every pass lowers onto one
 //! GEMM per *group* over the whole batch — the virtual column matrix
-//! `[Cin*KH*KW, B*Ho*Wo]` of [`im2col`](crate::im2col) — instead of one
+//! `[Cin*KH*KW, B*Ho*Wo]` of the `im2col` module — instead of one
 //! GEMM per `(batch, group)`. The column matrix is normally never
 //! materialized: the im2col unroll implements
 //! [`yf_tensor::gemm::PackBPanel`], packing column panels straight from
@@ -24,7 +24,7 @@
 //! panels are equal element for element).
 //!
 //! Batched operands use the layout `[C, B*Ho*Wo]` (channel rows, batch
-//!-major pixel columns); [`gather_batched`]/[`scatter_batched`] convert
+//!-major pixel columns); `gather_batched`/`scatter_batched` convert
 //! gradients/outputs to and from the tensor layout `[B, C, Ho, Wo]` with
 //! plane-sized `memcpy`s, parallel across planes. When `B == 1` the two
 //! layouts coincide and both copies are skipped, and a 1x1 stride-1
@@ -45,7 +45,7 @@
 //! forward allocates it afresh — see ROADMAP's column-cache accounting
 //! follow-on for the per-tape budget that would let deep models bound
 //! and recycle this. The original direct loops are
-//! retained verbatim in [`reference`]; the property tests cross-check the
+//! retained verbatim in [`mod@reference`]; the property tests cross-check the
 //! lowered kernels against them across random shapes, strides, paddings,
 //! groups, and batch sizes.
 

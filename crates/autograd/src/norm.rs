@@ -20,7 +20,7 @@
 //! sweep accumulates both the sum and the sum of squares in `f64`
 //! (`var = E[x²] − mean²`), replacing the seed's two passes over the
 //! batch. The seed-era scalar loops are retained verbatim in
-//! [`reference`] for cross-checking and as `perf_report`'s baseline
+//! [`mod@reference`] for cross-checking and as `perf_report`'s baseline
 //! column.
 
 use yf_tensor::parallel::{self, scoped_chunks_mut, scoped_chunks_mut2};

@@ -29,14 +29,86 @@
 
 use std::fmt::Write as _;
 use std::time::Instant;
+use yellowfin::YellowFin;
 use yf_autograd::conv::{self, reference as conv_ref};
 use yf_autograd::norm::{self, reference as norm_ref};
 use yf_autograd::ConvSpec;
-use yf_optim::sharded::step_sharded;
+use yf_optim::sharded::{apply_sharded, observe_sharded, step_sharded};
 use yf_optim::{Adam, MomentumSgd, Optimizer};
 use yf_tensor::gemm::reference as gemm_ref;
 use yf_tensor::rng::Pcg32;
 use yf_tensor::{parallel, Tensor};
+
+/// The seed-era serial measure phase, retained as the perf baseline for
+/// the fused sharded observe: copy the gradient into a scratch buffer,
+/// clip it with a scalar norm loop, update the per-coordinate moment EMAs
+/// in separate passes, and fold the variance estimate over every
+/// coordinate — exactly the work `YellowFin::observe` did before the
+/// partial-reduction pipeline replaced it.
+struct SerialObserve {
+    grad_buf: Vec<f32>,
+    curvature: yellowfin::measurements::CurvatureRange,
+    distance: yellowfin::measurements::DistanceToOpt,
+    first: Vec<f64>,
+    second: Vec<f64>,
+    correction: f64,
+    mu_ema: yellowfin::ema::Ema,
+    lr_ema: yellowfin::ema::Ema,
+}
+
+impl SerialObserve {
+    fn new(dim: usize) -> Self {
+        let beta = 0.999;
+        SerialObserve {
+            grad_buf: Vec::with_capacity(dim),
+            curvature: yellowfin::measurements::CurvatureRange::new(20, beta, false),
+            distance: yellowfin::measurements::DistanceToOpt::new(beta),
+            first: vec![0.0; dim],
+            second: vec![0.0; dim],
+            correction: 0.0,
+            mu_ema: yellowfin::ema::Ema::new(beta),
+            lr_ema: yellowfin::ema::Ema::new(beta),
+        }
+    }
+
+    fn observe(&mut self, grads: &[f32]) {
+        let beta = 0.999;
+        // Full-gradient copy + serial norm loop (the deleted grad_buf path).
+        self.grad_buf.clear();
+        self.grad_buf.extend_from_slice(grads);
+        let norm = self
+            .grad_buf
+            .iter()
+            .map(|&g| f64::from(g) * f64::from(g))
+            .sum::<f64>()
+            .sqrt();
+        self.curvature.observe(norm * norm);
+        // Two separate per-coordinate EMA passes (seed-era VecEma).
+        for (b, &g) in self.first.iter_mut().zip(&self.grad_buf) {
+            *b = beta * *b + (1.0 - beta) * f64::from(g);
+        }
+        for (b, &g) in self.second.iter_mut().zip(&self.grad_buf) {
+            *b = beta * *b + (1.0 - beta) * f64::from(g) * f64::from(g);
+        }
+        self.correction = beta * self.correction + (1.0 - beta);
+        // Serial variance fold over the whole dimension.
+        let mut variance = 0.0;
+        for (&b1, &b2) in self.first.iter().zip(&self.second) {
+            let m1 = b1 / self.correction;
+            let m2 = b2 / self.correction;
+            variance += (m2 - m1 * m1).max(0.0);
+        }
+        self.distance.observe(norm);
+        let sol = yellowfin::cubic::single_step(
+            variance,
+            self.distance.distance(),
+            self.curvature.h_min(),
+            self.curvature.h_max(),
+        );
+        self.mu_ema.update(sol.mu);
+        self.lr_ema.update(sol.lr);
+    }
+}
 
 fn samples() -> usize {
     std::env::var("YF_PERF_SAMPLES")
@@ -497,6 +569,51 @@ fn main() {
                 std::hint::black_box(&params2);
             });
             push(name, sharded_ns, single_ns);
+        }
+    }
+
+    // --- The sharded measure phase on ~1M parameters: YellowFin's fused
+    // partial-reduction observe (blocked Σg² fan-out + fused clip-scaled
+    // EMA/variance sweep, no gradient copy) vs the seed-era serial path
+    // (grad_buf copy, scalar norm loop, two EMA passes, whole-dimension
+    // variance fold). The t1/t4 entries pin the shard count explicitly so
+    // the trajectory is comparable across runner widths; on a 1-core
+    // runner t4 only measures fan-out overhead. ---
+    {
+        let n = 1 << 20;
+        let params = vec![0.0f32; n];
+        let grads: Vec<f32> = (0..n).map(|_| rng.normal() * 0.01).collect();
+        for &(name, observe_shards) in &[("observe_1M_t1", 1usize), ("observe_1M_t4", 4)] {
+            let mut opt = YellowFin::default();
+            let new = median_ns(|| {
+                std::hint::black_box(observe_sharded(&mut opt, &params, &grads, observe_shards));
+            });
+            let mut seed_opt = SerialObserve::new(n);
+            let seed = median_ns(|| {
+                seed_opt.observe(&grads);
+                std::hint::black_box(seed_opt.grad_buf.len());
+            });
+            push(name, new, seed);
+        }
+
+        // Full step: fused sharded observe + combine + sharded apply vs
+        // the PR 3-era serial-observe-then-fan-out path (whole-vector
+        // `observe`, then the same sharded apply).
+        for &(name, t) in &[("yf_full_step_1M_t1", 1usize), ("yf_full_step_1M_t4", 4)] {
+            let mut fused = YellowFin::default();
+            let mut pf = params.clone();
+            let new = median_ns(|| {
+                step_sharded(&mut fused, &mut pf, &grads, t);
+                std::hint::black_box(&pf);
+            });
+            let mut serial = YellowFin::default();
+            let mut ps = params.clone();
+            let seed = median_ns(|| {
+                let hyper = serial.observe(&ps, &grads);
+                apply_sharded(&serial, &mut ps, &grads, hyper, t);
+                std::hint::black_box(&ps);
+            });
+            push(name, new, seed);
         }
     }
 

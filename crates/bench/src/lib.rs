@@ -103,17 +103,18 @@ pub fn write_curves_csv(file: &str, curves: &[(&str, &[f64])]) {
 }
 
 /// A tiny learning-rate grid search (reduced from the Appendix I grids):
-/// returns `(best_lr, averaged smoothed curve of the winner)`.
+/// returns `(best_lr, averaged smoothed curve of the winner)`. Grid cells
+/// run on scoped worker threads (`Fn + Sync` factories), with results
+/// identical to the sequential sweep.
 pub fn mini_grid(
     lrs: &[f32],
     seeds: &[u64],
     cfg: &RunConfig,
     window: usize,
-    make_task: impl FnMut(u64) -> Box<dyn TrainTask> + Copy,
-    mut make_opt: impl FnMut(f32) -> Box<dyn Optimizer>,
+    make_task: impl Fn(u64) -> Box<dyn TrainTask> + Sync + Copy,
+    make_opt: impl Fn(f32) -> Box<dyn Optimizer> + Sync,
 ) -> (f32, Vec<f64>, Vec<(u64, f64)>) {
-    let outcome =
-        yf_experiments::grid::grid_search(lrs, seeds, window, cfg, make_task, |lr| make_opt(lr));
+    let outcome = yf_experiments::grid::grid_search(lrs, seeds, window, cfg, make_task, make_opt);
     (outcome.best_value, outcome.best_curve, outcome.best_metrics)
 }
 

@@ -11,7 +11,8 @@
 
 use crate::tuner::{YellowFin, YellowFinConfig};
 use std::collections::VecDeque;
-use yf_optim::{Hyper, Optimizer, ParamShard, ShardedState};
+use yf_optim::{Hyper, Optimizer, ParamShard, ShardedState, StatsPartial};
+use yf_tensor::parallel;
 
 /// The total-momentum estimator of Eq. 37:
 ///
@@ -170,17 +171,36 @@ impl ClosedLoopYellowFin {
 
 impl Optimizer for ClosedLoopYellowFin {
     fn observe(&mut self, params: &[f32], grads: &[f32]) -> Hyper {
+        self.combine(params, grads, Vec::new(), 1.0)
+    }
+
+    fn observe_shard(&self, shard: ParamShard, params: &[f32], grads: &[f32]) -> StatsPartial {
+        // The controller's own measurement (the Eq. 37 estimator) needs
+        // whole snapshots, not reductions; the partials are the tuner's.
+        self.tuner.observe_shard(shard, params, grads)
+    }
+
+    fn combine(
+        &mut self,
+        params: &[f32],
+        grads: &[f32],
+        partials: Vec<StatsPartial>,
+        grad_scale: f32,
+    ) -> Hyper {
         assert_eq!(params.len(), grads.len(), "closed-loop: length mismatch");
-        // Measure total momentum from the pre-update state.
+        // Measure total momentum from the pre-update state. Eq. 37 only
+        // ever uses the product `lr * g`, so an enclosing middleware's
+        // gradient scale folds into the recorded learning rate instead of
+        // a scaled gradient copy.
         let lr = self.tuner.effective_lr() as f32;
-        if let Some(mu_t) = self.estimator.observe(params, grads, lr) {
+        if let Some(mu_t) = self.estimator.observe(params, grads, lr * grad_scale) {
             self.last_total = Some(mu_t);
         }
 
         // Run the tuner's measure/solve phase to produce mu* and alpha;
         // its open-loop momentum update is never applied to the model
         // (the position-form update below replaces it).
-        self.tuner.observe(params, grads);
+        self.tuner.combine(params, grads, partials, grad_scale);
 
         // Negative feedback on the algorithmic momentum.
         if let Some(mu_total) = self.last_total {
@@ -191,8 +211,13 @@ impl Optimizer for ClosedLoopYellowFin {
         }
 
         // Per Algorithm 5 the applied gradient is the raw one; clipping
-        // only shapes the tuner's measurements.
+        // only shapes the tuner's measurements. (Enclosing middleware
+        // folds its own grad_scale into the returned Hyper.)
         Hyper::new(self.tuner.effective_lr() as f32, self.mu as f32)
+    }
+
+    fn needs_observe_partials(&self) -> bool {
+        true
     }
 
     fn step_shard(&self, shard: ParamShard, params: &mut [f32], grads: &[f32], hyper: Hyper) {
@@ -258,6 +283,9 @@ pub struct ClosedLoopAdam {
     /// the effective (preconditioned) gradient Eq. 37 is fed, so it is
     /// updated in `observe` and only *read* by `step_shard`.
     v: Vec<f32>,
+    /// Reusable effective-gradient buffer for the Eq. 37 estimator — kept
+    /// across steps so the measure phase performs no per-step allocation.
+    effective: Vec<f32>,
     t: u64,
 }
 
@@ -276,6 +304,7 @@ impl ClosedLoopAdam {
             last_total: None,
             m: ShardedState::new(1),
             v: Vec::new(),
+            effective: Vec::new(),
             t: 0,
         }
     }
@@ -293,6 +322,16 @@ impl ClosedLoopAdam {
 
 impl Optimizer for ClosedLoopAdam {
     fn observe(&mut self, params: &[f32], grads: &[f32]) -> Hyper {
+        self.combine(params, grads, Vec::new(), 1.0)
+    }
+
+    fn combine(
+        &mut self,
+        params: &[f32],
+        grads: &[f32],
+        _partials: Vec<StatsPartial>,
+        grad_scale: f32,
+    ) -> Hyper {
         assert_eq!(params.len(), grads.len(), "closed-loop adam: lengths");
         if self.v.is_empty() {
             self.v = vec![0.0; params.len()];
@@ -313,15 +352,29 @@ impl Optimizer for ClosedLoopAdam {
         // x_{t+1} - x_t = beta1' (x_t - x_{t-1}) - lr e_t with the
         // *effective* gradient e_t = (1 - beta1) g_t / (bc1 (sqrt(v^) +
         // eps)), so Eq. 37 must be fed e_t, not g_t (an SGD-form
-        // correction would mis-measure the preconditioned system).
-        let mut effective = vec![0.0f32; params.len()];
-        for i in 0..params.len() {
-            let g = grads[i];
-            self.v[i] = self.beta2 * self.v[i] + (1.0 - self.beta2) * g * g;
-            let v_hat = self.v[i] / bc2;
-            effective[i] = (1.0 - b1) * g / (bc1 * (v_hat.sqrt() + 1e-8));
-        }
-        if let Some(total) = self.estimator.observe(params, &effective, self.lr) {
+        // correction would mis-measure the preconditioned system). The
+        // sweep is elementwise, so it fans out over scoped threads and an
+        // enclosing middleware's grad_scale folds in per element; the
+        // effective-gradient buffer is reused across steps.
+        self.effective.resize(params.len(), 0.0);
+        let (beta2, lr) = (self.beta2, self.lr);
+        let threads = parallel::threads_for(params.len());
+        parallel::scoped_chunks_mut2(
+            &mut self.v,
+            1,
+            &mut self.effective,
+            1,
+            threads,
+            |first, vc, ec| {
+                for (i, (v, e)) in vc.iter_mut().zip(ec.iter_mut()).enumerate() {
+                    let g = grad_scale * grads[first + i];
+                    *v = beta2 * *v + (1.0 - beta2) * g * g;
+                    let v_hat = *v / bc2;
+                    *e = (1.0 - b1) * g / (bc1 * (v_hat.sqrt() + 1e-8));
+                }
+            },
+        );
+        if let Some(total) = self.estimator.observe(params, &self.effective, lr) {
             self.last_total = Some(total);
             self.beta1 += self.gamma * (self.target - total);
             self.beta1 = self.beta1.clamp(-0.95, 0.999);

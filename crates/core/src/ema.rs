@@ -122,11 +122,12 @@ impl VecEma {
         self.biased[i] / self.correction
     }
 
-    /// Folds `f(acc, debiased_i)` over all coordinates.
-    pub fn fold(&self, init: f64, f: impl Fn(f64, f64) -> f64) -> f64 {
-        self.biased
-            .iter()
-            .fold(init, |acc, &b| f(acc, b / self.correction))
+    /// Σ of all debiased coordinates through the deterministic blocked
+    /// reduction ([`yf_tensor::reduce::sum_div`]) — replaces the serial
+    /// scalar fold, and matches any block-aligned sharded accumulation of
+    /// the same values bit for bit.
+    pub fn sum_debiased(&self) -> f64 {
+        yf_tensor::reduce::sum_div(&self.biased, self.correction)
     }
 
     /// Dimension (0 before the first update).
@@ -211,11 +212,10 @@ mod tests {
     }
 
     #[test]
-    fn vec_ema_fold_sums() {
+    fn vec_ema_sum_debiased() {
         let mut e = VecEma::new(0.9);
         e.update(&[1.0, 2.0, 3.0]);
-        let sum = e.fold(0.0, |a, v| a + v);
-        assert!((sum - 6.0).abs() < 1e-9);
+        assert!((e.sum_debiased() - 6.0).abs() < 1e-9);
     }
 
     #[test]

@@ -81,10 +81,23 @@ impl CurvatureRange {
 }
 
 /// Algorithm 3: gradient variance `C = 1^T (E[g g] - E[g] E[g])`.
+///
+/// Built on the fused measurement kernel
+/// [`yf_tensor::reduce::ema_update_stats`]: one sweep over the gradient
+/// updates both per-coordinate moments *and* accumulates the per-block
+/// debiased variance partial sums, which a fixed-order tree reduction
+/// folds into the total. The sweep is parallel (block-aligned chunks on
+/// scoped threads) and bitwise identical for every thread count, so the
+/// estimate a sharded measure phase produces equals the whole-vector one
+/// exactly. A global gradient scale (clipping) folds into the same sweep
+/// — no scaled gradient copy is ever materialized.
 #[derive(Debug, Clone)]
 pub struct GradVariance {
     pub(crate) first: VecEma,
     pub(crate) second: VecEma,
+    /// Variance total from the last sweep (the blocked tree-combined
+    /// Σ max(0, m2 − m1²); 0 before the first observation).
+    pub(crate) var_sum: f64,
 }
 
 impl GradVariance {
@@ -93,26 +106,71 @@ impl GradVariance {
         GradVariance {
             first: VecEma::new(beta),
             second: VecEma::new(beta),
+            var_sum: 0.0,
+        }
+    }
+
+    /// Rebuilds the estimator from restored moment averages, recomputing
+    /// the cached variance total with the same blocked reduction the
+    /// fused sweep uses (bit-identical to the value before the save).
+    pub(crate) fn from_parts(first: VecEma, second: VecEma) -> Self {
+        let var_sum = if first.is_initialized() {
+            yf_tensor::reduce::variance_total(&first.biased, &second.biased, first.correction)
+        } else {
+            0.0
+        };
+        GradVariance {
+            first,
+            second,
+            var_sum,
         }
     }
 
     /// Feeds one minibatch gradient.
     pub fn observe(&mut self, grad: &[f32]) {
-        self.first.update(grad);
-        self.second.update_with(grad, |g| g * g);
+        self.observe_scaled(grad, 1.0, 1);
+    }
+
+    /// Feeds one minibatch gradient as if every element were multiplied
+    /// by `scale`, sweeping with up to `threads` block-aligned parallel
+    /// chunks. The result does not depend on `threads`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dimension changes between observations.
+    pub fn observe_scaled(&mut self, grads: &[f32], scale: f64, threads: usize) {
+        if self.first.biased.is_empty() {
+            self.first.biased = vec![0.0; grads.len()];
+            self.second.biased = vec![0.0; grads.len()];
+        }
+        assert_eq!(
+            self.first.biased.len(),
+            grads.len(),
+            "vec ema: dimension changed"
+        );
+        let beta = self.first.beta;
+        let corr = beta * self.first.correction + (1.0 - beta);
+        self.var_sum = yf_tensor::reduce::ema_update_stats_parallel(
+            &mut self.first.biased,
+            &mut self.second.biased,
+            grads,
+            beta,
+            scale,
+            corr,
+            threads,
+        );
+        self.first.correction = corr;
+        self.first.steps += 1;
+        self.second.correction = corr;
+        self.second.steps += 1;
     }
 
     /// The summed per-coordinate variance estimate, floored at zero
     /// (finite-sample noise can drive individual coordinates slightly
-    /// negative).
+    /// negative). Cached from the last fused sweep — no per-step fold
+    /// over the model dimension happens here.
     pub fn variance(&self) -> f64 {
-        let mut total = 0.0;
-        for i in 0..self.first.len() {
-            let m1 = self.first.value_at(i);
-            let m2 = self.second.value_at(i);
-            total += (m2 - m1 * m1).max(0.0);
-        }
-        total
+        self.var_sum
     }
 
     /// Whether at least one observation was made.

@@ -269,10 +269,10 @@ impl YellowFin {
             log_h_min: read_ema(&r, "curvature.log_h_min", tuner.cfg.beta)?,
             limit_growth: tuner.cfg.clip == ClipMode::Adaptive,
         };
-        tuner.variance = GradVariance {
-            first: read_vec_ema(&r, "variance.first", tuner.cfg.beta)?,
-            second: read_vec_ema(&r, "variance.second", tuner.cfg.beta)?,
-        };
+        tuner.variance = GradVariance::from_parts(
+            read_vec_ema(&r, "variance.first", tuner.cfg.beta)?,
+            read_vec_ema(&r, "variance.second", tuner.cfg.beta)?,
+        );
         tuner.distance = DistanceToOpt {
             grad_norm: read_ema(&r, "distance.grad_norm", tuner.cfg.beta)?,
             curvature: read_ema(&r, "distance.curvature", tuner.cfg.beta)?,

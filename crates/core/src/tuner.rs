@@ -3,8 +3,8 @@
 use crate::cubic::single_step;
 use crate::ema::Ema;
 use crate::measurements::{CurvatureRange, DistanceToOpt, GradVariance};
-use yf_optim::clip::{clip_by_global_norm, clip_scale};
-use yf_optim::{Hyper, Optimizer, ParamShard, ShardedState};
+use yf_optim::clip::clip_scale;
+use yf_optim::{Hyper, Optimizer, ParamShard, ShardedState, StatsPartial};
 use yf_tensor::elementwise;
 
 /// Gradient clipping policy (Section 3.3 / Appendix F).
@@ -64,11 +64,16 @@ impl Default for YellowFinConfig {
 /// alpha_t)`.
 ///
 /// The paper's *measure → tune → apply* structure maps directly onto the
-/// two-phase [`Optimizer`] API: `observe` runs the (global) measurement
-/// oracles and the `SingleStep` solve once per step and folds the clip
-/// factor into [`Hyper::grad_scale`]; `step_shard` is then the generic
-/// per-shard momentum update, so the apply phase parallelizes and shards
-/// like any baseline optimizer while the tuning stays whole-model.
+/// sharded two-phase [`Optimizer`] API. The measure phase is a partial
+/// reduction: `observe_shard` contributes per-block Σg² sums for its
+/// gradient slice, and `combine` folds them with a fixed-order tree into
+/// the global norm, feeds the three oracles (the gradient-variance sweep
+/// is itself a fused, parallel, clip-scaled kernel — no gradient copy is
+/// made anywhere), runs the `SingleStep` solve, and folds the clip factor
+/// into [`Hyper::grad_scale`]. `step_shard` is then the generic per-shard
+/// momentum update, so both phases parallelize and shard like any
+/// baseline optimizer while the measured statistics stay bitwise
+/// identical for every shard count.
 ///
 /// # Example
 ///
@@ -97,7 +102,6 @@ pub struct YellowFin {
     pub(crate) lr_ema: Ema,
     pub(crate) step_count: u64,
     pub(crate) velocity: ShardedState,
-    pub(crate) grad_buf: Vec<f32>,
     pub(crate) dim: Option<usize>,
     pub(crate) last_norm: Option<f64>,
 }
@@ -120,7 +124,6 @@ impl YellowFin {
             lr_ema: Ema::new(cfg.beta),
             step_count: 0,
             velocity: ShardedState::new(1),
-            grad_buf: Vec::new(),
             dim: None,
             last_norm: None,
             cfg,
@@ -202,22 +205,48 @@ impl YellowFin {
 
 impl Optimizer for YellowFin {
     fn observe(&mut self, params: &[f32], grads: &[f32]) -> Hyper {
+        self.combine(params, grads, Vec::new(), 1.0)
+    }
+
+    fn observe_shard(&self, shard: ParamShard, _params: &[f32], grads: &[f32]) -> StatsPartial {
+        StatsPartial::sumsq(shard.offset, grads)
+    }
+
+    fn combine(
+        &mut self,
+        params: &[f32],
+        grads: &[f32],
+        partials: Vec<StatsPartial>,
+        grad_scale: f32,
+    ) -> Hyper {
         let dim = *self.dim.get_or_insert(params.len());
         assert_eq!(params.len(), grads.len(), "yellowfin: length mismatch");
         assert_eq!(dim, params.len(), "yellowfin: parameter count changed");
 
-        // 1. Clip (possibly adaptively) into a scratch buffer.
-        self.grad_buf.clear();
-        self.grad_buf.extend_from_slice(grads);
+        // 1. Global norm from the per-shard partial reductions (computed
+        // here when no fan-out ran). The norm the tuner sees includes the
+        // scale applied by enclosing middleware.
+        let mut partials = partials;
+        if partials.is_empty() && !grads.is_empty() {
+            partials.push(StatsPartial::sumsq(0, grads));
+        }
+        let raw_sumsq = StatsPartial::merge_sums(&partials, grads.len());
+        let norm_before = (f64::from(grad_scale) * raw_sumsq.sqrt()) as f32;
         let threshold = self.clip_threshold();
-        let norm_before = clip_by_global_norm(&mut self.grad_buf, threshold);
         self.last_norm = Some(f64::from(norm_before));
+        let internal_scale = clip_scale(norm_before, threshold);
         let clipped_norm = f64::from(norm_before).min(f64::from(threshold));
 
-        // 2. Update the measurement oracles with the clipped gradient.
+        // 2. Update the measurement oracles on the clipped gradient — the
+        // clip factor rides into the fused variance sweep as a scale, so
+        // no clipped copy of the gradient is ever materialized. The sweep
+        // parallelizes over as many chunks as the measure fan-out used;
+        // its result is thread-count invariant.
         let h_t = clipped_norm * clipped_norm;
         self.curvature.observe(h_t);
-        self.variance.observe(&self.grad_buf);
+        let total_scale = f64::from(grad_scale) * f64::from(internal_scale);
+        self.variance
+            .observe_scaled(grads, total_scale, partials.len().max(1));
         self.distance.observe(clipped_norm);
 
         // 3. Solve SingleStep and smooth the result.
@@ -232,13 +261,17 @@ impl Optimizer for YellowFin {
         self.step_count += 1;
 
         // The apply phase re-scales the raw gradient by the clip factor
-        // instead of reading the clipped buffer, so shards stay
-        // self-contained.
+        // (the enclosing middleware folds `grad_scale` in on its own), so
+        // shards stay self-contained.
         Hyper {
             lr: self.effective_lr() as f32,
             momentum: self.momentum() as f32,
-            grad_scale: clip_scale(norm_before, threshold),
+            grad_scale: internal_scale,
         }
+    }
+
+    fn needs_observe_partials(&self) -> bool {
+        true
     }
 
     fn step_shard(&self, shard: ParamShard, params: &mut [f32], grads: &[f32], hyper: Hyper) {

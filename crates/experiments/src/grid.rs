@@ -3,11 +3,17 @@
 //! The paper tunes Adam and momentum SGD on logarithmic learning-rate
 //! grids, averages training losses over 3 random seeds, and picks the
 //! configuration with the lowest averaged smoothed loss.
+//!
+//! Every `(value, seed)` cell is an independent training run, so the
+//! grid fans them out over scoped worker threads (up to the kernel-layer
+//! thread count) and collects results back in cell order — the outcome is
+//! bit-identical to the sequential sweep, just wall-clock shorter.
 
 use crate::smoothing::smooth;
 use crate::task::TrainTask;
 use crate::trainer::{train, RunConfig, RunResult};
 use yf_optim::Optimizer;
+use yf_tensor::parallel;
 
 /// Outcome of one grid search.
 #[derive(Debug, Clone)]
@@ -41,8 +47,15 @@ pub fn average_curves(curves: &[Vec<f32>]) -> Vec<f32> {
 }
 
 /// Runs `make_opt(value)` for every grid `value` on `make_task(seed)` for
-/// every seed, smooths the seed-averaged loss with `window`, and picks
-/// the value whose curve attains the lowest smoothed loss.
+/// every seed — all `(value, seed)` cells fanned out on scoped worker
+/// threads, results gathered in deterministic cell order — smooths the
+/// seed-averaged loss with `window`, and picks the value whose curve
+/// attains the lowest smoothed loss.
+///
+/// The factories run on worker threads, hence the `Fn + Sync` bounds;
+/// build per-run state (RNGs, models) *inside* the returned task, keyed
+/// on the seed, exactly as the sequential grid already required for
+/// reproducibility.
 ///
 /// # Panics
 ///
@@ -52,20 +65,38 @@ pub fn grid_search(
     seeds: &[u64],
     window: usize,
     cfg: &RunConfig,
-    mut make_task: impl FnMut(u64) -> Box<dyn TrainTask>,
-    mut make_opt: impl FnMut(f32) -> Box<dyn Optimizer>,
+    make_task: impl Fn(u64) -> Box<dyn TrainTask> + Sync,
+    make_opt: impl Fn(f32) -> Box<dyn Optimizer> + Sync,
 ) -> GridOutcome {
     assert!(!values.is_empty(), "grid_search: empty grid");
     assert!(!seeds.is_empty(), "grid_search: no seeds");
+
+    // One independent (value, seed) training run per cell, fanned out on
+    // scoped threads; `results` keeps cell order, so everything below is
+    // bitwise identical to the sequential sweep.
+    let cells: Vec<(f32, u64)> = values
+        .iter()
+        .flat_map(|&v| seeds.iter().map(move |&s| (v, s)))
+        .collect();
+    let mut results: Vec<Option<RunResult>> = (0..cells.len()).map(|_| None).collect();
+    let threads = parallel::num_threads().min(cells.len());
+    parallel::scoped_chunks_mut(&mut results, 1, threads, |first, chunk| {
+        for (i, slot) in chunk.iter_mut().enumerate() {
+            let (value, seed) = cells[first + i];
+            let mut task = make_task(seed);
+            let mut opt = make_opt(value);
+            *slot = Some(train(task.as_mut(), opt.as_mut(), cfg));
+        }
+    });
+    let mut results = results.into_iter().map(|r| r.expect("grid cell ran"));
+
     let mut best: Option<GridOutcome> = None;
     let mut scores = Vec::with_capacity(values.len());
     for &value in values {
         let mut loss_curves = Vec::with_capacity(seeds.len());
         let mut metric_runs: Vec<RunResult> = Vec::with_capacity(seeds.len());
-        for &seed in seeds {
-            let mut task = make_task(seed);
-            let mut opt = make_opt(value);
-            let result = train(task.as_mut(), opt.as_mut(), cfg);
+        for _ in seeds {
+            let result = results.next().expect("one result per cell");
             loss_curves.push(result.losses.clone());
             metric_runs.push(result);
         }

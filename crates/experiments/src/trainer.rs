@@ -1,10 +1,13 @@
 //! Synchronous and asynchronous training loops.
 //!
-//! Both loops drive the two-phase optimizer API: one `observe` per step,
-//! then the apply phase fanned out over parallel shards (through
-//! `yf_tensor::parallel::scoped_chunks_mut`) or named parameter groups.
-//! Updates are per-coordinate, so the trajectory is bit-identical for
-//! every shard count — sharding only changes how the apply is scheduled.
+//! Both loops drive the fused *measure → combine → apply* step pipeline:
+//! per step, the measure phase fans per-shard partial reductions out over
+//! scoped threads (`yf_optim::sharded::observe_sharded`), a deterministic
+//! tree combine makes the tuning decision, and the apply phase fans
+//! `step_shard`s out over the same shard plan (or named parameter
+//! groups). Reductions are block-structured and updates per-coordinate,
+//! so the trajectory is bit-identical for every shard count — sharding
+//! only changes how the step is scheduled.
 
 use crate::task::{TaskSource, TrainTask};
 use yf_async::RoundRobinSimulator;

@@ -33,6 +33,17 @@ impl Optimizer for AdaGrad {
         Hyper::new(self.lr, 0.0)
     }
 
+    fn combine(
+        &mut self,
+        params: &[f32],
+        grads: &[f32],
+        _partials: Vec<crate::StatsPartial>,
+        _grad_scale: f32,
+    ) -> Hyper {
+        // Measurement ignores gradient values: no scaled copy needed.
+        self.observe(params, grads)
+    }
+
     fn step_shard(&self, shard: ParamShard, params: &mut [f32], grads: &[f32], hyper: Hyper) {
         shard.validate(params, grads);
         self.state.with(shard, params.len(), |bufs| {

@@ -3,15 +3,19 @@
 //! The paper's Table 1 baseline uses a *manually chosen* global-norm
 //! threshold (0.1 for the seq2seq model); YellowFin's adaptive variant
 //! (Appendix F) derives the threshold from its own curvature estimate.
-//! Both paths call [`clip_by_global_norm`].
+//! In the sharded measure pipeline both paths derive the norm from the
+//! per-shard partial reductions and apply the clip factor via
+//! [`clip_scale`] / [`crate::Hyper::grad_scale`] — nothing is scaled in
+//! place. [`clip_by_global_norm`] remains as the plain in-place
+//! primitive for code outside the optimizer step (and as the reference
+//! the property tests pin the scale-folding behavior against).
 
-/// Euclidean norm of a flat gradient, accumulated in `f64`.
+/// Euclidean norm of a flat gradient, accumulated in `f64` through the
+/// deterministic blocked reduction ([`yf_tensor::reduce::sumsq`]) — the
+/// same kernel the sharded measure phase uses, so a norm computed here
+/// matches one assembled from per-shard partial sums bit for bit.
 pub fn global_norm(grads: &[f32]) -> f32 {
-    grads
-        .iter()
-        .map(|&g| f64::from(g) * f64::from(g))
-        .sum::<f64>()
-        .sqrt() as f32
+    yf_tensor::reduce::sumsq(grads).sqrt() as f32
 }
 
 /// Scales `grads` in place so its global norm is at most `threshold`.
@@ -45,26 +49,24 @@ pub fn clip_scale(norm: f32, threshold: f32) -> f32 {
 /// threshold before delegating — the "manually set gradient norm
 /// threshold" baseline of the paper's Table 1.
 ///
-/// In the two-phase API the measurement (`observe`) sees the *clipped*
-/// gradient, while the apply phase folds the clip factor into
-/// [`Hyper::grad_scale`] and passes the raw gradient straight through to
-/// the inner `step_shard` — no per-shard gradient copies, so clipping
-/// composes with sharded and grouped application for free.
+/// Fully copy-free in the sharded measure pipeline: `observe_shard`
+/// contributes per-block Σg² partial sums (with the wrapped optimizer's
+/// partial nested inside), `combine` assembles the norm from them with
+/// the deterministic tree reduction and threads the clip factor into the
+/// inner `combine` as a gradient *scale* — the wrapped optimizer measures
+/// on scaled values analytically, and the apply phase folds the same
+/// factor into [`crate::Hyper::grad_scale`], so no scaled gradient is ever
+/// materialized anywhere in the step.
 #[derive(Debug, Clone)]
 pub struct Clipped<O> {
     inner: O,
     threshold: f32,
-    buf: Vec<f32>,
 }
 
 impl<O: crate::Optimizer> Clipped<O> {
     /// Wraps `inner`, clipping gradients to `threshold`.
     pub fn new(inner: O, threshold: f32) -> Self {
-        Clipped {
-            inner,
-            threshold,
-            buf: Vec::new(),
-        }
+        Clipped { inner, threshold }
     }
 
     /// The wrapped optimizer.
@@ -75,15 +77,73 @@ impl<O: crate::Optimizer> Clipped<O> {
 
 impl<O: crate::Optimizer> crate::Optimizer for Clipped<O> {
     fn observe(&mut self, params: &[f32], grads: &[f32]) -> crate::Hyper {
-        self.buf.clear();
-        self.buf.extend_from_slice(grads);
-        let norm = clip_by_global_norm(&mut self.buf, self.threshold);
+        self.combine(params, grads, Vec::new(), 1.0)
+    }
+
+    fn observe_shard(
+        &self,
+        shard: crate::ParamShard,
+        params: &[f32],
+        grads: &[f32],
+    ) -> crate::StatsPartial {
+        if self.inner.needs_observe_partials() {
+            // `StatsPartial::sums` is contractually the raw-gradient
+            // per-block Σg², so a measuring inner optimizer's partial
+            // already carries exactly the sums this wrapper needs for the
+            // clip norm — share them instead of sweeping the slice a
+            // second time. (Fallback: an impl that opted in but kept the
+            // default empty partial still gets a correct norm.)
+            let inner = self.inner.observe_shard(shard, params, grads);
+            let shared = inner.sums.len() == yf_tensor::reduce::blocks_for(grads.len());
+            let mut own = if shared {
+                crate::StatsPartial {
+                    first_block: inner.first_block,
+                    sums: inner.sums.clone(),
+                    inner: None,
+                }
+            } else {
+                crate::StatsPartial::sumsq(shard.offset, grads)
+            };
+            own.inner = Some(Box::new(inner));
+            own
+        } else {
+            crate::StatsPartial::sumsq(shard.offset, grads)
+        }
+    }
+
+    fn combine(
+        &mut self,
+        params: &[f32],
+        grads: &[f32],
+        partials: Vec<crate::StatsPartial>,
+        grad_scale: f32,
+    ) -> crate::Hyper {
+        let mut partials = partials;
+        if partials.is_empty() && !grads.is_empty() {
+            // One-phase path: compute the sums once here and hand a copy
+            // down as the inner partial, so a measuring inner optimizer
+            // doesn't sweep the gradient again.
+            let own = crate::StatsPartial::sumsq(0, grads);
+            let inner = self.inner.needs_observe_partials().then(|| own.clone());
+            partials.push(own.with_inner(inner));
+        }
+        let sumsq = crate::StatsPartial::merge_sums(&partials, grads.len());
+        // The norm this wrapper sees is the norm of the gradient already
+        // scaled by every enclosing wrapper.
+        let norm = (f64::from(grad_scale) * sumsq.sqrt()) as f32;
         let scale = clip_scale(norm, self.threshold);
-        let hyper = self.inner.observe(params, &self.buf);
+        let inner_partials = crate::StatsPartial::take_inner(&mut partials);
+        let hyper = self
+            .inner
+            .combine(params, grads, inner_partials, grad_scale * scale);
         crate::Hyper {
             grad_scale: hyper.grad_scale * scale,
             ..hyper
         }
+    }
+
+    fn needs_observe_partials(&self) -> bool {
+        true
     }
 
     fn step_shard(

@@ -5,10 +5,14 @@
 //! implements the same [`Optimizer`] trait, which mirrors the paper's
 //! *measure → tune → apply* structure (§3):
 //!
-//! 1. [`Optimizer::observe`] sees the whole `(params, grads)` pair once
-//!    per step, updates global statistics (moment counters, curvature
-//!    estimates, clipping norms), and returns the tuned [`Hyper`] —
-//!    the `(lr, momentum, grad_scale)` this step will apply.
+//! 1. The **measure** phase is itself sharded: [`Optimizer::observe_shard`]
+//!    reduces one block-aligned gradient slice into a [`StatsPartial`]
+//!    of per-block partial sums (`&self`, runs on scoped worker threads),
+//!    and [`Optimizer::combine`] folds the partials with a fixed-order
+//!    tree reduction, updates the global statistics (moment counters,
+//!    curvature estimates, clipping norms), and returns the tuned
+//!    [`Hyper`] — the `(lr, momentum, grad_scale)` this step will apply.
+//!    [`Optimizer::observe`] is the whole-vector composition of the two.
 //! 2. [`Optimizer::step_shard`] applies the update to one disjoint slice
 //!    of the vector. It takes `&self`: all per-coordinate state lives in
 //!    a [`ShardedState`] (per-shard, lock-protected, lazily initialized),
@@ -16,12 +20,15 @@
 //!    or held behind per-shard locks by an asynchronous trainer.
 //! 3. The provided [`Optimizer::step`] composes the two over a single
 //!    whole-vector shard, so one-phase callers keep working unchanged —
-//!    and because updates are per-coordinate, `observe` + N parallel
-//!    `step_shard`s is bitwise identical to `step` for every shard count.
+//!    and because reductions are block-structured and updates
+//!    per-coordinate, sharded measure + N parallel `step_shard`s is
+//!    bitwise identical to `step` for every shard count.
 //!
-//! The drivers live in [`sharded`]: [`sharded::step_sharded`] (uniform
-//! parallel shards) and [`sharded::step_grouped`] (named [`ParamGroups`]
-//! with per-group learning-rate/momentum overrides).
+//! The drivers live in [`sharded`]: [`sharded::observe_sharded`] (the
+//! partial-reduction measure fan-out), [`sharded::step_sharded`]
+//! (measure plus uniform parallel apply) and [`sharded::step_grouped`]
+//! (named [`ParamGroups`] with per-group learning-rate/momentum
+//! overrides).
 //!
 //! Implemented baselines (the comparison set of the paper's Section 5):
 //! plain SGD, Polyak and Nesterov momentum SGD, [`Adam`] (which accepts the
@@ -69,7 +76,7 @@ pub use groups::{ParamGroup, ParamGroups};
 pub use rmsprop::RmsProp;
 pub use sgd::{MomentumSgd, Sgd};
 pub use sharded::AUTO_SHARD_MIN_DIM;
-pub use sharded::{ParamShard, ShardedState};
+pub use sharded::{ParamShard, ShardedState, StatsPartial};
 
 /// The hyperparameters one `observe` tunes for the step it precedes.
 ///
@@ -119,6 +126,66 @@ pub trait Optimizer: Send + Sync {
     /// Panics if `params.len() != grads.len()` or if the length changes
     /// between calls.
     fn observe(&mut self, params: &[f32], grads: &[f32]) -> Hyper;
+
+    /// Sharded half of the measure phase: reduces one disjoint,
+    /// block-aligned gradient slice into a [`StatsPartial`] of per-block
+    /// partial sums. `&self`, so the [`sharded::observe_sharded`] driver
+    /// can run all shards concurrently on scoped threads before a single
+    /// [`Optimizer::combine`] folds them.
+    ///
+    /// The default returns an empty partial — correct for optimizers
+    /// whose measurement consumes no gradient reductions (the plain
+    /// baselines). Optimizers that measure gradient statistics override
+    /// it together with [`Optimizer::needs_observe_partials`].
+    fn observe_shard(&self, shard: ParamShard, params: &[f32], grads: &[f32]) -> StatsPartial {
+        let _ = (shard, params, grads);
+        StatsPartial::default()
+    }
+
+    /// Combining half of the measure phase: folds the per-shard
+    /// [`StatsPartial`]s (fixed-order tree reduction — bitwise identical
+    /// for every block-aligned shard plan, including the single
+    /// whole-vector shard), updates the optimizer's global state, and
+    /// returns the step's [`Hyper`]. An empty `partials` vector means "no
+    /// fan-out ran": implementations that need the sums compute them from
+    /// `grads` on the spot, which keeps [`Optimizer::observe`] a trivial
+    /// `combine(params, grads, vec![], 1.0)`.
+    ///
+    /// `grad_scale` is the product of the gradient scales applied by
+    /// enclosing middleware (1.0 at the top level): the measurement must
+    /// behave as if every gradient element were pre-multiplied by it,
+    /// *without* materializing a scaled copy. The returned
+    /// [`Hyper::grad_scale`] excludes the incoming `grad_scale` — each
+    /// wrapper folds its own factor in, so the product reaching the apply
+    /// phase is the full chain.
+    ///
+    /// The default ignores `partials` and falls back to the whole-vector
+    /// [`Optimizer::observe`] (materializing a scaled gradient copy when
+    /// `grad_scale != 1.0`), so external `Optimizer` impls that predate
+    /// the sharded measure phase keep working unchanged.
+    fn combine(
+        &mut self,
+        params: &[f32],
+        grads: &[f32],
+        partials: Vec<StatsPartial>,
+        grad_scale: f32,
+    ) -> Hyper {
+        let _ = partials;
+        if grad_scale == 1.0 {
+            self.observe(params, grads)
+        } else {
+            let scaled: Vec<f32> = grads.iter().map(|&g| grad_scale * g).collect();
+            self.observe(params, &scaled)
+        }
+    }
+
+    /// True when the measure phase consumes gradient reductions, i.e.
+    /// [`Optimizer::observe_shard`] returns meaningful partials worth
+    /// fanning out. The sharded drivers skip the measure fan-out entirely
+    /// when this is false.
+    fn needs_observe_partials(&self) -> bool {
+        false
+    }
 
     /// Apply phase: updates one disjoint shard of the parameter vector in
     /// place. `params`/`grads` are the shard's slices; per-coordinate

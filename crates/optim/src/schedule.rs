@@ -104,6 +104,29 @@ impl<O: Optimizer> Optimizer for Scheduled<O> {
         self.inner.observe(params, grads)
     }
 
+    fn observe_shard(
+        &self,
+        shard: crate::ParamShard,
+        params: &[f32],
+        grads: &[f32],
+    ) -> crate::StatsPartial {
+        self.inner.observe_shard(shard, params, grads)
+    }
+
+    fn combine(
+        &mut self,
+        params: &[f32],
+        grads: &[f32],
+        partials: Vec<crate::StatsPartial>,
+        grad_scale: f32,
+    ) -> crate::Hyper {
+        self.inner.combine(params, grads, partials, grad_scale)
+    }
+
+    fn needs_observe_partials(&self) -> bool {
+        self.inner.needs_observe_partials()
+    }
+
     fn step_shard(
         &self,
         shard: crate::ParamShard,

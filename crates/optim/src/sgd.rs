@@ -24,6 +24,17 @@ impl Optimizer for Sgd {
         Hyper::new(self.lr, 0.0)
     }
 
+    fn combine(
+        &mut self,
+        params: &[f32],
+        grads: &[f32],
+        _partials: Vec<crate::StatsPartial>,
+        _grad_scale: f32,
+    ) -> Hyper {
+        // Measurement ignores gradient values: no scaled copy needed.
+        self.observe(params, grads)
+    }
+
     fn step_shard(&self, shard: ParamShard, params: &mut [f32], grads: &[f32], hyper: Hyper) {
         shard.validate(params, grads);
         elementwise::axpy(params, -(hyper.lr * hyper.grad_scale), grads);
@@ -102,6 +113,17 @@ impl Optimizer for MomentumSgd {
         let dim = *self.dim.get_or_insert(params.len());
         check_lengths(dim, params, grads);
         Hyper::new(self.lr, self.momentum)
+    }
+
+    fn combine(
+        &mut self,
+        params: &[f32],
+        grads: &[f32],
+        _partials: Vec<crate::StatsPartial>,
+        _grad_scale: f32,
+    ) -> Hyper {
+        // Measurement ignores gradient values: no scaled copy needed.
+        self.observe(params, grads)
     }
 
     fn step_shard(&self, shard: ParamShard, params: &mut [f32], grads: &[f32], hyper: Hyper) {

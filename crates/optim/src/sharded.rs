@@ -1,14 +1,27 @@
 //! The shard-aware half of the optimizer API: [`Hyper`], [`ParamShard`],
-//! the per-shard state pool [`ShardedState`], and the drivers that fan a
-//! single tuned step out over disjoint parameter slices.
+//! [`StatsPartial`], the per-shard state pool [`ShardedState`], and the
+//! drivers that fan a single tuned step out over disjoint parameter
+//! slices.
 //!
 //! YellowFin's loop (paper §3) is *measure → tune → apply*: the global
 //! statistics and the `(lr, momentum)` decision need the whole gradient
-//! once per step, but the update itself is per-coordinate. Splitting the
-//! two phases lets the apply run sharded — in parallel threads
-//! ([`step_sharded`]), with per-group hyperparameter overrides
-//! ([`step_grouped`]), or under per-shard locks in the asynchronous
-//! trainer — while the measurement stays exactly the paper's.
+//! once per step, but the update itself is per-coordinate. Both phases
+//! run sharded here:
+//!
+//! - **measure**: [`observe_sharded`] fans [`Optimizer::observe_shard`]
+//!   out over block-aligned slices, each returning a [`StatsPartial`] of
+//!   per-block `f64` partial sums, then hands them to
+//!   [`Optimizer::combine`] for the deterministic tree combine and the
+//!   scalar tuning decision;
+//! - **apply**: [`apply_sharded`] / [`step_grouped`] fan
+//!   [`Optimizer::step_shard`] out over the shard plan.
+//!
+//! Partial reductions are block-structured (see [`yf_tensor::reduce`]),
+//! so the measured statistics — and therefore the whole trajectory — are
+//! bitwise identical for every shard count. The measure fan-out and the
+//! apply fan-out are separate [`std::thread::scope`]s because `combine`
+//! needs `&mut` access to the optimizer's scalar state, which cannot
+//! alias the shared borrows the worker threads hold.
 //!
 //! [`ShardedState`] is the helper every stateful optimizer shares: one
 //! lock-protected, lazily-initialized slot of state buffers per shard, so
@@ -17,7 +30,7 @@
 
 use crate::{Hyper, Optimizer, ParamGroups};
 use std::sync::{Arc, Mutex, RwLock};
-use yf_tensor::parallel;
+use yf_tensor::{parallel, reduce};
 
 /// Below this many coordinates, auto-sharding stays single-threaded: the
 /// scoped-thread spawn costs more than the update.
@@ -88,6 +101,103 @@ impl ParamShard {
             self.offset + params.len(),
             self.total
         );
+    }
+}
+
+/// One shard's contribution to the measure phase: per-block `f64` partial
+/// sums over a block-aligned slice of the flat gradient (block size
+/// [`yf_tensor::reduce::BLOCK`]), plus an optional nested partial so
+/// middleware like [`crate::clip::Clipped`] can carry its wrapped
+/// optimizer's statistics through the same fan-out.
+///
+/// `sums` carries, by contract, the per-block **Σg² of the raw gradient
+/// slice** ([`StatsPartial::sumsq`]) — the one statistic every
+/// norm-measuring optimizer in the workspace needs. Fixing the meaning
+/// (instead of leaving it per-optimizer) is what lets clipping middleware
+/// share a single sweep with its wrapped optimizer rather than reducing
+/// the same slice twice; gradient scales are applied analytically at
+/// combine time, never to the sums.
+///
+/// The block structure is the bitwise-determinism contract: partials from
+/// any block-aligned shard plan concatenate into the same per-block sum
+/// sequence, which [`StatsPartial::merge_sums`] folds with the fixed-order
+/// tree reduction — so sharded measurement equals whole-vector
+/// measurement exactly, not approximately.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct StatsPartial {
+    /// Global index of the first reduction block this partial covers.
+    pub first_block: usize,
+    /// Per-block raw-gradient Σg² partial sums, one per block the shard
+    /// overlaps.
+    pub sums: Vec<f64>,
+    /// The wrapped optimizer's partial for the same shard (middleware).
+    pub inner: Option<Box<StatsPartial>>,
+}
+
+impl StatsPartial {
+    /// Per-block Σg² partial for a shard starting at flat `offset` — the
+    /// partial every gradient-norm-measuring optimizer in the workspace
+    /// returns from [`Optimizer::observe_shard`].
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `offset` is a multiple of the reduction block size
+    /// (the [`observe_sharded`] driver aligns its plan; hand-rolled
+    /// callers must too).
+    pub fn sumsq(offset: usize, grads: &[f32]) -> Self {
+        assert_eq!(
+            offset % reduce::BLOCK,
+            0,
+            "stats partial: shard offset {offset} not block-aligned"
+        );
+        StatsPartial {
+            first_block: offset / reduce::BLOCK,
+            sums: reduce::block_sumsq(grads),
+            inner: None,
+        }
+    }
+
+    /// Attaches a wrapped optimizer's partial (middleware composition).
+    pub fn with_inner(mut self, inner: Option<StatsPartial>) -> Self {
+        self.inner = inner.map(Box::new);
+        self
+    }
+
+    /// Folds partials covering a `len`-coordinate vector into the global
+    /// sum: concatenates the per-block sums in shard order and applies
+    /// the fixed-order tree reduction. Bitwise equal to the whole-vector
+    /// blocked reduction for every block-aligned shard plan.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the partials do not tile exactly the
+    /// `len.div_ceil(BLOCK)` blocks in order.
+    pub fn merge_sums(partials: &[StatsPartial], len: usize) -> f64 {
+        let expected = reduce::blocks_for(len);
+        let mut all = Vec::with_capacity(expected);
+        for p in partials {
+            assert_eq!(
+                p.first_block,
+                all.len(),
+                "stats partial: shards out of order or leave a gap"
+            );
+            all.extend_from_slice(&p.sums);
+        }
+        assert_eq!(
+            all.len(),
+            expected,
+            "stats partial: {} blocks do not cover {len} coordinates",
+            all.len()
+        );
+        reduce::tree_reduce(&all)
+    }
+
+    /// Moves the nested middleware partials out, preserving shard order.
+    pub fn take_inner(partials: &mut [StatsPartial]) -> Vec<StatsPartial> {
+        partials
+            .iter_mut()
+            .filter_map(|p| p.inner.take().map(|b| *b))
+            .collect()
     }
 }
 
@@ -338,14 +448,107 @@ impl Clone for ShardedState {
     }
 }
 
-/// One measure phase plus a (possibly parallel) sharded apply phase:
-/// `observe` once, then `step_shard` each of `shards` contiguous slices
-/// through [`yf_tensor::parallel::scoped_chunks_mut`]. With `shards <= 1`
-/// this is exactly the blanket [`Optimizer::step`]; updates are
+/// The block-aligned measure-phase partition: at most `shards` contiguous
+/// chunks of whole reduction blocks covering `total` coordinates. Chunk
+/// boundaries land on block boundaries so every [`StatsPartial`] carries
+/// exactly the per-block sums the whole-vector pass would produce.
+fn observe_plan(total: usize, shards: usize) -> Vec<(usize, usize)> {
+    let nblocks = reduce::blocks_for(total);
+    if nblocks == 0 {
+        return Vec::new();
+    }
+    let chunks = shards.clamp(1, nblocks);
+    let blocks_per = nblocks.div_ceil(chunks);
+    let mut plan = Vec::with_capacity(chunks);
+    let mut offset = 0;
+    while offset < total {
+        let len = (blocks_per * reduce::BLOCK).min(total - offset);
+        plan.push((offset, len));
+        offset += len;
+    }
+    plan
+}
+
+/// The sharded measure phase: fans [`Optimizer::observe_shard`] out over
+/// a block-aligned partition of the gradient on scoped threads, then
+/// folds the [`StatsPartial`]s with [`Optimizer::combine`] — which also
+/// makes the tuning decision and returns the step's [`Hyper`]. Bitwise
+/// identical to [`Optimizer::observe`] for every `shards` value.
+///
+/// Optimizers whose measure phase consumes no gradient reductions
+/// ([`Optimizer::needs_observe_partials`] is false) skip the fan-out
+/// entirely and go straight to `combine`.
+///
+/// # Panics
+///
+/// Panics if `params` and `grads` differ in length (same message as the
+/// one-phase API), or on whatever the optimizer's own `combine` checks.
+pub fn observe_sharded(
+    opt: &mut dyn Optimizer,
+    params: &[f32],
+    grads: &[f32],
+    shards: usize,
+) -> Hyper {
+    assert_eq!(
+        params.len(),
+        grads.len(),
+        "optimizer: params ({}) and grads ({}) differ",
+        params.len(),
+        grads.len()
+    );
+    let total = params.len();
+    if total == 0 || shards <= 1 || !opt.needs_observe_partials() {
+        return opt.combine(params, grads, Vec::new(), 1.0);
+    }
+    let plan = observe_plan(total, shards);
+    let partials = if plan.len() <= 1 {
+        vec![opt.observe_shard(ParamShard::whole(total), params, grads)]
+    } else {
+        let opt_ref: &dyn Optimizer = opt;
+        let count = plan.len();
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = plan
+                .iter()
+                .enumerate()
+                .skip(1)
+                .map(|(index, &(offset, len))| {
+                    let shard = ParamShard {
+                        index,
+                        count,
+                        offset,
+                        total,
+                    };
+                    let (p, g) = (&params[offset..offset + len], &grads[offset..offset + len]);
+                    scope.spawn(move || opt_ref.observe_shard(shard, p, g))
+                })
+                .collect();
+            let (_, len0) = plan[0];
+            let first = ParamShard {
+                index: 0,
+                count,
+                offset: 0,
+                total,
+            };
+            let mut out = Vec::with_capacity(count);
+            out.push(opt_ref.observe_shard(first, &params[..len0], &grads[..len0]));
+            for h in handles {
+                out.push(h.join().expect("observe shard thread panicked"));
+            }
+            out
+        })
+    };
+    opt.combine(params, grads, partials, 1.0)
+}
+
+/// One fully sharded step: the measure phase fanned out over
+/// block-aligned partial reductions ([`observe_sharded`]), the
+/// deterministic combine, then the apply phase fanned out over the shard
+/// plan. With `shards <= 1` this is exactly the blanket
+/// [`Optimizer::step`]; reductions are block-structured and updates
 /// per-coordinate, so the result is bitwise identical for any shard
 /// count.
 pub fn step_sharded(opt: &mut dyn Optimizer, params: &mut [f32], grads: &[f32], shards: usize) {
-    let hyper = opt.observe(params, grads);
+    let hyper = observe_sharded(opt, params, grads, shards);
     apply_sharded(opt, params, grads, hyper, shards);
 }
 
@@ -381,10 +584,13 @@ pub fn apply_sharded(
     });
 }
 
-/// One measure phase plus a grouped, sharded apply: each group of
+/// One sharded measure phase plus a grouped, sharded apply: each group of
 /// `groups` is applied with its own (override-adjusted) hyperparameters,
 /// split into parallel shards. Shard indices are numbered globally across
-/// groups so [`ShardedState`] sees one consistent plan.
+/// groups so [`ShardedState`] sees one consistent plan; the measure phase
+/// runs over the whole vector (group boundaries do not affect the
+/// statistics) through the same partial-reduction fan-out as
+/// [`step_sharded`].
 ///
 /// # Panics
 ///
@@ -402,7 +608,7 @@ pub fn step_grouped(
         groups.total(),
         params.len()
     );
-    let base = opt.observe(params, grads);
+    let base = observe_sharded(opt, params, grads, groups.resolved_shards());
     let total = params.len();
     let threads = groups.resolved_shards();
     // Pre-compute the global plan: (chunks, rows-per-chunk) per group.

@@ -25,6 +25,7 @@ pub mod elementwise;
 pub mod gemm;
 pub mod linalg;
 pub mod parallel;
+pub mod reduce;
 pub mod rng;
 mod scratch;
 mod shape;

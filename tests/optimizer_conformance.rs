@@ -4,10 +4,11 @@
 //! YellowFin tuner, both closed-loop controllers, and the middleware
 //! wrappers — must satisfy the same contracts:
 //!
-//! 1. **Shard-count invariance**: `observe` + parallel `step_shard` over
-//!    N shards is bitwise identical to the one-phase `step` on a
-//!    fixed-seed MLP task, for any N, including plans that change
-//!    mid-run.
+//! 1. **Shard-count invariance**: the sharded measure phase (per-shard
+//!    partial reductions + deterministic combine) and the parallel apply
+//!    phase over N shards are bitwise identical to the one-phase `step`
+//!    on a fixed-seed MLP task, for any N, including plans that change
+//!    mid-run — both the trajectories and the per-step `Hyper` values.
 //! 2. **State-length panics preserved**: mismatched `params`/`grads`
 //!    and a flat dimension that changes between steps still panic.
 //! 3. **Middleware composition**: `Clipped` and `Scheduled` wrap any
@@ -20,7 +21,7 @@ use yf_experiments::task::{ModelTask, TrainTask};
 use yf_nn::Mlp;
 use yf_optim::clip::Clipped;
 use yf_optim::schedule::{Schedule, Scheduled};
-use yf_optim::sharded::step_sharded;
+use yf_optim::sharded::{apply_sharded, observe_sharded, step_sharded};
 use yf_optim::{AdaGrad, Adam, MomentumSgd, Optimizer, RmsProp, Sgd};
 use yf_tensor::rng::Pcg32;
 use yf_tensor::Tensor;
@@ -57,6 +58,12 @@ fn all_optimizers() -> Vec<OptFactory> {
         }),
         ("clipped-momentum", || {
             Box::new(Clipped::new(MomentumSgd::new(0.05, 0.9), 0.5))
+        }),
+        ("clipped-yellowfin", || {
+            // Middleware clipping around a measuring optimizer: the
+            // clip factor must reach the tuner's measurements through
+            // the nested-partial channel, not a gradient copy.
+            Box::new(Clipped::new(YellowFin::default(), 0.5))
         }),
         ("scheduled-clipped-adam", || {
             Box::new(Scheduled::new(
@@ -111,6 +118,68 @@ fn sharded_apply_is_bitwise_identical_to_step() {
             assert_eq!(
                 baseline, sharded,
                 "{name}: {shards}-shard apply diverged from step()"
+            );
+        }
+    }
+}
+
+#[test]
+fn sharded_observe_is_bitwise_identical_to_whole_vector_observe() {
+    // The measure phase alone: at every step, `observe_sharded` over
+    // 1/2/4/7 block-aligned shards must return exactly the Hyper the
+    // whole-vector `observe` returns, and the optimizer state it leaves
+    // behind must drive an identical trajectory.
+    for (name, make) in all_optimizers() {
+        for shards in [1usize, 2, 4, 7] {
+            let mut task_a = mlp_task(77);
+            let mut task_b = mlp_task(77);
+            let mut a = make();
+            let mut b = make();
+            let mut xa = task_a.init_params();
+            let mut xb = task_b.init_params();
+            for step in 0..60 {
+                let (_, ga) = task_a.loss_grad_at(&xa, step as u64);
+                let (_, gb) = task_b.loss_grad_at(&xb, step as u64);
+                let ha = a.observe(&xa, &ga);
+                let hb = observe_sharded(b.as_mut(), &xb, &gb, shards);
+                assert_eq!(
+                    ha, hb,
+                    "{name}: step {step}, {shards}-shard observe returned a different Hyper"
+                );
+                apply_sharded(a.as_ref(), &mut xa, &ga, ha, 1);
+                apply_sharded(b.as_ref(), &mut xb, &gb, hb, 2);
+            }
+            assert_eq!(xa, xb, "{name}: {shards}-shard observe diverged");
+        }
+    }
+}
+
+#[test]
+fn multi_block_sharded_observe_merges_partials_bitwise() {
+    // A dimension spanning several reduction blocks (4 blocks + a ragged
+    // tail at BLOCK = 1024), so the sharded measure phase genuinely
+    // splits the gradient and `combine` merges real partial sequences.
+    let dim = 4100;
+    for (name, make) in all_optimizers() {
+        let baseline = {
+            let mut opt = make();
+            let mut x: Vec<f32> = (0..dim).map(|i| ((i as f32) * 0.37).sin()).collect();
+            for _ in 0..12 {
+                let g: Vec<f32> = x.iter().map(|&v| 0.5 * v).collect();
+                opt.step(&mut x, &g);
+            }
+            x
+        };
+        for shards in [2usize, 3, 4, 7] {
+            let mut opt = make();
+            let mut x: Vec<f32> = (0..dim).map(|i| ((i as f32) * 0.37).sin()).collect();
+            for _ in 0..12 {
+                let g: Vec<f32> = x.iter().map(|&v| 0.5 * v).collect();
+                step_sharded(opt.as_mut(), &mut x, &g, shards);
+            }
+            assert_eq!(
+                baseline, x,
+                "{name}: multi-block {shards}-shard run diverged from step()"
             );
         }
     }

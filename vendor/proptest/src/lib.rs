@@ -293,7 +293,7 @@ pub mod collection {
     use crate::test_runner::TestRng;
     use std::ops::{Range, RangeInclusive};
 
-    /// Element-count specification for [`vec`]: a fixed `usize` or a
+    /// Element-count specification for [`fn@vec`]: a fixed `usize` or a
     /// (half-open or inclusive) range.
     #[derive(Clone, Debug)]
     pub struct SizeRange {
