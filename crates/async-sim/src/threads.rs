@@ -5,11 +5,11 @@
 //! in a [`ShardedParams`]: one mutex per contiguous shard instead of one
 //! whole-model lock, so a worker snapshotting shard 0 never waits for the
 //! applier updating shard 3 — the applier and the workers no longer
-//! serialize on a single `Mutex<Vec<f32>>`. The applier drives the
-//! sharded two-phase optimizer API directly: one `observe_sharded`
-//! fan-out (per-shard partial reductions + deterministic combine) on a
-//! consistent snapshot, then per-shard `step_shard`s that each hold only
-//! their own shard's lock.
+//! serialize on a single `Mutex<Vec<f32>>`. The applier drives the fused
+//! sharded optimizer API directly: one `step_fused` dispatch onto the
+//! persistent worker pool runs the per-shard partial reductions, the
+//! deterministic combine, and the per-shard `step_shard`s — each holding
+//! only its own shard's lock — as a single fan-out per update.
 //!
 //! Unlike [`RoundRobinSimulator`](crate::RoundRobinSimulator) the
 //! interleaving here is scheduler-dependent, so this type is used by the
@@ -104,6 +104,29 @@ impl ShardedParams {
             opt.step_shard(meta, &mut p, &grads[offset..offset + len], hyper);
         }
     }
+
+    /// Applies one shard of an optimizer step, holding only that shard's
+    /// lock. `hyper` must come from an `observe`/`combine` on this step's
+    /// gradient; the fused applier fans this out over the worker pool.
+    pub fn apply_shard(
+        &self,
+        i: usize,
+        opt: &dyn Optimizer,
+        grads: &[f32],
+        hyper: yf_optim::Hyper,
+    ) {
+        assert_eq!(grads.len(), self.total, "sharded params: gradient length");
+        let offset = self.offsets[i];
+        let mut p = self.shards[i].lock().expect("params shard lock");
+        let len = p.len();
+        let meta = ParamShard {
+            index: i,
+            count: self.shards.len(),
+            offset,
+            total: self.total,
+        };
+        opt.step_shard(meta, &mut p, &grads[offset..offset + len], hyper);
+    }
 }
 
 /// Summary of a threaded asynchronous run.
@@ -165,13 +188,15 @@ pub fn run_threaded(
     let mut losses = Vec::with_capacity(total_updates);
     for _ in 0..total_updates {
         let (loss, grad) = rx.recv().expect("workers alive while updates remain");
-        // Measure on a consistent applier-side snapshot — through the
-        // sharded partial-reduction fan-out, so the applier's serial
-        // phase shrinks to the scalar combine — then apply per shard;
-        // workers keep reading other shards in the meantime.
+        // Measure on a consistent applier-side snapshot, combine, and
+        // apply per shard — one fused pool dispatch per update, the
+        // applier's serial phase shrinks to the scalar combine; workers
+        // keep reading other shards in the meantime.
         let snapshot = params.snapshot();
-        let hyper = yf_optim::sharded::observe_sharded(opt, &snapshot, &grad, params.shard_count());
-        params.apply(&*opt, &grad, hyper);
+        let n = params.shard_count();
+        yf_optim::sharded::step_fused(opt, &snapshot, &grad, n, n, |i, opt, hyper| {
+            params.apply_shard(i, opt, &grad, hyper)
+        });
         losses.push(loss);
     }
     *stop.lock().expect("stop lock") = true;

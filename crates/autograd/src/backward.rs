@@ -1,6 +1,6 @@
 //! Vector-Jacobian products for every op on the tape.
 
-use crate::conv::{conv2d_backward_input_with_threads, conv2d_backward_weight_with_threads};
+use crate::conv::{conv2d_backward_input_with_par, conv2d_backward_weight_with_par};
 use crate::graph::{Graph, Op};
 use crate::norm;
 use yf_tensor::Tensor;
@@ -183,7 +183,7 @@ impl Graph {
                 // kernels (and across steps when the graph is reused).
                 let mut scratch = std::mem::take(&mut self.scratch);
                 if self.rg(input) {
-                    let di = conv2d_backward_input_with_threads(
+                    let di = conv2d_backward_input_with_par(
                         self.value(input).shape(),
                         self.value(weight),
                         &grad,
@@ -196,7 +196,7 @@ impl Graph {
                 if self.rg(weight) {
                     // Reuse the forward's cached columns when present;
                     // otherwise the GEMM re-unrolls from the image.
-                    let dw = conv2d_backward_weight_with_threads(
+                    let dw = conv2d_backward_weight_with_par(
                         self.value(input),
                         self.value(weight).shape(),
                         &grad,

@@ -51,7 +51,8 @@
 
 use crate::im2col::{col2im_batched, im2col_batched, BatchGeom, ColShape, ColsPackNN, ColsPackNT};
 use std::sync::Arc;
-use yf_tensor::{gemm, parallel, Scratch, Tensor};
+use yf_tensor::parallel::{self, Par};
+use yf_tensor::{gemm, Scratch, Tensor};
 
 /// Static parameters of a convolution.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -224,7 +225,7 @@ fn cache_budget_elems() -> usize {
 /// (parallel across channel rows).
 fn gather_batched(src: &[f32], b: usize, c: usize, owo: usize, dst: &mut [f32], threads: usize) {
     let bcols = b * owo;
-    parallel::scoped_chunks_mut(dst, bcols, threads, |first, chunk| {
+    parallel::chunks_mut(dst, bcols, threads, |first, chunk| {
         for (o, row) in chunk.chunks_exact_mut(bcols).enumerate() {
             let ch = first + o;
             for bi in 0..b {
@@ -238,7 +239,7 @@ fn gather_batched(src: &[f32], b: usize, c: usize, owo: usize, dst: &mut [f32], 
 /// (parallel across output planes).
 fn scatter_batched(src: &[f32], b: usize, c: usize, owo: usize, dst: &mut [f32], threads: usize) {
     let bcols = b * owo;
-    parallel::scoped_chunks_mut(dst, owo, threads, |first, chunk| {
+    parallel::chunks_mut(dst, owo, threads, |first, chunk| {
         for (p, plane) in chunk.chunks_exact_mut(owo).enumerate() {
             let idx = first + p;
             let (bi, ch) = (idx / c, idx % c);
@@ -265,7 +266,7 @@ pub fn conv2d_forward_with_scratch(
     spec: ConvSpec,
     scratch: &mut Scratch,
 ) -> Tensor {
-    forward_impl(input, weight, spec, scratch, false, parallel::num_threads()).0
+    forward_impl(input, weight, spec, scratch, false, Par::pool().budget()).0
 }
 
 /// [`conv2d_forward`] that additionally materializes and returns the
@@ -279,30 +280,30 @@ pub fn conv2d_forward_caching(
     spec: ConvSpec,
     scratch: &mut Scratch,
 ) -> (Tensor, Option<ColumnCache>) {
-    forward_impl(input, weight, spec, scratch, true, parallel::num_threads())
+    forward_impl(input, weight, spec, scratch, true, Par::pool().budget())
 }
 
-/// [`conv2d_forward_caching`] with an explicit thread budget (what the
+/// [`conv2d_forward_caching`] with an explicit [`Par`] budget (what the
 /// tape calls; [`crate::Graph::set_threads`] caps it).
-pub fn conv2d_forward_caching_with_threads(
+pub fn conv2d_forward_caching_with_par(
     input: &Tensor,
     weight: &Tensor,
     spec: ConvSpec,
     scratch: &mut Scratch,
-    threads: usize,
+    par: impl Into<Par>,
 ) -> (Tensor, Option<ColumnCache>) {
-    forward_impl(input, weight, spec, scratch, true, threads)
+    forward_impl(input, weight, spec, scratch, true, par.into().budget())
 }
 
-/// [`conv2d_forward_with_scratch`] with an explicit thread budget.
-pub fn conv2d_forward_with_threads(
+/// [`conv2d_forward_with_scratch`] with an explicit [`Par`] budget.
+pub fn conv2d_forward_with_par(
     input: &Tensor,
     weight: &Tensor,
     spec: ConvSpec,
     scratch: &mut Scratch,
-    threads: usize,
+    par: impl Into<Par>,
 ) -> Tensor {
-    forward_impl(input, weight, spec, scratch, false, threads).0
+    forward_impl(input, weight, spec, scratch, false, par.into().budget()).0
 }
 
 fn forward_impl(
@@ -421,26 +422,20 @@ pub fn conv2d_backward_input_with_scratch(
     spec: ConvSpec,
     scratch: &mut Scratch,
 ) -> Tensor {
-    conv2d_backward_input_with_threads(
-        input_shape,
-        weight,
-        grad_out,
-        spec,
-        scratch,
-        parallel::num_threads(),
-    )
+    conv2d_backward_input_with_par(input_shape, weight, grad_out, spec, scratch, Par::pool())
 }
 
-/// [`conv2d_backward_input_with_scratch`] with an explicit thread budget
-/// (what the tape calls; [`crate::Graph::set_threads`] caps it).
-pub fn conv2d_backward_input_with_threads(
+/// [`conv2d_backward_input_with_scratch`] with an explicit [`Par`]
+/// budget (what the tape calls; [`crate::Graph::set_threads`] caps it).
+pub fn conv2d_backward_input_with_par(
     input_shape: &[usize],
     weight: &Tensor,
     grad_out: &Tensor,
     spec: ConvSpec,
     scratch: &mut Scratch,
-    threads: usize,
+    par: impl Into<Par>,
 ) -> Tensor {
+    let threads = par.into().budget();
     let d = ConvDims::new(input_shape, weight.shape(), spec);
     debug_assert_eq!(grad_out.shape(), &[d.b, d.cout, d.ho, d.wo]);
     let mut dx = vec![0.0f32; d.b * d.cin * d.cs.h * d.cs.w];
@@ -557,29 +552,30 @@ pub fn conv2d_backward_weight_cached(
     scratch: &mut Scratch,
     cache: Option<&ColumnCache>,
 ) -> Tensor {
-    conv2d_backward_weight_with_threads(
+    conv2d_backward_weight_with_par(
         input,
         weight_shape,
         grad_out,
         spec,
         scratch,
         cache,
-        parallel::num_threads(),
+        Par::pool(),
     )
 }
 
-/// [`conv2d_backward_weight_cached`] with an explicit thread budget
+/// [`conv2d_backward_weight_cached`] with an explicit [`Par`] budget
 /// (what the tape calls; [`crate::Graph::set_threads`] caps it).
 #[allow(clippy::too_many_arguments)]
-pub fn conv2d_backward_weight_with_threads(
+pub fn conv2d_backward_weight_with_par(
     input: &Tensor,
     weight_shape: &[usize],
     grad_out: &Tensor,
     spec: ConvSpec,
     scratch: &mut Scratch,
     cache: Option<&ColumnCache>,
-    threads: usize,
+    par: impl Into<Par>,
 ) -> Tensor {
+    let threads = par.into().budget();
     let d = ConvDims::new(input.shape(), weight_shape, spec);
     debug_assert_eq!(grad_out.shape(), &[d.b, d.cout, d.ho, d.wo]);
     let mut dw = vec![0.0f32; d.cout * d.ckk];

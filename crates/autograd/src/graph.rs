@@ -387,7 +387,7 @@ impl Graph {
         // Capture the batched column matrix only when a weight gradient
         // will want it back.
         let (v, cols) = if self.rg(weight) {
-            crate::conv::conv2d_forward_caching_with_threads(
+            crate::conv::conv2d_forward_caching_with_par(
                 self.value(input),
                 self.value(weight),
                 spec,
@@ -395,7 +395,7 @@ impl Graph {
                 self.threads,
             )
         } else {
-            let v = crate::conv::conv2d_forward_with_threads(
+            let v = crate::conv::conv2d_forward_with_par(
                 self.value(input),
                 self.value(weight),
                 spec,

@@ -4,10 +4,10 @@
 //! These are the model zoo's non-GEMM hot loops: training-mode batch
 //! normalization, row-wise layer normalization, fused
 //! softmax-cross-entropy, 2x2 max pooling, and global average pooling.
-//! Every kernel takes an explicit thread count (the tape passes its own;
-//! tests pin 1 vs N) and clamps it with
-//! [`yf_tensor::parallel::threads_for`] so small tensors never pay a
-//! spawn.
+//! Every kernel takes a [`Par`] budget (the tape passes its own; tests
+//! pin 1 vs N; plain `usize` converts for back-compat) and clamps it
+//! with [`Par::chunks_for`] so small tensors never pay a dispatch; the
+//! fan-out itself lands on the persistent worker pool.
 //!
 //! Parallel structure: reductions fan out over their *output* rows (one
 //! worker per block of channels, rows, or columns, each accumulating
@@ -23,7 +23,7 @@
 //! [`mod@reference`] for cross-checking and as `perf_report`'s baseline
 //! column.
 
-use yf_tensor::parallel::{self, scoped_chunks_mut, scoped_chunks_mut2};
+use yf_tensor::parallel::{chunks_mut, chunks_mut2, Par};
 use yf_tensor::Tensor;
 
 /// Per-channel statistics saved by the batch-norm forward pass for the
@@ -63,7 +63,7 @@ pub fn batch_norm_forward(
     gamma: &Tensor,
     beta: &Tensor,
     eps: f32,
-    threads: usize,
+    par: impl Into<Par>,
 ) -> (Tensor, BnSaved) {
     assert_eq!(x.shape().len(), 4, "batch_norm: input must be rank 4");
     let (b, c, h, w) = dims4(x);
@@ -72,11 +72,11 @@ pub fn batch_norm_forward(
     let hw = h * w;
     let n = (b * hw) as f64;
     let xd = x.data();
-    let t = threads.min(parallel::threads_for(x.len()));
+    let t = par.into().chunks_for(x.len());
     // Fused single-pass statistics: one sweep per channel accumulates sum
     // and sum-of-squares in f64, each channel owned by one worker.
     let mut stats = vec![(0.0f32, 0.0f32); c];
-    scoped_chunks_mut(&mut stats, 1, t, |first, chunk| {
+    chunks_mut(&mut stats, 1, t, |first, chunk| {
         for (off, slot) in chunk.iter_mut().enumerate() {
             let ci = first + off;
             let (mut s, mut ss) = (0.0f64, 0.0f64);
@@ -95,7 +95,7 @@ pub fn batch_norm_forward(
     let mut out = vec![0.0f32; x.len()];
     let (gd, bd) = (gamma.data(), beta.data());
     let stats_ref = &stats;
-    scoped_chunks_mut(&mut out, hw, t, |first, chunk| {
+    chunks_mut(&mut out, hw, t, |first, chunk| {
         for (p, plane) in chunk.chunks_exact_mut(hw).enumerate() {
             let ci = (first + p) % c;
             let (m, is) = stats_ref[ci];
@@ -118,17 +118,17 @@ pub fn batch_norm_backward(
     gamma: &Tensor,
     saved: &BnSaved,
     grad_out: &Tensor,
-    threads: usize,
+    par: impl Into<Par>,
 ) -> (Tensor, Tensor, Tensor) {
     let (b, c, h, w) = dims4(x);
     let hw = h * w;
     let n = (b * hw) as f32;
     let (xd, god) = (x.data(), grad_out.data());
-    let t = threads.min(parallel::threads_for(x.len()));
+    let t = par.into().chunks_for(x.len());
     // Fused per-channel reduction of (sum dy, sum dy*x_hat), one worker
     // per block of channels, batch-major accumulation order.
     let mut sums = vec![(0.0f32, 0.0f32); c];
-    scoped_chunks_mut(&mut sums, 1, t, |first, chunk| {
+    chunks_mut(&mut sums, 1, t, |first, chunk| {
         for (off, slot) in chunk.iter_mut().enumerate() {
             let ci = first + off;
             let (m, is) = (saved.mean[ci], saved.inv_std[ci]);
@@ -148,7 +148,7 @@ pub fn batch_norm_backward(
     let mut dx = vec![0.0f32; x.len()];
     let gd = gamma.data();
     let sums_ref = &sums;
-    scoped_chunks_mut(&mut dx, hw, t, |first, chunk| {
+    chunks_mut(&mut dx, hw, t, |first, chunk| {
         for (p, plane) in chunk.chunks_exact_mut(hw).enumerate() {
             let ci = (first + p) % c;
             let (m, is, g) = (saved.mean[ci], saved.inv_std[ci], gd[ci]);
@@ -181,19 +181,19 @@ pub fn layer_norm_forward(
     gamma: &Tensor,
     beta: &Tensor,
     eps: f32,
-    threads: usize,
+    par: impl Into<Par>,
 ) -> (Tensor, Vec<(f32, f32)>) {
     assert_eq!(x.shape().len(), 2, "layer_norm: input must be rank 2");
     let (b, n) = (x.shape()[0], x.shape()[1]);
     assert_eq!(gamma.shape(), &[n], "layer_norm: gamma must be [N]");
     assert_eq!(beta.shape(), &[n], "layer_norm: beta must be [N]");
     let (xd, gd, bd) = (x.data(), gamma.data(), beta.data());
-    let t = threads.min(parallel::threads_for(x.len()));
+    let t = par.into().chunks_for(x.len());
     let mut out = vec![0.0f32; b * n];
     let mut stats = vec![(0.0f32, 0.0f32); b];
     // One pass: each worker owns a block of rows and produces both the
     // normalized row and its statistics.
-    scoped_chunks_mut2(&mut out, n, &mut stats, 1, t, |first, oc, sc| {
+    chunks_mut2(&mut out, n, &mut stats, 1, t, |first, oc, sc| {
         for (r_off, (orow, stat)) in oc.chunks_exact_mut(n).zip(sc.iter_mut()).enumerate() {
             let row = &xd[(first + r_off) * n..][..n];
             let mean = row.iter().sum::<f32>() / n as f32;
@@ -214,15 +214,15 @@ pub fn layer_norm_backward(
     gamma: &Tensor,
     stats: &[(f32, f32)],
     grad_out: &Tensor,
-    threads: usize,
+    par: impl Into<Par>,
 ) -> (Tensor, Tensor, Tensor) {
     let (b, n) = (x.shape()[0], x.shape()[1]);
     let (xd, gd, god) = (x.data(), gamma.data(), grad_out.data());
-    let t = threads.min(parallel::threads_for(x.len()));
+    let t = par.into().chunks_for(x.len());
     // dx: one worker per block of rows, each row's two reductions
     // computed in-worker (same order as the scalar loop).
     let mut dx = vec![0.0f32; b * n];
-    scoped_chunks_mut(&mut dx, n, t, |first, chunk| {
+    chunks_mut(&mut dx, n, t, |first, chunk| {
         for (r_off, drow) in chunk.chunks_exact_mut(n).enumerate() {
             let r = first + r_off;
             let (mean, inv_std) = stats[r];
@@ -248,7 +248,7 @@ pub fn layer_norm_backward(
     // the worker's column block per row) and each column accumulates in
     // row order, so the result is independent of the block partition.
     let mut dgb = vec![(0.0f32, 0.0f32); n];
-    scoped_chunks_mut(&mut dgb, 1, t, |first, chunk| {
+    chunks_mut(&mut dgb, 1, t, |first, chunk| {
         for r in 0..b {
             let (mean, inv_std) = stats[r];
             let row = &xd[r * n + first..][..chunk.len()];
@@ -276,7 +276,11 @@ pub fn layer_norm_backward(
 ///
 /// Panics if `targets.len()` differs from the batch size or a target is
 /// out of range.
-pub fn softmax_xent_forward(logits: &Tensor, targets: &[usize], threads: usize) -> (f32, Tensor) {
+pub fn softmax_xent_forward(
+    logits: &Tensor,
+    targets: &[usize],
+    par: impl Into<Par>,
+) -> (f32, Tensor) {
     assert_eq!(
         logits.shape().len(),
         2,
@@ -288,9 +292,9 @@ pub fn softmax_xent_forward(logits: &Tensor, targets: &[usize], threads: usize) 
         assert!(t < k, "softmax_xent: target {t} out of range {k} (row {r})");
     }
     let ld = logits.data();
-    let t = threads.min(parallel::threads_for(logits.len()));
+    let t = par.into().chunks_for(logits.len());
     let mut probs = vec![0.0f32; b * k];
-    scoped_chunks_mut(&mut probs, k, t, |first, chunk| {
+    chunks_mut(&mut probs, k, t, |first, chunk| {
         for (r_off, prow) in chunk.chunks_exact_mut(k).enumerate() {
             let row = &ld[(first + r_off) * k..][..k];
             let m = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
@@ -320,12 +324,12 @@ pub fn softmax_xent_backward(
     probs: &Tensor,
     targets: &[usize],
     upstream: f32,
-    threads: usize,
+    par: impl Into<Par>,
 ) -> Tensor {
     let (b, k) = (probs.shape()[0], probs.shape()[1]);
     let pd = probs.data();
     let scale = upstream / b as f32;
-    let t = threads.min(parallel::threads_for(probs.len()));
+    let t = par.into().chunks_for(probs.len());
     if t <= 1 {
         // Serial fast path: build the buffer in one pass (no zero
         // prefill), then fix the target elements. Bitwise identical to
@@ -337,7 +341,7 @@ pub fn softmax_xent_backward(
         return Tensor::from_vec(dl, probs.shape());
     }
     let mut dl = vec![0.0f32; b * k];
-    scoped_chunks_mut(&mut dl, k, t, |first, chunk| {
+    chunks_mut(&mut dl, k, t, |first, chunk| {
         for (r_off, drow) in chunk.chunks_exact_mut(k).enumerate() {
             let r = first + r_off;
             let prow = &pd[r * k..][..k];
@@ -360,17 +364,17 @@ pub fn softmax_xent_backward(
 /// # Panics
 ///
 /// Panics unless the input is rank 4 with even spatial extents.
-pub fn max_pool2x2_forward(x: &Tensor, threads: usize) -> (Tensor, Vec<usize>) {
+pub fn max_pool2x2_forward(x: &Tensor, par: impl Into<Par>) -> (Tensor, Vec<usize>) {
     assert_eq!(x.shape().len(), 4, "max_pool: input must be rank 4");
     let (b, c, h, w) = dims4(x);
     assert!(h % 2 == 0 && w % 2 == 0, "max_pool: extents must be even");
     let (ho, wo) = (h / 2, w / 2);
     let owo = ho * wo;
     let xd = x.data();
-    let t = threads.min(parallel::threads_for(x.len()));
+    let t = par.into().chunks_for(x.len());
     let mut out = vec![f32::NEG_INFINITY; b * c * owo];
     let mut argmax = vec![0usize; b * c * owo];
-    scoped_chunks_mut2(&mut out, owo, &mut argmax, owo, t, |first, oc, ac| {
+    chunks_mut2(&mut out, owo, &mut argmax, owo, t, |first, oc, ac| {
         for (p, (oplane, aplane)) in oc
             .chunks_exact_mut(owo)
             .zip(ac.chunks_exact_mut(owo))
@@ -401,7 +405,7 @@ pub fn max_pool2x2_backward(
     input_shape: &[usize],
     argmax: &[usize],
     grad_out: &Tensor,
-    threads: usize,
+    par: impl Into<Par>,
 ) -> Tensor {
     let (b, c, h, w) = (
         input_shape[0],
@@ -412,7 +416,7 @@ pub fn max_pool2x2_backward(
     let hw = h * w;
     let owo = hw / 4;
     let god = grad_out.data();
-    let t = threads.min(parallel::threads_for(b * c * hw));
+    let t = par.into().chunks_for(b * c * hw);
     let mut dx = vec![0.0f32; b * c * hw];
     if t <= 1 {
         // Serial fast path: one flat scatter, no per-plane re-basing.
@@ -421,7 +425,7 @@ pub fn max_pool2x2_backward(
         }
         return Tensor::from_vec(dx, input_shape);
     }
-    scoped_chunks_mut(&mut dx, hw, t, |first, chunk| {
+    chunks_mut(&mut dx, hw, t, |first, chunk| {
         for (p, plane) in chunk.chunks_exact_mut(hw).enumerate() {
             let plane_idx = first + p;
             let in_base = plane_idx * hw;
@@ -440,14 +444,14 @@ pub fn max_pool2x2_backward(
 /// # Panics
 ///
 /// Panics unless the input is rank 4.
-pub fn global_avg_pool_forward(x: &Tensor, threads: usize) -> Tensor {
+pub fn global_avg_pool_forward(x: &Tensor, par: impl Into<Par>) -> Tensor {
     assert_eq!(x.shape().len(), 4, "global_avg_pool: must be rank 4");
     let (b, c, h, w) = dims4(x);
     let hw = h * w;
     let xd = x.data();
-    let t = threads.min(parallel::threads_for(x.len()));
+    let t = par.into().chunks_for(x.len());
     let mut out = vec![0.0f32; b * c];
-    scoped_chunks_mut(&mut out, 1, t, |first, chunk| {
+    chunks_mut(&mut out, 1, t, |first, chunk| {
         for (p, slot) in chunk.iter_mut().enumerate() {
             let base = (first + p) * hw;
             *slot = xd[base..base + hw].iter().sum::<f32>() / hw as f32;
@@ -461,7 +465,7 @@ pub fn global_avg_pool_forward(x: &Tensor, threads: usize) -> Tensor {
 pub fn global_avg_pool_backward(
     input_shape: &[usize],
     grad_out: &Tensor,
-    threads: usize,
+    par: impl Into<Par>,
 ) -> Tensor {
     let (b, c, h, w) = (
         input_shape[0],
@@ -471,9 +475,9 @@ pub fn global_avg_pool_backward(
     );
     let hw = h * w;
     let god = grad_out.data();
-    let t = threads.min(parallel::threads_for(b * c * hw));
+    let t = par.into().chunks_for(b * c * hw);
     let mut dx = vec![0.0f32; b * c * hw];
-    scoped_chunks_mut(&mut dx, hw, t, |first, chunk| {
+    chunks_mut(&mut dx, hw, t, |first, chunk| {
         for (p, plane) in chunk.chunks_exact_mut(hw).enumerate() {
             plane.fill(god[first + p] / hw as f32);
         }

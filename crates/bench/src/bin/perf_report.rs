@@ -22,6 +22,10 @@
 //! - `YF_PERF_TOL` — gate tolerance as a fraction (default 0.35).
 //! - `YF_NUM_THREADS` — kernel-layer thread count, recorded in the JSON.
 //!
+//! Besides timings, the report records `fanouts_per_step`: the number of
+//! worker-pool dispatches one full tuned optimizer step performs, and
+//! hard-fails unless it is exactly 1 (the fused-runtime contract).
+//!
 //! The gate only compares runs at the **same thread count**: speedups of
 //! the parallel kernels scale with cores, so a baseline recorded at a
 //! different `threads` value is skipped entirely (with a warning) rather
@@ -541,7 +545,7 @@ fn main() {
     }
 
     // --- Optimizer-step kernels: sharded apply vs single-thread apply on
-    // ~1M parameters (the ShardedState + scoped-thread payoff). The
+    // ~1M parameters (the ShardedState + worker-pool payoff). The
     // "seed" column is the whole-vector single-shard path, which is
     // exactly what the one-phase API executed. ---
     {
@@ -617,12 +621,34 @@ fn main() {
         }
     }
 
+    // --- Dispatch accounting: one full tuned optimizer step (measure →
+    // combine → apply, 1M params, 4 shards) must ride exactly one pool
+    // fan-out. The counter is thread-local, so this measurement cannot be
+    // skewed by anything else; a second dispatch per step is a structural
+    // regression of the fused runtime and fails the report outright. ---
+    let fanouts_per_step = {
+        let n = 1 << 20;
+        let mut opt = YellowFin::default();
+        let mut params = vec![0.0f32; n];
+        let grads: Vec<f32> = (0..n).map(|_| rng.normal() * 0.01).collect();
+        step_sharded(&mut opt, &mut params, &grads, 4); // warm (lazy state init)
+        let before = parallel::fanout_count();
+        step_sharded(&mut opt, &mut params, &grads, 4);
+        parallel::fanout_count() - before
+    };
+    println!("{:<36} {fanouts_per_step:>12} per step", "pool_fanouts");
+    assert_eq!(
+        fanouts_per_step, 1,
+        "fused optimizer step must be exactly one pool dispatch"
+    );
+
     // --- Emit BENCH_kernels.json. ---
     let mut json = String::new();
     let _ = writeln!(json, "{{");
     let _ = writeln!(json, "  \"generated_by\": \"perf_report\",");
     let _ = writeln!(json, "  \"samples_per_kernel\": {},", samples() | 1);
     let _ = writeln!(json, "  \"threads\": {},", parallel::num_threads());
+    let _ = writeln!(json, "  \"fanouts_per_step\": {fanouts_per_step},");
     let _ = writeln!(
         json,
         "  \"simd\": \"{}\",",

@@ -353,13 +353,13 @@ impl Optimizer for ClosedLoopAdam {
         // *effective* gradient e_t = (1 - beta1) g_t / (bc1 (sqrt(v^) +
         // eps)), so Eq. 37 must be fed e_t, not g_t (an SGD-form
         // correction would mis-measure the preconditioned system). The
-        // sweep is elementwise, so it fans out over scoped threads and an
+        // sweep is elementwise, so it fans out over the worker pool and an
         // enclosing middleware's grad_scale folds in per element; the
         // effective-gradient buffer is reused across steps.
         self.effective.resize(params.len(), 0.0);
         let (beta2, lr) = (self.beta2, self.lr);
         let threads = parallel::threads_for(params.len());
-        parallel::scoped_chunks_mut2(
+        parallel::chunks_mut2(
             &mut self.v,
             1,
             &mut self.effective,

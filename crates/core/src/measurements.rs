@@ -87,7 +87,8 @@ impl CurvatureRange {
 /// updates both per-coordinate moments *and* accumulates the per-block
 /// debiased variance partial sums, which a fixed-order tree reduction
 /// folds into the total. The sweep is parallel (block-aligned chunks on
-/// scoped threads) and bitwise identical for every thread count, so the
+/// the persistent worker pool) and bitwise identical for every thread
+/// count, so the
 /// estimate a sharded measure phase produces equals the whole-vector one
 /// exactly. A global gradient scale (clipping) folds into the same sweep
 /// — no scaled gradient copy is ever materialized.

@@ -5,7 +5,7 @@
 //! configuration with the lowest averaged smoothed loss.
 //!
 //! Every `(value, seed)` cell is an independent training run, so the
-//! grid fans them out over scoped worker threads (up to the kernel-layer
+//! grid fans them out over the persistent worker pool (up to the kernel-layer
 //! thread count) and collects results back in cell order — the outcome is
 //! bit-identical to the sequential sweep, just wall-clock shorter.
 
@@ -47,7 +47,7 @@ pub fn average_curves(curves: &[Vec<f32>]) -> Vec<f32> {
 }
 
 /// Runs `make_opt(value)` for every grid `value` on `make_task(seed)` for
-/// every seed — all `(value, seed)` cells fanned out on scoped worker
+/// every seed — all `(value, seed)` cells fanned out on pool worker
 /// threads, results gathered in deterministic cell order — smooths the
 /// seed-averaged loss with `window`, and picks the value whose curve
 /// attains the lowest smoothed loss.
@@ -72,7 +72,7 @@ pub fn grid_search(
     assert!(!seeds.is_empty(), "grid_search: no seeds");
 
     // One independent (value, seed) training run per cell, fanned out on
-    // scoped threads; `results` keeps cell order, so everything below is
+    // pool workers; `results` keeps cell order, so everything below is
     // bitwise identical to the sequential sweep.
     let cells: Vec<(f32, u64)> = values
         .iter()
@@ -80,7 +80,7 @@ pub fn grid_search(
         .collect();
     let mut results: Vec<Option<RunResult>> = (0..cells.len()).map(|_| None).collect();
     let threads = parallel::num_threads().min(cells.len());
-    parallel::scoped_chunks_mut(&mut results, 1, threads, |first, chunk| {
+    parallel::chunks_mut(&mut results, 1, threads, |first, chunk| {
         for (i, slot) in chunk.iter_mut().enumerate() {
             let (value, seed) = cells[first + i];
             let mut task = make_task(seed);

@@ -2,7 +2,7 @@
 //!
 //! Both loops drive the fused *measure → combine → apply* step pipeline:
 //! per step, the measure phase fans per-shard partial reductions out over
-//! scoped threads (`yf_optim::sharded::observe_sharded`), a deterministic
+//! the worker pool (`yf_optim::sharded::observe_sharded`), a deterministic
 //! tree combine makes the tuning decision, and the apply phase fans
 //! `step_shard`s out over the same shard plan (or named parameter
 //! groups). Reductions are block-structured and updates per-coordinate,

@@ -7,7 +7,7 @@
 //!
 //! 1. The **measure** phase is itself sharded: [`Optimizer::observe_shard`]
 //!    reduces one block-aligned gradient slice into a [`StatsPartial`]
-//!    of per-block partial sums (`&self`, runs on scoped worker threads),
+//!    of per-block partial sums (`&self`, runs on the persistent pool),
 //!    and [`Optimizer::combine`] folds the partials with a fixed-order
 //!    tree reduction, updates the global statistics (moment counters,
 //!    curvature estimates, clipping norms), and returns the tuned
@@ -16,7 +16,7 @@
 //! 2. [`Optimizer::step_shard`] applies the update to one disjoint slice
 //!    of the vector. It takes `&self`: all per-coordinate state lives in
 //!    a [`ShardedState`] (per-shard, lock-protected, lazily initialized),
-//!    so disjoint shards can be applied concurrently from scoped threads
+//!    so disjoint shards can be applied concurrently from pool workers
 //!    or held behind per-shard locks by an asynchronous trainer.
 //! 3. The provided [`Optimizer::step`] composes the two over a single
 //!    whole-vector shard, so one-phase callers keep working unchanged —
@@ -115,7 +115,7 @@ impl Default for Hyper {
 /// Implementations must tolerate being constructed before the parameter
 /// count is known: internal state buffers are sized lazily on the first
 /// step. `Send + Sync` is a supertrait so `&dyn Optimizer` can fan the
-/// apply phase out over scoped worker threads.
+/// apply phase out over the persistent worker pool.
 pub trait Optimizer: Send + Sync {
     /// Measure phase: consumes the whole gradient once, updates global
     /// statistics and scalar state, and returns the hyperparameters the
@@ -130,7 +130,7 @@ pub trait Optimizer: Send + Sync {
     /// Sharded half of the measure phase: reduces one disjoint,
     /// block-aligned gradient slice into a [`StatsPartial`] of per-block
     /// partial sums. `&self`, so the [`sharded::observe_sharded`] driver
-    /// can run all shards concurrently on scoped threads before a single
+    /// can run all shards concurrently on pool workers before a single
     /// [`Optimizer::combine`] folds them.
     ///
     /// The default returns an empty partial — correct for optimizers

@@ -18,22 +18,27 @@
 //!
 //! Partial reductions are block-structured (see [`yf_tensor::reduce`]),
 //! so the measured statistics — and therefore the whole trajectory — are
-//! bitwise identical for every shard count. The measure fan-out and the
-//! apply fan-out are separate [`std::thread::scope`]s because `combine`
-//! needs `&mut` access to the optimizer's scalar state, which cannot
-//! alias the shared borrows the worker threads hold.
+//! bitwise identical for every shard count. Measure, combine, and apply
+//! all ride **one** dispatch onto the persistent worker pool
+//! ([`yf_tensor::parallel::Pool`]): the pool's phased dispatch runs the
+//! observe shards, then `combine` exactly once on the calling thread
+//! (which holds the `&mut` the scalar tuning state needs while every
+//! worker is parked at the phase barrier), then the apply shards — no
+//! per-step thread spawns, no second fan-out. [`step_fused`] is that
+//! driver; [`observe_sharded`] / [`step_sharded`] / [`step_grouped`] are
+//! thin plans on top of it.
 //!
 //! [`ShardedState`] is the helper every stateful optimizer shares: one
 //! lock-protected, lazily-initialized slot of state buffers per shard, so
 //! `step_shard` can take `&self` and disjoint shards can be applied
-//! concurrently from scoped threads without any whole-model lock.
+//! concurrently from pool workers without any whole-model lock.
 
 use crate::{Hyper, Optimizer, ParamGroups};
-use std::sync::{Arc, Mutex, RwLock};
+use std::sync::{Arc, Mutex, OnceLock, RwLock};
 use yf_tensor::{parallel, reduce};
 
 /// Below this many coordinates, auto-sharding stays single-threaded: the
-/// scoped-thread spawn costs more than the update.
+/// fan-out overhead costs more than the update.
 pub const AUTO_SHARD_MIN_DIM: usize = 1 << 16;
 
 /// The automatic shard-count policy shared by the trainers and
@@ -239,7 +244,7 @@ impl StateInner {
 /// own mutex, created lazily on the shard's first
 /// [`with`](ShardedState::with). Disjoint shards therefore never contend,
 /// which is what lets [`Optimizer::step_shard`] take `&self` and run on
-/// scoped worker threads. Buffers start *empty* (length 0); the optimizer
+/// pool worker threads. Buffers start *empty* (length 0); the optimizer
 /// decides their initial contents (zeros for moments, a parameter copy
 /// for position-form updates), so "lazily initialized" means exactly what
 /// it meant for the old whole-vector `Vec`s.
@@ -469,13 +474,156 @@ fn observe_plan(total: usize, shards: usize) -> Vec<(usize, usize)> {
     plan
 }
 
+/// Parameter vector handed across the fused dispatch as a raw pointer so
+/// the measure phase can read it shared while the apply phase later
+/// writes disjoint chunks through the same allocation.
+///
+/// Safety contract (upheld by [`step_fused`]'s callers): all `read()`
+/// slices are dead before the first `chunk_mut` — the pool's phase
+/// barrier orders every phase-1/`mid` read strictly before any phase-2
+/// write — and phase-2 chunks are pairwise disjoint.
+struct RawParams {
+    ptr: *mut f32,
+    len: usize,
+}
+
+unsafe impl Send for RawParams {}
+unsafe impl Sync for RawParams {}
+
+impl RawParams {
+    fn new(params: &mut [f32]) -> Self {
+        RawParams {
+            ptr: params.as_mut_ptr(),
+            len: params.len(),
+        }
+    }
+
+    /// The whole vector, read-only (measure phase / `combine`).
+    ///
+    /// # Safety
+    ///
+    /// No `chunk_mut` slice may be live, and the returned slice must be
+    /// dead before the next `chunk_mut`.
+    unsafe fn read(&self) -> &[f32] {
+        unsafe { std::slice::from_raw_parts(self.ptr, self.len) }
+    }
+
+    /// One disjoint chunk, mutable (apply phase).
+    ///
+    /// # Safety
+    ///
+    /// `[offset, offset + len)` must be in bounds, no `read()` slice may
+    /// be live, and concurrent `chunk_mut` ranges must not overlap.
+    // The `&mut` out of `&self` is the entire point of this wrapper: the
+    // disjointness/ordering contract above replaces the borrow checker.
+    #[allow(clippy::mut_from_ref)]
+    unsafe fn chunk_mut(&self, offset: usize, len: usize) -> &mut [f32] {
+        debug_assert!(offset + len <= self.len);
+        unsafe { std::slice::from_raw_parts_mut(self.ptr.add(offset), len) }
+    }
+}
+
+/// The fused measure → combine → apply driver: **one** dispatch onto the
+/// persistent worker pool per optimizer step.
+///
+/// Phase 1 fans [`Optimizer::observe_shard`] out over a block-aligned
+/// partition of the gradient; between the phases the pool runs the
+/// closure-side critical section exactly once on the calling thread —
+/// every worker is parked at the barrier, so the `&mut` borrow for
+/// [`Optimizer::combine`] (the deterministic tree fold plus the scalar
+/// tuning decision) is exclusive by construction; phase 2 runs
+/// `apply(task, &opt, hyper)` for `apply_tasks` tasks, which callers use
+/// to fan [`Optimizer::step_shard`] out over their shard plan. Returns
+/// the step's tuned [`Hyper`].
+///
+/// Optimizers whose measure phase consumes no gradient reductions
+/// ([`Optimizer::needs_observe_partials`] is false), and `shards <= 1`
+/// plans, skip phase 1 entirely and go straight to `combine`.
+///
+/// The partition, the partial order, and the fold are identical to the
+/// whole-vector pass, so the result is bitwise equal to
+/// [`Optimizer::observe`] + serial application for every shard count.
+///
+/// # Panics
+///
+/// Panics if `observe_params` and `grads` differ in length (same message
+/// as the one-phase API), or on whatever the optimizer's own `combine`
+/// checks. A panic in any shard resumes on the caller; the pool survives.
+pub fn step_fused(
+    opt: &mut dyn Optimizer,
+    observe_params: &[f32],
+    grads: &[f32],
+    shards: usize,
+    apply_tasks: usize,
+    apply: impl Fn(usize, &dyn Optimizer, Hyper) + Sync,
+) -> Hyper {
+    assert_eq!(
+        observe_params.len(),
+        grads.len(),
+        "optimizer: params ({}) and grads ({}) differ",
+        observe_params.len(),
+        grads.len()
+    );
+    let total = observe_params.len();
+    let use_partials = total > 0 && shards > 1 && opt.needs_observe_partials();
+    let plan = if use_partials {
+        observe_plan(total, shards)
+    } else {
+        Vec::new()
+    };
+    let count = plan.len();
+    let slots: Vec<Mutex<Option<StatsPartial>>> = (0..count).map(|_| Mutex::new(None)).collect();
+    // Shared handle to the optimizer: the phases take read guards, the
+    // mid-section takes the write guard. The pool's phase barrier means
+    // the lock is never contended — it exists to hand the compiler a
+    // safe `&mut` in the middle of a shared fan-out.
+    let cell = RwLock::new(opt);
+    let hyper_slot: OnceLock<Hyper> = OnceLock::new();
+    parallel::Pool::global().run_phased(
+        count,
+        |i| {
+            let (offset, len) = plan[i];
+            let shard = ParamShard {
+                index: i,
+                count,
+                offset,
+                total,
+            };
+            let guard = cell.read().expect("optimizer cell");
+            let p = guard.observe_shard(
+                shard,
+                &observe_params[offset..offset + len],
+                &grads[offset..offset + len],
+            );
+            *slots[i].lock().expect("partial slot") = Some(p);
+        },
+        || {
+            let mut guard = cell.write().expect("optimizer cell");
+            let partials: Vec<StatsPartial> = slots
+                .iter()
+                .map(|s| s.lock().expect("partial slot").take().expect("shard ran"))
+                .collect();
+            let hyper = guard.combine(observe_params, grads, partials, 1.0);
+            let _ = hyper_slot.set(hyper);
+            hyper
+        },
+        apply_tasks,
+        |i| {
+            let hyper = *hyper_slot.get().expect("combine ran before apply");
+            let guard = cell.read().expect("optimizer cell");
+            apply(i, &**guard, hyper);
+        },
+    )
+}
+
 /// The sharded measure phase: fans [`Optimizer::observe_shard`] out over
-/// a block-aligned partition of the gradient on scoped threads, then
+/// a block-aligned partition of the gradient on the persistent pool, then
 /// folds the [`StatsPartial`]s with [`Optimizer::combine`] — which also
 /// makes the tuning decision and returns the step's [`Hyper`]. Bitwise
 /// identical to [`Optimizer::observe`] for every `shards` value.
 ///
-/// Optimizers whose measure phase consumes no gradient reductions
+/// This is [`step_fused`] with an empty apply phase. Optimizers whose
+/// measure phase consumes no gradient reductions
 /// ([`Optimizer::needs_observe_partials`] is false) skip the fan-out
 /// entirely and go straight to `combine`.
 ///
@@ -489,72 +637,54 @@ pub fn observe_sharded(
     grads: &[f32],
     shards: usize,
 ) -> Hyper {
-    assert_eq!(
-        params.len(),
-        grads.len(),
-        "optimizer: params ({}) and grads ({}) differ",
-        params.len(),
-        grads.len()
-    );
-    let total = params.len();
-    if total == 0 || shards <= 1 || !opt.needs_observe_partials() {
-        return opt.combine(params, grads, Vec::new(), 1.0);
-    }
-    let plan = observe_plan(total, shards);
-    let partials = if plan.len() <= 1 {
-        vec![opt.observe_shard(ParamShard::whole(total), params, grads)]
-    } else {
-        let opt_ref: &dyn Optimizer = opt;
-        let count = plan.len();
-        std::thread::scope(|scope| {
-            let handles: Vec<_> = plan
-                .iter()
-                .enumerate()
-                .skip(1)
-                .map(|(index, &(offset, len))| {
-                    let shard = ParamShard {
-                        index,
-                        count,
-                        offset,
-                        total,
-                    };
-                    let (p, g) = (&params[offset..offset + len], &grads[offset..offset + len]);
-                    scope.spawn(move || opt_ref.observe_shard(shard, p, g))
-                })
-                .collect();
-            let (_, len0) = plan[0];
-            let first = ParamShard {
-                index: 0,
-                count,
-                offset: 0,
-                total,
-            };
-            let mut out = Vec::with_capacity(count);
-            out.push(opt_ref.observe_shard(first, &params[..len0], &grads[..len0]));
-            for h in handles {
-                out.push(h.join().expect("observe shard thread panicked"));
-            }
-            out
-        })
-    };
-    opt.combine(params, grads, partials, 1.0)
+    step_fused(opt, params, grads, shards, 0, |_, _, _| {})
 }
 
 /// One fully sharded step: the measure phase fanned out over
-/// block-aligned partial reductions ([`observe_sharded`]), the
-/// deterministic combine, then the apply phase fanned out over the shard
-/// plan. With `shards <= 1` this is exactly the blanket
-/// [`Optimizer::step`]; reductions are block-structured and updates
-/// per-coordinate, so the result is bitwise identical for any shard
-/// count.
+/// block-aligned partial reductions, the deterministic combine, then the
+/// apply phase fanned out over the shard plan — all in a single
+/// [`step_fused`] pool dispatch. With `shards <= 1` this is exactly the
+/// blanket [`Optimizer::step`]; reductions are block-structured and
+/// updates per-coordinate, so the result is bitwise identical for any
+/// shard count.
 pub fn step_sharded(opt: &mut dyn Optimizer, params: &mut [f32], grads: &[f32], shards: usize) {
-    let hyper = observe_sharded(opt, params, grads, shards);
-    apply_sharded(opt, params, grads, hyper, shards);
+    let total = params.len();
+    if total == 0 {
+        observe_sharded(opt, params, grads, shards);
+        return;
+    }
+    let shards_apply = shards.clamp(1, total);
+    let rows_per = parallel::chunk_rows(total, shards_apply);
+    let count = total.div_ceil(rows_per);
+    let raw = RawParams::new(params);
+    // SAFETY: the observe slice is only read in phase 1 and `combine`;
+    // the pool's phase barrier orders those reads strictly before the
+    // apply chunks below, which tile `[0, total)` without overlap.
+    step_fused(
+        opt,
+        unsafe { raw.read() },
+        grads,
+        shards,
+        count,
+        |i, opt, hyper| {
+            let offset = i * rows_per;
+            let len = rows_per.min(total - offset);
+            let shard = ParamShard {
+                index: i,
+                count,
+                offset,
+                total,
+            };
+            let chunk = unsafe { raw.chunk_mut(offset, len) };
+            opt.step_shard(shard, chunk, &grads[offset..offset + len], hyper);
+        },
+    );
 }
 
-/// The apply phase alone: fans `hyper` out over `shards` slices. Use this
-/// when `observe` already ran (e.g. the caller inspected the tuned values
-/// first, or holds parameters behind per-shard locks).
+/// The apply phase alone: fans `hyper` out over `shards` slices on the
+/// persistent pool. Use this when `observe` already ran (e.g. the caller
+/// inspected the tuned values first, or holds parameters behind
+/// per-shard locks).
 pub fn apply_sharded(
     opt: &dyn Optimizer,
     params: &mut [f32],
@@ -573,7 +703,7 @@ pub fn apply_sharded(
     }
     let rows_per = parallel::chunk_rows(total, shards);
     let count = total.div_ceil(rows_per);
-    parallel::scoped_chunks_mut(params, 1, shards, |first, chunk| {
+    parallel::chunks_mut(params, 1, shards, |first, chunk| {
         let shard = ParamShard {
             index: first / rows_per,
             count,
@@ -584,13 +714,25 @@ pub fn apply_sharded(
     });
 }
 
+/// One contiguous apply chunk of the grouped plan, globally numbered.
+struct ChunkDesc {
+    /// Global shard index across all groups (one consistent plan).
+    index: usize,
+    /// Which group the chunk belongs to (for hyper overrides).
+    group: usize,
+    /// First flat coordinate, global.
+    offset: usize,
+    /// Coordinates in this chunk.
+    len: usize,
+}
+
 /// One sharded measure phase plus a grouped, sharded apply: each group of
 /// `groups` is applied with its own (override-adjusted) hyperparameters,
 /// split into parallel shards. Shard indices are numbered globally across
 /// groups so [`ShardedState`] sees one consistent plan; the measure phase
 /// runs over the whole vector (group boundaries do not affect the
-/// statistics) through the same partial-reduction fan-out as
-/// [`step_sharded`].
+/// statistics), and measure, combine, and every group's apply chunks all
+/// share a single [`step_fused`] pool dispatch.
 ///
 /// # Panics
 ///
@@ -608,49 +750,54 @@ pub fn step_grouped(
         groups.total(),
         params.len()
     );
-    let base = observe_sharded(opt, params, grads, groups.resolved_shards());
     let total = params.len();
     let threads = groups.resolved_shards();
-    // Pre-compute the global plan: (chunks, rows-per-chunk) per group.
-    let plan: Vec<(usize, usize)> = groups
-        .groups()
-        .iter()
-        .map(|g| {
-            if g.len == 0 {
-                (0, 1)
-            } else {
-                let t = threads.clamp(1, g.len);
-                let rows = parallel::chunk_rows(g.len, t);
-                (g.len.div_ceil(rows), rows)
-            }
-        })
-        .collect();
-    let count: usize = plan.iter().map(|&(c, _)| c).sum();
-    let opt: &dyn Optimizer = opt;
+    // Pre-compute the flat chunk list: per-group plans, globally indexed.
+    let mut chunks: Vec<ChunkDesc> = Vec::new();
     let mut base_index = 0;
-    let mut rest = params;
-    let mut consumed = 0;
-    for (g, &(chunks, rows_per)) in groups.groups().iter().zip(&plan) {
-        debug_assert_eq!(g.offset, consumed, "groups must tile the vector");
-        let (slice, tail) = rest.split_at_mut(g.len);
-        rest = tail;
-        consumed += g.len;
+    for (gi, g) in groups.groups().iter().enumerate() {
         if g.len == 0 {
             continue;
         }
-        let hyper = g.adjust(base);
-        parallel::scoped_chunks_mut(slice, 1, threads, |first, chunk| {
+        let t = threads.clamp(1, g.len);
+        let rows_per = parallel::chunk_rows(g.len, t);
+        let n = g.len.div_ceil(rows_per);
+        for c in 0..n {
+            let off = c * rows_per;
+            chunks.push(ChunkDesc {
+                index: base_index + c,
+                group: gi,
+                offset: g.offset + off,
+                len: rows_per.min(g.len - off),
+            });
+        }
+        base_index += n;
+    }
+    let count = base_index;
+    let raw = RawParams::new(params);
+    // SAFETY: observe reads complete at the phase barrier before the
+    // apply chunks write; the chunk list tiles each group disjointly and
+    // the groups tile the vector.
+    step_fused(
+        opt,
+        unsafe { raw.read() },
+        grads,
+        threads,
+        chunks.len(),
+        |i, opt, base| {
+            let d = &chunks[i];
+            let g = &groups.groups()[d.group];
             let shard = ParamShard {
-                index: base_index + first / rows_per,
+                index: d.index,
                 count,
-                offset: g.offset + first,
+                offset: d.offset,
                 total,
             };
-            let gslice = &grads[g.offset + first..g.offset + first + chunk.len()];
-            opt.step_shard(shard, chunk, gslice, hyper);
-        });
-        base_index += chunks;
-    }
+            let chunk = unsafe { raw.chunk_mut(d.offset, d.len) };
+            let gslice = &grads[d.offset..d.offset + d.len];
+            opt.step_shard(shard, chunk, gslice, g.adjust(base));
+        },
+    );
 }
 
 #[cfg(test)]
@@ -730,6 +877,48 @@ mod tests {
         let state = ShardedState::new(1);
         state.with(ParamShard::whole(3), 3, |_| {});
         state.with(ParamShard::whole(4), 4, |_| {});
+    }
+
+    #[test]
+    fn fused_step_is_one_pool_dispatch() {
+        // The whole measure → combine → apply step must ride a single
+        // pool fan-out. `Clipped` measures (needs_observe_partials), so
+        // a multi-block vector exercises both phases; the counter is
+        // thread-local, so concurrent tests cannot skew the delta.
+        let mut opt = crate::clip::Clipped::new(MomentumSgd::new(0.05, 0.9), 1e6);
+        let mut x: Vec<f32> = (0..4 * reduce::BLOCK)
+            .map(|i| (i as f32 * 0.01).sin())
+            .collect();
+        let g = grad(&x);
+        let before = parallel::fanout_count();
+        step_sharded(&mut opt, &mut x, &g, 4);
+        assert_eq!(
+            parallel::fanout_count() - before,
+            1,
+            "measure + combine + apply must share one dispatch"
+        );
+        // The measure-only driver is also a single dispatch.
+        let before = parallel::fanout_count();
+        observe_sharded(&mut opt, &x, &g, 4);
+        assert_eq!(parallel::fanout_count() - before, 1);
+    }
+
+    #[test]
+    fn grouped_step_is_one_pool_dispatch() {
+        let groups = ParamGroups::from_named([("a", 2 * reduce::BLOCK), ("b", 2 * reduce::BLOCK)])
+            .with_shards(4);
+        let mut opt = crate::clip::Clipped::new(MomentumSgd::new(0.05, 0.9), 1e6);
+        let mut x: Vec<f32> = (0..4 * reduce::BLOCK)
+            .map(|i| (i as f32 * 0.02).cos())
+            .collect();
+        let g = grad(&x);
+        let before = parallel::fanout_count();
+        step_grouped(&mut opt, &groups, &mut x, &g);
+        assert_eq!(
+            parallel::fanout_count() - before,
+            1,
+            "grouped step must fuse"
+        );
     }
 
     #[test]

@@ -34,7 +34,7 @@
 //! paths light up where the CPU supports them.
 //!
 //! Multi-threading splits the rows of `C` into contiguous blocks, one per
-//! thread, via [`parallel::scoped_chunks_mut`]; each B panel is packed
+//! thread, via [`parallel::chunks_mut`]; each B panel is packed
 //! once by the calling thread and shared read-only, and every worker owns
 //! a pooled A buffer (wrapped in a never-contended `Mutex` purely for the
 //! borrow checker). The thread count defaults to
@@ -518,7 +518,7 @@ fn run_gemm<const NR: usize>(
                 // accumulate onto the partial results.
                 let beta_cur = if pc == 0 { beta } else { 1.0 };
                 let (bbuf, abufs) = (&bbuf, &abufs);
-                parallel::scoped_chunks_mut(c, n, threads, |row0, c_rows| {
+                parallel::chunks_mut(c, n, threads, |row0, c_rows| {
                     let mut abuf = abufs[row0 / rows_per_chunk]
                         .lock()
                         .expect("gemm A-buffer lock");

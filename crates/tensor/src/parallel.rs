@@ -1,22 +1,57 @@
-//! Scoped-thread work partitioning for the kernel layer.
+//! The persistent worker-pool runtime of the kernel layer.
 //!
 //! The build environment is offline, so there is no rayon: this module is
 //! the minimal std-only substitute the compute kernels share. Work is
 //! always split into *contiguous, disjoint* chunks of an output buffer, so
-//! no synchronization beyond [`std::thread::scope`]'s join is ever needed.
+//! the only synchronization a dispatch needs is the pool's own completion
+//! barrier.
+//!
+//! # Pool lifecycle
+//!
+//! [`Pool::global`] lazily spawns [`num_threads`]` - 1` workers on first
+//! use and pins them for the rest of the process — the calling thread
+//! always participates in its own dispatch, so the pool plus the caller
+//! together are exactly `num_threads()` lanes. Every parallel region in
+//! the workspace (GEMM row partitioning, norm kernels, the fused EMA
+//! sweep, the sharded optimizer step) publishes its job to this one pool
+//! instead of opening a fresh [`std::thread::scope`]; a dispatch is a
+//! mutex/condvar hand-off, not a spawn/join round.
+//!
+//! Dispatching *from inside* a dispatch (a kernel called from a pool
+//! task) runs inline on the current thread: chunk *plans* — not worker
+//! counts — determine results in this codebase (reductions are
+//! block-structured and fixed-order, see `yf_tensor::reduce`), so the
+//! inline path is bitwise identical and oversubscription is impossible by
+//! construction. A panic inside a task is caught, the pool survives, and
+//! the panic payload resurfaces on the publishing thread — the same
+//! observable behavior scoped joins had.
+//!
+//! # Naming parallelism: [`Par`]
+//!
+//! Kernels take a single [`Par`] parameter instead of an ad-hoc trailing
+//! `threads: usize`: [`Par::pool`] (full kernel-layer width),
+//! [`Par::serial`], or [`Par::threads`] for an explicit cap.
+//! `impl From<usize>` keeps `usize` call sites working: `n` means what it
+//! always meant, "at most `n` chunks".
 //!
 //! The thread count comes from `YF_NUM_THREADS` when set (any positive
-//! integer), else from [`std::thread::available_parallelism`]. Kernels that
-//! want explicit control (e.g. the property tests that compare 1-thread and
-//! N-thread results) take a thread count parameter instead of calling
-//! [`num_threads`] themselves.
+//! integer), else from [`std::thread::available_parallelism`]. It is read
+//! **once per process** (first call to [`num_threads`]) and cached;
+//! changing the environment variable afterwards has no effect.
 
-/// Minimum elements of work per additional worker thread. Below this a
-/// scoped spawn costs more than the loop it offloads; kernels gate their
-/// fan-out on it via [`threads_for`].
+use std::any::Any;
+use std::cell::Cell;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::thread::JoinHandle;
+
+/// Minimum elements of work per additional worker. Below this a dispatch
+/// costs more than the loop it offloads; kernels gate their fan-out on it
+/// via [`threads_for`].
 pub const MIN_PAR_ELEMS: usize = 1 << 14;
 
-/// Thread count for a kernel touching `elems` elements: one worker per
+/// Chunk count for a kernel touching `elems` elements: one lane per
 /// [`MIN_PAR_ELEMS`] block of work, capped at [`num_threads`]. Small
 /// workloads get 1 (a plain call), and the fan-out grows with the
 /// workload instead of jumping straight to the machine width.
@@ -26,20 +61,594 @@ pub fn threads_for(elems: usize) -> usize {
 
 /// The kernel-layer thread count: `YF_NUM_THREADS` if set and positive,
 /// otherwise the machine's available parallelism (1 if unknown).
+///
+/// Resolved on the first call and cached for the process lifetime (the
+/// global pool is sized from it, so a later change could not take effect
+/// anyway).
 pub fn num_threads() -> usize {
-    std::env::var("YF_NUM_THREADS")
-        .ok()
-        .and_then(|v| v.parse::<usize>().ok())
-        .filter(|&n| n > 0)
-        .unwrap_or_else(|| {
-            std::thread::available_parallelism()
-                .map(|n| n.get())
-                .unwrap_or(1)
-        })
+    static CACHED: OnceLock<usize> = OnceLock::new();
+    *CACHED.get_or_init(|| {
+        std::env::var("YF_NUM_THREADS")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .filter(|&n| n > 0)
+            .unwrap_or_else(|| {
+                std::thread::available_parallelism()
+                    .map(|n| n.get())
+                    .unwrap_or(1)
+            })
+    })
 }
 
-/// Rows per chunk that [`scoped_chunks_mut`] hands each worker for a
-/// `rows`-row workload at `threads` threads. Exposed so callers can
+/// How a kernel should split its work — the one way every kernel
+/// signature in the workspace names parallelism.
+///
+/// `Par` decides a *chunk budget*; the kernel still clamps it to the
+/// workload via [`threads_for`]-style gating, and the chunk plan (not the
+/// number of workers that happen to execute it) determines the result
+/// bitwise.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Par {
+    /// Use the full kernel-layer width ([`num_threads`]).
+    #[default]
+    Pool,
+    /// Run serially on the calling thread.
+    Serial,
+    /// Split into at most this many chunks (0 is treated as 1).
+    Threads(usize),
+}
+
+impl Par {
+    /// Full kernel-layer width.
+    pub fn pool() -> Self {
+        Par::Pool
+    }
+
+    /// Single-chunk, calling-thread execution.
+    pub fn serial() -> Self {
+        Par::Serial
+    }
+
+    /// At most `n` chunks — what a trailing `threads: usize` used to mean.
+    pub fn threads(n: usize) -> Self {
+        Par::Threads(n)
+    }
+
+    /// The chunk budget before workload-based clamping.
+    pub fn budget(self) -> usize {
+        match self {
+            Par::Pool => num_threads(),
+            Par::Serial => 1,
+            Par::Threads(n) => n.max(1),
+        }
+    }
+
+    /// The chunk count for a workload of `elems` elements: the budget
+    /// capped by [`threads_for`] (so small workloads stay serial).
+    pub fn chunks_for(self, elems: usize) -> usize {
+        self.budget().min(threads_for(elems))
+    }
+}
+
+impl From<usize> for Par {
+    /// `n` chunks at most — back-compat with the old `threads: usize`
+    /// kernel arguments (0 is clamped to 1, as it always was).
+    fn from(n: usize) -> Par {
+        Par::Threads(n)
+    }
+}
+
+thread_local! {
+    /// Count of top-level pool dispatches ("fan-outs") published from
+    /// this thread. Nested dispatches (which run inline) and single-chunk
+    /// plans (plain calls) do not count.
+    static FANOUTS: Cell<u64> = const { Cell::new(0) };
+}
+
+/// The number of top-level pool fan-outs this thread has published. Take
+/// a delta around a region to count its dispatches — `perf_report` uses
+/// this to assert the fused optimizer step costs exactly one fan-out.
+/// Thread-local, so concurrent activity elsewhere cannot skew a count.
+pub fn fanout_count() -> u64 {
+    FANOUTS.with(|c| c.get())
+}
+
+thread_local! {
+    /// True while this thread is executing inside a pool dispatch —
+    /// either as a worker or as a publishing caller. Nested dispatches
+    /// check it and run inline.
+    static IN_DISPATCH: Cell<bool> = const { Cell::new(false) };
+}
+
+struct DispatchGuard;
+
+impl DispatchGuard {
+    fn enter() -> DispatchGuard {
+        IN_DISPATCH.with(|f| f.set(true));
+        DispatchGuard
+    }
+}
+
+impl Drop for DispatchGuard {
+    fn drop(&mut self) {
+        IN_DISPATCH.with(|f| f.set(false));
+    }
+}
+
+/// A task function with its borrow lifetime erased so it can sit in the
+/// pool's job slot. Only dereferenced while the publisher is blocked in
+/// the same dispatch, which keeps the closure alive.
+type RawTask = *const (dyn Fn(usize) + Sync);
+
+fn erase<'a>(f: &'a (dyn Fn(usize) + Sync + 'a)) -> RawTask {
+    let p: *const (dyn Fn(usize) + Sync + 'a) = f;
+    // A fat pointer's layout does not depend on its lifetime bound; this
+    // only forgets the borrow, which `Job`'s completion barrier restores
+    // the meaning of (no deref after the publisher unblocks).
+    unsafe { std::mem::transmute::<*const (dyn Fn(usize) + Sync + 'a), RawTask>(p) }
+}
+
+/// One published dispatch: up to two phases of indexed tasks with a
+/// caller-side critical section between them (see [`Pool::run_phased`]).
+struct Job {
+    f1: RawTask,
+    n1: usize,
+    f2: RawTask,
+    n2: usize,
+    /// Next unclaimed task index per phase. Claiming is lock-free; a
+    /// claim at or past the phase length means "no work left".
+    next1: AtomicUsize,
+    next2: AtomicUsize,
+    sync: Mutex<Progress>,
+    cv: Condvar,
+}
+
+struct Progress {
+    done1: usize,
+    done2: usize,
+    /// Set by the publisher once phase 1 and the mid section finished;
+    /// workers park on the job condvar until then.
+    phase2_open: bool,
+    /// First panic payload from any task, rethrown by the publisher.
+    panic: Option<Box<dyn Any + Send>>,
+}
+
+// SAFETY: the raw task pointers are only dereferenced by threads that
+// claimed an in-range task index, and the publisher does not return (or
+// unwind) before every claimed index of a phase has completed — the
+// closures therefore outlive every dereference. All other state is
+// atomics or mutex-protected.
+unsafe impl Send for Job {}
+unsafe impl Sync for Job {}
+
+impl Job {
+    fn new(f1: RawTask, n1: usize, f2: RawTask, n2: usize) -> Job {
+        Job {
+            f1,
+            n1,
+            f2,
+            n2,
+            next1: AtomicUsize::new(0),
+            next2: AtomicUsize::new(0),
+            sync: Mutex::new(Progress {
+                done1: 0,
+                done2: 0,
+                phase2_open: false,
+                panic: None,
+            }),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Claims and runs tasks of one phase until none remain. Panics are
+    /// caught into `Progress::panic`; completion counts always advance,
+    /// so barriers cannot hang on a panicking task.
+    fn run_tasks(&self, phase2: bool) {
+        let (next, n, f) = if phase2 {
+            (&self.next2, self.n2, self.f2)
+        } else {
+            (&self.next1, self.n1, self.f1)
+        };
+        loop {
+            let i = next.fetch_add(1, Ordering::Relaxed);
+            if i >= n {
+                return;
+            }
+            // SAFETY: `i < n`, so the publisher is still blocked in this
+            // dispatch and the closure is alive (see `Job`'s safety note).
+            let task = unsafe { &*f };
+            let result = catch_unwind(AssertUnwindSafe(|| task(i)));
+            let mut g = self.sync.lock().expect("pool job lock");
+            if let Err(p) = result {
+                g.panic.get_or_insert(p);
+            }
+            if phase2 {
+                g.done2 += 1;
+            } else {
+                g.done1 += 1;
+            }
+            drop(g);
+            self.cv.notify_all();
+        }
+    }
+
+    /// Worker-side entry: help with phase 1, wait for the mid section,
+    /// help with phase 2. Returns immediately on jobs that are already
+    /// drained (a worker can pick a completed job out of the slot).
+    fn assist(&self) {
+        self.run_tasks(false);
+        if self.n2 == 0 {
+            return;
+        }
+        let mut g = self.sync.lock().expect("pool job lock");
+        while !g.phase2_open {
+            g = self.cv.wait(g).expect("pool job lock");
+        }
+        drop(g);
+        self.run_tasks(true);
+    }
+
+    /// Blocks until all tasks of the phase completed (panicked tasks
+    /// count as completed; the payload is picked up separately).
+    fn wait_done(&self, phase2: bool) {
+        let n = if phase2 { self.n2 } else { self.n1 };
+        let mut g = self.sync.lock().expect("pool job lock");
+        while (if phase2 { g.done2 } else { g.done1 }) < n {
+            g = self.cv.wait(g).expect("pool job lock");
+        }
+    }
+
+    /// Releases workers into phase 2. With `skip`, phase-2 tasks are
+    /// abandoned first (claim counter exhausted) so workers drain and
+    /// exit without touching `f2` — the publisher is about to unwind.
+    fn open_phase2(&self, skip: bool) {
+        if skip {
+            self.next2.store(self.n2, Ordering::Relaxed);
+        }
+        let mut g = self.sync.lock().expect("pool job lock");
+        g.phase2_open = true;
+        drop(g);
+        self.cv.notify_all();
+    }
+
+    fn take_panic(&self) -> Option<Box<dyn Any + Send>> {
+        self.sync.lock().expect("pool job lock").panic.take()
+    }
+}
+
+struct SlotState {
+    /// Bumped on every publish; workers re-check the slot when it moves.
+    generation: u64,
+    job: Option<Arc<Job>>,
+    shutdown: bool,
+}
+
+struct PoolShared {
+    slot: Mutex<SlotState>,
+    cv: Condvar,
+}
+
+/// A set of persistent worker threads that kernel fan-outs dispatch onto.
+///
+/// Almost all code wants [`Pool::global`]; private pools exist so tests
+/// can pin behavior at specific worker counts. The publishing thread
+/// always participates in its own job — a pool with zero workers is
+/// valid and simply runs everything inline.
+///
+/// Publishing is a single shared job slot: each dispatch overwrites it
+/// and wakes the workers, which claim task indices from an atomic
+/// counter. Because the publisher drives its own job to completion, a
+/// job bumped out of the slot by a concurrent publisher merely loses
+/// helpers — progress never depends on workers seeing any particular
+/// job, so concurrent dispatches from independent threads are safe (if
+/// rare: the main trainers publish from one thread).
+pub struct Pool {
+    shared: Arc<PoolShared>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Pool {
+    /// A private pool with exactly `workers` worker threads (plus the
+    /// caller, at dispatch time). Dropping it shuts the workers down.
+    pub fn new(workers: usize) -> Pool {
+        let shared = Arc::new(PoolShared {
+            slot: Mutex::new(SlotState {
+                generation: 0,
+                job: None,
+                shutdown: false,
+            }),
+            cv: Condvar::new(),
+        });
+        let handles = (0..workers)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("yf-pool-{i}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("pool: spawning worker thread")
+            })
+            .collect();
+        Pool {
+            shared,
+            workers: handles,
+        }
+    }
+
+    /// The process-wide pool: `num_threads() - 1` workers, spawned on
+    /// first use, pinned until process exit.
+    pub fn global() -> &'static Pool {
+        static GLOBAL: OnceLock<Pool> = OnceLock::new();
+        GLOBAL.get_or_init(|| Pool::new(num_threads().saturating_sub(1)))
+    }
+
+    /// Number of worker threads (the caller lane is not counted).
+    pub fn workers(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Fans `tasks` indexed calls of `f` out over the pool and the
+    /// calling thread, returning when all completed. One task (or a
+    /// nested dispatch) runs inline. If a task panics, the pool survives
+    /// and the panic resumes on this thread after the barrier.
+    pub fn run<F>(&self, tasks: usize, f: F)
+    where
+        F: Fn(usize) + Sync,
+    {
+        self.run_phased(tasks, f, || (), 0, |_| {});
+    }
+
+    /// One dispatch, two task phases, with a caller-side critical
+    /// section between them: runs `f1(0..n1)` across the pool, then
+    /// `mid()` exactly once on the calling thread after *all* phase-1
+    /// tasks completed, then `f2(0..n2)` across the pool. Workers stay
+    /// parked on the job between the phases — the whole thing is a
+    /// single fan-out, which is what lets a sharded optimizer step run
+    /// measure → combine → apply without a second spawn round.
+    ///
+    /// `mid` may freely mutate state the phase closures borrow shared
+    /// (via locks/interior mutability): the phase barrier guarantees no
+    /// task is executing while it runs.
+    ///
+    /// Panic semantics match scoped threads: a phase-1 (or `mid`) panic
+    /// skips everything after it and resumes on the caller; phase-2
+    /// panics resume after the final barrier. The pool always survives.
+    pub fn run_phased<R, F1, M, F2>(&self, n1: usize, f1: F1, mid: M, n2: usize, f2: F2) -> R
+    where
+        F1: Fn(usize) + Sync,
+        M: FnOnce() -> R,
+        F2: Fn(usize) + Sync,
+    {
+        let inline = |f1: &F1, mid: M, f2: &F2| {
+            for i in 0..n1 {
+                f1(i);
+            }
+            let r = mid();
+            for i in 0..n2 {
+                f2(i);
+            }
+            r
+        };
+        if IN_DISPATCH.with(|f| f.get()) {
+            // Nested dispatch: bitwise identical inline (the chunk plan,
+            // not the execution, determines results), and it keeps an
+            // optimizer step at exactly one fan-out.
+            return inline(&f1, mid, &f2);
+        }
+        if n1 + n2 <= 1 {
+            // A plain call, not a fan-out.
+            return inline(&f1, mid, &f2);
+        }
+        let _guard = DispatchGuard::enter();
+        // Count the logical fan-out even on a worker-less pool (1-core
+        // machines still measure "one dispatch per step" honestly).
+        FANOUTS.with(|c| c.set(c.get() + 1));
+        if self.workers.is_empty() {
+            return inline(&f1, mid, &f2);
+        }
+        let job = Arc::new(Job::new(erase(&f1), n1, erase(&f2), n2));
+        {
+            let mut slot = self.shared.slot.lock().expect("pool slot lock");
+            slot.generation += 1;
+            slot.job = Some(Arc::clone(&job));
+        }
+        self.shared.cv.notify_all();
+        job.run_tasks(false);
+        job.wait_done(false);
+        if let Some(p) = job.take_panic() {
+            job.open_phase2(true);
+            resume_unwind(p);
+        }
+        let r = match catch_unwind(AssertUnwindSafe(mid)) {
+            Ok(r) => r,
+            Err(p) => {
+                job.open_phase2(true);
+                resume_unwind(p);
+            }
+        };
+        job.open_phase2(false);
+        job.run_tasks(true);
+        job.wait_done(true);
+        if let Some(p) = job.take_panic() {
+            resume_unwind(p);
+        }
+        r
+    }
+
+    /// Splits `data` into contiguous chunks of whole `unit`-element rows
+    /// per the `par` budget and runs `f(first_row, chunk)` on every chunk
+    /// across the pool. With a single-chunk plan this is a plain call, so
+    /// serial use has zero overhead.
+    ///
+    /// `data.len()` must be a multiple of `unit`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `unit == 0` or `data.len()` is not a multiple of `unit`.
+    pub fn chunks_mut<T, F>(&self, data: &mut [T], unit: usize, par: impl Into<Par>, f: F)
+    where
+        T: Send,
+        F: Fn(usize, &mut [T]) + Sync,
+    {
+        assert!(unit > 0, "chunks_mut: unit must be positive");
+        assert_eq!(
+            data.len() % unit,
+            0,
+            "chunks_mut: data length {} is not a multiple of unit {unit}",
+            data.len()
+        );
+        if data.is_empty() {
+            return;
+        }
+        let rows = data.len() / unit;
+        let chunks = par.into().budget().clamp(1, rows);
+        if chunks <= 1 {
+            f(0, data);
+            return;
+        }
+        let rows_per_chunk = chunk_rows(rows, chunks);
+        type Slot<'s, T> = Mutex<Option<(usize, &'s mut [T])>>;
+        let mut slots: Vec<Slot<'_, T>> = Vec::with_capacity(chunks);
+        let mut rest = data;
+        let mut row = 0;
+        while !rest.is_empty() {
+            let take = (rows_per_chunk * unit).min(rest.len());
+            let (chunk, tail) = rest.split_at_mut(take);
+            slots.push(Mutex::new(Some((row, chunk))));
+            row += take / unit;
+            rest = tail;
+        }
+        self.run(slots.len(), |i| {
+            let (first_row, chunk) = slots[i]
+                .lock()
+                .expect("pool chunk slot")
+                .take()
+                .expect("pool chunk claimed twice");
+            f(first_row, chunk);
+        });
+    }
+
+    /// Like [`Pool::chunks_mut`] but splits **two** buffers by the same
+    /// row partition: row `r` of `a` is `unit_a` elements, row `r` of `b`
+    /// is `unit_b` elements, and `f(first_row, a_chunk, b_chunk)` receives
+    /// the matching chunks. This is what reduction kernels that produce
+    /// paired outputs (values + indices, means + inverse stds) fan out on.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either unit is zero, either length is not a multiple of
+    /// its unit, or the row counts disagree.
+    pub fn chunks_mut2<A, B, F>(
+        &self,
+        a: &mut [A],
+        unit_a: usize,
+        b: &mut [B],
+        unit_b: usize,
+        par: impl Into<Par>,
+        f: F,
+    ) where
+        A: Send,
+        B: Send,
+        F: Fn(usize, &mut [A], &mut [B]) + Sync,
+    {
+        assert!(
+            unit_a > 0 && unit_b > 0,
+            "chunks_mut2: units must be positive"
+        );
+        assert_eq!(
+            a.len() % unit_a,
+            0,
+            "chunks_mut2: a length {} vs unit {unit_a}",
+            a.len()
+        );
+        assert_eq!(
+            b.len() % unit_b,
+            0,
+            "chunks_mut2: b length {} vs unit {unit_b}",
+            b.len()
+        );
+        let rows = a.len() / unit_a;
+        assert_eq!(rows, b.len() / unit_b, "chunks_mut2: row count mismatch");
+        if rows == 0 {
+            return;
+        }
+        let chunks = par.into().budget().clamp(1, rows);
+        if chunks <= 1 {
+            f(0, a, b);
+            return;
+        }
+        let rows_per_chunk = chunk_rows(rows, chunks);
+        type Slot2<'s, A, B> = Mutex<Option<(usize, &'s mut [A], &'s mut [B])>>;
+        let mut slots: Vec<Slot2<'_, A, B>> = Vec::with_capacity(chunks);
+        let (mut rest_a, mut rest_b) = (a, b);
+        let mut row = 0;
+        while !rest_a.is_empty() {
+            let take_rows = rows_per_chunk.min(rest_a.len() / unit_a);
+            let (chunk_a, tail_a) = rest_a.split_at_mut(take_rows * unit_a);
+            let (chunk_b, tail_b) = rest_b.split_at_mut(take_rows * unit_b);
+            slots.push(Mutex::new(Some((row, chunk_a, chunk_b))));
+            row += take_rows;
+            rest_a = tail_a;
+            rest_b = tail_b;
+        }
+        self.run(slots.len(), |i| {
+            let (first_row, chunk_a, chunk_b) = slots[i]
+                .lock()
+                .expect("pool chunk slot")
+                .take()
+                .expect("pool chunk claimed twice");
+            f(first_row, chunk_a, chunk_b);
+        });
+    }
+}
+
+impl Drop for Pool {
+    fn drop(&mut self) {
+        {
+            let mut slot = self.shared.slot.lock().expect("pool slot lock");
+            slot.shutdown = true;
+        }
+        self.shared.cv.notify_all();
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+impl std::fmt::Debug for Pool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Pool")
+            .field("workers", &self.workers.len())
+            .finish()
+    }
+}
+
+fn worker_loop(shared: &PoolShared) {
+    // A worker is permanently "inside a dispatch": anything a task calls
+    // that would fan out runs inline on this thread instead.
+    IN_DISPATCH.with(|f| f.set(true));
+    let mut seen = 0u64;
+    loop {
+        let job = {
+            let mut slot = shared.slot.lock().expect("pool slot lock");
+            loop {
+                if slot.shutdown {
+                    return;
+                }
+                if slot.generation != seen {
+                    seen = slot.generation;
+                    break slot.job.clone();
+                }
+                slot = shared.cv.wait(slot).expect("pool slot lock");
+            }
+        };
+        if let Some(job) = job {
+            job.assist();
+        }
+    }
+}
+
+/// Rows per chunk that [`chunks_mut`] hands each worker for a `rows`-row
+/// workload at a `threads`-chunk budget. Exposed so callers can
 /// pre-provision per-chunk state (chunk index = `first_row / chunk_rows`).
 ///
 /// # Panics
@@ -50,142 +659,42 @@ pub fn chunk_rows(rows: usize, threads: usize) -> usize {
     rows.div_ceil(threads.clamp(1, rows))
 }
 
-/// Splits `data` into at most `threads` contiguous chunks, each a whole
-/// number of `unit`-element rows, and runs `f(first_row, chunk)` on every
-/// chunk — on scoped worker threads when more than one chunk results, with
-/// the final chunk processed on the calling thread.
-///
-/// `data.len()` must be a multiple of `unit`. With `threads <= 1` (or a
-/// single row) this is a plain function call, so single-threaded use has
-/// zero overhead.
-///
-/// # Panics
-///
-/// Panics if `unit == 0` or `data.len()` is not a multiple of `unit`.
-pub fn scoped_chunks_mut<T, F>(data: &mut [T], unit: usize, threads: usize, f: F)
+/// [`Pool::chunks_mut`] on the global pool — the way kernels fan row
+/// ranges of an output buffer out.
+pub fn chunks_mut<T, F>(data: &mut [T], unit: usize, par: impl Into<Par>, f: F)
 where
     T: Send,
     F: Fn(usize, &mut [T]) + Sync,
 {
-    assert!(unit > 0, "scoped_chunks_mut: unit must be positive");
-    assert_eq!(
-        data.len() % unit,
-        0,
-        "scoped_chunks_mut: data length {} is not a multiple of unit {unit}",
-        data.len()
-    );
-    if data.is_empty() {
-        return;
-    }
-    let rows = data.len() / unit;
-    let threads = threads.clamp(1, rows);
-    if threads <= 1 {
-        f(0, data);
-        return;
-    }
-    let rows_per_chunk = chunk_rows(rows, threads);
-    std::thread::scope(|scope| {
-        let f = &f;
-        let mut rest = data;
-        let mut row = 0;
-        while !rest.is_empty() {
-            let take = (rows_per_chunk * unit).min(rest.len());
-            let (chunk, tail) = rest.split_at_mut(take);
-            let first_row = row;
-            row += take / unit;
-            rest = tail;
-            if row == rows {
-                f(first_row, chunk);
-            } else {
-                scope.spawn(move || f(first_row, chunk));
-            }
-        }
-    });
+    Pool::global().chunks_mut(data, unit, par, f);
 }
 
-/// Like [`scoped_chunks_mut`] but splits **two** buffers by the same row
-/// partition: row `r` of `a` is `unit_a` elements, row `r` of `b` is
-/// `unit_b` elements, and `f(first_row, a_chunk, b_chunk)` receives the
-/// matching chunks. This is what reduction kernels that produce paired
-/// outputs (values + indices, means + inverse stds) fan out on.
-///
-/// # Panics
-///
-/// Panics if either unit is zero, either length is not a multiple of its
-/// unit, or the row counts disagree.
-pub fn scoped_chunks_mut2<A, B, F>(
+/// [`Pool::chunks_mut2`] on the global pool.
+pub fn chunks_mut2<A, B, F>(
     a: &mut [A],
     unit_a: usize,
     b: &mut [B],
     unit_b: usize,
-    threads: usize,
+    par: impl Into<Par>,
     f: F,
 ) where
     A: Send,
     B: Send,
     F: Fn(usize, &mut [A], &mut [B]) + Sync,
 {
-    assert!(
-        unit_a > 0 && unit_b > 0,
-        "scoped_chunks_mut2: units must be positive"
-    );
-    assert_eq!(
-        a.len() % unit_a,
-        0,
-        "scoped_chunks_mut2: a length {} vs unit {unit_a}",
-        a.len()
-    );
-    assert_eq!(
-        b.len() % unit_b,
-        0,
-        "scoped_chunks_mut2: b length {} vs unit {unit_b}",
-        b.len()
-    );
-    let rows = a.len() / unit_a;
-    assert_eq!(
-        rows,
-        b.len() / unit_b,
-        "scoped_chunks_mut2: row count mismatch"
-    );
-    if rows == 0 {
-        return;
-    }
-    let threads = threads.clamp(1, rows);
-    if threads <= 1 {
-        f(0, a, b);
-        return;
-    }
-    let rows_per_chunk = chunk_rows(rows, threads);
-    std::thread::scope(|scope| {
-        let f = &f;
-        let (mut rest_a, mut rest_b) = (a, b);
-        let mut row = 0;
-        while !rest_a.is_empty() {
-            let take_rows = rows_per_chunk.min(rest_a.len() / unit_a);
-            let (chunk_a, tail_a) = rest_a.split_at_mut(take_rows * unit_a);
-            let (chunk_b, tail_b) = rest_b.split_at_mut(take_rows * unit_b);
-            let first_row = row;
-            row += take_rows;
-            rest_a = tail_a;
-            rest_b = tail_b;
-            if row == rows {
-                f(first_row, chunk_a, chunk_b);
-            } else {
-                scope.spawn(move || f(first_row, chunk_a, chunk_b));
-            }
-        }
-    });
+    Pool::global().chunks_mut2(a, unit_a, b, unit_b, par, f);
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::sync::atomic::AtomicUsize;
 
     #[test]
     fn covers_all_rows_once() {
         for threads in [1, 2, 3, 7, 64] {
             let mut data = vec![0u32; 10 * 3];
-            scoped_chunks_mut(&mut data, 3, threads, |first_row, chunk| {
+            chunks_mut(&mut data, 3, threads, |first_row, chunk| {
                 for (r, row) in chunk.chunks_mut(3).enumerate() {
                     for v in row {
                         *v += (first_row + r) as u32 + 1;
@@ -200,12 +709,14 @@ mod tests {
     #[test]
     fn empty_input_is_a_noop() {
         let mut data: Vec<f32> = Vec::new();
-        scoped_chunks_mut(&mut data, 4, 8, |_, _| panic!("no chunks expected"));
+        chunks_mut(&mut data, 4, 8, |_, _| panic!("no chunks expected"));
     }
 
     #[test]
-    fn num_threads_is_positive() {
+    fn num_threads_is_positive_and_stable() {
         assert!(num_threads() >= 1);
+        // Cached: the same value on every call.
+        assert_eq!(num_threads(), num_threads());
     }
 
     #[test]
@@ -221,7 +732,7 @@ mod tests {
         for threads in [1, 2, 5, 16] {
             let mut vals = vec![0u32; 7 * 4];
             let mut tags = vec![0u32; 7];
-            scoped_chunks_mut2(&mut vals, 4, &mut tags, 1, threads, |first, va, tb| {
+            chunks_mut2(&mut vals, 4, &mut tags, 1, threads, |first, va, tb| {
                 assert_eq!(va.len() / 4, tb.len());
                 for (r, (row, tag)) in va.chunks_mut(4).zip(tb.iter_mut()).enumerate() {
                     let id = (first + r) as u32;
@@ -241,6 +752,186 @@ mod tests {
     fn paired_chunks_reject_ragged_rows() {
         let mut a = vec![0f32; 8];
         let mut b = vec![0f32; 3];
-        scoped_chunks_mut2(&mut a, 2, &mut b, 1, 2, |_, _, _| {});
+        chunks_mut2(&mut a, 2, &mut b, 1, 2, |_, _, _| {});
+    }
+
+    #[test]
+    fn par_from_usize_keeps_threads_semantics() {
+        assert_eq!(Par::from(0).budget(), 1);
+        assert_eq!(Par::from(3).budget(), 3);
+        assert_eq!(Par::serial().budget(), 1);
+        assert_eq!(Par::pool().budget(), num_threads());
+        assert_eq!(Par::threads(5), Par::Threads(5));
+        // chunks_for clamps to the workload-derived width.
+        assert_eq!(Par::threads(64).chunks_for(10), 1);
+    }
+
+    #[test]
+    fn private_pool_runs_all_tasks() {
+        for workers in [0, 1, 3] {
+            let pool = Pool::new(workers);
+            let hits: Vec<AtomicUsize> = (0..10).map(|_| AtomicUsize::new(0)).collect();
+            pool.run(10, |i| {
+                hits[i].fetch_add(1, Ordering::Relaxed);
+            });
+            for (i, h) in hits.iter().enumerate() {
+                assert_eq!(h.load(Ordering::Relaxed), 1, "task {i}, workers {workers}");
+            }
+        }
+    }
+
+    #[test]
+    fn run_phased_orders_mid_between_phases() {
+        let pool = Pool::new(2);
+        let n = 8;
+        let stage = Mutex::new(vec![0u8; n]);
+        let out = pool.run_phased(
+            n,
+            |i| stage.lock().unwrap()[i] = 1,
+            || {
+                let s = stage.lock().unwrap();
+                assert!(s.iter().all(|&v| v == 1), "mid saw incomplete phase 1");
+                42
+            },
+            n,
+            |i| {
+                let mut s = stage.lock().unwrap();
+                assert_eq!(s[i], 1);
+                s[i] = 2;
+            },
+        );
+        assert_eq!(out, 42);
+        assert!(stage.lock().unwrap().iter().all(|&v| v == 2));
+    }
+
+    /// The scoped-thread reference the pool replaced: same chunk plan,
+    /// one `std::thread::scope` spawn per chunk.
+    fn scoped_reference(
+        data: &mut [f32],
+        unit: usize,
+        budget: usize,
+        f: impl Fn(usize, &mut [f32]) + Sync,
+    ) {
+        let rows = data.len() / unit;
+        if rows == 0 {
+            return;
+        }
+        let per = chunk_rows(rows, budget.clamp(1, rows));
+        std::thread::scope(|scope| {
+            let mut rest = data;
+            let mut first = 0;
+            while !rest.is_empty() {
+                let take = (per * unit).min(rest.len());
+                let (chunk, tail) = rest.split_at_mut(take);
+                rest = tail;
+                let start = first;
+                let f = &f;
+                scope.spawn(move || f(start, chunk));
+                first += take / unit;
+            }
+        });
+    }
+
+    #[test]
+    fn pool_matches_scoped_threads_bitwise() {
+        // The determinism contract: results depend on the chunk plan,
+        // never on who executes it. A float kernel with order-sensitive
+        // accumulation per row must agree bit-for-bit between the pool
+        // (any worker count) and plain scoped threads.
+        let kernel = |first: usize, chunk: &mut [f32]| {
+            for (r, row) in chunk.chunks_mut(4).enumerate() {
+                let mut acc = 0.1f32 * (first + r) as f32;
+                for (c, v) in row.iter_mut().enumerate() {
+                    acc = acc * 1.000_1 + (c as f32).sin();
+                    *v = acc;
+                }
+            }
+        };
+        let init: Vec<f32> = (0..33 * 4).map(|i| (i as f32 * 0.7).cos()).collect();
+        for budget in [1usize, 2, 4, 7] {
+            let mut want = init.clone();
+            scoped_reference(&mut want, 4, budget, kernel);
+            for workers in [1usize, 2, 4, 7] {
+                let pool = Pool::new(workers);
+                let mut got = init.clone();
+                pool.chunks_mut(&mut got, 4, budget, kernel);
+                assert_eq!(got, want, "workers = {workers}, budget = {budget}");
+            }
+        }
+    }
+
+    #[test]
+    fn nested_dispatch_is_reentrant() {
+        // A task running on a pool worker (or the dispatching caller) may
+        // itself dispatch: the inner fan-out runs inline instead of
+        // deadlocking on the occupied pool.
+        let pool = Pool::new(3);
+        let hits = AtomicUsize::new(0);
+        pool.run(4, |_| {
+            Pool::global().run(4, |_| {
+                hits.fetch_add(1, Ordering::Relaxed);
+            });
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 16);
+    }
+
+    #[test]
+    fn worker_panic_propagates_and_pool_survives() {
+        let pool = Pool::new(2);
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            pool.run(4, |i| {
+                if i == 2 {
+                    panic!("boom in task");
+                }
+            });
+        }));
+        assert!(caught.is_err(), "task panic must resume on the caller");
+        // The workers are still parked and serviceable.
+        let hits = AtomicUsize::new(0);
+        pool.run(8, |_| {
+            hits.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 8);
+    }
+
+    #[test]
+    fn phase_one_panic_skips_mid_and_phase_two() {
+        let pool = Pool::new(2);
+        let phase2 = AtomicUsize::new(0);
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            pool.run_phased(
+                4,
+                |i| {
+                    if i == 1 {
+                        panic!("boom in phase 1");
+                    }
+                },
+                || panic!("mid must not run after a phase-1 panic"),
+                4,
+                |_| {
+                    phase2.fetch_add(1, Ordering::Relaxed);
+                },
+            )
+        }));
+        assert!(caught.is_err());
+        assert_eq!(phase2.load(Ordering::Relaxed), 0, "phase 2 must be skipped");
+        // Still serviceable afterwards.
+        pool.run(2, |_| {});
+    }
+
+    #[test]
+    fn fanout_counter_counts_top_level_dispatches_only() {
+        let before = fanout_count();
+        let mut data = vec![0f32; 64];
+        // Single-chunk plan: a plain call, no fan-out.
+        chunks_mut(&mut data, 1, 1, |_, c| c.fill(1.0));
+        assert_eq!(fanout_count(), before);
+        // Multi-chunk plan: exactly one fan-out, even though the inner
+        // dispatch nests.
+        chunks_mut(&mut data, 1, 4, |_, c| {
+            chunks_mut(c, 1, 4, |_, cc| cc.iter_mut().for_each(|v| *v += 1.0));
+        });
+        assert_eq!(fanout_count(), before + 1);
+        assert!(data.iter().all(|&v| v == 2.0));
     }
 }

@@ -18,6 +18,8 @@
 //! sequence and reduce to the same bits. The sharded optimizer drivers in
 //! `yf-optim` align their observe partitions on this contract.
 
+use crate::parallel::{self, Par};
+
 /// Elements per reduction block. Shard offsets feeding the blocked
 /// kernels must be multiples of this.
 pub const BLOCK: usize = 1024;
@@ -222,12 +224,13 @@ pub fn variance_blocks(b1: &[f64], b2: &[f64], corr: f64, var_blocks: &mut [f64]
     }
 }
 
-/// Parallel driver for [`ema_update_stats`]: splits the sweep into at
-/// most `threads` block-aligned chunks on scoped threads and returns the
-/// tree-combined variance total. Bitwise identical for every `threads`
-/// value — chunk boundaries land on block boundaries, each block's sum is
-/// computed by exactly one thread, and the final combine is the fixed
-/// [`tree_reduce`] over all blocks in order.
+/// Parallel driver for [`ema_update_stats`]: splits the sweep into
+/// block-aligned chunks per the [`Par`] budget, fans them out on the
+/// persistent worker pool, and returns the tree-combined variance total.
+/// Bitwise identical for every `par` value — chunk boundaries land on
+/// block boundaries, each block's sum is computed by exactly one lane,
+/// and the final combine is the fixed [`tree_reduce`] over all blocks in
+/// order.
 pub fn ema_update_stats_parallel(
     b1: &mut [f64],
     b2: &mut [f64],
@@ -235,7 +238,7 @@ pub fn ema_update_stats_parallel(
     beta: f64,
     scale: f64,
     corr: f64,
-    threads: usize,
+    par: impl Into<Par>,
 ) -> f64 {
     let n = xs.len();
     if n == 0 {
@@ -243,13 +246,15 @@ pub fn ema_update_stats_parallel(
     }
     let nblocks = blocks_for(n);
     let mut var_blocks = vec![0.0f64; nblocks];
-    let chunks = threads.clamp(1, nblocks);
+    let chunks = par.into().budget().clamp(1, nblocks);
     if chunks <= 1 {
         ema_update_stats(b1, b2, xs, beta, scale, corr, &mut var_blocks);
         return tree_reduce(&var_blocks);
     }
     let blocks_per = nblocks.div_ceil(chunks);
-    std::thread::scope(|scope| {
+    {
+        type Chunk<'s> = (&'s mut [f64], &'s mut [f64], &'s mut [f64], &'s [f32]);
+        let mut slots: Vec<std::sync::Mutex<Option<Chunk<'_>>>> = Vec::with_capacity(chunks);
         let (mut r1, mut r2, mut rv) = (&mut *b1, &mut *b2, &mut var_blocks[..]);
         let mut off = 0;
         while !rv.is_empty() {
@@ -261,14 +266,17 @@ pub fn ema_update_stats_parallel(
             let cx = &xs[off..off + take];
             off += take;
             (r1, r2, rv) = (t1, t2, tv);
-            if rv.is_empty() {
-                // Last chunk runs on the calling thread.
-                ema_update_stats(c1, c2, cx, beta, scale, corr, cv);
-            } else {
-                scope.spawn(move || ema_update_stats(c1, c2, cx, beta, scale, corr, cv));
-            }
+            slots.push(std::sync::Mutex::new(Some((c1, c2, cv, cx))));
         }
-    });
+        parallel::Pool::global().run(slots.len(), |i| {
+            let (c1, c2, cv, cx) = slots[i]
+                .lock()
+                .expect("ema sweep chunk slot")
+                .take()
+                .expect("ema sweep chunk claimed twice");
+            ema_update_stats(c1, c2, cx, beta, scale, corr, cv);
+        });
+    }
     tree_reduce(&var_blocks)
 }
 
