@@ -15,6 +15,7 @@
 //! interleaving here is scheduler-dependent, so this type is used by the
 //! `async_training` example rather than by the reproducible benches.
 
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc;
 use std::sync::{Arc, Mutex};
 use std::thread;
@@ -145,8 +146,9 @@ pub struct ThreadedRunReport {
 ///
 /// # Panics
 ///
-/// Panics if `workers == 0` or `total_updates == 0`, or if a worker
-/// thread panics.
+/// Panics if `workers == 0` or `total_updates == 0`. If a worker thread
+/// panics (a panicking `grad_fn`), the original panic payload is
+/// re-raised here rather than surfacing as an opaque channel error.
 pub fn run_threaded(
     workers: usize,
     total_updates: usize,
@@ -159,7 +161,7 @@ pub fn run_threaded(
     assert!(total_updates > 0, "threaded: need at least one update");
     let params = Arc::new(ShardedParams::new(initial, shards));
     let (tx, rx) = mpsc::sync_channel::<(f32, Vec<f32>)>(workers * 2);
-    let stop = Arc::new(Mutex::new(false));
+    let stop = Arc::new(AtomicBool::new(false));
 
     let mut handles = Vec::new();
     for w in 0..workers {
@@ -170,7 +172,7 @@ pub fn run_threaded(
         handles.push(thread::spawn(move || {
             let mut local_step = w as u64;
             loop {
-                if *stop.lock().expect("stop lock") {
+                if stop.load(Ordering::Relaxed) {
                     break;
                 }
                 let snapshot = params.snapshot();
@@ -187,7 +189,28 @@ pub fn run_threaded(
 
     let mut losses = Vec::with_capacity(total_updates);
     for _ in 0..total_updates {
-        let (loss, grad) = rx.recv().expect("workers alive while updates remain");
+        let (loss, grad) = match rx.recv() {
+            Ok(update) => update,
+            Err(_) => {
+                // Every worker exited before the run finished — almost
+                // certainly a panicking `grad_fn`. Join them and re-raise
+                // the original cause instead of an opaque channel error.
+                stop.store(true, Ordering::Relaxed);
+                let mut cause = None;
+                for h in std::mem::take(&mut handles) {
+                    if let Err(payload) = h.join() {
+                        cause.get_or_insert(payload);
+                    }
+                }
+                match cause {
+                    Some(payload) => std::panic::resume_unwind(payload),
+                    None => panic!(
+                        "threaded: workers exited after {} of {total_updates} updates",
+                        losses.len()
+                    ),
+                }
+            }
+        };
         // Measure on a consistent applier-side snapshot, combine, and
         // apply per shard — one fused pool dispatch per update, the
         // applier's serial phase shrinks to the scalar combine; workers
@@ -199,12 +222,15 @@ pub fn run_threaded(
         });
         losses.push(loss);
     }
-    *stop.lock().expect("stop lock") = true;
+    stop.store(true, Ordering::Relaxed);
     // Drain so blocked senders can observe the stop flag and exit.
     while rx.try_recv().is_ok() {}
     drop(rx);
     for h in handles {
-        h.join().expect("worker thread panicked");
+        if let Err(payload) = h.join() {
+            // Keep the worker's own panic message.
+            std::panic::resume_unwind(payload);
+        }
     }
     let final_params = params.snapshot();
     ThreadedRunReport {
@@ -259,6 +285,16 @@ mod tests {
         let p = ShardedParams::new(vec![0.0; 3], 8);
         assert_eq!(p.shard_count(), 3);
         assert_eq!(p.snapshot().len(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "injected grad failure")]
+    fn worker_panics_surface_their_original_cause() {
+        // All workers panic immediately; the applier must re-raise the
+        // grad_fn's own message, not an opaque channel-recv error.
+        let grad_fn: SharedGradFn = Arc::new(|_: &[f32], _| panic!("injected grad failure"));
+        let mut opt = Sgd::new(0.1);
+        run_threaded(2, 10, vec![1.0], grad_fn, &mut opt, 1);
     }
 
     #[test]

@@ -213,10 +213,9 @@ fn cache_budget_elems() -> usize {
     use std::sync::OnceLock;
     static BUDGET: OnceLock<usize> = OnceLock::new();
     *BUDGET.get_or_init(|| {
-        let mb = std::env::var("YF_CONV_CACHE_MB")
-            .ok()
-            .and_then(|v| v.parse::<usize>().ok())
-            .unwrap_or(256);
+        // 0 is a valid override (disables column caching entirely);
+        // malformed values warn and fall back to the 256 MiB default.
+        let mb = yf_tensor::env::usize_knob("YF_CONV_CACHE_MB").unwrap_or(256);
         mb * (1024 * 1024) / std::mem::size_of::<f32>()
     })
 }

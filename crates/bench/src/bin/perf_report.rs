@@ -677,7 +677,10 @@ fn main() {
     let _ = writeln!(json, "}}");
     let out_path =
         std::env::var("YF_PERF_OUT").unwrap_or_else(|_| "BENCH_kernels.json".to_string());
-    std::fs::write(&out_path, json).expect("write BENCH_kernels.json");
+    // Atomic replace: a crashed run never leaves a truncated baseline
+    // for the regression gate to choke on.
+    yf_experiments::fleet::fsio::write_atomic(std::path::Path::new(&out_path), json.as_bytes())
+        .expect("write BENCH_kernels.json");
     println!("\nwrote {out_path}");
 
     // --- Regression gate against the committed baseline. ---

@@ -310,6 +310,22 @@ impl Optimizer for YellowFin {
         true
     }
 
+    // The fleet-facing checkpoint surface rides the crate's existing
+    // versioned tuner-state format (`save_state`/`restore_state`), which
+    // already round-trips the full measurement + velocity state bit-exactly.
+    fn checkpoint_state(&self) -> Option<String> {
+        Some(self.save_state())
+    }
+
+    fn restore_checkpoint(
+        &mut self,
+        text: &str,
+    ) -> Result<(), yf_optim::checkpoint::OptStateError> {
+        *self = YellowFin::restore_state(text)
+            .map_err(|e| yf_optim::checkpoint::OptStateError::new(e.to_string()))?;
+        Ok(())
+    }
+
     fn name(&self) -> &'static str {
         "yellowfin"
     }

@@ -1,0 +1,7 @@
+//! Fleet worker process: serves grid cells dispatched by the fleet
+//! coordinator as line-delimited JSON on stdin/stdout. See
+//! [`yf_experiments::fleet`] for the protocol and durability contract.
+
+fn main() {
+    std::process::exit(yf_experiments::fleet::worker::worker_main());
+}

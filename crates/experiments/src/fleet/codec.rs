@@ -1,0 +1,288 @@
+//! Bit-exact serialization of training checkpoints and run results.
+//!
+//! Floats are written as raw bit patterns (`{:08x}` for `f32`,
+//! `{:016x}` for `f64`) — the same discipline as the optimizer state
+//! checkpoints — so a result computed in a worker process and merged by
+//! the coordinator is bitwise identical to one computed in-process.
+
+use crate::trainer::{RunResult, TrainCheckpoint};
+use std::fmt;
+
+/// Error decoding a checkpoint or result payload.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CodecError(String);
+
+impl CodecError {
+    fn new(msg: impl Into<String>) -> CodecError {
+        CodecError(msg.into())
+    }
+}
+
+impl fmt::Display for CodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid fleet payload: {}", self.0)
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+/// Hex bit pattern of an `f32`.
+pub fn f32_hex(v: f32) -> String {
+    format!("{:08x}", v.to_bits())
+}
+
+/// Parses an `f32` hex bit pattern.
+///
+/// # Errors
+///
+/// [`CodecError`] when the text is not 8 hex digits.
+pub fn f32_unhex(s: &str) -> Result<f32, CodecError> {
+    if s.len() != 8 {
+        return Err(CodecError::new(format!("bad f32 bits {s:?}")));
+    }
+    u32::from_str_radix(s, 16)
+        .map(f32::from_bits)
+        .map_err(|_| CodecError::new(format!("bad f32 bits {s:?}")))
+}
+
+fn f64_hex(v: f64) -> String {
+    format!("{:016x}", v.to_bits())
+}
+
+fn f64_unhex(s: &str) -> Result<f64, CodecError> {
+    if s.len() != 16 {
+        return Err(CodecError::new(format!("bad f64 bits {s:?}")));
+    }
+    u64::from_str_radix(s, 16)
+        .map(f64::from_bits)
+        .map_err(|_| CodecError::new(format!("bad f64 bits {s:?}")))
+}
+
+fn f32_row(values: &[f32]) -> String {
+    values
+        .iter()
+        .map(|&v| f32_hex(v))
+        .collect::<Vec<_>>()
+        .join(",")
+}
+
+fn f32_unrow(text: &str) -> Result<Vec<f32>, CodecError> {
+    if text.is_empty() {
+        return Ok(Vec::new());
+    }
+    text.split(',').map(f32_unhex).collect()
+}
+
+fn metric_row(metrics: &[(u64, f64)]) -> String {
+    metrics
+        .iter()
+        .map(|&(i, v)| format!("{i}@{}", f64_hex(v)))
+        .collect::<Vec<_>>()
+        .join(",")
+}
+
+fn metric_unrow(text: &str) -> Result<Vec<(u64, f64)>, CodecError> {
+    if text.is_empty() {
+        return Ok(Vec::new());
+    }
+    text.split(',')
+        .map(|pair| {
+            let (i, v) = pair
+                .split_once('@')
+                .ok_or_else(|| CodecError::new(format!("bad metric pair {pair:?}")))?;
+            let i = i
+                .parse()
+                .map_err(|_| CodecError::new(format!("bad metric step {i:?}")))?;
+            Ok((i, f64_unhex(v)?))
+        })
+        .collect()
+}
+
+/// Line-oriented `key value` reader over a fixed header.
+struct Fields<'a> {
+    lines: std::str::Lines<'a>,
+}
+
+impl<'a> Fields<'a> {
+    fn new(text: &'a str, header: &str) -> Result<Fields<'a>, CodecError> {
+        let mut lines = text.lines();
+        match lines.next() {
+            Some(h) if h == header => Ok(Fields { lines }),
+            Some(h) => Err(CodecError::new(format!(
+                "expected header {header:?}, found {h:?}"
+            ))),
+            None => Err(CodecError::new("empty payload")),
+        }
+    }
+
+    fn field(&mut self, key: &str) -> Result<&'a str, CodecError> {
+        let line = self
+            .lines
+            .next()
+            .ok_or_else(|| CodecError::new(format!("truncated before field {key:?}")))?;
+        match line.split_once(' ') {
+            Some((k, v)) if k == key => Ok(v),
+            _ => Err(CodecError::new(format!(
+                "expected field {key:?}, found line {line:?}"
+            ))),
+        }
+    }
+
+    /// The remaining lines (for embedded multi-line blocks), normalized
+    /// to end with a newline — matching what the encoder wrote.
+    fn rest(self) -> String {
+        let mut out = String::new();
+        for line in self.lines {
+            out.push_str(line);
+            out.push('\n');
+        }
+        out
+    }
+}
+
+const CKPT_HEADER: &str = "yf-fleet-checkpoint v1";
+const RESULT_HEADER: &str = "yf-fleet-result v1";
+
+/// Serializes a [`TrainCheckpoint`] bit-exactly.
+pub fn encode_checkpoint(ckpt: &TrainCheckpoint) -> String {
+    let mut out = String::new();
+    out.push_str(CKPT_HEADER);
+    out.push('\n');
+    out.push_str(&format!("step {}\n", ckpt.step));
+    out.push_str(&format!("base_lr {}\n", f32_hex(ckpt.base_lr)));
+    out.push_str(&format!("params {}\n", f32_row(&ckpt.params)));
+    out.push_str(&format!("losses {}\n", f32_row(&ckpt.losses)));
+    out.push_str(&format!("metrics {}\n", metric_row(&ckpt.metrics)));
+    out.push_str("opt_state\n");
+    out.push_str(&ckpt.opt_state);
+    if !ckpt.opt_state.ends_with('\n') {
+        out.push('\n');
+    }
+    out
+}
+
+/// Parses [`encode_checkpoint`] output.
+///
+/// # Errors
+///
+/// [`CodecError`] on any structural or bit-pattern mismatch.
+pub fn decode_checkpoint(text: &str) -> Result<TrainCheckpoint, CodecError> {
+    let mut f = Fields::new(text, CKPT_HEADER)?;
+    let step = f
+        .field("step")?
+        .parse()
+        .map_err(|_| CodecError::new("bad step"))?;
+    let base_lr = f32_unhex(f.field("base_lr")?)?;
+    let params = f32_unrow(f.field("params")?)?;
+    let losses = f32_unrow(f.field("losses")?)?;
+    let metrics = metric_unrow(f.field("metrics")?)?;
+    // "opt_state" is a bare marker line; everything after it is the
+    // embedded multi-line optimizer state.
+    match f.lines.next() {
+        Some("opt_state") => {}
+        Some(line) => {
+            return Err(CodecError::new(format!(
+                "expected opt_state marker, found {line:?}"
+            )))
+        }
+        None => return Err(CodecError::new("truncated before opt_state")),
+    }
+    let opt_state = f.rest();
+    if opt_state.is_empty() {
+        return Err(CodecError::new("empty opt_state block"));
+    }
+    Ok(TrainCheckpoint {
+        step,
+        base_lr,
+        params,
+        losses,
+        metrics,
+        opt_state,
+    })
+}
+
+/// Serializes a [`RunResult`] bit-exactly.
+pub fn encode_result(result: &RunResult) -> String {
+    let mut out = String::new();
+    out.push_str(RESULT_HEADER);
+    out.push('\n');
+    out.push_str(&format!("losses {}\n", f32_row(&result.losses)));
+    out.push_str(&format!("metrics {}\n", metric_row(&result.metrics)));
+    out.push_str(&format!("final_params {}\n", f32_row(&result.final_params)));
+    out
+}
+
+/// Parses [`encode_result`] output.
+///
+/// # Errors
+///
+/// [`CodecError`] on any structural or bit-pattern mismatch.
+pub fn decode_result(text: &str) -> Result<RunResult, CodecError> {
+    let mut f = Fields::new(text, RESULT_HEADER)?;
+    let losses = f32_unrow(f.field("losses")?)?;
+    let metrics = metric_unrow(f.field("metrics")?)?;
+    let final_params = f32_unrow(f.field("final_params")?)?;
+    Ok(RunResult {
+        losses,
+        metrics,
+        final_params,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn checkpoint_round_trips_bit_exactly() {
+        let ckpt = TrainCheckpoint {
+            step: 40,
+            base_lr: 0.1,
+            params: vec![1.0, -2.5e-8, f32::MIN_POSITIVE, 3.0e30],
+            losses: vec![0.5, 0.25],
+            metrics: vec![(25, 0.875), (50, 0.9375)],
+            opt_state: "kind momentum-sgd\nversion 1\nlr 3dcccccd\n".to_string(),
+        };
+        let text = encode_checkpoint(&ckpt);
+        assert_eq!(decode_checkpoint(&text).unwrap(), ckpt);
+    }
+
+    #[test]
+    fn result_round_trips_bit_exactly() {
+        let r = RunResult {
+            losses: vec![2.0, 1.5, 1.25],
+            metrics: vec![(2, 0.5)],
+            final_params: vec![0.125, -0.0625],
+        };
+        let text = encode_result(&r);
+        let back = decode_result(&text).unwrap();
+        assert_eq!(back.losses, r.losses);
+        assert_eq!(back.metrics, r.metrics);
+        assert_eq!(back.final_params, r.final_params);
+    }
+
+    #[test]
+    fn truncated_payloads_are_rejected() {
+        let ckpt = TrainCheckpoint {
+            step: 1,
+            base_lr: 0.1,
+            params: vec![1.0],
+            losses: vec![0.5],
+            metrics: vec![],
+            opt_state: "kind sgd\nversion 1\n".to_string(),
+        };
+        let text = encode_checkpoint(&ckpt);
+        // Cuts in the structured field region are rejected here; cuts
+        // inside the free-form opt_state tail are caught one layer down,
+        // by the checksum seal (fsio::read_sealed), not the codec.
+        let fields_end = text.find("opt_state").unwrap();
+        for cut in [10, fields_end / 2, fields_end] {
+            assert!(
+                decode_checkpoint(&text[..cut]).is_err(),
+                "cut at {cut} must be rejected"
+            );
+        }
+        assert!(decode_result("yf-fleet-result v1\nlosses zz\n").is_err());
+        assert!(decode_result("wrong header\n").is_err());
+    }
+}

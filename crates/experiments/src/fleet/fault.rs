@@ -1,0 +1,167 @@
+//! Deterministic fault injection for the fleet worker loop.
+//!
+//! A [`FaultPlan`] arms exactly one fault, parsed from the `YF_FAULT`
+//! environment variable as `kind:cell:step[:attempt]`:
+//!
+//! - `panic:3:40` — panic inside the training loop of cell 3 at step 40;
+//! - `hang:3:40` — stop making progress (sleep forever) so the
+//!   coordinator's lease timeout must reap the worker;
+//! - `kill:3:40` — die by SIGKILL, the no-cleanup crash;
+//! - `torn:3:40` — write the step-40 checkpoint of cell 3 truncated and
+//!   unsealed (simulating a pre-atomic-write crash), then die.
+//!
+//! Faults are keyed on the dispatch *attempt* (default 0), so an armed
+//! fault fires exactly once: the coordinator's re-dispatch carries
+//! attempt 1 and runs clean. That makes every fault-injection test
+//! deterministic — same crash site, same recovery path, every run.
+
+use std::fmt;
+
+/// Which failure to inject.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// Panic inside the training loop.
+    Panic,
+    /// Stop making progress until killed (exercises lease timeouts).
+    Hang,
+    /// Die by SIGKILL.
+    Kill,
+    /// Write a truncated, unsealed checkpoint, then die.
+    Torn,
+}
+
+impl FaultKind {
+    fn parse(s: &str) -> Option<FaultKind> {
+        match s {
+            "panic" => Some(FaultKind::Panic),
+            "hang" => Some(FaultKind::Hang),
+            "kill" => Some(FaultKind::Kill),
+            "torn" => Some(FaultKind::Torn),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for FaultKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            FaultKind::Panic => "panic",
+            FaultKind::Hang => "hang",
+            FaultKind::Kill => "kill",
+            FaultKind::Torn => "torn",
+        })
+    }
+}
+
+/// One armed fault: fires when the worker reaches `(cell, step)` on
+/// dispatch attempt `attempt`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// The failure to inject.
+    pub kind: FaultKind,
+    /// Grid cell index the fault targets.
+    pub cell: usize,
+    /// 0-based training step at which it fires ([`FaultKind::Torn`]
+    /// fires at the checkpoint written after this step completes).
+    pub step: u64,
+    /// Dispatch attempt it fires on (default 0 — the first try).
+    pub attempt: u32,
+}
+
+impl FaultPlan {
+    /// Parses `kind:cell:step[:attempt]`.
+    pub fn parse(spec: &str) -> Result<FaultPlan, String> {
+        let parts: Vec<&str> = spec.split(':').collect();
+        if parts.len() != 3 && parts.len() != 4 {
+            return Err(format!(
+                "YF_FAULT {spec:?}: expected kind:cell:step[:attempt]"
+            ));
+        }
+        let kind = FaultKind::parse(parts[0])
+            .ok_or_else(|| format!("YF_FAULT {spec:?}: unknown kind {:?}", parts[0]))?;
+        let cell = parts[1]
+            .parse()
+            .map_err(|_| format!("YF_FAULT {spec:?}: bad cell {:?}", parts[1]))?;
+        let step = parts[2]
+            .parse()
+            .map_err(|_| format!("YF_FAULT {spec:?}: bad step {:?}", parts[2]))?;
+        let attempt = match parts.get(3) {
+            Some(a) => a
+                .parse()
+                .map_err(|_| format!("YF_FAULT {spec:?}: bad attempt {a:?}"))?,
+            None => 0,
+        };
+        Ok(FaultPlan {
+            kind,
+            cell,
+            step,
+            attempt,
+        })
+    }
+
+    /// Reads `YF_FAULT`; unset means no fault, a malformed value is an
+    /// error (a fault harness must never silently run clean).
+    pub fn from_env() -> Result<Option<FaultPlan>, String> {
+        match std::env::var("YF_FAULT") {
+            Ok(spec) if spec.is_empty() => Ok(None),
+            Ok(spec) => FaultPlan::parse(&spec).map(Some),
+            Err(_) => Ok(None),
+        }
+    }
+
+    /// Whether this fault fires at `(kind, cell, step, attempt)`.
+    pub fn fires(&self, kind: FaultKind, cell: usize, step: u64, attempt: u32) -> bool {
+        self.kind == kind && self.cell == cell && self.step == step && self.attempt == attempt
+    }
+
+    /// The `kind:cell:step:attempt` spec string for this plan.
+    pub fn spec(&self) -> String {
+        format!("{}:{}:{}:{}", self.kind, self.cell, self.step, self.attempt)
+    }
+}
+
+/// Terminates the current process with SIGKILL semantics: no unwinding,
+/// no destructors, no flushing — the harshest crash the coordinator must
+/// tolerate. Tries a real `kill -9` of the current pid first (so the
+/// exit status is the genuine signal), falling back to `abort`.
+pub fn die_hard() -> ! {
+    let pid = std::process::id().to_string();
+    let _ = std::process::Command::new("kill")
+        .args(["-9", &pid])
+        .status();
+    // If `kill` is unavailable the fallback still dies without cleanup.
+    std::process::abort();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_specs_with_and_without_attempt() {
+        let p = FaultPlan::parse("kill:3:40").unwrap();
+        assert_eq!(
+            p,
+            FaultPlan {
+                kind: FaultKind::Kill,
+                cell: 3,
+                step: 40,
+                attempt: 0
+            }
+        );
+        assert!(p.fires(FaultKind::Kill, 3, 40, 0));
+        assert!(!p.fires(FaultKind::Kill, 3, 40, 1), "retries run clean");
+        assert!(!p.fires(FaultKind::Panic, 3, 40, 0));
+        let q = FaultPlan::parse("torn:0:10:2").unwrap();
+        assert_eq!(q.attempt, 2);
+        assert_eq!(FaultPlan::parse(&q.spec()).unwrap(), q);
+    }
+
+    #[test]
+    fn rejects_malformed_specs() {
+        assert!(FaultPlan::parse("explode:1:2").is_err());
+        assert!(FaultPlan::parse("panic:1").is_err());
+        assert!(FaultPlan::parse("panic:x:2").is_err());
+        assert!(FaultPlan::parse("panic:1:2:3:4").is_err());
+    }
+}

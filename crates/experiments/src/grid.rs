@@ -15,8 +15,74 @@ use crate::trainer::{train, RunConfig, RunResult};
 use yf_optim::Optimizer;
 use yf_tensor::parallel;
 
+/// Typed error from the fallible grid entry points ([`try_grid_search`],
+/// [`try_average_curves`], [`try_average_metrics`], [`score_results`]).
+/// The panicking wrappers keep their historical messages by formatting
+/// these.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GridError {
+    /// `values` was empty.
+    EmptyGrid,
+    /// `seeds` was empty.
+    NoSeeds,
+    /// No loss curves to average.
+    NoCurves,
+    /// Loss curves disagree on length.
+    RaggedCurves {
+        /// Length of the first curve.
+        expected: usize,
+        /// Length of the offending curve.
+        got: usize,
+    },
+    /// Metric series disagree on length.
+    RaggedMetrics {
+        /// Length of the first series.
+        expected: usize,
+        /// Length of the offending series.
+        got: usize,
+    },
+    /// Metric series validated at different iterations.
+    MisalignedMetrics {
+        /// Iteration recorded by the first run.
+        expected: u64,
+        /// Iteration recorded by the offending run.
+        got: u64,
+    },
+    /// A result set does not cover every `(value, seed)` cell.
+    MissingResults {
+        /// Cells expected (`values.len() * seeds.len()`).
+        expected: usize,
+        /// Results provided.
+        got: usize,
+    },
+}
+
+impl std::fmt::Display for GridError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            GridError::EmptyGrid => write!(f, "empty grid"),
+            GridError::NoSeeds => write!(f, "no seeds"),
+            GridError::NoCurves => write!(f, "no curves"),
+            GridError::RaggedCurves { expected, got } => {
+                write!(f, "ragged curves (expected length {expected}, got {got})")
+            }
+            GridError::RaggedMetrics { expected, got } => {
+                write!(f, "ragged runs (expected {expected} metrics, got {got})")
+            }
+            GridError::MisalignedMetrics { expected, got } => {
+                write!(f, "misaligned iterations (expected {expected}, got {got})")
+            }
+            GridError::MissingResults { expected, got } => {
+                write!(f, "expected {expected} cell results, got {got}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for GridError {}
+
 /// Outcome of one grid search.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct GridOutcome {
     /// The winning grid value (e.g. learning rate).
     pub best_value: f32,
@@ -30,12 +96,22 @@ pub struct GridOutcome {
 }
 
 /// Averages loss curves pointwise (all must have equal length).
-pub fn average_curves(curves: &[Vec<f32>]) -> Vec<f32> {
-    assert!(!curves.is_empty(), "average_curves: no curves");
-    let n = curves[0].len();
+///
+/// # Errors
+///
+/// [`GridError::NoCurves`] on an empty slice, [`GridError::RaggedCurves`]
+/// when the curves disagree on length.
+pub fn try_average_curves(curves: &[Vec<f32>]) -> Result<Vec<f32>, GridError> {
+    let first = curves.first().ok_or(GridError::NoCurves)?;
+    let n = first.len();
     let mut out = vec![0.0f32; n];
     for c in curves {
-        assert_eq!(c.len(), n, "average_curves: ragged curves");
+        if c.len() != n {
+            return Err(GridError::RaggedCurves {
+                expected: n,
+                got: c.len(),
+            });
+        }
         for (o, &v) in out.iter_mut().zip(c) {
             *o += v;
         }
@@ -43,7 +119,17 @@ pub fn average_curves(curves: &[Vec<f32>]) -> Vec<f32> {
     for o in &mut out {
         *o /= curves.len() as f32;
     }
-    out
+    Ok(out)
+}
+
+/// Panicking wrapper around [`try_average_curves`] for call sites that
+/// treat bad inputs as bugs.
+///
+/// # Panics
+///
+/// Panics on empty or ragged inputs.
+pub fn average_curves(curves: &[Vec<f32>]) -> Vec<f32> {
+    try_average_curves(curves).unwrap_or_else(|e| panic!("average_curves: {e}"))
 }
 
 /// Runs `make_opt(value)` for every grid `value` on `make_task(seed)` for
@@ -68,16 +154,36 @@ pub fn grid_search(
     make_task: impl Fn(u64) -> Box<dyn TrainTask> + Sync,
     make_opt: impl Fn(f32) -> Box<dyn Optimizer> + Sync,
 ) -> GridOutcome {
-    assert!(!values.is_empty(), "grid_search: empty grid");
-    assert!(!seeds.is_empty(), "grid_search: no seeds");
+    try_grid_search(values, seeds, window, cfg, make_task, make_opt)
+        .unwrap_or_else(|e| panic!("grid_search: {e}"))
+}
+
+/// Fallible [`grid_search`]: returns a typed [`GridError`] on empty or
+/// inconsistent inputs instead of panicking.
+///
+/// # Errors
+///
+/// [`GridError::EmptyGrid`] / [`GridError::NoSeeds`] on empty inputs, and
+/// whatever [`score_results`] reports for inconsistent run results.
+pub fn try_grid_search(
+    values: &[f32],
+    seeds: &[u64],
+    window: usize,
+    cfg: &RunConfig,
+    make_task: impl Fn(u64) -> Box<dyn TrainTask> + Sync,
+    make_opt: impl Fn(f32) -> Box<dyn Optimizer> + Sync,
+) -> Result<GridOutcome, GridError> {
+    if values.is_empty() {
+        return Err(GridError::EmptyGrid);
+    }
+    if seeds.is_empty() {
+        return Err(GridError::NoSeeds);
+    }
 
     // One independent (value, seed) training run per cell, fanned out on
     // pool workers; `results` keeps cell order, so everything below is
     // bitwise identical to the sequential sweep.
-    let cells: Vec<(f32, u64)> = values
-        .iter()
-        .flat_map(|&v| seeds.iter().map(move |&s| (v, s)))
-        .collect();
+    let cells: Vec<(f32, u64)> = grid_cells(values, seeds);
     let mut results: Vec<Option<RunResult>> = (0..cells.len()).map(|_| None).collect();
     let threads = parallel::num_threads().min(cells.len());
     parallel::chunks_mut(&mut results, 1, threads, |first, chunk| {
@@ -88,23 +194,68 @@ pub fn grid_search(
             *slot = Some(train(task.as_mut(), opt.as_mut(), cfg));
         }
     });
-    let mut results = results.into_iter().map(|r| r.expect("grid cell ran"));
+    let results: Vec<RunResult> = results
+        .into_iter()
+        .map(|r| r.expect("grid cell ran"))
+        .collect();
+    score_results(values, seeds, window, &results)
+}
 
+/// The canonical `(value, seed)` cell order every grid driver uses:
+/// value-major, seeds inner — cell `i` covers
+/// `(values[i / seeds.len()], seeds[i % seeds.len()])`.
+pub fn grid_cells(values: &[f32], seeds: &[u64]) -> Vec<(f32, u64)> {
+    values
+        .iter()
+        .flat_map(|&v| seeds.iter().map(move |&s| (v, s)))
+        .collect()
+}
+
+/// Scores a complete, cell-ordered result set (one [`RunResult`] per
+/// [`grid_cells`] entry) into a [`GridOutcome`]. This is the single
+/// merge path shared by the in-process [`grid_search`] and the fleet
+/// coordinator, so a sweep assembled from durable per-cell results is
+/// bitwise identical to an uninterrupted in-process sweep.
+///
+/// # Errors
+///
+/// [`GridError::MissingResults`] when the result count does not cover the
+/// grid, plus the [`try_average_curves`] / [`try_average_metrics`] errors
+/// for inconsistent runs.
+pub fn score_results(
+    values: &[f32],
+    seeds: &[u64],
+    window: usize,
+    results: &[RunResult],
+) -> Result<GridOutcome, GridError> {
+    if values.is_empty() {
+        return Err(GridError::EmptyGrid);
+    }
+    if seeds.is_empty() {
+        return Err(GridError::NoSeeds);
+    }
+    if results.len() != values.len() * seeds.len() {
+        return Err(GridError::MissingResults {
+            expected: values.len() * seeds.len(),
+            got: results.len(),
+        });
+    }
+    let mut results = results.iter();
     let mut best: Option<GridOutcome> = None;
     let mut scores = Vec::with_capacity(values.len());
     for &value in values {
         let mut loss_curves = Vec::with_capacity(seeds.len());
-        let mut metric_runs: Vec<RunResult> = Vec::with_capacity(seeds.len());
+        let mut metric_runs: Vec<&RunResult> = Vec::with_capacity(seeds.len());
         for _ in seeds {
-            let result = results.next().expect("one result per cell");
+            let result = results.next().expect("result count checked above");
             loss_curves.push(result.losses.clone());
             metric_runs.push(result);
         }
-        let avg = average_curves(&loss_curves);
+        let avg = try_average_curves(&loss_curves)?;
         let smoothed = smooth(&avg, window);
         let lowest = smoothed.iter().copied().fold(f64::INFINITY, f64::min);
         scores.push((value, lowest));
-        let metrics = average_metrics(&metric_runs);
+        let metrics = try_average_metrics_ref(&metric_runs)?;
         let better = match &best {
             None => true,
             Some(b) => {
@@ -123,28 +274,56 @@ pub fn grid_search(
     }
     let mut outcome = best.expect("at least one grid point");
     outcome.scores = scores;
-    outcome
+    Ok(outcome)
 }
 
 /// Averages validation metric series pointwise across runs (all runs must
 /// have validated at the same iterations).
-pub fn average_metrics(runs: &[RunResult]) -> Vec<(u64, f64)> {
+///
+/// # Errors
+///
+/// [`GridError::RaggedMetrics`] / [`GridError::MisalignedMetrics`] when
+/// the runs disagree on the validation points.
+pub fn try_average_metrics(runs: &[RunResult]) -> Result<Vec<(u64, f64)>, GridError> {
+    try_average_metrics_ref(&runs.iter().collect::<Vec<_>>())
+}
+
+fn try_average_metrics_ref(runs: &[&RunResult]) -> Result<Vec<(u64, f64)>, GridError> {
     if runs.is_empty() || runs[0].metrics.is_empty() {
-        return Vec::new();
+        return Ok(Vec::new());
     }
     let n = runs[0].metrics.len();
     let mut out: Vec<(u64, f64)> = runs[0].metrics.iter().map(|&(i, _)| (i, 0.0)).collect();
     for run in runs {
-        assert_eq!(run.metrics.len(), n, "average_metrics: ragged runs");
+        if run.metrics.len() != n {
+            return Err(GridError::RaggedMetrics {
+                expected: n,
+                got: run.metrics.len(),
+            });
+        }
         for (slot, &(i, v)) in out.iter_mut().zip(&run.metrics) {
-            assert_eq!(slot.0, i, "average_metrics: misaligned iterations");
+            if slot.0 != i {
+                return Err(GridError::MisalignedMetrics {
+                    expected: slot.0,
+                    got: i,
+                });
+            }
             slot.1 += v;
         }
     }
     for slot in &mut out {
         slot.1 /= runs.len() as f64;
     }
-    out
+    Ok(out)
+}
+
+/// Panicking wrapper around [`try_average_metrics`].
+///
+/// # Panics
+///
+/// Panics when the runs disagree on the validation points.
+pub fn average_metrics(runs: &[RunResult]) -> Vec<(u64, f64)> {
+    try_average_metrics(runs).unwrap_or_else(|e| panic!("average_metrics: {e}"))
 }
 
 #[cfg(test)]

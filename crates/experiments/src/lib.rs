@@ -12,10 +12,14 @@
 //!   loss, ratio of iterations to reach it);
 //! - [`grid`]: learning-rate grid search with multi-seed averaging
 //!   (Appendix I protocol);
+//! - [`fleet`]: the fault-tolerant multi-process grid runner — durable
+//!   job journal, per-cell checkpoint/resume, lease-based straggler
+//!   recovery, and deterministic fault injection;
 //! - [`workloads`]: seeded constructors for every workload in the
 //!   evaluation (Table 3 at reduced scale) plus the specification table;
 //! - [`report`]: CSV/markdown emission under `target/experiments/`.
 
+pub mod fleet;
 pub mod grid;
 pub mod report;
 pub mod smoothing;

@@ -1,7 +1,7 @@
 //! CSV and markdown emission for the figure/table regenerators.
 
+use crate::fleet::fsio::write_atomic;
 use std::fs;
-use std::io::Write as _;
 use std::path::PathBuf;
 
 /// Directory where regenerators drop their CSV artifacts.
@@ -11,7 +11,9 @@ pub fn output_dir() -> PathBuf {
 }
 
 /// Writes a CSV file with a header row under [`output_dir`], creating the
-/// directory if needed. Returns the path written.
+/// directory if needed. The write is atomic (tmp + fsync + rename), so a
+/// crashed regenerator leaves either the previous artifact or the new
+/// one — never a truncated CSV. Returns the path written.
 ///
 /// # Panics
 ///
@@ -21,11 +23,14 @@ pub fn write_csv(name: &str, header: &[&str], rows: &[Vec<String>]) -> PathBuf {
     let dir = output_dir();
     fs::create_dir_all(&dir).expect("create experiments output dir");
     let path = dir.join(name);
-    let mut f = fs::File::create(&path).expect("create csv");
-    writeln!(f, "{}", header.join(",")).expect("write header");
+    let mut text = String::new();
+    text.push_str(&header.join(","));
+    text.push('\n');
     for row in rows {
-        writeln!(f, "{}", row.join(",")).expect("write row");
+        text.push_str(&row.join(","));
+        text.push('\n');
     }
+    write_atomic(&path, text.as_bytes()).expect("write csv");
     path
 }
 

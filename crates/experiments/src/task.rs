@@ -15,6 +15,19 @@ pub trait TrainTask {
     /// minibatch deterministically.
     fn loss_grad_at(&mut self, params: &[f32], step: u64) -> (f32, Vec<f32>);
 
+    /// Advances internal batch-selection state to the point just before
+    /// `step`, as if [`TrainTask::loss_grad_at`] had been called once for
+    /// each of steps `0..step` — without paying for any forward or
+    /// backward passes. Checkpoint resume calls this so a task whose
+    /// batcher carries mutable state (an RNG drawing each minibatch)
+    /// reproduces the uninterrupted batch sequence bit-exactly.
+    ///
+    /// The default is a no-op, correct for tasks that derive the batch
+    /// purely from `step`.
+    fn fast_forward(&mut self, step: u64) {
+        let _ = step;
+    }
+
     /// Validation metric at `params` (see [`Self::metric_name`]).
     fn validate(&mut self, params: &[f32]) -> f64;
 
@@ -78,6 +91,16 @@ impl<M: SupervisedModel> TrainTask for ModelTask<M> {
         load_flat(&mut self.model, params);
         let batch = (self.batcher)(step);
         loss_and_grad(&self.model, &batch)
+    }
+
+    fn fast_forward(&mut self, step: u64) {
+        // Replaying batch generation (and discarding the batches) advances
+        // the batcher's internal RNG exactly as the skipped steps would
+        // have; the model itself is stateless between steps (parameters
+        // are re-loaded from the flat vector every call).
+        for s in 0..step {
+            let _ = (self.batcher)(s);
+        }
     }
 
     fn validate(&mut self, params: &[f32]) -> f64 {

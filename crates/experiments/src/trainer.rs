@@ -98,15 +98,131 @@ impl RunResult {
     }
 }
 
+/// A resumable snapshot of an in-progress training run: everything
+/// [`train_resumable`] needs to continue bit-identically from step
+/// `step` in a fresh process — the parameters, the loss/metric history
+/// so far, the base learning rate the schedule scales, and the
+/// optimizer's serialized state
+/// ([`Optimizer::checkpoint_state`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrainCheckpoint {
+    /// Steps completed (the next step to run).
+    pub step: u64,
+    /// Base learning rate captured at run start (schedules scale it).
+    pub base_lr: f32,
+    /// Parameter vector after `step` steps.
+    pub params: Vec<f32>,
+    /// Losses of steps `0..step`.
+    pub losses: Vec<f32>,
+    /// Validation metrics recorded so far.
+    pub metrics: Vec<(u64, f64)>,
+    /// Serialized optimizer state.
+    pub opt_state: String,
+}
+
+/// Progress callbacks from [`train_resumable`].
+pub enum TrainEvent<'a> {
+    /// A step just completed (0-based index).
+    Step(u64),
+    /// A periodic snapshot: fires after every `checkpoint_every` steps
+    /// (never after the final step — the run result supersedes it), and
+    /// only when the optimizer supports checkpointing.
+    Checkpoint(&'a TrainCheckpoint),
+}
+
+/// Error resuming a run from a [`TrainCheckpoint`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum ResumeError {
+    /// The checkpoint's parameter count does not match the task.
+    DimMismatch {
+        /// Parameters in the checkpoint.
+        checkpoint: usize,
+        /// Parameters the task expects.
+        task: usize,
+    },
+    /// The checkpoint claims more completed steps than the run has.
+    StepBeyondRun {
+        /// Steps the checkpoint claims.
+        step: u64,
+        /// Total steps configured.
+        iters: usize,
+    },
+    /// The optimizer rejected the serialized state.
+    OptState(String),
+}
+
+impl std::fmt::Display for ResumeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ResumeError::DimMismatch { checkpoint, task } => write!(
+                f,
+                "checkpoint has {checkpoint} parameters but the task has {task}"
+            ),
+            ResumeError::StepBeyondRun { step, iters } => {
+                write!(f, "checkpoint step {step} exceeds the {iters}-step run")
+            }
+            ResumeError::OptState(e) => write!(f, "optimizer state rejected: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ResumeError {}
+
 /// Trains synchronously: one gradient per step, measured globally and
 /// applied over the configured shard plan (one `observe`, N parallel
 /// `step_shard`s).
 pub fn train(task: &mut dyn TrainTask, opt: &mut dyn Optimizer, cfg: &RunConfig) -> RunResult {
-    let mut params = task.init_params();
+    train_resumable(task, opt, cfg, None, 0, |_| {}).expect("fresh runs cannot fail to resume")
+}
+
+/// [`train`] with checkpoint/resume: when `resume` is given, the run
+/// restarts from that snapshot (restoring optimizer state and
+/// fast-forwarding the task's batch stream) and produces a [`RunResult`]
+/// bitwise identical to the uninterrupted run; when `checkpoint_every >
+/// 0` and the optimizer supports checkpointing, a
+/// [`TrainEvent::Checkpoint`] fires after every `checkpoint_every` steps.
+/// [`TrainEvent::Step`] fires after every step regardless.
+pub fn train_resumable(
+    task: &mut dyn TrainTask,
+    opt: &mut dyn Optimizer,
+    cfg: &RunConfig,
+    resume: Option<TrainCheckpoint>,
+    checkpoint_every: usize,
+    mut on_event: impl FnMut(TrainEvent<'_>),
+) -> Result<RunResult, ResumeError> {
+    let (start, mut params, mut result, base_lr) = match resume {
+        Some(ckpt) => {
+            if ckpt.params.len() != task.dim() {
+                return Err(ResumeError::DimMismatch {
+                    checkpoint: ckpt.params.len(),
+                    task: task.dim(),
+                });
+            }
+            if ckpt.step > cfg.iters as u64 {
+                return Err(ResumeError::StepBeyondRun {
+                    step: ckpt.step,
+                    iters: cfg.iters,
+                });
+            }
+            opt.restore_checkpoint(&ckpt.opt_state)
+                .map_err(|e| ResumeError::OptState(e.to_string()))?;
+            task.fast_forward(ckpt.step);
+            let result = RunResult {
+                losses: ckpt.losses,
+                metrics: ckpt.metrics,
+                final_params: Vec::new(),
+            };
+            (ckpt.step as usize, ckpt.params, result, ckpt.base_lr)
+        }
+        None => (
+            0,
+            task.init_params(),
+            RunResult::default(),
+            opt.learning_rate(),
+        ),
+    };
     let shards = cfg.resolved_shards(params.len());
-    let base_lr = opt.learning_rate();
-    let mut result = RunResult::default();
-    for step in 0..cfg.iters {
+    for step in start..cfg.iters {
         if cfg.iters_per_epoch > 0 && step % cfg.iters_per_epoch == 0 {
             let epoch = step / cfg.iters_per_epoch;
             cfg.schedule.apply(opt, base_lr, epoch);
@@ -121,9 +237,24 @@ pub fn train(task: &mut dyn TrainTask, opt: &mut dyn Optimizer, cfg: &RunConfig)
             let m = task.validate(&params);
             result.metrics.push((step as u64 + 1, m));
         }
+        on_event(TrainEvent::Step(step as u64));
+        let due = checkpoint_every > 0 && (step + 1) % checkpoint_every == 0;
+        if due && step + 1 < cfg.iters {
+            if let Some(opt_state) = opt.checkpoint_state() {
+                let ckpt = TrainCheckpoint {
+                    step: step as u64 + 1,
+                    base_lr,
+                    params: params.clone(),
+                    losses: result.losses.clone(),
+                    metrics: result.metrics.clone(),
+                    opt_state,
+                };
+                on_event(TrainEvent::Checkpoint(&ckpt));
+            }
+        }
     }
     result.final_params = params;
-    result
+    Ok(result)
 }
 
 /// Trains through the round-robin asynchronous simulator with `workers`
@@ -250,6 +381,116 @@ mod tests {
         let r2 = train(&mut t2, &mut o2, &RunConfig::plain(120).with_shards(4));
         assert_eq!(r1.losses, r2.losses);
         assert_eq!(r1.final_params, r2.final_params);
+    }
+
+    #[test]
+    fn resumed_run_is_bitwise_identical_to_uninterrupted() {
+        // Train straight through; train again, capture the step-40
+        // checkpoint, and resume it in a *fresh* task + optimizer: the
+        // resumed run must reproduce losses, metrics, and final
+        // parameters bit-for-bit.
+        let cfg = RunConfig::plain(100).with_eval(25);
+        let mut t0 = small_task(31);
+        let mut o0 = MomentumSgd::new(0.1, 0.9);
+        let straight = train(&mut t0, &mut o0, &cfg);
+
+        let mut t1 = small_task(31);
+        let mut o1 = MomentumSgd::new(0.1, 0.9);
+        let mut saved: Option<TrainCheckpoint> = None;
+        let _ = train_resumable(&mut t1, &mut o1, &cfg, None, 40, |ev| {
+            if let TrainEvent::Checkpoint(c) = ev {
+                if c.step == 40 {
+                    saved = Some(c.clone());
+                }
+            }
+        })
+        .unwrap();
+        let saved = saved.expect("checkpoint at step 40");
+        assert_eq!(saved.losses.len(), 40);
+
+        let mut t2 = small_task(31);
+        let mut o2 = MomentumSgd::new(0.1, 0.9);
+        let resumed = train_resumable(&mut t2, &mut o2, &cfg, Some(saved), 0, |_| {}).unwrap();
+        assert_eq!(straight.losses, resumed.losses);
+        assert_eq!(straight.metrics, resumed.metrics);
+        assert_eq!(straight.final_params, resumed.final_params);
+    }
+
+    #[test]
+    fn resume_with_schedule_restores_decayed_lr() {
+        let cfg = RunConfig {
+            schedule: Schedule::EveryEpoch { factor: 0.5 },
+            iters_per_epoch: 10,
+            ..RunConfig::plain(40)
+        };
+        let mut t0 = small_task(32);
+        let mut o0 = MomentumSgd::new(1.0, 0.0);
+        let straight = train(&mut t0, &mut o0, &cfg);
+
+        let mut t1 = small_task(32);
+        let mut o1 = MomentumSgd::new(1.0, 0.0);
+        let mut saved = None;
+        // Step 15 sits mid-epoch: the resumed run must come back at the
+        // decayed rate, not the base rate.
+        let _ = train_resumable(&mut t1, &mut o1, &cfg, None, 15, |ev| {
+            if let TrainEvent::Checkpoint(c) = ev {
+                if c.step == 15 {
+                    saved = Some(c.clone());
+                }
+            }
+        })
+        .unwrap();
+        let mut t2 = small_task(32);
+        let mut o2 = MomentumSgd::new(1.0, 0.0);
+        let resumed =
+            train_resumable(&mut t2, &mut o2, &cfg, Some(saved.unwrap()), 0, |_| {}).unwrap();
+        assert_eq!(straight.losses, resumed.losses);
+        assert_eq!(straight.final_params, resumed.final_params);
+    }
+
+    #[test]
+    fn resume_rejects_mismatched_checkpoints() {
+        let mut task = small_task(33);
+        let mut opt = MomentumSgd::new(0.1, 0.9);
+        let bad_dim = TrainCheckpoint {
+            step: 1,
+            base_lr: 0.1,
+            params: vec![0.0; 3],
+            losses: vec![0.0],
+            metrics: vec![],
+            opt_state: opt.checkpoint_state().unwrap(),
+        };
+        assert!(matches!(
+            train_resumable(
+                &mut task,
+                &mut opt,
+                &RunConfig::plain(10),
+                Some(bad_dim),
+                0,
+                |_| {}
+            ),
+            Err(ResumeError::DimMismatch { .. })
+        ));
+        let dim = task.dim();
+        let bad_step = TrainCheckpoint {
+            step: 99,
+            base_lr: 0.1,
+            params: vec![0.0; dim],
+            losses: vec![],
+            metrics: vec![],
+            opt_state: opt.checkpoint_state().unwrap(),
+        };
+        assert!(matches!(
+            train_resumable(
+                &mut task,
+                &mut opt,
+                &RunConfig::plain(10),
+                Some(bad_step),
+                0,
+                |_| {}
+            ),
+            Err(ResumeError::StepBeyondRun { .. })
+        ));
     }
 
     #[test]

@@ -1,5 +1,6 @@
 //! AdaGrad (Duchi, Hazan & Singer, 2011).
 
+use crate::checkpoint::{write_dim, OptStateError, StateReader, StateWriter};
 use crate::{check_lengths, Hyper, Optimizer, ParamShard, ShardedState};
 use yf_tensor::elementwise;
 
@@ -70,6 +71,28 @@ impl Optimizer for AdaGrad {
 
     fn set_learning_rate(&mut self, lr: f32) {
         self.lr = lr;
+    }
+
+    fn checkpoint_state(&self) -> Option<String> {
+        let mut w = StateWriter::new("adagrad");
+        w.f32_field("lr", self.lr);
+        w.f32_field("eps", self.eps);
+        write_dim(&mut w, "dim", self.dim);
+        w.f32_slice("accum", &self.state.flatten(0));
+        Some(w.finish())
+    }
+
+    fn restore_checkpoint(&mut self, text: &str) -> Result<(), OptStateError> {
+        let r = StateReader::new(text, "adagrad")?;
+        self.lr = r.f32("lr")?;
+        self.eps = r.f32("eps")?;
+        self.dim = r.dim("dim")?;
+        let accum = r.f32_vec("accum")?;
+        self.state = ShardedState::new(1);
+        if !accum.is_empty() {
+            self.state.load_full(vec![accum]);
+        }
+        Ok(())
     }
 
     fn name(&self) -> &'static str {

@@ -1,5 +1,6 @@
 //! Adam (Kingma & Ba, 2014) with zero-debiased moments.
 
+use crate::checkpoint::{write_dim, OptStateError, StateReader, StateWriter};
 use crate::{check_lengths, Hyper, Optimizer, ParamShard, ShardedState};
 use yf_tensor::elementwise;
 
@@ -115,6 +116,38 @@ impl Optimizer for Adam {
 
     fn set_learning_rate(&mut self, lr: f32) {
         self.lr = lr;
+    }
+
+    fn checkpoint_state(&self) -> Option<String> {
+        let mut w = StateWriter::new("adam");
+        w.f32_field("lr", self.lr);
+        w.f32_field("beta1", self.beta1);
+        w.f32_field("beta2", self.beta2);
+        w.f32_field("eps", self.eps);
+        w.field("t", self.t);
+        write_dim(&mut w, "dim", self.dim);
+        w.f32_slice("m", &self.state.flatten(0));
+        w.f32_slice("v", &self.state.flatten(1));
+        Some(w.finish())
+    }
+
+    fn restore_checkpoint(&mut self, text: &str) -> Result<(), OptStateError> {
+        let r = StateReader::new(text, "adam")?;
+        self.lr = r.f32("lr")?;
+        self.beta1 = r.f32("beta1")?;
+        self.beta2 = r.f32("beta2")?;
+        self.eps = r.f32("eps")?;
+        self.t = r.parse("t")?;
+        self.dim = r.dim("dim")?;
+        let (m, v) = (r.f32_vec("m")?, r.f32_vec("v")?);
+        if m.len() != v.len() {
+            return Err(OptStateError::new("adam: m and v lengths disagree"));
+        }
+        self.state = ShardedState::new(2);
+        if !m.is_empty() {
+            self.state.load_full(vec![m, v]);
+        }
+        Ok(())
     }
 
     fn name(&self) -> &'static str {

@@ -168,6 +168,16 @@ impl<O: crate::Optimizer> crate::Optimizer for Clipped<O> {
         self.inner.is_self_tuning()
     }
 
+    // The threshold is construction-time configuration; all mutable run
+    // state lives in the wrapped optimizer, so checkpoints delegate.
+    fn checkpoint_state(&self) -> Option<String> {
+        self.inner.checkpoint_state()
+    }
+
+    fn restore_checkpoint(&mut self, text: &str) -> Result<(), crate::checkpoint::OptStateError> {
+        self.inner.restore_checkpoint(text)
+    }
+
     fn name(&self) -> &'static str {
         "clipped"
     }

@@ -60,6 +60,7 @@
 //! assert_eq!(x, y);
 //! ```
 
+pub mod checkpoint;
 pub mod clip;
 pub mod schedule;
 pub mod sharded;
@@ -205,6 +206,36 @@ pub trait Optimizer: Send + Sync {
     fn step(&mut self, params: &mut [f32], grads: &[f32]) {
         let hyper = self.observe(params, grads);
         self.step_shard(ParamShard::whole(params.len()), params, grads, hyper);
+    }
+
+    /// Serializes the optimizer's complete resumable state — the mutable
+    /// hyperparameters, step counters, and per-coordinate buffers
+    /// (stitched flat via [`ShardedState::flatten`], so checkpoints are
+    /// independent of the shard plan that produced them) — into a
+    /// versioned text block, or `None` when the optimizer does not
+    /// support checkpointing. A restored optimizer must continue the
+    /// trajectory *bit-identically*; callers that get `None` (the
+    /// default, so external impls keep compiling) fall back to re-running
+    /// from scratch, which is equally deterministic, just slower.
+    fn checkpoint_state(&self) -> Option<String> {
+        None
+    }
+
+    /// Restores state written by [`Optimizer::checkpoint_state`] into
+    /// this instance (which should be freshly constructed with the same
+    /// configuration).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`checkpoint::OptStateError`] on kind/version mismatch,
+    /// missing fields, malformed values, or (the default) when the
+    /// optimizer does not support checkpointing.
+    fn restore_checkpoint(&mut self, text: &str) -> Result<(), checkpoint::OptStateError> {
+        let _ = text;
+        Err(checkpoint::OptStateError::new(format!(
+            "{} does not support state checkpointing",
+            self.name()
+        )))
     }
 
     /// The learning rate most recently used (for logging and schedules).

@@ -1,5 +1,6 @@
 //! RMSProp (Tieleman & Hinton, 2012).
 
+use crate::checkpoint::{write_dim, OptStateError, StateReader, StateWriter};
 use crate::{check_lengths, Hyper, Optimizer, ParamShard, ShardedState};
 use yf_tensor::elementwise;
 
@@ -81,6 +82,30 @@ impl Optimizer for RmsProp {
 
     fn set_learning_rate(&mut self, lr: f32) {
         self.lr = lr;
+    }
+
+    fn checkpoint_state(&self) -> Option<String> {
+        let mut w = StateWriter::new("rmsprop");
+        w.f32_field("lr", self.lr);
+        w.f32_field("decay", self.decay);
+        w.f32_field("eps", self.eps);
+        write_dim(&mut w, "dim", self.dim);
+        w.f32_slice("ms", &self.state.flatten(0));
+        Some(w.finish())
+    }
+
+    fn restore_checkpoint(&mut self, text: &str) -> Result<(), OptStateError> {
+        let r = StateReader::new(text, "rmsprop")?;
+        self.lr = r.f32("lr")?;
+        self.decay = r.f32("decay")?;
+        self.eps = r.f32("eps")?;
+        self.dim = r.dim("dim")?;
+        let ms = r.f32_vec("ms")?;
+        self.state = ShardedState::new(1);
+        if !ms.is_empty() {
+            self.state.load_full(vec![ms]);
+        }
+        Ok(())
     }
 
     fn name(&self) -> &'static str {

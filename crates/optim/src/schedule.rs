@@ -151,6 +151,17 @@ impl<O: Optimizer> Optimizer for Scheduled<O> {
         self.inner.is_self_tuning()
     }
 
+    // The schedule shape is construction-time configuration and the
+    // decayed learning rate is the inner optimizer's `lr` field, so
+    // checkpoints delegate; `base_lr` is re-derived by the constructor.
+    fn checkpoint_state(&self) -> Option<String> {
+        self.inner.checkpoint_state()
+    }
+
+    fn restore_checkpoint(&mut self, text: &str) -> Result<(), crate::checkpoint::OptStateError> {
+        self.inner.restore_checkpoint(text)
+    }
+
     fn name(&self) -> &'static str {
         "scheduled"
     }

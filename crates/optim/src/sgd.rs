@@ -1,5 +1,6 @@
 //! Stochastic gradient descent, with and without momentum.
 
+use crate::checkpoint::{write_dim, OptStateError, StateReader, StateWriter};
 use crate::{check_lengths, Hyper, Optimizer, ParamShard, ShardedState};
 use yf_tensor::elementwise;
 
@@ -46,6 +47,20 @@ impl Optimizer for Sgd {
 
     fn set_learning_rate(&mut self, lr: f32) {
         self.lr = lr;
+    }
+
+    fn checkpoint_state(&self) -> Option<String> {
+        let mut w = StateWriter::new("sgd");
+        w.f32_field("lr", self.lr);
+        write_dim(&mut w, "dim", self.dim);
+        Some(w.finish())
+    }
+
+    fn restore_checkpoint(&mut self, text: &str) -> Result<(), OptStateError> {
+        let r = StateReader::new(text, "sgd")?;
+        self.lr = r.f32("lr")?;
+        self.dim = r.dim("dim")?;
+        Ok(())
     }
 
     fn name(&self) -> &'static str {
@@ -153,6 +168,30 @@ impl Optimizer for MomentumSgd {
 
     fn set_learning_rate(&mut self, lr: f32) {
         self.lr = lr;
+    }
+
+    fn checkpoint_state(&self) -> Option<String> {
+        let mut w = StateWriter::new("momentum-sgd");
+        w.f32_field("lr", self.lr);
+        w.f32_field("momentum", self.momentum);
+        w.field("nesterov", self.nesterov);
+        write_dim(&mut w, "dim", self.dim);
+        w.f32_slice("velocity", &self.velocity.flatten(0));
+        Some(w.finish())
+    }
+
+    fn restore_checkpoint(&mut self, text: &str) -> Result<(), OptStateError> {
+        let r = StateReader::new(text, "momentum-sgd")?;
+        self.lr = r.f32("lr")?;
+        self.momentum = r.f32("momentum")?;
+        self.nesterov = r.parse("nesterov")?;
+        self.dim = r.dim("dim")?;
+        let velocity = r.f32_vec("velocity")?;
+        self.velocity = ShardedState::new(1);
+        if !velocity.is_empty() {
+            self.velocity.load_full(vec![velocity]);
+        }
+        Ok(())
     }
 
     fn name(&self) -> &'static str {

@@ -1,0 +1,68 @@
+//! Hardened environment-variable parsing for the `YF_*` tuning knobs.
+//!
+//! Every knob follows the same policy: an unset variable silently uses
+//! the built-in default, a valid value wins, and a *malformed* value
+//! warns on stderr and falls back — it is never silently accepted as the
+//! default, because "my override was ignored without a word" is how a
+//! mis-tuned run masquerades as a baseline. Call sites memoize (each
+//! knob is read once per process), so the warning fires once.
+
+/// Reads `name` and applies `parse`. `None` means "use the default" —
+/// either the variable is unset, or it is malformed (which also warns).
+pub fn parse_with<T>(name: &str, parse: impl FnOnce(&str) -> Option<T>) -> Option<T> {
+    let raw = std::env::var(name).ok()?;
+    match parse(&raw) {
+        Some(v) => Some(v),
+        None => {
+            eprintln!("warning: ignoring invalid {name}={raw:?}; using the default");
+            None
+        }
+    }
+}
+
+/// A strictly positive integer knob (e.g. a thread count, where 0 is
+/// meaningless).
+pub fn positive_usize(name: &str) -> Option<usize> {
+    parse_with(name, |raw| {
+        raw.trim().parse::<usize>().ok().filter(|&n| n > 0)
+    })
+}
+
+/// A non-negative integer knob (e.g. a budget where 0 means "disabled").
+pub fn usize_knob(name: &str) -> Option<usize> {
+    parse_with(name, |raw| raw.trim().parse::<usize>().ok())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Each test owns a unique variable name, so the process-global
+    // environment never races across the parallel test harness.
+
+    #[test]
+    fn unset_and_valid_and_garbage() {
+        assert_eq!(positive_usize("YF_TEST_ENV_UNSET"), None);
+        std::env::set_var("YF_TEST_ENV_VALID", " 8 ");
+        assert_eq!(positive_usize("YF_TEST_ENV_VALID"), Some(8));
+        std::env::set_var("YF_TEST_ENV_GARBAGE", "eight");
+        assert_eq!(positive_usize("YF_TEST_ENV_GARBAGE"), None);
+    }
+
+    #[test]
+    fn zero_is_invalid_for_positive_but_valid_for_budgets() {
+        std::env::set_var("YF_TEST_ENV_ZERO", "0");
+        assert_eq!(positive_usize("YF_TEST_ENV_ZERO"), None);
+        assert_eq!(usize_knob("YF_TEST_ENV_ZERO"), Some(0));
+    }
+
+    #[test]
+    fn custom_parsers_reject_without_panicking() {
+        std::env::set_var("YF_TEST_ENV_SPEC", "1,2");
+        let parsed = parse_with("YF_TEST_ENV_SPEC", |raw| {
+            let mut it = raw.split(',').map(|p| p.trim().parse::<usize>().ok());
+            Some((it.next()??, it.next()??, it.next()??))
+        });
+        assert_eq!(parsed, None);
+    }
+}

@@ -124,11 +124,7 @@ fn detected_cache_sizes() -> (usize, usize, usize) {
 /// Derives blocking extents for an `NR`-wide micro-kernel from the cache
 /// hierarchy (or from `YF_GEMM_BLOCKS` when set).
 fn auto_blocks(nr: usize) -> Blocks {
-    if let Some(b) = std::env::var("YF_GEMM_BLOCKS")
-        .ok()
-        .as_deref()
-        .and_then(parse_blocks_spec)
-    {
+    if let Some(b) = crate::env::parse_with("YF_GEMM_BLOCKS", parse_blocks_spec) {
         return b;
     }
     // L3 is plenty for any panel below; L1/L2 set the extents.

@@ -22,6 +22,7 @@
 //! ```
 
 pub mod elementwise;
+pub mod env;
 pub mod gemm;
 pub mod linalg;
 pub mod parallel;
