@@ -24,7 +24,10 @@
 //!
 //! Besides timings, the report records `fanouts_per_step`: the number of
 //! worker-pool dispatches one full tuned optimizer step performs, and
-//! hard-fails unless it is exactly 1 (the fused-runtime contract).
+//! hard-fails unless it is exactly 1 (the fused-runtime contract). It
+//! also records session throughput for the `yf-serve` tuner server —
+//! median ns per measurement over loopback TCP at 1 and at 32 concurrent
+//! sessions, against the in-process session pipeline as the seed.
 //!
 //! The gate only compares runs at the **same thread count**: speedups of
 //! the parallel kernels scale with cores, so a baseline recorded at a
@@ -39,6 +42,7 @@ use yf_autograd::norm::{self, reference as norm_ref};
 use yf_autograd::ConvSpec;
 use yf_optim::sharded::{apply_sharded, observe_sharded, step_sharded};
 use yf_optim::{Adam, MomentumSgd, Optimizer};
+use yf_serve::{Authority, Client, FilterSpec, OpenSpec, ServeConfig, Server, Session};
 use yf_tensor::gemm::reference as gemm_ref;
 use yf_tensor::rng::Pcg32;
 use yf_tensor::{parallel, Tensor};
@@ -619,6 +623,98 @@ fn main() {
             });
             push(name, new, seed);
         }
+    }
+
+    // --- Tuning-as-a-service throughput: ns per measurement served
+    // through the full yf-serve stack — loopback TCP, line-JSON framing,
+    // quality filter, observe/combine, authority clamp (snapshots off) —
+    // at 1 session and at 32 concurrent sessions. The seed column is the
+    // identical session pipeline called in process, so the speedup reads
+    // as the fraction of in-process tuning throughput retained over the
+    // wire: below 1x for a single session (pure protocol latency), and
+    // the 32-session entry shows multiplexing amortizing it across the
+    // fleet. measurements/sec = 1e9 / median_ns. Each timed batch opens
+    // fresh sessions (session steps are strictly sequential), so the
+    // open/close handshake is amortized over `frames` measurements just
+    // like a short training run.
+    {
+        let dim = 4096;
+        let frames = 64usize;
+        let grads: Vec<Vec<f32>> = (0..frames)
+            .map(|_| (0..dim).map(|_| rng.normal() * 0.01).collect())
+            .collect();
+
+        fn open_spec(name: String, dim: usize) -> OpenSpec {
+            OpenSpec {
+                session: name,
+                optimizer: "yellowfin".to_string(),
+                value: 0.1,
+                dim,
+                authority: Authority::default(),
+                filter: FilterSpec::default(),
+            }
+        }
+
+        /// One client streaming one session end to end: connect, open,
+        /// `frames` measurements, close.
+        fn stream_one(addr: std::net::SocketAddr, spec: OpenSpec, grads: &[Vec<f32>]) {
+            let mut client = Client::connect(addr).expect("connect yf-serve");
+            let name = spec.session.clone();
+            client.open(spec).expect("open session");
+            for (i, g) in grads.iter().enumerate() {
+                std::hint::black_box(client.measure(&name, i as u64, 0.5, g).expect("measure"));
+            }
+            client.close_session(&name).expect("close session");
+        }
+
+        let server = Server::start(ServeConfig {
+            snapshot_dir: None,
+            ..ServeConfig::default()
+        })
+        .expect("start yf-serve");
+        let addr = server.local_addr();
+        let mut round = 0u64;
+
+        // Seed: the same measurement stream through an in-process
+        // Session (no wire). Per-measurement cost anchors both entries.
+        let local_batch = median_ns(|| {
+            round += 1;
+            let mut s = Session::new(open_spec(format!("local-{round}"), dim)).unwrap();
+            for (i, g) in grads.iter().enumerate() {
+                std::hint::black_box(s.measure(i as u64, 0.5, g).unwrap());
+            }
+        });
+        let local = (local_batch / frames as u128).max(1);
+
+        let one_batch = median_ns(|| {
+            round += 1;
+            stream_one(addr, open_spec(format!("one-{round}"), dim), &grads);
+        });
+        push(
+            "serve_measure_1_session",
+            (one_batch / frames as u128).max(1),
+            local,
+        );
+
+        let many = 32usize;
+        let many_batch = median_ns(|| {
+            round += 1;
+            let r = round;
+            std::thread::scope(|scope| {
+                for t in 0..many {
+                    let grads = &grads;
+                    scope.spawn(move || {
+                        stream_one(addr, open_spec(format!("s{r}-{t}"), dim), grads);
+                    });
+                }
+            });
+        });
+        push(
+            "serve_measure_32_sessions",
+            (many_batch / (many * frames) as u128).max(1),
+            local,
+        );
+        let _ = server.drain();
     }
 
     // --- Dispatch accounting: one full tuned optimizer step (measure →

@@ -54,5 +54,6 @@ pub mod theory;
 pub mod tuner;
 
 pub use closed_loop::{ClosedLoopAdam, ClosedLoopYellowFin, TotalMomentumEstimator};
+pub use measurements::OutlierGate;
 pub use state::RestoreStateError;
 pub use tuner::{ClipMode, YellowFin, YellowFinConfig};

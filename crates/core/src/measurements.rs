@@ -224,6 +224,127 @@ impl DistanceToOpt {
     }
 }
 
+/// The adaptive-clipping threshold machinery (§3.3, Eq. 35) packaged as
+/// a standalone outlier gate for measurement streams.
+///
+/// Adaptive clipping trusts the [`CurvatureRange`] envelope: a gradient
+/// whose squared norm exceeds the smoothed `h_max` estimate by more than
+/// a tolerance factor is a spike, not signal. The gate runs the same
+/// limited-growth estimator (the window maximum fed into the average is
+/// capped at `100 x` the current estimate, so one catastrophic sample
+/// cannot blow the envelope open) and answers a single question per
+/// sample: *should a tuner consume this measurement at all?*
+///
+/// `yf-serve` uses this as its per-session data-quality filter: rejected
+/// measurements never reach the session's optimizer, but they still
+/// nudge the envelope through the growth-limited path, so a genuine
+/// regime change (norms that really did grow) is admitted within a few
+/// observations instead of being blocked forever.
+///
+/// The gate is deterministic and checkpointable ([`OutlierGate::save_state`]),
+/// which keeps a filtered measurement stream bit-exactly replayable.
+#[derive(Debug, Clone)]
+pub struct OutlierGate {
+    range: CurvatureRange,
+    /// Norm multiples of the clip threshold `sqrt(h_max)` beyond which a
+    /// sample is rejected.
+    tolerance: f64,
+}
+
+impl OutlierGate {
+    /// Creates the gate with sliding-window `width`, smoothing `beta`
+    /// (the paper's clipping machinery uses 20 / 0.999), and `tolerance`
+    /// in norm multiples of the adaptive clip threshold `sqrt(h_max)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width == 0`, `beta` is not in `(0, 1)`, or `tolerance`
+    /// is not a positive finite number.
+    pub fn new(width: usize, beta: f64, tolerance: f64) -> Self {
+        assert!(
+            tolerance.is_finite() && tolerance > 0.0,
+            "outlier gate: tolerance must be positive and finite"
+        );
+        OutlierGate {
+            range: CurvatureRange::new(width, beta, true),
+            tolerance,
+        }
+    }
+
+    /// Judges one squared gradient norm `h_t = ||g_t||^2`.
+    ///
+    /// Returns `true` when the sample is admissible. Non-finite samples
+    /// are always rejected and leave the envelope untouched; finite
+    /// outliers are rejected but still observed through the
+    /// growth-limited envelope update (Eq. 35), so the threshold adapts
+    /// to genuine regime changes. The first `width` samples (an empty
+    /// envelope) are always admitted — there is nothing to compare
+    /// against yet.
+    pub fn admit(&mut self, squared_norm: f64) -> bool {
+        if !squared_norm.is_finite() || squared_norm < 0.0 {
+            return false;
+        }
+        let admissible = match self.limit() {
+            Some(limit) => squared_norm <= limit,
+            None => true,
+        };
+        self.range.observe(squared_norm);
+        admissible
+    }
+
+    /// The current admissible cap on squared norms:
+    /// `tolerance^2 * h_max`, or `None` before the first observation.
+    pub fn limit(&self) -> Option<f64> {
+        if self.range.is_initialized() {
+            Some(self.tolerance * self.tolerance * self.range.h_max())
+        } else {
+            None
+        }
+    }
+
+    /// The configured tolerance in norm multiples of `sqrt(h_max)`.
+    pub fn tolerance(&self) -> f64 {
+        self.tolerance
+    }
+
+    /// Serializes the gate bit-exactly (versioned text block, the same
+    /// dialect as [`crate::tuner::YellowFin::save_state`]).
+    pub fn save_state(&self) -> String {
+        let mut w = crate::state::Writer::new();
+        w.f64_field("tolerance", self.tolerance);
+        w.field("window_width", self.range.width);
+        w.f64_field("beta", self.range.log_h_max.beta);
+        w.f64_slice("window", self.range.window.iter().copied());
+        w.f64_field("log_h_max.biased", self.range.log_h_max.biased);
+        w.f64_field("log_h_max.correction", self.range.log_h_max.correction);
+        w.field("log_h_max.steps", self.range.log_h_max.steps);
+        w.f64_field("log_h_min.biased", self.range.log_h_min.biased);
+        w.f64_field("log_h_min.correction", self.range.log_h_min.correction);
+        w.field("log_h_min.steps", self.range.log_h_min.steps);
+        w.finish()
+    }
+
+    /// Reconstructs a gate from [`OutlierGate::save_state`] output.
+    ///
+    /// # Errors
+    ///
+    /// [`crate::RestoreStateError`] on version mismatch, missing fields,
+    /// or malformed values.
+    pub fn restore_state(text: &str) -> Result<Self, crate::RestoreStateError> {
+        let r = crate::state::Reader::new(text)?;
+        let beta = r.f64("beta")?;
+        let mut gate = OutlierGate::new(r.parse("window_width")?, beta, r.f64("tolerance")?);
+        gate.range.window = r.f64_vec("window")?.into();
+        gate.range.log_h_max.biased = r.f64("log_h_max.biased")?;
+        gate.range.log_h_max.correction = r.f64("log_h_max.correction")?;
+        gate.range.log_h_max.steps = r.parse("log_h_max.steps")?;
+        gate.range.log_h_min.biased = r.f64("log_h_min.biased")?;
+        gate.range.log_h_min.correction = r.f64("log_h_min.correction")?;
+        gate.range.log_h_min.steps = r.parse("log_h_min.steps")?;
+        Ok(gate)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -331,5 +452,76 @@ mod tests {
         assert!(cr.h_max().is_finite());
         assert!(v.variance().is_finite());
         assert!(d.distance().is_finite());
+    }
+
+    #[test]
+    fn outlier_gate_admits_steady_stream_and_rejects_spikes() {
+        let mut gate = OutlierGate::new(20, 0.9, 10.0);
+        // Warm up on norms around 2 (h around 4).
+        for i in 0..50 {
+            let h = 4.0 + 0.1 * (i as f64).sin();
+            assert!(gate.admit(h), "steady sample {i} must be admitted");
+        }
+        // A 1000x squared-norm spike is far past 10x the clip norm.
+        assert!(!gate.admit(4000.0), "spike must be rejected");
+        // The stream right after stays admissible.
+        assert!(gate.admit(4.0));
+    }
+
+    #[test]
+    fn outlier_gate_adapts_to_regime_changes() {
+        let mut gate = OutlierGate::new(5, 0.5, 2.0);
+        for _ in 0..30 {
+            assert!(gate.admit(1.0));
+        }
+        // Norms genuinely grew 100x: first samples are rejected, but the
+        // growth-limited envelope keeps absorbing them and the gate must
+        // re-admit the new regime within a few observations.
+        let mut admitted_at = None;
+        for i in 0..30 {
+            if gate.admit(100.0) {
+                admitted_at = Some(i);
+                break;
+            }
+        }
+        assert!(
+            admitted_at.is_some(),
+            "a persistent regime change must eventually be admitted"
+        );
+    }
+
+    #[test]
+    fn outlier_gate_rejects_non_finite_without_observing() {
+        let mut gate = OutlierGate::new(20, 0.9, 10.0);
+        for _ in 0..10 {
+            assert!(gate.admit(1.0));
+        }
+        let limit = gate.limit();
+        assert!(!gate.admit(f64::NAN));
+        assert!(!gate.admit(f64::INFINITY));
+        assert!(!gate.admit(-1.0));
+        assert_eq!(
+            gate.limit(),
+            limit,
+            "non-finite samples must leave the envelope untouched"
+        );
+    }
+
+    #[test]
+    fn outlier_gate_state_round_trips_bit_exactly() {
+        let mut gate = OutlierGate::new(20, 0.999, 8.0);
+        for i in 0..40 {
+            gate.admit(2.0 + (i as f64 * 0.7).cos());
+        }
+        let saved = gate.save_state();
+        let mut restored = OutlierGate::restore_state(&saved).expect("valid state");
+        assert_eq!(restored.limit(), gate.limit());
+        // Both must keep judging a continued stream identically.
+        for i in 0..40 {
+            let h = if i % 9 == 0 { 500.0 } else { 2.5 };
+            assert_eq!(gate.admit(h), restored.admit(h), "sample {i}");
+            assert_eq!(gate.limit(), restored.limit(), "sample {i}");
+        }
+        assert!(OutlierGate::restore_state("garbage").is_err());
     }
 }

@@ -1,7 +1,45 @@
 //! Fleet worker process: serves grid cells dispatched by the fleet
-//! coordinator as line-delimited JSON on stdin/stdout. See
+//! coordinator as line-delimited JSON, over stdin/stdout by default or
+//! over TCP with `--transport tcp --connect <addr>`. See
 //! [`yf_experiments::fleet`] for the protocol and durability contract.
 
+use yf_experiments::fleet::worker;
+
+fn usage() -> ! {
+    eprintln!("usage: yf-fleet-worker [--transport stdio|tcp] [--connect <addr>]");
+    std::process::exit(2);
+}
+
 fn main() {
-    std::process::exit(yf_experiments::fleet::worker::worker_main());
+    let mut transport: Option<String> = None;
+    let mut connect: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--transport" => transport = Some(args.next().unwrap_or_else(|| usage())),
+            "--connect" => connect = Some(args.next().unwrap_or_else(|| usage())),
+            _ => usage(),
+        }
+    }
+    let code = match transport.as_deref() {
+        None | Some("stdio") => {
+            if connect.is_some() {
+                eprintln!("yf-fleet-worker: --connect requires --transport tcp");
+                std::process::exit(2);
+            }
+            worker::worker_main()
+        }
+        Some("tcp") => match connect {
+            Some(addr) => worker::worker_tcp(&addr),
+            None => {
+                eprintln!("yf-fleet-worker: --transport tcp requires --connect <addr>");
+                std::process::exit(2);
+            }
+        },
+        Some(other) => {
+            eprintln!("yf-fleet-worker: unknown transport {other:?}");
+            std::process::exit(2);
+        }
+    };
+    std::process::exit(code);
 }

@@ -1,12 +1,17 @@
 //! Bit-exact serialization of training checkpoints and run results.
 //!
-//! Floats are written as raw bit patterns (`{:08x}` for `f32`,
-//! `{:016x}` for `f64`) — the same discipline as the optimizer state
-//! checkpoints — so a result computed in a worker process and merged by
-//! the coordinator is bitwise identical to one computed in-process.
+//! Floats are written as raw bit patterns via [`yf_wire::hex`] (the same
+//! discipline as the optimizer state checkpoints) so a result computed
+//! in a worker process and merged by the coordinator is bitwise
+//! identical to one computed in-process.
 
 use crate::trainer::{RunResult, TrainCheckpoint};
 use std::fmt;
+use yf_wire::hex::{f32_row, f32_unrow, metric_row, metric_unrow, HexError};
+
+// The scalar codecs, re-exported for protocol code that historically
+// imported them from here.
+pub use yf_wire::hex::{f32_hex, f32_unhex};
 
 /// Error decoding a checkpoint or result payload.
 #[derive(Debug, Clone, PartialEq)]
@@ -26,76 +31,10 @@ impl fmt::Display for CodecError {
 
 impl std::error::Error for CodecError {}
 
-/// Hex bit pattern of an `f32`.
-pub fn f32_hex(v: f32) -> String {
-    format!("{:08x}", v.to_bits())
-}
-
-/// Parses an `f32` hex bit pattern.
-///
-/// # Errors
-///
-/// [`CodecError`] when the text is not 8 hex digits.
-pub fn f32_unhex(s: &str) -> Result<f32, CodecError> {
-    if s.len() != 8 {
-        return Err(CodecError::new(format!("bad f32 bits {s:?}")));
+impl From<HexError> for CodecError {
+    fn from(e: HexError) -> CodecError {
+        CodecError(e.to_string())
     }
-    u32::from_str_radix(s, 16)
-        .map(f32::from_bits)
-        .map_err(|_| CodecError::new(format!("bad f32 bits {s:?}")))
-}
-
-fn f64_hex(v: f64) -> String {
-    format!("{:016x}", v.to_bits())
-}
-
-fn f64_unhex(s: &str) -> Result<f64, CodecError> {
-    if s.len() != 16 {
-        return Err(CodecError::new(format!("bad f64 bits {s:?}")));
-    }
-    u64::from_str_radix(s, 16)
-        .map(f64::from_bits)
-        .map_err(|_| CodecError::new(format!("bad f64 bits {s:?}")))
-}
-
-fn f32_row(values: &[f32]) -> String {
-    values
-        .iter()
-        .map(|&v| f32_hex(v))
-        .collect::<Vec<_>>()
-        .join(",")
-}
-
-fn f32_unrow(text: &str) -> Result<Vec<f32>, CodecError> {
-    if text.is_empty() {
-        return Ok(Vec::new());
-    }
-    text.split(',').map(f32_unhex).collect()
-}
-
-fn metric_row(metrics: &[(u64, f64)]) -> String {
-    metrics
-        .iter()
-        .map(|&(i, v)| format!("{i}@{}", f64_hex(v)))
-        .collect::<Vec<_>>()
-        .join(",")
-}
-
-fn metric_unrow(text: &str) -> Result<Vec<(u64, f64)>, CodecError> {
-    if text.is_empty() {
-        return Ok(Vec::new());
-    }
-    text.split(',')
-        .map(|pair| {
-            let (i, v) = pair
-                .split_once('@')
-                .ok_or_else(|| CodecError::new(format!("bad metric pair {pair:?}")))?;
-            let i = i
-                .parse()
-                .map_err(|_| CodecError::new(format!("bad metric step {i:?}")))?;
-            Ok((i, f64_unhex(v)?))
-        })
-        .collect()
 }
 
 /// Line-oriented `key value` reader over a fixed header.

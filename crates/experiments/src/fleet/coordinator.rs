@@ -26,9 +26,10 @@ use crate::fleet::registry;
 use crate::grid::{score_results, GridError, GridOutcome};
 use crate::trainer::RunResult;
 use std::fmt;
-use std::io::{self, BufRead, BufReader, Write};
+use std::io::{self, BufRead, BufReader, Read, Write};
+use std::net::{TcpListener, TcpStream};
 use std::path::{Path, PathBuf};
-use std::process::{Child, ChildStdin, Command, Stdio};
+use std::process::{Child, Command, Stdio};
 use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
 use std::time::{Duration, Instant};
 
@@ -53,11 +54,27 @@ pub struct FleetSpec {
     pub window: usize,
 }
 
+/// How worker processes talk to the coordinator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum WorkerTransport {
+    /// Line JSON on the worker's stdin/stdout pipes.
+    #[default]
+    Stdio,
+    /// The same line JSON over a TCP socket: the coordinator listens on
+    /// an ephemeral loopback port and each worker is spawned with
+    /// `--transport tcp --connect <addr>`. The protocol, scheduling, and
+    /// merged outcome are identical to stdio — only the byte channel
+    /// differs.
+    Tcp,
+}
+
 /// How to run the sweep: pool size, lease policy, and retry policy.
 #[derive(Debug, Clone)]
 pub struct FleetConfig {
     /// Worker processes to keep alive.
     pub workers: usize,
+    /// The coordinator ↔ worker byte channel.
+    pub transport: WorkerTransport,
     /// Dispatch attempts per cell before the sweep fails.
     pub max_attempts: u32,
     /// A leased cell whose worker stays silent this long is presumed
@@ -77,6 +94,7 @@ impl Default for FleetConfig {
     fn default() -> Self {
         FleetConfig {
             workers: 2,
+            transport: WorkerTransport::default(),
             max_attempts: 3,
             lease_timeout: Duration::from_secs(30),
             backoff_base: Duration::from_millis(20),
@@ -319,7 +337,9 @@ enum WorkerMsg {
 
 struct WorkerProc {
     child: Child,
-    stdin: ChildStdin,
+    /// The request channel into the worker: its stdin pipe, or the
+    /// write half of its TCP connection.
+    input: Box<dyn Write + Send>,
     generation: u64,
     /// The leased cell and its deadline, when busy.
     lease: Option<(usize, Instant)>,
@@ -331,18 +351,32 @@ struct Pool {
     rx: Receiver<PoolMsg>,
     worker_bin: PathBuf,
     fault_spec: Option<String>,
+    /// Present in TCP mode: the loopback listener workers dial back to.
+    listener: Option<TcpListener>,
     next_generation: u64,
 }
 
 impl Pool {
     fn spawn(cfg: &FleetConfig, worker_bin: &Path) -> Result<Pool, FleetError> {
         let (tx, rx) = channel();
+        let listener = match cfg.transport {
+            WorkerTransport::Stdio => None,
+            WorkerTransport::Tcp => {
+                let listener = TcpListener::bind("127.0.0.1:0")
+                    .map_err(|e| FleetError::Worker(format!("binding fleet listener: {e}")))?;
+                listener
+                    .set_nonblocking(true)
+                    .map_err(|e| FleetError::Worker(format!("fleet listener: {e}")))?;
+                Some(listener)
+            }
+        };
         let mut pool = Pool {
             workers: Vec::new(),
             tx,
             rx,
             worker_bin: worker_bin.to_path_buf(),
             fault_spec: cfg.fault_spec.clone(),
+            listener,
             next_generation: 0,
         };
         for slot in 0..cfg.workers.max(1) {
@@ -356,10 +390,21 @@ impl Pool {
         let generation = self.next_generation;
         self.next_generation += 1;
         let mut command = Command::new(&self.worker_bin);
-        command
-            .stdin(Stdio::piped())
-            .stdout(Stdio::piped())
-            .stderr(Stdio::inherit());
+        match &self.listener {
+            None => {
+                command.stdin(Stdio::piped()).stdout(Stdio::piped());
+            }
+            Some(listener) => {
+                let addr = listener
+                    .local_addr()
+                    .map_err(|e| FleetError::Worker(format!("fleet listener: {e}")))?;
+                command
+                    .args(["--transport", "tcp", "--connect", &addr.to_string()])
+                    .stdin(Stdio::null())
+                    .stdout(Stdio::inherit());
+            }
+        }
+        command.stderr(Stdio::inherit());
         match &self.fault_spec {
             Some(spec) => command.env("YF_FAULT", spec),
             None => command.env_remove("YF_FAULT"),
@@ -367,11 +412,25 @@ impl Pool {
         let mut child = command.spawn().map_err(|e| {
             FleetError::Worker(format!("spawning {}: {e}", self.worker_bin.display()))
         })?;
-        let stdin = child.stdin.take().expect("piped stdin");
-        let stdout = child.stdout.take().expect("piped stdout");
+        let (input, output): (Box<dyn Write + Send>, Box<dyn Read + Send>) =
+            match &self.listener {
+                None => (
+                    Box::new(child.stdin.take().expect("piped stdin")),
+                    Box::new(child.stdout.take().expect("piped stdout")),
+                ),
+                Some(listener) => {
+                    let stream = accept_worker(listener, &mut child)?;
+                    (
+                        Box::new(stream.try_clone().map_err(|e| {
+                            FleetError::Worker(format!("cloning worker socket: {e}"))
+                        })?),
+                        Box::new(stream),
+                    )
+                }
+            };
         let tx = self.tx.clone();
         std::thread::spawn(move || {
-            for line in BufReader::new(stdout).lines() {
+            for line in BufReader::new(output).lines() {
                 let Ok(line) = line else { break };
                 if line.trim().is_empty() {
                     continue;
@@ -391,7 +450,7 @@ impl Pool {
         });
         Ok(WorkerProc {
             child,
-            stdin,
+            input,
             generation,
             lease: None,
         })
@@ -408,8 +467,8 @@ impl Pool {
 
     fn shutdown(&mut self) {
         for worker in &mut self.workers {
-            let _ = writeln!(worker.stdin, "{}", Request::Shutdown.to_line());
-            let _ = worker.stdin.flush();
+            let _ = writeln!(worker.input, "{}", Request::Shutdown.to_line());
+            let _ = worker.input.flush();
         }
         for worker in &mut self.workers {
             let deadline = Instant::now() + Duration::from_secs(2);
@@ -426,6 +485,40 @@ impl Pool {
                     }
                 }
             }
+        }
+    }
+}
+
+/// Waits for the worker just spawned to dial the coordinator back. Only
+/// processes this coordinator spawned know the ephemeral port, and
+/// launches are strictly sequential (a replaced worker is killed before
+/// its successor spawns), so the next connection is the new worker's. A
+/// worker that dies before connecting — or never connects within the
+/// deadline — is a spawn failure.
+fn accept_worker(listener: &TcpListener, child: &mut Child) -> Result<TcpStream, FleetError> {
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let _ = stream.set_nodelay(true);
+                return Ok(stream);
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                if let Ok(Some(status)) = child.try_wait() {
+                    return Err(FleetError::Worker(format!(
+                        "worker exited before connecting ({status})"
+                    )));
+                }
+                if Instant::now() >= deadline {
+                    let _ = child.kill();
+                    let _ = child.wait();
+                    return Err(FleetError::Worker(
+                        "worker never connected back over tcp".to_string(),
+                    ));
+                }
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            Err(e) => return Err(FleetError::Worker(format!("accepting worker: {e}"))),
         }
     }
 }
@@ -536,8 +629,8 @@ fn drive(
             });
             let worker = &mut pool.workers[slot];
             worker.lease = Some((cell, Instant::now() + cfg.lease_timeout));
-            if writeln!(worker.stdin, "{}", request.to_line())
-                .and_then(|()| worker.stdin.flush())
+            if writeln!(worker.input, "{}", request.to_line())
+                .and_then(|()| worker.input.flush())
                 .is_err()
             {
                 // The worker died between dispatches; its reader thread

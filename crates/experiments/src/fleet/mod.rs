@@ -26,14 +26,19 @@
 pub mod codec;
 pub mod coordinator;
 pub mod fault;
-pub mod fsio;
 pub mod journal;
-pub mod json;
 pub mod proto;
 pub mod registry;
 pub mod worker;
 
-pub use coordinator::{run_fleet, FleetConfig, FleetError, FleetReport, FleetSpec};
+// The wire dialect (line JSON, hex-bit floats, sealed atomic files) is
+// shared with `yf-serve`; it lives in `yf-wire` so fleet and serve
+// cannot drift. Re-exported under the original fleet paths.
+pub use yf_wire::{fsio, json};
+
+pub use coordinator::{
+    run_fleet, FleetConfig, FleetError, FleetReport, FleetSpec, WorkerTransport,
+};
 pub use fault::{FaultKind, FaultPlan};
 
 use std::path::{Path, PathBuf};

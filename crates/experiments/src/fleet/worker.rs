@@ -1,5 +1,6 @@
-//! The fleet worker: runs grid cells dispatched over stdin, checkpoints
-//! them durably, and reports progress over stdout.
+//! The fleet worker: runs grid cells dispatched over its transport
+//! (stdio by default, TCP with `--transport tcp`), checkpoints them
+//! durably, and reports progress back over the same transport.
 //!
 //! One worker process serves many cells (the coordinator keeps it warm
 //! across dispatches). Per cell it:
@@ -24,13 +25,51 @@ use super::proto::{CellSpec, Request, Response};
 use super::{checkpoint_path, result_path};
 use crate::fleet::registry;
 use crate::trainer::{train_resumable, RunConfig, TrainCheckpoint, TrainEvent};
-use std::io::{BufRead, Write};
+use std::cell::RefCell;
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
 use std::path::Path;
+use std::rc::Rc;
 
-/// Entry point for the `yf-fleet-worker` binary: serves requests from
-/// stdin until EOF or an explicit shutdown. Returns the process exit
-/// code.
+/// The worker's reply channel, shared between the request loop and the
+/// heartbeat callback inside a running cell. Single-threaded (the worker
+/// trains on its one request thread), hence `Rc<RefCell<..>>`.
+type Out<W> = Rc<RefCell<W>>;
+
+/// Entry point for the `yf-fleet-worker` binary's default stdio
+/// transport: serves requests from stdin until EOF or an explicit
+/// shutdown. Returns the process exit code.
 pub fn worker_main() -> i32 {
+    let stdin = std::io::stdin();
+    let stdout = std::io::stdout();
+    serve(stdin.lock(), stdout.lock())
+}
+
+/// Entry point for `yf-fleet-worker --transport tcp --connect <addr>`:
+/// dials the coordinator and serves the same request loop over the
+/// socket. Returns the process exit code.
+pub fn worker_tcp(addr: &str) -> i32 {
+    let stream = match TcpStream::connect(addr) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("yf-fleet-worker: connecting to {addr}: {e}");
+            return 1;
+        }
+    };
+    let _ = stream.set_nodelay(true);
+    let reader = match stream.try_clone() {
+        Ok(s) => BufReader::new(s),
+        Err(e) => {
+            eprintln!("yf-fleet-worker: cloning socket: {e}");
+            return 1;
+        }
+    };
+    serve(reader, stream)
+}
+
+/// The transport-agnostic request loop: one [`Request`] line in, `step`
+/// heartbeats and one terminal `done`/`error` line out.
+fn serve<R: BufRead, W: Write>(reader: R, writer: W) -> i32 {
     let fault = match FaultPlan::from_env() {
         Ok(f) => f,
         Err(e) => {
@@ -38,12 +77,12 @@ pub fn worker_main() -> i32 {
             return 2;
         }
     };
-    let stdin = std::io::stdin();
-    for line in stdin.lock().lines() {
+    let out: Out<W> = Rc::new(RefCell::new(writer));
+    for line in reader.lines() {
         let line = match line {
             Ok(l) => l,
             Err(e) => {
-                eprintln!("yf-fleet-worker: stdin: {e}");
+                eprintln!("yf-fleet-worker: transport: {e}");
                 return 1;
             }
         };
@@ -60,14 +99,14 @@ pub fn worker_main() -> i32 {
         match request {
             Request::Shutdown => return 0,
             Request::Run(spec) => {
-                let response = match run_cell(&spec, fault) {
+                let response = match run_cell(&spec, fault, &out) {
                     Ok(()) => Response::Done { cell: spec.cell },
                     Err(message) => Response::Error {
                         cell: spec.cell,
                         message,
                     },
                 };
-                if emit(&response).is_err() {
+                if emit(&out, &response).is_err() {
                     // Coordinator is gone; nothing left to serve.
                     return 1;
                 }
@@ -77,10 +116,10 @@ pub fn worker_main() -> i32 {
     0
 }
 
-fn emit(response: &Response) -> std::io::Result<()> {
-    let mut out = std::io::stdout().lock();
-    writeln!(out, "{}", response.to_line())?;
-    out.flush()
+fn emit<W: Write>(out: &Out<W>, response: &Response) -> std::io::Result<()> {
+    let mut w = out.borrow_mut();
+    writeln!(w, "{}", response.to_line())?;
+    w.flush()
 }
 
 /// Loads the cell's checkpoint if a valid sealed one exists. Torn or
@@ -106,7 +145,11 @@ fn load_checkpoint(path: &Path, cell: usize) -> Option<TrainCheckpoint> {
 
 /// Runs one cell to a durable result file. `Err` carries a message the
 /// coordinator records in the journal before retrying.
-fn run_cell(spec: &CellSpec, fault: Option<FaultPlan>) -> Result<(), String> {
+fn run_cell<W: Write>(
+    spec: &CellSpec,
+    fault: Option<FaultPlan>,
+    out: &Out<W>,
+) -> Result<(), String> {
     let build_task = registry::task_builder(&spec.task)
         .ok_or_else(|| format!("unknown task {:?}", spec.task))?;
     let build_opt = registry::opt_builder(&spec.opt)
@@ -114,7 +157,7 @@ fn run_cell(spec: &CellSpec, fault: Option<FaultPlan>) -> Result<(), String> {
     let dir = Path::new(&spec.dir);
     let ckpt_path = checkpoint_path(dir, spec.cell);
     let resume = load_checkpoint(&ckpt_path, spec.cell);
-    let result = match execute(spec, build_task, build_opt, fault, resume) {
+    let result = match execute(spec, build_task, build_opt, fault, resume, out) {
         Ok(r) => r,
         Err(e) => {
             // A checkpoint the trainer rejected (e.g. from an older spec)
@@ -124,7 +167,7 @@ fn run_cell(spec: &CellSpec, fault: Option<FaultPlan>) -> Result<(), String> {
                 "yf-fleet-worker: cell {}: checkpoint rejected ({e}); restarting cell",
                 spec.cell
             );
-            execute(spec, build_task, build_opt, fault, None).map_err(|e| e.to_string())?
+            execute(spec, build_task, build_opt, fault, None, out).map_err(|e| e.to_string())?
         }
     };
     let encoded = encode_result(&result);
@@ -136,12 +179,13 @@ fn run_cell(spec: &CellSpec, fault: Option<FaultPlan>) -> Result<(), String> {
     Ok(())
 }
 
-fn execute(
+fn execute<W: Write>(
     spec: &CellSpec,
     build_task: registry::TaskBuilder,
     build_opt: registry::OptBuilder,
     fault: Option<FaultPlan>,
     resume: Option<TrainCheckpoint>,
+    out: &Out<W>,
 ) -> Result<crate::trainer::RunResult, crate::trainer::ResumeError> {
     let mut task = build_task(spec.seed);
     let mut opt = build_opt(spec.value);
@@ -150,6 +194,7 @@ fn execute(
     let ckpt_path = checkpoint_path(&dir, spec.cell);
     let heartbeat = spec.checkpoint_every.max(1) as u64;
     let (cell, attempt) = (spec.cell, spec.attempt);
+    let out = Rc::clone(out);
     train_resumable(
         task.as_mut(),
         opt.as_mut(),
@@ -172,7 +217,7 @@ fn execute(
                     }
                 }
                 if (step + 1) % heartbeat == 0 {
-                    let _ = emit(&Response::Step { cell, step });
+                    let _ = emit(&out, &Response::Step { cell, step });
                 }
             }
             TrainEvent::Checkpoint(ckpt) => {

@@ -17,11 +17,14 @@
 //!   recovery, and deterministic fault injection;
 //! - [`workloads`]: seeded constructors for every workload in the
 //!   evaluation (Table 3 at reduced scale) plus the specification table;
+//! - [`serve_client`]: the remote-tuner client — an [`yf_optim::Optimizer`]
+//!   whose measure phase runs in a `yf-serve` session over TCP;
 //! - [`report`]: CSV/markdown emission under `target/experiments/`.
 
 pub mod fleet;
 pub mod grid;
 pub mod report;
+pub mod serve_client;
 pub mod smoothing;
 pub mod speedup;
 pub mod task;

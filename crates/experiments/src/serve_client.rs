@@ -1,0 +1,193 @@
+//! Training against a remote tuner: the `yf-serve` client library.
+//!
+//! [`RemoteTuner`] splits the optimizer across the network the way the
+//! serve protocol intends: the *measure* phase (gradient statistics,
+//! YellowFin's combine, the authority clamp, the quality filter) runs
+//! inside the server's session, while the *apply* phase stays local — a
+//! plain Polyak [`MomentumSgd`] whose `step_shard` applies whatever
+//! [`Hyper`] came back on the wire. Since YellowFin's own apply phase is
+//! the identical `momentum_step` kernel, a trainer driving a
+//! [`RemoteTuner`] takes parameter steps bitwise identical to one
+//! running the tuner in process — the tuner merely lives elsewhere.
+//!
+//! Rejected measurements (the server's quality filter) come back as a
+//! zero-learning-rate [`Hyper`] until the first accepted frame, or the
+//! last served values afterwards — the trainer skips or repeats the
+//! tuned update rather than applying a poisoned one.
+
+use std::net::ToSocketAddrs;
+use yf_optim::{Hyper, MomentumSgd, Optimizer, ParamShard};
+use yf_serve::{Client, ClientError, MeasureReply, OpenSpec};
+
+/// An [`Optimizer`] whose measure phase runs in a `yf-serve` session.
+pub struct RemoteTuner {
+    client: Client,
+    session: String,
+    step: u64,
+    loss: f32,
+    /// Local apply engine: holds the velocity state and applies the
+    /// served [`Hyper`] with the same fused kernel YellowFin uses.
+    apply: MomentumSgd,
+    last: Hyper,
+}
+
+impl RemoteTuner {
+    /// Connects and opens (or resumes) the session described by `spec`.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures, or the server's rejection reason.
+    pub fn connect(addr: impl ToSocketAddrs, spec: OpenSpec) -> Result<RemoteTuner, ClientError> {
+        let mut client = Client::connect(addr)?;
+        let session = spec.session.clone();
+        let step = client.open(spec)?;
+        Ok(RemoteTuner {
+            client,
+            session,
+            step,
+            loss: 0.0,
+            apply: MomentumSgd::new(0.0, 0.0),
+            last: Hyper {
+                lr: 0.0,
+                momentum: 0.0,
+                grad_scale: 1.0,
+            },
+        })
+    }
+
+    /// The next measurement index the server expects — 0 for a fresh
+    /// session, the replay point after a resume.
+    pub fn next_step(&self) -> u64 {
+        self.step
+    }
+
+    /// Feeds the current training loss into the next measurement (the
+    /// server's quality filter screens it; the tuner itself is
+    /// loss-free). Defaults to 0.0 when never called.
+    pub fn set_loss(&mut self, loss: f32) {
+        self.loss = loss;
+    }
+
+    /// Detaches the session server-side (it stays resumable) and returns
+    /// the underlying client for further protocol use.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures, or the server's rejection reason.
+    pub fn detach(mut self) -> Result<Client, ClientError> {
+        self.client.close_session(&self.session)?;
+        Ok(self.client)
+    }
+}
+
+impl Optimizer for RemoteTuner {
+    /// Streams the gradient to the server and returns the served
+    /// (authority-clamped) hyperparameters.
+    ///
+    /// # Panics
+    ///
+    /// The [`Optimizer`] contract has no error channel, so transport or
+    /// protocol failures mid-training panic with the server's reason.
+    /// Callers that need graceful degradation should drive the
+    /// [`Client`] directly.
+    fn observe(&mut self, _params: &[f32], grads: &[f32]) -> Hyper {
+        let reply = self
+            .client
+            .measure(&self.session, self.step, self.loss, grads)
+            .unwrap_or_else(|e| panic!("remote tuner ({}): {e}", self.session));
+        self.step += 1;
+        if let MeasureReply::Tuned { hyper, .. } = reply {
+            self.last = hyper;
+        }
+        self.last
+    }
+
+    fn step_shard(&self, shard: ParamShard, params: &mut [f32], grads: &[f32], hyper: Hyper) {
+        self.apply.step_shard(shard, params, grads, hyper);
+    }
+
+    fn learning_rate(&self) -> f32 {
+        self.last.lr
+    }
+
+    fn set_learning_rate(&mut self, _lr: f32) {
+        // The server's session owns the schedule; external decay must
+        // not fight it (same contract as the in-process tuner).
+    }
+
+    fn is_self_tuning(&self) -> bool {
+        true
+    }
+
+    fn name(&self) -> &'static str {
+        "remote-tuner"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fleet::registry;
+    use yf_serve::{Authority, FilterSpec, ServeConfig, Server};
+    use yf_tensor::rng::Pcg32;
+
+    #[test]
+    fn serve_registry_names_resolve_in_the_fleet_registry() {
+        // The serve crate sits below yf-experiments, so its optimizer
+        // registry repeats the fleet constructors; this pins the two
+        // name sets together so they cannot drift.
+        for name in yf_serve::registry::OPTIMIZER_NAMES {
+            assert!(
+                registry::opt_builder(name).is_some(),
+                "serve registry name {name:?} is unknown to the fleet registry"
+            );
+            assert!(
+                yf_serve::registry::build_optimizer(name, 0.1).is_some(),
+                "{name}"
+            );
+        }
+    }
+
+    #[test]
+    fn remote_tuner_steps_bitwise_like_the_in_process_tuner() {
+        // A trainer driving a RemoteTuner (measure on the server, apply
+        // local) must walk the exact parameter trajectory of the same
+        // tuner run in process.
+        let server = Server::start(ServeConfig {
+            addr: "127.0.0.1:0".to_string(),
+            snapshot_dir: None,
+            ..ServeConfig::default()
+        })
+        .unwrap();
+        let dim = 24;
+        let mut spec = OpenSpec {
+            session: "remote-parity".to_string(),
+            optimizer: "yellowfin".to_string(),
+            value: 1.0,
+            dim,
+            authority: Authority::default(),
+            filter: FilterSpec::default(),
+        };
+        // Wide-open authority: the served stream is the raw tuner
+        // output, so in-process YellowFin is the exact reference.
+        spec.authority.max_lr_step = 1e9;
+        spec.authority.max_momentum_step = 1.0;
+        spec.authority.lr_max = 1e9;
+        let mut remote = RemoteTuner::connect(server.local_addr(), spec).unwrap();
+        let mut local = yf_serve::registry::build_optimizer("yellowfin", 1.0).unwrap();
+
+        let mut rng = Pcg32::seed(41);
+        let mut p_remote = vec![0.5f32; dim];
+        let mut p_local = p_remote.clone();
+        for step in 0..30 {
+            let grads: Vec<f32> = (0..dim).map(|_| rng.uniform() - 0.5).collect();
+            remote.step(&mut p_remote, &grads);
+            local.step(&mut p_local, &grads);
+            for (i, (a, b)) in p_remote.iter().zip(&p_local).enumerate() {
+                assert_eq!(a.to_bits(), b.to_bits(), "step {step}, param {i}");
+            }
+        }
+        assert_eq!(remote.learning_rate(), local.learning_rate());
+        let _ = remote.detach().unwrap();
+    }
+}

@@ -11,6 +11,7 @@ use std::path::{Path, PathBuf};
 use std::time::Duration;
 use yf_experiments::fleet::{
     self, codec, fsio, journal::Journal, registry, run_fleet, FleetConfig, FleetError, FleetSpec,
+    WorkerTransport,
 };
 use yf_experiments::grid::{grid_search, GridOutcome};
 use yf_experiments::trainer::RunConfig;
@@ -36,6 +37,7 @@ fn spec() -> FleetSpec {
 fn config(fault: Option<&str>) -> FleetConfig {
     FleetConfig {
         workers: 2,
+        transport: WorkerTransport::Stdio,
         max_attempts: 3,
         lease_timeout: Duration::from_secs(20),
         backoff_base: Duration::from_millis(5),
@@ -190,6 +192,45 @@ fn coordinator_restart_resumes_without_rerunning_done_cells() {
     assert_eq!(report.recovered_results, 2, "done cells must not re-run");
     assert_eq!(report.executed_cells, 2, "only cells 2 and 3 run again");
     assert_eq!(report.outcome, baseline());
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn tcp_transport_sweeps_to_the_same_bits_as_stdio() {
+    // The acceptance bar for the network transport: the same grid over
+    // `--transport tcp` merges to a GridOutcome bitwise identical to the
+    // stdio path (which the clean test above pins to the in-process
+    // baseline).
+    let dir = sweep_dir("tcp");
+    let cfg = FleetConfig {
+        transport: WorkerTransport::Tcp,
+        ..config(None)
+    };
+    let report = run_fleet(&spec(), &cfg, &dir, worker_bin()).unwrap();
+    assert_eq!(
+        report.outcome,
+        baseline(),
+        "tcp fleet outcome must be bitwise identical to stdio/in-process"
+    );
+    assert_eq!(report.executed_cells, 4);
+    assert_eq!(report.retries, 0);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn tcp_transport_recovers_a_sigkilled_worker_bitwise() {
+    // Same fault as the stdio kill test, but the dead worker takes its
+    // TCP connection with it: the reader thread sees EOF, the slot is
+    // relaunched (new socket), and the retry resumes from the sealed
+    // checkpoint to the same bits.
+    let dir = sweep_dir("tcp-kill");
+    let cfg = FleetConfig {
+        transport: WorkerTransport::Tcp,
+        ..config(Some("kill:1:25"))
+    };
+    let report = run_fleet(&spec(), &cfg, &dir, worker_bin()).unwrap();
+    assert_eq!(report.outcome, baseline());
+    assert!(report.retries >= 1, "the killed cell must be re-dispatched");
     let _ = std::fs::remove_dir_all(&dir);
 }
 

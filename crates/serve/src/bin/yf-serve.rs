@@ -1,0 +1,25 @@
+//! The `yf-serve` binary: bind, announce, serve until drained.
+//!
+//! Configuration is entirely environment-driven (`YF_SERVE_ADDR`,
+//! `YF_SERVE_SNAPSHOT_DIR`, `YF_SERVE_MAX_SESSIONS`, ...; see
+//! `yf_serve::ServeConfig::from_env`). The bound address is printed to
+//! stdout as the single line `yf-serve listening on <addr>` so
+//! supervisors (and the fleet tests) can bind port 0 and discover the
+//! real port.
+
+use std::io::Write;
+use yf_serve::{ServeConfig, Server};
+
+fn main() {
+    let cfg = ServeConfig::from_env();
+    let server = match Server::start(cfg) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("yf-serve: failed to start: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!("yf-serve listening on {}", server.local_addr());
+    let _ = std::io::stdout().flush();
+    server.wait();
+}

@@ -1,0 +1,209 @@
+//! A small blocking client for the serve protocol.
+//!
+//! One TCP connection, synchronous request/reply per call. This is the
+//! low-level building block: the `yf-experiments` crate wraps it in a
+//! remote `Optimizer` so a trainer loop can consume served
+//! hyperparameters without knowing the protocol exists.
+
+use crate::proto::{ClientFrame, OpenSpec, ProtoError, ServerFrame};
+use std::fmt;
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use yf_optim::Hyper;
+
+/// Client-side failure.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Transport failure (connect, read, write, or server hang-up).
+    Io(io::Error),
+    /// The server sent a frame this client cannot parse, or one that
+    /// makes no sense for the pending request.
+    Protocol(String),
+    /// The server answered with an `error` frame.
+    Server(String),
+}
+
+impl fmt::Display for ClientError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "serve client i/o: {e}"),
+            ClientError::Protocol(m) => write!(f, "serve client protocol: {m}"),
+            ClientError::Server(m) => write!(f, "serve server error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> ClientError {
+        ClientError::Io(e)
+    }
+}
+
+impl From<ProtoError> for ClientError {
+    fn from(e: ProtoError) -> ClientError {
+        ClientError::Protocol(e.to_string())
+    }
+}
+
+/// The server's verdict on one measurement, client side.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MeasureReply {
+    /// Accepted: apply these hyperparameters this step.
+    Tuned { hyper: Hyper, clamped: bool },
+    /// Rejected by the quality filter: skip the tuned update this step
+    /// (the step still counted server-side).
+    Rejected { reason: String },
+}
+
+/// A blocking serve-protocol client.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Client {
+    /// Connects to a running server.
+    ///
+    /// # Errors
+    ///
+    /// Transport errors from the connect.
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<Client, ClientError> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        let reader = BufReader::new(stream.try_clone()?);
+        Ok(Client {
+            reader,
+            writer: stream,
+        })
+    }
+
+    /// Sends one frame.
+    ///
+    /// # Errors
+    ///
+    /// Transport errors from the write.
+    pub fn send(&mut self, frame: &ClientFrame) -> Result<(), ClientError> {
+        let mut line = frame.to_line();
+        line.push('\n');
+        self.writer.write_all(line.as_bytes())?;
+        Ok(())
+    }
+
+    /// Blocks for the next server frame.
+    ///
+    /// # Errors
+    ///
+    /// Transport errors, EOF (server hang-up), or unparseable frames.
+    pub fn recv(&mut self) -> Result<ServerFrame, ClientError> {
+        let mut line = String::new();
+        if self.reader.read_line(&mut line)? == 0 {
+            return Err(ClientError::Io(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "server closed the connection",
+            )));
+        }
+        Ok(ServerFrame::from_line(line.trim_end_matches(['\n', '\r']))?)
+    }
+
+    /// Opens (or resumes) a session; returns the step index the server
+    /// expects next — 0 for a fresh session, the replay point after a
+    /// resume.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Server`] relays the server's rejection reason.
+    pub fn open(&mut self, spec: OpenSpec) -> Result<u64, ClientError> {
+        let name = spec.session.clone();
+        self.send(&ClientFrame::Open(spec))?;
+        match self.recv()? {
+            ServerFrame::Opened { session, step } if session == name => Ok(step),
+            ServerFrame::Error { message, .. } => Err(ClientError::Server(message)),
+            other => Err(ClientError::Protocol(format!(
+                "expected opened, got {other:?}"
+            ))),
+        }
+    }
+
+    /// Streams one measurement and blocks for the verdict.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Server`] relays per-frame errors (step mismatch,
+    /// unknown session); transport errors surface as
+    /// [`ClientError::Io`].
+    pub fn measure(
+        &mut self,
+        session: &str,
+        step: u64,
+        loss: f32,
+        grads: &[f32],
+    ) -> Result<MeasureReply, ClientError> {
+        self.send(&ClientFrame::Measure {
+            session: session.to_string(),
+            step,
+            loss,
+            grads: grads.to_vec(),
+        })?;
+        match self.recv()? {
+            ServerFrame::Tuned { hyper, clamped, .. } => Ok(MeasureReply::Tuned { hyper, clamped }),
+            ServerFrame::Rejected { reason, .. } => Ok(MeasureReply::Rejected { reason }),
+            ServerFrame::Error { message, .. } => Err(ClientError::Server(message)),
+            other => Err(ClientError::Protocol(format!(
+                "expected hyper/rejected, got {other:?}"
+            ))),
+        }
+    }
+
+    /// Detaches a session (it persists server-side and can be
+    /// re-opened).
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Server`] when the session is not open here.
+    pub fn close_session(&mut self, session: &str) -> Result<(), ClientError> {
+        self.send(&ClientFrame::Close {
+            session: session.to_string(),
+        })?;
+        match self.recv()? {
+            ServerFrame::Closed { .. } => Ok(()),
+            ServerFrame::Error { message, .. } => Err(ClientError::Server(message)),
+            other => Err(ClientError::Protocol(format!(
+                "expected closed, got {other:?}"
+            ))),
+        }
+    }
+
+    /// Heartbeat round-trip.
+    ///
+    /// # Errors
+    ///
+    /// Transport or protocol errors; a mismatched token is a protocol
+    /// error.
+    pub fn ping(&mut self, token: u64) -> Result<(), ClientError> {
+        self.send(&ClientFrame::Ping { token })?;
+        match self.recv()? {
+            ServerFrame::Pong { token: t } if t == token => Ok(()),
+            other => Err(ClientError::Protocol(format!(
+                "expected pong, got {other:?}"
+            ))),
+        }
+    }
+
+    /// Asks the server to drain (snapshot everything and shut down).
+    /// Returns the number of sessions snapshotted.
+    ///
+    /// # Errors
+    ///
+    /// Transport or protocol errors.
+    pub fn drain(&mut self) -> Result<u64, ClientError> {
+        self.send(&ClientFrame::Drain)?;
+        match self.recv()? {
+            ServerFrame::Draining { sessions } => Ok(sessions),
+            other => Err(ClientError::Protocol(format!(
+                "expected draining, got {other:?}"
+            ))),
+        }
+    }
+}

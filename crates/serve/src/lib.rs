@@ -1,0 +1,48 @@
+//! # yf-serve: tuning-as-a-service over TCP
+//!
+//! A long-running server hosting many concurrent YellowFin tuning
+//! sessions. Clients speak the shared [`yf_wire`] dialect
+//! (line-delimited JSON, floats as hex bit patterns): open a session
+//! naming an optimizer and a safety envelope, stream `(step, loss,
+//! gradient)` measurements, and receive the tuned — and
+//! authority-clamped — `(lr, momentum, grad_scale)` for every accepted
+//! step. The trainer keeps the apply phase (its velocity state never
+//! leaves the process); the server owns the measure phase and runs the
+//! same `observe_shard`/`combine` pipeline an in-process tuner would,
+//! so the served stream is bitwise identical to local tuning.
+//!
+//! The pieces, bottom up:
+//!
+//! - [`proto`]: the wire frames ([`proto::ClientFrame`],
+//!   [`proto::ServerFrame`]).
+//! - [`registry`]: optimizer names the server can host.
+//! - [`authority`]: per-update excursion limits and absolute bounds —
+//!   the server never serves a hyperparameter outside the envelope the
+//!   client declared at open.
+//! - [`filter`]: the data-quality gate (adaptive outlier rejection
+//!   seeded from the paper's Eq. 35 clipping threshold) screening every
+//!   measurement before it can touch the tuner's statistics.
+//! - [`session`]: one hosted session; deterministic, so replaying a
+//!   measurement stream reproduces the served stream bit-for-bit.
+//! - [`snapshot`]: sealed, atomically-replaced per-session state files.
+//! - [`server`]: the TCP front end — bounded compute permits, bounded
+//!   per-connection outbound queues with slow-client shedding, idle
+//!   reaping, graceful drain, and SIGKILL-safe durability.
+//! - [`client`]: a small blocking client.
+
+pub mod authority;
+pub mod client;
+pub mod filter;
+pub mod proto;
+pub mod registry;
+pub mod server;
+pub mod session;
+pub mod snapshot;
+
+pub use authority::Authority;
+pub use client::{Client, ClientError, MeasureReply};
+pub use filter::{FilterSpec, QualityFilter};
+pub use proto::{ClientFrame, OpenSpec, ProtoError, ServerFrame};
+pub use server::{ServeConfig, Server};
+pub use session::{Outcome, Session};
+pub use snapshot::SessionSnapshot;

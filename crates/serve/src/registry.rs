@@ -1,0 +1,61 @@
+//! The server-side optimizer registry.
+//!
+//! Sessions name their optimizer on the wire; this resolves the name to
+//! a boxed instance. The name set and the meaning of the grid value
+//! mirror the fleet registry (`yf-experiments`) — the serve crate sits
+//! *below* the experiments crate in the dependency graph, so the tuner
+//! constructors are repeated here rather than imported — and a test in
+//! the experiments crate pins the two registries to the same name set.
+
+use yellowfin::{YellowFin, YellowFinConfig};
+use yf_optim::{AdaGrad, Adam, MomentumSgd, Optimizer, RmsProp, Sgd};
+
+/// The names [`build_optimizer`] resolves, in registry order.
+pub const OPTIMIZER_NAMES: [&str; 7] = [
+    "sgd",
+    "momentum",
+    "nesterov",
+    "adam",
+    "adagrad",
+    "rmsprop",
+    "yellowfin",
+];
+
+/// Builds a session optimizer from its wire name and grid value (the
+/// learning rate, or the Appendix J.4 lr factor for `"yellowfin"`).
+/// `None` for unknown names.
+pub fn build_optimizer(name: &str, value: f32) -> Option<Box<dyn Optimizer>> {
+    Some(match name {
+        "sgd" => Box::new(Sgd::new(value)),
+        "momentum" => Box::new(MomentumSgd::new(value, 0.9)),
+        "nesterov" => Box::new(MomentumSgd::nesterov(value, 0.9)),
+        "adam" => Box::new(Adam::new(value)),
+        "adagrad" => Box::new(AdaGrad::new(value)),
+        "rmsprop" => Box::new(RmsProp::new(value)),
+        "yellowfin" => Box::new(YellowFin::new(YellowFinConfig {
+            lr_factor: f64::from(value),
+            ..YellowFinConfig::default()
+        })),
+        _ => return None,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_listed_name_resolves() {
+        for name in OPTIMIZER_NAMES {
+            assert!(build_optimizer(name, 0.1).is_some(), "{name}");
+        }
+        assert!(build_optimizer("nope", 0.1).is_none());
+    }
+
+    #[test]
+    fn yellowfin_is_self_tuning_and_checkpointable() {
+        let opt = build_optimizer("yellowfin", 1.0).unwrap();
+        assert!(opt.is_self_tuning());
+        assert!(opt.checkpoint_state().is_some());
+    }
+}

@@ -1,0 +1,654 @@
+//! The multi-session tuner server.
+//!
+//! One listener, one lightweight reader thread per connection, and a
+//! bounded set of compute permits shared by every connection: a frame
+//! is parsed on its connection's thread, but the measure → tune → clamp
+//! pipeline only runs while holding one of `permits` slots, so a burst
+//! of sessions cannot oversubscribe the machine the kernel pool is
+//! sized for. Replies travel through a bounded per-connection outbound
+//! queue drained by a writer thread; a client that stops reading fills
+//! its queue and is shed (disconnected) rather than allowed to wedge a
+//! compute thread — its sessions detach with a final snapshot and
+//! resume on reconnect.
+//!
+//! Sessions outlive connections: a dropped or shed connection detaches
+//! its sessions (snapshotting each), an idle detached session is
+//! eventually reaped by the background sweeper (snapshot first), and a
+//! `drain` frame — or [`Server::drain`] — snapshots everything and
+//! shuts the server down. With `snapshot_every = 1` (the default) every
+//! processed measurement is sealed to disk before its reply is queued,
+//! so even SIGKILL loses nothing: the restarted server re-opens every
+//! session at its snapshot step and the replayed stream continues
+//! bit-exactly.
+
+use crate::proto::{ClientFrame, OpenSpec, ServerFrame};
+use crate::session::{Outcome, Session};
+use crate::snapshot::{self, SessionSnapshot};
+use std::collections::{HashMap, HashSet};
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{sync_channel, TrySendError};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+use yf_tensor::{env, parallel};
+use yf_wire::fsio::{self, SealedFileError};
+
+/// Server tuning knobs. [`ServeConfig::from_env`] layers the
+/// `YF_SERVE_*` environment variables over these defaults with the
+/// workspace's warn-and-default parsing.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Listen address (`host:port`; port 0 picks a free port).
+    pub addr: String,
+    /// Where sealed session snapshots live; `None` disables durability
+    /// (sessions die with the process).
+    pub snapshot_dir: Option<PathBuf>,
+    /// Max concurrently hosted sessions.
+    pub max_sessions: usize,
+    /// Compute permits: measurements processed at once, across all
+    /// connections.
+    pub permits: usize,
+    /// Outbound frames buffered per connection before the client is
+    /// shed as too slow.
+    pub outbound_queue: usize,
+    /// Detached sessions idle longer than this are reaped.
+    pub idle_timeout: Duration,
+    /// Cadence of the idle-reaper sweep.
+    pub reap_tick: Duration,
+    /// Snapshot every Nth processed measurement (1 = every measurement;
+    /// 0 = only on detach, close, reap, and drain).
+    pub snapshot_every: u64,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            addr: "127.0.0.1:0".to_string(),
+            snapshot_dir: None,
+            max_sessions: 64,
+            permits: parallel::num_threads().max(1),
+            outbound_queue: 256,
+            idle_timeout: Duration::from_secs(300),
+            reap_tick: Duration::from_millis(500),
+            snapshot_every: 1,
+        }
+    }
+}
+
+impl ServeConfig {
+    /// The defaults with every `YF_SERVE_*` override applied (hardened
+    /// parsing: malformed values warn on stderr and fall back).
+    pub fn from_env() -> ServeConfig {
+        let mut cfg = ServeConfig::default();
+        if let Some(addr) = env::parse_with("YF_SERVE_ADDR", |raw| {
+            let t = raw.trim();
+            (!t.is_empty()).then(|| t.to_string())
+        }) {
+            cfg.addr = addr;
+        }
+        if let Some(dir) = env::parse_with("YF_SERVE_SNAPSHOT_DIR", |raw| {
+            let t = raw.trim();
+            (!t.is_empty()).then(|| PathBuf::from(t))
+        }) {
+            cfg.snapshot_dir = Some(dir);
+        }
+        if let Some(n) = env::positive_usize("YF_SERVE_MAX_SESSIONS") {
+            cfg.max_sessions = n;
+        }
+        if let Some(n) = env::positive_usize("YF_SERVE_PERMITS") {
+            cfg.permits = n;
+        }
+        if let Some(n) = env::positive_usize("YF_SERVE_QUEUE") {
+            cfg.outbound_queue = n;
+        }
+        if let Some(secs) = env::parse_with("YF_SERVE_IDLE_SECS", |raw| {
+            raw.trim().parse::<u64>().ok().filter(|&n| n > 0)
+        }) {
+            cfg.idle_timeout = Duration::from_secs(secs);
+        }
+        if let Some(ms) = env::parse_with("YF_SERVE_REAP_MILLIS", |raw| {
+            raw.trim().parse::<u64>().ok().filter(|&n| n > 0)
+        }) {
+            cfg.reap_tick = Duration::from_millis(ms);
+        }
+        if let Some(n) = env::parse_with("YF_SERVE_SNAPSHOT_EVERY", |raw| {
+            raw.trim().parse::<u64>().ok()
+        }) {
+            cfg.snapshot_every = n;
+        }
+        cfg
+    }
+}
+
+/// A counting semaphore bounding concurrent measurement processing.
+struct Semaphore {
+    count: Mutex<usize>,
+    cv: Condvar,
+}
+
+struct Permit<'a>(&'a Semaphore);
+
+impl Semaphore {
+    fn new(count: usize) -> Semaphore {
+        Semaphore {
+            count: Mutex::new(count),
+            cv: Condvar::new(),
+        }
+    }
+
+    fn acquire(&self) -> Permit<'_> {
+        let mut n = self.count.lock().expect("semaphore lock");
+        while *n == 0 {
+            n = self.cv.wait(n).expect("semaphore lock");
+        }
+        *n -= 1;
+        Permit(self)
+    }
+}
+
+impl Drop for Permit<'_> {
+    fn drop(&mut self) {
+        *self.0.count.lock().expect("semaphore lock") += 1;
+        self.0.cv.notify_one();
+    }
+}
+
+/// One hosted session plus its server-side bookkeeping.
+struct Entry {
+    session: Session,
+    /// Attached to a live connection (a session is driven by at most
+    /// one connection at a time).
+    attached: bool,
+    last_active: Instant,
+}
+
+struct Shared {
+    cfg: ServeConfig,
+    /// Lock order: `sessions` before any `Entry` lock. Threads holding
+    /// only an `Entry` lock must never take `sessions`.
+    sessions: Mutex<HashMap<String, Arc<Mutex<Entry>>>>,
+    compute: Semaphore,
+    draining: AtomicBool,
+}
+
+impl Shared {
+    fn snapshot_path(&self, name: &str) -> Option<PathBuf> {
+        self.cfg
+            .snapshot_dir
+            .as_ref()
+            .map(|dir| dir.join(format!("{name}.session")))
+    }
+
+    /// Seals a session's state to disk (atomic replace); failures are
+    /// reported but never take the session down.
+    fn write_snapshot(&self, entry: &Entry) {
+        let Some(path) = self.snapshot_path(&entry.session.spec().session) else {
+            return;
+        };
+        let text = snapshot::encode(&entry.session.snapshot());
+        if let Err(e) = fsio::write_sealed(&path, &text) {
+            eprintln!("yf-serve: snapshot {} failed: {e}", path.display());
+        }
+    }
+
+    /// Reads a session's sealed snapshot. `None` when no file exists;
+    /// `Some(Err)` for torn or malformed files.
+    fn load_snapshot(&self, name: &str) -> Option<Result<SessionSnapshot, String>> {
+        let path = self.snapshot_path(name)?;
+        match fsio::read_sealed(&path) {
+            Ok(text) => Some(snapshot::decode(&text).map_err(|e| e.to_string())),
+            Err(SealedFileError::Missing(_)) => None,
+            Err(e) => Some(Err(e.to_string())),
+        }
+    }
+}
+
+/// The running server. Dropping it does *not* stop the threads; call
+/// [`Server::drain`] (or send a `drain` frame) and then
+/// [`Server::wait`].
+pub struct Server {
+    shared: Arc<Shared>,
+    addr: SocketAddr,
+    accept: Option<JoinHandle<()>>,
+    reaper: Option<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds the listener and spawns the accept loop and the idle
+    /// reaper.
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind/FS errors (bad address, uncreatable snapshot
+    /// directory).
+    pub fn start(cfg: ServeConfig) -> io::Result<Server> {
+        if let Some(dir) = &cfg.snapshot_dir {
+            std::fs::create_dir_all(dir)?;
+        }
+        let listener = TcpListener::bind(&cfg.addr)?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        let shared = Arc::new(Shared {
+            compute: Semaphore::new(cfg.permits.max(1)),
+            cfg,
+            sessions: Mutex::new(HashMap::new()),
+            draining: AtomicBool::new(false),
+        });
+        let accept = {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("yf-serve-accept".to_string())
+                .spawn(move || accept_loop(&listener, &shared))
+                .expect("serve: spawning accept thread")
+        };
+        let reaper = {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("yf-serve-reaper".to_string())
+                .spawn(move || reaper_loop(&shared))
+                .expect("serve: spawning reaper thread")
+        };
+        Ok(Server {
+            shared,
+            addr,
+            accept: Some(accept),
+            reaper: Some(reaper),
+        })
+    }
+
+    /// The bound address (resolves port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Graceful drain: stop accepting, snapshot and unload every
+    /// session. Returns the number of sessions snapshotted.
+    pub fn drain(&self) -> u64 {
+        drain_all(&self.shared)
+    }
+
+    /// Blocks until the server has drained and its background threads
+    /// exited. Connection reader threads are not joined — they die with
+    /// their sockets or the process.
+    pub fn wait(mut self) {
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+        if let Some(h) = self.reaper.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
+    loop {
+        if shared.draining.load(Ordering::SeqCst) {
+            return;
+        }
+        match listener.accept() {
+            Ok((stream, _)) => {
+                if shared.draining.load(Ordering::SeqCst) {
+                    return;
+                }
+                let _ = stream.set_nodelay(true);
+                let shared = Arc::clone(shared);
+                let _ = std::thread::Builder::new()
+                    .name("yf-serve-conn".to_string())
+                    .spawn(move || handle_connection(&shared, stream));
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(20));
+            }
+            Err(e) => {
+                eprintln!("yf-serve: accept failed: {e}");
+                std::thread::sleep(Duration::from_millis(100));
+            }
+        }
+    }
+}
+
+fn reaper_loop(shared: &Arc<Shared>) {
+    loop {
+        if shared.draining.load(Ordering::SeqCst) {
+            return;
+        }
+        std::thread::sleep(shared.cfg.reap_tick);
+        reap_idle(shared);
+    }
+}
+
+/// Sweeps detached sessions idle past the timeout: snapshot, then
+/// unload. Runs entirely under the map lock, with `try_lock` per entry
+/// (a contended entry is mid-measurement, hence not idle).
+fn reap_idle(shared: &Shared) {
+    let mut map = shared.sessions.lock().expect("serve sessions lock");
+    let now = Instant::now();
+    let mut reap: Vec<String> = Vec::new();
+    for (name, entry) in map.iter() {
+        if let Ok(e) = entry.try_lock() {
+            if !e.attached && now.duration_since(e.last_active) > shared.cfg.idle_timeout {
+                shared.write_snapshot(&e);
+                reap.push(name.clone());
+            }
+        }
+    }
+    for name in reap {
+        map.remove(&name);
+    }
+}
+
+/// Snapshots and unloads every session, stops the accept loop.
+fn drain_all(shared: &Shared) -> u64 {
+    shared.draining.store(true, Ordering::SeqCst);
+    let entries: Vec<Arc<Mutex<Entry>>> = {
+        let mut map = shared.sessions.lock().expect("serve sessions lock");
+        map.drain().map(|(_, v)| v).collect()
+    };
+    let mut count = 0;
+    for entry in entries {
+        let e = entry.lock().expect("serve entry lock");
+        shared.write_snapshot(&e);
+        count += 1;
+    }
+    count
+}
+
+fn handle_connection(shared: &Arc<Shared>, stream: TcpStream) {
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    let Ok(mut write_half) = stream.try_clone() else {
+        return;
+    };
+    let (tx, rx) = sync_channel::<String>(shared.cfg.outbound_queue.max(1));
+    let writer = std::thread::Builder::new()
+        .name("yf-serve-writer".to_string())
+        .spawn(move || {
+            while let Ok(line) = rx.recv() {
+                if write_half
+                    .write_all(line.as_bytes())
+                    .and_then(|()| write_half.write_all(b"\n"))
+                    .is_err()
+                {
+                    break;
+                }
+            }
+            let _ = write_half.shutdown(Shutdown::Both);
+        })
+        .expect("serve: spawning writer thread");
+
+    // Session names this connection currently drives.
+    let mut owned: HashSet<String> = HashSet::new();
+    let reader = BufReader::new(read_half);
+    'conn: for line in reader.lines() {
+        let Ok(line) = line else { break };
+        if line.trim().is_empty() {
+            continue;
+        }
+        let reply = process_line(shared, &mut owned, &line);
+        match tx.try_send(reply.to_line()) {
+            Ok(()) => {}
+            Err(TrySendError::Full(_)) => {
+                // Slow client: its outbound queue is full, so it is not
+                // reading. Shed it rather than block a reader thread;
+                // its sessions snapshot below and resume on reconnect.
+                eprintln!(
+                    "yf-serve: shedding slow client ({} queued frames)",
+                    shared.cfg.outbound_queue
+                );
+                break 'conn;
+            }
+            Err(TrySendError::Disconnected(_)) => break 'conn,
+        }
+    }
+    drop(tx);
+    detach_owned(shared, &owned);
+    let _ = stream.shutdown(Shutdown::Both);
+    let _ = writer.join();
+}
+
+/// Detaches (and snapshots) every session a closing connection drove.
+fn detach_owned(shared: &Shared, owned: &HashSet<String>) {
+    for name in owned {
+        let entry = {
+            let map = shared.sessions.lock().expect("serve sessions lock");
+            map.get(name).cloned()
+        };
+        if let Some(entry) = entry {
+            let mut e = entry.lock().expect("serve entry lock");
+            e.attached = false;
+            e.last_active = Instant::now();
+            shared.write_snapshot(&e);
+        }
+    }
+}
+
+fn error(session: Option<&str>, message: impl Into<String>) -> ServerFrame {
+    ServerFrame::Error {
+        session: session.map(String::from),
+        message: message.into(),
+    }
+}
+
+fn process_line(shared: &Shared, owned: &mut HashSet<String>, line: &str) -> ServerFrame {
+    let frame = match ClientFrame::from_line(line) {
+        Ok(f) => f,
+        Err(e) => return error(None, e.to_string()),
+    };
+    match frame {
+        ClientFrame::Open(spec) => process_open(shared, owned, spec),
+        ClientFrame::Measure {
+            session,
+            step,
+            loss,
+            grads,
+        } => process_measure(shared, owned, &session, step, loss, &grads),
+        ClientFrame::Close { session } => process_close(shared, owned, &session),
+        ClientFrame::Ping { token } => {
+            // The heartbeat: keep this connection's sessions warm.
+            let map = shared.sessions.lock().expect("serve sessions lock");
+            for name in owned.iter() {
+                if let Some(entry) = map.get(name) {
+                    entry.lock().expect("serve entry lock").last_active = Instant::now();
+                }
+            }
+            ServerFrame::Pong { token }
+        }
+        ClientFrame::Drain => ServerFrame::Draining {
+            sessions: drain_all(shared),
+        },
+    }
+}
+
+fn process_open(shared: &Shared, owned: &mut HashSet<String>, spec: OpenSpec) -> ServerFrame {
+    let name = spec.session.clone();
+    if shared.draining.load(Ordering::SeqCst) {
+        return error(Some(&name), "server is draining");
+    }
+    if let Err(e) = spec.validate() {
+        return error(Some(&name), e);
+    }
+    let mut map = shared.sessions.lock().expect("serve sessions lock");
+    if let Some(entry) = map.get(&name) {
+        // Live session: re-attach (reconnect) if nobody else drives it.
+        let mut e = entry.lock().expect("serve entry lock");
+        if e.attached {
+            return error(Some(&name), "session busy: attached to another connection");
+        }
+        if !e.session.spec().matches(&spec) {
+            return error(Some(&name), "spec does not match the live session");
+        }
+        e.attached = true;
+        e.last_active = Instant::now();
+        let step = e.session.step();
+        drop(e);
+        owned.insert(name.clone());
+        return ServerFrame::Opened {
+            session: name,
+            step,
+        };
+    }
+    if map.len() >= shared.cfg.max_sessions {
+        return error(
+            Some(&name),
+            format!("session limit reached ({})", shared.cfg.max_sessions),
+        );
+    }
+    let session = match shared.load_snapshot(&name) {
+        // A sealed snapshot exists: this open is a resume.
+        Some(Ok(snap)) => {
+            if !snap.spec.matches(&spec) {
+                return error(Some(&name), "spec does not match the session snapshot");
+            }
+            match Session::restore(snap) {
+                Ok(s) => s,
+                Err(e) => return error(Some(&name), format!("snapshot restore failed: {e}")),
+            }
+        }
+        Some(Err(e)) => return error(Some(&name), format!("unreadable snapshot: {e}")),
+        None => match Session::new(spec) {
+            Ok(s) => s,
+            Err(e) => return error(Some(&name), e),
+        },
+    };
+    let step = session.step();
+    map.insert(
+        name.clone(),
+        Arc::new(Mutex::new(Entry {
+            session,
+            attached: true,
+            last_active: Instant::now(),
+        })),
+    );
+    owned.insert(name.clone());
+    ServerFrame::Opened {
+        session: name,
+        step,
+    }
+}
+
+fn process_measure(
+    shared: &Shared,
+    owned: &HashSet<String>,
+    session: &str,
+    step: u64,
+    loss: f32,
+    grads: &[f32],
+) -> ServerFrame {
+    if !owned.contains(session) {
+        return error(Some(session), "session not open on this connection");
+    }
+    let entry = {
+        let map = shared.sessions.lock().expect("serve sessions lock");
+        map.get(session).cloned()
+    };
+    let Some(entry) = entry else {
+        return error(Some(session), "session no longer hosted");
+    };
+    // The compute permit bounds how many measurements the whole server
+    // processes at once, independent of connection count.
+    let _permit = shared.compute.acquire();
+    let mut e = entry.lock().expect("serve entry lock");
+    if shared.draining.load(Ordering::SeqCst) {
+        return error(Some(session), "server is draining");
+    }
+    match e.session.measure(step, loss, grads) {
+        Err(msg) => error(Some(session), msg),
+        Ok(outcome) => {
+            e.last_active = Instant::now();
+            let every = shared.cfg.snapshot_every;
+            if every > 0 && e.session.step() % every == 0 {
+                shared.write_snapshot(&e);
+            }
+            match outcome {
+                Outcome::Tuned { hyper, clamped } => ServerFrame::Tuned {
+                    session: session.to_string(),
+                    step,
+                    hyper,
+                    clamped,
+                },
+                Outcome::Rejected { reason } => ServerFrame::Rejected {
+                    session: session.to_string(),
+                    step,
+                    reason,
+                },
+            }
+        }
+    }
+}
+
+fn process_close(shared: &Shared, owned: &mut HashSet<String>, session: &str) -> ServerFrame {
+    if !owned.remove(session) {
+        return error(Some(session), "session not open on this connection");
+    }
+    let entry = {
+        let mut map = shared.sessions.lock().expect("serve sessions lock");
+        map.remove(session)
+    };
+    if let Some(entry) = entry {
+        // Final snapshot: a closed session can be re-opened later and
+        // resumes from here.
+        let e = entry.lock().expect("serve entry lock");
+        shared.write_snapshot(&e);
+    }
+    ServerFrame::Closed {
+        session: session.to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn semaphore_bounds_concurrency() {
+        let sem = Arc::new(Semaphore::new(2));
+        let active = Arc::new(Mutex::new((0usize, 0usize))); // (now, peak)
+        let mut handles = Vec::new();
+        for _ in 0..8 {
+            let sem = Arc::clone(&sem);
+            let active = Arc::clone(&active);
+            handles.push(std::thread::spawn(move || {
+                let _p = sem.acquire();
+                {
+                    let mut a = active.lock().unwrap();
+                    a.0 += 1;
+                    a.1 = a.1.max(a.0);
+                }
+                std::thread::sleep(Duration::from_millis(5));
+                active.lock().unwrap().0 -= 1;
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let (now, peak) = *active.lock().unwrap();
+        assert_eq!(now, 0);
+        assert!(peak <= 2, "peak concurrency {peak} exceeded the permits");
+    }
+
+    #[test]
+    fn env_overrides_use_hardened_parsing() {
+        // Unique variable names: the test harness runs in one process.
+        std::env::set_var("YF_SERVE_MAX_SESSIONS", "3");
+        std::env::set_var("YF_SERVE_PERMITS", "not-a-number");
+        std::env::set_var("YF_SERVE_IDLE_SECS", "7");
+        std::env::set_var("YF_SERVE_SNAPSHOT_EVERY", "0");
+        let cfg = ServeConfig::from_env();
+        assert_eq!(cfg.max_sessions, 3);
+        assert_eq!(
+            cfg.permits,
+            ServeConfig::default().permits,
+            "malformed falls back"
+        );
+        assert_eq!(cfg.idle_timeout, Duration::from_secs(7));
+        assert_eq!(cfg.snapshot_every, 0, "zero means snapshot-on-detach only");
+        std::env::remove_var("YF_SERVE_MAX_SESSIONS");
+        std::env::remove_var("YF_SERVE_PERMITS");
+        std::env::remove_var("YF_SERVE_IDLE_SECS");
+        std::env::remove_var("YF_SERVE_SNAPSHOT_EVERY");
+    }
+}

@@ -1,0 +1,349 @@
+//! Robustness matrix for the serve subsystem: concurrency parity,
+//! SIGKILL durability, protocol abuse, and backpressure shedding.
+//!
+//! The load-bearing contract is determinism: every hosted session is a
+//! pure function of its spec and measurement stream, so each test
+//! compares served [`Hyper`] streams bitwise against an in-process
+//! [`Session`] replaying the same frames.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::path::PathBuf;
+use std::process::{Child, Command, Stdio};
+use std::time::Duration;
+use yf_serve::{
+    Authority, Client, FilterSpec, MeasureReply, OpenSpec, Outcome, ServeConfig, Server,
+    ServerFrame, Session,
+};
+use yf_tensor::rng::Pcg32;
+
+const DIM: usize = 16;
+const OPTIMIZERS: [&str; 4] = ["yellowfin", "momentum", "adam", "rmsprop"];
+
+fn spec(name: &str, optimizer: &str) -> OpenSpec {
+    OpenSpec {
+        session: name.to_string(),
+        optimizer: optimizer.to_string(),
+        value: 0.1,
+        dim: DIM,
+        authority: Authority::default(),
+        filter: FilterSpec::default(),
+    }
+}
+
+/// A deterministic per-session measurement stream, with an occasional
+/// exploding gradient so the quality filter's rejections are part of
+/// the replayed trajectory.
+fn stream(seed: u64, frames: usize) -> Vec<(f32, Vec<f32>)> {
+    let mut rng = Pcg32::seed_stream(seed, 0x5e);
+    (0..frames)
+        .map(|i| {
+            let scale = if i % 13 == 12 { 1e7 } else { 1.0 };
+            let loss = rng.uniform();
+            let grads = (0..DIM).map(|_| scale * (rng.uniform() - 0.5)).collect();
+            (loss, grads)
+        })
+        .collect()
+}
+
+/// The uninterrupted in-process reference for one session.
+fn reference(open: &OpenSpec, frames: &[(f32, Vec<f32>)]) -> Vec<Outcome> {
+    let mut session = Session::new(open.clone()).unwrap();
+    frames
+        .iter()
+        .enumerate()
+        .map(|(i, (loss, grads))| session.measure(i as u64, *loss, grads).unwrap())
+        .collect()
+}
+
+fn reply_matches(reply: &MeasureReply, want: &Outcome, context: &str) {
+    match (reply, want) {
+        (
+            MeasureReply::Tuned { hyper, clamped },
+            Outcome::Tuned {
+                hyper: w,
+                clamped: wc,
+            },
+        ) => {
+            assert_eq!(hyper.lr.to_bits(), w.lr.to_bits(), "{context}: lr");
+            assert_eq!(
+                hyper.momentum.to_bits(),
+                w.momentum.to_bits(),
+                "{context}: momentum"
+            );
+            assert_eq!(
+                hyper.grad_scale.to_bits(),
+                w.grad_scale.to_bits(),
+                "{context}: grad_scale"
+            );
+            assert_eq!(clamped, wc, "{context}: clamped");
+        }
+        (MeasureReply::Rejected { reason }, Outcome::Rejected { reason: w }) => {
+            assert_eq!(reason, w, "{context}: rejection reason");
+        }
+        (got, want) => panic!("{context}: got {got:?}, reference says {want:?}"),
+    }
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("yf-serve-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+#[test]
+fn eight_concurrent_sessions_serve_bitwise_reference_streams() {
+    // Eight clients stream interleaved frames into one server; every
+    // session's served stream must match its in-process reference
+    // bit-for-bit despite the shared compute permits and concurrent
+    // combine calls.
+    let dir = temp_dir("concurrent");
+    let server = Server::start(ServeConfig {
+        snapshot_dir: Some(dir.clone()),
+        permits: 4,
+        ..ServeConfig::default()
+    })
+    .unwrap();
+    let addr = server.local_addr();
+    let handles: Vec<_> = (0..8)
+        .map(|i| {
+            std::thread::spawn(move || {
+                let open = spec(&format!("c{i}"), OPTIMIZERS[i % OPTIMIZERS.len()]);
+                let frames = stream(100 + i as u64, 50);
+                let want = reference(&open, &frames);
+                let mut client = Client::connect(addr).unwrap();
+                assert_eq!(client.open(open.clone()).unwrap(), 0);
+                for (step, (loss, grads)) in frames.iter().enumerate() {
+                    let reply = client
+                        .measure(&open.session, step as u64, *loss, grads)
+                        .unwrap();
+                    reply_matches(&reply, &want[step], &format!("session c{i} step {step}"));
+                }
+                client.close_session(&open.session).unwrap();
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+fn spawn_server_bin(dir: &std::path::Path) -> (Child, String) {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_yf-serve"))
+        .env("YF_SERVE_ADDR", "127.0.0.1:0")
+        .env("YF_SERVE_SNAPSHOT_DIR", dir)
+        .env("YF_NUM_THREADS", "2")
+        .stdout(Stdio::piped())
+        .stderr(Stdio::inherit())
+        .spawn()
+        .unwrap();
+    let mut line = String::new();
+    BufReader::new(child.stdout.take().unwrap())
+        .read_line(&mut line)
+        .unwrap();
+    let addr = line
+        .trim()
+        .rsplit(' ')
+        .next()
+        .expect("listen line ends with the address")
+        .to_string();
+    assert!(
+        line.starts_with("yf-serve listening on "),
+        "unexpected banner: {line:?}"
+    );
+    (child, addr)
+}
+
+#[test]
+fn sigkilled_server_resumes_every_session_bitwise() {
+    // The acceptance bar: 8 concurrent sessions, the server SIGKILL'd
+    // mid-stream, restarted from its snapshot directory — and every
+    // resumed session's subsequent Hyper stream is bitwise identical to
+    // an uninterrupted run.
+    const TOTAL: usize = 60;
+    const BEFORE_KILL: usize = 25;
+    let dir = temp_dir("sigkill");
+    std::fs::create_dir_all(&dir).unwrap();
+    let (mut child, addr) = spawn_server_bin(&dir);
+
+    // Phase 1: stream the first chunk of every session concurrently.
+    let handles: Vec<_> = (0..8)
+        .map(|i| {
+            let addr = addr.clone();
+            std::thread::spawn(move || {
+                let open = spec(&format!("k{i}"), OPTIMIZERS[i % OPTIMIZERS.len()]);
+                let frames = stream(200 + i as u64, TOTAL);
+                let mut client = Client::connect(addr.as_str()).unwrap();
+                assert_eq!(client.open(open).unwrap(), 0);
+                for (step, (loss, grads)) in frames.iter().enumerate().take(BEFORE_KILL) {
+                    client
+                        .measure(&format!("k{i}"), step as u64, *loss, grads)
+                        .unwrap();
+                }
+                // No close: the connection dies with the server.
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+
+    // SIGKILL mid-stream: no drain, no flush, nothing graceful. Every
+    // acknowledged measurement was sealed before its reply, so the
+    // snapshots on disk are complete up to step BEFORE_KILL.
+    child.kill().unwrap();
+    child.wait().unwrap();
+
+    // Phase 2: a fresh server process over the same snapshot directory.
+    let (mut child, addr) = spawn_server_bin(&dir);
+    let handles: Vec<_> = (0..8)
+        .map(|i| {
+            let addr = addr.clone();
+            std::thread::spawn(move || {
+                let open = spec(&format!("k{i}"), OPTIMIZERS[i % OPTIMIZERS.len()]);
+                let frames = stream(200 + i as u64, TOTAL);
+                let want = reference(&open, &frames);
+                let mut client = Client::connect(addr.as_str()).unwrap();
+                let resume = client.open(open.clone()).unwrap();
+                assert_eq!(
+                    resume, BEFORE_KILL as u64,
+                    "session k{i} must resume exactly where its snapshot sealed"
+                );
+                for (step, (loss, grads)) in frames.iter().enumerate().skip(resume as usize) {
+                    let reply = client
+                        .measure(&open.session, step as u64, *loss, grads)
+                        .unwrap();
+                    reply_matches(
+                        &reply,
+                        &want[step],
+                        &format!("resumed session k{i} step {step}"),
+                    );
+                }
+                client.close_session(&open.session).unwrap();
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+    child.kill().unwrap();
+    child.wait().unwrap();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn dropped_connection_detaches_sessions_and_reconnect_resumes() {
+    // A client that vanishes (no close frame) must not strand its
+    // session: the server detaches it with a snapshot and a later
+    // connection resumes it bit-exactly.
+    let dir = temp_dir("reconnect");
+    let server = Server::start(ServeConfig {
+        snapshot_dir: Some(dir.clone()),
+        ..ServeConfig::default()
+    })
+    .unwrap();
+    let addr = server.local_addr();
+    let open = spec("drop", "yellowfin");
+    let frames = stream(777, 40);
+    let want = reference(&open, &frames);
+
+    let mut client = Client::connect(addr).unwrap();
+    assert_eq!(client.open(open.clone()).unwrap(), 0);
+    for (step, (loss, grads)) in frames.iter().enumerate().take(18) {
+        client.measure("drop", step as u64, *loss, grads).unwrap();
+    }
+    drop(client); // hang up without closing the session
+
+    // The server detaches on reader EOF; retry until the session is
+    // re-openable (attached sessions refuse a second connection).
+    let mut client = Client::connect(addr).unwrap();
+    let mut resume = None;
+    for _ in 0..100 {
+        match client.open(open.clone()) {
+            Ok(step) => {
+                resume = Some(step);
+                break;
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(10)),
+        }
+    }
+    let resume = resume.expect("session must detach after the connection drops");
+    assert_eq!(resume, 18);
+    for (step, (loss, grads)) in frames.iter().enumerate().skip(18) {
+        let reply = client.measure("drop", step as u64, *loss, grads).unwrap();
+        reply_matches(&reply, &want[step], &format!("reconnected step {step}"));
+    }
+    drop(server);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn malformed_frames_answer_with_an_error_and_the_connection_survives() {
+    let server = Server::start(ServeConfig::default()).unwrap();
+    let stream = TcpStream::connect(server.local_addr()).unwrap();
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+    let mut writer = stream;
+
+    let mut roundtrip = |line: &str| -> ServerFrame {
+        writeln!(writer, "{line}").unwrap();
+        writer.flush().unwrap();
+        let mut reply = String::new();
+        reader.read_line(&mut reply).unwrap();
+        ServerFrame::from_line(reply.trim_end()).unwrap()
+    };
+
+    for garbage in [
+        "this is not json",
+        "{\"type\":\"measure\"}",
+        "{\"type\":\"warp\",\"session\":\"x\"}",
+        "{\"type\":\"open\",\"session\":\"\",\"optimizer\":\"sgd\",\"value\":\"3dcccccd\",\"dim\":\"4\"}",
+    ] {
+        match roundtrip(garbage) {
+            ServerFrame::Error { .. } => {}
+            other => panic!("expected an error frame for {garbage:?}, got {other:?}"),
+        }
+    }
+    // The connection is still serviceable after every rejected frame.
+    match roundtrip("{\"type\":\"ping\",\"token\":41}") {
+        ServerFrame::Pong { token } => assert_eq!(token, 41),
+        other => panic!("expected pong, got {other:?}"),
+    }
+}
+
+#[test]
+fn slow_readers_are_shed_and_the_server_stays_healthy() {
+    // A client that writes frames but never reads replies must be
+    // disconnected once its bounded outbound queue fills — not allowed
+    // to wedge a compute permit or grow an unbounded buffer.
+    let server = Server::start(ServeConfig {
+        outbound_queue: 2,
+        ..ServeConfig::default()
+    })
+    .unwrap();
+    let addr = server.local_addr();
+
+    let slow = TcpStream::connect(addr).unwrap();
+    slow.set_nodelay(true).unwrap();
+    let mut writer = slow.try_clone().unwrap();
+    let ping = "{\"type\":\"ping\",\"token\":7}\n";
+    let mut shed = false;
+    for _ in 0..2_000_000 {
+        if writer.write_all(ping.as_bytes()).is_err() {
+            shed = true;
+            break;
+        }
+    }
+    assert!(shed, "the unread connection must eventually be shed");
+
+    // The server survives the shedding and serves new clients.
+    let mut client = Client::connect(addr).unwrap();
+    client.ping(9).unwrap();
+    let open = spec("after-shed", "momentum");
+    assert_eq!(client.open(open).unwrap(), 0);
+    let (loss, grads) = &stream(5, 1)[0];
+    assert!(matches!(
+        client.measure("after-shed", 0, *loss, grads).unwrap(),
+        MeasureReply::Tuned { .. }
+    ));
+}

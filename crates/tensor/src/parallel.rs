@@ -150,10 +150,55 @@ pub fn fanout_count() -> u64 {
 }
 
 thread_local! {
+    /// Count of mid-section dispatches this thread has published onto
+    /// the parked workers of an open phased job (see
+    /// [`Pool::run_phased`]). These are *not* fan-outs — the workers are
+    /// already attached to the job — but tests use the counter to prove
+    /// a sweep left the inline path.
+    static MID_FANOUTS: Cell<u64> = const { Cell::new(0) };
+}
+
+/// The number of mid-section dispatches this thread has published onto
+/// parked phase workers. Take a delta around a region to check that a
+/// combine-internal sweep (e.g. the variance EMA update) really ran on
+/// the pool instead of inline. Thread-local, like [`fanout_count`].
+pub fn mid_fanout_count() -> u64 {
+    MID_FANOUTS.with(|c| c.get())
+}
+
+thread_local! {
     /// True while this thread is executing inside a pool dispatch —
     /// either as a worker or as a publishing caller. Nested dispatches
     /// check it and run inline.
     static IN_DISPATCH: Cell<bool> = const { Cell::new(false) };
+}
+
+thread_local! {
+    /// While the publisher of a phased job executes the `mid` section,
+    /// this points at the job whose workers are parked at the phase
+    /// barrier. A nested dispatch from the mid section publishes its
+    /// task list onto those parked workers instead of running inline
+    /// (see [`Pool::run_phased`]).
+    static MID_HOST: Cell<Option<*const Job>> = const { Cell::new(None) };
+}
+
+/// Scoped set/restore of [`MID_HOST`]; restores on unwind too.
+struct MidHostGuard {
+    prev: Option<*const Job>,
+}
+
+impl MidHostGuard {
+    fn enter(job: Option<*const Job>) -> MidHostGuard {
+        let prev = MID_HOST.with(|c| c.replace(job));
+        MidHostGuard { prev }
+    }
+}
+
+impl Drop for MidHostGuard {
+    fn drop(&mut self) {
+        let prev = self.prev;
+        MID_HOST.with(|c| c.set(prev));
+    }
 }
 
 struct DispatchGuard;
@@ -199,12 +244,37 @@ struct Job {
     cv: Condvar,
 }
 
+/// A task list the publisher hands to the workers parked at the phase
+/// barrier, from inside the mid section. The closure lives on the
+/// publisher's stack; the publisher blocks in [`Job::run_mid`] until
+/// every index completed, so no worker dereferences `f` after it dies
+/// (a late worker's claim comes back `>= n` and it never touches `f`).
+struct MidTask {
+    f: RawTask,
+    n: usize,
+    /// Next unclaimed task index; claims at or past `n` mean "done".
+    next: AtomicUsize,
+}
+
+// SAFETY: same argument as `Job` — the raw pointer is only dereferenced
+// under an in-range claim, and the publisher outlives every claim.
+unsafe impl Send for MidTask {}
+unsafe impl Sync for MidTask {}
+
 struct Progress {
     done1: usize,
     done2: usize,
     /// Set by the publisher once phase 1 and the mid section finished;
     /// workers park on the job condvar until then.
     phase2_open: bool,
+    /// The mid-section task list currently offered to parked workers
+    /// (cleared by the publisher once it drained).
+    mid: Option<Arc<MidTask>>,
+    /// Bumped per mid publish, so a parked worker that already drained
+    /// one list does not busy-loop on it while waiting for the next.
+    mid_gen: u64,
+    /// Completed tasks of the current mid list.
+    mid_done: usize,
     /// First panic payload from any task, rethrown by the publisher.
     panic: Option<Box<dyn Any + Send>>,
 }
@@ -230,6 +300,9 @@ impl Job {
                 done1: 0,
                 done2: 0,
                 phase2_open: false,
+                mid: None,
+                mid_gen: 0,
+                mid_done: 0,
                 panic: None,
             }),
             cv: Condvar::new(),
@@ -268,20 +341,86 @@ impl Job {
         }
     }
 
-    /// Worker-side entry: help with phase 1, wait for the mid section,
-    /// help with phase 2. Returns immediately on jobs that are already
-    /// drained (a worker can pick a completed job out of the slot).
+    /// Worker-side entry: help with phase 1, park at the phase barrier —
+    /// executing any task lists the publisher's mid section hands over —
+    /// then help with phase 2. Returns quickly on jobs that are already
+    /// finished (a worker can pick a completed job out of the slot:
+    /// `phase2_open` was set before its publisher left).
     fn assist(&self) {
         self.run_tasks(false);
-        if self.n2 == 0 {
-            return;
-        }
+        let mut seen_mid = 0u64;
         let mut g = self.sync.lock().expect("pool job lock");
         while !g.phase2_open {
+            if g.mid_gen != seen_mid {
+                if let Some(mt) = g.mid.clone() {
+                    seen_mid = g.mid_gen;
+                    drop(g);
+                    self.run_mid_tasks(&mt);
+                    g = self.sync.lock().expect("pool job lock");
+                    continue;
+                }
+                seen_mid = g.mid_gen;
+            }
             g = self.cv.wait(g).expect("pool job lock");
         }
         drop(g);
         self.run_tasks(true);
+    }
+
+    /// Claims and runs tasks of a mid list until none remain. Mirrors
+    /// [`Job::run_tasks`]: panics are caught into `Progress::panic` and
+    /// the completion count always advances.
+    fn run_mid_tasks(&self, mt: &MidTask) {
+        loop {
+            let i = mt.next.fetch_add(1, Ordering::Relaxed);
+            if i >= mt.n {
+                return;
+            }
+            // SAFETY: `i < mt.n`, so the publisher is still blocked in
+            // `run_mid` and the closure is alive.
+            let task = unsafe { &*mt.f };
+            let result = catch_unwind(AssertUnwindSafe(|| task(i)));
+            let mut g = self.sync.lock().expect("pool job lock");
+            if let Err(p) = result {
+                g.panic.get_or_insert(p);
+            }
+            g.mid_done += 1;
+            drop(g);
+            self.cv.notify_all();
+        }
+    }
+
+    /// Publisher-side mid dispatch: offers `n` indexed calls of `f` to
+    /// the workers parked at this job's phase barrier, participates in
+    /// the claiming itself, and blocks until every index completed. A
+    /// task panic resumes on the publisher (inside its mid section).
+    ///
+    /// Only called from the thread that published this job, from inside
+    /// its mid section — phases 1 and 2 are quiescent the whole time.
+    fn run_mid(&self, f: &(dyn Fn(usize) + Sync), n: usize) {
+        let mt = Arc::new(MidTask {
+            f: erase(f),
+            n,
+            next: AtomicUsize::new(0),
+        });
+        {
+            let mut g = self.sync.lock().expect("pool job lock");
+            g.mid = Some(Arc::clone(&mt));
+            g.mid_gen += 1;
+            g.mid_done = 0;
+        }
+        self.cv.notify_all();
+        self.run_mid_tasks(&mt);
+        let mut g = self.sync.lock().expect("pool job lock");
+        while g.mid_done < n {
+            g = self.cv.wait(g).expect("pool job lock");
+        }
+        g.mid = None;
+        let panic = g.panic.take();
+        drop(g);
+        if let Some(p) = panic {
+            resume_unwind(p);
+        }
     }
 
     /// Blocks until all tasks of the phase completed (panicked tasks
@@ -405,6 +544,14 @@ impl Pool {
     /// (via locks/interior mutability): the phase barrier guarantees no
     /// task is executing while it runs.
     ///
+    /// A dispatch published *from inside* `mid` (a kernel the combine
+    /// step calls, say) does not run inline like other nested dispatches:
+    /// its task list is handed to the workers parked at the phase
+    /// barrier, so combine-internal sweeps parallelize while the whole
+    /// step still costs one fan-out. The chunk plan — not who executes
+    /// it — determines results, so this is bitwise identical to the
+    /// inline path. [`mid_fanout_count`] counts these hand-offs.
+    ///
     /// Panic semantics match scoped threads: a phase-1 (or `mid`) panic
     /// skips everything after it and resumes on the caller; phase-2
     /// panics resume after the final barrier. The pool always survives.
@@ -425,6 +572,17 @@ impl Pool {
             r
         };
         if IN_DISPATCH.with(|f| f.get()) {
+            if n1 + n2 > 1 {
+                if let Some(host) = MID_HOST.with(|c| c.get()) {
+                    // Published from a mid section: hand the task lists
+                    // to the workers parked at the host job's barrier.
+                    // SAFETY: MID_HOST is only set on the publisher
+                    // thread while it is inside `mid`, so the host job
+                    // is alive and its phases are quiescent.
+                    let host = unsafe { &*host };
+                    return run_phased_on_mid_host(host, n1, &f1, mid, n2, &f2);
+                }
+            }
             // Nested dispatch: bitwise identical inline (the chunk plan,
             // not the execution, determines results), and it keeps an
             // optimizer step at exactly one fan-out.
@@ -454,11 +612,17 @@ impl Pool {
             job.open_phase2(true);
             resume_unwind(p);
         }
-        let r = match catch_unwind(AssertUnwindSafe(mid)) {
-            Ok(r) => r,
-            Err(p) => {
-                job.open_phase2(true);
-                resume_unwind(p);
+        let r = {
+            let job = &job;
+            match catch_unwind(AssertUnwindSafe(|| {
+                let _mid = MidHostGuard::enter(Some(Arc::as_ptr(job)));
+                mid()
+            })) {
+                Ok(r) => r,
+                Err(p) => {
+                    job.open_phase2(true);
+                    resume_unwind(p);
+                }
             }
         };
         job.open_phase2(false);
@@ -616,6 +780,46 @@ impl std::fmt::Debug for Pool {
             .field("workers", &self.workers.len())
             .finish()
     }
+}
+
+/// A nested `run_phased` published from inside a host job's mid section:
+/// each task phase becomes a mid task list executed by the workers parked
+/// at the host's phase barrier (the publisher participates), with the
+/// nested mid section running inline between them. `MID_HOST` is cleared
+/// for the duration, so anything *these* tasks dispatch runs inline — the
+/// parked workers are already occupied.
+fn run_phased_on_mid_host<R, F1, M, F2>(
+    host: &Job,
+    n1: usize,
+    f1: &F1,
+    mid: M,
+    n2: usize,
+    f2: &F2,
+) -> R
+where
+    F1: Fn(usize) + Sync,
+    M: FnOnce() -> R,
+    F2: Fn(usize) + Sync,
+{
+    let _guard = MidHostGuard::enter(None);
+    if n1 > 1 {
+        MID_FANOUTS.with(|c| c.set(c.get() + 1));
+        host.run_mid(f1, n1);
+    } else {
+        for i in 0..n1 {
+            f1(i);
+        }
+    }
+    let r = mid();
+    if n2 > 1 {
+        MID_FANOUTS.with(|c| c.set(c.get() + 1));
+        host.run_mid(f2, n2);
+    } else {
+        for i in 0..n2 {
+            f2(i);
+        }
+    }
+    r
 }
 
 fn worker_loop(shared: &PoolShared) {
@@ -913,6 +1117,143 @@ mod tests {
         assert_eq!(phase2.load(Ordering::Relaxed), 0, "phase 2 must be skipped");
         // Still serviceable afterwards.
         pool.run(2, |_| {});
+    }
+
+    #[test]
+    fn mid_dispatch_runs_on_parked_workers() {
+        // A dispatch published from the mid section must execute on the
+        // workers parked at the phase barrier, not inline: task 0 blocks
+        // until task 1 ran, which needs two threads working the list.
+        let pool = Pool::new(2);
+        let t1_done = std::sync::atomic::AtomicBool::new(false);
+        pool.run_phased(
+            2,
+            |_| {},
+            || {
+                pool.run(2, |i| {
+                    if i == 1 {
+                        t1_done.store(true, Ordering::SeqCst);
+                    } else {
+                        for _ in 0..5000 {
+                            if t1_done.load(Ordering::SeqCst) {
+                                return;
+                            }
+                            std::thread::sleep(std::time::Duration::from_millis(1));
+                        }
+                        panic!("mid task 0 never saw task 1 run: mid list stayed inline");
+                    }
+                });
+            },
+            2,
+            |_| {},
+        );
+    }
+
+    #[test]
+    fn mid_dispatch_matches_top_level_bitwise() {
+        // Order-sensitive per-chunk accumulation: the mid-hosted sweep
+        // must agree bit-for-bit with the same chunk plan dispatched
+        // top-level (chunk plans, not executors, determine results).
+        let kernel = |first: usize, chunk: &mut [f32]| {
+            for (r, row) in chunk.chunks_mut(4).enumerate() {
+                let mut acc = 0.3f32 * (first + r) as f32;
+                for (c, v) in row.iter_mut().enumerate() {
+                    acc = acc * 1.000_3 + (c as f32).cos();
+                    *v = acc;
+                }
+            }
+        };
+        let init: Vec<f32> = (0..29 * 4).map(|i| (i as f32 * 0.9).sin()).collect();
+        let pool = Pool::new(3);
+        let mut want = init.clone();
+        pool.chunks_mut(&mut want, 4, 4, kernel);
+        let mut got = init.clone();
+        pool.run_phased(
+            2,
+            |_| {},
+            || pool.chunks_mut(&mut got, 4, 4, kernel),
+            0,
+            |_| {},
+        );
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn mid_dispatch_panic_resumes_on_caller() {
+        let pool = Pool::new(2);
+        let phase2 = AtomicUsize::new(0);
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            pool.run_phased(
+                2,
+                |_| {},
+                || {
+                    pool.run(4, |i| {
+                        if i == 2 {
+                            panic!("boom in mid task");
+                        }
+                    });
+                },
+                4,
+                |_| {
+                    phase2.fetch_add(1, Ordering::Relaxed);
+                },
+            )
+        }));
+        assert!(caught.is_err(), "mid-task panic must resume on the caller");
+        assert_eq!(phase2.load(Ordering::Relaxed), 0, "phase 2 must be skipped");
+        // The workers are parked and serviceable again.
+        let hits = AtomicUsize::new(0);
+        pool.run(8, |_| {
+            hits.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 8);
+    }
+
+    #[test]
+    fn mid_dispatch_is_not_a_fanout_but_is_counted() {
+        let pool = Pool::new(2);
+        let fanouts = fanout_count();
+        let mids = mid_fanout_count();
+        pool.run_phased(
+            2,
+            |_| {},
+            || {
+                let mut data = vec![0f32; 8];
+                pool.chunks_mut(&mut data, 1, 4, |_, c| c.fill(1.0));
+                assert!(data.iter().all(|&v| v == 1.0));
+            },
+            2,
+            |_| {},
+        );
+        assert_eq!(fanout_count(), fanouts + 1, "still exactly one fan-out");
+        assert_eq!(
+            mid_fanout_count(),
+            mids + 1,
+            "the sweep left the inline path"
+        );
+    }
+
+    #[test]
+    fn dispatch_inside_a_mid_task_runs_inline() {
+        // The parked workers are occupied by the mid list itself, so a
+        // dispatch from inside one of its tasks must fall back to the
+        // inline path rather than deadlock.
+        let pool = Pool::new(2);
+        let hits = AtomicUsize::new(0);
+        pool.run_phased(
+            2,
+            |_| {},
+            || {
+                pool.run(3, |_| {
+                    pool.run(3, |_| {
+                        hits.fetch_add(1, Ordering::Relaxed);
+                    });
+                });
+            },
+            0,
+            |_| {},
+        );
+        assert_eq!(hits.load(Ordering::Relaxed), 9);
     }
 
     #[test]

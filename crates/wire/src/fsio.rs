@@ -1,12 +1,13 @@
-//! Crash-safe file primitives for the fleet: atomic whole-file writes and
+//! Crash-safe file primitives: atomic whole-file writes and
 //! checksum-sealed reads that reject torn files with typed errors.
 //!
-//! Every durable artifact (checkpoints, per-cell results) is written to a
-//! temporary sibling, fsynced, and renamed into place, so a crash at any
-//! instant leaves either the old file or the new one — never a mix. On
-//! top of that, sealed files end with a checksum footer so even a file
-//! torn by a non-atomic writer (or a fault injection simulating one) is
-//! detected at load time instead of producing silent garbage.
+//! Every durable artifact (fleet checkpoints and per-cell results, serve
+//! session snapshots) is written to a temporary sibling, fsynced, and
+//! renamed into place, so a crash at any instant leaves either the old
+//! file or the new one — never a mix. On top of that, sealed files end
+//! with a checksum footer so even a file torn by a non-atomic writer (or
+//! a fault injection simulating one) is detected at load time instead of
+//! producing silent garbage.
 
 use std::fmt;
 use std::fs::{self, File, OpenOptions};

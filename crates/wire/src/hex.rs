@@ -1,0 +1,187 @@
+//! Bit-exact float codecs: floats cross process boundaries as hex bit
+//! patterns (`{:08x}` for `f32`, `{:016x}` for `f64`), never as decimal
+//! literals, so NaN payloads, signed zeros, subnormals, and ±inf all
+//! round-trip bit-for-bit.
+
+use std::fmt;
+
+/// Error parsing a hex bit pattern or a row of them.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HexError(String);
+
+impl HexError {
+    pub(crate) fn new(msg: impl Into<String>) -> HexError {
+        HexError(msg.into())
+    }
+}
+
+impl fmt::Display for HexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid hex payload: {}", self.0)
+    }
+}
+
+impl std::error::Error for HexError {}
+
+/// Hex bit pattern of an `f32`.
+pub fn f32_hex(v: f32) -> String {
+    format!("{:08x}", v.to_bits())
+}
+
+/// Parses an `f32` hex bit pattern.
+///
+/// # Errors
+///
+/// [`HexError`] when the text is not 8 hex digits.
+pub fn f32_unhex(s: &str) -> Result<f32, HexError> {
+    if s.len() != 8 {
+        return Err(HexError::new(format!("bad f32 bits {s:?}")));
+    }
+    u32::from_str_radix(s, 16)
+        .map(f32::from_bits)
+        .map_err(|_| HexError::new(format!("bad f32 bits {s:?}")))
+}
+
+/// Hex bit pattern of an `f64`.
+pub fn f64_hex(v: f64) -> String {
+    format!("{:016x}", v.to_bits())
+}
+
+/// Parses an `f64` hex bit pattern.
+///
+/// # Errors
+///
+/// [`HexError`] when the text is not 16 hex digits.
+pub fn f64_unhex(s: &str) -> Result<f64, HexError> {
+    if s.len() != 16 {
+        return Err(HexError::new(format!("bad f64 bits {s:?}")));
+    }
+    u64::from_str_radix(s, 16)
+        .map(f64::from_bits)
+        .map_err(|_| HexError::new(format!("bad f64 bits {s:?}")))
+}
+
+/// Comma-joined hex row of an `f32` slice (empty slice → empty string).
+pub fn f32_row(values: &[f32]) -> String {
+    values
+        .iter()
+        .map(|&v| f32_hex(v))
+        .collect::<Vec<_>>()
+        .join(",")
+}
+
+/// Parses [`f32_row`] output.
+///
+/// # Errors
+///
+/// [`HexError`] on any malformed element.
+pub fn f32_unrow(text: &str) -> Result<Vec<f32>, HexError> {
+    if text.is_empty() {
+        return Ok(Vec::new());
+    }
+    text.split(',').map(f32_unhex).collect()
+}
+
+/// Comma-joined hex row of an `f64` slice (empty slice → empty string).
+pub fn f64_row(values: &[f64]) -> String {
+    values
+        .iter()
+        .map(|&v| f64_hex(v))
+        .collect::<Vec<_>>()
+        .join(",")
+}
+
+/// Parses [`f64_row`] output.
+///
+/// # Errors
+///
+/// [`HexError`] on any malformed element.
+pub fn f64_unrow(text: &str) -> Result<Vec<f64>, HexError> {
+    if text.is_empty() {
+        return Ok(Vec::new());
+    }
+    text.split(',').map(f64_unhex).collect()
+}
+
+/// Comma-joined `step@bits` row of `(step, value)` metric pairs.
+pub fn metric_row(metrics: &[(u64, f64)]) -> String {
+    metrics
+        .iter()
+        .map(|&(i, v)| format!("{i}@{}", f64_hex(v)))
+        .collect::<Vec<_>>()
+        .join(",")
+}
+
+/// Parses [`metric_row`] output.
+///
+/// # Errors
+///
+/// [`HexError`] on any malformed pair.
+pub fn metric_unrow(text: &str) -> Result<Vec<(u64, f64)>, HexError> {
+    if text.is_empty() {
+        return Ok(Vec::new());
+    }
+    text.split(',')
+        .map(|pair| {
+            let (i, v) = pair
+                .split_once('@')
+                .ok_or_else(|| HexError::new(format!("bad metric pair {pair:?}")))?;
+            let i = i
+                .parse()
+                .map_err(|_| HexError::new(format!("bad metric step {i:?}")))?;
+            Ok((i, f64_unhex(v)?))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn special_values_round_trip_bitwise() {
+        for v in [
+            0.0f32,
+            -0.0,
+            f32::INFINITY,
+            f32::NEG_INFINITY,
+            f32::NAN,
+            f32::MIN_POSITIVE,
+            f32::from_bits(0x7fc0_dead), // NaN with payload
+        ] {
+            let back = f32_unhex(&f32_hex(v)).unwrap();
+            assert_eq!(back.to_bits(), v.to_bits());
+        }
+        for v in [
+            0.0f64,
+            -0.0,
+            f64::INFINITY,
+            f64::NEG_INFINITY,
+            f64::NAN,
+            f64::from_bits(0x7ff8_0000_0000_beef),
+        ] {
+            let back = f64_unhex(&f64_hex(v)).unwrap();
+            assert_eq!(back.to_bits(), v.to_bits());
+        }
+    }
+
+    #[test]
+    fn malformed_patterns_are_rejected() {
+        assert!(f32_unhex("3dcccc").is_err()); // too short
+        assert!(f32_unhex("3dcccccdff").is_err()); // too long
+        assert!(f32_unhex("3dccccgg").is_err()); // non-hex
+        assert!(f64_unhex("0123").is_err());
+        assert!(f32_unrow("3dcccccd,zz").is_err());
+        assert!(metric_unrow("5@0123").is_err());
+        assert!(metric_unrow("x@3ff0000000000000").is_err());
+        assert!(metric_unrow("nopair").is_err());
+    }
+
+    #[test]
+    fn empty_rows_round_trip() {
+        assert_eq!(f32_unrow("").unwrap(), Vec::<f32>::new());
+        assert_eq!(f64_unrow("").unwrap(), Vec::<f64>::new());
+        assert_eq!(metric_unrow("").unwrap(), Vec::<(u64, f64)>::new());
+        assert_eq!(f32_row(&[]), "");
+    }
+}

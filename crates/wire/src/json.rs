@@ -1,11 +1,12 @@
-//! A minimal JSON reader/writer for the fleet wire protocol and journal.
+//! A minimal JSON reader/writer for the line-delimited wire protocols
+//! (fleet coordinator/worker, serve sessions) and the fleet journal.
 //!
 //! The workspace deliberately has no third-party runtime dependencies, so
-//! the line-delimited JSON the coordinator, journal, and workers exchange
-//! is handled by this small self-contained codec. Numbers are kept as
-//! their raw literal text ([`Json::Num`]) — the fleet never round-trips a
-//! float through decimal (floats travel as hex bit patterns inside JSON
-//! strings), so no precision policy is needed here.
+//! the line-delimited JSON the processes exchange is handled by this
+//! small self-contained codec. Numbers are kept as their raw literal
+//! text ([`Json::Num`]) — the wire dialect never round-trips a float
+//! through decimal (floats travel as hex bit patterns inside JSON
+//! strings, see [`crate::hex`]), so no precision policy is needed here.
 
 use std::fmt;
 

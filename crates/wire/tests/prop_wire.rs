@@ -1,0 +1,113 @@
+//! Property tests pinning the wire dialect: arbitrary bit patterns
+//! (including NaN payloads, ±inf, signed zeros, subnormals) must
+//! round-trip bit-exactly through the hex codecs and the JSON layer,
+//! and torn frames/files must be rejected, never silently accepted.
+
+use proptest::prelude::*;
+use yf_wire::hex;
+use yf_wire::json::{self, Json};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn f32_bits_round_trip(bits in any::<u32>()) {
+        let v = f32::from_bits(bits);
+        let back = hex::f32_unhex(&hex::f32_hex(v)).unwrap();
+        prop_assert_eq!(back.to_bits(), bits);
+    }
+
+    #[test]
+    fn f64_bits_round_trip(bits in any::<u64>()) {
+        let v = f64::from_bits(bits);
+        let back = hex::f64_unhex(&hex::f64_hex(v)).unwrap();
+        prop_assert_eq!(back.to_bits(), bits);
+    }
+
+    #[test]
+    fn f32_rows_round_trip(bits in prop::collection::vec(any::<u32>(), 0..40)) {
+        let values: Vec<f32> = bits.iter().map(|&b| f32::from_bits(b)).collect();
+        let back = hex::f32_unrow(&hex::f32_row(&values)).unwrap();
+        let back_bits: Vec<u32> = back.iter().map(|v| v.to_bits()).collect();
+        prop_assert_eq!(back_bits, bits);
+    }
+
+    #[test]
+    fn f64_rows_round_trip(bits in prop::collection::vec(any::<u64>(), 0..40)) {
+        let values: Vec<f64> = bits.iter().map(|&b| f64::from_bits(b)).collect();
+        let back = hex::f64_unrow(&hex::f64_row(&values)).unwrap();
+        let back_bits: Vec<u64> = back.iter().map(|v| v.to_bits()).collect();
+        prop_assert_eq!(back_bits, bits);
+    }
+
+    #[test]
+    fn metric_rows_round_trip(pairs in prop::collection::vec((any::<u64>(), any::<u64>()), 0..20)) {
+        let metrics: Vec<(u64, f64)> = pairs
+            .iter()
+            .map(|&(i, b)| (i, f64::from_bits(b)))
+            .collect();
+        let back = hex::metric_unrow(&hex::metric_row(&metrics)).unwrap();
+        prop_assert_eq!(back.len(), metrics.len());
+        for (got, want) in back.iter().zip(metrics.iter()) {
+            prop_assert_eq!(got.0, want.0);
+            prop_assert_eq!(got.1.to_bits(), want.1.to_bits());
+        }
+    }
+
+    #[test]
+    fn hex_floats_survive_a_json_frame(bits in prop::collection::vec(any::<u32>(), 1..20)) {
+        // The dialect in one frame: floats as hex strings inside a
+        // protocol-shaped object, serialized to a line and parsed back.
+        let values: Vec<f32> = bits.iter().map(|&b| f32::from_bits(b)).collect();
+        let frame = Json::obj(vec![
+            ("type", Json::str("measure")),
+            ("step", Json::u64(bits.len() as u64)),
+            ("grads", Json::str(hex::f32_row(&values))),
+        ]);
+        let line = frame.to_string();
+        let back = json::parse(&line).unwrap();
+        let row = hex::f32_unrow(back.str_field("grads").unwrap()).unwrap();
+        let back_bits: Vec<u32> = row.iter().map(|v| v.to_bits()).collect();
+        prop_assert_eq!(back_bits, bits);
+    }
+
+    #[test]
+    fn torn_json_frames_are_rejected(bits in any::<u32>(), cut_seed in any::<u64>()) {
+        // Any strict prefix of an object frame is torn and must fail to
+        // parse; only the full line parses.
+        let frame = Json::obj(vec![
+            ("type", Json::str("hyper")),
+            ("lr", Json::str(hex::f32_hex(f32::from_bits(bits)))),
+        ]);
+        let line = frame.to_string();
+        prop_assert!(json::parse(&line).is_ok());
+        let cut = 1 + (cut_seed as usize) % (line.len() - 1);
+        if line.is_char_boundary(cut) {
+            prop_assert!(json::parse(&line[..cut]).is_err(), "cut at {}", cut);
+        }
+    }
+
+    #[test]
+    fn torn_sealed_files_are_rejected(body_bits in prop::collection::vec(any::<u64>(), 1..16),
+                                      cut_seed in any::<u64>()) {
+        // A sealed file truncated anywhere strictly inside must come
+        // back `Torn`, never as silently shortened content.
+        let body: String = body_bits
+            .iter()
+            .map(|&b| format!("v {}\n", hex::f64_hex(f64::from_bits(b))))
+            .collect();
+        let dir = std::env::temp_dir().join(format!("yf-wire-prop-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("sealed.txt");
+        yf_wire::fsio::write_sealed(&path, &body).unwrap();
+        let sealed = std::fs::read_to_string(&path).unwrap();
+        prop_assert_eq!(yf_wire::fsio::read_sealed(&path).unwrap(), body.clone());
+        let cut = (cut_seed as usize) % sealed.len();
+        std::fs::write(&path, &sealed[..cut]).unwrap();
+        match yf_wire::fsio::read_sealed(&path) {
+            Err(yf_wire::fsio::SealedFileError::Torn { .. }) => {}
+            other => prop_assert!(false, "cut at {} must be Torn, got {:?}", cut, other.is_ok()),
+        }
+        let _ = std::fs::remove_file(&path);
+    }
+}
