@@ -11,6 +11,10 @@ fn usage() -> ! {
 }
 
 fn main() {
+    // `Command` children get SIGPIPE's default (fatal) disposition back;
+    // a coordinator that dies mid-read must surface here as a write
+    // error the serve loop can report, not as silent process death.
+    yf_wire::sigpipe::ignore();
     let mut transport: Option<String> = None;
     let mut connect: Option<String> = None;
     let mut args = std::env::args().skip(1);

@@ -27,7 +27,7 @@ use crate::grid::{score_results, GridError, GridOutcome};
 use crate::trainer::RunResult;
 use std::fmt;
 use std::io::{self, BufRead, BufReader, Read, Write};
-use std::net::{TcpListener, TcpStream};
+use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::{Path, PathBuf};
 use std::process::{Child, Command, Stdio};
 use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
@@ -88,6 +88,12 @@ pub struct FleetConfig {
     /// `YF_FAULT` spec injected into spawned workers (fault-injection
     /// tests only; `None` runs clean).
     pub fault_spec: Option<String>,
+    /// `YF_CHAOS` spec for a [`yf_serve::ChaosProxy`] interposed between
+    /// TCP workers and the coordinator (chaos tests only; `None` runs
+    /// clean, and the knob is ignored under stdio transport). Chaos
+    /// frame counters are per direction and global across connections,
+    /// so deterministic schedules need `workers: 1`.
+    pub chaos_spec: Option<String>,
 }
 
 impl Default for FleetConfig {
@@ -100,6 +106,7 @@ impl Default for FleetConfig {
             backoff_base: Duration::from_millis(20),
             checkpoint_every: 20,
             fault_spec: None,
+            chaos_spec: None,
         }
     }
 }
@@ -353,6 +360,12 @@ struct Pool {
     fault_spec: Option<String>,
     /// Present in TCP mode: the loopback listener workers dial back to.
     listener: Option<TcpListener>,
+    /// The address workers actually dial: the chaos proxy when one is
+    /// interposed, otherwise the listener itself.
+    worker_addr: Option<SocketAddr>,
+    /// Keeps the interposed chaos proxy's pump threads alive for the
+    /// pool's lifetime.
+    _chaos: Option<yf_serve::ChaosProxy>,
     next_generation: u64,
 }
 
@@ -370,6 +383,25 @@ impl Pool {
                 Some(listener)
             }
         };
+        let (worker_addr, chaos) = match &listener {
+            None => (None, None),
+            Some(listener) => {
+                let upstream = listener
+                    .local_addr()
+                    .map_err(|e| FleetError::Worker(format!("fleet listener: {e}")))?;
+                match &cfg.chaos_spec {
+                    None => (Some(upstream), None),
+                    Some(text) => {
+                        let spec = yf_serve::ChaosSpec::parse(text)
+                            .map_err(|e| FleetError::Worker(format!("YF_CHAOS: {e}")))?;
+                        let proxy = yf_serve::ChaosProxy::start(upstream, spec).map_err(|e| {
+                            FleetError::Worker(format!("starting chaos proxy: {e}"))
+                        })?;
+                        (Some(proxy.local_addr()), Some(proxy))
+                    }
+                }
+            }
+        };
         let mut pool = Pool {
             workers: Vec::new(),
             tx,
@@ -377,6 +409,8 @@ impl Pool {
             worker_bin: worker_bin.to_path_buf(),
             fault_spec: cfg.fault_spec.clone(),
             listener,
+            worker_addr,
+            _chaos: chaos,
             next_generation: 0,
         };
         for slot in 0..cfg.workers.max(1) {
@@ -394,10 +428,10 @@ impl Pool {
             None => {
                 command.stdin(Stdio::piped()).stdout(Stdio::piped());
             }
-            Some(listener) => {
-                let addr = listener
-                    .local_addr()
-                    .map_err(|e| FleetError::Worker(format!("fleet listener: {e}")))?;
+            Some(_) => {
+                let addr = self
+                    .worker_addr
+                    .expect("tcp pools always record a dial-back address");
                 command
                     .args(["--transport", "tcp", "--connect", &addr.to_string()])
                     .stdin(Stdio::null())

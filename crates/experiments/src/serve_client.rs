@@ -10,40 +10,213 @@
 //! [`RemoteTuner`] takes parameter steps bitwise identical to one
 //! running the tuner in process — the tuner merely lives elsewhere.
 //!
+//! # Surviving the network
+//!
+//! The tuner assumes the network will fail and is built to keep the
+//! trajectory bit-exact anyway:
+//!
+//! - **Shadow tuner.** Every measurement also feeds a local
+//!   [`Session`] built from the same spec. Sessions are deterministic
+//!   pure functions of their measurement stream, so the shadow's
+//!   verdicts are bitwise identical to the server's — it is a hot
+//!   spare, not an approximation.
+//! - **Replay buffer + reconnect.** Measurements stay buffered until a
+//!   server reply acknowledges them. On any transport failure the tuner
+//!   reconnects (deadlines from [`ClientConfig`], the deterministic
+//!   [`Backoff`] schedule), re-opens the session by name, and
+//!   reconciles from the server's `opened{step}` replay point: already
+//!   processed measurements whose replies were lost are re-sent and
+//!   answered idempotently from the session's cached verdict, the rest
+//!   replay in order. Any fault schedule that eventually reconnects
+//!   therefore yields a Hyper trajectory bitwise identical to the
+//!   fault-free run.
+//! - **Graceful degradation.** When the server stays unreachable past
+//!   [`RemoteTunerConfig::degrade_after`], the tuner serves the
+//!   shadow's verdicts instead of hanging; [`RemoteTuner::degraded`]
+//!   flags those steps to the trainer and
+//!   [`RemoteTuner::degraded_steps`] counts them. While degraded it
+//!   probes for the server at exponentially spaced step counts and
+//!   resyncs (replaying the buffer) when the server returns. If the
+//!   buffer would exceed [`RemoteTunerConfig::resync_limit`], the
+//!   server is abandoned and the shadow serves for good.
+//!
+//! A session that was *resumed* mid-stream (opened at a step > 0 by a
+//! fresh process) has no shadow — the local session never saw the
+//! earlier measurements — so degradation is unavailable there and an
+//! unreachable server panics after the budget, as the pre-hardening
+//! client did.
+//!
 //! Rejected measurements (the server's quality filter) come back as a
 //! zero-learning-rate [`Hyper`] until the first accepted frame, or the
 //! last served values afterwards — the trainer skips or repeats the
 //! tuned update rather than applying a poisoned one.
 
-use std::net::ToSocketAddrs;
+use std::collections::VecDeque;
+use std::net::{SocketAddr, ToSocketAddrs};
+use std::time::{Duration, Instant};
 use yf_optim::{Hyper, MomentumSgd, Optimizer, ParamShard};
-use yf_serve::{Client, ClientError, MeasureReply, OpenSpec};
+use yf_serve::{
+    Backoff, Client, ClientConfig, ClientError, MeasureReply, OpenSpec, Outcome, Session,
+};
+use yf_tensor::env;
 
-/// An [`Optimizer`] whose measure phase runs in a `yf-serve` session.
+/// Robustness policy for a [`RemoteTuner`].
+/// [`RemoteTunerConfig::from_env`] layers the `YF_SERVE_CLIENT_*` knobs
+/// over these defaults with the workspace's warn-and-default parsing.
+#[derive(Debug, Clone, Copy)]
+pub struct RemoteTunerConfig {
+    /// Connect/read/write deadlines for every connection.
+    pub client: ClientConfig,
+    /// Reconnect schedule during an outage (deterministic, capped
+    /// exponential).
+    pub backoff: Backoff,
+    /// How long one outage may block training before the shadow tuner
+    /// takes over (`YF_SERVE_CLIENT_DEGRADE_MS`).
+    pub degrade_after: Duration,
+    /// Maximum buffered unacknowledged measurements; past this the
+    /// server is abandoned and the shadow serves permanently
+    /// (`YF_SERVE_CLIENT_RESYNC_LIMIT`).
+    pub resync_limit: usize,
+    /// Ceiling, in steps, between reconnect probes while degraded
+    /// (`YF_SERVE_CLIENT_PROBE_CAP`).
+    pub probe_cap: u64,
+}
+
+impl Default for RemoteTunerConfig {
+    fn default() -> Self {
+        RemoteTunerConfig {
+            client: ClientConfig::default(),
+            backoff: Backoff::default(),
+            degrade_after: Duration::from_secs(10),
+            resync_limit: 4096,
+            probe_cap: 64,
+        }
+    }
+}
+
+impl RemoteTunerConfig {
+    /// The defaults with every `YF_SERVE_CLIENT_*` override applied
+    /// (hardened parsing: malformed values warn on stderr and fall
+    /// back).
+    pub fn from_env() -> RemoteTunerConfig {
+        let mut cfg = RemoteTunerConfig {
+            client: ClientConfig::from_env(),
+            ..RemoteTunerConfig::default()
+        };
+        let ms = |raw: &str| raw.trim().parse::<u64>().ok().filter(|&n| n > 0);
+        if let Some(n) = env::parse_with("YF_SERVE_CLIENT_BACKOFF_MS", ms) {
+            cfg.backoff.base = Duration::from_millis(n);
+        }
+        if let Some(n) = env::parse_with("YF_SERVE_CLIENT_BACKOFF_CAP_MS", ms) {
+            cfg.backoff.cap = Duration::from_millis(n);
+        }
+        if let Some(n) = env::parse_with("YF_SERVE_CLIENT_DEGRADE_MS", ms) {
+            cfg.degrade_after = Duration::from_millis(n);
+        }
+        if let Some(n) = env::positive_usize("YF_SERVE_CLIENT_RESYNC_LIMIT") {
+            cfg.resync_limit = n;
+        }
+        if let Some(n) = env::parse_with("YF_SERVE_CLIENT_PROBE_CAP", ms) {
+            cfg.probe_cap = n;
+        }
+        cfg
+    }
+}
+
+/// One not-yet-acknowledged measurement, kept for reconnect replay.
+struct Measurement {
+    step: u64,
+    loss: f32,
+    grads: Vec<f32>,
+}
+
+/// The connection state machine.
+enum Link {
+    /// Connected; the session is attached and in lockstep.
+    Live(Client),
+    /// Outage past the degradation budget: the shadow serves while the
+    /// tuner probes for the server at `probe_at`, widening `probe_gap`
+    /// exponentially (capped) after each failed probe.
+    Down { probe_at: u64, probe_gap: u64 },
+    /// The server was abandoned (replay buffer overflow or an
+    /// unrecoverable divergence); the shadow serves permanently.
+    Abandoned,
+}
+
+/// Why one reconnect-and-resync attempt failed.
+enum ResyncError {
+    /// Worth retrying (connect refused, timeout, server error).
+    Transient,
+    /// The server can never again serve this trajectory (it is ahead of
+    /// or behind anything we can replay); abandon it.
+    Fatal(String),
+}
+
+/// An [`Optimizer`] whose measure phase runs in a `yf-serve` session,
+/// hardened against network failure. See the module docs for the full
+/// robustness contract.
 pub struct RemoteTuner {
-    client: Client,
-    session: String,
+    addrs: Vec<SocketAddr>,
+    spec: OpenSpec,
+    cfg: RemoteTunerConfig,
+    link: Link,
+    /// The local hot spare: a deterministic twin of the server-side
+    /// session. `None` when the session was resumed mid-stream (the
+    /// local twin never saw the history) or after a divergence warning.
+    shadow: Option<Session>,
+    /// Measurements sent (or owed) to the server but not yet
+    /// acknowledged by a reply. Length 1 in the live steady state; grows
+    /// while degraded; drained by a resync.
+    pending: VecDeque<Measurement>,
     step: u64,
     loss: f32,
     /// Local apply engine: holds the velocity state and applies the
     /// served [`Hyper`] with the same fused kernel YellowFin uses.
     apply: MomentumSgd,
     last: Hyper,
+    degraded_now: bool,
+    degraded_steps: u64,
 }
 
 impl RemoteTuner {
-    /// Connects and opens (or resumes) the session described by `spec`.
+    /// Connects and opens (or resumes) the session described by `spec`,
+    /// with the robustness policy from the environment
+    /// ([`RemoteTunerConfig::from_env`]).
     ///
     /// # Errors
     ///
     /// Transport failures, or the server's rejection reason.
     pub fn connect(addr: impl ToSocketAddrs, spec: OpenSpec) -> Result<RemoteTuner, ClientError> {
-        let mut client = Client::connect(addr)?;
-        let session = spec.session.clone();
-        let step = client.open(spec)?;
+        RemoteTuner::connect_with(addr, spec, RemoteTunerConfig::from_env())
+    }
+
+    /// Connects with an explicit robustness policy.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures, or the server's rejection reason.
+    pub fn connect_with(
+        addr: impl ToSocketAddrs,
+        spec: OpenSpec,
+        cfg: RemoteTunerConfig,
+    ) -> Result<RemoteTuner, ClientError> {
+        let addrs: Vec<SocketAddr> = addr.to_socket_addrs()?.collect();
+        let mut client = Client::connect_with(&addrs[..], &cfg.client)?;
+        let step = client.open(spec.clone())?;
+        // The shadow can only mirror a stream it has seen from the
+        // start; a mid-stream resume leaves degradation unavailable.
+        let shadow = if step == 0 {
+            Some(Session::new(spec.clone()).map_err(ClientError::Server)?)
+        } else {
+            None
+        };
         Ok(RemoteTuner {
-            client,
-            session,
+            addrs,
+            spec,
+            cfg,
+            link: Link::Live(client),
+            shadow,
+            pending: VecDeque::new(),
             step,
             loss: 0.0,
             apply: MomentumSgd::new(0.0, 0.0),
@@ -52,6 +225,8 @@ impl RemoteTuner {
                 momentum: 0.0,
                 grad_scale: 1.0,
             },
+            degraded_now: false,
+            degraded_steps: 0,
         })
     }
 
@@ -68,35 +243,324 @@ impl RemoteTuner {
         self.loss = loss;
     }
 
-    /// Detaches the session server-side (it stays resumable) and returns
-    /// the underlying client for further protocol use.
+    /// Whether the *last* step was served by the local shadow tuner
+    /// (server unreachable) rather than the server.
+    pub fn degraded(&self) -> bool {
+        self.degraded_now
+    }
+
+    /// Total steps served by the shadow tuner so far.
+    pub fn degraded_steps(&self) -> u64 {
+        self.degraded_steps
+    }
+
+    /// The most recently served hyperparameters.
+    pub fn last_hyper(&self) -> Hyper {
+        self.last
+    }
+
+    /// Detaches the session server-side (it stays resumable) and
+    /// returns the underlying client for further protocol use.
     ///
     /// # Errors
     ///
-    /// Transport failures, or the server's rejection reason.
-    pub fn detach(mut self) -> Result<Client, ClientError> {
-        self.client.close_session(&self.session)?;
-        Ok(self.client)
+    /// Transport failures, the server's rejection reason, or
+    /// [`ClientError::Io`] with `NotConnected` when the tuner is
+    /// degraded or abandoned (there is no live connection to detach
+    /// through).
+    pub fn detach(self) -> Result<Client, ClientError> {
+        let session = self.spec.session;
+        match self.link {
+            Link::Live(mut client) => {
+                client.close_session(&session)?;
+                Ok(client)
+            }
+            Link::Down { .. } | Link::Abandoned => Err(ClientError::Io(std::io::Error::new(
+                std::io::ErrorKind::NotConnected,
+                format!("session {session:?} has no live server connection"),
+            ))),
+        }
+    }
+
+    /// The server's verdict for the current step, through whatever the
+    /// link state demands: a live round-trip, a blocking reconnect loop
+    /// on a fresh outage, a scheduled probe while degraded, or the
+    /// shadow.
+    fn tune(&mut self, step: u64, shadow_out: Option<Outcome>) -> Outcome {
+        // Live fast path: one round-trip for the already-buffered
+        // current measurement.
+        let live_result = match &mut self.link {
+            Link::Live(client) => {
+                let m = self
+                    .pending
+                    .back()
+                    .expect("live tune always has the current measurement buffered");
+                Some(client.measure(&self.spec.session, m.step, m.loss, &m.grads))
+            }
+            _ => None,
+        };
+        match live_result {
+            Some(Ok(reply)) => {
+                self.pending.clear();
+                self.degraded_now = false;
+                let out = reply_to_outcome(reply);
+                self.reconcile_shadow(&out, shadow_out.as_ref());
+                return out;
+            }
+            Some(Err(e)) => {
+                eprintln!(
+                    "remote tuner ({}): step {step}: {e}; reconnecting",
+                    self.spec.session
+                );
+                return self.fresh_outage(step, shadow_out);
+            }
+            None => {}
+        }
+        // Degraded paths: the shadow serves, with scheduled reconnect
+        // probes while Down.
+        let probe_gap = match &self.link {
+            Link::Abandoned => return self.degraded_outcome(shadow_out),
+            Link::Down {
+                probe_at,
+                probe_gap,
+            } => {
+                if step < *probe_at {
+                    return self.degraded_outcome(shadow_out);
+                }
+                *probe_gap
+            }
+            Link::Live(_) => unreachable!("live path handled above"),
+        };
+        match self.try_resync() {
+            Ok(out) => {
+                self.degraded_now = false;
+                self.reconcile_shadow(&out, shadow_out.as_ref());
+                out
+            }
+            Err(ResyncError::Fatal(reason)) => {
+                self.abandon(&reason);
+                self.degraded_outcome(shadow_out)
+            }
+            Err(ResyncError::Transient) => {
+                let gap = probe_gap.saturating_mul(2).min(self.cfg.probe_cap.max(1));
+                self.link = Link::Down {
+                    probe_at: step + gap,
+                    probe_gap: gap,
+                };
+                self.degraded_outcome(shadow_out)
+            }
+        }
+    }
+
+    /// A live connection just failed: retry with backoff until the
+    /// degradation budget runs out, then hand over to the shadow.
+    fn fresh_outage(&mut self, step: u64, shadow_out: Option<Outcome>) -> Outcome {
+        let budget = Instant::now() + self.cfg.degrade_after;
+        let mut attempt = 0u32;
+        loop {
+            match self.try_resync() {
+                Ok(out) => {
+                    self.degraded_now = false;
+                    self.reconcile_shadow(&out, shadow_out.as_ref());
+                    return out;
+                }
+                Err(ResyncError::Fatal(reason)) => {
+                    self.abandon(&reason);
+                    return self.degraded_outcome(shadow_out);
+                }
+                Err(ResyncError::Transient) => {}
+            }
+            let delay = self.cfg.backoff.delay(attempt);
+            attempt += 1;
+            if Instant::now() + delay >= budget {
+                break;
+            }
+            std::thread::sleep(delay);
+        }
+        if self.shadow.is_none() {
+            panic!(
+                "remote tuner ({}): server unreachable past the degradation budget \
+                 and no shadow tuner is available (session was resumed mid-stream)",
+                self.spec.session
+            );
+        }
+        eprintln!(
+            "remote tuner ({}): server unreachable for {:?}; degrading to the shadow tuner",
+            self.spec.session, self.cfg.degrade_after
+        );
+        self.link = Link::Down {
+            probe_at: step + 1,
+            probe_gap: 1,
+        };
+        self.degraded_outcome(shadow_out)
+    }
+
+    /// One reconnect attempt: dial, re-open the session by name, and
+    /// reconcile from the server's `opened{step}` replay point by
+    /// replaying the pending buffer in order. The reply to the newest
+    /// (current) measurement becomes this step's verdict; on success the
+    /// link is live and the buffer is drained.
+    fn try_resync(&mut self) -> Result<Outcome, ResyncError> {
+        let mut client = Client::connect_with(&self.addrs[..], &self.cfg.client)
+            .map_err(|_| ResyncError::Transient)?;
+        let server_step = client
+            .open(self.spec.clone())
+            .map_err(|_| ResyncError::Transient)?;
+        let newest = self
+            .pending
+            .back()
+            .expect("resync always has the current measurement buffered")
+            .step;
+        if server_step > newest + 1 {
+            return Err(ResyncError::Fatal(format!(
+                "server is at step {server_step}, ahead of this trainer's step {newest}: \
+                 another client drove the session"
+            )));
+        }
+        let oldest = self.pending.front().expect("non-empty buffer").step;
+        if server_step < oldest {
+            return Err(ResyncError::Fatal(format!(
+                "server re-opened at step {server_step}, below the oldest buffered \
+                 measurement {oldest}: its snapshots were lost and replay is impossible"
+            )));
+        }
+        // Entries older than the session's idempotent-replay window
+        // (everything before step `server_step - 1`) were acknowledged
+        // in a previous life and can never be replayed; drop them. The
+        // newest entry always stays: its reply is this step's verdict.
+        while self.pending.len() > 1
+            && self.pending.front().expect("non-empty buffer").step + 1 < server_step
+        {
+            self.pending.pop_front();
+        }
+        let mut last_reply = None;
+        for m in &self.pending {
+            let reply = client
+                .measure(&self.spec.session, m.step, m.loss, &m.grads)
+                .map_err(|_| ResyncError::Transient)?;
+            last_reply = Some(reply);
+        }
+        let reply = last_reply.expect("non-empty buffer was replayed");
+        self.pending.clear();
+        self.link = Link::Live(client);
+        Ok(reply_to_outcome(reply))
+    }
+
+    /// Permanently gives up on the server; the shadow serves from here.
+    fn abandon(&mut self, reason: &str) {
+        if self.shadow.is_none() {
+            panic!(
+                "remote tuner ({}): {reason}; no shadow tuner available",
+                self.spec.session
+            );
+        }
+        eprintln!(
+            "remote tuner ({}): {reason}; abandoning the server, the shadow tuner takes over",
+            self.spec.session
+        );
+        self.link = Link::Abandoned;
+        self.pending.clear();
+    }
+
+    /// Serves the shadow's verdict for a step the server never saw.
+    fn degraded_outcome(&mut self, shadow_out: Option<Outcome>) -> Outcome {
+        let Some(out) = shadow_out else {
+            panic!(
+                "remote tuner ({}): degraded with no shadow tuner \
+                 (session was resumed mid-stream)",
+                self.spec.session
+            );
+        };
+        self.degraded_now = true;
+        self.degraded_steps += 1;
+        out
+    }
+
+    /// Cross-checks the server's verdict against the shadow's. They are
+    /// bitwise identical by the session determinism contract; on a
+    /// divergence (a bug, or a server driven by someone else) the
+    /// shadow is discarded — serving it later would fork the
+    /// trajectory.
+    fn reconcile_shadow(&mut self, server: &Outcome, shadow: Option<&Outcome>) {
+        let Some(shadow) = shadow else { return };
+        if !outcomes_match(server, shadow) {
+            eprintln!(
+                "remote tuner ({}): shadow tuner diverged from the server \
+                 (server {server:?}, shadow {shadow:?}); disabling degradation",
+                self.spec.session
+            );
+            self.shadow = None;
+        }
+    }
+}
+
+fn reply_to_outcome(reply: MeasureReply) -> Outcome {
+    match reply {
+        MeasureReply::Tuned { hyper, clamped } => Outcome::Tuned { hyper, clamped },
+        MeasureReply::Rejected { reason } => Outcome::Rejected { reason },
+    }
+}
+
+/// Bitwise verdict equality (float fields compared as bit patterns;
+/// rejection reasons compare as rejections regardless of wording).
+fn outcomes_match(a: &Outcome, b: &Outcome) -> bool {
+    match (a, b) {
+        (
+            Outcome::Tuned {
+                hyper: x,
+                clamped: cx,
+            },
+            Outcome::Tuned {
+                hyper: y,
+                clamped: cy,
+            },
+        ) => {
+            cx == cy
+                && x.lr.to_bits() == y.lr.to_bits()
+                && x.momentum.to_bits() == y.momentum.to_bits()
+                && x.grad_scale.to_bits() == y.grad_scale.to_bits()
+        }
+        (Outcome::Rejected { .. }, Outcome::Rejected { .. }) => true,
+        _ => false,
     }
 }
 
 impl Optimizer for RemoteTuner {
     /// Streams the gradient to the server and returns the served
-    /// (authority-clamped) hyperparameters.
+    /// (authority-clamped) hyperparameters; on an outage, reconnects
+    /// with backoff and replays, or degrades to the shadow tuner per
+    /// the module contract.
     ///
     /// # Panics
     ///
-    /// The [`Optimizer`] contract has no error channel, so transport or
-    /// protocol failures mid-training panic with the server's reason.
-    /// Callers that need graceful degradation should drive the
-    /// [`Client`] directly.
+    /// Only when there is no graceful path left: the server is
+    /// unreachable *and* no shadow is available (the session was
+    /// resumed mid-stream, or the shadow was disabled after a
+    /// divergence).
     fn observe(&mut self, _params: &[f32], grads: &[f32]) -> Hyper {
-        let reply = self
-            .client
-            .measure(&self.session, self.step, self.loss, grads)
-            .unwrap_or_else(|e| panic!("remote tuner ({}): {e}", self.session));
+        let step = self.step;
+        let loss = self.loss;
+        let shadow_out = self.shadow.as_mut().map(|s| {
+            s.measure(step, loss, grads)
+                .unwrap_or_else(|e| panic!("remote tuner shadow: {e}"))
+        });
+        if !matches!(self.link, Link::Abandoned) {
+            if self.pending.len() >= self.cfg.resync_limit {
+                self.abandon(&format!(
+                    "replay buffer hit its limit ({} measurements unacknowledged)",
+                    self.cfg.resync_limit
+                ));
+            } else {
+                self.pending.push_back(Measurement {
+                    step,
+                    loss,
+                    grads: grads.to_vec(),
+                });
+            }
+        }
+        let outcome = self.tune(step, shadow_out);
         self.step += 1;
-        if let MeasureReply::Tuned { hyper, .. } = reply {
+        if let Outcome::Tuned { hyper, .. } = outcome {
             self.last = hyper;
         }
         self.last
@@ -188,6 +652,26 @@ mod tests {
             }
         }
         assert_eq!(remote.learning_rate(), local.learning_rate());
+        assert_eq!(remote.degraded_steps(), 0);
+        assert!(!remote.degraded());
         let _ = remote.detach().unwrap();
+    }
+
+    #[test]
+    fn remote_tuner_config_env_knobs_use_hardened_parsing() {
+        std::env::set_var("YF_SERVE_CLIENT_DEGRADE_MS", "1500");
+        std::env::set_var("YF_SERVE_CLIENT_RESYNC_LIMIT", "not-a-count");
+        std::env::set_var("YF_SERVE_CLIENT_PROBE_CAP", "8");
+        let cfg = RemoteTunerConfig::from_env();
+        assert_eq!(cfg.degrade_after, Duration::from_millis(1500));
+        assert_eq!(
+            cfg.resync_limit,
+            RemoteTunerConfig::default().resync_limit,
+            "malformed falls back"
+        );
+        assert_eq!(cfg.probe_cap, 8);
+        std::env::remove_var("YF_SERVE_CLIENT_DEGRADE_MS");
+        std::env::remove_var("YF_SERVE_CLIENT_RESYNC_LIMIT");
+        std::env::remove_var("YF_SERVE_CLIENT_PROBE_CAP");
     }
 }

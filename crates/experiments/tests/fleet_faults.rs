@@ -43,6 +43,7 @@ fn config(fault: Option<&str>) -> FleetConfig {
         backoff_base: Duration::from_millis(5),
         checkpoint_every: 10,
         fault_spec: fault.map(str::to_string),
+        chaos_spec: None,
     }
 }
 
@@ -231,6 +232,58 @@ fn tcp_transport_recovers_a_sigkilled_worker_bitwise() {
     let report = run_fleet(&spec(), &cfg, &dir, worker_bin()).unwrap();
     assert_eq!(report.outcome, baseline());
     assert!(report.retries >= 1, "the killed cell must be re-dispatched");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn tcp_transport_survives_a_chaos_dropped_connection_bitwise() {
+    // A chaos proxy sits between the worker and the coordinator and
+    // drops the connection after the 8th worker→coordinator frame
+    // (mid-sweep, between heartbeats). The coordinator's reader thread
+    // sees EOF, the slot is replaced, and the replacement worker dials
+    // the proxy again (the drop fault is one-shot); the retry resumes
+    // from the sealed checkpoint to the same bits. One worker keeps the
+    // chaos frame schedule deterministic.
+    let dir = sweep_dir("tcp-chaos-drop");
+    let cfg = FleetConfig {
+        workers: 1,
+        transport: WorkerTransport::Tcp,
+        chaos_spec: Some("drop:8".to_string()),
+        ..config(None)
+    };
+    let report = run_fleet(&spec(), &cfg, &dir, worker_bin()).unwrap();
+    assert_eq!(
+        report.outcome,
+        baseline(),
+        "chaos-dropped tcp fleet must still merge bitwise identical"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn tcp_transport_absorbs_chaos_duplicates_and_delays_bitwise() {
+    // Mixed chaos: the 7th worker→coordinator frame (a `done`) is
+    // delivered twice, and the 5th coordinator→worker frame (a `run`
+    // dispatch) is delayed in flight. The coordinator's done-guard makes
+    // the duplicate a no-op and the delay is pure latency: no retries,
+    // same bits.
+    let dir = sweep_dir("tcp-chaos-dup");
+    let cfg = FleetConfig {
+        workers: 1,
+        transport: WorkerTransport::Tcp,
+        chaos_spec: Some("duplicate:7,delay:5:s2c".to_string()),
+        ..config(None)
+    };
+    let report = run_fleet(&spec(), &cfg, &dir, worker_bin()).unwrap();
+    assert_eq!(
+        report.outcome,
+        baseline(),
+        "duplicated/delayed tcp fleet must still merge bitwise identical"
+    );
+    assert_eq!(
+        report.retries, 0,
+        "duplicates and delays must not burn attempts"
+    );
     let _ = std::fs::remove_dir_all(&dir);
 }
 

@@ -1,0 +1,265 @@
+//! [`RemoteTuner`] under live network failure: the acceptance tests for
+//! the graceful-degradation contract.
+//!
+//! Three regimes, one invariant. Whether the fault schedule eventually
+//! reconnects (chaos proxy), never reconnects (server drained away), or
+//! reconnects to a *restarted* server resuming from snapshots, the
+//! parameter trajectory a trainer walks must be bitwise identical to
+//! the same tuner run in process — the shadow session is an exact twin,
+//! not an approximation, so even steps served degraded keep the bits.
+
+use std::net::{SocketAddr, TcpListener};
+use std::path::PathBuf;
+use std::time::Duration;
+use yf_experiments::serve_client::{RemoteTuner, RemoteTunerConfig};
+use yf_optim::Optimizer;
+use yf_serve::{
+    Authority, Backoff, ChaosProxy, ChaosSpec, ClientConfig, FilterSpec, OpenSpec, ServeConfig,
+    Server,
+};
+use yf_tensor::rng::Pcg32;
+
+const DIM: usize = 16;
+
+/// Wide-open authority: the served stream is the raw tuner output, so
+/// in-process YellowFin is the exact bitwise reference.
+fn spec(name: &str) -> OpenSpec {
+    let mut spec = OpenSpec {
+        session: name.to_string(),
+        optimizer: "yellowfin".to_string(),
+        value: 1.0,
+        dim: DIM,
+        authority: Authority::default(),
+        filter: FilterSpec::default(),
+    };
+    spec.authority.max_lr_step = 1e9;
+    spec.authority.max_momentum_step = 1.0;
+    spec.authority.lr_max = 1e9;
+    spec
+}
+
+/// Deadlines and budgets tightened from their multi-second production
+/// defaults so outages resolve in test time.
+fn fast_cfg() -> RemoteTunerConfig {
+    RemoteTunerConfig {
+        client: ClientConfig {
+            connect_timeout: Duration::from_millis(500),
+            read_timeout: Duration::from_millis(300),
+            write_timeout: Duration::from_millis(500),
+        },
+        backoff: Backoff {
+            base: Duration::from_millis(10),
+            cap: Duration::from_millis(50),
+        },
+        degrade_after: Duration::from_millis(600),
+        resync_limit: 4096,
+        probe_cap: 4,
+    }
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("yf-remote-chaos-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Steps both tuners over the same gradient stream, asserting bitwise
+/// parameter parity at every step.
+fn lockstep(
+    remote: &mut RemoteTuner,
+    local: &mut dyn Optimizer,
+    p_remote: &mut [f32],
+    p_local: &mut [f32],
+    rng: &mut Pcg32,
+    steps: std::ops::Range<usize>,
+    context: &str,
+) {
+    for step in steps {
+        let grads: Vec<f32> = (0..DIM).map(|_| rng.uniform() - 0.5).collect();
+        remote.step(p_remote, &grads);
+        local.step(p_local, &grads);
+        for (i, (a, b)) in p_remote.iter().zip(p_local.iter()).enumerate() {
+            assert_eq!(
+                a.to_bits(),
+                b.to_bits(),
+                "{context}: step {step}, param {i}"
+            );
+        }
+    }
+}
+
+#[test]
+fn eventually_reconnecting_chaos_keeps_the_trajectory_bitwise() {
+    // Dropped connection, blackholed replies, duplicated frames — every
+    // fault clears on reconnect, the server stays alive throughout, so
+    // every verdict is ultimately served (or replayed) by the server:
+    // zero degraded steps and zero flipped bits.
+    let server = Server::start(ServeConfig::default()).unwrap();
+    let mut chaos = ChaosSpec::parse("drop:6,blackhole:14:s2c,duplicate:20").unwrap();
+    chaos.delay = Duration::from_millis(20);
+    let proxy = ChaosProxy::start(server.local_addr(), chaos).unwrap();
+
+    let mut remote =
+        RemoteTuner::connect_with(proxy.local_addr(), spec("chaos-reconnect"), fast_cfg()).unwrap();
+    let mut local = yf_serve::registry::build_optimizer("yellowfin", 1.0).unwrap();
+    let mut rng = Pcg32::seed(71);
+    let mut p_remote = vec![0.5f32; DIM];
+    let mut p_local = p_remote.clone();
+    lockstep(
+        &mut remote,
+        &mut *local,
+        &mut p_remote,
+        &mut p_local,
+        &mut rng,
+        0..30,
+        "reconnecting chaos",
+    );
+    assert_eq!(
+        remote.degraded_steps(),
+        0,
+        "an eventually-reconnecting schedule never needs the shadow"
+    );
+    assert!(!remote.degraded());
+    let _ = remote.detach().unwrap();
+}
+
+#[test]
+fn a_permanently_unreachable_server_degrades_and_training_completes() {
+    // The server goes away for good mid-run. Training must complete on
+    // the shadow tuner — flagged degraded, never hanging — and the
+    // shadow being an exact twin, the bits still match the reference.
+    let server = Server::start(ServeConfig::default()).unwrap();
+    let mut remote =
+        RemoteTuner::connect_with(server.local_addr(), spec("chaos-gone"), fast_cfg()).unwrap();
+    let mut local = yf_serve::registry::build_optimizer("yellowfin", 1.0).unwrap();
+    let mut rng = Pcg32::seed(72);
+    let mut p_remote = vec![0.5f32; DIM];
+    let mut p_local = p_remote.clone();
+
+    lockstep(
+        &mut remote,
+        &mut *local,
+        &mut p_remote,
+        &mut p_local,
+        &mut rng,
+        0..10,
+        "pre-outage",
+    );
+    assert_eq!(remote.degraded_steps(), 0);
+
+    // Drain: sessions unload, the listener closes, reconnects refuse.
+    server.drain();
+    server.wait();
+
+    lockstep(
+        &mut remote,
+        &mut *local,
+        &mut p_remote,
+        &mut p_local,
+        &mut rng,
+        10..25,
+        "post-outage",
+    );
+    assert!(
+        remote.degraded(),
+        "steps served by the shadow must be flagged"
+    );
+    assert!(
+        remote.degraded_steps() >= 10,
+        "most post-outage steps are shadow-served, got {}",
+        remote.degraded_steps()
+    );
+    assert_eq!(remote.next_step(), 25, "training ran to completion");
+    // No live connection to detach through.
+    assert!(remote.detach().is_err());
+}
+
+#[test]
+fn a_restarted_server_is_rejoined_by_probe_and_replay_bitwise() {
+    // Full lifecycle: live → outage (degraded on the shadow, probing at
+    // widening step gaps) → a fresh server process resumes the session
+    // from snapshots → a probe finds it, replays the buffered
+    // measurements, and the link goes live again. Bits never flip.
+    let dir = temp_dir("restart");
+    let server1 = Server::start(ServeConfig {
+        snapshot_dir: Some(dir.clone()),
+        ..ServeConfig::default()
+    })
+    .unwrap();
+    // Reserve the restart port up front so both addresses are known to
+    // the tuner; the reserved listener never answers, so probes against
+    // it stay transient failures until the real server takes the port.
+    let reserve = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr2 = reserve.local_addr().unwrap();
+    let addrs: Vec<SocketAddr> = vec![server1.local_addr(), addr2];
+
+    let mut remote =
+        RemoteTuner::connect_with(&addrs[..], spec("chaos-restart"), fast_cfg()).unwrap();
+    let mut local = yf_serve::registry::build_optimizer("yellowfin", 1.0).unwrap();
+    let mut rng = Pcg32::seed(73);
+    let mut p_remote = vec![0.5f32; DIM];
+    let mut p_local = p_remote.clone();
+
+    lockstep(
+        &mut remote,
+        &mut *local,
+        &mut p_remote,
+        &mut p_local,
+        &mut rng,
+        0..8,
+        "pre-outage",
+    );
+
+    // Drain seals every session snapshot, then the server goes away.
+    server1.drain();
+    server1.wait();
+
+    // Degraded stretch: probes at steps 9 and 11 fail (the reserved
+    // port accepts but never replies), widening the probe gap.
+    lockstep(
+        &mut remote,
+        &mut *local,
+        &mut p_remote,
+        &mut p_local,
+        &mut rng,
+        8..13,
+        "degraded",
+    );
+    assert!(remote.degraded());
+    let degraded_so_far = remote.degraded_steps();
+    assert!(degraded_so_far >= 4, "got {degraded_so_far}");
+
+    // The replacement server takes the reserved port over the same
+    // snapshot directory.
+    drop(reserve);
+    let server2 = Server::start(ServeConfig {
+        addr: addr2.to_string(),
+        snapshot_dir: Some(dir.clone()),
+        ..ServeConfig::default()
+    })
+    .unwrap();
+
+    // The next scheduled probe resyncs: buffered measurements replay in
+    // order and the link goes live; later steps are server-served.
+    lockstep(
+        &mut remote,
+        &mut *local,
+        &mut p_remote,
+        &mut p_local,
+        &mut rng,
+        13..30,
+        "post-restart",
+    );
+    assert!(
+        !remote.degraded(),
+        "the tuner must be live again after the restart"
+    );
+    assert!(
+        remote.degraded_steps() > degraded_so_far.saturating_sub(1) && remote.degraded_steps() < 22,
+        "degradation must end once the probe resyncs, got {}",
+        remote.degraded_steps()
+    );
+    let _ = remote.detach().unwrap();
+    drop(server2);
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -11,6 +11,10 @@ use std::io::Write;
 use yf_serve::{ServeConfig, Server};
 
 fn main() {
+    // A client that vanishes mid-reply must cost one connection, not the
+    // whole server: make the EPIPE-instead-of-SIGPIPE contract explicit
+    // rather than inherited from the Rust runtime.
+    yf_wire::sigpipe::ignore();
     let cfg = ServeConfig::from_env();
     let server = match Server::start(cfg) {
         Ok(s) => s,

@@ -28,9 +28,14 @@
 //! - [`server`]: the TCP front end — bounded compute permits, bounded
 //!   per-connection outbound queues with slow-client shedding, idle
 //!   reaping, graceful drain, and SIGKILL-safe durability.
-//! - [`client`]: a small blocking client.
+//! - [`client`]: a small blocking client with connect/read/write
+//!   deadlines and a deterministic reconnect backoff schedule.
+//! - [`chaos`]: a deterministic fault-injecting TCP proxy (`YF_CHAOS`)
+//!   for testing every layer above against reproducible network
+//!   failures.
 
 pub mod authority;
+pub mod chaos;
 pub mod client;
 pub mod filter;
 pub mod proto;
@@ -40,7 +45,8 @@ pub mod session;
 pub mod snapshot;
 
 pub use authority::Authority;
-pub use client::{Client, ClientError, MeasureReply};
+pub use chaos::{ChaosDir, ChaosFault, ChaosKind, ChaosProxy, ChaosSpec};
+pub use client::{Backoff, Client, ClientConfig, ClientError, MeasureReply};
 pub use filter::{FilterSpec, QualityFilter};
 pub use proto::{ClientFrame, OpenSpec, ProtoError, ServerFrame};
 pub use server::{ServeConfig, Server};

@@ -12,7 +12,12 @@
 //! resume on reconnect.
 //!
 //! Sessions outlive connections: a dropped or shed connection detaches
-//! its sessions (snapshotting each), an idle detached session is
+//! its sessions (snapshotting each), a reconnecting client re-opens a
+//! session by name — taking it over (epoch fencing) even when the
+//! server has not yet noticed the old connection die, as in a silent
+//! partition — and replays its last unacknowledged measurement, which
+//! the session answers idempotently from its cached verdict instead of
+//! double-advancing. An idle detached session is
 //! eventually reaped by the background sweeper (snapshot first), and a
 //! `drain` frame — or [`Server::drain`] — snapshots everything and
 //! shuts the server down. With `snapshot_every = 1` (the default) every
@@ -24,7 +29,7 @@
 use crate::proto::{ClientFrame, OpenSpec, ServerFrame};
 use crate::session::{Outcome, Session};
 use crate::snapshot::{self, SessionSnapshot};
-use std::collections::{HashMap, HashSet};
+use std::collections::HashMap;
 use std::io::{self, BufRead, BufReader, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
@@ -162,6 +167,13 @@ struct Entry {
     /// Attached to a live connection (a session is driven by at most
     /// one connection at a time).
     attached: bool,
+    /// Attachment epoch, bumped every time a new connection takes the
+    /// session over. A connection may only drive the session while its
+    /// recorded epoch matches — frames from a superseded connection
+    /// (one a client abandoned after a partition, which the server may
+    /// not have noticed yet) are fenced off with an error instead of
+    /// corrupting the trajectory.
+    epoch: u64,
     last_active: Instant,
 }
 
@@ -368,6 +380,10 @@ fn handle_connection(shared: &Arc<Shared>, stream: TcpStream) {
         .name("yf-serve-writer".to_string())
         .spawn(move || {
             while let Ok(line) = rx.recv() {
+                // A failed write (EPIPE/ECONNRESET from a vanished
+                // client) sheds only this connection; the process keeps
+                // serving. The binary ignores SIGPIPE explicitly so the
+                // error path here is the only path.
                 if write_half
                     .write_all(line.as_bytes())
                     .and_then(|()| write_half.write_all(b"\n"))
@@ -380,8 +396,10 @@ fn handle_connection(shared: &Arc<Shared>, stream: TcpStream) {
         })
         .expect("serve: spawning writer thread");
 
-    // Session names this connection currently drives.
-    let mut owned: HashSet<String> = HashSet::new();
+    // Session name → attachment epoch, for every session this
+    // connection currently drives. The epoch fences this connection's
+    // frames off once another connection takes a session over.
+    let mut owned: HashMap<String, u64> = HashMap::new();
     let reader = BufReader::new(read_half);
     'conn: for line in reader.lines() {
         let Ok(line) = line else { break };
@@ -410,15 +428,20 @@ fn handle_connection(shared: &Arc<Shared>, stream: TcpStream) {
     let _ = writer.join();
 }
 
-/// Detaches (and snapshots) every session a closing connection drove.
-fn detach_owned(shared: &Shared, owned: &HashSet<String>) {
-    for name in owned {
+/// Detaches (and snapshots) every session a closing connection still
+/// drives. Sessions another connection has taken over (epoch advanced)
+/// are left alone — they belong to their new driver.
+fn detach_owned(shared: &Shared, owned: &HashMap<String, u64>) {
+    for (name, &epoch) in owned {
         let entry = {
             let map = shared.sessions.lock().expect("serve sessions lock");
             map.get(name).cloned()
         };
         if let Some(entry) = entry {
             let mut e = entry.lock().expect("serve entry lock");
+            if e.epoch != epoch {
+                continue;
+            }
             e.attached = false;
             e.last_active = Instant::now();
             shared.write_snapshot(&e);
@@ -433,7 +456,7 @@ fn error(session: Option<&str>, message: impl Into<String>) -> ServerFrame {
     }
 }
 
-fn process_line(shared: &Shared, owned: &mut HashSet<String>, line: &str) -> ServerFrame {
+fn process_line(shared: &Shared, owned: &mut HashMap<String, u64>, line: &str) -> ServerFrame {
     let frame = match ClientFrame::from_line(line) {
         Ok(f) => f,
         Err(e) => return error(None, e.to_string()),
@@ -450,9 +473,12 @@ fn process_line(shared: &Shared, owned: &mut HashSet<String>, line: &str) -> Ser
         ClientFrame::Ping { token } => {
             // The heartbeat: keep this connection's sessions warm.
             let map = shared.sessions.lock().expect("serve sessions lock");
-            for name in owned.iter() {
+            for (name, &epoch) in owned.iter() {
                 if let Some(entry) = map.get(name) {
-                    entry.lock().expect("serve entry lock").last_active = Instant::now();
+                    let mut e = entry.lock().expect("serve entry lock");
+                    if e.epoch == epoch {
+                        e.last_active = Instant::now();
+                    }
                 }
             }
             ServerFrame::Pong { token }
@@ -463,7 +489,7 @@ fn process_line(shared: &Shared, owned: &mut HashSet<String>, line: &str) -> Ser
     }
 }
 
-fn process_open(shared: &Shared, owned: &mut HashSet<String>, spec: OpenSpec) -> ServerFrame {
+fn process_open(shared: &Shared, owned: &mut HashMap<String, u64>, spec: OpenSpec) -> ServerFrame {
     let name = spec.session.clone();
     if shared.draining.load(Ordering::SeqCst) {
         return error(Some(&name), "server is draining");
@@ -473,19 +499,24 @@ fn process_open(shared: &Shared, owned: &mut HashSet<String>, spec: OpenSpec) ->
     }
     let mut map = shared.sessions.lock().expect("serve sessions lock");
     if let Some(entry) = map.get(&name) {
-        // Live session: re-attach (reconnect) if nobody else drives it.
+        // Live session: re-attach (reconnect). If another connection
+        // still looks attached — typically a partitioned predecessor
+        // the server has not seen EOF from yet — the newest open wins:
+        // the epoch advances and the old connection's frames are fenced
+        // off at their next measure.
         let mut e = entry.lock().expect("serve entry lock");
-        if e.attached {
-            return error(Some(&name), "session busy: attached to another connection");
-        }
         if !e.session.spec().matches(&spec) {
             return error(Some(&name), "spec does not match the live session");
+        }
+        if e.attached {
+            e.epoch += 1;
         }
         e.attached = true;
         e.last_active = Instant::now();
         let step = e.session.step();
+        let epoch = e.epoch;
         drop(e);
-        owned.insert(name.clone());
+        owned.insert(name.clone(), epoch);
         return ServerFrame::Opened {
             session: name,
             step,
@@ -520,10 +551,11 @@ fn process_open(shared: &Shared, owned: &mut HashSet<String>, spec: OpenSpec) ->
         Arc::new(Mutex::new(Entry {
             session,
             attached: true,
+            epoch: 0,
             last_active: Instant::now(),
         })),
     );
-    owned.insert(name.clone());
+    owned.insert(name.clone(), 0);
     ServerFrame::Opened {
         session: name,
         step,
@@ -532,15 +564,15 @@ fn process_open(shared: &Shared, owned: &mut HashSet<String>, spec: OpenSpec) ->
 
 fn process_measure(
     shared: &Shared,
-    owned: &HashSet<String>,
+    owned: &HashMap<String, u64>,
     session: &str,
     step: u64,
     loss: f32,
     grads: &[f32],
 ) -> ServerFrame {
-    if !owned.contains(session) {
+    let Some(&epoch) = owned.get(session) else {
         return error(Some(session), "session not open on this connection");
-    }
+    };
     let entry = {
         let map = shared.sessions.lock().expect("serve sessions lock");
         map.get(session).cloned()
@@ -552,6 +584,12 @@ fn process_measure(
     // processes at once, independent of connection count.
     let _permit = shared.compute.acquire();
     let mut e = entry.lock().expect("serve entry lock");
+    if e.epoch != epoch {
+        return error(
+            Some(session),
+            "session was taken over by another connection",
+        );
+    }
     if shared.draining.load(Ordering::SeqCst) {
         return error(Some(session), "server is draining");
     }
@@ -580,19 +618,25 @@ fn process_measure(
     }
 }
 
-fn process_close(shared: &Shared, owned: &mut HashSet<String>, session: &str) -> ServerFrame {
-    if !owned.remove(session) {
+fn process_close(shared: &Shared, owned: &mut HashMap<String, u64>, session: &str) -> ServerFrame {
+    let Some(epoch) = owned.remove(session) else {
         return error(Some(session), "session not open on this connection");
-    }
-    let entry = {
-        let mut map = shared.sessions.lock().expect("serve sessions lock");
-        map.remove(session)
     };
-    if let Some(entry) = entry {
+    let mut map = shared.sessions.lock().expect("serve sessions lock");
+    if let Some(entry) = map.get(session).cloned() {
+        let e = entry.lock().expect("serve entry lock");
+        if e.epoch != epoch {
+            // Taken over: the session now belongs to its new driver and
+            // this close only drops our claim on it.
+            return ServerFrame::Closed {
+                session: session.to_string(),
+            };
+        }
         // Final snapshot: a closed session can be re-opened later and
         // resumes from here.
-        let e = entry.lock().expect("serve entry lock");
         shared.write_snapshot(&e);
+        drop(e);
+        map.remove(session);
     }
     ServerFrame::Closed {
         session: session.to_string(),

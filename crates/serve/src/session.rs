@@ -35,6 +35,12 @@ pub struct Session {
     filter: QualityFilter,
     step: u64,
     last: Option<Hyper>,
+    /// The verdict on the most recent processed measurement, kept for
+    /// idempotent replay: a client that lost the reply (reconnect,
+    /// duplicated frame) re-sends step `step - 1` and gets this back
+    /// without the session advancing — the key invariant that a retry
+    /// can never double-advance a trajectory.
+    last_outcome: Option<Outcome>,
     /// The measure phase needs a params buffer only for its length (the
     /// registry optimizers tune from gradient statistics alone), so
     /// every session reuses one zeros vector.
@@ -60,6 +66,7 @@ impl Session {
             filter,
             step: 0,
             last: None,
+            last_outcome: None,
             zeros,
         })
     }
@@ -78,11 +85,25 @@ impl Session {
     /// through the sharded observe/combine pipeline, clamps the tuned
     /// proposal through the authority limits, and advances the step.
     ///
+    /// Re-sending the immediately previous step (`self.step() - 1`) is
+    /// idempotent: the cached verdict is returned and the session does
+    /// not advance. That is exactly the frame a reconnecting client
+    /// replays when the server processed its measurement but the reply
+    /// was lost.
+    ///
     /// # Errors
     ///
     /// Protocol errors (step or dimension mismatch) that leave the
     /// session untouched — the client must resend the right frame.
     pub fn measure(&mut self, step: u64, loss: f32, grads: &[f32]) -> Result<Outcome, String> {
+        if self.step > 0 && step == self.step - 1 {
+            if let Some(outcome) = &self.last_outcome {
+                return Ok(outcome.clone());
+            }
+            return Err(format!(
+                "step {step} was already processed and its verdict is gone (pre-upgrade snapshot)"
+            ));
+        }
         if step != self.step {
             return Err(format!("expected step {}, got {step}", self.step));
         }
@@ -108,6 +129,7 @@ impl Session {
             }
         };
         self.step += 1;
+        self.last_outcome = Some(outcome.clone());
         Ok(outcome)
     }
 
@@ -117,6 +139,7 @@ impl Session {
             spec: self.spec.clone(),
             step: self.step,
             last: self.last,
+            last_outcome: self.last_outcome.clone(),
             gate_state: self.filter.save_state(),
             opt_state: self.opt.checkpoint_state(),
         }
@@ -141,6 +164,7 @@ impl Session {
         }
         session.step = snap.step;
         session.last = snap.last;
+        session.last_outcome = snap.last_outcome;
         Ok(session)
     }
 }
@@ -201,6 +225,29 @@ mod tests {
         assert_eq!(s.step(), 0, "failed frames must not advance the step");
         assert!(s.measure(0, 0.5, &[0.1; 8]).is_ok());
         assert_eq!(s.step(), 1);
+    }
+
+    #[test]
+    fn replaying_the_previous_step_returns_the_cached_verdict_without_advancing() {
+        let mut s = Session::new(spec("yellowfin")).unwrap();
+        let mut rng = Pcg32::seed(5);
+        let g0 = grad(&mut rng, 8, 1.0);
+        let first = s.measure(0, 0.5, &g0).unwrap();
+        assert_eq!(s.step(), 1);
+        // A duplicated or replayed frame for step 0: same verdict, no
+        // advance — even with different (late, mangled) payload bytes.
+        let replay = s.measure(0, 9.9, &[0.0; 8]).unwrap();
+        assert_eq!(replay, first);
+        assert_eq!(s.step(), 1, "replay must not advance the session");
+        // The trajectory continues exactly as if no replay happened,
+        // and the replay cache survives a snapshot/restore cycle.
+        let g1 = grad(&mut rng, 8, 1.0);
+        let second = s.measure(1, 0.5, &g1).unwrap();
+        let mut restored = Session::restore(s.snapshot()).unwrap();
+        assert_eq!(restored.measure(1, 0.5, &g1).unwrap(), second);
+        assert_eq!(restored.step(), 2);
+        // Steps further back than the cache are still errors.
+        assert!(restored.measure(0, 0.5, &g0).is_err());
     }
 
     #[test]

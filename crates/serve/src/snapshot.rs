@@ -10,6 +10,7 @@
 use crate::authority::Authority;
 use crate::filter::FilterSpec;
 use crate::proto::OpenSpec;
+use crate::session::Outcome;
 use std::fmt;
 use yf_optim::Hyper;
 use yf_wire::hex::{f32_row, f32_unrow, f64_hex, f64_unhex, HexError};
@@ -51,6 +52,10 @@ pub struct SessionSnapshot {
     /// The last authority-clamped hyperparameters served (the excursion
     /// reference for the next update).
     pub last: Option<Hyper>,
+    /// The verdict on the most recently processed measurement, kept so
+    /// a restored session can replay the reply a reconnecting client
+    /// lost (idempotent retry) instead of double-advancing.
+    pub last_outcome: Option<Outcome>,
     /// Quality-gate state block.
     pub gate_state: String,
     /// Optimizer checkpoint block (`None` for stateless optimizers).
@@ -91,6 +96,19 @@ pub fn encode(snap: &SessionSnapshot) -> String {
             f32_row(&[h.lr, h.momentum, h.grad_scale])
         )),
         None => out.push_str("last -\n"),
+    }
+    match &snap.last_outcome {
+        None => out.push_str("outcome -\n"),
+        Some(Outcome::Tuned { hyper, clamped }) => out.push_str(&format!(
+            "outcome tuned {} {}\n",
+            f32_row(&[hyper.lr, hyper.momentum, hyper.grad_scale]),
+            u8::from(*clamped)
+        )),
+        // Filter reasons are single-line human text; the field value is
+        // the rest of the line, so spaces inside it are fine.
+        Some(Outcome::Rejected { reason }) => {
+            out.push_str(&format!("outcome rejected {reason}\n"));
+        }
     }
     out.push_str(&format!("gate_lines {}\n", snap.gate_state.lines().count()));
     out.push_str(&snap.gate_state);
@@ -220,6 +238,34 @@ pub fn decode(text: &str) -> Result<SessionSnapshot, SnapshotError> {
             })
         }
     };
+    let last_outcome = match f.field("outcome")? {
+        "-" => None,
+        text => match text.split_once(' ') {
+            Some(("tuned", rest)) => {
+                let (row, clamped) = rest
+                    .rsplit_once(' ')
+                    .ok_or_else(|| SnapshotError::new("bad tuned outcome"))?;
+                let h = scalar_row(row, 3, "outcome")?;
+                let clamped = match clamped {
+                    "0" => false,
+                    "1" => true,
+                    _ => return Err(SnapshotError::new("bad outcome clamped flag")),
+                };
+                Some(Outcome::Tuned {
+                    hyper: Hyper {
+                        lr: h[0],
+                        momentum: h[1],
+                        grad_scale: h[2],
+                    },
+                    clamped,
+                })
+            }
+            Some(("rejected", reason)) => Some(Outcome::Rejected {
+                reason: reason.to_string(),
+            }),
+            _ => return Err(SnapshotError::new(format!("bad outcome marker {text:?}"))),
+        },
+    };
     let gate_lines = f
         .field("gate_lines")?
         .parse()
@@ -251,6 +297,7 @@ pub fn decode(text: &str) -> Result<SessionSnapshot, SnapshotError> {
         },
         step,
         last,
+        last_outcome,
         gate_state,
         opt_state,
     })
@@ -276,6 +323,14 @@ mod tests {
                 momentum: 0.875,
                 grad_scale: 1.0,
             }),
+            last_outcome: Some(Outcome::Tuned {
+                hyper: Hyper {
+                    lr: 0.0625,
+                    momentum: 0.875,
+                    grad_scale: 1.0,
+                },
+                clamped: true,
+            }),
             gate_state: "version 1\ntolerance 4024000000000000\n".to_string(),
             opt_state: Some("kind yellowfin\nversion 1\nlr 3dcccccd\n".to_string()),
         }
@@ -287,8 +342,14 @@ mod tests {
         assert_eq!(decode(&encode(&snap)).unwrap(), snap);
         let mut bare = snapshot();
         bare.last = None;
+        bare.last_outcome = None;
         bare.opt_state = None;
         assert_eq!(decode(&encode(&bare)).unwrap(), bare);
+        let mut rejected = snapshot();
+        rejected.last_outcome = Some(Outcome::Rejected {
+            reason: "loss spike: 12.5 exceeds the envelope".to_string(),
+        });
+        assert_eq!(decode(&encode(&rejected)).unwrap(), rejected);
     }
 
     #[test]
@@ -316,6 +377,7 @@ mod tests {
         }
         assert!(decode(&text.replace("opt_state present", "opt_state maybe")).is_err());
         assert!(decode(&text.replace("gate_lines 2", "gate_lines 99")).is_err());
+        assert!(decode(&text.replace("outcome tuned", "outcome perhaps")).is_err());
         assert!(decode("wrong header\n").is_err());
     }
 }

@@ -279,6 +279,123 @@ fn dropped_connection_detaches_sessions_and_reconnect_resumes() {
 }
 
 #[test]
+fn duplicated_measure_frames_are_answered_idempotently() {
+    // A network that duplicates frames (or a client re-sending after a
+    // lost reply) must not double-advance the session: the re-sent
+    // previous step is answered from the cached verdict, bitwise equal
+    // to the first reply, and the trajectory continues unperturbed.
+    let server = Server::start(ServeConfig::default()).unwrap();
+    let stream_tcp = TcpStream::connect(server.local_addr()).unwrap();
+    let mut reader = BufReader::new(stream_tcp.try_clone().unwrap());
+    let mut writer = stream_tcp;
+    let mut send = |frame: &yf_serve::ClientFrame| {
+        writeln!(writer, "{}", frame.to_line()).unwrap();
+        writer.flush().unwrap();
+    };
+    let recv = |reader: &mut BufReader<TcpStream>| -> ServerFrame {
+        let mut line = String::new();
+        reader.read_line(&mut line).unwrap();
+        ServerFrame::from_line(line.trim_end()).unwrap()
+    };
+
+    let open = spec("dup", "yellowfin");
+    let frames = stream(31, 6);
+    let want = reference(&open, &frames);
+    send(&yf_serve::ClientFrame::Open(open));
+    assert!(matches!(
+        recv(&mut reader),
+        ServerFrame::Opened { step: 0, .. }
+    ));
+
+    let measure = |step: usize| yf_serve::ClientFrame::Measure {
+        session: "dup".to_string(),
+        step: step as u64,
+        loss: frames[step].0,
+        grads: frames[step].1.clone(),
+    };
+    send(&measure(0));
+    let first = recv(&mut reader);
+    // The same frame again: answered from the cache, not re-processed.
+    send(&measure(0));
+    let replayed = recv(&mut reader);
+    assert_eq!(first, replayed, "replayed verdict must be bitwise cached");
+    // The replay window is one step deep (the client keeps at most one
+    // frame in flight): once step 1 advances the session, a duplicate
+    // of step 0 is answered with an error — but still never applied.
+    send(&measure(1));
+    let second = recv(&mut reader);
+    send(&measure(0));
+    assert!(
+        matches!(recv(&mut reader), ServerFrame::Error { .. }),
+        "a two-back duplicate falls outside the replay window"
+    );
+    match (&second, &want[1]) {
+        (ServerFrame::Tuned { step, .. }, _) => assert_eq!(*step, 1),
+        (ServerFrame::Rejected { step, .. }, _) => assert_eq!(*step, 1),
+        (other, w) => panic!("step 1: got {other:?}, want {w:?}"),
+    }
+    // The rest of the stream still matches the uninterrupted reference.
+    for (step, want) in want.iter().enumerate().skip(2) {
+        send(&measure(step));
+        match (recv(&mut reader), want) {
+            (
+                ServerFrame::Tuned { hyper, clamped, .. },
+                Outcome::Tuned {
+                    hyper: w,
+                    clamped: wc,
+                },
+            ) => {
+                assert_eq!(hyper.lr.to_bits(), w.lr.to_bits(), "step {step}");
+                assert_eq!(clamped, *wc, "step {step}");
+            }
+            (ServerFrame::Rejected { .. }, Outcome::Rejected { .. }) => {}
+            (other, w) => panic!("step {step}: got {other:?}, want {w:?}"),
+        }
+    }
+}
+
+#[test]
+fn a_second_open_takes_the_session_over_and_fences_the_old_writer() {
+    // A client behind a blackholed connection never sees EOF, so the
+    // server may still consider its session attached when the client's
+    // replacement connection re-opens it. The newest open wins: the old
+    // connection's frames are fenced off with an error (never applied to
+    // the session) and the new connection proceeds in lockstep.
+    let server = Server::start(ServeConfig::default()).unwrap();
+    let addr = server.local_addr();
+    let open = spec("fence", "momentum");
+    let frames = stream(97, 10);
+    let want = reference(&open, &frames);
+
+    let mut a = Client::connect(addr).unwrap();
+    assert_eq!(a.open(open.clone()).unwrap(), 0);
+    for (step, (loss, grads)) in frames.iter().enumerate().take(4) {
+        a.measure("fence", step as u64, *loss, grads).unwrap();
+    }
+
+    // B takes over while A still holds its (stale) attachment.
+    let mut b = Client::connect(addr).unwrap();
+    assert_eq!(b.open(open.clone()).unwrap(), 4, "takeover resumes at 4");
+
+    // A's next frame must be fenced, not double-drive the session.
+    let (loss, grads) = &frames[4];
+    match a.measure("fence", 4, *loss, grads) {
+        Err(yf_serve::ClientError::Server(msg)) => {
+            assert!(msg.contains("taken over"), "unexpected fence error: {msg}")
+        }
+        Ok(reply) => panic!("fenced writer must error, got {reply:?}"),
+        Err(other) => panic!("expected a server error, got {other}"),
+    }
+
+    // B's stream continues bitwise on the reference trajectory.
+    for (step, (loss, grads)) in frames.iter().enumerate().skip(4) {
+        let reply = b.measure("fence", step as u64, *loss, grads).unwrap();
+        reply_matches(&reply, &want[step], &format!("takeover step {step}"));
+    }
+    b.close_session("fence").unwrap();
+}
+
+#[test]
 fn malformed_frames_answer_with_an_error_and_the_connection_survives() {
     let server = Server::start(ServeConfig::default()).unwrap();
     let stream = TcpStream::connect(server.local_addr()).unwrap();

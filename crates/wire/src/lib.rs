@@ -16,10 +16,13 @@
 //!   rename) writes and checksum-sealed loads that reject torn files
 //!   with typed errors. Fleet checkpoints/results and serve session
 //!   snapshots both live behind these.
+//! - [`sigpipe`]: explicit SIGPIPE suppression so a broken pipe is an
+//!   `EPIPE` error to shed, never a process death.
 
 pub mod fsio;
 pub mod hex;
 pub mod json;
+pub mod sigpipe;
 
 pub use hex::{f32_hex, f32_unhex, f64_hex, f64_unhex, HexError};
 pub use json::{Json, JsonError};

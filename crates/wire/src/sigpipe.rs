@@ -1,0 +1,66 @@
+//! Explicit SIGPIPE handling for long-running network processes.
+//!
+//! Rust's runtime ignores SIGPIPE at process start, so a write to a
+//! closed socket surfaces as an `EPIPE` [`std::io::Error`] instead of
+//! killing the process — which is exactly the behavior the serve and
+//! fleet binaries rely on to shed a dead connection and keep serving.
+//! That protection is *inherited state*, though, not a guarantee: a
+//! parent that restored `SIG_DFL` before exec (shells and process
+//! supervisors do, and `std::process::Command` resets the disposition
+//! for its children) hands the child a configuration where the first
+//! broken pipe is fatal. Every yf binary that writes to sockets or
+//! pipes therefore calls [`ignore`] first thing in `main`, making the
+//! contract explicit rather than inherited.
+
+/// `SIGPIPE` on every Unix the workspace targets.
+#[cfg(unix)]
+const SIGPIPE: i32 = 13;
+/// `SIG_IGN` as the C library defines it (`(void (*)(int))1`).
+#[cfg(unix)]
+const SIG_IGN: usize = 1;
+
+#[cfg(unix)]
+extern "C" {
+    /// ISO C `signal(2)`, linked from the C runtime the platform already
+    /// ships (the workspace carries no libc crate).
+    fn signal(signum: i32, handler: usize) -> usize;
+}
+
+/// Forces the process to ignore SIGPIPE so writes to closed sockets and
+/// pipes return `EPIPE` errors instead of terminating the process. Safe
+/// to call repeatedly; a no-op on non-Unix targets.
+pub fn ignore() {
+    #[cfg(unix)]
+    // SAFETY: setting a signal disposition to SIG_IGN is async-signal
+    // safe and has no preconditions; no Rust-side state is involved.
+    unsafe {
+        signal(SIGPIPE, SIG_IGN);
+    }
+}
+
+#[cfg(all(test, unix))]
+mod tests {
+    use std::io::Write;
+
+    #[test]
+    fn writes_to_a_closed_pipe_error_instead_of_killing_the_process() {
+        super::ignore();
+        let mut child = std::process::Command::new("true")
+            .stdin(std::process::Stdio::piped())
+            .spawn()
+            .expect("spawning /bin/true");
+        let mut stdin = child.stdin.take().expect("piped stdin");
+        child.wait().expect("waiting for /bin/true");
+        // The reader is gone; with SIGPIPE ignored these writes must
+        // come back as EPIPE errors, not terminate the test runner.
+        let payload = vec![b'x'; 1 << 16];
+        let mut saw_error = false;
+        for _ in 0..8 {
+            if stdin.write_all(&payload).is_err() {
+                saw_error = true;
+                break;
+            }
+        }
+        assert!(saw_error, "writes to a dead pipe must surface as errors");
+    }
+}

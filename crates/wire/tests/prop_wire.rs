@@ -88,6 +88,66 @@ proptest! {
     }
 
     #[test]
+    fn mutated_frames_parse_or_error_but_never_panic(
+        bits in prop::collection::vec(any::<u32>(), 1..12),
+        step in any::<u64>(),
+        pos_seed in any::<u64>(),
+        byte in any::<u8>(),
+        cut_seed in any::<u64>(),
+    ) {
+        // The chaos proxy's corrupt-frame fault hands the decoder
+        // arbitrary line damage; this pins the decoder's contract under
+        // it: a typed `JsonError` or a (possibly nonsensical but valid)
+        // value — never a panic, for any truncation or byte mutation.
+        let values: Vec<f32> = bits.iter().map(|&b| f32::from_bits(b)).collect();
+        let frame = Json::obj(vec![
+            ("type", Json::str("measure")),
+            ("session", Json::str("fuzz \"target\" \\ line")),
+            ("step", Json::u64(step)),
+            ("grads", Json::str(hex::f32_row(&values))),
+        ]);
+        let line = frame.to_string();
+
+        // Truncation at every byte offset the seed lands on.
+        let cut = (cut_seed as usize) % (line.len() + 1);
+        if line.is_char_boundary(cut) {
+            let _ = json::parse(&line[..cut]);
+        }
+
+        // Single-byte overwrite anywhere in the frame. The damaged
+        // bytes may no longer be UTF-8, so they re-enter the decoder
+        // the way a socket read would: lossily re-decoded.
+        let mut damaged = line.clone().into_bytes();
+        let pos = (pos_seed as usize) % damaged.len();
+        damaged[pos] = byte;
+        let damaged = String::from_utf8_lossy(&damaged);
+        if let Ok(parsed) = json::parse(&damaged) {
+            // A frame that still parses may still carry a mangled hex
+            // row; the row decoder must also fail typed, not panic.
+            if let Ok(row) = parsed.str_field("grads") {
+                let _ = hex::f32_unrow(row);
+            }
+        }
+    }
+
+    #[test]
+    fn mutated_hex_rows_error_but_never_panic(
+        bits in prop::collection::vec(any::<u32>(), 1..12),
+        pos_seed in any::<u64>(),
+        byte in any::<u8>(),
+    ) {
+        let values: Vec<f32> = bits.iter().map(|&b| f32::from_bits(b)).collect();
+        let mut row = hex::f32_row(&values).into_bytes();
+        let pos = (pos_seed as usize) % row.len();
+        row[pos] = byte;
+        let row = String::from_utf8_lossy(&row);
+        match hex::f32_unrow(&row) {
+            Ok(back) => prop_assert!(back.len() <= values.len() + 1),
+            Err(e) => prop_assert!(!e.to_string().is_empty(), "typed error with a message"),
+        }
+    }
+
+    #[test]
     fn torn_sealed_files_are_rejected(body_bits in prop::collection::vec(any::<u64>(), 1..16),
                                       cut_seed in any::<u64>()) {
         // A sealed file truncated anywhere strictly inside must come
