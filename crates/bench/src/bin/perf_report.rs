@@ -20,14 +20,30 @@
 //! - `YF_PERF_BASELINE` — baseline JSON to gate against (exit 1 when a
 //!   kernel's speedup falls more than the tolerance below the baseline).
 //! - `YF_PERF_TOL` — gate tolerance as a fraction (default 0.35).
+//! - `YF_PERF_SERVE_TOL` — gate tolerance for the `serve_measure_*`
+//!   entries' absolute ns (default 0.75; see below).
 //! - `YF_NUM_THREADS` — kernel-layer thread count, recorded in the JSON.
 //!
 //! Besides timings, the report records `fanouts_per_step`: the number of
 //! worker-pool dispatches one full tuned optimizer step performs, and
 //! hard-fails unless it is exactly 1 (the fused-runtime contract). It
 //! also records session throughput for the `yf-serve` tuner server —
-//! median ns per measurement over loopback TCP at 1 and at 32 concurrent
-//! sessions, against the in-process session pipeline as the seed.
+//! median ns per measurement over loopback TCP, for both wire dialects
+//! (line JSON and the negotiated binary fast path, each forced
+//! explicitly so the entries are stable under `YF_SERVE_WIRE`), at 1
+//! and at 32 concurrent sessions, plus a pipelined entry running the
+//! binary dialect with an 8-deep send-ahead window. The negotiated
+//! dialect and that window are recorded in the header (`serve_wire`,
+//! `serve_client_window`).
+//!
+//! The serve entries' *speedup* column is contextual (each seed is
+//! re-measured in the same run: the in-process pipeline for the JSON
+//! entries, the same-run JSON wire cost for the binary entries, the
+//! unpipelined binary cost for the pipelined entry), so the gate does
+//! not band it. Instead `serve_measure_*` entries gate on **absolute
+//! median ns** against the committed baseline, within
+//! `YF_PERF_SERVE_TOL` — and are skipped wholesale (with a warning)
+//! when the baseline's `serve_wire` header does not match this run.
 //!
 //! The gate only compares runs at the **same thread count**: speedups of
 //! the parallel kernels scale with cores, so a baseline recorded at a
@@ -42,7 +58,10 @@ use yf_autograd::norm::{self, reference as norm_ref};
 use yf_autograd::ConvSpec;
 use yf_optim::sharded::{apply_sharded, observe_sharded, step_sharded};
 use yf_optim::{Adam, MomentumSgd, Optimizer};
-use yf_serve::{Authority, Client, FilterSpec, OpenSpec, ServeConfig, Server, Session};
+use yf_serve::{
+    Authority, Client, ClientConfig, FilterSpec, OpenSpec, ServeConfig, Server, Session,
+    WireDialect,
+};
 use yf_tensor::gemm::reference as gemm_ref;
 use yf_tensor::rng::Pcg32;
 use yf_tensor::{parallel, Tensor};
@@ -154,17 +173,43 @@ impl Entry {
     }
 }
 
+/// `serve_measure_*` entries gate on absolute ns, not on the speedup
+/// band — their seed column is re-measured in the same run, so the
+/// ratio can never regress no matter how slow the wire gets.
+const SERVE_PREFIX: &str = "serve_measure_";
+
+struct BaselineEntry {
+    name: String,
+    speedup: f64,
+    median_ns: u128,
+}
+
+struct Baseline {
+    threads: Option<usize>,
+    /// The `serve_wire` header of the baseline run; absent in reports
+    /// from before the binary fast path.
+    serve_wire: Option<String>,
+    entries: Vec<BaselineEntry>,
+}
+
 /// Parses the `"name": {"median_ns": .., "seed_median_ns": .., "speedup": ..}`
-/// lines of a previously emitted `BENCH_kernels.json` into the recorded
-/// thread count plus `(name, speedup)` pairs. Hand-rolled because the
+/// lines of a previously emitted `BENCH_kernels.json`, plus the
+/// `threads` and `serve_wire` header fields. Hand-rolled because the
 /// format is ours and the build environment is offline.
-fn parse_baseline(text: &str) -> (Option<usize>, Vec<(String, f64)>) {
-    let mut threads = None;
-    let mut out = Vec::new();
+fn parse_baseline(text: &str) -> Baseline {
+    let mut base = Baseline {
+        threads: None,
+        serve_wire: None,
+        entries: Vec::new(),
+    };
     for line in text.lines() {
         let line = line.trim();
         if let Some(rest) = line.strip_prefix("\"threads\":") {
-            threads = rest.trim().trim_end_matches(',').parse::<usize>().ok();
+            base.threads = rest.trim().trim_end_matches(',').parse::<usize>().ok();
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("\"serve_wire\":") {
+            base.serve_wire = Some(rest.trim().trim_matches([',', ' ', '"']).to_string());
             continue;
         }
         if !line.contains("\"median_ns\"") {
@@ -173,33 +218,72 @@ fn parse_baseline(text: &str) -> (Option<usize>, Vec<(String, f64)>) {
         let Some(name) = line.strip_prefix('"').and_then(|r| r.split('"').next()) else {
             continue;
         };
-        let Some(speedup) = line
-            .split("\"speedup\":")
-            .nth(1)
-            .and_then(|r| r.trim().trim_end_matches(['}', ',', ' ']).parse().ok())
+        let field = |key: &str| -> Option<&str> {
+            line.split(key)
+                .nth(1)
+                .map(|r| r.trim().trim_end_matches(['}', ',', ' ']))
+        };
+        let Some(speedup) = field("\"speedup\":").and_then(|r| r.parse().ok()) else {
+            continue;
+        };
+        let Some(median_ns) = field("\"median_ns\":")
+            .and_then(|r| r.split(',').next())
+            .and_then(|r| r.trim().parse().ok())
         else {
             continue;
         };
-        out.push((name.to_string(), speedup));
+        base.entries.push(BaselineEntry {
+            name: name.to_string(),
+            speedup,
+            median_ns,
+        });
     }
-    (threads, out)
+    base
 }
 
-/// Compares fresh entries against a baseline; returns the kernels whose
-/// speedup regressed by more than `tol` (fractional).
+/// Compares fresh kernel entries against a baseline; returns the
+/// kernels whose speedup regressed by more than `tol` (fractional).
+/// `serve_measure_*` entries are excluded — see [`serve_regressions`].
 fn regressions<'a>(
     entries: &'a [Entry],
-    baseline: &'a [(String, f64)],
+    baseline: &'a [BaselineEntry],
     tol: f64,
 ) -> Vec<(&'a str, f64, f64)> {
     let mut bad = Vec::new();
     for e in entries {
-        let Some((_, base)) = baseline.iter().find(|(n, _)| n == e.name) else {
+        if e.name.starts_with(SERVE_PREFIX) {
+            continue;
+        }
+        let Some(base) = baseline.iter().find(|b| b.name == e.name) else {
             continue; // new kernel: no baseline yet
         };
         let now = e.speedup();
-        if now < base / (1.0 + tol) {
-            bad.push((e.name, *base, now));
+        if now < base.speedup / (1.0 + tol) {
+            bad.push((e.name, base.speedup, now));
+        }
+    }
+    bad
+}
+
+/// The serve-entry gate: absolute median ns against the committed
+/// baseline, failing entries slower than `base * (1 + tol)`. Loopback
+/// wire timings are noisier than in-process kernel ratios, hence the
+/// wide default tolerance.
+fn serve_regressions<'a>(
+    entries: &'a [Entry],
+    baseline: &'a [BaselineEntry],
+    tol: f64,
+) -> Vec<(&'a str, u128, u128)> {
+    let mut bad = Vec::new();
+    for e in entries {
+        if !e.name.starts_with(SERVE_PREFIX) {
+            continue;
+        }
+        let Some(base) = baseline.iter().find(|b| b.name == e.name) else {
+            continue;
+        };
+        if e.median_ns as f64 > base.median_ns as f64 * (1.0 + tol) {
+            bad.push((e.name, base.median_ns, e.median_ns));
         }
     }
     bad
@@ -626,18 +710,28 @@ fn main() {
     }
 
     // --- Tuning-as-a-service throughput: ns per measurement served
-    // through the full yf-serve stack — loopback TCP, line-JSON framing,
-    // quality filter, observe/combine, authority clamp (snapshots off) —
-    // at 1 session and at 32 concurrent sessions. The seed column is the
-    // identical session pipeline called in process, so the speedup reads
-    // as the fraction of in-process tuning throughput retained over the
-    // wire: below 1x for a single session (pure protocol latency), and
-    // the 32-session entry shows multiplexing amortizing it across the
-    // fleet. measurements/sec = 1e9 / median_ns. Each timed batch opens
-    // fresh sessions (session steps are strictly sequential), so the
+    // through the full yf-serve stack — loopback TCP, quality filter,
+    // observe/combine, authority clamp (snapshots off) — in both wire
+    // dialects, at 1 session and at 32 concurrent sessions, plus the
+    // binary dialect under an 8-deep send-ahead window. Dialect and
+    // window are forced per entry through an explicit [`ClientConfig`]
+    // so the numbers do not move under `YF_SERVE_WIRE`.
+    //
+    // Seed columns are contextual (which is why these entries gate on
+    // absolute ns, not the speedup band):
+    // - `serve_measure_{1_session,32_sessions}`: the in-process session
+    //   pipeline — the speedup reads as the fraction of local tuning
+    //   throughput retained over the JSON wire.
+    // - `serve_measure_binary_*`: the same-run JSON wire cost — the
+    //   speedup is the binary fast path's wire gain.
+    // - `serve_measure_pipelined`: the same-run lock-step binary cost —
+    //   the speedup is what the send-ahead window buys.
+    //
+    // measurements/sec = 1e9 / median_ns. Each timed batch opens fresh
+    // sessions (session steps are strictly sequential), so the
     // open/close handshake is amortized over `frames` measurements just
     // like a short training run.
-    {
+    let serve_wire: &'static str = {
         let dim = 4096;
         let frames = 64usize;
         let grads: Vec<Vec<f32>> = (0..frames)
@@ -655,14 +749,38 @@ fn main() {
             }
         }
 
+        fn wire_cfg(wire: WireDialect, window: usize) -> ClientConfig {
+            ClientConfig {
+                wire,
+                window,
+                ..ClientConfig::default()
+            }
+        }
+
         /// One client streaming one session end to end: connect, open,
-        /// `frames` measurements, close.
-        fn stream_one(addr: std::net::SocketAddr, spec: OpenSpec, grads: &[Vec<f32>]) {
-            let mut client = Client::connect(addr).expect("connect yf-serve");
+        /// `frames` measurements `window` ahead, close.
+        fn stream_one(
+            addr: std::net::SocketAddr,
+            cfg: &ClientConfig,
+            spec: OpenSpec,
+            grads: &[Vec<f32>],
+        ) {
+            let mut client = Client::connect_with(addr, cfg).expect("connect yf-serve");
             let name = spec.session.clone();
             client.open(spec).expect("open session");
-            for (i, g) in grads.iter().enumerate() {
-                std::hint::black_box(client.measure(&name, i as u64, 0.5, g).expect("measure"));
+            if cfg.window > 1 {
+                for (i, g) in grads.iter().enumerate() {
+                    std::hint::black_box(
+                        client
+                            .submit_measure(&name, i as u64, 0.5, g)
+                            .expect("submit"),
+                    );
+                }
+                std::hint::black_box(client.drain_verdicts().expect("drain"));
+            } else {
+                for (i, g) in grads.iter().enumerate() {
+                    std::hint::black_box(client.measure(&name, i as u64, 0.5, g).expect("measure"));
+                }
             }
             client.close_session(&name).expect("close session");
         }
@@ -673,10 +791,13 @@ fn main() {
         })
         .expect("start yf-serve");
         let addr = server.local_addr();
+        let json_cfg = wire_cfg(WireDialect::Json, 1);
+        let bin_cfg = wire_cfg(WireDialect::Binary, 1);
+        let piped_cfg = wire_cfg(WireDialect::Binary, 8);
         let mut round = 0u64;
 
-        // Seed: the same measurement stream through an in-process
-        // Session (no wire). Per-measurement cost anchors both entries.
+        // Seed for the JSON entries: the same measurement stream through
+        // an in-process Session (no wire).
         let local_batch = median_ns(|| {
             round += 1;
             let mut s = Session::new(open_spec(format!("local-{round}"), dim)).unwrap();
@@ -686,36 +807,82 @@ fn main() {
         });
         let local = (local_batch / frames as u128).max(1);
 
-        let one_batch = median_ns(|| {
-            round += 1;
-            stream_one(addr, open_spec(format!("one-{round}"), dim), &grads);
-        });
-        push(
-            "serve_measure_1_session",
-            (one_batch / frames as u128).max(1),
-            local,
-        );
+        let json_one = {
+            let batch = median_ns(|| {
+                round += 1;
+                stream_one(
+                    addr,
+                    &json_cfg,
+                    open_spec(format!("one-{round}"), dim),
+                    &grads,
+                );
+            });
+            (batch / frames as u128).max(1)
+        };
+        push("serve_measure_1_session", json_one, local);
+
+        let bin_one = {
+            let batch = median_ns(|| {
+                round += 1;
+                stream_one(
+                    addr,
+                    &bin_cfg,
+                    open_spec(format!("bin-{round}"), dim),
+                    &grads,
+                );
+            });
+            (batch / frames as u128).max(1)
+        };
+        push("serve_measure_binary_1_session", bin_one, json_one);
+
+        let piped = {
+            let batch = median_ns(|| {
+                round += 1;
+                stream_one(
+                    addr,
+                    &piped_cfg,
+                    open_spec(format!("pipe-{round}"), dim),
+                    &grads,
+                );
+            });
+            (batch / frames as u128).max(1)
+        };
+        push("serve_measure_pipelined", piped, bin_one);
 
         let many = 32usize;
-        let many_batch = median_ns(|| {
-            round += 1;
-            let r = round;
-            std::thread::scope(|scope| {
-                for t in 0..many {
-                    let grads = &grads;
-                    scope.spawn(move || {
-                        stream_one(addr, open_spec(format!("s{r}-{t}"), dim), grads);
-                    });
-                }
+        let mut stream_many = |cfg: &ClientConfig, tag: &str| {
+            let round = &mut round;
+            let batch = median_ns(|| {
+                *round += 1;
+                let r = *round;
+                std::thread::scope(|scope| {
+                    for t in 0..many {
+                        let grads = &grads;
+                        scope.spawn(move || {
+                            stream_one(addr, cfg, open_spec(format!("{tag}{r}-{t}"), dim), grads);
+                        });
+                    }
+                });
             });
-        });
-        push(
-            "serve_measure_32_sessions",
-            (many_batch / (many * frames) as u128).max(1),
-            local,
-        );
+            (batch / (many * frames) as u128).max(1)
+        };
+        let json_many = stream_many(&json_cfg, "s");
+        push("serve_measure_32_sessions", json_many, local);
+        let bin_many = stream_many(&bin_cfg, "b");
+        push("serve_measure_binary_32_sessions", bin_many, json_many);
+
+        // Record what the server actually negotiated when asked for the
+        // fast path — "binary" unless the server downgraded us.
+        let mut probe = Client::connect_with(addr, &bin_cfg).expect("connect yf-serve");
+        probe
+            .open(open_spec("wire-probe".to_string(), 8))
+            .expect("open probe");
+        let negotiated = probe.wire().as_str();
+        let _ = probe.close_session("wire-probe");
         let _ = server.drain();
-    }
+        negotiated
+    };
+    let serve_client_window = 8usize;
 
     // --- Dispatch accounting: one full tuned optimizer step (measure →
     // combine → apply, 1M params, 4 shards) must ride exactly one pool
@@ -756,6 +923,8 @@ fn main() {
         "  \"gemm_blocks\": \"{},{},{}\",",
         bl.mc, bl.kc, bl.nc
     );
+    let _ = writeln!(json, "  \"serve_wire\": \"{serve_wire}\",");
+    let _ = writeln!(json, "  \"serve_client_window\": {serve_client_window},");
     let _ = writeln!(json, "  \"unit\": \"median ns per op\",");
     let _ = writeln!(json, "  \"kernels\": {{");
     for (i, e) in entries.iter().enumerate() {
@@ -780,16 +949,18 @@ fn main() {
     println!("\nwrote {out_path}");
 
     // --- Regression gate against the committed baseline. ---
-    if let Some((path, (base_threads, baseline))) = baseline {
+    if let Some((path, baseline)) = baseline {
         // Parallel-kernel speedups scale with the machine width; gating a
         // 16-thread run against a 1-thread baseline (or vice versa) would
         // manufacture regressions or free passes. Skip, loudly.
         let now_threads = parallel::num_threads();
-        if base_threads != Some(now_threads) {
+        if baseline.threads != Some(now_threads) {
             eprintln!(
                 "perf gate: WARNING: baseline {path} was recorded at {} threads, \
                  this run uses {now_threads}; skipping all baseline entries",
-                base_threads.map_or("unknown".to_string(), |t| t.to_string()),
+                baseline
+                    .threads
+                    .map_or("unknown".to_string(), |t| t.to_string()),
             );
             return;
         }
@@ -798,14 +969,15 @@ fn main() {
             .and_then(|v| v.parse().ok())
             .filter(|t| *t > 0.0)
             .unwrap_or(0.35);
-        let bad = regressions(&entries, &baseline, tol);
+        let mut failed = false;
+        let bad = regressions(&entries, &baseline.entries, tol);
         if bad.is_empty() {
             println!(
-                "perf gate: all {} kernels within {:.0}% of {path}",
-                entries.len(),
+                "perf gate: all kernel speedups within {:.0}% of {path}",
                 tol * 100.0
             );
         } else {
+            failed = true;
             eprintln!(
                 "perf gate: kernel speedups regressed >{:.0}% vs {path}:",
                 tol * 100.0
@@ -813,6 +985,42 @@ fn main() {
             for (name, base, now) in &bad {
                 eprintln!("  {name}: {base:.2}x -> {now:.2}x");
             }
+        }
+        // The serve entries: absolute ns against the baseline, but only
+        // when the baseline's wire dialect matches this run — comparing
+        // a binary-negotiated run against a JSON baseline (or against a
+        // pre-fast-path report with no serve_wire header) would gate
+        // apples against oranges.
+        if baseline.serve_wire.as_deref() != Some(serve_wire) {
+            eprintln!(
+                "perf gate: WARNING: baseline {path} serve wire is {:?}, this run \
+                 negotiated {serve_wire:?}; skipping the serve_measure_* entries",
+                baseline.serve_wire.as_deref().unwrap_or("unrecorded"),
+            );
+        } else {
+            let serve_tol: f64 = std::env::var("YF_PERF_SERVE_TOL")
+                .ok()
+                .and_then(|v| v.parse().ok())
+                .filter(|t| *t > 0.0)
+                .unwrap_or(0.75);
+            let bad = serve_regressions(&entries, &baseline.entries, serve_tol);
+            if bad.is_empty() {
+                println!(
+                    "perf gate: all serve_measure_* entries within {:.0}% of {path}",
+                    serve_tol * 100.0
+                );
+            } else {
+                failed = true;
+                eprintln!(
+                    "perf gate: serve throughput regressed >{:.0}% vs {path}:",
+                    serve_tol * 100.0
+                );
+                for (name, base, now) in &bad {
+                    eprintln!("  {name}: {base} ns -> {now} ns");
+                }
+            }
+        }
+        if failed {
             std::process::exit(1);
         }
     }

@@ -26,12 +26,13 @@ use crate::fleet::registry;
 use crate::grid::{score_results, GridError, GridOutcome};
 use crate::trainer::RunResult;
 use std::fmt;
-use std::io::{self, BufRead, BufReader, Read, Write};
+use std::io::{self, BufReader, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::{Path, PathBuf};
 use std::process::{Child, Command, Stdio};
 use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
 use std::time::{Duration, Instant};
+use yf_wire::binary::{self, RawFrame};
 
 /// What to sweep: the grid axes plus per-cell run settings, with the
 /// workload and optimizer as registry names so worker processes can
@@ -464,8 +465,22 @@ impl Pool {
             };
         let tx = self.tx.clone();
         std::thread::spawn(move || {
-            for line in BufReader::new(output).lines() {
-                let Ok(line) = line else { break };
+            let mut reader = BufReader::new(output);
+            loop {
+                // Mixed-dialect read: the fleet protocol is JSON-only,
+                // so a binary wire frame from a confused peer is
+                // dropped as a typed protocol error, not UTF-8 noise.
+                let line = match binary::read_frame(&mut reader) {
+                    Ok(None) | Err(_) => break,
+                    Ok(Some(RawFrame::Binary(_))) => {
+                        eprintln!(
+                            "fleet: worker {slot}: binary wire frame on the \
+                             fleet link; dropping"
+                        );
+                        continue;
+                    }
+                    Ok(Some(RawFrame::Line(l))) => l,
+                };
                 if line.trim().is_empty() {
                     continue;
                 }

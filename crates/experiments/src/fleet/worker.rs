@@ -30,6 +30,7 @@ use std::io::{BufRead, BufReader, Write};
 use std::net::TcpStream;
 use std::path::Path;
 use std::rc::Rc;
+use yf_wire::binary::{self, RawFrame};
 
 /// The worker's reply channel, shared between the request loop and the
 /// heartbeat callback inside a running cell. Single-threaded (the worker
@@ -69,7 +70,12 @@ pub fn worker_tcp(addr: &str) -> i32 {
 
 /// The transport-agnostic request loop: one [`Request`] line in, `step`
 /// heartbeats and one terminal `done`/`error` line out.
-fn serve<R: BufRead, W: Write>(reader: R, writer: W) -> i32 {
+///
+/// The fleet link is JSON-only; reading through the mixed-dialect
+/// [`binary::read_frame`] means a stray binary frame (a serve client
+/// dialled at the fleet port) is rejected as a typed protocol error
+/// instead of being misread as UTF-8 garbage.
+fn serve<R: BufRead, W: Write>(mut reader: R, writer: W) -> i32 {
     let fault = match FaultPlan::from_env() {
         Ok(f) => f,
         Err(e) => {
@@ -78,9 +84,18 @@ fn serve<R: BufRead, W: Write>(reader: R, writer: W) -> i32 {
         }
     };
     let out: Out<W> = Rc::new(RefCell::new(writer));
-    for line in reader.lines() {
-        let line = match line {
-            Ok(l) => l,
+    loop {
+        let line = match binary::read_frame(&mut reader) {
+            Ok(None) => break,
+            Ok(Some(RawFrame::Line(l))) => l,
+            Ok(Some(RawFrame::Binary(_))) => {
+                eprintln!(
+                    "yf-fleet-worker: binary wire frame on the fleet link \
+                     (the fleet protocol is JSON-only; is a serve client \
+                     dialling the fleet port?)"
+                );
+                return 1;
+            }
             Err(e) => {
                 eprintln!("yf-fleet-worker: transport: {e}");
                 return 1;

@@ -10,31 +10,38 @@
 //! The spec grammar mirrors `YF_FAULT`:
 //!
 //! ```text
-//! YF_CHAOS=kind:frame[:dir][,kind:frame[:dir]...]
+//! YF_CHAOS=kind:frame[:dir[:conn]][,kind:frame[:dir[:conn]]...]
 //! ```
 //!
 //! where `kind` is one of `delay` (hold the frame `delay_ms`, then
 //! forward), `drop` (sever both sides of the connection), `blackhole`
 //! (swallow this and every later frame in that direction while holding
 //! the connection open — the partition case, no EOF to help the peer),
-//! `corrupt` (forward the frame with deterministic line damage), or
+//! `corrupt` (forward the frame with deterministic damage), or
 //! `duplicate` (forward the frame twice); `frame` is the zero-based
 //! index in that direction's frame stream; `dir` is `c2s` (default) or
 //! `s2c`. Every fault fires exactly once.
 //!
-//! Frame indices count per direction across *all* proxied connections
-//! (a client that reconnects keeps advancing the same counters), which
-//! keeps schedules deterministic for the single-client traffic the
-//! serve and fleet tests drive. Concurrent connections interleave
-//! nondeterministically; point chaos tests at one connection at a time.
+//! A "frame" is one unit of the mixed wire dialect — a text line *or*
+//! a complete [`yf_wire::binary`] frame — so chaos schedules hit the
+//! binary fast path at the same indices they hit the JSON path.
+//!
+//! Without `conn`, frame indices count per direction across *all*
+//! proxied connections (a client that reconnects keeps advancing the
+//! same counters), which keeps schedules deterministic for
+//! single-client traffic. With `conn` — a zero-based index in
+//! accept order — the fault targets frame `frame` *of that specific
+//! connection*, counted from its own first frame, which makes
+//! multi-connection fleet/serve schedules precisely targetable.
 
-use std::io::{self, BufRead, BufReader, Write};
+use std::io::{self, BufReader, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
 use yf_tensor::env;
+use yf_wire::binary::{self, RawFrame};
 
 /// What to do to the selected frame.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -62,15 +69,21 @@ pub enum ChaosDir {
     S2c,
 }
 
-/// One scheduled fault: a kind, a frame index, and a direction.
+/// One scheduled fault: a kind, a frame index, a direction, and
+/// optionally a specific connection.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ChaosFault {
     /// What happens.
     pub kind: ChaosKind,
-    /// Zero-based frame index in `dir`'s stream at which it happens.
+    /// Zero-based frame index in `dir`'s stream at which it happens —
+    /// counted globally across connections when `conn` is `None`, or
+    /// from the targeted connection's own first frame otherwise.
     pub frame: u64,
     /// The stream it happens to.
     pub dir: ChaosDir,
+    /// Targeted connection, as a zero-based index in the proxy's accept
+    /// order; `None` keeps the original global counting.
+    pub conn: Option<u64>,
 }
 
 /// A full chaos schedule: the faults plus the delay used by
@@ -84,7 +97,7 @@ pub struct ChaosSpec {
 }
 
 impl ChaosSpec {
-    /// Parses the `kind:frame[:dir]` comma list.
+    /// Parses the `kind:frame[:dir[:conn]]` comma list.
     ///
     /// # Errors
     ///
@@ -116,10 +129,22 @@ impl ChaosSpec {
                 Some("s2c") => ChaosDir::S2c,
                 Some(other) => return Err(format!("bad chaos direction {other:?} in {part:?}")),
             };
+            let conn = match fields.next() {
+                None => None,
+                Some(raw) => Some(
+                    raw.parse::<u64>()
+                        .map_err(|_| format!("bad connection index in chaos fault {part:?}"))?,
+                ),
+            };
             if fields.next().is_some() {
                 return Err(format!("trailing fields in chaos fault {part:?}"));
             }
-            faults.push(ChaosFault { kind, frame, dir });
+            faults.push(ChaosFault {
+                kind,
+                frame,
+                dir,
+                conn,
+            });
         }
         if faults.is_empty() {
             return Err("empty chaos spec".to_string());
@@ -152,14 +177,25 @@ struct ProxyState {
     /// Frames seen so far, per direction, across all connections.
     c2s_frames: AtomicU64,
     s2c_frames: AtomicU64,
+    /// Accept-order connection ids, handed to each pump pair.
+    next_conn: AtomicU64,
 }
 
 impl ProxyState {
-    /// Claims the fault (if any) scheduled for frame `n` of `dir`.
-    /// One-shot: the first pump to claim a fault owns it.
-    fn claim(&self, dir: ChaosDir, n: u64) -> Option<ChaosKind> {
+    /// Claims the fault (if any) scheduled at this frame of `dir`:
+    /// `global` is the direction's cross-connection frame index,
+    /// `local` the index within connection `conn`. One-shot: the first
+    /// pump to claim a fault owns it.
+    fn claim(&self, dir: ChaosDir, global: u64, conn: u64, local: u64) -> Option<ChaosKind> {
         for (i, f) in self.spec.faults.iter().enumerate() {
-            if f.dir == dir && f.frame == n && !self.fired[i].swap(true, Ordering::SeqCst) {
+            if f.dir != dir {
+                continue;
+            }
+            let hit = match f.conn {
+                None => f.frame == global,
+                Some(c) => c == conn && f.frame == local,
+            };
+            if hit && !self.fired[i].swap(true, Ordering::SeqCst) {
                 return Some(f.kind);
             }
         }
@@ -186,7 +222,6 @@ impl ChaosProxy {
     /// Propagates listener bind failures.
     pub fn start(upstream: SocketAddr, spec: ChaosSpec) -> io::Result<ChaosProxy> {
         let listener = TcpListener::bind("127.0.0.1:0")?;
-        listener.set_nonblocking(true)?;
         let addr = listener.local_addr()?;
         let stop = Arc::new(AtomicBool::new(false));
         let fired = spec.faults.iter().map(|_| AtomicBool::new(false)).collect();
@@ -195,6 +230,7 @@ impl ChaosProxy {
             fired,
             c2s_frames: AtomicU64::new(0),
             s2c_frames: AtomicU64::new(0),
+            next_conn: AtomicU64::new(0),
         });
         let accept = {
             let stop = Arc::clone(&stop);
@@ -219,6 +255,9 @@ impl ChaosProxy {
 impl Drop for ChaosProxy {
     fn drop(&mut self) {
         self.stop.store(true, Ordering::SeqCst);
+        // Wake the blocking accept so it observes the stop flag; the
+        // wake connection is dropped unproxied.
+        let _ = TcpStream::connect(self.addr);
         if let Some(h) = self.accept.take() {
             let _ = h.join();
         }
@@ -235,8 +274,13 @@ fn accept_loop(
         if stop.load(Ordering::SeqCst) {
             return;
         }
+        // Blocking accept (no poll latency); the proxy's Drop wakes it
+        // with a throwaway connection, caught by the flag re-check.
         match listener.accept() {
             Ok((client, _)) => {
+                if stop.load(Ordering::SeqCst) {
+                    return;
+                }
                 let _ = client.set_nodelay(true);
                 // A fresh upstream connection per proxied client, so
                 // drop faults sever exactly one logical connection.
@@ -248,38 +292,53 @@ fn accept_loop(
                 let (Ok(client2), Ok(server2)) = (client.try_clone(), server.try_clone()) else {
                     continue;
                 };
+                let conn = state.next_conn.fetch_add(1, Ordering::SeqCst);
                 let st = Arc::clone(state);
                 let _ = std::thread::Builder::new()
                     .name("yf-chaos-c2s".to_string())
-                    .spawn(move || pump(client, server, ChaosDir::C2s, &st));
+                    .spawn(move || pump(client, server, ChaosDir::C2s, conn, &st));
                 let st = Arc::clone(state);
                 let _ = std::thread::Builder::new()
                     .name("yf-chaos-s2c".to_string())
-                    .spawn(move || pump(server2, client2, ChaosDir::S2c, &st));
-            }
-            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
-                std::thread::sleep(Duration::from_millis(5));
+                    .spawn(move || pump(server2, client2, ChaosDir::S2c, conn, &st));
             }
             Err(_) => return,
         }
     }
 }
 
-/// Deterministic frame damage for [`ChaosKind::Corrupt`]: cut the line
-/// in half and terminate it with bytes no frame codec accepts.
-fn corrupt(line: &str) -> String {
-    let body = line.trim_end_matches(['\n', '\r']);
+/// Deterministic frame damage for [`ChaosKind::Corrupt`], dialect
+/// aware. A text line is cut in half and terminated with bytes no
+/// frame codec accepts. A binary frame keeps its header intact — so
+/// the peer's length-prefixed reader stays in sync — and gets one
+/// payload byte flipped (the checksum byte, for an empty payload): the
+/// decoder reports a typed checksum failure and the stream survives.
+fn corrupt(frame: &[u8]) -> Vec<u8> {
+    if frame.first() == Some(&binary::MAGIC[0]) {
+        let mut out = frame.to_vec();
+        let i = if out.len() > binary::HEADER_LEN + binary::TRAILER_LEN {
+            let payload = out.len() - binary::HEADER_LEN - binary::TRAILER_LEN;
+            binary::HEADER_LEN + payload / 2
+        } else {
+            out.len() - 1
+        };
+        out[i] ^= 0xA5;
+        return out;
+    }
+    let body = String::from_utf8_lossy(frame);
+    let body = body.trim_end_matches(['\n', '\r']);
     let keep = body
         .char_indices()
         .nth(body.chars().count() / 2)
         .map_or(0, |(i, _)| i);
-    format!("{}#chaos-corrupt#\n", &body[..keep])
+    format!("{}#chaos-corrupt#\n", &body[..keep]).into_bytes()
 }
 
-/// Pumps newline-framed traffic from `from` to `to`, applying the
-/// fault schedule for `dir`. Exits (shutting both sockets down) on EOF
-/// or error from either side.
-fn pump(from: TcpStream, mut to: TcpStream, dir: ChaosDir, state: &Arc<ProxyState>) {
+/// Pumps mixed-dialect traffic (text lines and binary frames) from
+/// `from` to `to`, applying the fault schedule for `dir`. Exits
+/// (shutting both sockets down) on EOF, unframable traffic, or error
+/// from either side.
+fn pump(from: TcpStream, mut to: TcpStream, dir: ChaosDir, conn: u64, state: &Arc<ProxyState>) {
     let counter = match dir {
         ChaosDir::C2s => &state.c2s_frames,
         ChaosDir::S2c => &state.s2c_frames,
@@ -289,26 +348,29 @@ fn pump(from: TcpStream, mut to: TcpStream, dir: ChaosDir, state: &Arc<ProxyStat
         Err(_) => return,
     });
     let mut stalled = false;
-    let mut line = String::new();
+    let mut local = 0u64;
     loop {
-        line.clear();
-        match reader.read_line(&mut line) {
-            Ok(0) | Err(_) => break,
-            Ok(_) => {}
-        }
-        if !line.ends_with('\n') {
-            line.push('\n');
-        }
+        let bytes: Vec<u8> = match binary::read_frame(&mut reader) {
+            Ok(None) | Err(_) => break,
+            Ok(Some(RawFrame::Binary(raw))) => raw,
+            Ok(Some(RawFrame::Line(line))) => {
+                let mut b = line.into_bytes();
+                b.push(b'\n');
+                b
+            }
+        };
         let n = counter.fetch_add(1, Ordering::SeqCst);
+        let ln = local;
+        local += 1;
         if stalled {
             // Blackholed: swallow silently, keep the socket open.
             continue;
         }
-        let forwarded = match state.claim(dir, n) {
-            None => to.write_all(line.as_bytes()),
+        let forwarded = match state.claim(dir, n, conn, ln) {
+            None => to.write_all(&bytes),
             Some(ChaosKind::Delay) => {
                 std::thread::sleep(state.spec.delay);
-                to.write_all(line.as_bytes())
+                to.write_all(&bytes)
             }
             Some(ChaosKind::Drop) => {
                 let _ = from.shutdown(Shutdown::Both);
@@ -319,10 +381,8 @@ fn pump(from: TcpStream, mut to: TcpStream, dir: ChaosDir, state: &Arc<ProxyStat
                 stalled = true;
                 continue;
             }
-            Some(ChaosKind::Corrupt) => to.write_all(corrupt(&line).as_bytes()),
-            Some(ChaosKind::Duplicate) => to
-                .write_all(line.as_bytes())
-                .and_then(|()| to.write_all(line.as_bytes())),
+            Some(ChaosKind::Corrupt) => to.write_all(&corrupt(&bytes)),
+            Some(ChaosKind::Duplicate) => to.write_all(&bytes).and_then(|()| to.write_all(&bytes)),
         };
         if forwarded.is_err() {
             break;
@@ -377,7 +437,8 @@ mod tests {
             ChaosFault {
                 kind: ChaosKind::Delay,
                 frame: 4,
-                dir: ChaosDir::C2s
+                dir: ChaosDir::C2s,
+                conn: None,
             }
         );
         assert_eq!(s.faults[1].dir, ChaosDir::S2c);
@@ -387,6 +448,23 @@ mod tests {
         assert!(ChaosSpec::parse("drop:x").is_err());
         assert!(ChaosSpec::parse("drop:1:sideways").is_err());
         assert!(ChaosSpec::parse("drop:1:c2s:extra").is_err());
+    }
+
+    #[test]
+    fn spec_grammar_accepts_per_connection_targets() {
+        let s = spec("drop:2:s2c:1,corrupt:0:c2s:3");
+        assert_eq!(
+            s.faults[0],
+            ChaosFault {
+                kind: ChaosKind::Drop,
+                frame: 2,
+                dir: ChaosDir::S2c,
+                conn: Some(1),
+            }
+        );
+        assert_eq!(s.faults[1].conn, Some(3));
+        assert!(ChaosSpec::parse("drop:1:c2s:first").is_err());
+        assert!(ChaosSpec::parse("drop:1:c2s:0:extra").is_err());
     }
 
     #[test]
@@ -441,6 +519,111 @@ mod tests {
         let mut line = String::new();
         // Dropped: the connection dies instead of echoing.
         assert!(matches!(reader.read_line(&mut line), Ok(0) | Err(_)));
+    }
+
+    #[test]
+    fn per_connection_faults_hit_the_targeted_connection_only() {
+        let (upstream, _server) = echo_server();
+        // Corrupt frame 1 of connection 1 (accept order). Connection 0
+        // sends the same frame indices and must sail through.
+        let proxy = ChaosProxy::start(upstream, spec("corrupt:1:c2s:1")).unwrap();
+
+        let first = TcpStream::connect(proxy.local_addr()).unwrap();
+        let mut first_reader = BufReader::new(first.try_clone().unwrap());
+        let mut first_writer = first;
+        // Drive connection 0 past frame 1 before opening connection 1,
+        // so accept order (and global counters) are deterministic.
+        for i in 0..3 {
+            writeln!(first_writer, "a-{i}").unwrap();
+            let mut line = String::new();
+            first_reader.read_line(&mut line).unwrap();
+            assert_eq!(
+                line.trim(),
+                format!("a-{i}"),
+                "untargeted connection intact"
+            );
+        }
+
+        let second = TcpStream::connect(proxy.local_addr()).unwrap();
+        let mut second_reader = BufReader::new(second.try_clone().unwrap());
+        let mut second_writer = second;
+        writeln!(second_writer, "b-0").unwrap();
+        let mut line = String::new();
+        second_reader.read_line(&mut line).unwrap();
+        assert_eq!(line.trim(), "b-0", "frame 0 of conn 1 unharmed");
+        writeln!(second_writer, "b-1").unwrap();
+        line.clear();
+        second_reader.read_line(&mut line).unwrap();
+        assert!(
+            line.contains("#chaos-corrupt#"),
+            "frame 1 of conn 1 corrupted, got {line:?}"
+        );
+    }
+
+    #[test]
+    fn binary_frames_are_pumped_whole_and_corrupt_keeps_them_framable() {
+        let (upstream, _server) = echo_server();
+        // The echo server above is line-based; binary frames need a
+        // frame-echo upstream instead.
+        let _ = upstream;
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let upstream = listener.local_addr().unwrap();
+        std::thread::spawn(move || {
+            while let Ok((stream, _)) = listener.accept() {
+                std::thread::spawn(move || {
+                    let mut reader = BufReader::new(stream.try_clone().unwrap());
+                    let mut writer = stream;
+                    loop {
+                        match binary::read_frame(&mut reader) {
+                            Ok(Some(RawFrame::Binary(raw))) => {
+                                if writer.write_all(&raw).is_err() {
+                                    return;
+                                }
+                            }
+                            Ok(Some(RawFrame::Line(line))) => {
+                                if writeln!(writer, "{line}").is_err() {
+                                    return;
+                                }
+                            }
+                            Ok(None) | Err(_) => return,
+                        }
+                    }
+                });
+            }
+        });
+        let proxy = ChaosProxy::start(upstream, spec("corrupt:1:s2c")).unwrap();
+        let stream = TcpStream::connect(proxy.local_addr()).unwrap();
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        let mut writer = stream;
+
+        // Frame 0: a binary frame through an undamaged path, plus a
+        // JSON line after it — both must arrive intact and in order.
+        let sent = binary::frame(7, b"mixed-dialect payload");
+        writer.write_all(&sent).unwrap();
+        writeln!(writer, "a line between frames").unwrap();
+        match binary::read_frame(&mut reader).unwrap() {
+            Some(RawFrame::Binary(raw)) => {
+                assert_eq!(raw, sent, "binary frame forwarded verbatim");
+            }
+            other => panic!("expected binary frame, got {other:?}"),
+        }
+        // s2c frame 1 (this echoed line) is corrupted — but as a *line*,
+        // since that is its dialect.
+        match binary::read_frame(&mut reader).unwrap() {
+            Some(RawFrame::Line(line)) => assert!(line.contains("#chaos-corrupt#")),
+            other => panic!("expected corrupted line, got {other:?}"),
+        }
+
+        // A corrupted *binary* frame keeps its framing: flip the spec
+        // around by corrupting via the helper directly and checking the
+        // decoder's verdict is a typed checksum failure.
+        let damaged = corrupt(&sent);
+        assert_eq!(damaged.len(), sent.len(), "framing preserved");
+        assert_eq!(&damaged[..binary::HEADER_LEN], &sent[..binary::HEADER_LEN]);
+        match binary::decode(&damaged) {
+            Err(yf_wire::binary::BinError::BadChecksum { .. }) => {}
+            other => panic!("expected BadChecksum, got {other:?}"),
+        }
     }
 
     #[test]

@@ -1,12 +1,13 @@
 //! # yf-serve: tuning-as-a-service over TCP
 //!
 //! A long-running server hosting many concurrent YellowFin tuning
-//! sessions. Clients speak the shared [`yf_wire`] dialect
-//! (line-delimited JSON, floats as hex bit patterns): open a session
-//! naming an optimizer and a safety envelope, stream `(step, loss,
-//! gradient)` measurements, and receive the tuned — and
-//! authority-clamped — `(lr, momentum, grad_scale)` for every accepted
-//! step. The trainer keeps the apply phase (its velocity state never
+//! sessions. Clients speak the shared [`yf_wire`] dialect — JSON
+//! control frames (line-delimited, floats as hex bit patterns) plus an
+//! optional binary data plane ([`yf_wire::binary`] frames, negotiated
+//! per connection at `open`): open a session naming an optimizer and a
+//! safety envelope, stream `(step, loss, gradient)` measurements, and
+//! receive the tuned — and authority-clamped — `(lr, momentum,
+//! grad_scale)` for every accepted step. The trainer keeps the apply phase (its velocity state never
 //! leaves the process); the server owns the measure phase and runs the
 //! same `observe_shard`/`combine` pipeline an in-process tuner would,
 //! so the served stream is bitwise identical to local tuning.
@@ -48,7 +49,7 @@ pub use authority::Authority;
 pub use chaos::{ChaosDir, ChaosFault, ChaosKind, ChaosProxy, ChaosSpec};
 pub use client::{Backoff, Client, ClientConfig, ClientError, MeasureReply};
 pub use filter::{FilterSpec, QualityFilter};
-pub use proto::{ClientFrame, OpenSpec, ProtoError, ServerFrame};
+pub use proto::{ClientFrame, OpenSpec, ProtoError, ServerFrame, WireDialect};
 pub use server::{ServeConfig, Server};
 pub use session::{Outcome, Session};
 pub use snapshot::SessionSnapshot;

@@ -26,11 +26,11 @@
 //! session at its snapshot step and the replayed stream continues
 //! bit-exactly.
 
-use crate::proto::{ClientFrame, OpenSpec, ServerFrame};
+use crate::proto::{self, BinMeasure, ClientFrame, OpenSpec, ServerFrame, WireDialect};
 use crate::session::{Outcome, Session};
 use crate::snapshot::{self, SessionSnapshot};
 use std::collections::HashMap;
-use std::io::{self, BufRead, BufReader, Write};
+use std::io::{self, BufReader, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -39,6 +39,7 @@ use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 use yf_tensor::{env, parallel};
+use yf_wire::binary::{self, RawFrame};
 use yf_wire::fsio::{self, SealedFileError};
 
 /// Server tuning knobs. [`ServeConfig::from_env`] layers the
@@ -175,10 +176,21 @@ struct Entry {
     /// corrupting the trajectory.
     epoch: u64,
     last_active: Instant,
+    /// The gradient of the last measurement that *advanced* the
+    /// session, keyed by its step: the reconstruction base for
+    /// `grad_delta` frames. Deliberately not part of the snapshot —
+    /// after a restart (or resume-from-snapshot) the base is gone and
+    /// the client's first advancing frame must be a full gradient.
+    /// Never set from an idempotent cached-verdict replay: replayed
+    /// frames may legally carry garbage payloads.
+    prev: Option<(u64, Vec<f32>)>,
 }
 
 struct Shared {
     cfg: ServeConfig,
+    /// The bound address; drain wakes the blocking accept loop by
+    /// dialling it.
+    addr: SocketAddr,
     /// Lock order: `sessions` before any `Entry` lock. Threads holding
     /// only an `Entry` lock must never take `sessions`.
     sessions: Mutex<HashMap<String, Arc<Mutex<Entry>>>>,
@@ -241,11 +253,11 @@ impl Server {
             std::fs::create_dir_all(dir)?;
         }
         let listener = TcpListener::bind(&cfg.addr)?;
-        listener.set_nonblocking(true)?;
         let addr = listener.local_addr()?;
         let shared = Arc::new(Shared {
             compute: Semaphore::new(cfg.permits.max(1)),
             cfg,
+            addr,
             sessions: Mutex::new(HashMap::new()),
             draining: AtomicBool::new(false),
         });
@@ -295,6 +307,11 @@ impl Server {
     }
 }
 
+/// Blocking accept: connections are handed off the instant the kernel
+/// delivers them (no poll interval — the 20ms nonblocking poll this
+/// replaces cost every fresh connection ~10ms before its `open` was
+/// even read). Drain wakes the block by dialling the listener itself;
+/// the wake connection is recognized by the draining flag and dropped.
 fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
     loop {
         if shared.draining.load(Ordering::SeqCst) {
@@ -310,9 +327,6 @@ fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
                 let _ = std::thread::Builder::new()
                     .name("yf-serve-conn".to_string())
                     .spawn(move || handle_connection(&shared, stream));
-            }
-            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
-                std::thread::sleep(Duration::from_millis(20));
             }
             Err(e) => {
                 eprintln!("yf-serve: accept failed: {e}");
@@ -355,6 +369,9 @@ fn reap_idle(shared: &Shared) {
 /// Snapshots and unloads every session, stops the accept loop.
 fn drain_all(shared: &Shared) -> u64 {
     shared.draining.store(true, Ordering::SeqCst);
+    // Wake the blocking accept loop so it observes the flag; the
+    // connection itself is never served.
+    let _ = TcpStream::connect(shared.addr);
     let entries: Vec<Arc<Mutex<Entry>>> = {
         let mut map = shared.sessions.lock().expect("serve sessions lock");
         map.drain().map(|(_, v)| v).collect()
@@ -375,20 +392,19 @@ fn handle_connection(shared: &Arc<Shared>, stream: TcpStream) {
     let Ok(mut write_half) = stream.try_clone() else {
         return;
     };
-    let (tx, rx) = sync_channel::<String>(shared.cfg.outbound_queue.max(1));
+    // Replies are pre-encoded bytes (a JSON line with its newline, or a
+    // complete binary frame), so the writer thread stays
+    // dialect-oblivious.
+    let (tx, rx) = sync_channel::<Vec<u8>>(shared.cfg.outbound_queue.max(1));
     let writer = std::thread::Builder::new()
         .name("yf-serve-writer".to_string())
         .spawn(move || {
-            while let Ok(line) = rx.recv() {
+            while let Ok(bytes) = rx.recv() {
                 // A failed write (EPIPE/ECONNRESET from a vanished
                 // client) sheds only this connection; the process keeps
                 // serving. The binary ignores SIGPIPE explicitly so the
                 // error path here is the only path.
-                if write_half
-                    .write_all(line.as_bytes())
-                    .and_then(|()| write_half.write_all(b"\n"))
-                    .is_err()
-                {
+                if write_half.write_all(&bytes).is_err() {
                     break;
                 }
             }
@@ -400,14 +416,22 @@ fn handle_connection(shared: &Arc<Shared>, stream: TcpStream) {
     // connection currently drives. The epoch fences this connection's
     // frames off once another connection takes a session over.
     let mut owned: HashMap<String, u64> = HashMap::new();
-    let reader = BufReader::new(read_half);
-    'conn: for line in reader.lines() {
-        let Ok(line) = line else { break };
-        if line.trim().is_empty() {
-            continue;
-        }
-        let reply = process_line(shared, &mut owned, &line);
-        match tx.try_send(reply.to_line()) {
+    let mut reader = BufReader::new(read_half);
+    // The mixed-dialect reader: a 0xF5 byte starts a binary frame,
+    // anything else a JSON line. Unframable binary traffic cannot be
+    // re-synchronized, so an Err ends the connection like any other
+    // transport failure.
+    'conn: while let Ok(Some(frame)) = binary::read_frame(&mut reader) {
+        let reply = match frame {
+            RawFrame::Line(line) => {
+                if line.trim().is_empty() {
+                    continue;
+                }
+                json_reply(&process_line(shared, &mut owned, &line))
+            }
+            RawFrame::Binary(raw) => process_binary(shared, &owned, &raw),
+        };
+        match tx.try_send(reply) {
             Ok(()) => {}
             Err(TrySendError::Full(_)) => {
                 // Slow client: its outbound queue is full, so it is not
@@ -456,19 +480,82 @@ fn error(session: Option<&str>, message: impl Into<String>) -> ServerFrame {
     }
 }
 
+/// Encodes a reply as a JSON line, newline included.
+fn json_reply(frame: &ServerFrame) -> Vec<u8> {
+    let mut bytes = frame.to_line().into_bytes();
+    bytes.push(b'\n');
+    bytes
+}
+
+/// The gradient payload of one measurement, before reconstruction.
+enum GradPayload<'a> {
+    /// The full flat gradient.
+    Full(&'a [f32]),
+    /// An XOR/RLE delta against the previous step's gradient; `dim` is
+    /// the client's claimed dimension, checked against the base.
+    Delta { dim: usize, runs: &'a [u8] },
+}
+
+/// Handles one binary frame. Data replies mirror the request's dialect
+/// (binary in, binary out); error frames have no binary encoding and
+/// travel as JSON in either dialect.
+fn process_binary(shared: &Shared, owned: &HashMap<String, u64>, raw: &[u8]) -> Vec<u8> {
+    let decoded = binary::decode(raw)
+        .map_err(proto::ProtoError::from)
+        .and_then(|(tag, payload)| proto::decode_bin_measure(tag, payload));
+    let reply = match &decoded {
+        Err(e) => error(None, e.to_string()),
+        Ok(BinMeasure::Full {
+            session,
+            step,
+            loss,
+            grads,
+        }) => process_measure(
+            shared,
+            owned,
+            session,
+            *step,
+            *loss,
+            GradPayload::Full(grads),
+        ),
+        Ok(BinMeasure::Delta {
+            session,
+            step,
+            loss,
+            dim,
+            runs,
+        }) => process_measure(
+            shared,
+            owned,
+            session,
+            *step,
+            *loss,
+            GradPayload::Delta { dim: *dim, runs },
+        ),
+    };
+    reply.to_binary().unwrap_or_else(|| json_reply(&reply))
+}
+
 fn process_line(shared: &Shared, owned: &mut HashMap<String, u64>, line: &str) -> ServerFrame {
     let frame = match ClientFrame::from_line(line) {
         Ok(f) => f,
         Err(e) => return error(None, e.to_string()),
     };
     match frame {
-        ClientFrame::Open(spec) => process_open(shared, owned, spec),
+        ClientFrame::Open { spec, wire } => process_open(shared, owned, spec, wire),
         ClientFrame::Measure {
             session,
             step,
             loss,
             grads,
-        } => process_measure(shared, owned, &session, step, loss, &grads),
+        } => process_measure(
+            shared,
+            owned,
+            &session,
+            step,
+            loss,
+            GradPayload::Full(&grads),
+        ),
         ClientFrame::Close { session } => process_close(shared, owned, &session),
         ClientFrame::Ping { token } => {
             // The heartbeat: keep this connection's sessions warm.
@@ -489,7 +576,15 @@ fn process_line(shared: &Shared, owned: &mut HashMap<String, u64>, line: &str) -
     }
 }
 
-fn process_open(shared: &Shared, owned: &mut HashMap<String, u64>, spec: OpenSpec) -> ServerFrame {
+fn process_open(
+    shared: &Shared,
+    owned: &mut HashMap<String, u64>,
+    spec: OpenSpec,
+    wire: WireDialect,
+) -> ServerFrame {
+    // The server speaks both dialects on every connection, so the
+    // capability negotiation is simply an echo: whatever the client
+    // requested is what it gets.
     let name = spec.session.clone();
     if shared.draining.load(Ordering::SeqCst) {
         return error(Some(&name), "server is draining");
@@ -520,6 +615,7 @@ fn process_open(shared: &Shared, owned: &mut HashMap<String, u64>, spec: OpenSpe
         return ServerFrame::Opened {
             session: name,
             step,
+            wire,
         };
     }
     if map.len() >= shared.cfg.max_sessions {
@@ -553,12 +649,14 @@ fn process_open(shared: &Shared, owned: &mut HashMap<String, u64>, spec: OpenSpe
             attached: true,
             epoch: 0,
             last_active: Instant::now(),
+            prev: None,
         })),
     );
     owned.insert(name.clone(), 0);
     ServerFrame::Opened {
         session: name,
         step,
+        wire,
     }
 }
 
@@ -568,7 +666,7 @@ fn process_measure(
     session: &str,
     step: u64,
     loss: f32,
-    grads: &[f32],
+    payload: GradPayload<'_>,
 ) -> ServerFrame {
     let Some(&epoch) = owned.get(session) else {
         return error(Some(session), "session not open on this connection");
@@ -593,10 +691,58 @@ fn process_measure(
     if shared.draining.load(Ordering::SeqCst) {
         return error(Some(session), "server is draining");
     }
+    // Reconstruct a delta payload against the previous advancing
+    // step's gradient. Every failure mode is a typed error frame the
+    // client answers by re-sending the step as a full gradient — the
+    // session itself never sees a bad reconstruction.
+    let reconstructed: Vec<f32>;
+    let grads: &[f32] = match payload {
+        GradPayload::Full(g) => g,
+        GradPayload::Delta { dim, runs } => {
+            let Some((base_step, base)) = &e.prev else {
+                return error(
+                    Some(session),
+                    "no delta base on the server: send a full measure frame",
+                );
+            };
+            if base_step + 1 != step {
+                return error(
+                    Some(session),
+                    format!(
+                        "delta base is at step {base_step}, cannot reconstruct step {step}: \
+                         send a full measure frame"
+                    ),
+                );
+            }
+            if base.len() != dim {
+                return error(
+                    Some(session),
+                    format!(
+                        "delta dim {dim} does not match the session dim {}",
+                        base.len()
+                    ),
+                );
+            }
+            match binary::delta_decode(base, runs) {
+                Ok(g) => {
+                    reconstructed = g;
+                    &reconstructed
+                }
+                Err(err) => return error(Some(session), format!("bad delta frame: {err}")),
+            }
+        }
+    };
     match e.session.measure(step, loss, grads) {
         Err(msg) => error(Some(session), msg),
         Ok(outcome) => {
             e.last_active = Instant::now();
+            // Update the delta base only when this measurement actually
+            // advanced the session. An idempotent cached-verdict replay
+            // (step == session.step - 1 on arrival) may carry an
+            // arbitrary payload and must never become a base.
+            if e.session.step() == step + 1 {
+                e.prev = Some((step, grads.to_vec()));
+            }
             let every = shared.cfg.snapshot_every;
             if every > 0 && e.session.step() % every == 0 {
                 shared.write_snapshot(&e);

@@ -301,7 +301,10 @@ fn duplicated_measure_frames_are_answered_idempotently() {
     let open = spec("dup", "yellowfin");
     let frames = stream(31, 6);
     let want = reference(&open, &frames);
-    send(&yf_serve::ClientFrame::Open(open));
+    send(&yf_serve::ClientFrame::Open {
+        spec: open,
+        wire: yf_serve::WireDialect::Json,
+    });
     assert!(matches!(
         recv(&mut reader),
         ServerFrame::Opened { step: 0, .. }

@@ -2,8 +2,14 @@
 //! (including NaN payloads, ±inf, signed zeros, subnormals) must
 //! round-trip bit-exactly through the hex codecs and the JSON layer,
 //! and torn frames/files must be rejected, never silently accepted.
+//! The binary dialect gets the same treatment: framed payloads and
+//! delta runs round-trip bit-exactly, and every truncation, length
+//! mutation, or checksum flip yields a typed [`binary::BinError`] —
+//! the decoders never panic and never read past the frame.
 
 use proptest::prelude::*;
+use std::io::Cursor;
+use yf_wire::binary::{self, RawFrame};
 use yf_wire::hex;
 use yf_wire::json::{self, Json};
 
@@ -169,5 +175,134 @@ proptest! {
             other => prop_assert!(false, "cut at {} must be Torn, got {:?}", cut, other.is_ok()),
         }
         let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn binary_frames_round_trip_any_payload(tag in any::<u8>(),
+                                            payload in prop::collection::vec(any::<u8>(), 0..512)) {
+        let framed = binary::frame(tag, &payload);
+        let (t, p) = binary::decode(&framed).unwrap();
+        prop_assert_eq!(t, tag);
+        prop_assert_eq!(p, &payload[..]);
+        // And through the mixed-dialect reader: one frame, then EOF.
+        let mut reader = Cursor::new(framed.clone());
+        match binary::read_frame(&mut reader).unwrap() {
+            Some(RawFrame::Binary(raw)) => prop_assert_eq!(raw, framed),
+            other => prop_assert!(false, "expected binary frame, got {:?}", other),
+        }
+        prop_assert!(binary::read_frame(&mut reader).unwrap().is_none());
+    }
+
+    #[test]
+    fn mutated_binary_frames_error_typed_but_never_panic(
+        tag in any::<u8>(),
+        payload in prop::collection::vec(any::<u8>(), 0..256),
+        pos_seed in any::<u64>(),
+        byte in any::<u8>(),
+        cut_seed in any::<u64>(),
+    ) {
+        // Every single-byte overwrite (including the length prefix and
+        // the checksum trailer) and every truncation must come back as
+        // a typed error or a different-but-valid frame — never a panic,
+        // and never an over-read past the buffer.
+        let framed = binary::frame(tag, &payload);
+
+        let cut = (cut_seed as usize) % framed.len();
+        prop_assert!(binary::decode(&framed[..cut]).is_err(), "strict prefix must be torn");
+
+        let mut damaged = framed.clone();
+        let pos = (pos_seed as usize) % damaged.len();
+        damaged[pos] = byte;
+        match binary::decode(&damaged) {
+            // A mutation that lands on the payload byte it already had,
+            // or forges a consistent frame, may still decode; anything
+            // else must be one of the typed failures.
+            Ok(_) | Err(_) => {}
+        }
+
+        // The streaming reader on the same damage: reads a frame, hits
+        // a typed framing error, or reports clean EOF — never panics,
+        // never blocks past the buffer.
+        let mut reader = Cursor::new(damaged);
+        let _ = binary::read_frame(&mut reader);
+
+        // Truncation through the reader, too (torn stream => Io error
+        // or a clean EOF when the cut lands on a frame boundary).
+        let mut reader = Cursor::new(framed[..cut].to_vec());
+        let _ = binary::read_frame(&mut reader);
+    }
+
+    #[test]
+    fn oversize_length_prefixes_are_rejected_before_allocation(
+        len_bits in (binary::MAX_PAYLOAD as u32 + 1)..u32::MAX,
+        tag in any::<u8>(),
+    ) {
+        // A forged length prefix above the cap must be rejected from
+        // the 8 header bytes alone — not by attempting the allocation.
+        let mut header = Vec::new();
+        header.extend_from_slice(&binary::MAGIC);
+        header.push(binary::VERSION);
+        header.push(tag);
+        header.extend_from_slice(&len_bits.to_le_bytes());
+        let mut reader = Cursor::new(header.clone());
+        match binary::read_frame(&mut reader) {
+            Err(binary::ReadError::Frame(binary::BinError::Oversize(n))) =>
+                prop_assert_eq!(n, len_bits),
+            other => prop_assert!(false, "expected Oversize, got {:?}", other.is_ok()),
+        }
+        prop_assert!(matches!(
+            binary::decode(&header),
+            Err(binary::BinError::Oversize(_)) | Err(binary::BinError::Truncated { .. })
+        ));
+    }
+
+    #[test]
+    fn delta_runs_round_trip_any_bit_patterns(
+        prev_bits in prop::collection::vec(any::<u32>(), 1..64),
+        flips in prop::collection::vec((any::<u64>(), any::<u32>()), 0..16),
+    ) {
+        // XOR-delta encoding must reconstruct any current gradient from
+        // any previous one bit-exactly, whatever the patterns (NaNs,
+        // infinities, signed zeros included).
+        let prev: Vec<f32> = prev_bits.iter().map(|&b| f32::from_bits(b)).collect();
+        let mut cur = prev.clone();
+        for &(pos, bits) in &flips {
+            let i = (pos as usize) % cur.len();
+            cur[i] = f32::from_bits(bits);
+        }
+        let runs = binary::delta_encode(&prev, &cur);
+        let back = binary::delta_decode(&prev, &runs).unwrap();
+        prop_assert_eq!(back.len(), cur.len());
+        for (got, want) in back.iter().zip(cur.iter()) {
+            prop_assert_eq!(got.to_bits(), want.to_bits());
+        }
+    }
+
+    #[test]
+    fn malformed_delta_runs_error_typed_but_never_panic(
+        prev_bits in prop::collection::vec(any::<u32>(), 1..32),
+        runs in prop::collection::vec(any::<u8>(), 0..96),
+        pos_seed in any::<u64>(),
+        byte in any::<u8>(),
+    ) {
+        // Arbitrary bytes as a run list: decode must either produce a
+        // dim-length vector or a typed error — no panic, no over-read.
+        let prev: Vec<f32> = prev_bits.iter().map(|&b| f32::from_bits(b)).collect();
+        if let Ok(back) = binary::delta_decode(&prev, &runs) {
+            prop_assert_eq!(back.len(), prev.len());
+        }
+
+        // And a mutated *valid* run list: flip one byte of a genuine
+        // encoding and demand the same contract.
+        let mut cur = prev.clone();
+        cur[0] = f32::from_bits(prev_bits[0] ^ 0xdead_beef);
+        let mut encoded = binary::delta_encode(&prev, &cur);
+        if !encoded.is_empty() {
+            let pos = (pos_seed as usize) % encoded.len();
+            encoded[pos] = byte;
+        }
+        if let Ok(back) = binary::delta_decode(&prev, &encoded) {
+            prop_assert_eq!(back.len(), prev.len());
+        }
     }
 }
